@@ -1,0 +1,105 @@
+// Ablation: online model adaptation (RLS) vs a stale identified model.
+//
+// The paper re-runs system identification when hardware changes and relies
+// on the stability margin (Sec 4.4) to absorb bounded model error. This
+// bench quantifies what online RLS adaptation buys: the workload's GPU
+// intensity drops sharply mid-run (a lighter input mix), shifting the
+// plant's effective gains; we compare the static and adaptive CapGPU
+// controllers through the transition.
+#include <cstdio>
+
+#include "common.hpp"
+#include "telemetry/table.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+struct Outcome {
+  core::RunResult res;
+  std::size_t updates{0};
+};
+
+Outcome run_with(bool adaptive) {
+  core::ServerRig rig;
+  core::CapGpuConfig cfg;
+  cfg.adaptive = adaptive;
+  cfg.rls.forgetting = 0.96;
+  core::CapGpuController ctl(cfg, rig.device_ranges(),
+                             bench::testbed_model().model, 900_W,
+                             rig.latency_models());
+  core::RunOptions opt;
+  opt.periods = 120;
+  opt.set_point = 900_W;
+  // Period 40: every stream's inputs get much lighter — GPU busy
+  // utilization collapses from ~0.9 to 0.45, roughly halving the dynamic
+  // power slope the controller works against.
+  core::ServerRig* rig_ptr = &rig;
+
+  Outcome out{core::RunResult{}, 0};
+  // Schedule the workload shift through the loop's period hook.
+  // (RunOptions has no generic action hook; use the SLO-free schedule via
+  // a set-point "change" to the same value plus a lambda on the rig side.)
+  opt.set_point_changes[40] = 900_W;  // no-op marker; shift applied below
+  core::RunOptions opt2 = opt;
+
+  // ServerRig::run drives everything; we piggyback the shift with an
+  // engine event at the 40th period boundary (t = 160 s).
+  rig.engine().schedule_at(160.0, [rig_ptr] {
+    for (std::size_t i = 0; i < rig_ptr->gpu_count(); ++i) {
+      rig_ptr->stream(i).set_gpu_busy_util(0.45);
+    }
+  });
+
+  out.res = rig.run(ctl, opt2);
+  out.updates = ctl.adaptation_updates();
+  return out;
+}
+
+double segment_abs_err(const core::RunResult& res, std::size_t from,
+                       std::size_t to) {
+  telemetry::RunningStats s;
+  for (std::size_t k = from; k < to; ++k) {
+    s.add(std::abs(res.power.value_at(k) - 900.0));
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: online RLS adaptation vs static model",
+                      "extension of paper Sec 4.2/4.4; workload shift @ t=160s");
+  (void)bench::testbed_model();
+
+  const Outcome stat = run_with(false);
+  const Outcome adap = run_with(true);
+
+  telemetry::Table t("Mean |power error| (W) around the workload shift");
+  t.set_header({"Controller", "before (20-40)", "transition (40-60)",
+                "after (60-120)", "RLS updates"});
+  t.add_row({"static model", telemetry::fmt(segment_abs_err(stat.res, 20, 40), 2),
+             telemetry::fmt(segment_abs_err(stat.res, 40, 60), 2),
+             telemetry::fmt(segment_abs_err(stat.res, 60, 120), 2), "0"});
+  t.add_row({"adaptive (RLS)",
+             telemetry::fmt(segment_abs_err(adap.res, 20, 40), 2),
+             telemetry::fmt(segment_abs_err(adap.res, 40, 60), 2),
+             telemetry::fmt(segment_abs_err(adap.res, 60, 120), 2),
+             std::to_string(adap.updates)});
+  t.print();
+
+  std::printf("\nPower traces (750-1000 W):\n");
+  bench::print_strip("static", stat.res.power, 750.0, 1000.0);
+  bench::print_strip("adaptive", adap.res.power, 750.0, 1000.0);
+
+  std::printf("\nShape checks:\n");
+  const double stat_after = segment_abs_err(stat.res, 60, 120);
+  const double adap_after = segment_abs_err(adap.res, 60, 120);
+  std::printf("  both keep capping through the shift (err < 15 W): %s\n",
+              (stat_after < 15.0 && adap_after < 15.0) ? "PASS" : "FAIL");
+  std::printf("  adaptation applied updates:                       %s\n",
+              adap.updates > 0 ? "PASS" : "FAIL");
+  std::printf("  adaptive tracks at least as tightly after shift:  %s\n",
+              adap_after <= stat_after + 0.5 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation: breaker safety under aggressive oversubscription.
+//
+// The paper's opening premise made concrete: a branch breaker rated
+// tightly above the cap (3% margin — an aggressive oversubscription plan)
+// protects the circuit. A controller that oscillates above its set point
+// charges the breaker's thermal element; one that respects the cap leaves
+// it cold. We run each controller at a 1060 W cap under a 1090 W breaker
+// and report thermal stress and trips.
+#include <cstdio>
+
+#include "baselines/fixed_step.hpp"
+#include "baselines/gpu_only.hpp"
+#include "common.hpp"
+#include "hw/breaker.hpp"
+#include "telemetry/table.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+struct Outcome {
+  double steady_power;
+  double peak_stress;
+  double trip_time;
+};
+
+Outcome run_one(const std::string& kind) {
+  constexpr double kCap = 900.0;
+  core::ServerRig rig;
+  hw::BreakerParams bp;
+  bp.rating = Watts{930.0};  // 3.3% above the cap
+  bp.trip_overload_frac = 0.03;
+  bp.trip_seconds = 90.0;
+  bp.cooling_frac_per_s = 0.002;  // thermal elements cool over minutes
+  hw::BreakerModel breaker(bp);
+  auto* server = &rig.server();
+  hw::BreakerMonitor monitor(rig.engine(), breaker,
+                             [server] { return server->total_power().value; });
+
+  core::RunOptions opt;
+  opt.periods = 300;
+  opt.set_point = Watts{kCap};
+
+  core::RunResult res;
+  double peak_stress = 0.0;
+  // Sample stress each period via the loop hook is not exposed here, so
+  // poll with engine events.
+  for (std::size_t k = 1; k <= opt.periods; ++k) {
+    auto* b = &breaker;
+    auto* peak = &peak_stress;
+    rig.engine().schedule_at(4.0 * static_cast<double>(k), [b, peak] {
+      *peak = std::max(*peak, b->stress());
+    });
+  }
+
+  if (kind == "fixed-step-x5") {
+    baselines::FixedStepConfig cfg;
+    cfg.step_multiplier = 5;
+    baselines::FixedStepController ctl(cfg, rig.device_ranges(), Watts{kCap});
+    res = rig.run(ctl, opt);
+  } else if (kind == "gpu-only") {
+    baselines::GpuOnlyController ctl(rig.device_ranges(),
+                                     bench::testbed_model().model,
+                                     bench::kBaselinePole, Watts{kCap});
+    res = rig.run(ctl, opt);
+  } else {
+    core::CapGpuController ctl = bench::make_capgpu(rig, Watts{kCap});
+    res = rig.run(ctl, opt);
+  }
+
+  return Outcome{res.steady_power(30).mean(), peak_stress,
+                 monitor.trip_time()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation: breaker stress under a 3.3% oversubscription margin",
+      "cap 900 W, breaker rated 930 W (trips after 90 s at +3%)");
+  (void)bench::testbed_model();
+
+  telemetry::Table t("1200 s runs");
+  t.set_header({"Controller", "steady W", "peak breaker stress", "tripped"});
+  std::vector<std::pair<std::string, Outcome>> rows;
+  for (const std::string kind :
+       {"fixed-step-x5", "gpu-only", "capgpu"}) {
+    rows.emplace_back(kind, run_one(kind));
+    const auto& o = rows.back().second;
+    t.add_row({kind, telemetry::fmt(o.steady_power, 1),
+               telemetry::fmt(100.0 * o.peak_stress, 1) + "%",
+               o.trip_time >= 0.0
+                   ? "TRIPPED @" + telemetry::fmt(o.trip_time, 0) + "s"
+                   : "no"});
+  }
+  t.print();
+
+  std::printf("\nShape checks:\n");
+  std::printf("  Fixed-Step x5's oscillation stresses the breaker hard: %s\n",
+              rows[0].second.peak_stress > 0.5 ? "PASS" : "FAIL");
+  std::printf("  control-theoretic cappers stay well clear (<15%%):      %s\n",
+              (rows[1].second.peak_stress < 0.15 &&
+               rows[2].second.peak_stress < 0.15)
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  CapGPU never trips:                                    %s\n",
+              rows[2].second.trip_time < 0.0 ? "PASS" : "FAIL");
+  return 0;
+}

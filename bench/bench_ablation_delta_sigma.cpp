@@ -1,0 +1,100 @@
+// Ablation: delta-sigma modulation vs nearest-level snapping (paper Sec 5).
+//
+// Controllers emit fractional frequencies; hardware is discrete. With
+// delta-sigma modulation the time-averaged applied frequency converges to
+// the command, so the steady-state power error shrinks; plain snapping
+// leaves a quantisation bias of up to half a level.
+#include <cstdio>
+
+#include "common.hpp"
+#include "control/delta_sigma.hpp"
+#include "telemetry/table.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+struct Outcome {
+  double mean_err;
+  double stddev;
+};
+
+Outcome run_with(bool use_delta_sigma, double set_point) {
+  core::ServerRig rig;
+  core::CapGpuController ctl =
+      bench::make_capgpu(rig, Watts{set_point});
+  core::RunOptions opt;
+  opt.periods = 100;
+  opt.set_point = Watts{set_point};
+  opt.loop.use_delta_sigma = use_delta_sigma;
+  const core::RunResult res = rig.run(ctl, opt);
+  const auto s = res.steady_power(20);
+  return {s.mean() - set_point, s.stddev()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: delta-sigma modulation vs nearest snapping",
+                      "paper Sec 5 frequency modulators");
+  (void)bench::testbed_model();
+
+  telemetry::Table t("Steady-state tracking error, W");
+  t.set_header({"Set point", "delta-sigma err (std)", "nearest err (std)"});
+  double ds_abs = 0.0;
+  double nn_abs = 0.0;
+  for (const double sp : {850.0, 900.0, 950.0, 1000.0, 1050.0}) {
+    const Outcome ds = run_with(true, sp);
+    const Outcome nn = run_with(false, sp);
+    ds_abs += std::abs(ds.mean_err);
+    nn_abs += std::abs(nn.mean_err);
+    t.add_row({telemetry::fmt(sp, 0) + " W",
+               telemetry::fmt(ds.mean_err, 2) + " (" +
+                   telemetry::fmt(ds.stddev, 1) + ")",
+               telemetry::fmt(nn.mean_err, 2) + " (" +
+                   telemetry::fmt(nn.stddev, 1) + ")"});
+  }
+  t.print();
+
+  std::printf("\nMean |error| across set points: delta-sigma %.2f W, "
+              "nearest %.2f W\n",
+              ds_abs / 5.0, nn_abs / 5.0);
+  std::printf(
+      "(With fine 15/100 MHz level tables the feedback loop absorbs the\n"
+      " quantisation either way; the modulator's real value shows with the\n"
+      " coarse levels of the paper's Sec 5 example, below.)\n");
+
+  // Part 2: the paper's own example — a CPU whose P-states are 1 GHz apart
+  // (2, 3 GHz, ...). Delta-sigma toggling averages to the fractional
+  // command; nearest snapping is biased by up to half a level.
+  const auto coarse = hw::FrequencyTable::uniform(1_GHz, 3_GHz, 1_GHz);
+  telemetry::Table t2("Coarse-level tracking: command 2.4 GHz on 1 GHz steps");
+  t2.set_header({"Resolver", "time-avg MHz", "bias MHz"});
+  double ds_bias = 0.0;
+  double nn_bias = 0.0;
+  {
+    control::DeltaSigmaModulator mod;
+    double sum = 0.0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) sum += mod.step(2400_MHz, coarse).value;
+    ds_bias = std::abs(sum / n - 2400.0);
+    t2.add_row("delta-sigma", {sum / n, ds_bias}, 1);
+  }
+  {
+    double sum = 0.0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) sum += coarse.nearest(2400_MHz).value;
+    nn_bias = std::abs(sum / n - 2400.0);
+    t2.add_row("nearest", {sum / n, nn_bias}, 1);
+  }
+  t2.print();
+
+  std::printf("\nShape checks:\n");
+  std::printf("  closed-loop tracking comparable (|err| within 0.5 W): %s\n",
+              std::abs(ds_abs - nn_abs) / 5.0 < 0.5 ? "PASS" : "FAIL");
+  std::printf("  delta-sigma removes the coarse-level bias (%.1f vs %.1f "
+              "MHz): %s\n",
+              ds_bias, nn_bias, ds_bias < 10.0 && nn_bias > 300.0 ? "PASS"
+                                                                  : "FAIL");
+  return 0;
+}

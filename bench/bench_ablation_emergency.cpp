@@ -1,0 +1,102 @@
+// Ablation: the emergency memory-throttling governor (paper Sec 4.4).
+//
+// The paper: "If no such combination exists, then no single control
+// algorithm can strictly enforce the set point through frequency
+// adaptation alone. In such cases, additional system mechanisms (e.g.,
+// memory throttling) must be integrated." This bench drops the cap below
+// the DVFS floor and shows CapGPU alone railing above the cap, then the
+// governor closing the gap by throttling GPU memory — and releasing it
+// once the budget recovers.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/emergency.hpp"
+
+using namespace capgpu;
+
+int main() {
+  bench::print_banner("Ablation: emergency memory throttling",
+                      "paper Sec 4.4 infeasibility fallback");
+  (void)bench::testbed_model();
+
+  // Find the DVFS floor of the testbed (all clocks at minimum, workload
+  // running): caps below this are unreachable by frequency adaptation.
+  double floor_power = 0.0;
+  {
+    core::ServerRig probe;
+    probe.engine().run_until(40.0);
+    telemetry::RunningStats s;
+    for (int k = 0; k < 20; ++k) {
+      probe.engine().run_until(probe.engine().now() + 4.0);
+      s.add(probe.hal().power_meter().average(Seconds{4.0}).value);
+    }
+    floor_power = s.mean();
+  }
+  const double cap = floor_power - 15.0;
+  std::printf("\nDVFS floor of the testbed: %.1f W -> infeasible cap %.1f W\n",
+              floor_power, cap);
+
+  auto run_one = [&](bool with_governor) {
+    core::ServerRig rig;
+    core::CapGpuController ctl = bench::make_capgpu(rig, Watts{cap});
+    core::EmergencyMemoryGovernor governor(rig.engine(), rig.server(),
+                                           rig.hal().power_meter(),
+                                           Watts{cap});
+    if (with_governor) governor.start();
+    core::RunOptions opt;
+    opt.periods = 100;
+    opt.set_point = Watts{cap};
+    // Budget recovers at period 70: the governor should release.
+    opt.set_point_changes[70] = Watts{floor_power + 150.0};
+    if (with_governor) {
+      rig.engine().schedule_at(70.0 * 4.0, [&governor, floor_power] {
+        governor.set_cap(Watts{floor_power + 150.0});
+      });
+    }
+    struct R {
+      core::RunResult res;
+      std::size_t engagements;
+      std::size_t releases;
+      std::size_t still_throttled;
+    };
+    core::RunResult res = rig.run(ctl, opt);
+    return R{std::move(res), governor.engagements(), governor.releases(),
+             governor.throttled_count()};
+  };
+
+  const auto without = run_one(false);
+  const auto with = run_one(true);
+
+  std::printf("\nPower traces (cap %.0f W until period 70, then %.0f W):\n",
+              cap, floor_power + 150.0);
+  bench::print_strip("DVFS only", without.res.power, cap - 60.0,
+                     floor_power + 200.0);
+  bench::print_strip("with governor", with.res.power, cap - 60.0,
+                     floor_power + 200.0);
+
+  telemetry::RunningStats dvfs_seg;
+  telemetry::RunningStats gov_seg;
+  for (std::size_t k = 30; k < 70; ++k) {
+    dvfs_seg.add(without.res.power.value_at(k));
+    gov_seg.add(with.res.power.value_at(k));
+  }
+  std::printf("\nDuring the infeasible window (periods 30-70):\n");
+  std::printf("  DVFS only:     mean %.1f W (cap %.1f, excess %.1f)\n",
+              dvfs_seg.mean(), cap, dvfs_seg.mean() - cap);
+  std::printf("  with governor: mean %.1f W (excess %.1f), %zu boards "
+              "throttled, %zu engagements\n",
+              gov_seg.mean(), gov_seg.mean() - cap, with.still_throttled,
+              with.engagements);
+  std::printf("  after recovery: %zu releases, %zu still throttled\n",
+              with.releases, with.still_throttled);
+
+  std::printf("\nShape checks:\n");
+  std::printf("  DVFS alone violates the infeasible cap:     %s\n",
+              dvfs_seg.mean() > cap + 5.0 ? "PASS" : "FAIL");
+  std::printf("  governor reduces the violation:             %s\n",
+              gov_seg.mean() < dvfs_seg.mean() - 5.0 ? "PASS" : "FAIL");
+  std::printf("  governor releases after the budget returns: %s\n",
+              (with.releases >= 1 && with.still_throttled == 0) ? "PASS"
+                                                                : "FAIL");
+  return 0;
+}

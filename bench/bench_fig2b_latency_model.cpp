@@ -1,0 +1,60 @@
+// Reproduces Figure 2(b) (paper Sec 4.2): measured vs predicted inference
+// latency across GPU frequencies, fitting e = e_min (f_max/f)^gamma. The
+// paper fits gamma = 0.91 with R^2 ~ 0.91.
+#include <cstdio>
+
+#include "common.hpp"
+#include "control/latency_model.hpp"
+#include "core/rig.hpp"
+
+using namespace capgpu;
+
+int main() {
+  bench::print_banner("Figure 2(b): latency-vs-frequency model fit",
+                      "paper Sec 4.2 Eq. 8, Fig 2(b); gamma=0.91, R^2~0.91");
+
+  core::RigConfig cfg;
+  cfg.models = {workload::resnet50_v100()};
+  core::ServerRig rig(cfg);
+  auto& engine = rig.engine();
+  auto& hal = rig.hal();
+  hal.set_device_frequency(DeviceId{0}, 2.4_GHz);  // ample preprocessing
+
+  std::vector<control::LatencySample> samples;
+  struct Row {
+    double f, measured;
+  };
+  std::vector<Row> rows;
+  for (double f = 435.0; f <= 1350.0; f += 61.0) {
+    hal.set_device_frequency(DeviceId{1}, Megahertz{f});
+    engine.run_until(engine.now() + 5.0);   // settle
+    const double t0 = engine.now();
+    engine.run_until(t0 + 25.0);            // measure window
+    const double e =
+        rig.stream(0).batch_latency().mean(engine.now(), 25.0);
+    const double f_applied = hal.device_frequency(DeviceId{1}).value;
+    samples.push_back({Megahertz{f_applied}, e});
+    rows.push_back({f_applied, e});
+  }
+
+  const control::LatencyFit fit =
+      control::fit_latency_model(samples, 1350_MHz);
+  std::printf("\nFitted: e = %.4f * (1350/f)^%.3f   (R^2 = %.4f)\n",
+              fit.model.e_min(), fit.model.gamma(), fit.r_squared);
+  std::printf("Paper: gamma = 0.91, modeling R^2 ~ 0.91\n\n");
+
+  std::printf("%10s %14s %14s %10s\n", "f_gpu MHz", "measured s", "predicted s",
+              "error %");
+  for (const auto& r : rows) {
+    const double pred = fit.model.predict(Megahertz{r.f});
+    std::printf("%10.0f %14.4f %14.4f %+9.2f%%\n", r.f, r.measured, pred,
+                100.0 * (r.measured - pred) / pred);
+  }
+
+  const bool gamma_ok =
+      fit.model.gamma() > 0.85 && fit.model.gamma() < 0.97;
+  std::printf("\nShape checks: gamma in [0.85, 0.97]: %s;  R^2 >= 0.9: %s\n",
+              gamma_ok ? "PASS" : "FAIL",
+              fit.r_squared >= 0.9 ? "PASS" : "FAIL");
+  return 0;
+}

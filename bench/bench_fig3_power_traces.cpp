@@ -1,0 +1,104 @@
+// Reproduces Figure 3 (paper Sec 6.2): power-control traces at a 900 W set
+// point for CPU-Only, GPU-Only, GPU+CPU (50/50 and 60/40) and CapGPU on the
+// 3-GPU testbed (t1=ResNet50, t2=Swin, t3=VGG16 + feature selection).
+#include <cstdio>
+#include <memory>
+
+#include "baselines/cpu_only.hpp"
+#include "baselines/cpu_plus_gpu.hpp"
+#include "baselines/gpu_only.hpp"
+#include "common.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+core::RunResult run_policy(baselines::IServerPowerController& policy) {
+  core::ServerRig rig;
+  core::RunOptions opt;
+  opt.periods = 100;
+  opt.set_point = 900_W;
+  return rig.run(policy, opt);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 3: power control, baselines vs CapGPU @ 900 W",
+                      "paper Sec 6.2, Fig 3");
+  const auto& model = bench::testbed_model().model;
+
+  // Device ranges come from any rig (identical across rigs).
+  core::ServerRig ranges_rig;
+  const auto devices = ranges_rig.device_ranges();
+
+  struct Entry {
+    std::string name;
+    core::RunResult result;
+  };
+  std::vector<Entry> entries;
+
+  {
+    baselines::CpuOnlyController ctl(devices, model, bench::kBaselinePole,
+                                     900_W);
+    entries.push_back({"CPU-Only", run_policy(ctl)});
+  }
+  {
+    baselines::GpuOnlyController ctl(devices, model, bench::kBaselinePole,
+                                     900_W);
+    entries.push_back({"GPU-Only", run_policy(ctl)});
+  }
+  {
+    baselines::CpuPlusGpuController ctl(devices, model, bench::kBaselinePole,
+                                        900_W, 0.5);
+    entries.push_back({"GPU+CPU 50%/50%", run_policy(ctl)});
+  }
+  {
+    baselines::CpuPlusGpuController ctl(devices, model, bench::kBaselinePole,
+                                        900_W, 0.6);
+    entries.push_back({"GPU+CPU 60%gpu", run_policy(ctl)});
+  }
+  {
+    core::ServerRig rig;
+    core::CapGpuController ctl = bench::make_capgpu(rig, 900_W);
+    core::RunOptions opt;
+    opt.periods = 100;
+    opt.set_point = 900_W;
+    entries.push_back({"CapGPU", rig.run(ctl, opt)});
+    bench::export_result_csv("fig3_capgpu", entries.back().result);
+  }
+
+  std::printf("\nPower traces (100 control periods of 4 s; range 600-1250 W; "
+              "'~' ~ 900 W):\n");
+  for (const auto& e : entries) {
+    bench::print_strip(e.name, e.result.power, 600.0, 1250.0);
+  }
+
+  std::printf("\nSteady-state power (last 80 of 100 periods):\n");
+  for (const auto& e : entries) {
+    bench::print_power_summary(e.name, e.result, 900.0);
+  }
+
+  const double err = [&](const std::string& name) {
+    for (const auto& e : entries) {
+      if (e.name == name) return std::abs(e.result.steady_power(20).mean() - 900.0);
+    }
+    return 1e9;
+  }("CapGPU");
+  std::printf("\nShape checks (paper Fig 3):\n");
+  std::printf("  CapGPU converges to the cap (|err| < 10 W): %s\n",
+              err < 10.0 ? "PASS" : "FAIL");
+  std::printf("  CPU-Only cannot reach the cap:              %s\n",
+              std::abs(entries[0].result.steady_power(20).mean() - 900.0) >
+                      50.0
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  GPU+CPU splits miss the cap:                %s\n",
+              (std::abs(entries[2].result.steady_power(20).mean() - 900.0) >
+                   25.0 &&
+               std::abs(entries[3].result.steady_power(20).mean() - 900.0) >
+                   25.0)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

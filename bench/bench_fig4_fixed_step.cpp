@@ -1,0 +1,74 @@
+// Reproduces Figure 4 (paper Sec 6.2): the Fixed-Step heuristic at step
+// sizes 1 and 5 (CPU 100 MHz / GPU 90 MHz per step), showing slow ramp or
+// oscillation around the 900 W set point.
+#include <cstdio>
+
+#include "baselines/fixed_step.hpp"
+#include "common.hpp"
+
+using namespace capgpu;
+
+int main() {
+  bench::print_banner("Figure 4: Fixed-Step controller, step sizes 1 and 5",
+                      "paper Sec 6.2, Fig 4");
+  (void)bench::testbed_model();
+
+  struct Entry {
+    std::string name;
+    int multiplier;
+    core::RunResult result;
+    std::size_t rise{0};  // first period inside the +/-25 W band
+  };
+  std::vector<Entry> entries;
+
+  for (const int mult : {1, 5}) {
+    core::ServerRig rig;
+    baselines::FixedStepConfig cfg;
+    cfg.step_multiplier = mult;
+    baselines::FixedStepController ctl(cfg, rig.device_ranges(), 900_W);
+    core::RunOptions opt;
+    opt.periods = 100;
+    opt.set_point = 900_W;
+    Entry e{"Fixed-Step x" + std::to_string(mult), mult, rig.run(ctl, opt),
+            0};
+    e.rise = e.result.periods;
+    for (std::size_t k = 0; k < e.result.periods; ++k) {
+      if (std::abs(e.result.power.value_at(k) - 900.0) <= 25.0) {
+        e.rise = k;
+        break;
+      }
+    }
+    entries.push_back(std::move(e));
+    bench::export_result_csv("fig4_fixed_step_x" + std::to_string(mult),
+                             entries.back().result);
+  }
+
+  std::printf("\nPower traces (range 600-1000 W):\n");
+  for (const auto& e : entries) {
+    bench::print_strip(e.name, e.result.power, 600.0, 1000.0);
+  }
+
+  std::printf("\nSteady-state behaviour (last 50 periods):\n");
+  for (const auto& e : entries) {
+    bench::print_power_summary(e.name, e.result, 900.0, 50);
+    const std::string rise_str = std::to_string(e.rise) + " periods";
+    std::printf("    first reaches +/-25 W of the cap after: %s\n",
+                e.rise < e.result.periods ? rise_str.c_str() : "never");
+  }
+
+  std::printf("\nShape checks (paper Fig 4):\n");
+  std::printf(
+      "  small step ramps slowly (rise x1 > x5):    %s\n",
+      entries[0].rise > entries[1].rise ? "PASS" : "FAIL");
+  std::printf("  large step oscillates more (std x5 > x1): %s\n",
+              entries[1].result.steady_power(50).stddev() >
+                      entries[0].result.steady_power(50).stddev()
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  both violate the cap repeatedly:           %s\n",
+              (entries[0].result.power.count_above(900.0, 50) > 5 &&
+               entries[1].result.power.count_above(900.0, 50) > 5)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

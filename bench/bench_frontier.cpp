@@ -1,0 +1,132 @@
+// Extension bench: the power-performance frontier.
+//
+// Runs every capping technique across budgets 850..1200 W and reports GPU
+// throughput per watt actually drawn — the efficiency frontier. The
+// paper's per-figure results (Fig 6 accuracy, Fig 7 performance) combine
+// here into one economic statement: at any given wattage, which controller
+// buys the most inference?
+#include <cstdio>
+
+#include "baselines/gpu_only.hpp"
+#include "baselines/safe_fixed_step.hpp"
+#include "common.hpp"
+#include "core/batching.hpp"
+#include "telemetry/table.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+struct Point {
+  double power;
+  double throughput;
+};
+
+Point run_one(const std::string& kind, double set_point) {
+  core::ServerRig rig;
+  const auto& model = bench::testbed_model().model;
+  core::RunOptions opt;
+  opt.periods = 80;
+  opt.set_point = Watts{set_point};
+
+  core::RunResult res;
+  std::unique_ptr<core::BatchingGovernor> governor;
+  if (kind == "safe-fixed-step") {
+    baselines::FixedStepConfig cfg;
+    const double margin = baselines::SafeFixedStepController::estimate_margin(
+        model, rig.device_ranges(), cfg);
+    baselines::SafeFixedStepController ctl(cfg, rig.device_ranges(),
+                                           Watts{set_point}, margin);
+    res = rig.run(ctl, opt);
+  } else if (kind == "gpu-only") {
+    baselines::GpuOnlyController ctl(rig.device_ranges(), model,
+                                     bench::kBaselinePole, Watts{set_point});
+    res = rig.run(ctl, opt);
+  } else if (kind == "capgpu") {
+    core::CapGpuController ctl = bench::make_capgpu(rig, Watts{set_point});
+    res = rig.run(ctl, opt);
+  } else {  // capgpu+batching
+    core::CapGpuController ctl = bench::make_capgpu(rig, Watts{set_point});
+    governor = std::make_unique<core::BatchingGovernor>(
+        rig.engine(),
+        std::vector<workload::InferenceStream*>{&rig.stream(0),
+                                                &rig.stream(1),
+                                                &rig.stream(2)},
+        ctl);
+    governor->start();
+    res = rig.run(ctl, opt);
+  }
+
+  Point p{};
+  p.power = res.steady_power(30).mean();
+  for (std::size_t i = 0; i < 3; ++i) {
+    p.throughput += bench::steady_mean(res.gpu_throughput[i], 30);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension: power-performance frontier",
+                      "GPU throughput vs power drawn, budgets 850-1200 W");
+  (void)bench::testbed_model();
+
+  const std::vector<std::string> kinds{"safe-fixed-step", "gpu-only",
+                                       "capgpu", "capgpu+batching"};
+  telemetry::Table t("throughput img/s (at measured watts)");
+  t.set_header({"Budget", "SafeFixedStep", "GPU-Only", "CapGPU",
+                "CapGPU+batch"});
+  std::vector<std::vector<Point>> frontier(kinds.size());
+  for (double sp = 850.0; sp <= 1200.0; sp += 70.0) {
+    std::vector<std::string> row{telemetry::fmt(sp, 0) + " W"};
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const Point p = run_one(kinds[k], sp);
+      frontier[k].push_back(p);
+      row.push_back(telemetry::fmt(p.throughput, 1) + " @" +
+                    telemetry::fmt(p.power, 0) + "W");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+
+  std::printf("\nEfficiency (img/s per 100 W drawn, mean across budgets):\n");
+  std::vector<double> efficiency(kinds.size(), 0.0);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    for (const Point& p : frontier[k]) {
+      efficiency[k] += 100.0 * p.throughput / p.power;
+    }
+    efficiency[k] /= static_cast<double>(frontier[k].size());
+    std::printf("  %-16s %.2f\n", kinds[k].c_str(), efficiency[k]);
+  }
+
+  std::printf("\nShape checks:\n");
+  std::printf("  CapGPU dominates both baselines at every budget: %s\n",
+              [&] {
+                for (std::size_t i = 0; i < frontier[2].size(); ++i) {
+                  if (frontier[2][i].throughput <
+                          frontier[0][i].throughput ||
+                      frontier[2][i].throughput < frontier[1][i].throughput) {
+                    return false;
+                  }
+                }
+                return true;
+              }()
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  batching extends the frontier further:           %s\n",
+              efficiency[3] > efficiency[2] ? "PASS" : "FAIL");
+  std::printf("  throughput rises with budget (CapGPU monotone):  %s\n",
+              [&] {
+                for (std::size_t i = 1; i < frontier[2].size(); ++i) {
+                  if (frontier[2][i].throughput <
+                      frontier[2][i - 1].throughput - 1.0) {
+                    return false;
+                  }
+                }
+                return true;
+              }()
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table 1 (paper Sec 3.2): end-to-end performance of the
+// GoogLeNet pipeline on the RTX 3090 workstation under three static
+// frequency configurations.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/motivation.hpp"
+#include "telemetry/table.hpp"
+
+using namespace capgpu;
+
+int main() {
+  bench::print_banner("Table 1: motivation — CPU-only vs GPU-only vs CapGPU",
+                      "paper Sec 3.2, Table 1");
+
+  const struct {
+    const char* label;
+    Megahertz cpu;
+    Megahertz gpu;
+  } configs[] = {
+      {"CPU-only", 1.1_GHz, 810_MHz},
+      {"GPU-only", 2.1_GHz, 495_MHz},
+      {"CapGPU", 1.6_GHz, 660_MHz},
+  };
+
+  telemetry::Table table("End-to-end performance under static frequencies");
+  table.set_header({"Config", "CPU GHz", "GPU MHz", "Preproc s/img",
+                    "GPU s/batch", "Queue s/img", "Thr img/s", "Power W"});
+
+  std::vector<core::MotivationRow> rows;
+  for (const auto& cfg : configs) {
+    rows.push_back(core::run_motivation_config(cfg.label, cfg.cpu, cfg.gpu));
+    const auto& r = rows.back();
+    table.add_row({r.label, telemetry::fmt(r.cpu_ghz, 1),
+                   telemetry::fmt(r.gpu_mhz, 0),
+                   telemetry::fmt(r.preprocess_s_per_img, 2),
+                   telemetry::fmt(r.gpu_s_per_batch, 2),
+                   telemetry::fmt(r.queue_s_per_img, 2),
+                   telemetry::fmt(r.throughput_img_s, 2),
+                   telemetry::fmt(r.power_w, 1)});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper reference rows (RTX 3090 testbed): throughput 5.3 / 5.9 / 6.4 "
+      "img/s, power 406 / 421 / 415 W.\n");
+  std::printf("Shape checks:\n");
+  std::printf("  CapGPU highest throughput: %s\n",
+              (rows[2].throughput_img_s > rows[1].throughput_img_s &&
+               rows[1].throughput_img_s > rows[0].throughput_img_s)
+                  ? "PASS (CapGPU > GPU-only > CPU-only)"
+                  : "FAIL");
+  std::printf("  CapGPU lowest queue delay: %s\n",
+              (rows[2].queue_s_per_img < rows[0].queue_s_per_img &&
+               rows[2].queue_s_per_img < rows[1].queue_s_per_img)
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  CPU-only cheapest power:   %s\n",
+              (rows[0].power_w < rows[1].power_w &&
+               rows[0].power_w < rows[2].power_w)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

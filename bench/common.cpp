@@ -1,0 +1,94 @@
+#include "common.hpp"
+
+#include "telemetry/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+namespace capgpu::bench {
+
+const control::IdentifiedModel& testbed_model() {
+  static const control::IdentifiedModel model = [] {
+    core::ServerRig rig;
+    control::IdentifiedModel m = rig.identify();
+    std::printf("[setup] system identification: R^2=%.4f rmse=%.2f W  A=[",
+                m.r_squared, m.rmse_watts);
+    for (std::size_t j = 0; j < m.model.device_count(); ++j) {
+      std::printf("%s%.4f", j ? ", " : "", m.model.gain(j));
+    }
+    std::printf("] C=%.1f W\n", m.model.offset());
+    return m;
+  }();
+  return model;
+}
+
+core::CapGpuController make_capgpu(core::ServerRig& rig, Watts set_point) {
+  return core::CapGpuController(core::CapGpuConfig{}, rig.device_ranges(),
+                                testbed_model().model, set_point,
+                                rig.latency_models());
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=============================================================\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "=============================================================\n";
+}
+
+void print_strip(const std::string& label, const telemetry::TimeSeries& ts,
+                 double lo, double hi, std::size_t periods_per_char) {
+  static constexpr const char* kGlyphs[] = {"_", ".", "-", "~", "+", "*",
+                                            "#", "@"};
+  std::string strip;
+  for (std::size_t i = 0; i < ts.size(); i += periods_per_char) {
+    double v = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = i; k < std::min(i + periods_per_char, ts.size());
+         ++k) {
+      v += ts.value_at(k);
+      ++n;
+    }
+    v /= static_cast<double>(n);
+    const double t = std::clamp((v - lo) / (hi - lo), 0.0, 0.999);
+    strip += kGlyphs[static_cast<std::size_t>(t * 8.0)];
+  }
+  std::printf("  %-22s [%7.1f..%7.1f] %s\n", label.c_str(), lo, hi,
+              strip.c_str());
+}
+
+void print_power_summary(const std::string& name, const core::RunResult& res,
+                         double set_point_watts, std::size_t skip) {
+  const auto s = res.steady_power(skip);
+  const telemetry::CappingAudit audit = telemetry::audit_capping(
+      res.power, Watts{set_point_watts}, 4.0, 5.0, skip);
+  std::printf(
+      "  %-22s mean=%7.1f W  err=%+6.1f W  std=%5.1f W  max=%7.1f W  "
+      "violations=%zu (worst %+.1f W, streak %zu, %.0f J over cap)\n",
+      name.c_str(), s.mean(), s.mean() - set_point_watts, s.stddev(), s.max(),
+      audit.violation_samples, audit.worst_excess_watts,
+      audit.longest_streak, audit.excess_joules);
+}
+
+double steady_mean(const telemetry::TimeSeries& ts, std::size_t skip) {
+  return ts.stats_from(skip).mean();
+}
+
+void export_result_csv(const std::string& name, const core::RunResult& res) {
+  try {
+    std::filesystem::create_directories("results");
+    const std::string path = "results/" + name + ".csv";
+    std::vector<const telemetry::TimeSeries*> series{&res.power,
+                                                     &res.set_point};
+    for (const auto& f : res.device_freqs) series.push_back(&f);
+    for (const auto& t : res.gpu_throughput) series.push_back(&t);
+    for (const auto& l : res.gpu_latency) series.push_back(&l);
+    for (const auto& s : res.gpu_slo) series.push_back(&s);
+    telemetry::save_series_csv(path, series);
+    std::printf("  [csv] %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("  [csv] export skipped: %s\n", e.what());
+  }
+}
+
+}  // namespace capgpu::bench

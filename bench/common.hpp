@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench reproduces one table or figure from the paper: it builds the
+// simulated testbed, drives the controllers, and prints the same rows or
+// series the paper reports. Traces are rendered as compact ASCII so the
+// figure "shape" is visible in terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/controller_iface.hpp"
+#include "control/sysid.hpp"
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+#include "telemetry/audit.hpp"
+#include "telemetry/table.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace capgpu::bench {
+
+/// Pole used by every proportional baseline (chosen, as in the paper, to
+/// minimise oscillation while converging quickly).
+inline constexpr double kBaselinePole = 0.3;
+
+/// Identified power model of the default 3-GPU testbed. Runs the paper's
+/// sysid sweep once and caches the result for the whole process.
+[[nodiscard]] const control::IdentifiedModel& testbed_model();
+
+/// Builds a CapGPU controller wired to `rig` with the cached model.
+[[nodiscard]] core::CapGpuController make_capgpu(core::ServerRig& rig,
+                                                 Watts set_point);
+
+/// Prints a header line for a bench.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// Renders a time series as an ASCII strip chart: one row of symbols, value
+/// range shown on the left. `periods_per_char` compresses long runs.
+void print_strip(const std::string& label, const telemetry::TimeSeries& ts,
+                 double lo, double hi, std::size_t periods_per_char = 1);
+
+/// Prints steady-state stats of a run's power trace (paper convention:
+/// skip the first 20 of 100 periods).
+void print_power_summary(const std::string& name, const core::RunResult& res,
+                         double set_point_watts, std::size_t skip = 20);
+
+/// Convenience: mean over the steady tail of a series.
+[[nodiscard]] double steady_mean(const telemetry::TimeSeries& ts,
+                                 std::size_t skip);
+
+/// Writes a run's full trace set (power, set point, per-device clocks,
+/// per-stream throughput/latency) to results/<name>.csv next to the bench
+/// binary, for external plotting. Prints the path written. Failures to
+/// create the directory are reported, not fatal (benches must run
+/// read-only too).
+void export_result_csv(const std::string& name, const core::RunResult& res);
+
+}  // namespace capgpu::bench

@@ -1,0 +1,47 @@
+// Shared SLO schedule for the Fig 8/9 benches (paper Sec 6.4).
+//
+// The paper derives SLO levels from tail latencies: an "X% tail" SLO is the
+// latency achieved at the clock sitting X% from the top of the frequency
+// range (tighter tail => higher required clock). All workloads start at the
+// 50% tail; at control period 14 the tasks on GPU 1 and GPU 2 relax to the
+// 80% tail while GPU 0 tightens to the 30% tail.
+#pragma once
+
+#include "core/rig.hpp"
+#include "workload/latency_law.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace capgpu::bench {
+
+/// SLO for `model` at the given tail fraction (0.3 = tight, 0.8 = loose).
+[[nodiscard]] inline double slo_for_tail(const workload::ModelSpec& model,
+                                         double tail) {
+  const double span = 1350.0 - 435.0;
+  const double f = 435.0 + (1.0 - tail) * span;
+  return workload::latency_at(model.e_min_batch_s, model.gpu_f_max,
+                              Megahertz{f}, model.gamma);
+}
+
+/// The Fig 8/9 schedule applied to RunOptions: 50% tail everywhere, then at
+/// period 14 GPU 0 tightens to 30% tail and GPUs 1-2 relax to 80% tail.
+inline void apply_slo_schedule(core::RunOptions& opt) {
+  const auto models = workload::v100_testbed_models();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    opt.initial_slos[i + 1] = slo_for_tail(models[i], 0.5);
+  }
+  opt.slo_changes.emplace_back(14, 1, slo_for_tail(models[0], 0.3));
+  opt.slo_changes.emplace_back(14, 2, slo_for_tail(models[1], 0.8));
+  opt.slo_changes.emplace_back(14, 3, slo_for_tail(models[2], 0.8));
+}
+
+/// Per-GPU miss rates over the run, printed as one line.
+inline void print_miss_rates(const std::string& name,
+                             const core::RunResult& res) {
+  std::printf("  %-18s deadline miss rate: ResNet50 %.1f%%  Swin-T %.1f%%  "
+              "VGG16 %.1f%%\n",
+              name.c_str(), 100.0 * res.slo_misses[0].ratio(),
+              100.0 * res.slo_misses[1].ratio(),
+              100.0 * res.slo_misses[2].ratio());
+}
+
+}  // namespace capgpu::bench

@@ -1,0 +1,143 @@
+// Scenario: hierarchical power capping — data center > racks > servers.
+//
+// The paper's motivation is facility-level oversubscription; production
+// systems (SHIP, Dynamo) cap hierarchically: a facility coordinator divides
+// the PDU budget among racks, each rack divides among its servers, and
+// every server runs CapGPU. This example builds two racks of three servers
+// (six simulated GPU servers, 18 V100s) under a 5.2 kW facility budget and
+// exercises both tiers:
+//   - tier 1: the facility re-divides across racks by aggregate demand
+//     (reusing rack::proportional_allocation),
+//   - tier 2: each rack::RackCoordinator re-divides across its servers,
+//   - a demand shift mid-run (rack 0's load drops to 30%) moves budget
+//     across racks within a minute of simulated time.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/capgpu_controller.hpp"
+#include "core/control_loop.hpp"
+#include "core/rig.hpp"
+#include "rack/coordinator.hpp"
+
+using namespace capgpu;
+
+namespace {
+
+struct Server {
+  std::unique_ptr<core::ServerRig> rig;
+  std::unique_ptr<core::CapGpuController> controller;
+  std::unique_ptr<core::ControlLoop> loop;
+};
+
+struct Rack {
+  std::string name;
+  std::vector<Server> servers;
+  std::unique_ptr<rack::RackCoordinator> coordinator;
+
+  [[nodiscard]] double demand() const {
+    double d = 0.0;
+    for (const auto& s : servers) d += s.rig->gpu_demand();
+    return d / static_cast<double>(servers.size());
+  }
+  [[nodiscard]] double power() const { return coordinator->total_power(); }
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kFacilityBudget = 5200.0;
+  constexpr std::size_t kPeriods = 120;
+
+  std::vector<Rack> racks;
+  for (std::size_t r = 0; r < 2; ++r) {
+    Rack rack_obj;
+    rack_obj.name = "rack-" + std::to_string(r);
+    rack_obj.coordinator = std::make_unique<rack::RackCoordinator>(
+        Watts{kFacilityBudget / 2.0}, rack::RackPolicy::kDemandProportional);
+    for (std::size_t s = 0; s < 3; ++s) {
+      Server srv;
+      core::RigConfig cfg;
+      cfg.seed = 10 * r + s + 1;
+      // Rack 0 starts saturated and later drops to 30% offered load;
+      // rack 1 stays saturated throughout.
+      if (r == 0) {
+        cfg.offered_load = {{0.0, 1.0}, {240.0, 0.30}};
+      }
+      srv.rig = std::make_unique<core::ServerRig>(cfg);
+      const auto identified = srv.rig->identify();
+      srv.controller = std::make_unique<core::CapGpuController>(
+          core::CapGpuConfig{}, srv.rig->device_ranges(), identified.model,
+          Watts{kFacilityBudget / 6.0}, srv.rig->latency_models());
+      auto* rig_ptr = srv.rig.get();
+      srv.loop = std::make_unique<core::ControlLoop>(
+          srv.rig->engine(), srv.rig->hal(), srv.rig->rapl(), *srv.controller,
+          core::ControlLoopConfig{},
+          [rig_ptr] { return rig_ptr->normalized_throughputs(); });
+      srv.loop->start();
+
+      rack::ServerEndpoint ep;
+      ep.name = rack_obj.name + "/server-" + std::to_string(s);
+      auto* ctl = srv.controller.get();
+      auto* loop = srv.loop.get();
+      ep.set_budget = [ctl](Watts w) { ctl->set_set_point(w); };
+      ep.measured_power = [loop] {
+        return loop->power_trace().empty()
+                   ? 0.0
+                   : loop->power_trace().values().back();
+      };
+      ep.demand = [rig_ptr] { return rig_ptr->gpu_demand(); };
+      ep.bounds = {700.0, 1200.0};
+      rack_obj.coordinator->add_server(std::move(ep));
+      rack_obj.servers.push_back(std::move(srv));
+    }
+    racks.push_back(std::move(rack_obj));
+  }
+
+  std::printf("facility budget %.0f W over %zu racks x %zu servers\n\n",
+              kFacilityBudget, racks.size(), racks[0].servers.size());
+  std::printf("period | facility W | rack0 W (budget) | rack1 W (budget)\n");
+
+  std::vector<double> rack_budgets(racks.size(), kFacilityBudget / 2.0);
+  for (std::size_t k = 1; k <= kPeriods; ++k) {
+    for (auto& rack_obj : racks) {
+      for (auto& s : rack_obj.servers) {
+        s.rig->engine().run_until(s.rig->engine().now() + 4.0);
+      }
+    }
+    // Tier 1: facility re-divides across racks every 10 periods.
+    if (k % 10 == 0) {
+      std::vector<rack::AllocationBounds> bounds(racks.size(),
+                                                 {2100.0, 3600.0});
+      std::vector<double> weights;
+      for (const auto& rack_obj : racks) weights.push_back(rack_obj.demand());
+      rack_budgets =
+          rack::proportional_allocation(kFacilityBudget, bounds, weights);
+      for (std::size_t r = 0; r < racks.size(); ++r) {
+        racks[r].coordinator->set_rack_budget(Watts{rack_budgets[r]});
+      }
+    }
+    // Tier 2: each rack re-divides across its servers every 5 periods.
+    if (k % 5 == 0) {
+      for (auto& rack_obj : racks) (void)rack_obj.coordinator->rebalance();
+    }
+
+    if (k % 15 == 0) {
+      const double total = racks[0].power() + racks[1].power();
+      std::printf("%6zu | %10.1f | %8.1f (%5.0f) | %8.1f (%5.0f)\n", k, total,
+                  racks[0].power(), rack_budgets[0], racks[1].power(),
+                  rack_budgets[1]);
+    }
+  }
+
+  std::printf("\nafter rack 0's load drop (period 60+), the facility moved "
+              "budget to rack 1:\n");
+  std::printf("  rack budgets: %.0f / %.0f W (started 2600/2600)\n",
+              rack_budgets[0], rack_budgets[1]);
+  const double total = racks[0].power() + racks[1].power();
+  std::printf("  facility power %.1f W of %.0f W\n", total, kFacilityBudget);
+  for (auto& rack_obj : racks) {
+    for (auto& s : rack_obj.servers) s.loop->stop();
+  }
+  return 0;
+}

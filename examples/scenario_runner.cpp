@@ -1,0 +1,172 @@
+// Scenario runner: drive any controller against the simulated testbed from
+// the command line and export the traces as CSV.
+//
+//   scenario_runner [--controller=capgpu|gpu-only|cpu-only|cpu+gpu|
+//                     fixed-step|safe-fixed-step]
+//                   [--set-point=900] [--periods=100] [--gpus=3]
+//                   [--seed=1] [--gpu-share=0.6] [--step-mult=1]
+//                   [--slo1=0.5 --slo2=0.8 --slo3=0.7]   (seconds, per GPU)
+//                   [--adaptive] [--batching] [--open-load=0.6]
+//                   [--csv=trace.csv] [--quiet]
+//
+// Examples:
+//   scenario_runner --controller=capgpu --set-point=950 --csv=capgpu.csv
+//   scenario_runner --controller=gpu-only --set-point=1100 --periods=200
+//   scenario_runner --controller=capgpu --slo1=0.45 --batching
+#include <cstdio>
+#include <memory>
+
+#include "baselines/cpu_only.hpp"
+#include "baselines/cpu_plus_gpu.hpp"
+#include "baselines/fixed_step.hpp"
+#include "baselines/gpu_only.hpp"
+#include "baselines/safe_fixed_step.hpp"
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "core/batching.hpp"
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+#include "telemetry/csv.hpp"
+
+using namespace capgpu;
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> known{
+      "controller", "set-point", "periods", "gpus",    "seed",
+      "gpu-share",  "step-mult", "slo1",    "slo2",    "slo3",
+      "adaptive",   "batching",  "open-load", "csv",   "quiet", "help"};
+  std::unique_ptr<Options> opts;
+  try {
+    opts = std::make_unique<Options>(argc, argv, known);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (opts->get_flag("help")) {
+    std::printf("see the header of examples/scenario_runner.cpp\n");
+    return 0;
+  }
+
+  const std::string kind = opts->get_string("controller", "capgpu");
+  const Watts set_point{opts->get_double("set-point", 900.0)};
+  const auto periods = static_cast<std::size_t>(opts->get_long("periods", 100));
+  const auto n_gpus = static_cast<std::size_t>(opts->get_long("gpus", 3));
+  const bool quiet = opts->get_flag("quiet");
+
+  core::RigConfig rig_cfg;
+  rig_cfg.seed = static_cast<std::uint64_t>(opts->get_long("seed", 1));
+  if (n_gpus != 3) {
+    // Cycle the paper's three models across the requested GPU count.
+    const auto zoo = workload::v100_testbed_models();
+    rig_cfg.models.clear();
+    for (std::size_t i = 0; i < n_gpus; ++i) {
+      rig_cfg.models.push_back(zoo[i % zoo.size()]);
+    }
+  }
+  if (opts->has("open-load")) {
+    rig_cfg.offered_load = {{0.0, opts->get_double("open-load", 0.6)}};
+  }
+  core::ServerRig rig(rig_cfg);
+
+  if (!quiet) std::printf("identifying the power model...\n");
+  const control::IdentifiedModel identified = rig.identify();
+  if (!quiet) {
+    std::printf("  R^2 = %.4f, gains:", identified.r_squared);
+    for (std::size_t j = 0; j < identified.model.device_count(); ++j) {
+      std::printf(" %.4f", identified.model.gain(j));
+    }
+    std::printf(", C = %.1f W\n", identified.model.offset());
+  }
+
+  core::RunOptions run;
+  run.periods = periods;
+  run.set_point = set_point;
+  for (std::size_t i = 1; i <= std::min<std::size_t>(n_gpus, 3); ++i) {
+    const std::string key = "slo" + std::to_string(i);
+    if (opts->has(key)) {
+      run.initial_slos[i] = opts->get_double(key, 0.0);
+    }
+  }
+
+  std::unique_ptr<baselines::IServerPowerController> controller;
+  std::unique_ptr<core::BatchingGovernor> governor;
+  const auto devices = rig.device_ranges();
+  if (kind == "capgpu") {
+    core::CapGpuConfig cfg;
+    cfg.adaptive = opts->get_flag("adaptive");
+    auto capgpu = std::make_unique<core::CapGpuController>(
+        cfg, devices, identified.model, set_point, rig.latency_models());
+    if (opts->get_flag("batching")) {
+      std::vector<workload::InferenceStream*> streams;
+      for (std::size_t i = 0; i < rig.gpu_count(); ++i) {
+        streams.push_back(&rig.stream(i));
+      }
+      governor = std::make_unique<core::BatchingGovernor>(
+          rig.engine(), std::move(streams), *capgpu);
+      governor->start();
+    }
+    controller = std::move(capgpu);
+  } else if (kind == "gpu-only") {
+    controller = std::make_unique<baselines::GpuOnlyController>(
+        devices, identified.model, 0.3, set_point);
+  } else if (kind == "cpu-only") {
+    controller = std::make_unique<baselines::CpuOnlyController>(
+        devices, identified.model, 0.3, set_point);
+  } else if (kind == "cpu+gpu") {
+    controller = std::make_unique<baselines::CpuPlusGpuController>(
+        devices, identified.model, 0.3, set_point,
+        opts->get_double("gpu-share", 0.6));
+  } else if (kind == "fixed-step" || kind == "safe-fixed-step") {
+    baselines::FixedStepConfig cfg;
+    cfg.step_multiplier = static_cast<int>(opts->get_long("step-mult", 1));
+    if (kind == "fixed-step") {
+      controller = std::make_unique<baselines::FixedStepController>(
+          cfg, devices, set_point);
+    } else {
+      const double margin =
+          baselines::SafeFixedStepController::estimate_margin(
+              identified.model, devices, cfg);
+      controller = std::make_unique<baselines::SafeFixedStepController>(
+          cfg, devices, set_point, margin);
+    }
+  } else {
+    std::fprintf(stderr, "unknown controller '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  if (!quiet) {
+    std::printf("running %s for %zu periods at %.0f W...\n",
+                controller->name().c_str(), periods, set_point.value);
+  }
+  const core::RunResult res = rig.run(*controller, run);
+
+  const auto steady = res.steady_power(periods / 5);
+  std::printf("%s @ %.0f W: mean %.1f W (std %.1f, max %.1f), "
+              "violations(>cap+5W) %zu\n",
+              controller->name().c_str(), set_point.value, steady.mean(),
+              steady.stddev(), steady.max(),
+              res.power.count_above(set_point.value + 5.0, periods / 5));
+  double total_thr = 0.0;
+  for (std::size_t i = 0; i < rig.gpu_count(); ++i) {
+    total_thr += res.gpu_throughput[i].stats_from(periods / 5).mean();
+  }
+  std::printf("GPU throughput %.1f img/s, CPU %.0f subsets/s\n", total_thr,
+              res.cpu_throughput.stats_from(periods / 5).mean());
+  for (const auto& [device, slo] : run.initial_slos) {
+    std::printf("SLO %.3f s on GPU %zu: miss rate %.1f%%\n", slo, device - 1,
+                100.0 * res.slo_misses[device - 1].ratio());
+  }
+
+  if (opts->has("csv")) {
+    const std::string path = opts->get_string("csv", "trace.csv");
+    std::vector<const telemetry::TimeSeries*> series{&res.power,
+                                                     &res.set_point};
+    for (const auto& f : res.device_freqs) series.push_back(&f);
+    for (const auto& t : res.gpu_throughput) series.push_back(&t);
+    for (const auto& l : res.gpu_latency) series.push_back(&l);
+    telemetry::save_series_csv(path, series);
+    std::printf("trace written to %s (%zu columns x %zu periods)\n",
+                path.c_str(), series.size() + 1, res.power.size());
+  }
+  return 0;
+}

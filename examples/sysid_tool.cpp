@@ -1,0 +1,72 @@
+// Commissioning tool: characterise a GPU server before enabling CapGPU.
+//
+// Runs the two calibration procedures an operator performs once per
+// hardware configuration:
+//   1. power-model identification (paper Sec 4.2, Fig 2a) — the frequency
+//      sweep and least-squares fit, with a residual report, and
+//   2. latency-model fitting (Eq. 8, Fig 2b) — per-model (e_min, gamma)
+//      from measured batch latencies across GPU clocks,
+// then prints the derived controller inputs: gains, offsets, stability
+// margin, and the SLO->frequency lookup each model supports.
+#include <cstdio>
+
+#include "control/stability.hpp"
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+
+using namespace capgpu;
+
+int main() {
+  core::ServerRig rig;
+
+  std::printf("== step 1: power model identification ==\n");
+  core::IdentifyOptions sweep;
+  sweep.levels_per_device = 8;
+  const control::IdentifiedModel identified = rig.identify(sweep);
+  std::printf("  samples: %zu   R^2: %.4f   RMSE: %.2f W\n", identified.samples,
+              identified.r_squared, identified.rmse_watts);
+  std::printf("  gains (W/MHz):");
+  for (std::size_t j = 0; j < identified.model.device_count(); ++j) {
+    std::printf(" %s=%.4f", j == 0 ? "cpu" : "gpu", identified.model.gain(j));
+  }
+  std::printf("\n  static offset: %.1f W\n", identified.model.offset());
+
+  std::printf("\n== step 2: latency models ==\n");
+  auto& engine = rig.engine();
+  auto& hal = rig.hal();
+  hal.set_device_frequency(DeviceId{0}, 2.4_GHz);
+  for (std::size_t i = 0; i < rig.gpu_count(); ++i) {
+    std::vector<control::LatencySample> samples;
+    for (double f = 435.0; f <= 1350.0; f += 90.0) {
+      hal.set_device_frequency(DeviceId{static_cast<std::uint32_t>(i + 1)},
+                               Megahertz{f});
+      engine.run_until(engine.now() + 4.0);
+      const double t0 = engine.now();
+      engine.run_until(t0 + 20.0);
+      samples.push_back(
+          {Megahertz{f}, rig.stream(i).batch_latency().mean(engine.now(), 20.0)});
+    }
+    const control::LatencyFit fit =
+        control::fit_latency_model(samples, 1350_MHz);
+    std::printf("  %-9s e_min=%.3f s  gamma=%.3f  (R^2=%.4f)\n",
+                rig.stream(i).model().name.c_str(), fit.model.e_min(),
+                fit.model.gamma(), fit.r_squared);
+    // SLO -> minimum frequency lookup the operator can sanity-check.
+    for (const double slo_mult : {1.1, 1.5, 2.0}) {
+      const double slo = fit.model.e_min() * slo_mult;
+      std::printf("      SLO %.3f s -> f >= %6.1f MHz\n", slo,
+                  fit.model.min_frequency_for_slo(slo).value);
+    }
+  }
+
+  std::printf("\n== step 3: stability margin of the resulting loop ==\n");
+  control::MpcController mpc(control::MpcConfig{}, rig.device_ranges(),
+                             identified.model, 900_W);
+  const double g_max = control::max_stable_uniform_gain(mpc, identified.model);
+  std::printf("  loop remains stable for plant gains up to %.1fx the "
+              "identified values\n",
+              g_max);
+  std::printf("  (re-run identification if the workload changes by more "
+              "than that)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full repository check: configure, build, run the test suite, then every
+# bench (each bench prints PASS/FAIL shape checks; any FAIL fails this
+# script). Mirrors what CI should run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+status=0
+for b in build/bench/*; do
+  [ -x "$b" ] && [ ! -d "$b" ] || continue
+  echo "==== $(basename "$b")"
+  out=$("$b" --benchmark_min_time=0.05 2>&1) || status=1
+  echo "$out"
+  if grep -q FAIL <<<"$out"; then
+    echo "^^^ shape-check FAIL in $(basename "$b")"
+    status=1
+  fi
+done
+
+for e in build/examples/*; do
+  [ -x "$e" ] && [ ! -d "$e" ] || continue
+  echo "==== example $(basename "$e")"
+  "$e" >/dev/null || status=1
+done
+
+exit $status

@@ -1,0 +1,54 @@
+#include "baselines/controller_iface.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+
+void IServerPowerController::set_slo(std::size_t /*device*/,
+                                     double /*slo_seconds*/) {
+  // Default: no SLO support (baseline behaviour).
+}
+
+std::vector<control::DeviceRange> validate_devices(
+    std::vector<control::DeviceRange> devices) {
+  CAPGPU_REQUIRE(devices.size() >= 2,
+                 "need a CPU and at least one GPU device");
+  CAPGPU_REQUIRE(devices[0].kind == DeviceKind::kCpu,
+                 "device 0 must be a CPU");
+  // CPUs first, GPUs after: one transition, at least one of each.
+  std::size_t transition = devices.size();
+  for (std::size_t j = 1; j < devices.size(); ++j) {
+    if (devices[j].kind == DeviceKind::kGpu) {
+      transition = std::min(transition, j);
+    } else {
+      CAPGPU_REQUIRE(transition == devices.size(),
+                     "CPU devices must precede all GPU devices");
+    }
+  }
+  CAPGPU_REQUIRE(transition < devices.size(),
+                 "need at least one GPU device");
+  return devices;
+}
+
+std::size_t cpu_count(const std::vector<control::DeviceRange>& devices) {
+  std::size_t n = 0;
+  while (n < devices.size() && devices[n].kind == DeviceKind::kCpu) ++n;
+  return n;
+}
+
+control::DeviceRange shared_range(
+    const std::vector<control::DeviceRange>& devices, std::size_t first,
+    std::size_t last) {
+  CAPGPU_REQUIRE(first < last && last <= devices.size(),
+                 "invalid shared-range span");
+  control::DeviceRange out = devices[first];
+  for (std::size_t j = first + 1; j < last; ++j) {
+    out.f_min_mhz = std::max(out.f_min_mhz, devices[j].f_min_mhz);
+    out.f_max_mhz = std::min(out.f_max_mhz, devices[j].f_max_mhz);
+  }
+  CAPGPU_REQUIRE(out.f_min_mhz < out.f_max_mhz,
+                 "shared devices have disjoint frequency ranges");
+  return out;
+}
+
+}  // namespace capgpu::baselines

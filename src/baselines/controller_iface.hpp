@@ -1,0 +1,70 @@
+// Common interface every server power controller implements.
+//
+// The control loop (core/control_loop) feeds each controller the same
+// observations the paper's loop provides (Sec 3.1): average server power
+// over the last period, per-device utilization and normalized throughput,
+// and per-domain power readings (RAPL/NVML) for baselines that need them.
+// Controllers answer with fractional frequency commands per device
+// (0 = CPU, 1.. = GPUs); the loop resolves them to discrete levels through
+// the delta-sigma modulators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "control/mpc.hpp"
+
+namespace capgpu::baselines {
+
+/// Observations for one control period.
+struct ControlInputs {
+  Watts measured_power;                      ///< avg over the last period
+  std::vector<double> utilization;           ///< per device, [0,1]
+  std::vector<double> normalized_throughput; ///< per device, [0,1]
+  std::vector<double> device_power_watts;    ///< per device (RAPL / NVML)
+};
+
+/// New fractional frequency commands, per device.
+struct ControlOutputs {
+  std::vector<double> target_freqs_mhz;
+};
+
+/// A server-level power-capping policy.
+class IServerPowerController {
+ public:
+  virtual ~IServerPowerController() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void set_set_point(Watts p) = 0;
+  [[nodiscard]] virtual Watts set_point() const = 0;
+
+  /// One control period. `current_freqs_mhz` are the loop's current
+  /// fractional commands (same layout as the outputs).
+  [[nodiscard]] virtual ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) = 0;
+
+  /// SLO update for the task on `device` (a GPU id). Baselines that cannot
+  /// honour SLOs ignore this (the paper shows exactly that in Fig 8).
+  virtual void set_slo(std::size_t device, double slo_seconds);
+};
+
+/// Shared helper: validates the paper's device layout — N_c >= 1 CPU
+/// devices first, then N_g >= 1 GPU devices (F = [f_c1..f_cNc,
+/// f_g1..f_gNg], Eq. 3/4).
+[[nodiscard]] std::vector<control::DeviceRange> validate_devices(
+    std::vector<control::DeviceRange> devices);
+
+/// Number of leading CPU devices in a validated layout.
+[[nodiscard]] std::size_t cpu_count(
+    const std::vector<control::DeviceRange>& devices);
+
+/// Intersection of the frequency ranges of devices [first, last): the
+/// range of a command shared across them (the single-knob baselines).
+[[nodiscard]] control::DeviceRange shared_range(
+    const std::vector<control::DeviceRange>& devices, std::size_t first,
+    std::size_t last);
+
+}  // namespace capgpu::baselines

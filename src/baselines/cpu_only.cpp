@@ -1,0 +1,55 @@
+#include "baselines/cpu_only.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+
+namespace {
+control::PControllerConfig cpu_config(
+    const std::vector<control::DeviceRange>& devices,
+    const control::LinearPowerModel& model, double pole) {
+  CAPGPU_REQUIRE(model.device_count() == devices.size(),
+                 "model does not match device list");
+  const std::size_t n_cpu = cpu_count(devices);
+  control::PControllerConfig cfg;
+  cfg.pole = pole;
+  // One shared DVFS command across all CPU packages (how server-level
+  // capping traditionally actuates): gain is the sum of the CPU gains.
+  cfg.gain_w_per_mhz = 0.0;
+  for (std::size_t j = 0; j < n_cpu; ++j) {
+    cfg.gain_w_per_mhz += model.gain(j);
+  }
+  const control::DeviceRange span = shared_range(devices, 0, n_cpu);
+  cfg.f_min_mhz = span.f_min_mhz;
+  cfg.f_max_mhz = span.f_max_mhz;
+  return cfg;
+}
+}  // namespace
+
+CpuOnlyController::CpuOnlyController(
+    std::vector<control::DeviceRange> devices,
+    const control::LinearPowerModel& model, double pole, Watts set_point)
+    : devices_(validate_devices(std::move(devices))),
+      p_(cpu_config(devices_, model, pole)),
+      set_point_(set_point) {}
+
+ControlOutputs CpuOnlyController::control(
+    const ControlInputs& inputs, const std::vector<double>& current_freqs_mhz) {
+  CAPGPU_REQUIRE(current_freqs_mhz.size() == devices_.size(),
+                 "frequency vector size mismatch");
+  ControlOutputs out;
+  out.target_freqs_mhz.resize(devices_.size());
+  const std::size_t n_cpu = cpu_count(devices_);
+  const double shared =
+      p_.step(inputs.measured_power, set_point_, current_freqs_mhz[0]);
+  for (std::size_t j = 0; j < n_cpu; ++j) {
+    out.target_freqs_mhz[j] = shared;
+  }
+  // GPUs pinned at max: the traditional capper cannot touch them.
+  for (std::size_t j = n_cpu; j < devices_.size(); ++j) {
+    out.target_freqs_mhz[j] = devices_[j].f_max_mhz;
+  }
+  return out;
+}
+
+}  // namespace capgpu::baselines

@@ -1,0 +1,38 @@
+// CPU-Only baseline (paper Sec 6.1, baseline 3; after IBM server-level
+// power control [14]).
+//
+// The traditional power-capping approach: a proportional controller with a
+// pole-placement gain actuates only the CPU DVFS knob; all GPUs run at their
+// maximum clock. On GPU servers the controllable range is a small fraction
+// of total power, which is exactly the infeasibility the paper demonstrates
+// (Fig 3).
+#pragma once
+
+#include "baselines/controller_iface.hpp"
+#include "control/p_controller.hpp"
+#include "control/power_model.hpp"
+
+namespace capgpu::baselines {
+
+/// The CPU-Only proportional power capper.
+class CpuOnlyController : public IServerPowerController {
+ public:
+  CpuOnlyController(std::vector<control::DeviceRange> devices,
+                    const control::LinearPowerModel& model, double pole,
+                    Watts set_point);
+
+  [[nodiscard]] std::string name() const override { return "cpu-only"; }
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+
+  [[nodiscard]] ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) override;
+
+ private:
+  std::vector<control::DeviceRange> devices_;
+  control::PController p_;
+  Watts set_point_;
+};
+
+}  // namespace capgpu::baselines

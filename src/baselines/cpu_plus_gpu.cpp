@@ -1,0 +1,97 @@
+#include "baselines/cpu_plus_gpu.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/table.hpp"
+
+namespace capgpu::baselines {
+
+namespace {
+control::PControllerConfig cpu_cfg(
+    const std::vector<control::DeviceRange>& devices,
+    const control::LinearPowerModel& model, double pole) {
+  const std::size_t n_cpu = cpu_count(devices);
+  control::PControllerConfig cfg;
+  cfg.pole = pole;
+  cfg.gain_w_per_mhz = 0.0;
+  for (std::size_t j = 0; j < n_cpu; ++j) {
+    cfg.gain_w_per_mhz += model.gain(j);
+  }
+  const control::DeviceRange span = shared_range(devices, 0, n_cpu);
+  cfg.f_min_mhz = span.f_min_mhz;
+  cfg.f_max_mhz = span.f_max_mhz;
+  return cfg;
+}
+
+control::PControllerConfig gpu_cfg(
+    const std::vector<control::DeviceRange>& devices,
+    const control::LinearPowerModel& model, double pole) {
+  const std::size_t n_cpu = cpu_count(devices);
+  control::PControllerConfig cfg;
+  cfg.pole = pole;
+  cfg.gain_w_per_mhz = 0.0;
+  for (std::size_t j = n_cpu; j < devices.size(); ++j) {
+    cfg.gain_w_per_mhz += model.gain(j);
+  }
+  const control::DeviceRange span =
+      shared_range(devices, n_cpu, devices.size());
+  cfg.f_min_mhz = span.f_min_mhz;
+  cfg.f_max_mhz = span.f_max_mhz;
+  return cfg;
+}
+}  // namespace
+
+CpuPlusGpuController::CpuPlusGpuController(
+    std::vector<control::DeviceRange> devices,
+    const control::LinearPowerModel& model, double pole, Watts set_point,
+    double gpu_share)
+    : devices_(validate_devices(std::move(devices))),
+      cpu_loop_(cpu_cfg(devices_, model, pole)),
+      gpu_loop_(gpu_cfg(devices_, model, pole)),
+      set_point_(set_point),
+      gpu_share_(gpu_share) {
+  CAPGPU_REQUIRE(model.device_count() == devices_.size(),
+                 "model does not match device list");
+  CAPGPU_REQUIRE(gpu_share > 0.0 && gpu_share < 1.0,
+                 "gpu_share must be in (0,1)");
+}
+
+std::string CpuPlusGpuController::name() const {
+  return "cpu+gpu-" + telemetry::fmt(gpu_share_ * 100.0, 0) + "%gpu";
+}
+
+ControlOutputs CpuPlusGpuController::control(
+    const ControlInputs& inputs, const std::vector<double>& current_freqs_mhz) {
+  CAPGPU_REQUIRE(current_freqs_mhz.size() == devices_.size(),
+                 "frequency vector size mismatch");
+  CAPGPU_REQUIRE(inputs.device_power_watts.size() == devices_.size(),
+                 "per-device power feedback required");
+
+  const Watts cpu_budget{set_point_.value * (1.0 - gpu_share_)};
+  const Watts gpu_budget{set_point_.value * gpu_share_};
+
+  const std::size_t n_cpu = cpu_count(devices_);
+  double cpu_power = 0.0;
+  for (std::size_t j = 0; j < n_cpu; ++j) {
+    cpu_power += inputs.device_power_watts[j];
+  }
+  double gpu_power = 0.0;
+  for (std::size_t j = n_cpu; j < devices_.size(); ++j) {
+    gpu_power += inputs.device_power_watts[j];
+  }
+
+  ControlOutputs out;
+  out.target_freqs_mhz.resize(devices_.size());
+  const double cpu_shared = cpu_loop_.step(Watts{cpu_power}, cpu_budget,
+                                           current_freqs_mhz[0]);
+  for (std::size_t j = 0; j < n_cpu; ++j) {
+    out.target_freqs_mhz[j] = cpu_shared;
+  }
+  const double gpu_shared = gpu_loop_.step(Watts{gpu_power}, gpu_budget,
+                                           current_freqs_mhz[n_cpu]);
+  for (std::size_t j = n_cpu; j < devices_.size(); ++j) {
+    out.target_freqs_mhz[j] = gpu_shared;
+  }
+  return out;
+}
+
+}  // namespace capgpu::baselines

@@ -1,0 +1,44 @@
+// CPU+GPU split-budget baseline (paper Sec 6.1, baseline 4; after
+// PowerCoord [2]).
+//
+// The server budget is divided by a fixed ratio between the CPU domain and
+// the GPU domain; two *independent* proportional loops then cap each domain
+// against its share, using per-domain power feedback (RAPL for the CPU,
+// NVML for the GPUs). Because the chassis constant and the asymmetric
+// device ranges are not modelled, no fixed ratio makes total power converge
+// to the cap — the failure mode Fig 3/6 demonstrate.
+#pragma once
+
+#include "baselines/controller_iface.hpp"
+#include "control/p_controller.hpp"
+#include "control/power_model.hpp"
+
+namespace capgpu::baselines {
+
+/// The split-budget dual-loop capper.
+class CpuPlusGpuController : public IServerPowerController {
+ public:
+  /// `gpu_share` in (0,1): fraction of the server budget given to the GPU
+  /// loop (the paper tests 0.5 and 0.6); the CPU loop gets the rest.
+  CpuPlusGpuController(std::vector<control::DeviceRange> devices,
+                       const control::LinearPowerModel& model, double pole,
+                       Watts set_point, double gpu_share);
+
+  [[nodiscard]] std::string name() const override;
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+  [[nodiscard]] double gpu_share() const { return gpu_share_; }
+
+  [[nodiscard]] ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) override;
+
+ private:
+  std::vector<control::DeviceRange> devices_;
+  control::PController cpu_loop_;
+  control::PController gpu_loop_;
+  Watts set_point_;
+  double gpu_share_;
+};
+
+}  // namespace capgpu::baselines

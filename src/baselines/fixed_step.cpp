@@ -1,0 +1,80 @@
+#include "baselines/fixed_step.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+
+FixedStepController::FixedStepController(
+    FixedStepConfig config, std::vector<control::DeviceRange> devices,
+    Watts set_point)
+    : config_(config),
+      devices_(validate_devices(std::move(devices))),
+      set_point_(set_point) {
+  CAPGPU_REQUIRE(config_.cpu_step_mhz > 0.0 && config_.gpu_step_mhz > 0.0,
+                 "step sizes must be positive");
+  CAPGPU_REQUIRE(config_.step_multiplier >= 1,
+                 "step multiplier must be >= 1");
+}
+
+double FixedStepController::step_of(std::size_t device) const {
+  const double base = devices_[device].kind == DeviceKind::kCpu
+                          ? config_.cpu_step_mhz
+                          : config_.gpu_step_mhz;
+  return base * config_.step_multiplier;
+}
+
+std::size_t FixedStepController::pick_device(const ControlInputs& inputs,
+                                             const std::vector<double>& freqs,
+                                             bool raise) {
+  const std::size_t n = devices_.size();
+  // Collect devices that can still move in the requested direction.
+  std::vector<std::size_t> movable;
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool can = raise ? freqs[j] < devices_[j].f_max_mhz - 1e-9
+                           : freqs[j] > devices_[j].f_min_mhz + 1e-9;
+    if (can) movable.push_back(j);
+  }
+  if (movable.empty()) return n;
+
+  // Highest utilization when raising, lowest when lowering.
+  double best = raise ? -1.0 : 2.0;
+  for (const std::size_t j : movable) {
+    const double u = inputs.utilization[j];
+    if (raise ? u > best : u < best) best = u;
+  }
+  std::vector<std::size_t> tied;
+  for (const std::size_t j : movable) {
+    if (std::abs(inputs.utilization[j] - best) <= config_.tie_tolerance) {
+      tied.push_back(j);
+    }
+  }
+  CAPGPU_ASSERT(!tied.empty());
+  // Round-robin among tied devices for fairness (paper Sec 6.1).
+  const std::size_t chosen = tied[round_robin_ % tied.size()];
+  ++round_robin_;
+  return chosen;
+}
+
+ControlOutputs FixedStepController::control(
+    const ControlInputs& inputs, const std::vector<double>& current_freqs_mhz) {
+  CAPGPU_REQUIRE(current_freqs_mhz.size() == devices_.size(),
+                 "frequency vector size mismatch");
+  CAPGPU_REQUIRE(inputs.utilization.size() == devices_.size(),
+                 "utilization vector size mismatch");
+
+  ControlOutputs out;
+  out.target_freqs_mhz = current_freqs_mhz;
+  const bool raise = inputs.measured_power.value < set_point_.value;
+  const std::size_t j = pick_device(inputs, current_freqs_mhz, raise);
+  if (j == devices_.size()) return out;  // everything saturated
+
+  const double delta = raise ? step_of(j) : -step_of(j);
+  out.target_freqs_mhz[j] =
+      std::clamp(current_freqs_mhz[j] + delta, devices_[j].f_min_mhz,
+                 devices_[j].f_max_mhz);
+  return out;
+}
+
+}  // namespace capgpu::baselines

@@ -1,0 +1,60 @@
+// Fixed-step heuristic controller (paper Sec 6.1, baseline 1).
+//
+// Industry-style, model-free scheme inspired by [20]: all devices start at
+// their lowest frequency; each period the controller moves one device one
+// step — up (picking the highest-utilization device) when power is below
+// the set point, down (picking the lowest-utilization device) when above.
+// Ties break round-robin; devices pinned at a bound are skipped.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/controller_iface.hpp"
+#include "hw/frequency_table.hpp"
+
+namespace capgpu::baselines {
+
+/// Fixed-step configuration.
+struct FixedStepConfig {
+  /// One step in MHz per device kind (paper Sec 6.2: CPU 100, GPU 90).
+  double cpu_step_mhz{100.0};
+  double gpu_step_mhz{90.0};
+  /// Step-size multiplier ("stepsize 1" / "stepsize 5" in Fig 4/5).
+  int step_multiplier{1};
+  /// Utilizations within this of each other count as tied (round-robin).
+  double tie_tolerance{0.02};
+};
+
+/// The Fixed-step baseline.
+class FixedStepController : public IServerPowerController {
+ public:
+  FixedStepController(FixedStepConfig config,
+                      std::vector<control::DeviceRange> devices,
+                      Watts set_point);
+
+  [[nodiscard]] std::string name() const override { return "fixed-step"; }
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+
+  [[nodiscard]] ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) override;
+
+  [[nodiscard]] const FixedStepConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double step_of(std::size_t device) const;
+  /// Picks the device to adjust; `raise` selects the direction. Returns
+  /// device_count when no device can move in that direction.
+  [[nodiscard]] std::size_t pick_device(const ControlInputs& inputs,
+                                        const std::vector<double>& freqs,
+                                        bool raise);
+
+  FixedStepConfig config_;
+  std::vector<control::DeviceRange> devices_;
+  Watts set_point_;
+  std::size_t round_robin_{0};
+};
+
+}  // namespace capgpu::baselines

@@ -1,0 +1,39 @@
+// GPU-Only baseline (paper Sec 6.1, baseline 2; after OptimML [4]).
+//
+// A proportional controller (pole-placement gain) adjusts a *single shared*
+// frequency command applied to all GPUs, using total server power as
+// feedback. The host CPU is pinned at its maximum frequency — the paper's
+// stated limitation: the CPU's share of the budget is never reclaimed, and
+// per-GPU SLO differentiation is impossible.
+#pragma once
+
+#include "baselines/controller_iface.hpp"
+#include "control/p_controller.hpp"
+#include "control/power_model.hpp"
+
+namespace capgpu::baselines {
+
+/// The GPU-Only proportional power capper.
+class GpuOnlyController : public IServerPowerController {
+ public:
+  /// The effective plant gain of the shared GPU command is the sum of the
+  /// per-GPU gains from `model`. `pole` in [0,1) sets the closed-loop pole.
+  GpuOnlyController(std::vector<control::DeviceRange> devices,
+                    const control::LinearPowerModel& model, double pole,
+                    Watts set_point);
+
+  [[nodiscard]] std::string name() const override { return "gpu-only"; }
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+
+  [[nodiscard]] ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) override;
+
+ private:
+  std::vector<control::DeviceRange> devices_;
+  control::PController p_;
+  Watts set_point_;
+};
+
+}  // namespace capgpu::baselines

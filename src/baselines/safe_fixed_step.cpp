@@ -1,0 +1,46 @@
+#include "baselines/safe_fixed_step.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+
+SafeFixedStepController::SafeFixedStepController(
+    FixedStepConfig config, std::vector<control::DeviceRange> devices,
+    Watts set_point, double margin_watts)
+    : inner_(config, std::move(devices),
+             Watts{set_point.value - margin_watts}),
+      cap_(set_point),
+      margin_(margin_watts) {
+  CAPGPU_REQUIRE(margin_watts >= 0.0, "margin must be >= 0");
+}
+
+void SafeFixedStepController::set_set_point(Watts p) {
+  cap_ = p;
+  inner_.set_set_point(Watts{p.value - margin_});
+}
+
+ControlOutputs SafeFixedStepController::control(
+    const ControlInputs& inputs, const std::vector<double>& current_freqs_mhz) {
+  return inner_.control(inputs, current_freqs_mhz);
+}
+
+double SafeFixedStepController::estimate_margin(
+    const control::LinearPowerModel& model,
+    const std::vector<control::DeviceRange>& devices,
+    const FixedStepConfig& config) {
+  CAPGPU_REQUIRE(model.device_count() == devices.size(),
+                 "model does not match device list");
+  double margin = 0.0;
+  for (std::size_t j = 0; j < devices.size(); ++j) {
+    const double step = (devices[j].kind == DeviceKind::kCpu
+                             ? config.cpu_step_mhz
+                             : config.gpu_step_mhz) *
+                        config.step_multiplier;
+    margin = std::max(margin, model.gain(j) * step);
+  }
+  return margin;
+}
+
+}  // namespace capgpu::baselines

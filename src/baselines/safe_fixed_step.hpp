@@ -1,0 +1,48 @@
+// Safe Fixed-step (paper Sec 6.2, Fig 5).
+//
+// Fixed-step oscillates around the set point, so it violates the cap about
+// half the time. The "safe" variant targets set_point - margin, where the
+// margin is the steady-state oscillation amplitude (about one step's worth
+// of power). The paper notes this needs a priori measurement of the margin
+// and is therefore generally impractical — it serves as the best-possible
+// heuristic that (mostly) respects the cap.
+#pragma once
+
+#include "baselines/fixed_step.hpp"
+#include "control/power_model.hpp"
+
+namespace capgpu::baselines {
+
+/// Fixed-step with a safety margin below the cap.
+class SafeFixedStepController : public IServerPowerController {
+ public:
+  SafeFixedStepController(FixedStepConfig config,
+                          std::vector<control::DeviceRange> devices,
+                          Watts set_point, double margin_watts);
+
+  [[nodiscard]] std::string name() const override { return "safe-fixed-step"; }
+
+  /// External set point (the real cap); the inner controller tracks
+  /// cap - margin.
+  void set_set_point(Watts p) override;
+  [[nodiscard]] Watts set_point() const override { return cap_; }
+  [[nodiscard]] double margin_watts() const { return margin_; }
+
+  [[nodiscard]] ControlOutputs control(
+      const ControlInputs& inputs,
+      const std::vector<double>& current_freqs_mhz) override;
+
+  /// Margin estimate from the identified model: the largest power change a
+  /// single step can cause (the steady-state oscillation amplitude).
+  [[nodiscard]] static double estimate_margin(
+      const control::LinearPowerModel& model,
+      const std::vector<control::DeviceRange>& devices,
+      const FixedStepConfig& config);
+
+ private:
+  FixedStepController inner_;
+  Watts cap_;
+  double margin_;
+};
+
+}  // namespace capgpu::baselines

@@ -1,0 +1,71 @@
+// Error handling primitives shared by every CapGPU module.
+//
+// Policy (follows the C++ Core Guidelines): exceptional conditions that a
+// caller cannot reasonably be expected to handle locally throw exceptions
+// derived from `capgpu::Error`; programming errors (violated preconditions)
+// abort via CAPGPU_ASSERT so they are caught in development and tests.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace capgpu {
+
+/// Root of the CapGPU exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An argument or configuration value was outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or met a singular system.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// The requested control problem has no feasible solution (e.g. an SLO set
+/// that no frequency assignment can satisfy).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// A HAL backend failed (device unreachable, file missing, ...).
+class HalError : public Error {
+ public:
+  explicit HalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace capgpu
+
+/// Precondition check that stays enabled in release builds: simulations are
+/// cheap relative to the cost of silently corrupt control decisions.
+#define CAPGPU_ASSERT(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::capgpu::detail::assert_fail(#expr, __FILE__, __LINE__);      \
+    }                                                                \
+  } while (false)
+
+/// Throw InvalidArgument with a formatted message when `expr` is false.
+#define CAPGPU_REQUIRE(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      throw ::capgpu::InvalidArgument(std::string(msg) + " (" #expr ")"); \
+    }                                                                \
+  } while (false)

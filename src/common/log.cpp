@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace capgpu {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;
+  return sink;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_sink_mutex);
+  if (auto& sink = sink_storage()) {
+    sink(level, message);
+  } else {
+    std::cerr << "[capgpu " << level_name(level) << "] " << message << '\n';
+  }
+}
+
+}  // namespace capgpu

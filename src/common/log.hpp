@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The simulator and controllers are library code, so logging is off by
+// default and routed through a single sink that tests can capture.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace capgpu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging configuration. Thread-compatible: configure before
+/// spawning threads that log.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replaces the sink (default writes to stderr). Pass nullptr to restore
+  /// the default sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace capgpu
+
+#define CAPGPU_LOG(level)                       \
+  if (!::capgpu::Log::enabled(level)) {         \
+  } else                                        \
+    ::capgpu::detail::LogLine(level)
+
+#define CAPGPU_LOG_DEBUG CAPGPU_LOG(::capgpu::LogLevel::kDebug)
+#define CAPGPU_LOG_INFO CAPGPU_LOG(::capgpu::LogLevel::kInfo)
+#define CAPGPU_LOG_WARN CAPGPU_LOG(::capgpu::LogLevel::kWarn)
+#define CAPGPU_LOG_ERROR CAPGPU_LOG(::capgpu::LogLevel::kError)

@@ -1,0 +1,72 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu {
+
+Options::Options(int argc, const char* const* argv,
+                 const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    const std::string key = body.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string{} : body.substr(eq + 1);
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw InvalidArgument("unknown option --" + key);
+    }
+    values_[key] = value;
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Options::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    CAPGPU_REQUIRE(pos == v->size(), "trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects a number, got '" +
+                          *v + "'");
+  }
+}
+
+long Options::get_long(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long parsed = std::stol(*v, &pos);
+    CAPGPU_REQUIRE(pos == v->size(), "trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects an integer, got '" +
+                          *v + "'");
+  }
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+}  // namespace capgpu

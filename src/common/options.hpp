@@ -1,0 +1,44 @@
+// Minimal command-line option parsing for the example tools.
+//
+// Supports `--key=value` and `--flag` forms. Unknown keys throw, so typos
+// fail loudly. This is deliberately tiny — the examples need a dozen
+// options, not a framework.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace capgpu {
+
+/// Parsed `--key[=value]` options plus positional arguments.
+class Options {
+ public:
+  /// Parses argv. `known` lists every accepted key (without the leading
+  /// dashes); anything else throws InvalidArgument.
+  Options(int argc, const char* const* argv,
+          const std::vector<std::string>& known);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of --key=value; empty for bare --key; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults. Malformed numbers throw InvalidArgument.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const { return has(key); }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace capgpu

@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// All stochastic elements of the simulator (sensor noise, workload jitter,
+// trace synthesis) draw from seeded xoshiro256++ streams so that every bench
+// and test is reproducible bit-for-bit across platforms. We deliberately do
+// not use the std <random> distributions, whose outputs are
+// implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace capgpu {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64, which
+  /// guarantees a well-mixed nonzero state for any seed value.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate via the Marsaglia polar method (deterministic,
+  /// unlike std::normal_distribution).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Creates an independent stream by jumping this generator's sequence;
+  /// used to give each noise source its own decorrelated stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace capgpu

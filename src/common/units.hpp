@@ -1,0 +1,73 @@
+// Strong unit types used at API boundaries.
+//
+// Internal numerical code (linear algebra, QP) works on raw doubles; the
+// public interfaces of the HAL, hardware models, and controllers use these
+// wrappers so that a Watts value cannot be passed where MHz is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace capgpu {
+
+namespace detail {
+
+/// CRTP-free tagged quantity: a double with an incompatible-type tag.
+template <typename Tag>
+struct Quantity {
+  double value{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity{value + o.value}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{value - o.value}; }
+  constexpr Quantity operator*(double s) const { return Quantity{value * s}; }
+  constexpr Quantity operator/(double s) const { return Quantity{value / s}; }
+  constexpr double operator/(Quantity o) const { return value / o.value; }
+  constexpr Quantity& operator+=(Quantity o) { value += o.value; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { value -= o.value; return *this; }
+};
+
+template <typename Tag>
+constexpr Quantity<Tag> operator*(double s, Quantity<Tag> q) {
+  return Quantity<Tag>{s * q.value};
+}
+
+struct WattsTag {};
+struct MegahertzTag {};
+struct SecondsTag {};
+
+}  // namespace detail
+
+/// Electrical power in watts.
+using Watts = detail::Quantity<detail::WattsTag>;
+/// Clock frequency in megahertz (CPU frequencies are stored in MHz too:
+/// 2.1 GHz == Megahertz{2100}).
+using Megahertz = detail::Quantity<detail::MegahertzTag>;
+/// Durations of simulated time, in seconds.
+using Seconds = detail::Quantity<detail::SecondsTag>;
+
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Megahertz operator""_MHz(long double v) { return Megahertz{static_cast<double>(v)}; }
+constexpr Megahertz operator""_MHz(unsigned long long v) { return Megahertz{static_cast<double>(v)}; }
+constexpr Megahertz operator""_GHz(long double v) { return Megahertz{static_cast<double>(v) * 1000.0}; }
+constexpr Megahertz operator""_GHz(unsigned long long v) { return Megahertz{static_cast<double>(v) * 1000.0}; }
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds{static_cast<double>(v)}; }
+
+/// Identifier of a controllable device inside one server. Device 0 is the
+/// host CPU domain; devices 1..N_g are GPUs, mirroring the paper's
+/// F = [f_c, f_g1 ... f_gNg] ordering.
+struct DeviceId {
+  std::uint32_t index{0};
+  constexpr auto operator<=>(const DeviceId&) const = default;
+};
+
+/// Kind of a controllable device.
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+}  // namespace capgpu

@@ -1,0 +1,20 @@
+#include "control/delta_sigma.hpp"
+
+namespace capgpu::control {
+
+Megahertz DeltaSigmaModulator::step(Megahertz target,
+                                    const hw::FrequencyTable& table) {
+  const Megahertz clamped = table.clamp(target);
+  const auto [lower, upper] = table.bracket(clamped);
+  Megahertz out{0.0};
+  if (lower.value == upper.value) {
+    out = lower;  // target sits exactly on a level (or at a range end)
+  } else {
+    // Pick the level that drives the accumulated error toward zero.
+    out = (sigma_ >= 0.0) ? upper : lower;
+  }
+  sigma_ += clamped.value - out.value;
+  return out;
+}
+
+}  // namespace capgpu::control

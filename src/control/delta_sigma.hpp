@@ -1,0 +1,30 @@
+// First-order delta-sigma frequency modulator (paper Sec 5).
+//
+// Controllers emit fractional frequency commands; hardware only supports
+// discrete levels. The modulator toggles between the two adjacent levels so
+// the running time-average converges to the fractional target (e.g. 2,2,2,3
+// GHz averages 2.25 GHz).
+#pragma once
+
+#include "common/units.hpp"
+#include "hw/frequency_table.hpp"
+
+namespace capgpu::control {
+
+/// Per-device first-order delta-sigma modulator.
+class DeltaSigmaModulator {
+ public:
+  /// Maps a fractional target to the next discrete level from `table`,
+  /// carrying the quantisation error to the next call.
+  [[nodiscard]] Megahertz step(Megahertz target, const hw::FrequencyTable& table);
+
+  /// Accumulated quantisation error (MHz); bounded by one level gap.
+  [[nodiscard]] double accumulated_error() const { return sigma_; }
+
+  void reset() { sigma_ = 0.0; }
+
+ private:
+  double sigma_{0.0};
+};
+
+}  // namespace capgpu::control

@@ -1,0 +1,51 @@
+#include "control/latency_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+
+namespace capgpu::control {
+
+LatencyModel::LatencyModel(double e_min_s, Megahertz f_max, double gamma)
+    : e_min_(e_min_s), f_max_(f_max), gamma_(gamma) {
+  CAPGPU_REQUIRE(e_min_s > 0.0, "e_min must be positive");
+  CAPGPU_REQUIRE(f_max.value > 0.0, "f_max must be positive");
+  CAPGPU_REQUIRE(gamma > 0.0, "gamma must be positive");
+}
+
+double LatencyModel::predict(Megahertz f) const {
+  CAPGPU_REQUIRE(f.value > 0.0, "frequency must be positive");
+  return e_min_ * std::pow(f_max_.value / f.value, gamma_);
+}
+
+Megahertz LatencyModel::min_frequency_for_slo(double slo_s) const {
+  CAPGPU_REQUIRE(slo_s > 0.0, "SLO must be positive");
+  return Megahertz{f_max_.value * std::pow(e_min_ / slo_s, 1.0 / gamma_)};
+}
+
+bool LatencyModel::feasible(double slo_s) const {
+  return min_frequency_for_slo(slo_s).value <= f_max_.value + 1e-9;
+}
+
+LatencyFit fit_latency_model(const std::vector<LatencySample>& samples,
+                             Megahertz f_max) {
+  CAPGPU_REQUIRE(samples.size() >= 2, "need at least two latency samples");
+  linalg::Matrix x(samples.size(), 2);
+  linalg::Vector y(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    CAPGPU_REQUIRE(samples[i].latency_s > 0.0, "latencies must be positive");
+    CAPGPU_REQUIRE(samples[i].frequency.value > 0.0,
+                   "frequencies must be positive");
+    x(i, 0) = std::log(f_max.value / samples[i].frequency.value);
+    x(i, 1) = 1.0;
+    y[i] = std::log(samples[i].latency_s);
+  }
+  const linalg::FitResult fit = linalg::lstsq_fit(x, y);
+  const double gamma = fit.coefficients[0];
+  const double e_min = std::exp(fit.coefficients[1]);
+  CAPGPU_REQUIRE(gamma > 0.0, "fitted gamma is not positive; bad samples");
+  return LatencyFit{LatencyModel(e_min, f_max, gamma), fit.r_squared};
+}
+
+}  // namespace capgpu::control

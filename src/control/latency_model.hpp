@@ -1,0 +1,59 @@
+// The controller-side inference latency model (paper Eq. 8 / 10b):
+//
+//   e_i(f) = e_min,i * (f_g,max / f)^gamma
+//
+// plus fitting of (e_min, gamma) from measured (frequency, latency) samples
+// and the SLO inversion used by the MPC constraints (Eq. 10c): the minimum
+// GPU frequency that keeps e_i <= SLO_i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace capgpu::control {
+
+/// Calibrated latency model of one inference task.
+class LatencyModel {
+ public:
+  LatencyModel(double e_min_s, Megahertz f_max, double gamma);
+
+  [[nodiscard]] double e_min() const { return e_min_; }
+  [[nodiscard]] Megahertz f_max() const { return f_max_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// Predicted latency at core clock `f`.
+  [[nodiscard]] double predict(Megahertz f) const;
+
+  /// Minimum frequency such that predict(f) <= slo. May exceed f_max when
+  /// the SLO is infeasible even at full clock — callers must check
+  /// `feasible(slo)`.
+  [[nodiscard]] Megahertz min_frequency_for_slo(double slo_s) const;
+  [[nodiscard]] bool feasible(double slo_s) const;
+
+ private:
+  double e_min_;
+  Megahertz f_max_;
+  double gamma_;
+};
+
+/// One latency observation used for fitting.
+struct LatencySample {
+  Megahertz frequency;
+  double latency_s;
+};
+
+/// Result of fitting Eq. 8 to samples.
+struct LatencyFit {
+  LatencyModel model;
+  double r_squared{0.0};  ///< of the log-log linear regression
+};
+
+/// Fits (e_min, gamma) by linear regression in log space:
+/// log e = log e_min + gamma * log(f_max / f). Needs >= 2 distinct
+/// frequencies; throws NumericalError otherwise.
+[[nodiscard]] LatencyFit fit_latency_model(
+    const std::vector<LatencySample>& samples, Megahertz f_max);
+
+}  // namespace capgpu::control

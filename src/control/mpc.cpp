@@ -1,0 +1,391 @@
+#include "control/mpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace capgpu::control {
+
+/// One explicit-MPC region: an active set together with the pre-factored
+/// KKT system [H C_W^T; C_W -eps*I] for that working set.
+struct MpcController::CachedRegion {
+  std::vector<std::size_t> active_set;  // sorted row indices
+  linalg::Lu kkt;                       // factorisation, reused per step
+
+  CachedRegion(const QpProblem& qp, std::vector<std::size_t> rows)
+      : active_set(std::move(rows)), kkt(build_kkt(qp, active_set)) {}
+
+  static linalg::Matrix build_kkt(const QpProblem& qp,
+                                  const std::vector<std::size_t>& rows) {
+    const std::size_t n = qp.g.size();
+    const std::size_t k = rows.size();
+    linalg::Matrix kkt(n + k, n + k);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) kkt(r, c) = qp.h(r, c);
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      const auto row = qp.c.row(rows[a]);
+      for (std::size_t c = 0; c < n; ++c) {
+        kkt(n + a, c) = row[c];
+        kkt(c, n + a) = row[c];
+      }
+      kkt(n + a, n + a) = -1e-10;
+    }
+    return kkt;
+  }
+};
+
+}  // namespace capgpu::control
+
+namespace capgpu::control {
+
+MpcController::MpcController(MpcConfig config, std::vector<DeviceRange> devices,
+                             LinearPowerModel model, Watts set_point)
+    : config_(config),
+      devices_(std::move(devices)),
+      model_(std::move(model)),
+      set_point_(set_point) {
+  CAPGPU_REQUIRE(!devices_.empty(), "controller needs at least one device");
+  CAPGPU_REQUIRE(model_.device_count() == devices_.size(),
+                 "power model does not match device list");
+  CAPGPU_REQUIRE(config_.control_horizon >= 1, "control horizon must be >= 1");
+  CAPGPU_REQUIRE(config_.prediction_horizon >= config_.control_horizon,
+                 "prediction horizon must be >= control horizon");
+  CAPGPU_REQUIRE(config_.tracking_weight > 0.0,
+                 "tracking weight must be positive");
+  CAPGPU_REQUIRE(config_.reference_decay >= 0.0 && config_.reference_decay < 1.0,
+                 "reference decay must be in [0, 1)");
+  CAPGPU_REQUIRE(config_.violation_decay >= 0.0 && config_.violation_decay < 1.0,
+                 "violation decay must be in [0, 1)");
+  for (const auto& d : devices_) {
+    CAPGPU_REQUIRE(d.f_min_mhz > 0.0 && d.f_max_mhz > d.f_min_mhz,
+                   "device frequency range is invalid");
+  }
+  weights_.assign(devices_.size(), 2e-5);
+  min_override_.resize(devices_.size());
+  max_override_.resize(devices_.size());
+  clear_min_frequency_overrides();
+  clear_max_frequency_overrides();
+}
+
+void MpcController::set_model(LinearPowerModel model) {
+  CAPGPU_REQUIRE(model.device_count() == devices_.size(),
+                 "power model does not match device list");
+  model_ = std::move(model);
+}
+
+void MpcController::set_control_weights(std::vector<double> weights) {
+  if (weights.empty()) {
+    weights_.assign(devices_.size(), 2e-5);
+    return;
+  }
+  CAPGPU_REQUIRE(weights.size() == devices_.size(),
+                 "weight vector does not match device list");
+  for (const double w : weights) {
+    CAPGPU_REQUIRE(w > 0.0, "control weights must be positive");
+  }
+  weights_ = std::move(weights);
+}
+
+bool MpcController::set_min_frequency_override(std::size_t device,
+                                               double f_mhz) {
+  CAPGPU_REQUIRE(device < devices_.size(), "device index out of range");
+  const auto& d = devices_[device];
+  // The floor can never exceed the effective ceiling (a thermal override
+  // outranks the SLO): an unreachable SLO runs at the ceiling, reported
+  // as infeasible.
+  const double ceiling = max_override_[device];
+  if (f_mhz <= d.f_min_mhz) {
+    min_override_[device] = d.f_min_mhz;
+    return true;
+  }
+  if (f_mhz > ceiling) {
+    min_override_[device] = ceiling;
+    return false;
+  }
+  min_override_[device] = f_mhz;
+  return true;
+}
+
+void MpcController::clear_min_frequency_overrides() {
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    min_override_[j] = devices_[j].f_min_mhz;
+  }
+}
+
+double MpcController::effective_f_min(std::size_t device) const {
+  CAPGPU_REQUIRE(device < devices_.size(), "device index out of range");
+  return min_override_[device];
+}
+
+bool MpcController::set_max_frequency_override(std::size_t device,
+                                               double f_mhz) {
+  CAPGPU_REQUIRE(device < devices_.size(), "device index out of range");
+  const auto& d = devices_[device];
+  max_override_[device] =
+      std::clamp(f_mhz, d.f_min_mhz, d.f_max_mhz);
+  if (max_override_[device] < min_override_[device]) {
+    // Thermal protection outranks the SLO floor.
+    min_override_[device] = max_override_[device];
+    return false;
+  }
+  return true;
+}
+
+void MpcController::clear_max_frequency_overrides() {
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    max_override_[j] = devices_[j].f_max_mhz;
+  }
+}
+
+double MpcController::effective_f_max(std::size_t device) const {
+  CAPGPU_REQUIRE(device < devices_.size(), "device index out of range");
+  return max_override_[device];
+}
+
+MpcController::Assembled MpcController::assemble(
+    double error_watts, const std::vector<double>& freqs) const {
+  const std::size_t n = devices_.size();
+  const std::size_t m_horizon = config_.control_horizon;
+  const std::size_t p_horizon = config_.prediction_horizon;
+  const std::size_t dim = n * m_horizon;
+  const double q = config_.tracking_weight;
+
+  // Decision layout: u[i*n + j] = d_j(k+i|k).
+  // cum_j(i) = sum_{l<=i} u[l*n+j]; tracking step i uses cum(min(i-1,M-1)).
+  QpProblem qp;
+  qp.h = linalg::Matrix(dim, dim);
+  qp.g = linalg::Vector(dim);
+
+  // Tracking term: for each prediction step, the row t with
+  // t[l*n+j] = A_j for l <= mi contributes 2Q t t^T to H and 2Q e_i t to g,
+  // where e_i = e * (1 - decay^i) follows the reference trajectory
+  // p_ref(k+i) = Ps + e * decay^i.
+  // Asymmetric reference: violations (error > 0) are corrected with the
+  // (faster) violation_decay; climbs toward the cap use reference_decay.
+  const double decay =
+      error_watts > 0.0 ? config_.violation_decay : config_.reference_decay;
+  for (std::size_t i = 1; i <= p_horizon; ++i) {
+    const std::size_t mi = std::min(i - 1, m_horizon - 1);
+    const double e_i =
+        error_watts * (1.0 - std::pow(decay, static_cast<double>(i)));
+    // Build t implicitly: nonzero entries are (l, j) for l <= mi.
+    for (std::size_t la = 0; la <= mi; ++la) {
+      for (std::size_t ja = 0; ja < n; ++ja) {
+        const std::size_t a = la * n + ja;
+        const double ta = model_.gain(ja);
+        qp.g[a] += 2.0 * q * e_i * ta;
+        for (std::size_t lb = 0; lb <= mi; ++lb) {
+          for (std::size_t jb = 0; jb < n; ++jb) {
+            qp.h(a, lb * n + jb) += 2.0 * q * ta * model_.gain(jb);
+          }
+        }
+      }
+    }
+  }
+
+  // Control penalty: for step i and device j, the row c with c[l*n+j] = 1
+  // for l <= i contributes 2R_j c c^T and 2R_j phi_j c, where
+  // phi_j = f_j - f_min_j (reference is the spec minimum, not the SLO bound).
+  for (std::size_t i = 0; i < m_horizon; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double r = weights_[j];
+      const double phi = freqs[j] - devices_[j].f_min_mhz;
+      for (std::size_t la = 0; la <= i; ++la) {
+        const std::size_t a = la * n + j;
+        qp.g[a] += 2.0 * r * phi;
+        for (std::size_t lb = 0; lb <= i; ++lb) {
+          qp.h(a, lb * n + j) += 2.0 * r;
+        }
+      }
+    }
+  }
+
+  for (std::size_t a = 0; a < dim; ++a) {
+    qp.h(a, a) += 2.0 * config_.regularization;
+  }
+
+  // Constraints (Eq. 10a + SLO bounds): for every step i and device j,
+  //   cum_j(i) <= f_max_j - f_j      and      -cum_j(i) <= f_j - lb_j.
+  const std::size_t rows = 2 * dim;
+  qp.c = linalg::Matrix(rows, dim);
+  qp.b = linalg::Vector(rows);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < m_horizon; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t l = 0; l <= i; ++l) {
+        qp.c(row, l * n + j) = 1.0;
+        qp.c(row + 1, l * n + j) = -1.0;
+      }
+      qp.b[row] = max_override_[j] - freqs[j];
+      qp.b[row + 1] = freqs[j] - min_override_[j];
+      row += 2;
+    }
+  }
+
+  // Feasible start: u = 0 unless a bound moved past the current frequency
+  // (an SLO tightened or a thermal ceiling dropped); then the first move
+  // jumps to the violated bound.
+  linalg::Vector x0(dim);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (freqs[j] < min_override_[j]) {
+      x0[j] = min_override_[j] - freqs[j];
+    } else if (freqs[j] > max_override_[j]) {
+      x0[j] = max_override_[j] - freqs[j];
+    }
+  }
+  return Assembled{std::move(qp), std::move(x0)};
+}
+
+void MpcController::enable_solve_cache(bool on) {
+  cache_enabled_ = on;
+  invalidate_cache();
+}
+
+void MpcController::invalidate_cache() {
+  if (!cache_.empty()) ++cache_stats_.invalidations;
+  cache_.clear();
+  cached_h_ = linalg::Matrix();
+}
+
+bool MpcController::try_cached_solve(const QpProblem& qp, linalg::Vector& u,
+                                     std::size_t& region_index) const {
+  constexpr double kTol = 1e-7;
+  const std::size_t n = qp.g.size();
+  for (std::size_t idx = 0; idx < cache_.size(); ++idx) {
+    const auto& region = *cache_[idx];
+    const std::size_t k = region.active_set.size();
+    linalg::Vector rhs(n + k);
+    for (std::size_t r = 0; r < n; ++r) rhs[r] = -qp.g[r];
+    for (std::size_t a = 0; a < k; ++a) {
+      rhs[n + a] = qp.b[region.active_set[a]];
+    }
+    const linalg::Vector ul = region.kkt.solve(rhs);
+    // KKT validity: multipliers of the working set non-negative...
+    bool valid = true;
+    for (std::size_t a = 0; a < k && valid; ++a) {
+      valid = ul[n + a] >= -kTol;
+    }
+    if (!valid) continue;
+    // ...and primal feasibility of the remaining constraints.
+    linalg::Vector candidate(n);
+    for (std::size_t r = 0; r < n; ++r) candidate[r] = ul[r];
+    for (std::size_t i = 0; i < qp.c.rows() && valid; ++i) {
+      double cx = 0.0;
+      const auto row = qp.c.row(i);
+      for (std::size_t c = 0; c < n; ++c) cx += row[c] * candidate[c];
+      valid = cx <= qp.b[i] + kTol;
+    }
+    if (!valid) continue;
+    u = std::move(candidate);
+    region_index = idx;
+    return true;
+  }
+  return false;
+}
+
+void MpcController::store_region(const QpProblem& qp,
+                                 const std::vector<std::size_t>& active_set) {
+  constexpr std::size_t kMaxRegions = 16;
+  if (cache_.size() >= kMaxRegions) cache_.erase(cache_.begin());
+  cache_.push_back(std::make_shared<CachedRegion>(qp, active_set));
+}
+
+MpcDecision MpcController::step(Watts measured_power,
+                                const std::vector<double>& current_freqs_mhz) {
+  const std::size_t n = devices_.size();
+  CAPGPU_REQUIRE(current_freqs_mhz.size() == n,
+                 "frequency vector does not match device list");
+
+  const double error = measured_power.value - set_point_.value;
+  Assembled a = assemble(error, current_freqs_mhz);
+
+  MpcDecision out;
+  linalg::Vector solution;
+  bool solved = false;
+
+  if (cache_enabled_) {
+    // The Hessian depends on weights and model gains; a change flushes the
+    // cache (constraint rows are structural and never change).
+    if (cached_h_.rows() == 0 ||
+        !linalg::approx_equal(cached_h_, a.qp.h, 1e-12)) {
+      invalidate_cache();
+      cached_h_ = a.qp.h;
+    }
+    std::size_t region_index = 0;
+    if (try_cached_solve(a.qp, solution, region_index)) {
+      ++cache_stats_.hits;
+      // Move the hit region to the back (cheap LRU).
+      if (region_index + 1 != cache_.size()) {
+        auto hit = cache_[region_index];
+        cache_.erase(cache_.begin() + static_cast<long>(region_index));
+        cache_.push_back(std::move(hit));
+      }
+      solved = true;
+      out.cache_hit = true;
+      out.qp_converged = true;
+    }
+  }
+
+  if (!solved) {
+    const QpSolution sol = solver_.solve(a.qp, a.x0);
+    out.qp_iterations = sol.iterations;
+    out.qp_converged = sol.converged;
+    solution = sol.x;
+    if (cache_enabled_ && sol.converged) {
+      ++cache_stats_.misses;
+      store_region(a.qp, sol.active_set);
+    }
+  }
+  out.deltas_mhz.resize(n);
+  out.target_freqs_mhz.resize(n);
+  double dp = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = solution[j];  // first move of device j
+    out.deltas_mhz[j] = d;
+    const double target = std::clamp(current_freqs_mhz[j] + d,
+                                     min_override_[j], max_override_[j]);
+    out.target_freqs_mhz[j] = target;
+    dp += model_.gain(j) * (target - current_freqs_mhz[j]);
+  }
+  out.predicted_power_watts = measured_power.value + dp;
+  return out;
+}
+
+MpcLinearGains MpcController::linear_gains() const {
+  const std::size_t n = devices_.size();
+  const std::size_t dim = n * config_.control_horizon;
+
+  // g(u) is affine in (e, phi): g = g_e * e + G_f * phi. Probe by assembling
+  // with unit inputs; H is independent of both.
+  std::vector<double> f_at_min(n);
+  for (std::size_t j = 0; j < n; ++j) f_at_min[j] = devices_[j].f_min_mhz;
+
+  const Assembled base = assemble(0.0, f_at_min);     // g = 0
+  const Assembled unit_e = assemble(1.0, f_at_min);   // g = g_e
+
+  linalg::Cholesky h_chol(base.qp.h);
+
+  MpcLinearGains gains;
+  gains.k_e = linalg::Vector(n);
+  gains.k_f = linalg::Matrix(n, n);
+
+  {
+    const linalg::Vector u = h_chol.solve(unit_e.qp.g);
+    for (std::size_t j = 0; j < n; ++j) gains.k_e[j] = -u[j];
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::vector<double> f = f_at_min;
+    f[col] += 1.0;  // phi_col = 1
+    const Assembled probe = assemble(0.0, f);
+    const linalg::Vector u = h_chol.solve(probe.qp.g);
+    for (std::size_t j = 0; j < n; ++j) gains.k_f(j, col) = -u[j];
+  }
+  (void)dim;
+  return gains;
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,29 @@
+#include "control/p_controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+
+PController::PController(PControllerConfig config) : config_(config) {
+  CAPGPU_REQUIRE(config_.gain_w_per_mhz > 0.0, "plant gain must be positive");
+  CAPGPU_REQUIRE(config_.pole >= 0.0 && config_.pole < 1.0,
+                 "pole must lie in [0, 1)");
+  CAPGPU_REQUIRE(config_.f_min_mhz > 0.0 &&
+                     config_.f_max_mhz > config_.f_min_mhz,
+                 "invalid frequency range");
+}
+
+double PController::k() const {
+  return (1.0 - config_.pole) / config_.gain_w_per_mhz;
+}
+
+double PController::step(Watts measured, Watts set_point,
+                         double current_freq_mhz) const {
+  const double d = k() * (set_point.value - measured.value);
+  return std::clamp(current_freq_mhz + d, config_.f_min_mhz,
+                    config_.f_max_mhz);
+}
+
+}  // namespace capgpu::control

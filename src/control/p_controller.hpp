@@ -1,0 +1,43 @@
+// Proportional power controller with pole-placement gain.
+//
+// This is the control law behind the paper's GPU-Only baseline (from
+// OptimML [4]) and CPU-Only baseline (IBM server-level power control [14]):
+// with the scalar model p(k+1) = p(k) + a*d(k), the law
+// d(k) = K*(Ps - p(k)) with K = (1 - pole)/a places the closed-loop pole at
+// `pole` (0 = deadbeat; the paper selects the pole that minimises
+// oscillation).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace capgpu::control {
+
+/// Configuration of a single-knob proportional power controller.
+struct PControllerConfig {
+  /// Effective plant gain: watts per MHz of the actuated command (for a
+  /// shared GPU command this is the *sum* of the per-GPU gains).
+  double gain_w_per_mhz{0.1};
+  /// Desired closed-loop pole in [0, 1).
+  double pole{0.2};
+  double f_min_mhz{0.0};
+  double f_max_mhz{0.0};
+};
+
+/// P controller over one frequency knob.
+class PController {
+ public:
+  explicit PController(PControllerConfig config);
+
+  [[nodiscard]] const PControllerConfig& config() const { return config_; }
+  [[nodiscard]] double k() const;  ///< the proportional gain (MHz per watt)
+
+  /// One control period: returns the new (fractional, clamped) frequency
+  /// command from the measured power and the current command.
+  [[nodiscard]] double step(Watts measured, Watts set_point,
+                            double current_freq_mhz) const;
+
+ private:
+  PControllerConfig config_;
+};
+
+}  // namespace capgpu::control

@@ -1,0 +1,46 @@
+#include "control/power_model.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+
+LinearPowerModel::LinearPowerModel(std::vector<double> gains, double offset)
+    : gains_(std::move(gains)), offset_(offset) {
+  CAPGPU_REQUIRE(!gains_.empty(), "power model needs at least one device");
+}
+
+double LinearPowerModel::gain(std::size_t j) const {
+  CAPGPU_ASSERT(j < gains_.size());
+  return gains_[j];
+}
+
+Watts LinearPowerModel::predict(const std::vector<double>& freqs_mhz) const {
+  CAPGPU_REQUIRE(freqs_mhz.size() == gains_.size(),
+                 "frequency vector size mismatch");
+  double p = offset_;
+  for (std::size_t j = 0; j < gains_.size(); ++j) {
+    p += gains_[j] * freqs_mhz[j];
+  }
+  return Watts{p};
+}
+
+double LinearPowerModel::predict_delta(
+    const std::vector<double>& delta_mhz) const {
+  CAPGPU_REQUIRE(delta_mhz.size() == gains_.size(),
+                 "delta vector size mismatch");
+  double dp = 0.0;
+  for (std::size_t j = 0; j < gains_.size(); ++j) {
+    dp += gains_[j] * delta_mhz[j];
+  }
+  return dp;
+}
+
+LinearPowerModel LinearPowerModel::scaled_gains(
+    const std::vector<double>& g) const {
+  CAPGPU_REQUIRE(g.size() == gains_.size(), "gain vector size mismatch");
+  std::vector<double> scaled(gains_.size());
+  for (std::size_t j = 0; j < gains_.size(); ++j) scaled[j] = gains_[j] * g[j];
+  return LinearPowerModel(std::move(scaled), offset_);
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,45 @@
+// The identified linear power model (paper Eq. 3-7):
+//
+//   p = A * F + C            (static affine model)
+//   p(k) = p(k-1) + A * dF   (difference / incremental form used by MPC)
+//
+// F stacks the CPU frequency first, then each GPU frequency, in MHz.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "linalg/matrix.hpp"
+
+namespace capgpu::control {
+
+/// Affine map from device frequencies to server power.
+class LinearPowerModel {
+ public:
+  LinearPowerModel() = default;
+
+  /// `gains[j]` is watts per MHz of device j; `offset` is the constant C.
+  LinearPowerModel(std::vector<double> gains, double offset);
+
+  [[nodiscard]] std::size_t device_count() const { return gains_.size(); }
+  [[nodiscard]] double gain(std::size_t j) const;
+  [[nodiscard]] const std::vector<double>& gains() const { return gains_; }
+  [[nodiscard]] double offset() const { return offset_; }
+
+  /// p = A * F + C. `freqs_mhz` must have device_count() entries.
+  [[nodiscard]] Watts predict(const std::vector<double>& freqs_mhz) const;
+
+  /// Incremental form: dP = A * dF.
+  [[nodiscard]] double predict_delta(const std::vector<double>& delta_mhz) const;
+
+  /// Returns a copy with every gain multiplied by `g[j]` — the "true plant"
+  /// A' = g_i A_i of the stability analysis (Sec 4.4).
+  [[nodiscard]] LinearPowerModel scaled_gains(const std::vector<double>& g) const;
+
+ private:
+  std::vector<double> gains_;
+  double offset_{0.0};
+};
+
+}  // namespace capgpu::control

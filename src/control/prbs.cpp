@@ -1,0 +1,15 @@
+#include "control/prbs.hpp"
+
+namespace capgpu::control {
+
+PrbsGenerator::PrbsGenerator(std::uint32_t seed)
+    : state_((seed & 0x7FFF) ? (seed & 0x7FFF) : 0x5A5Au & 0x7FFF) {}
+
+int PrbsGenerator::next() {
+  // x^15 + x^14 + 1 (taps 15, 14): maximal length for 15 bits.
+  const std::uint32_t bit = ((state_ >> 14) ^ (state_ >> 13)) & 1u;
+  state_ = ((state_ << 1) | bit) & 0x7FFF;
+  return (state_ & 1u) ? +1 : -1;
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,32 @@
+// Pseudo-random binary sequence (PRBS) excitation.
+//
+// Closed-loop identification starves once the loop settles: dF -> 0 and
+// the RLS estimator receives no gain information. The classic remedy is a
+// small persistent excitation signal — a PRBS toggles between +amplitude
+// and -amplitude with a maximal-length LFSR pattern, which has a flat
+// spectrum (rich excitation) and zero mean (no steady-state bias).
+// CapGPU applies it to the *set point*: the plant wiggles a few watts
+// around the cap, which the breaker-level margins comfortably absorb.
+#pragma once
+
+#include <cstdint>
+
+namespace capgpu::control {
+
+/// Maximal-length PRBS from a 15-bit Fibonacci LFSR (period 32767).
+class PrbsGenerator {
+ public:
+  /// `seed` must be nonzero in its low 15 bits; it is mixed to ensure so.
+  explicit PrbsGenerator(std::uint32_t seed = 1);
+
+  /// Next chip: +1 or -1.
+  [[nodiscard]] int next();
+
+  /// Sequence period (chips) of the underlying LFSR.
+  [[nodiscard]] static constexpr std::uint32_t period() { return 32767; }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace capgpu::control

@@ -1,0 +1,147 @@
+#include "control/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace capgpu::control {
+
+namespace {
+
+double dot_row(const linalg::Matrix& c, std::size_t row,
+               const linalg::Vector& x) {
+  double acc = 0.0;
+  const auto r = c.row(row);
+  for (std::size_t j = 0; j < x.size(); ++j) acc += r[j] * x[j];
+  return acc;
+}
+
+double objective_of(const QpProblem& p, const linalg::Vector& x) {
+  const linalg::Vector hx = p.h * x;
+  return 0.5 * x.dot(hx) + p.g.dot(x);
+}
+
+}  // namespace
+
+bool QpSolver::is_feasible(const QpProblem& problem, const linalg::Vector& x,
+                           double slack) {
+  for (std::size_t i = 0; i < problem.c.rows(); ++i) {
+    if (dot_row(problem.c, i, x) > problem.b[i] + slack) return false;
+  }
+  return true;
+}
+
+QpSolution QpSolver::solve(const QpProblem& problem,
+                           const linalg::Vector& x0) const {
+  const std::size_t n = problem.g.size();
+  const std::size_t m = problem.c.rows();
+  CAPGPU_REQUIRE(problem.h.rows() == n && problem.h.cols() == n,
+                 "Hessian dimension mismatch");
+  CAPGPU_REQUIRE(m == problem.b.size(), "constraint dimension mismatch");
+  CAPGPU_REQUIRE(m == 0 || problem.c.cols() == n,
+                 "constraint column mismatch");
+  CAPGPU_REQUIRE(x0.size() == n, "start point dimension mismatch");
+  CAPGPU_REQUIRE(is_feasible(problem, x0), "QP start point is infeasible");
+  // Verify H is SPD up front; Cholesky throws otherwise.
+  (void)linalg::Cholesky(problem.h);
+
+  const double tol = options_.tolerance;
+  linalg::Vector x = x0;
+  // Start from an empty working set: constraints that matter get added as
+  // blocking constraints during the line search. Seeding the working set
+  // with every constraint touching x0 invites degenerate add/drop cycling
+  // when many bounds coincide (e.g. all devices parked at f_min).
+  std::vector<bool> active(m, false);
+
+  QpSolution sol;
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    sol.iterations = iter + 1;
+
+    std::vector<std::size_t> w;  // working set
+    for (std::size_t i = 0; i < m; ++i) {
+      if (active[i]) w.push_back(i);
+    }
+
+    // Solve the equality-constrained subproblem via the (regularised) KKT
+    // system  [H  Cw^T; Cw  -eps*I] [p; lambda] = [-(Hx+g); 0].
+    // The tiny -eps*I block keeps the system nonsingular even when working
+    // rows become linearly dependent.
+    const std::size_t k = w.size();
+    linalg::Matrix kkt(n + k, n + k);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c2 = 0; c2 < n; ++c2) kkt(r, c2) = problem.h(r, c2);
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      const auto row = problem.c.row(w[a]);
+      for (std::size_t c2 = 0; c2 < n; ++c2) {
+        kkt(n + a, c2) = row[c2];
+        kkt(c2, n + a) = row[c2];
+      }
+      kkt(n + a, n + a) = -1e-10;
+    }
+    const linalg::Vector grad = problem.h * x + problem.g;
+    linalg::Vector rhs(n + k);
+    for (std::size_t r = 0; r < n; ++r) rhs[r] = -grad[r];
+
+    const linalg::Vector pk_lambda = linalg::lu_solve(kkt, rhs);
+    linalg::Vector p(n);
+    for (std::size_t r = 0; r < n; ++r) p[r] = pk_lambda[r];
+
+    // Stationarity is judged relative to the iterate's scale: MPC problems
+    // work in MHz (x ~ 1e2..1e3), unit-test problems near 1.
+    const double stationary_tol =
+        options_.stationarity_tolerance * std::max(1.0, x.norm_inf());
+    if (p.norm_inf() <= stationary_tol) {
+      // Stationary on the working set: check multipliers.
+      double most_negative = -tol;
+      std::size_t drop = m;
+      for (std::size_t a = 0; a < k; ++a) {
+        const double lambda = pk_lambda[n + a];
+        if (lambda < most_negative) {
+          most_negative = lambda;
+          drop = w[a];
+        }
+      }
+      if (drop == m) {
+        sol.x = x;
+        sol.objective = objective_of(problem, x);
+        sol.converged = true;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (active[i]) sol.active_set.push_back(i);
+        }
+        return sol;
+      }
+      active[drop] = false;
+      continue;
+    }
+
+    // Line search toward x + p, stopping at the first blocking constraint.
+    double alpha = 1.0;
+    std::size_t blocking = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (active[i]) continue;
+      const double cp = dot_row(problem.c, i, p);
+      if (cp > tol) {
+        const double room = problem.b[i] - dot_row(problem.c, i, x);
+        const double a_i = std::max(0.0, room / cp);
+        if (a_i < alpha) {
+          alpha = a_i;
+          blocking = i;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) x[r] += alpha * p[r];
+    if (blocking != m) active[blocking] = true;
+  }
+
+  // Iteration budget exhausted; report the best point found, not converged.
+  sol.x = x;
+  sol.objective = objective_of(problem, x);
+  sol.converged = false;
+  return sol;
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,69 @@
+// Convex quadratic programming via the primal active-set method.
+//
+//   minimize   1/2 x^T H x + g^T x
+//   subject to C x <= b            (row-wise inequality constraints)
+//
+// The paper solves its MPC problem with SLSQP; because CapGPU's cost is
+// quadratic and all constraints (frequency boxes, SLO-derived bounds) are
+// linear, the problem is exactly a convex QP and the active-set method finds
+// the same optimum deterministically. Problem sizes are tiny (N*M <= a few
+// dozen variables), so dense factorisations are the right tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::control {
+
+/// A QP instance. H must be symmetric positive definite.
+struct QpProblem {
+  linalg::Matrix h;  ///< n x n Hessian
+  linalg::Vector g;  ///< n
+  linalg::Matrix c;  ///< m x n constraint rows (may be empty)
+  linalg::Vector b;  ///< m
+};
+
+/// Solver outcome.
+struct QpSolution {
+  linalg::Vector x;
+  double objective{0.0};
+  std::size_t iterations{0};
+  bool converged{false};
+  std::vector<std::size_t> active_set;  ///< indices of active constraints
+};
+
+/// Primal active-set QP solver.
+class QpSolver {
+ public:
+  struct Options {
+    std::size_t max_iterations{200};
+    /// Feasibility / multiplier-sign tolerance.
+    double tolerance{1e-9};
+    /// Step-norm threshold below which the iterate counts as stationary on
+    /// its working set. Must sit well above the residual the KKT
+    /// regularisation induces (~1e-10 * gradient scale), or the solver
+    /// micro-steps forever instead of checking multipliers.
+    double stationarity_tolerance{1e-7};
+  };
+
+  QpSolver() = default;
+  explicit QpSolver(Options options) : options_(options) {}
+
+  /// Solves the QP starting from the feasible point `x0`.
+  /// Throws InvalidArgument when x0 is infeasible (beyond tolerance) and
+  /// NumericalError when H is not positive definite.
+  [[nodiscard]] QpSolution solve(const QpProblem& problem,
+                                 const linalg::Vector& x0) const;
+
+  /// True when `x` satisfies C x <= b within `slack`.
+  [[nodiscard]] static bool is_feasible(const QpProblem& problem,
+                                        const linalg::Vector& x,
+                                        double slack = 1e-7);
+
+ private:
+  Options options_{};
+};
+
+}  // namespace capgpu::control

@@ -1,0 +1,93 @@
+#include "control/rls.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+
+RlsEstimator::RlsEstimator(LinearPowerModel prior, RlsConfig config)
+    : config_(config),
+      theta_(prior.device_count() + (config.estimate_bias ? 1 : 0)),
+      covariance_(theta_.size(), theta_.size()),
+      devices_(prior.device_count()),
+      offset_(prior.offset()) {
+  CAPGPU_REQUIRE(config_.forgetting > 0.0 && config_.forgetting <= 1.0,
+                 "forgetting factor must be in (0, 1]");
+  CAPGPU_REQUIRE(config_.initial_covariance > 0.0,
+                 "initial covariance must be positive");
+  for (std::size_t j = 0; j < devices_; ++j) theta_[j] = prior.gain(j);
+  for (std::size_t j = 0; j < theta_.size(); ++j) {
+    covariance_(j, j) = config_.initial_covariance;
+  }
+  if (config_.estimate_bias) {
+    // The bias regressor is O(1) while dF is O(10..100 MHz): give it a
+    // correspondingly larger prior variance so it can absorb watt-scale
+    // disturbances quickly.
+    covariance_(devices_, devices_) = config_.initial_covariance * 1e2;
+  }
+}
+
+bool RlsEstimator::update(const std::vector<double>& delta_f_mhz,
+                          double delta_p_watts) {
+  const std::size_t n = theta_.size();
+  CAPGPU_REQUIRE(delta_f_mhz.size() == devices_, "delta vector size mismatch");
+
+  double excitation = 0.0;
+  for (const double d : delta_f_mhz) excitation = std::max(excitation, std::abs(d));
+  if (excitation < config_.min_excitation_mhz) return false;
+
+  std::vector<double> regressor = delta_f_mhz;
+  if (config_.estimate_bias) regressor.push_back(1.0);
+  const linalg::Vector x{std::move(regressor)};
+  const double prediction = x.dot(theta_);
+  const double residual = delta_p_watts - prediction;
+  if (config_.max_residual_watts > 0.0 &&
+      std::abs(residual) > config_.max_residual_watts) {
+    return false;  // disturbance, not gain information
+  }
+
+  // K = P x / (lambda + x^T P x);  theta += K * residual;
+  // P = (P - K x^T P) / lambda.
+  const linalg::Vector px = covariance_ * x;
+  const double denom = config_.forgetting + x.dot(px);
+  CAPGPU_ASSERT(denom > 0.0);
+  linalg::Vector k = px;
+  k *= 1.0 / denom;
+
+  for (std::size_t j = 0; j < n; ++j) theta_[j] += k[j] * residual;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      covariance_(r, c) =
+          (covariance_(r, c) - k[r] * px[c]) / config_.forgetting;
+    }
+  }
+  // Keep the covariance symmetric against floating-point drift.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (covariance_(r, c) + covariance_(c, r));
+      covariance_(r, c) = avg;
+      covariance_(c, r) = avg;
+    }
+  }
+
+  ++updates_;
+  last_residual_ = residual;
+  return true;
+}
+
+double RlsEstimator::bias() const {
+  return config_.estimate_bias ? theta_[devices_] : 0.0;
+}
+
+LinearPowerModel RlsEstimator::model() const {
+  std::vector<double> gains(devices_);
+  for (std::size_t j = 0; j < devices_; ++j) {
+    // Physical prior: gains are non-negative (power never falls when a
+    // clock rises); clamp against transient noise-driven sign flips.
+    gains[j] = std::max(1e-4, theta_[j]);
+  }
+  return LinearPowerModel(std::move(gains), offset_);
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,77 @@
+// Recursive least squares with exponential forgetting.
+//
+// The paper identifies the power model offline and notes that the
+// controller remains stable for bounded model error (Sec 4.4); when the
+// workload shifts enough to move the true gains outside that bound, the
+// model must be re-identified. This estimator does it continuously: each
+// control period's (dF, dp) pair refines the gain estimates, so the
+// controller tracks workload-induced gain drift without a dedicated sweep.
+//
+// The difference model dp = A * dF is linear in the unknown A, so classic
+// RLS applies:  theta <- theta + K (dp - dF^T theta).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/power_model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace capgpu::control {
+
+/// RLS configuration.
+struct RlsConfig {
+  /// Forgetting factor in (0, 1]: 1 = infinite memory; ~0.98 tracks slow
+  /// drift; smaller adapts faster but is noisier.
+  double forgetting{0.98};
+  /// Initial covariance scale (uncertainty of the prior gains).
+  double initial_covariance{1e-2};
+  /// Updates are skipped when ||dF||_inf is below this (no excitation —
+  /// a steady loop provides no gain information).
+  double min_excitation_mhz{2.0};
+  /// Also estimate a disturbance bias b in dp = A*dF + b. Utilization
+  /// shifts move power without any frequency change; without the bias
+  /// term such steps masquerade as gain information and transiently
+  /// corrupt the estimates.
+  bool estimate_bias{true};
+  /// Outlier gate: updates whose prediction residual exceeds this are
+  /// rejected (a power step this large is a workload disturbance, not
+  /// gain information). 0 disables the gate.
+  double max_residual_watts{0.0};
+};
+
+/// Online estimator of the power-model gains A (offset C cancels in the
+/// difference model and is left untouched).
+class RlsEstimator {
+ public:
+  /// Starts from the identified model (the prior).
+  RlsEstimator(LinearPowerModel prior, RlsConfig config = {});
+
+  /// One observation: the frequency increments applied last period (MHz)
+  /// and the resulting power change (W). Returns true when the update was
+  /// applied (false = insufficient excitation).
+  bool update(const std::vector<double>& delta_f_mhz, double delta_p_watts);
+
+  /// Current model: adapted gains with the prior's offset.
+  [[nodiscard]] LinearPowerModel model() const;
+
+  [[nodiscard]] std::size_t updates_applied() const { return updates_; }
+  [[nodiscard]] const RlsConfig& config() const { return config_; }
+
+  /// Prediction residual of the most recent accepted update (W).
+  [[nodiscard]] double last_residual() const { return last_residual_; }
+
+  /// Estimated per-period disturbance bias b (0 when estimate_bias off).
+  [[nodiscard]] double bias() const;
+
+ private:
+  RlsConfig config_;
+  linalg::Vector theta_;      // gain estimates (+ optional trailing bias)
+  linalg::Matrix covariance_; // P matrix
+  std::size_t devices_;
+  double offset_;
+  std::size_t updates_{0};
+  double last_residual_{0.0};
+};
+
+}  // namespace capgpu::control

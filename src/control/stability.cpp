@@ -1,0 +1,84 @@
+#include "control/stability.hpp"
+
+#include "common/error.hpp"
+#include "linalg/eig.hpp"
+
+namespace capgpu::control {
+
+linalg::Matrix closed_loop_matrix(const MpcLinearGains& gains,
+                                  const LinearPowerModel& true_model) {
+  const std::size_t n = gains.k_e.size();
+  CAPGPU_REQUIRE(true_model.device_count() == n,
+                 "true model does not match controller gains");
+  // M = I + K_e A' + K_f in frequency space (e = A' phi + const is
+  // substituted into the control law; see the header derivation).
+  linalg::Matrix m(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t col = 0; col < n; ++col) {
+      m(j, col) = gains.k_f(j, col) +
+                  gains.k_e[j] * true_model.gain(col) +
+                  (j == col ? 1.0 : 0.0);
+    }
+  }
+  return m;
+}
+
+StabilityReport analyze_closed_loop(const MpcController& controller,
+                                    const LinearPowerModel& true_model) {
+  const linalg::Matrix m =
+      closed_loop_matrix(controller.linear_gains(), true_model);
+  StabilityReport report;
+  report.poles = linalg::eigenvalues(m);
+  for (const auto& pole : report.poles) {
+    report.spectral_radius = std::max(report.spectral_radius, std::abs(pole));
+  }
+  report.stable = report.spectral_radius < 1.0 - 1e-9;
+  return report;
+}
+
+double max_stable_uniform_gain(const MpcController& controller,
+                               const LinearPowerModel& nominal, double g_max,
+                               double tol) {
+  CAPGPU_REQUIRE(g_max > 1.0, "g_max must exceed 1");
+  const MpcLinearGains gains = controller.linear_gains();
+  const std::size_t n = nominal.device_count();
+
+  auto stable_at = [&](double g) {
+    const std::vector<double> mult(n, g);
+    const linalg::Matrix m =
+        closed_loop_matrix(gains, nominal.scaled_gains(mult));
+    return linalg::is_schur_stable(m);
+  };
+
+  if (stable_at(g_max)) return g_max;
+  CAPGPU_REQUIRE(stable_at(1.0), "loop is unstable even at nominal gains");
+  double lo = 1.0;
+  double hi = g_max;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    (stable_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::vector<GainSweepPoint> sweep_uniform_gain(
+    const MpcController& controller, const LinearPowerModel& nominal,
+    const std::vector<double>& gains_grid) {
+  const MpcLinearGains gains = controller.linear_gains();
+  const std::size_t n = nominal.device_count();
+  std::vector<GainSweepPoint> out;
+  out.reserve(gains_grid.size());
+  for (const double g : gains_grid) {
+    const std::vector<double> mult(n, g);
+    const linalg::Matrix m =
+        closed_loop_matrix(gains, nominal.scaled_gains(mult));
+    GainSweepPoint pt;
+    pt.gain = g;
+    pt.spectral_radius = linalg::spectral_radius(m);
+    pt.stable = pt.spectral_radius < 1.0 - 1e-9;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace capgpu::control

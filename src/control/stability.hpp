@@ -1,0 +1,66 @@
+// Closed-loop stability analysis (paper Sec 4.4).
+//
+// The plant is static in the frequencies: p(k) = A'*F(k-1) + C, so power is
+// not an independent state — e(k) - A'*phi(k) is structurally conserved and
+// the physical dynamics live in frequency space. With the unconstrained MPC
+// law d(k) = K_e*(p - Ps) + K_f*(f - f_min) and true gains A' = g_j * A_j,
+// substituting e = A'*phi + c0 gives
+//
+//   phi(k+1) = (I + K_e A' + K_f) phi(k) + const
+//
+// The loop is stable (p(k) -> its equilibrium) iff all eigenvalues of
+// M = I + K_e A' + K_f lie strictly inside the unit circle. These helpers
+// compute the poles and search the range of uniform gain errors g for which
+// stability holds.
+//
+// With the asymmetric reference (violation_decay vs reference_decay) the
+// closed loop is piecewise linear; the gains probed here correspond to the
+// violation side (error > 0), which has the larger loop gain and is
+// therefore the binding case for stability.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/mpc.hpp"
+#include "control/power_model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace capgpu::control {
+
+/// Poles and verdict for one plant/controller pair.
+struct StabilityReport {
+  std::vector<std::complex<double>> poles;
+  double spectral_radius{0.0};
+  bool stable{false};
+};
+
+/// Builds the closed-loop matrix M for the controller's current gains
+/// against an arbitrary true model (same device count).
+[[nodiscard]] linalg::Matrix closed_loop_matrix(const MpcLinearGains& gains,
+                                                const LinearPowerModel& true_model);
+
+/// Full report: poles of M, spectral radius, stability verdict.
+[[nodiscard]] StabilityReport analyze_closed_loop(
+    const MpcController& controller, const LinearPowerModel& true_model);
+
+/// Largest uniform gain multiplier g (true gains = g * nominal) that keeps
+/// the loop stable, found by bisection over [1, g_max]. Returns g_max when
+/// stable everywhere in the range.
+[[nodiscard]] double max_stable_uniform_gain(const MpcController& controller,
+                                             const LinearPowerModel& nominal,
+                                             double g_max = 64.0,
+                                             double tol = 1e-3);
+
+/// Spectral radius as a function of a uniform gain multiplier, over a grid —
+/// the pole-locus sweep behind the stability-ablation bench.
+struct GainSweepPoint {
+  double gain{1.0};
+  double spectral_radius{0.0};
+  bool stable{false};
+};
+[[nodiscard]] std::vector<GainSweepPoint> sweep_uniform_gain(
+    const MpcController& controller, const LinearPowerModel& nominal,
+    const std::vector<double>& gains);
+
+}  // namespace capgpu::control

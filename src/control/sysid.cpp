@@ -1,0 +1,48 @@
+#include "control/sysid.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+
+SystemIdentifier::SystemIdentifier(std::size_t device_count)
+    : device_count_(device_count) {
+  CAPGPU_REQUIRE(device_count >= 1, "need at least one device");
+}
+
+void SystemIdentifier::add_sample(const std::vector<double>& freqs_mhz,
+                                  Watts measured) {
+  CAPGPU_REQUIRE(freqs_mhz.size() == device_count_,
+                 "frequency vector size mismatch");
+  freqs_.push_back(freqs_mhz);
+  power_.push_back(measured.value);
+}
+
+IdentifiedModel SystemIdentifier::fit() const {
+  CAPGPU_REQUIRE(sample_count() >= device_count_ + 1,
+                 "not enough samples to identify the model");
+  // Regression matrix: [F | 1] so the last coefficient is the offset C.
+  linalg::Matrix x(sample_count(), device_count_ + 1);
+  linalg::Vector y(sample_count());
+  for (std::size_t i = 0; i < sample_count(); ++i) {
+    for (std::size_t j = 0; j < device_count_; ++j) x(i, j) = freqs_[i][j];
+    x(i, device_count_) = 1.0;
+    y[i] = power_[i];
+  }
+  const linalg::FitResult fit = linalg::lstsq_fit(x, y);
+
+  std::vector<double> gains(device_count_);
+  for (std::size_t j = 0; j < device_count_; ++j) gains[j] = fit.coefficients[j];
+  IdentifiedModel out;
+  out.model = LinearPowerModel(std::move(gains), fit.coefficients[device_count_]);
+  out.r_squared = fit.r_squared;
+  out.rmse_watts = fit.rmse;
+  out.samples = sample_count();
+  return out;
+}
+
+void SystemIdentifier::clear() {
+  freqs_.clear();
+  power_.clear();
+}
+
+}  // namespace capgpu::control

@@ -1,0 +1,51 @@
+// System identification (paper Sec 4.2).
+//
+// Sweeps one frequency input at a time while holding the others fixed,
+// records (F, p) pairs, and solves for the gains A and offset C by least
+// squares. The paper reports R^2 = 0.96 for its testbed; the fit quality is
+// returned so callers can reject bad models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/power_model.hpp"
+#include "linalg/qr.hpp"
+
+namespace capgpu::control {
+
+/// Outcome of an identification run.
+struct IdentifiedModel {
+  LinearPowerModel model;
+  double r_squared{0.0};
+  double rmse_watts{0.0};
+  std::size_t samples{0};
+};
+
+/// Accumulates (frequency vector, measured power) samples and fits the
+/// affine model p = A*F + C.
+class SystemIdentifier {
+ public:
+  /// `device_count` = 1 CPU + N GPUs.
+  explicit SystemIdentifier(std::size_t device_count);
+
+  /// Adds one steady-state observation. `freqs_mhz` must match device_count.
+  void add_sample(const std::vector<double>& freqs_mhz, Watts measured);
+
+  [[nodiscard]] std::size_t sample_count() const { return power_.size(); }
+  [[nodiscard]] std::size_t device_count() const { return device_count_; }
+
+  /// Least-squares fit. Requires at least device_count + 1 samples with
+  /// enough excitation (throws NumericalError when the regression is rank
+  /// deficient, i.e. some input was never varied).
+  [[nodiscard]] IdentifiedModel fit() const;
+
+  void clear();
+
+ private:
+  std::size_t device_count_;
+  std::vector<std::vector<double>> freqs_;
+  std::vector<double> power_;
+};
+
+}  // namespace capgpu::control

@@ -1,0 +1,143 @@
+#include "core/batching.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "workload/latency_law.hpp"
+
+namespace capgpu::core {
+
+BatchingGovernor::BatchingGovernor(
+    sim::Engine& engine, std::vector<workload::InferenceStream*> streams,
+    CapGpuController& controller, BatchingConfig config)
+    : engine_(&engine),
+      streams_(std::move(streams)),
+      controller_(&controller),
+      config_(config) {
+  CAPGPU_REQUIRE(!streams_.empty(), "governor needs at least one stream");
+  CAPGPU_REQUIRE(config_.period.value > 0.0, "period must be positive");
+  CAPGPU_REQUIRE(config_.min_batch >= 1 &&
+                     config_.max_batch >= config_.min_batch,
+                 "invalid batch range");
+  CAPGPU_REQUIRE(config_.headroom > 0.0 && config_.headroom <= 1.0,
+                 "headroom must be in (0, 1]");
+  CAPGPU_REQUIRE(config_.slo_margin >= 0.0 && config_.slo_margin < 1.0,
+                 "slo_margin must be in [0, 1)");
+  CAPGPU_REQUIRE(config_.step >= 1, "step must be >= 1");
+}
+
+BatchingGovernor::~BatchingGovernor() { stop(); }
+
+void BatchingGovernor::start() {
+  CAPGPU_REQUIRE(timer_ == 0, "governor already started");
+  timer_ = engine_->schedule_periodic(config_.period.value, [this] { adjust(); });
+}
+
+void BatchingGovernor::stop() {
+  if (timer_ != 0) {
+    engine_->cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+std::size_t BatchingGovernor::target_batch(std::size_t i) const {
+  CAPGPU_REQUIRE(i < streams_.size(), "stream index out of range");
+  const auto& model = streams_[i]->model();
+  const auto slo = controller_->slo_of(i + 1);
+  if (!slo) return config_.max_batch;  // throughput only: amortise harder
+  return feasible_batch(model, *slo);
+}
+
+std::size_t BatchingGovernor::feasible_batch(
+    const workload::ModelSpec& model, double slo_seconds) const {
+  const double target = slo_seconds * (1.0 - config_.slo_margin);
+  const double f_limit = config_.headroom * model.gpu_f_max.value;
+  std::size_t best = config_.min_batch;
+  for (std::size_t b = config_.min_batch; b <= config_.max_batch; ++b) {
+    const Megahertz floor = workload::frequency_for_latency(
+        model.e_min_for_batch(b), model.gpu_f_max, target, model.gamma);
+    if (floor.value <= f_limit) best = b;
+  }
+  return best;
+}
+
+double BatchingGovernor::floor_for(std::size_t i, std::size_t batch) const {
+  const auto slo = controller_->slo_of(i + 1);
+  const auto& model = streams_[i]->model();
+  if (!slo) return controller_->mpc().devices()[i + 1].f_min_mhz;
+  const double target = *slo * (1.0 - config_.slo_margin);
+  const Megahertz floor = workload::frequency_for_latency(
+      model.e_min_for_batch(batch), model.gpu_f_max, target, model.gamma);
+  const auto& range = controller_->mpc().devices()[i + 1];
+  return std::clamp(floor.value, range.f_min_mhz, range.f_max_mhz);
+}
+
+double BatchingGovernor::floor_power(
+    const std::vector<std::size_t>& batches) const {
+  const auto& model = controller_->mpc().model();
+  const auto& devices = controller_->mpc().devices();
+  double p = model.offset();
+  p += model.gain(0) * devices[0].f_min_mhz;  // CPU at its minimum
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    p += model.gain(i + 1) * floor_for(i, batches[i]);
+  }
+  return p;
+}
+
+void BatchingGovernor::adjust() {
+  // Compute per-stream targets, then trim them until the power implied by
+  // the SLO floors leaves room under the cap — otherwise batching up
+  // would corner the MPC (hard floors above the budget).
+  std::vector<std::size_t> targets(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    targets[i] = target_batch(i);
+  }
+  const double budget =
+      config_.power_guard * controller_->set_point().value;
+  for (int guard = 0; guard < 512 && floor_power(targets) > budget;
+       ++guard) {
+    // Trim the stream whose floor is highest and can still shrink.
+    std::size_t pick = streams_.size();
+    double worst_floor = -1.0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (targets[i] > config_.min_batch &&
+          floor_for(i, targets[i]) > worst_floor) {
+        worst_floor = floor_for(i, targets[i]);
+        pick = i;
+      }
+    }
+    if (pick == streams_.size()) break;  // nothing left to trim
+    --targets[pick];
+  }
+
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    auto& stream = *streams_[i];
+    const std::size_t current = stream.batch_size();
+    const std::size_t target = targets[i];
+    if (target == current) continue;
+
+    // Step toward the target (bounded change per adjustment), except when
+    // the current batch is SLO-infeasible — then jump straight down.
+    std::size_t next = current;
+    if (target > current) {
+      next = std::min(current + config_.step, target);
+    } else {
+      const auto slo = controller_->slo_of(i + 1);
+      const bool infeasible =
+          slo && feasible_batch(stream.model(), *slo) < current;
+      next = infeasible ? target : std::max(current - config_.step, target);
+    }
+    stream.set_batch_size(next);
+    const std::size_t applied = stream.batch_size();  // queue-clamped
+    controller_->update_latency_model(
+        i + 1, control::LatencyModel(
+                   stream.model().e_min_for_batch(applied),
+                   stream.model().gpu_f_max, stream.model().gamma));
+    // The batch change moves power without a frequency move: keep it out
+    // of the adaptive estimator's next sample.
+    controller_->invalidate_adaptation_sample();
+    ++adjustments_;
+  }
+}
+
+}  // namespace capgpu::core

@@ -1,0 +1,84 @@
+// Coordinated batching + DVFS (extension; cf. Nabavinejad et al., the
+// paper's reference [20]).
+//
+// The batch size is a second per-GPU knob next to the core clock: larger
+// batches amortise per-launch overhead (more images/s at the same power)
+// but lengthen e_i, tightening the SLO-derived frequency floor; smaller
+// batches can make an SLO feasible that no clock could meet at the default
+// batch. This governor adapts each stream's batch size toward the largest
+// value whose SLO floor still fits under f_max (with margin), and keeps
+// the CapGPU controller's latency models in sync so its MPC constraints
+// stay correct.
+#pragma once
+
+#include <vector>
+
+#include "core/capgpu_controller.hpp"
+#include "sim/engine.hpp"
+#include "workload/pipeline.hpp"
+
+namespace capgpu::core {
+
+/// Governor parameters.
+struct BatchingConfig {
+  Seconds period{8.0};       ///< two control periods per adjustment
+  std::size_t min_batch{4};
+  std::size_t max_batch{40};
+  /// The SLO floor for the chosen batch must sit at or below
+  /// headroom * f_max, leaving clock room for power capping.
+  double headroom{0.95};
+  /// Aggregate power guard: the server power implied by all SLO floors
+  /// together (CPUs at minimum) must stay below this fraction of the set
+  /// point, or larger batches would make the cap unreachable. Batches are
+  /// trimmed greedily until the floors fit.
+  double power_guard{0.92};
+  /// Latency target is slo * (1 - margin), mirroring the controller.
+  double slo_margin{0.08};
+  /// Batch-size change per adjustment (gradual, avoids latency steps).
+  std::size_t step{2};
+};
+
+/// Adapts batch sizes; one instance drives all streams of a server.
+class BatchingGovernor {
+ public:
+  /// `streams[i]` must correspond to controller device i+1. All references
+  /// must outlive the governor.
+  BatchingGovernor(sim::Engine& engine,
+                   std::vector<workload::InferenceStream*> streams,
+                   CapGpuController& controller, BatchingConfig config = {});
+  ~BatchingGovernor();
+
+  BatchingGovernor(const BatchingGovernor&) = delete;
+  BatchingGovernor& operator=(const BatchingGovernor&) = delete;
+
+  void start();
+  void stop();
+
+  /// The batch size the governor currently wants for stream i (diagnostic;
+  /// the stream clamps to its queue capacity).
+  [[nodiscard]] std::size_t target_batch(std::size_t i) const;
+
+  /// Number of batch-size changes applied so far.
+  [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+
+  /// Largest batch in [min_batch, max_batch] whose SLO frequency floor
+  /// fits under headroom * f_max; min_batch when even that is infeasible.
+  [[nodiscard]] std::size_t feasible_batch(const workload::ModelSpec& model,
+                                           double slo_seconds) const;
+
+ private:
+  void adjust();
+  /// Server power if every SLO floor binds and everything else sits at its
+  /// minimum, under the controller's power model.
+  [[nodiscard]] double floor_power(const std::vector<std::size_t>& batches) const;
+  [[nodiscard]] double floor_for(std::size_t i, std::size_t batch) const;
+
+  sim::Engine* engine_;
+  std::vector<workload::InferenceStream*> streams_;
+  CapGpuController* controller_;
+  BatchingConfig config_;
+  std::size_t adjustments_{0};
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::core

@@ -1,0 +1,153 @@
+#include "core/control_loop.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace capgpu::core {
+
+ControlLoop::ControlLoop(
+    sim::Engine& engine, hal::IServerHal& hal, hal::ICpuPowerReader& rapl,
+    baselines::IServerPowerController& policy, ControlLoopConfig config,
+    std::function<std::vector<double>()> normalized_throughput)
+    : engine_(&engine),
+      hal_(&hal),
+      rapl_(&rapl),
+      policy_(&policy),
+      config_(config),
+      normalized_throughput_(std::move(normalized_throughput)) {
+  CAPGPU_REQUIRE(config_.period.value > 0.0, "control period must be positive");
+  CAPGPU_REQUIRE(static_cast<bool>(normalized_throughput_),
+                 "throughput provider required");
+  const std::size_t n = hal_->device_count();
+  commands_.resize(n);
+  modulators_.resize(n);
+  freqs_.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    commands_[j] = hal_->device_freqs(DeviceId{static_cast<std::uint32_t>(j)})
+                       .min().value;
+    freqs_.emplace_back("f_" + std::to_string(j), "MHz");
+  }
+}
+
+ControlLoop::~ControlLoop() { stop(); }
+
+void ControlLoop::start() {
+  CAPGPU_REQUIRE(!started_, "loop already started");
+  started_ = true;
+  apply_commands();
+  timer_ = engine_->schedule_periodic(config_.period.value,
+                                      [this] { run_period(); });
+}
+
+void ControlLoop::stop() {
+  if (timer_ != 0) {
+    engine_->cancel(timer_);
+    timer_ = 0;
+  }
+  started_ = false;
+}
+
+void ControlLoop::at_period(std::size_t index, std::function<void()> fn) {
+  CAPGPU_REQUIRE(static_cast<bool>(fn), "null schedule action");
+  schedule_.emplace(index, std::move(fn));
+}
+
+const telemetry::TimeSeries& ControlLoop::freq_trace(std::size_t device) const {
+  CAPGPU_REQUIRE(device < freqs_.size(), "device index out of range");
+  return freqs_[device];
+}
+
+baselines::ControlInputs ControlLoop::gather() const {
+  const std::size_t n = hal_->device_count();
+  baselines::ControlInputs in;
+  in.measured_power = hal_->power_meter().average(config_.period);
+  in.utilization.resize(n);
+  in.device_power_watts.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    in.utilization[j] =
+        hal_->device_utilization(DeviceId{static_cast<std::uint32_t>(j)});
+  }
+  in.device_power_watts[0] = rapl_->package_power().value;
+  for (std::size_t j = 1; j < n; ++j) {
+    in.device_power_watts[j] = hal_->gpu(j - 1).power_usage().value;
+  }
+  in.normalized_throughput = normalized_throughput_();
+  CAPGPU_REQUIRE(in.normalized_throughput.size() == n,
+                 "throughput provider returned wrong size");
+  return in;
+}
+
+void ControlLoop::run_period() {
+  // Scheduled actions (set-point / SLO changes) fire before the decision.
+  auto [first, last] = schedule_.equal_range(periods_);
+  for (auto it = first; it != last; ++it) it->second();
+
+  // Sensor resilience: a meter with no samples this period (hiccup,
+  // driver restart) must not take the loop down — hold the previous
+  // commands and keep the period accounting moving.
+  try {
+    last_inputs_ = gather();
+  } catch (const HalError& e) {
+    CAPGPU_LOG_WARN << "control period skipped (" << e.what()
+                    << "); holding previous commands";
+    ++skipped_;
+    // Keep every trace aligned: repeat the last reading (or the set point
+    // before any reading exists) and the held commands.
+    const double held_power =
+        power_.empty() ? policy_->set_point().value : power_.values().back();
+    power_.add(engine_->now(), held_power);
+    set_point_.add(engine_->now(), policy_->set_point().value);
+    for (std::size_t j = 0; j < commands_.size(); ++j) {
+      freqs_[j].add(engine_->now(), commands_[j]);
+    }
+    const std::size_t index = periods_++;
+    if (on_period) on_period(index);
+    return;
+  }
+  const double error =
+      last_inputs_.measured_power.value - policy_->set_point().value;
+  if (config_.error_deadband_watts > 0.0 &&
+      std::abs(error) < config_.error_deadband_watts) {
+    // Converged within the band: hold commands, skip the policy, and do
+    // not re-apply (no delta-sigma toggling this period).
+    ++deadband_held_;
+  } else {
+    const baselines::ControlOutputs out =
+        policy_->control(last_inputs_, commands_);
+    CAPGPU_REQUIRE(out.target_freqs_mhz.size() == commands_.size(),
+                   "policy returned wrong number of commands");
+    commands_ = out.target_freqs_mhz;
+    apply_commands();
+  }
+
+  power_.add(engine_->now(), last_inputs_.measured_power.value);
+  set_point_.add(engine_->now(), policy_->set_point().value);
+  for (std::size_t j = 0; j < commands_.size(); ++j) {
+    freqs_[j].add(engine_->now(), commands_[j]);
+  }
+  const std::size_t index = periods_++;
+  if (on_period) on_period(index);
+}
+
+void ControlLoop::apply_commands() {
+  if (applied_levels_.empty()) {
+    applied_levels_.assign(commands_.size(), -1.0);
+  }
+  for (std::size_t j = 0; j < commands_.size(); ++j) {
+    const DeviceId id{static_cast<std::uint32_t>(j)};
+    const auto& table = hal_->device_freqs(id);
+    const Megahertz target{commands_[j]};
+    const Megahertz level = config_.use_delta_sigma
+                                ? modulators_[j].step(target, table)
+                                : table.nearest(target);
+    hal_->set_device_frequency(id, level);
+    if (applied_levels_[j] >= 0.0 && applied_levels_[j] != level.value) {
+      ++transitions_;
+    }
+    applied_levels_[j] = level.value;
+  }
+}
+
+}  // namespace capgpu::core

@@ -1,0 +1,110 @@
+// The feedback control loop (paper Sec 3.1 / Sec 5).
+//
+// Every control period T (default 4 s, four 1 s power-meter samples):
+//   1. read the average server power over the last period (controlled var),
+//   2. read per-device utilization, normalized throughput, domain power,
+//   3. ask the policy for new frequency commands (manipulated vars),
+//   4. resolve fractional commands to discrete levels via per-device
+//      delta-sigma modulators and apply them through the HAL.
+// Also hosts the experiment schedule (set-point and SLO changes at given
+// periods) and records the traces every bench consumes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "baselines/controller_iface.hpp"
+#include "control/delta_sigma.hpp"
+#include "hal/rapl_sim.hpp"
+#include "hal/server_hal.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace capgpu::core {
+
+/// Loop configuration.
+struct ControlLoopConfig {
+  Seconds period{4.0};
+  /// When false, fractional commands are snapped to the nearest level
+  /// instead of delta-sigma modulated (ablation switch).
+  bool use_delta_sigma{true};
+  /// Actuation deadband: when |measured - set point| is inside the band,
+  /// the policy is not consulted and commands hold — P-state transitions
+  /// wear VRMs and cost microseconds of stall, so converged loops should
+  /// go quiet. 0 disables (the paper's loop acts every period).
+  double error_deadband_watts{0.0};
+};
+
+/// Drives one policy against one server.
+class ControlLoop {
+ public:
+  /// `normalized_throughput` must return one entry per device (CPU first).
+  /// All references must outlive the loop.
+  ControlLoop(sim::Engine& engine, hal::IServerHal& hal, hal::ICpuPowerReader& rapl,
+              baselines::IServerPowerController& policy,
+              ControlLoopConfig config,
+              std::function<std::vector<double>()> normalized_throughput);
+  ~ControlLoop();
+
+  ControlLoop(const ControlLoop&) = delete;
+  ControlLoop& operator=(const ControlLoop&) = delete;
+
+  /// Applies the initial commands (every device at its minimum level, as
+  /// the paper's runs do) and schedules the periodic control event.
+  void start();
+  void stop();
+
+  /// Runs `fn` just before the control computation of period `index`
+  /// (0-based). Used for set-point and SLO schedule changes.
+  void at_period(std::size_t index, std::function<void()> fn);
+
+  /// Invoked after each period with the period index.
+  std::function<void(std::size_t)> on_period;
+
+  [[nodiscard]] std::size_t periods_elapsed() const { return periods_; }
+  /// Periods skipped because the power meter had no samples (sensor
+  /// hiccup): the loop holds its previous commands instead of acting on
+  /// missing feedback.
+  [[nodiscard]] std::size_t skipped_periods() const { return skipped_; }
+  /// Periods where the error sat inside the deadband and commands held.
+  [[nodiscard]] std::size_t deadband_periods() const { return deadband_held_; }
+  /// Total discrete level changes applied across all devices (actuator
+  /// churn; delta-sigma toggling counts).
+  [[nodiscard]] std::size_t level_transitions() const { return transitions_; }
+  [[nodiscard]] const std::vector<double>& commands() const { return commands_; }
+  [[nodiscard]] const telemetry::TimeSeries& power_trace() const { return power_; }
+  [[nodiscard]] const telemetry::TimeSeries& set_point_trace() const { return set_point_; }
+  [[nodiscard]] const telemetry::TimeSeries& freq_trace(std::size_t device) const;
+  [[nodiscard]] const baselines::ControlInputs& last_inputs() const { return last_inputs_; }
+
+ private:
+  void run_period();
+  void apply_commands();
+  [[nodiscard]] baselines::ControlInputs gather() const;
+
+  sim::Engine* engine_;
+  hal::IServerHal* hal_;
+  hal::ICpuPowerReader* rapl_;
+  baselines::IServerPowerController* policy_;
+  ControlLoopConfig config_;
+  std::function<std::vector<double>()> normalized_throughput_;
+
+  std::vector<double> commands_;  // fractional commands per device
+  std::vector<control::DeltaSigmaModulator> modulators_;
+  std::multimap<std::size_t, std::function<void()>> schedule_;
+  std::size_t periods_{0};
+  std::size_t skipped_{0};
+  std::size_t deadband_held_{0};
+  std::size_t transitions_{0};
+  std::vector<double> applied_levels_;
+  sim::EventId timer_{0};
+  bool started_{false};
+
+  telemetry::TimeSeries power_{"power", "W"};
+  telemetry::TimeSeries set_point_{"set_point", "W"};
+  std::vector<telemetry::TimeSeries> freqs_;
+  baselines::ControlInputs last_inputs_{};
+};
+
+}  // namespace capgpu::core

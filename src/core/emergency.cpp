@@ -1,0 +1,140 @@
+#include "core/emergency.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace capgpu::core {
+
+EmergencyMemoryGovernor::EmergencyMemoryGovernor(sim::Engine& engine,
+                                                 hw::ServerModel& server,
+                                                 const hal::IPowerMeter& meter,
+                                                 Watts cap,
+                                                 EmergencyConfig config)
+    : engine_(&engine),
+      server_(&server),
+      meter_(&meter),
+      cap_(cap),
+      config_(config) {
+  CAPGPU_REQUIRE(config_.check_period.value > 0.0,
+                 "check period must be positive");
+  CAPGPU_REQUIRE(config_.persistence >= 1, "persistence must be >= 1");
+  CAPGPU_REQUIRE(config_.release_margin_watts > config_.engage_margin_watts,
+                 "release margin must exceed engage margin (hysteresis)");
+}
+
+EmergencyMemoryGovernor::~EmergencyMemoryGovernor() { stop(); }
+
+void EmergencyMemoryGovernor::start() {
+  CAPGPU_REQUIRE(timer_ == 0, "governor already started");
+  timer_ = engine_->schedule_periodic(config_.check_period.value,
+                                      [this] { check(); });
+}
+
+void EmergencyMemoryGovernor::stop() {
+  if (timer_ != 0) {
+    engine_->cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+std::size_t EmergencyMemoryGovernor::throttled_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    n += server_->gpu(i).memory_throttled();
+  }
+  return n;
+}
+
+void EmergencyMemoryGovernor::check() {
+  double power = 0.0;
+  try {
+    power = meter_->average(config_.check_period).value;
+  } catch (const HalError&) {
+    return;  // no samples yet
+  }
+
+  if (power > cap_.value + config_.engage_margin_watts) {
+    ++over_streak_;
+    under_streak_ = 0;
+    if (over_streak_ >= config_.persistence) {
+      engage_one();
+      over_streak_ = 0;
+    }
+    return;
+  }
+
+  // Release path: raw headroom, or "the DVFS loop has enough downward
+  // slack to absorb what releasing a board adds back" (a converged capping
+  // loop sits exactly at the cap, so raw headroom alone would deadlock the
+  // throttle).
+  const bool headroom = power < cap_.value - config_.release_margin_watts;
+  const bool slack = power <= cap_.value + config_.engage_margin_watts &&
+                     dvfs_slack_watts() > config_.release_margin_watts;
+  if (headroom || slack) {
+    ++under_streak_;
+    over_streak_ = 0;
+    if (under_streak_ >= config_.persistence) {
+      release_one();
+      under_streak_ = 0;
+    }
+  } else {
+    over_streak_ = 0;
+    under_streak_ = 0;
+  }
+}
+
+double EmergencyMemoryGovernor::dvfs_slack_watts() const {
+  // Power the frequency loop could still shed by driving every device to
+  // its minimum level at the current utilization — exact within the
+  // hardware model (a BMC knows its own boards).
+  double slack = server_->cpu().power().value -
+                 server_->cpu()
+                     .power_at(server_->cpu().freqs().min(),
+                               server_->cpu().utilization())
+                     .value;
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    const auto& gpu = server_->gpu(i);
+    slack += gpu.power().value -
+             gpu.power_at(gpu.freqs().min(), gpu.utilization()).value;
+  }
+  return slack;
+}
+
+void EmergencyMemoryGovernor::engage_one() {
+  // Throttle the hungriest unthrottled board first.
+  std::size_t pick = server_->gpu_count();
+  double max_power = -1.0;
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    auto& gpu = server_->gpu(i);
+    if (!gpu.memory_throttled() && gpu.power().value > max_power) {
+      max_power = gpu.power().value;
+      pick = i;
+    }
+  }
+  if (pick == server_->gpu_count()) return;  // everything already throttled
+  server_->gpu(pick).set_memory_throttled(true);
+  ++engagements_;
+  CAPGPU_LOG_WARN << "emergency governor: memory-throttling "
+                  << server_->gpu(pick).name() << " (cap " << cap_.value
+                  << " W unreachable by DVFS alone)";
+}
+
+void EmergencyMemoryGovernor::release_one() {
+  // Release in reverse preference: the least power-hungry throttled board.
+  std::size_t pick = server_->gpu_count();
+  double min_power = 1e300;
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    auto& gpu = server_->gpu(i);
+    if (gpu.memory_throttled() && gpu.power().value < min_power) {
+      min_power = gpu.power().value;
+      pick = i;
+    }
+  }
+  if (pick == server_->gpu_count()) return;  // nothing throttled
+  server_->gpu(pick).set_memory_throttled(false);
+  ++releases_;
+  CAPGPU_LOG_INFO << "emergency governor: released "
+                  << server_->gpu(pick).name();
+}
+
+}  // namespace capgpu::core

@@ -1,0 +1,79 @@
+// Emergency memory-throttling governor (paper Sec 4.4).
+//
+// The MPC assumes the cap is reachable by core-frequency adaptation alone;
+// the paper notes that when no frequency combination can achieve
+// p(k) = Ps, "additional system mechanisms (e.g., memory throttling) must
+// be integrated". This governor is that mechanism: a last-resort protection
+// layer (akin to BMC firmware, sitting below the HAL) that watches the
+// power meter and, when the cap has been persistently violated with the
+// controller already railed, drops GPU memory clocks one board at a time.
+// Boards are released with hysteresis once headroom returns.
+#pragma once
+
+#include <cstddef>
+
+#include "hal/interfaces.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::core {
+
+/// Governor thresholds.
+struct EmergencyConfig {
+  Seconds check_period{4.0};
+  /// Engage after power > cap + engage_margin for `persistence` checks.
+  double engage_margin_watts{5.0};
+  std::size_t persistence{3};
+  /// Release one board when, for `persistence` checks, either power sits
+  /// release_margin below the cap, or power is at/under the cap while the
+  /// DVFS controller holds at least release_margin of downward slack
+  /// (clocks above minimum) — i.e. the frequency loop could absorb the
+  /// power the released memory adds back. The margin must cover one
+  /// board's memory power step or the governor would oscillate.
+  double release_margin_watts{25.0};
+};
+
+/// Watches the meter; escalates to memory throttling when frequency-only
+/// capping is insufficient.
+class EmergencyMemoryGovernor {
+ public:
+  /// References must outlive the governor. Call start() to arm it.
+  EmergencyMemoryGovernor(sim::Engine& engine, hw::ServerModel& server,
+                          const hal::IPowerMeter& meter, Watts cap,
+                          EmergencyConfig config = {});
+  ~EmergencyMemoryGovernor();
+
+  EmergencyMemoryGovernor(const EmergencyMemoryGovernor&) = delete;
+  EmergencyMemoryGovernor& operator=(const EmergencyMemoryGovernor&) = delete;
+
+  void start();
+  void stop();
+
+  void set_cap(Watts cap) { cap_ = cap; }
+  [[nodiscard]] Watts cap() const { return cap_; }
+
+  /// Number of GPUs currently memory-throttled.
+  [[nodiscard]] std::size_t throttled_count() const;
+  /// Lifetime engage/release event counts.
+  [[nodiscard]] std::size_t engagements() const { return engagements_; }
+  [[nodiscard]] std::size_t releases() const { return releases_; }
+
+ private:
+  void check();
+  void engage_one();
+  void release_one();
+  [[nodiscard]] double dvfs_slack_watts() const;
+
+  sim::Engine* engine_;
+  hw::ServerModel* server_;
+  const hal::IPowerMeter* meter_;
+  Watts cap_;
+  EmergencyConfig config_;
+  std::size_t over_streak_{0};
+  std::size_t under_streak_{0};
+  std::size_t engagements_{0};
+  std::size_t releases_{0};
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::core

@@ -1,0 +1,53 @@
+#include "core/motivation.hpp"
+
+#include "common/rng.hpp"
+#include "hal/server_hal.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+#include "workload/cpu_load.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/pipeline.hpp"
+
+namespace capgpu::core {
+
+MotivationRow run_motivation_config(std::string label, Megahertz cpu_freq,
+                                    Megahertz gpu_freq,
+                                    MotivationConfig config) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::rtx3090_workstation();
+  Rng rng(config.seed);
+  hal::ServerHal hal(engine, server, hal::AcpiPowerMeterParams{}, rng.split());
+  workload::HostCpuLoad load(server.cpu(), config.host_cores);
+  load.add_always_busy_cores(1);  // the GPU-bound consumer process
+
+  workload::StreamParams sp;
+  sp.model = workload::googlenet_rtx3090();
+  sp.n_preprocess_workers = config.workers;
+  sp.queue_capacity = config.queue_capacity;
+  workload::InferenceStream stream(engine, server, 0, sp, rng.split());
+  stream.on_worker_compute_change = [&load](int d) {
+    load.worker_compute_delta(d);
+  };
+
+  hal.cpu().set_frequency(cpu_freq);
+  hal.gpu(0).set_application_clocks(hal.gpu(0).memory_clock(), gpu_freq);
+  stream.start();
+
+  engine.run_until(config.warmup.value);
+  engine.run_until(config.warmup.value + config.measure.value);
+
+  const double now = engine.now();
+  const double window = config.measure.value;
+  MotivationRow row;
+  row.label = std::move(label);
+  row.cpu_ghz = hal.cpu().frequency().value / 1000.0;
+  row.gpu_mhz = hal.gpu(0).core_clock().value;
+  row.preprocess_s_per_img = stream.preprocess_latency().mean(now, window);
+  row.gpu_s_per_batch = stream.batch_latency().mean(now, window);
+  row.queue_s_per_img = stream.queue_delay().mean(now, window);
+  row.throughput_img_s = stream.images_throughput().rate(now, window);
+  row.power_w = hal.power_meter().average(Seconds{window}).value;
+  return row;
+}
+
+}  // namespace capgpu::core

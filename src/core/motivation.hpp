@@ -1,0 +1,44 @@
+// The motivation experiment (paper Sec 3.2, Table 1).
+//
+// Emulates the paper's cloud server: ten parallel requests, each pinned to a
+// physical core, preprocess GoogLeNet inputs and push tensors into a shared
+// queue; a single consumer assembles batches of 20 and runs them on an
+// RTX 3090. Three static frequency configurations (CPU-only / GPU-only /
+// CapGPU midpoint) are compared on end-to-end metrics.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace capgpu::core {
+
+/// Experiment options.
+struct MotivationConfig {
+  Seconds warmup{60.0};
+  Seconds measure{240.0};
+  std::size_t workers{10};
+  std::size_t host_cores{12};
+  std::size_t queue_capacity{20};
+  std::uint64_t seed{7};
+};
+
+/// One Table 1 row.
+struct MotivationRow {
+  std::string label;
+  double cpu_ghz{0.0};
+  double gpu_mhz{0.0};
+  double preprocess_s_per_img{0.0};  ///< incl. time blocked on a full queue
+  double gpu_s_per_batch{0.0};
+  double queue_s_per_img{0.0};
+  double throughput_img_s{0.0};
+  double power_w{0.0};
+};
+
+/// Runs one static-frequency configuration and returns its metrics row.
+[[nodiscard]] MotivationRow run_motivation_config(std::string label,
+                                                  Megahertz cpu_freq,
+                                                  Megahertz gpu_freq,
+                                                  MotivationConfig config = {});
+
+}  // namespace capgpu::core

@@ -1,0 +1,270 @@
+#include "core/rig.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include <algorithm>
+#include "workload/latency_law.hpp"
+
+namespace capgpu::core {
+
+namespace {
+RigConfig with_defaults(RigConfig config) {
+  if (config.models.empty()) {
+    config.models = workload::v100_testbed_models();
+  }
+  const std::size_t preproc =
+      config.models.size() * config.preprocess_workers_per_stream;
+  if (config.cpu_task_cores == 0) {
+    CAPGPU_REQUIRE(config.total_cores > preproc + config.controller_cores,
+                   "no cores left for the CPU workload");
+    config.cpu_task_cores =
+        config.total_cores - preproc - config.controller_cores;
+  }
+  return config;
+}
+}  // namespace
+
+telemetry::RunningStats RunResult::steady_power(std::size_t skip) const {
+  return power.stats_from(skip);
+}
+
+ServerRig::ServerRig(RigConfig config)
+    : config_(with_defaults(std::move(config))),
+      server_(hw::ServerModel::v100_testbed(config_.models.size())),
+      rapl_(server_.cpu()),
+      host_load_(server_.cpu(), config_.total_cores) {
+  Rng rng(config_.seed);
+  hal_ = std::make_unique<hal::ServerHal>(engine_, server_, config_.meter,
+                                          rng.split());
+
+  // Always-busy cores: controller + the feature-selection job.
+  host_load_.add_always_busy_cores(config_.controller_cores +
+                                   config_.cpu_task_cores);
+
+  workload::CpuTaskParams task_params;
+  task_params.cores = config_.cpu_task_cores;
+  task_params.subset_s_ghz = config_.cpu_task_subset_s_ghz;
+  cpu_task_ = std::make_unique<workload::CpuTaskSim>(engine_, server_.cpu(),
+                                                     task_params, rng.split());
+  cpu_task_->start();
+
+  streams_.reserve(config_.models.size());
+  for (std::size_t i = 0; i < config_.models.size(); ++i) {
+    workload::StreamParams sp;
+    sp.model = config_.models[i];
+    sp.n_preprocess_workers = config_.preprocess_workers_per_stream;
+    sp.open_loop = !config_.offered_load.empty();
+    auto stream = std::make_unique<workload::InferenceStream>(
+        engine_, server_, i, sp, rng.split());
+    stream->on_worker_compute_change = [this](int delta) {
+      host_load_.worker_compute_delta(delta);
+    };
+    if (!config_.throttle_preprocess_cores) {
+      const Megahertz pinned = server_.cpu().freqs().max();
+      stream->preprocess_frequency = [pinned] { return pinned; };
+    }
+    stream->start();
+
+    if (sp.open_loop) {
+      // Scale the fractional offered-load schedule by this stream's peak
+      // throughput to get its absolute arrival rate.
+      std::vector<workload::RatePoint> schedule = config_.offered_load;
+      const double peak = stream->max_images_per_s();
+      for (auto& pt : schedule) pt.rate_per_s *= peak;
+      auto arrivals = std::make_unique<workload::ArrivalProcess>(
+          engine_, rng.split(), std::move(schedule));
+      auto* stream_ptr = stream.get();
+      arrivals->on_arrival = [stream_ptr] { stream_ptr->submit_requests(1); };
+      arrivals->start();
+      arrivals_.push_back(std::move(arrivals));
+    }
+    streams_.push_back(std::move(stream));
+  }
+}
+
+workload::InferenceStream& ServerRig::stream(std::size_t i) {
+  CAPGPU_REQUIRE(i < streams_.size(), "stream index out of range");
+  return *streams_[i];
+}
+
+std::vector<control::DeviceRange> ServerRig::device_ranges() const {
+  std::vector<control::DeviceRange> out;
+  out.reserve(server_.device_count());
+  {
+    control::DeviceRange d;
+    d.kind = DeviceKind::kCpu;
+    d.f_min_mhz = server_.cpu().freqs().min().value;
+    d.f_max_mhz = server_.cpu().freqs().max().value;
+    out.push_back(d);
+  }
+  for (std::size_t i = 0; i < server_.gpu_count(); ++i) {
+    control::DeviceRange d;
+    d.kind = DeviceKind::kGpu;
+    d.f_min_mhz = server_.gpu(i).freqs().min().value;
+    d.f_max_mhz = server_.gpu(i).freqs().max().value;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<double> ServerRig::normalized_throughputs() const {
+  const double now = engine_.now();
+  const double window = config_.throughput_window.value;
+  std::vector<double> out;
+  out.reserve(1 + streams_.size());
+  out.push_back(cpu_task_->throughput().normalized_rate(now, window));
+  for (const auto& s : streams_) {
+    out.push_back(s->images_throughput().normalized_rate(now, window));
+  }
+  return out;
+}
+
+double ServerRig::gpu_demand() const {
+  const double now = engine_.now();
+  const double window = config_.throughput_window.value;
+  double total = 0.0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& s = *streams_[i];
+    const auto& m = s.model();
+    // Occupancy: achieved rate vs the capacity at the *current* clock.
+    const Megahertz f = server_.gpu(i).core_clock();
+    const double capacity =
+        static_cast<double>(m.batch_size) /
+        workload::latency_at(m.e_min_batch_s, m.gpu_f_max, f, m.gamma);
+    const double occupancy = std::min(
+        1.0, s.images_throughput().rate(now, window) / capacity);
+    // Headroom: how much clock range is left to buy with extra watts.
+    const auto& table = server_.gpu(i).freqs();
+    const double headroom = (table.max().value - f.value) /
+                            (table.max().value - table.min().value);
+    total += occupancy * headroom;
+  }
+  return streams_.empty() ? 0.0 : total / static_cast<double>(streams_.size());
+}
+
+std::map<std::size_t, control::LatencyModel> ServerRig::latency_models()
+    const {
+  std::map<std::size_t, control::LatencyModel> out;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& m = streams_[i]->model();
+    out.emplace(i + 1,
+                control::LatencyModel(m.e_min_batch_s, m.gpu_f_max, m.gamma));
+  }
+  return out;
+}
+
+control::IdentifiedModel ServerRig::identify(IdentifyOptions options) {
+  return run_system_identification(engine_, *hal_, options);
+}
+
+control::LinearPowerModel ServerRig::analytic_power_model() const {
+  // Gains at full utilization; offset collects everything
+  // frequency-independent (chassis + idle terms + pinned memory clocks).
+  std::vector<double> gains;
+  gains.push_back(server_.cpu().params().watts_per_mhz);
+  double offset = server_.static_power().value +
+                  server_.cpu().params().idle_watts;
+  for (std::size_t i = 0; i < server_.gpu_count(); ++i) {
+    const auto& p = server_.gpu(i).params();
+    gains.push_back(p.watts_per_mhz);
+    offset += p.idle_watts + p.memory_watts;
+  }
+  return control::LinearPowerModel(std::move(gains), offset);
+}
+
+RunResult ServerRig::run(baselines::IServerPowerController& policy,
+                         const RunOptions& options) {
+  CAPGPU_REQUIRE(!ran_, "this rig already executed a run; build a fresh one");
+  ran_ = true;
+  CAPGPU_REQUIRE(options.periods > 0, "need at least one period");
+
+  policy.set_set_point(options.set_point);
+
+  ControlLoop loop(engine_, *hal_, rapl_, policy, options.loop,
+                   [this] { return normalized_throughputs(); });
+
+  RunResult result;
+  const std::size_t n_dev = server_.device_count();
+  for (std::size_t j = 0; j < n_dev; ++j) {
+    result.device_freqs.emplace_back("f_" + std::to_string(j), "MHz");
+  }
+  std::vector<double> active_slo(streams_.size(), 0.0);
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& name = streams_[i]->model().name;
+    result.gpu_latency.emplace_back(name + "_latency", "s");
+    result.gpu_slo.emplace_back(name + "_slo", "s");
+    result.gpu_throughput.emplace_back(name + "_thr", "img/s");
+    result.slo_misses.emplace_back();
+    result.gpu_latency_dist.emplace_back();
+  }
+
+  // Schedule: initial SLOs, SLO changes, set-point changes.
+  for (const auto& [device, slo] : options.initial_slos) {
+    loop.at_period(0, [&policy, &active_slo, device, slo] {
+      policy.set_slo(device, slo);
+      active_slo.at(device - 1) = slo;
+    });
+  }
+  for (const auto& [period, device, slo] : options.slo_changes) {
+    loop.at_period(period, [&policy, &active_slo, device, slo] {
+      policy.set_slo(device, slo);
+      active_slo.at(device - 1) = slo;
+    });
+  }
+  for (const auto& [period, sp] : options.set_point_changes) {
+    loop.at_period(period, [&policy, sp] { policy.set_set_point(sp); });
+  }
+
+  const double period_s = options.loop.period.value;
+  loop.on_period = [&](std::size_t index) {
+    const double now = engine_.now();
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      auto& s = *streams_[i];
+      auto& lat = s.batch_latency();
+      result.gpu_latency[i].add(now, lat.mean(now, period_s));
+      if (index >= options.percentile_skip) {
+        lat.visit(now, period_s, [&result, i](double sample) {
+          result.gpu_latency_dist[i].add(sample);
+        });
+      }
+      result.gpu_slo[i].add(now, active_slo[i]);
+      result.gpu_throughput[i].add(
+          now, s.images_throughput().rate(now, period_s));
+      if (active_slo[i] > 0.0) {
+        const std::size_t cnt = lat.count(now, period_s);
+        const auto misses = static_cast<std::size_t>(
+            std::llround(lat.miss_rate(now, period_s, active_slo[i]) *
+                         static_cast<double>(cnt)));
+        for (std::size_t k = 0; k < cnt; ++k) {
+          result.slo_misses[i].add(k < misses);
+        }
+      }
+      lat.trim(now);
+      s.images_throughput().trim(now);
+      s.queue_delay().trim(now);
+      s.preprocess_latency().trim(now);
+    }
+    result.cpu_throughput.add(now, cpu_task_->throughput().rate(now, period_s));
+    result.cpu_latency.add(now, cpu_task_->subset_latency().mean(now, period_s));
+    cpu_task_->throughput().trim(now);
+    cpu_task_->subset_latency().trim(now);
+  };
+
+  loop.start();
+  const double t_end =
+      engine_.now() + static_cast<double>(options.periods) * period_s + 1e-3;
+  engine_.run_until(t_end);
+  loop.stop();
+
+  CAPGPU_ASSERT(loop.periods_elapsed() == options.periods);
+  result.power = loop.power_trace();
+  result.set_point = loop.set_point_trace();
+  for (std::size_t j = 0; j < n_dev; ++j) {
+    result.device_freqs[j] = loop.freq_trace(j);
+  }
+  result.periods = options.periods;
+  return result;
+}
+
+}  // namespace capgpu::core

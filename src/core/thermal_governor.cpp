@@ -1,0 +1,86 @@
+#include "core/thermal_governor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::core {
+
+ThermalGovernor::ThermalGovernor(sim::Engine& engine, hw::ServerModel& server,
+                                 const hw::ThermalIntegrator& integrator,
+                                 CapGpuController& controller,
+                                 ThermalGovernorConfig config)
+    : engine_(&engine),
+      server_(&server),
+      integrator_(&integrator),
+      controller_(&controller),
+      config_(config) {
+  CAPGPU_REQUIRE(config_.period.value > 0.0, "period must be positive");
+  CAPGPU_REQUIRE(config_.guard_c >= 0.0, "guard must be >= 0");
+  CAPGPU_REQUIRE(config_.max_step_mhz > 0.0, "max_step must be positive");
+}
+
+ThermalGovernor::~ThermalGovernor() { stop(); }
+
+void ThermalGovernor::start() {
+  CAPGPU_REQUIRE(timer_ == 0, "governor already started");
+  ceilings_.assign(server_->gpu_count(), 0.0);
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    ceilings_[i] = server_->gpu(i).freqs().max().value;
+  }
+  timer_ = engine_->schedule_periodic(config_.period.value, [this] { tick(); });
+}
+
+void ThermalGovernor::stop() {
+  if (timer_ != 0) {
+    engine_->cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+double ThermalGovernor::ceiling_for(std::size_t gpu) const {
+  CAPGPU_REQUIRE(gpu < server_->gpu_count(), "gpu index out of range");
+  const auto& board = server_->gpu(gpu);
+  const auto& p = board.params();
+  const double target_c = config_.limit_c - config_.guard_c;
+  const double power_budget = integrator_->power_budget_for(gpu, target_c);
+  // Invert the board power law, P = idle + memory + wpm * f * activity, at
+  // full activity: the board must stay within its thermal budget even when
+  // continuously busy, and instantaneous utilization toggles with every
+  // batch (using it would make the ceiling jitter).
+  const double memory = board.memory_throttled() ? p.memory_watts_low
+                                                 : p.memory_watts;
+  const double dynamic_budget = power_budget - p.idle_watts - memory;
+  const double f_min = board.freqs().min().value;
+  const double f_max = board.freqs().max().value;
+  if (dynamic_budget <= 0.0) return f_min;
+  const double f = dynamic_budget / p.watts_per_mhz;
+  return std::clamp(f, f_min, f_max);
+}
+
+void ThermalGovernor::tick() {
+  bool any_binding = false;
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    const double f_max = server_->gpu(i).freqs().max().value;
+    const double target = ceiling_for(i);
+    if (server_->gpu(i).temperature_c() > config_.limit_c - config_.guard_c) {
+      // Inside the guard band already: protection overrides smoothness —
+      // jump straight to the derived ceiling.
+      ceilings_[i] = std::min(ceilings_[i], target);
+    } else {
+      // Rate-limit the ceiling move (the thermal plant is slow, and large
+      // steps would fight the power loop).
+      const double step = std::clamp(target - ceilings_[i],
+                                     -config_.max_step_mhz,
+                                     config_.max_step_mhz);
+      ceilings_[i] += step;
+    }
+    ceilings_[i] = std::clamp(ceilings_[i],
+                              server_->gpu(i).freqs().min().value, f_max);
+    (void)controller_->set_max_frequency(i + 1, ceilings_[i]);
+    any_binding = any_binding || ceilings_[i] < f_max - 1.0;
+  }
+  binding_periods_ += any_binding;
+}
+
+}  // namespace capgpu::core

@@ -1,0 +1,74 @@
+// Temperature-constrained capping (extension; cf. the authors' earlier
+// temperature-constrained power control work, the paper's reference [32]).
+//
+// Each GPU gets a temperature limit. The governor converts the limit into
+// a per-board frequency ceiling via the thermal model's inverse — the
+// steady-state power budget at the limit maps through the board's power
+// law to a clock — and feeds it to CapGPU as a max-frequency override (the
+// mirror of the SLO floor). The MIMO controller then re-allocates the
+// power budget: a board running hot is clocked down and the freed watts
+// flow to cooler boards, instead of a blunt server-wide throttle.
+#pragma once
+
+#include <vector>
+
+#include "core/capgpu_controller.hpp"
+#include "hw/thermal.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::core {
+
+/// Governor parameters.
+struct ThermalGovernorConfig {
+  Seconds period{4.0};
+  double limit_c{83.0};       ///< per-board temperature limit (V100 slowdown)
+  /// Ceilings target limit - guard so the first-order settle overshoot
+  /// stays under the hard limit.
+  double guard_c{3.0};
+  /// Per-period ceiling change is rate-limited to this many MHz (smooth
+  /// hand-off between the thermal and power loops).
+  double max_step_mhz{150.0};
+};
+
+/// Derives per-GPU frequency ceilings from board temperatures.
+class ThermalGovernor {
+ public:
+  /// References must outlive the governor; `integrator` supplies the
+  /// thermal parameters and `server` the power laws and temperatures.
+  ThermalGovernor(sim::Engine& engine, hw::ServerModel& server,
+                  const hw::ThermalIntegrator& integrator,
+                  CapGpuController& controller,
+                  ThermalGovernorConfig config = {});
+  ~ThermalGovernor();
+
+  ThermalGovernor(const ThermalGovernor&) = delete;
+  ThermalGovernor& operator=(const ThermalGovernor&) = delete;
+
+  void start();
+  void stop();
+
+  /// Frequency ceiling (MHz) the governor derived for `gpu` at the target
+  /// temperature, from the thermal inverse and the board's power law at
+  /// its current utilization.
+  [[nodiscard]] double ceiling_for(std::size_t gpu) const;
+
+  /// Current applied ceilings (diagnostics); empty before the first tick.
+  [[nodiscard]] const std::vector<double>& ceilings() const { return ceilings_; }
+
+  /// Number of periods in which any ceiling actively bound (below spec max).
+  [[nodiscard]] std::size_t binding_periods() const { return binding_periods_; }
+
+ private:
+  void tick();
+
+  sim::Engine* engine_;
+  hw::ServerModel* server_;
+  const hw::ThermalIntegrator* integrator_;
+  CapGpuController* controller_;
+  ThermalGovernorConfig config_;
+  std::vector<double> ceilings_;
+  std::size_t binding_periods_{0};
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::core

@@ -1,0 +1,94 @@
+#include "hal/acpi_power_meter.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+AcpiPowerMeter::AcpiPowerMeter(sim::Engine& engine,
+                               const hw::ServerModel& server,
+                               AcpiPowerMeterParams params, Rng rng)
+    : engine_(&engine),
+      server_(&server),
+      params_(params),
+      rng_(rng),
+      filter_(params.response_tau_seconds) {
+  CAPGPU_REQUIRE(params_.sample_interval.value > 0.0,
+                 "sample interval must be positive");
+  CAPGPU_REQUIRE(params_.noise_stddev_watts >= 0.0,
+                 "noise stddev must be >= 0");
+  CAPGPU_REQUIRE(params_.history_capacity > 0, "history capacity must be > 0");
+  timer_ = engine_->schedule_periodic(params_.sample_interval.value,
+                                      [this] { take_sample(); });
+}
+
+AcpiPowerMeter::~AcpiPowerMeter() { engine_->cancel(timer_); }
+
+void AcpiPowerMeter::take_sample() {
+  const double truth = server_->total_power().value;
+  const double lagged = filter_.step(truth, params_.sample_interval.value);
+  double reading = lagged + rng_.normal(0.0, params_.noise_stddev_watts);
+  if (reading < 0.0) reading = 0.0;
+  if (params_.backing_file) reading = round_trip_through_file(reading);
+
+  const PowerSample sample{engine_->now(), Watts{reading}};
+  if (params_.report_delay.value > 0.0) {
+    // The reading surfaces after the reporting delay; its timestamp stays
+    // the measurement time, so readers see stale data — exactly what a
+    // BMC/Redfish path does.
+    engine_->schedule_after(params_.report_delay.value,
+                            [this, sample] { publish(sample); });
+  } else {
+    publish(sample);
+  }
+  ++samples_taken_;
+}
+
+void AcpiPowerMeter::publish(const PowerSample& sample) {
+  history_.push_back(sample);
+  while (history_.size() > params_.history_capacity) history_.pop_front();
+}
+
+double AcpiPowerMeter::round_trip_through_file(double watts) const {
+  // ACPI meters surface readings as microwatts in a hwmon "power1_average"
+  // file; reproduce that quantisation and parsing.
+  {
+    std::ofstream out(*params_.backing_file, std::ios::trunc);
+    if (!out) throw HalError("power meter backing file not writable: " +
+                             *params_.backing_file);
+    out << static_cast<long long>(watts * 1e6) << '\n';
+  }
+  std::ifstream in(*params_.backing_file);
+  long long micro = 0;
+  if (!(in >> micro)) {
+    throw HalError("power meter backing file not readable: " +
+                   *params_.backing_file);
+  }
+  return static_cast<double>(micro) * 1e-6;
+}
+
+PowerSample AcpiPowerMeter::latest() const {
+  if (history_.empty()) throw HalError("power meter has no samples yet");
+  return history_.back();
+}
+
+Watts AcpiPowerMeter::average(Seconds window) const {
+  CAPGPU_REQUIRE(window.value > 0.0, "average window must be positive");
+  const double cutoff = engine_->now() - window.value;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->time < cutoff) break;
+    sum += it->power.value;
+    ++n;
+  }
+  if (n == 0) throw HalError("power meter window holds no samples");
+  return Watts{sum / static_cast<double>(n)};
+}
+
+Seconds AcpiPowerMeter::sample_interval() const {
+  return params_.sample_interval;
+}
+
+}  // namespace capgpu::hal

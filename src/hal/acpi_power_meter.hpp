@@ -1,0 +1,71 @@
+// Simulated ACPI power_meter-acpi-0 device.
+//
+// Mirrors the paper's measurement path (Sec 5): an ACPI-compliant meter
+// samples wall power once per second and appends readings that the
+// controller later averages over its 4 s control period. The simulation
+// adds a first-order response lag and Gaussian sensor noise, and can
+// optionally round-trip each reading through a real file to exercise the
+// same sysfs-file plumbing lm-sensors exposes.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "hal/interfaces.hpp"
+#include "hw/power_filter.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+
+/// Configuration of the simulated meter.
+struct AcpiPowerMeterParams {
+  Seconds sample_interval{1.0};  ///< ACPI meters typically sample at 1 Hz
+  double noise_stddev_watts{4.0};
+  double response_tau_seconds{1.2};  ///< first-order lag of true power
+  /// Reporting delay: BMC/Redfish paths surface a reading this long after
+  /// it was taken (the sample's timestamp reflects measurement time, but
+  /// it only becomes visible to readers after the delay).
+  Seconds report_delay{0.0};
+  std::size_t history_capacity{512};
+  /// When set, every sample is written to this file ("<watts>\n") and read
+  /// back before being reported, exercising the sysfs-file code path.
+  std::optional<std::string> backing_file;
+};
+
+/// Periodically samples a ServerModel on a sim::Engine.
+class AcpiPowerMeter final : public IPowerMeter {
+ public:
+  /// Starts sampling immediately; the first sample lands at
+  /// now + sample_interval. All references must outlive this object.
+  AcpiPowerMeter(sim::Engine& engine, const hw::ServerModel& server,
+                 AcpiPowerMeterParams params, Rng rng);
+  ~AcpiPowerMeter() override;
+
+  AcpiPowerMeter(const AcpiPowerMeter&) = delete;
+  AcpiPowerMeter& operator=(const AcpiPowerMeter&) = delete;
+
+  [[nodiscard]] PowerSample latest() const override;
+  [[nodiscard]] Watts average(Seconds window) const override;
+  [[nodiscard]] Seconds sample_interval() const override;
+
+  [[nodiscard]] std::size_t samples_taken() const { return samples_taken_; }
+
+ private:
+  void take_sample();
+  void publish(const PowerSample& sample);
+  [[nodiscard]] double round_trip_through_file(double watts) const;
+
+  sim::Engine* engine_;
+  const hw::ServerModel* server_;
+  AcpiPowerMeterParams params_;
+  Rng rng_;
+  hw::PowerLowPass filter_;
+  std::deque<PowerSample> history_;
+  std::size_t samples_taken_{0};
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,139 @@
+#include "hal/compat_server_hal.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+namespace {
+
+void check(nvmlReturn_t r, const char* what) {
+  if (r != NVML_SUCCESS) {
+    throw HalError(std::string(what) + ": " + nvmlErrorString(r));
+  }
+}
+
+}  // namespace
+
+NvmlCApiGpuControl::NvmlCApiGpuControl(unsigned int index)
+    : table_({1_MHz}) {
+  check(nvmlDeviceGetHandleByIndex(index, &device_), "GetHandleByIndex");
+  unsigned int mem = 0;
+  check(nvmlDeviceGetApplicationsClock(device_, NVML_CLOCK_MEM, &mem),
+        "GetApplicationsClock(mem)");
+  memory_clock_ = Megahertz{static_cast<double>(mem)};
+
+  unsigned int count = 0;
+  check(nvmlDeviceGetSupportedGraphicsClocks(device_, mem, &count, nullptr),
+        "GetSupportedGraphicsClocks(size)");
+  std::vector<unsigned int> clocks(count);
+  check(nvmlDeviceGetSupportedGraphicsClocks(device_, mem, &count,
+                                             clocks.data()),
+        "GetSupportedGraphicsClocks");
+  std::vector<Megahertz> levels;
+  levels.reserve(count);
+  for (const unsigned int c : clocks) {
+    levels.push_back(Megahertz{static_cast<double>(c)});
+  }
+  table_ = hw::FrequencyTable(std::move(levels));
+}
+
+Megahertz NvmlCApiGpuControl::set_application_clocks(Megahertz memory,
+                                                     Megahertz core) {
+  const Megahertz snapped = table_.nearest(core);
+  check(nvmlDeviceSetApplicationsClocks(
+            device_, static_cast<unsigned int>(memory.value),
+            static_cast<unsigned int>(snapped.value)),
+        "SetApplicationsClocks");
+  return snapped;
+}
+
+Megahertz NvmlCApiGpuControl::core_clock() const {
+  unsigned int clk = 0;
+  check(nvmlDeviceGetApplicationsClock(device_, NVML_CLOCK_GRAPHICS, &clk),
+        "GetApplicationsClock(graphics)");
+  return Megahertz{static_cast<double>(clk)};
+}
+
+Megahertz NvmlCApiGpuControl::memory_clock() const { return memory_clock_; }
+
+const hw::FrequencyTable& NvmlCApiGpuControl::supported_core_clocks() const {
+  return table_;
+}
+
+Watts NvmlCApiGpuControl::power_usage() const {
+  unsigned int mw = 0;
+  check(nvmlDeviceGetPowerUsage(device_, &mw), "GetPowerUsage");
+  return Watts{static_cast<double>(mw) / 1000.0};
+}
+
+double NvmlCApiGpuControl::utilization() const {
+  nvmlUtilization_t util{};
+  check(nvmlDeviceGetUtilizationRates(device_, &util), "GetUtilizationRates");
+  return static_cast<double>(util.gpu) / 100.0;
+}
+
+double NvmlCApiGpuControl::temperature_c() const {
+  unsigned int temp = 0;
+  check(nvmlDeviceGetTemperature(device_, NVML_TEMPERATURE_GPU, &temp),
+        "GetTemperature");
+  return static_cast<double>(temp);
+}
+
+CompatServerHal::CompatServerHal(std::filesystem::path cpufreq_dir,
+                                 IPowerMeter& meter)
+    : cpu_(std::move(cpufreq_dir)), meter_(&meter) {
+  check(nvmlInit(), "nvmlInit");
+  unsigned int count = 0;
+  check(nvmlDeviceGetCount(&count), "GetCount");
+  CAPGPU_REQUIRE(count >= 1, "no GPUs enumerated via NVML");
+  for (unsigned int i = 0; i < count; ++i) {
+    gpus_.push_back(std::make_unique<NvmlCApiGpuControl>(i));
+  }
+}
+
+CompatServerHal::~CompatServerHal() { nvmlShutdown(); }
+
+IGpuControl& CompatServerHal::gpu(std::size_t i) {
+  CAPGPU_REQUIRE(i < gpus_.size(), "gpu index out of range");
+  return *gpus_[i];
+}
+
+Megahertz CompatServerHal::set_device_frequency(DeviceId id, Megahertz f) {
+  if (id.index == 0) return cpu_.set_frequency(f);
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  auto& g = *gpus_[id.index - 1];
+  return g.set_application_clocks(g.memory_clock(), f);
+}
+
+Megahertz CompatServerHal::device_frequency(DeviceId id) const {
+  if (id.index == 0) return cpu_.frequency();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1]->core_clock();
+}
+
+const hw::FrequencyTable& CompatServerHal::device_freqs(DeviceId id) const {
+  if (id.index == 0) return cpu_.supported_frequencies();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1]->supported_core_clocks();
+}
+
+double CompatServerHal::device_utilization(DeviceId id) const {
+  if (id.index == 0) return cpu_.utilization();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1]->utilization();
+}
+
+SysfsRaplPowerReader::SysfsRaplPowerReader(std::filesystem::path rapl_dir,
+                                           std::function<double()> now_fn)
+    : reader_(std::move(rapl_dir)), now_fn_(std::move(now_fn)) {
+  CAPGPU_REQUIRE(static_cast<bool>(now_fn_), "time source required");
+}
+
+Watts SysfsRaplPowerReader::package_power() const {
+  if (const auto watts = reader_.sample(now_fn_())) {
+    last_watts_ = watts->value;
+  }
+  return Watts{last_watts_};
+}
+
+}  // namespace capgpu::hal

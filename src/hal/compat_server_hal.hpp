@@ -1,0 +1,89 @@
+// A server HAL built exclusively from deployment-shaped interfaces:
+// GPUs through the NVML C API (nvml_compat.h — identical signatures to
+// nvml.h), the CPU through the cpufreq sysfs file tree, and any
+// IPowerMeter. Nothing here touches simulator types.
+//
+// This is the reference implementation of a *real-hardware* backend: on an
+// actual server, link against real NVML instead of the shim, point the
+// sysfs path at /sys/devices/system/cpu/cpufreq/policyN, plug in your
+// meter — and the whole controller stack above IServerHal runs unchanged.
+// (The end-to-end test drives CapGPU through this class against the
+// simulator to prove the claim.)
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "hal/interfaces.hpp"
+#include "hal/nvml_compat.h"
+#include "hal/sysfs_cpufreq.hpp"
+#include "hal/sysfs_rapl.hpp"
+
+namespace capgpu::hal {
+
+/// IGpuControl implemented over the NVML C API only.
+class NvmlCApiGpuControl final : public IGpuControl {
+ public:
+  /// Binds to NVML device `index`. nvmlInit must have succeeded.
+  explicit NvmlCApiGpuControl(unsigned int index);
+
+  Megahertz set_application_clocks(Megahertz memory, Megahertz core) override;
+  [[nodiscard]] Megahertz core_clock() const override;
+  [[nodiscard]] Megahertz memory_clock() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_core_clocks() const override;
+  [[nodiscard]] Watts power_usage() const override;
+  [[nodiscard]] double utilization() const override;
+  [[nodiscard]] double temperature_c() const override;
+
+ private:
+  nvmlDevice_t device_{nullptr};
+  hw::FrequencyTable table_;
+  Megahertz memory_clock_{0.0};
+};
+
+/// The assembled deployment-shaped HAL.
+class CompatServerHal final : public IServerHal {
+ public:
+  /// `cpufreq_dir` must hold a materialised cpufreq tree; the meter is
+  /// owned by the caller. Calls nvmlInit and enumerates every GPU.
+  CompatServerHal(std::filesystem::path cpufreq_dir, IPowerMeter& meter);
+  ~CompatServerHal() override;
+
+  [[nodiscard]] std::size_t device_count() const override {
+    return 1 + gpus_.size();
+  }
+  [[nodiscard]] ICpuFreqControl& cpu() override { return cpu_; }
+  [[nodiscard]] std::size_t gpu_count() const override { return gpus_.size(); }
+  [[nodiscard]] IGpuControl& gpu(std::size_t i) override;
+  [[nodiscard]] IPowerMeter& power_meter() override { return *meter_; }
+
+  Megahertz set_device_frequency(DeviceId id, Megahertz f) override;
+  [[nodiscard]] Megahertz device_frequency(DeviceId id) const override;
+  [[nodiscard]] const hw::FrequencyTable& device_freqs(DeviceId id) const override;
+  [[nodiscard]] double device_utilization(DeviceId id) const override;
+
+ private:
+  SysfsCpuFreqControl cpu_;
+  std::vector<std::unique_ptr<NvmlCApiGpuControl>> gpus_;
+  IPowerMeter* meter_;
+};
+
+/// ICpuPowerReader over the RAPL energy-counter file tree: derives power
+/// from consecutive counter reads (the real RAPL workflow). Returns the
+/// most recently derived value; 0 until two reads have happened.
+class SysfsRaplPowerReader final : public ICpuPowerReader {
+ public:
+  /// `now_fn` supplies the current time for the energy deltas.
+  SysfsRaplPowerReader(std::filesystem::path rapl_dir,
+                       std::function<double()> now_fn);
+
+  [[nodiscard]] Watts package_power() const override;
+
+ private:
+  mutable SysfsRaplReader reader_;
+  std::function<double()> now_fn_;
+  mutable double last_watts_{0.0};
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,17 @@
+#include "hal/cpufreq_sim.hpp"
+
+namespace capgpu::hal {
+
+Megahertz CpuFreqSim::set_frequency(Megahertz f) {
+  return cpu_->set_frequency(f);
+}
+
+Megahertz CpuFreqSim::frequency() const { return cpu_->frequency(); }
+
+const hw::FrequencyTable& CpuFreqSim::supported_frequencies() const {
+  return cpu_->freqs();
+}
+
+double CpuFreqSim::utilization() const { return cpu_->utilization(); }
+
+}  // namespace capgpu::hal

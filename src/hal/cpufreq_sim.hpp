@@ -1,0 +1,24 @@
+// Simulated cpupower/cpufreq backend over hw::CpuModel.
+#pragma once
+
+#include "hal/interfaces.hpp"
+#include "hw/cpu_model.hpp"
+
+namespace capgpu::hal {
+
+/// cpupower-like control of the simulated host CPU. Holds a non-owning
+/// reference to the device model, which must outlive this object.
+class CpuFreqSim final : public ICpuFreqControl {
+ public:
+  explicit CpuFreqSim(hw::CpuModel& cpu) : cpu_(&cpu) {}
+
+  Megahertz set_frequency(Megahertz f) override;
+  [[nodiscard]] Megahertz frequency() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_frequencies() const override;
+  [[nodiscard]] double utilization() const override;
+
+ private:
+  hw::CpuModel* cpu_;
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,106 @@
+// Hardware abstraction layer interfaces.
+//
+// The shapes deliberately mirror the real control surfaces the paper uses:
+//   - IGpuControl  ~ NVML (`nvmlDeviceSetApplicationsClocks`, power reading)
+//   - ICpuFreqControl ~ cpupower / the cpufreq sysfs interface
+//   - IPowerMeter  ~ the ACPI power_meter-acpi-0 hwmon file (1 s samples)
+// Controller code only touches these interfaces, so a real backend can be
+// slotted in on actual hardware without modifying `control/` or `core/`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/frequency_table.hpp"
+
+namespace capgpu::hal {
+
+/// Control surface of one GPU (NVML-like).
+class IGpuControl {
+ public:
+  virtual ~IGpuControl() = default;
+
+  /// Sets application clocks; the core clock snaps to the nearest supported
+  /// level, as NVML does. Returns the applied core clock.
+  virtual Megahertz set_application_clocks(Megahertz memory, Megahertz core) = 0;
+
+  [[nodiscard]] virtual Megahertz core_clock() const = 0;
+  [[nodiscard]] virtual Megahertz memory_clock() const = 0;
+  [[nodiscard]] virtual const hw::FrequencyTable& supported_core_clocks() const = 0;
+
+  /// Instantaneous board power (used by per-GPU baseline cappers).
+  [[nodiscard]] virtual Watts power_usage() const = 0;
+
+  /// GPU utilization in [0,1] (NVML's utilization.gpu).
+  [[nodiscard]] virtual double utilization() const = 0;
+
+  /// Board temperature in °C (NVML's nvmlDeviceGetTemperature).
+  [[nodiscard]] virtual double temperature_c() const = 0;
+};
+
+/// Control surface of the host CPU package (cpupower-like).
+class ICpuFreqControl {
+ public:
+  virtual ~ICpuFreqControl() = default;
+
+  /// Sets the package frequency; snaps to the nearest P-state. Returns the
+  /// applied level.
+  virtual Megahertz set_frequency(Megahertz f) = 0;
+
+  [[nodiscard]] virtual Megahertz frequency() const = 0;
+  [[nodiscard]] virtual const hw::FrequencyTable& supported_frequencies() const = 0;
+
+  /// Package utilization in [0,1].
+  [[nodiscard]] virtual double utilization() const = 0;
+};
+
+/// One timestamped power sample.
+struct PowerSample {
+  double time{0.0};  ///< simulation seconds
+  Watts power;
+};
+
+/// Server-level power meter (ACPI power_meter-like; ~1 s sampling).
+class IPowerMeter {
+ public:
+  virtual ~IPowerMeter() = default;
+
+  /// The most recent sample. Throws HalError when no sample exists yet.
+  [[nodiscard]] virtual PowerSample latest() const = 0;
+
+  /// Average of the samples taken in the last `window` seconds — this is
+  /// the "average power over the previous control period" the paper's loop
+  /// feeds back. Throws HalError when the window holds no samples.
+  [[nodiscard]] virtual Watts average(Seconds window) const = 0;
+
+  /// Nominal sampling interval of the device.
+  [[nodiscard]] virtual Seconds sample_interval() const = 0;
+};
+
+/// CPU package power reader (RAPL-like).
+class ICpuPowerReader {
+ public:
+  virtual ~ICpuPowerReader() = default;
+  [[nodiscard]] virtual Watts package_power() const = 0;
+};
+
+/// The whole server's HAL bundle: what a control loop needs. Device ids
+/// follow the paper's layout (0 = CPU, 1.. = GPUs).
+class IServerHal {
+ public:
+  virtual ~IServerHal() = default;
+
+  [[nodiscard]] virtual std::size_t device_count() const = 0;
+  [[nodiscard]] virtual ICpuFreqControl& cpu() = 0;
+  [[nodiscard]] virtual std::size_t gpu_count() const = 0;
+  [[nodiscard]] virtual IGpuControl& gpu(std::size_t i) = 0;
+  [[nodiscard]] virtual IPowerMeter& power_meter() = 0;
+
+  virtual Megahertz set_device_frequency(DeviceId id, Megahertz f) = 0;
+  [[nodiscard]] virtual Megahertz device_frequency(DeviceId id) const = 0;
+  [[nodiscard]] virtual const hw::FrequencyTable& device_freqs(DeviceId id) const = 0;
+  [[nodiscard]] virtual double device_utilization(DeviceId id) const = 0;
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,179 @@
+#include "hal/nvml_compat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "hw/gpu_model.hpp"
+
+namespace {
+
+// The registry: nvmlDevice_t handles are 1-based indices disguised as
+// pointers (handle = index + 1, so a null handle is always invalid).
+std::vector<capgpu::hw::GpuModel*> g_gpus;
+bool g_initialized = false;
+
+capgpu::hw::GpuModel* resolve(nvmlDevice_t device) {
+  if (!g_initialized) return nullptr;
+  const auto index = reinterpret_cast<std::uintptr_t>(device);
+  if (index == 0 || index > g_gpus.size()) return nullptr;
+  return g_gpus[index - 1];
+}
+
+}  // namespace
+
+namespace capgpu::hal::compat {
+
+void register_gpus(const std::vector<capgpu::hw::GpuModel*>& gpus) {
+  g_gpus = gpus;
+}
+
+void clear_gpus() {
+  g_gpus.clear();
+  g_initialized = false;
+}
+
+}  // namespace capgpu::hal::compat
+
+extern "C" {
+
+nvmlReturn_t nvmlInit(void) {
+  if (g_gpus.empty()) return NVML_ERROR_UNKNOWN;
+  g_initialized = true;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlShutdown(void) {
+  g_initialized = false;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetCount(unsigned int* deviceCount) {
+  if (!g_initialized) return NVML_ERROR_UNINITIALIZED;
+  if (deviceCount == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  *deviceCount = static_cast<unsigned int>(g_gpus.size());
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetHandleByIndex(unsigned int index,
+                                        nvmlDevice_t* device) {
+  if (!g_initialized) return NVML_ERROR_UNINITIALIZED;
+  if (device == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  if (index >= g_gpus.size()) return NVML_ERROR_NOT_FOUND;
+  *device = reinterpret_cast<nvmlDevice_t>(
+      static_cast<std::uintptr_t>(index + 1));
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetName(nvmlDevice_t device, char* name,
+                               unsigned int length) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (name == nullptr || length == 0) return NVML_ERROR_INVALID_ARGUMENT;
+  const std::string& n = gpu->name();
+  if (n.size() + 1 > length) return NVML_ERROR_INSUFFICIENT_SIZE;
+  std::memcpy(name, n.c_str(), n.size() + 1);
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetPowerUsage(nvmlDevice_t device,
+                                     unsigned int* milliwatts) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (milliwatts == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  *milliwatts = static_cast<unsigned int>(
+      std::lround(gpu->power().value * 1000.0));
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetTemperature(nvmlDevice_t device,
+                                      nvmlTemperatureSensors_t sensorType,
+                                      unsigned int* temp) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (temp == nullptr || sensorType != NVML_TEMPERATURE_GPU) {
+    return NVML_ERROR_INVALID_ARGUMENT;
+  }
+  *temp = static_cast<unsigned int>(
+      std::max(0.0, std::round(gpu->temperature_c())));
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetUtilizationRates(nvmlDevice_t device,
+                                           nvmlUtilization_t* utilization) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (utilization == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  utilization->gpu =
+      static_cast<unsigned int>(std::lround(gpu->utilization() * 100.0));
+  utilization->memory = utilization->gpu;  // coupled in the model
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device,
+                                             unsigned int memClockMHz,
+                                             unsigned int graphicsClockMHz) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (static_cast<double>(memClockMHz) != gpu->memory_clock().value) {
+    return NVML_ERROR_NOT_SUPPORTED;  // unsupported clock pair, as NVML
+  }
+  (void)gpu->set_core_clock(
+      capgpu::Megahertz{static_cast<double>(graphicsClockMHz)});
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetApplicationsClock(nvmlDevice_t device,
+                                            nvmlClockType_t clockType,
+                                            unsigned int* clockMHz) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (clockMHz == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  switch (clockType) {
+    case NVML_CLOCK_GRAPHICS:
+      *clockMHz = static_cast<unsigned int>(gpu->core_clock().value);
+      return NVML_SUCCESS;
+    case NVML_CLOCK_MEM:
+      *clockMHz = static_cast<unsigned int>(gpu->memory_clock().value);
+      return NVML_SUCCESS;
+  }
+  return NVML_ERROR_INVALID_ARGUMENT;
+}
+
+nvmlReturn_t nvmlDeviceGetSupportedGraphicsClocks(nvmlDevice_t device,
+                                                  unsigned int memClockMHz,
+                                                  unsigned int* count,
+                                                  unsigned int* clocksMHz) {
+  auto* gpu = resolve(device);
+  if (gpu == nullptr) return NVML_ERROR_UNINITIALIZED;
+  if (count == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  if (static_cast<double>(memClockMHz) != gpu->memory_clock().value) {
+    return NVML_ERROR_NOT_SUPPORTED;
+  }
+  const auto& levels = gpu->freqs().levels();
+  const auto capacity = *count;
+  *count = static_cast<unsigned int>(levels.size());
+  if (clocksMHz == nullptr) return NVML_SUCCESS;  // size query
+  if (capacity < levels.size()) return NVML_ERROR_INSUFFICIENT_SIZE;
+  // NVML reports clocks in descending order.
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    clocksMHz[i] = static_cast<unsigned int>(
+        levels[levels.size() - 1 - i].value);
+  }
+  return NVML_SUCCESS;
+}
+
+const char* nvmlErrorString(nvmlReturn_t result) {
+  switch (result) {
+    case NVML_SUCCESS: return "Success";
+    case NVML_ERROR_UNINITIALIZED: return "Uninitialized";
+    case NVML_ERROR_INVALID_ARGUMENT: return "Invalid argument";
+    case NVML_ERROR_NOT_SUPPORTED: return "Not supported";
+    case NVML_ERROR_NOT_FOUND: return "Not found";
+    case NVML_ERROR_INSUFFICIENT_SIZE: return "Insufficient size";
+    case NVML_ERROR_UNKNOWN: return "Unknown error";
+  }
+  return "?";
+}
+
+}  // extern "C"

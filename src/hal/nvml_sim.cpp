@@ -1,0 +1,31 @@
+#include "hal/nvml_sim.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+Megahertz NvmlSim::set_application_clocks(Megahertz memory, Megahertz core) {
+  // The simulated boards have a single (pinned) memory clock, like the
+  // paper's `-ac 877,<core>` configuration; reject anything else the way
+  // NVML rejects unsupported clock pairs.
+  if (memory.value != gpu_->memory_clock().value) {
+    throw HalError("unsupported memory clock for " + gpu_->name());
+  }
+  return gpu_->set_core_clock(core);
+}
+
+Megahertz NvmlSim::core_clock() const { return gpu_->core_clock(); }
+
+Megahertz NvmlSim::memory_clock() const { return gpu_->memory_clock(); }
+
+const hw::FrequencyTable& NvmlSim::supported_core_clocks() const {
+  return gpu_->freqs();
+}
+
+Watts NvmlSim::power_usage() const { return gpu_->power(); }
+
+double NvmlSim::utilization() const { return gpu_->utilization(); }
+
+double NvmlSim::temperature_c() const { return gpu_->temperature_c(); }
+
+}  // namespace capgpu::hal

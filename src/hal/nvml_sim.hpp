@@ -1,0 +1,27 @@
+// Simulated NVML backend over hw::GpuModel.
+#pragma once
+
+#include "hal/interfaces.hpp"
+#include "hw/gpu_model.hpp"
+
+namespace capgpu::hal {
+
+/// NVML-like control of a simulated GPU. Holds a non-owning reference to the
+/// device model, which must outlive this object.
+class NvmlSim final : public IGpuControl {
+ public:
+  explicit NvmlSim(hw::GpuModel& gpu) : gpu_(&gpu) {}
+
+  Megahertz set_application_clocks(Megahertz memory, Megahertz core) override;
+  [[nodiscard]] Megahertz core_clock() const override;
+  [[nodiscard]] Megahertz memory_clock() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_core_clocks() const override;
+  [[nodiscard]] Watts power_usage() const override;
+  [[nodiscard]] double utilization() const override;
+  [[nodiscard]] double temperature_c() const override;
+
+ private:
+  hw::GpuModel* gpu_;
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,27 @@
+// Simulated RAPL package-power reader.
+//
+// The CPU+GPU baseline splits the server budget into per-domain caps and
+// needs per-domain power feedback: GPU board power comes from NVML, CPU
+// package power from RAPL. This mirrors the RAPL energy counter interface
+// at the granularity the controllers need (average watts).
+#pragma once
+
+#include "common/units.hpp"
+#include "hal/interfaces.hpp"
+#include "hw/cpu_model.hpp"
+
+namespace capgpu::hal {
+
+/// RAPL-like reader over the simulated CPU package.
+class RaplSim final : public ICpuPowerReader {
+ public:
+  explicit RaplSim(const hw::CpuModel& cpu) : cpu_(&cpu) {}
+
+  /// Instantaneous package power.
+  [[nodiscard]] Watts package_power() const override { return cpu_->power(); }
+
+ private:
+  const hw::CpuModel* cpu_;
+};
+
+}  // namespace capgpu::hal

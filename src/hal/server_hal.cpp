@@ -1,0 +1,46 @@
+#include "hal/server_hal.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+ServerHal::ServerHal(sim::Engine& engine, hw::ServerModel& server,
+                     AcpiPowerMeterParams meter_params, Rng rng)
+    : cpu_(server.cpu()),
+      meter_(engine, server, meter_params, rng),
+      server_(&server) {
+  gpus_.reserve(server.gpu_count());
+  for (std::size_t i = 0; i < server.gpu_count(); ++i) {
+    gpus_.emplace_back(server.gpu(i));
+  }
+}
+
+IGpuControl& ServerHal::gpu(std::size_t i) {
+  CAPGPU_ASSERT(i < gpus_.size());
+  return gpus_[i];
+}
+
+Megahertz ServerHal::set_device_frequency(DeviceId id, Megahertz f) {
+  if (id.index == 0) return cpu_.set_frequency(f);
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  auto& g = gpus_[id.index - 1];
+  return g.set_application_clocks(g.memory_clock(), f);
+}
+
+Megahertz ServerHal::device_frequency(DeviceId id) const {
+  if (id.index == 0) return cpu_.frequency();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1].core_clock();
+}
+
+const hw::FrequencyTable& ServerHal::device_freqs(DeviceId id) const {
+  return server_->device_freqs(id);
+}
+
+double ServerHal::device_utilization(DeviceId id) const {
+  if (id.index == 0) return cpu_.utilization();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1].utilization();
+}
+
+}  // namespace capgpu::hal

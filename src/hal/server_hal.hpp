@@ -1,0 +1,43 @@
+// Bundle of the HAL endpoints for one server.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hal/acpi_power_meter.hpp"
+#include "hal/cpufreq_sim.hpp"
+#include "hal/interfaces.hpp"
+#include "hal/nvml_sim.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+
+/// Owns the simulated HAL endpoints (cpupower + per-GPU NVML + ACPI meter)
+/// for one ServerModel. The server and engine must outlive this object.
+class ServerHal final : public IServerHal {
+ public:
+  ServerHal(sim::Engine& engine, hw::ServerModel& server,
+            AcpiPowerMeterParams meter_params, Rng rng);
+
+  [[nodiscard]] ICpuFreqControl& cpu() override { return cpu_; }
+  [[nodiscard]] std::size_t gpu_count() const override { return gpus_.size(); }
+  [[nodiscard]] IGpuControl& gpu(std::size_t i) override;
+  [[nodiscard]] IPowerMeter& power_meter() override { return meter_; }
+
+  /// Applies a frequency to a device by its server-wide id
+  /// (0 = CPU, 1.. = GPUs). Returns the discrete level actually applied.
+  Megahertz set_device_frequency(DeviceId id, Megahertz f) override;
+  [[nodiscard]] Megahertz device_frequency(DeviceId id) const override;
+  [[nodiscard]] const hw::FrequencyTable& device_freqs(DeviceId id) const override;
+  [[nodiscard]] double device_utilization(DeviceId id) const override;
+  [[nodiscard]] std::size_t device_count() const override { return 1 + gpus_.size(); }
+
+ private:
+  CpuFreqSim cpu_;
+  std::vector<NvmlSim> gpus_;
+  AcpiPowerMeter meter_;
+  hw::ServerModel* server_;
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,125 @@
+#include "hal/sysfs_cpufreq.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+namespace {
+
+long long to_khz(Megahertz f) {
+  return static_cast<long long>(f.value * 1000.0);
+}
+
+Megahertz from_khz(long long khz) {
+  return Megahertz{static_cast<double>(khz) / 1000.0};
+}
+
+}  // namespace
+
+SysfsCpuFreqTree::SysfsCpuFreqTree(sim::Engine& engine, hw::CpuModel& cpu,
+                                   std::filesystem::path dir,
+                                   Seconds poll_interval)
+    : engine_(&engine), cpu_(&cpu), dir_(std::move(dir)) {
+  CAPGPU_REQUIRE(poll_interval.value > 0.0, "poll interval must be positive");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw HalError("cannot create cpufreq tree at " + dir_.string());
+
+  std::ostringstream available;
+  for (const Megahertz level : cpu_->freqs().levels()) {
+    available << to_khz(level) << ' ';
+  }
+  write_file("scaling_available_frequencies", available.str());
+  write_file("scaling_min_freq", std::to_string(to_khz(cpu_->freqs().min())));
+  write_file("scaling_max_freq", std::to_string(to_khz(cpu_->freqs().max())));
+  write_file("scaling_setspeed", "<unsupported>");  // kernel default text
+  last_setspeed_ = "<unsupported>";
+  publish_state();
+
+  timer_ = engine_->schedule_periodic(poll_interval.value, [this] { poll(); });
+}
+
+SysfsCpuFreqTree::~SysfsCpuFreqTree() { engine_->cancel(timer_); }
+
+void SysfsCpuFreqTree::poll() {
+  const std::string setspeed = read_file("scaling_setspeed");
+  if (setspeed != last_setspeed_) {
+    last_setspeed_ = setspeed;
+    try {
+      const long long khz = std::stoll(setspeed);
+      cpu_->set_frequency(from_khz(khz));
+      ++writes_applied_;
+    } catch (const std::exception&) {
+      // Kernel behaviour: garbage writes to scaling_setspeed are ignored.
+    }
+  }
+  publish_state();
+}
+
+void SysfsCpuFreqTree::publish_state() {
+  write_file("scaling_cur_freq", std::to_string(to_khz(cpu_->frequency())));
+  std::ostringstream busy;
+  busy << cpu_->utilization();
+  write_file("cpu_busy_fraction", busy.str());
+}
+
+void SysfsCpuFreqTree::write_file(const std::string& name,
+                                  const std::string& contents) const {
+  std::ofstream out(dir_ / name, std::ios::trunc);
+  if (!out) throw HalError("cannot write " + (dir_ / name).string());
+  out << contents << '\n';
+}
+
+std::string SysfsCpuFreqTree::read_file(const std::string& name) const {
+  std::ifstream in(dir_ / name);
+  if (!in) throw HalError("cannot read " + (dir_ / name).string());
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+SysfsCpuFreqControl::SysfsCpuFreqControl(std::filesystem::path dir)
+    : dir_(std::move(dir)), table_({1_MHz}) {
+  std::istringstream in(read_file("scaling_available_frequencies"));
+  std::vector<Megahertz> levels;
+  long long khz = 0;
+  while (in >> khz) levels.push_back(from_khz(khz));
+  CAPGPU_REQUIRE(!levels.empty(),
+                 "scaling_available_frequencies is empty or unreadable");
+  table_ = hw::FrequencyTable(std::move(levels));
+}
+
+Megahertz SysfsCpuFreqControl::set_frequency(Megahertz f) {
+  const Megahertz snapped = table_.nearest(f);
+  std::ofstream out(dir_ / "scaling_setspeed", std::ios::trunc);
+  if (!out) {
+    throw HalError("cannot write " + (dir_ / "scaling_setspeed").string());
+  }
+  out << to_khz(snapped) << '\n';
+  return snapped;
+}
+
+Megahertz SysfsCpuFreqControl::frequency() const {
+  return from_khz(std::stoll(read_file("scaling_cur_freq")));
+}
+
+const hw::FrequencyTable& SysfsCpuFreqControl::supported_frequencies() const {
+  return table_;
+}
+
+double SysfsCpuFreqControl::utilization() const {
+  return std::stod(read_file("cpu_busy_fraction"));
+}
+
+std::string SysfsCpuFreqControl::read_file(const std::string& name) const {
+  std::ifstream in(dir_ / name);
+  if (!in) throw HalError("cannot read " + (dir_ / name).string());
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace capgpu::hal

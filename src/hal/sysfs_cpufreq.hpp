@@ -1,0 +1,86 @@
+// File-backed cpufreq plumbing (Linux sysfs shape).
+//
+// On the paper's testbed the controller sets CPU frequency with
+// `cpupower frequency-set -f`, which writes the cpufreq sysfs files under
+// /sys/devices/system/cpu/cpufreq/policy*/; the kernel applies the P-state
+// and reflects it in scaling_cur_freq. This pair of classes reproduces that
+// exact plumbing against a real directory of files:
+//
+//   SysfsCpuFreqTree    — the "kernel" side: materialises the file tree for
+//                         a simulated CPU and applies writes to the model
+//                         on every poll (a periodic DES event),
+//   SysfsCpuFreqControl — the "userspace" side: an ICpuFreqControl that
+//                         only ever touches the files, never the model.
+//
+// Swapping SysfsCpuFreqControl onto a real /sys path is what deployment on
+// actual hardware looks like; everything above the HAL stays unchanged.
+// Frequencies in the files are kilohertz, as in the kernel ABI.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "hal/interfaces.hpp"
+#include "hw/cpu_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+
+/// Kernel-side: owns the file tree and services writes.
+class SysfsCpuFreqTree {
+ public:
+  /// Creates `dir` (and parents) and populates:
+  ///   scaling_available_frequencies  (kHz, space-separated)
+  ///   scaling_min_freq / scaling_max_freq  (kHz)
+  ///   scaling_cur_freq  (kHz)
+  ///   scaling_setspeed  (kHz; written by userspace)
+  ///   cpu_busy_fraction (0..1; published utilization, /proc/stat stand-in)
+  /// and polls scaling_setspeed every `poll_interval` on `engine`.
+  SysfsCpuFreqTree(sim::Engine& engine, hw::CpuModel& cpu,
+                   std::filesystem::path dir,
+                   Seconds poll_interval = Seconds{0.1});
+  ~SysfsCpuFreqTree();
+
+  SysfsCpuFreqTree(const SysfsCpuFreqTree&) = delete;
+  SysfsCpuFreqTree& operator=(const SysfsCpuFreqTree&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+  [[nodiscard]] std::size_t writes_applied() const { return writes_applied_; }
+
+  /// One service pass (also runs periodically): applies a pending
+  /// scaling_setspeed write to the model and refreshes the published files.
+  void poll();
+
+ private:
+  void write_file(const std::string& name, const std::string& contents) const;
+  [[nodiscard]] std::string read_file(const std::string& name) const;
+  void publish_state();
+
+  sim::Engine* engine_;
+  hw::CpuModel* cpu_;
+  std::filesystem::path dir_;
+  std::string last_setspeed_;
+  std::size_t writes_applied_{0};
+  sim::EventId timer_{0};
+};
+
+/// Userspace-side ICpuFreqControl that only reads/writes the file tree.
+class SysfsCpuFreqControl final : public ICpuFreqControl {
+ public:
+  /// Parses scaling_available_frequencies once at construction (as
+  /// cpupower does). The tree must already be materialised.
+  explicit SysfsCpuFreqControl(std::filesystem::path dir);
+
+  Megahertz set_frequency(Megahertz f) override;
+  [[nodiscard]] Megahertz frequency() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_frequencies() const override;
+  [[nodiscard]] double utilization() const override;
+
+ private:
+  [[nodiscard]] std::string read_file(const std::string& name) const;
+
+  std::filesystem::path dir_;
+  hw::FrequencyTable table_;
+};
+
+}  // namespace capgpu::hal

@@ -1,0 +1,90 @@
+#include "hal/sysfs_rapl.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+
+namespace {
+
+void write_file(const std::filesystem::path& path,
+                const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw HalError("cannot write " + path.string());
+  out << contents << '\n';
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw HalError("cannot read " + path.string());
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+SysfsRaplTree::SysfsRaplTree(sim::Engine& engine, const hw::CpuModel& cpu,
+                             std::filesystem::path dir,
+                             Seconds update_interval,
+                             unsigned long long wrap_uj)
+    : engine_(&engine),
+      cpu_(&cpu),
+      dir_(std::move(dir)),
+      interval_s_(update_interval.value),
+      wrap_uj_(wrap_uj) {
+  CAPGPU_REQUIRE(update_interval.value > 0.0,
+                 "update interval must be positive");
+  CAPGPU_REQUIRE(wrap_uj > 0, "wrap range must be positive");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw HalError("cannot create rapl tree at " + dir_.string());
+  write_file(dir_ / "name", "package-0");
+  write_file(dir_ / "max_energy_range_uj", std::to_string(wrap_uj_));
+  publish();
+  timer_ = engine_->schedule_periodic(interval_s_, [this] { tick(); });
+}
+
+SysfsRaplTree::~SysfsRaplTree() { engine_->cancel(timer_); }
+
+void SysfsRaplTree::tick() {
+  accumulated_uj_ += cpu_->power().value * interval_s_ * 1e6;
+  const double wrap = static_cast<double>(wrap_uj_);
+  while (accumulated_uj_ >= wrap) accumulated_uj_ -= wrap;
+  publish();
+}
+
+void SysfsRaplTree::publish() const {
+  write_file(dir_ / "energy_uj",
+             std::to_string(static_cast<unsigned long long>(accumulated_uj_)));
+}
+
+SysfsRaplReader::SysfsRaplReader(std::filesystem::path dir)
+    : dir_(std::move(dir)),
+      wrap_uj_(std::stoull(read_file(dir_ / "max_energy_range_uj"))) {}
+
+unsigned long long SysfsRaplReader::read_energy() const {
+  return std::stoull(read_file(dir_ / "energy_uj"));
+}
+
+std::optional<Watts> SysfsRaplReader::sample(double now) {
+  const unsigned long long energy = read_energy();
+  if (!last_energy_) {
+    last_energy_ = energy;
+    last_time_ = now;
+    return std::nullopt;
+  }
+  const double dt = now - last_time_;
+  CAPGPU_REQUIRE(dt > 0.0, "samples must advance in time");
+  // Monotonic counter with wraparound.
+  const unsigned long long delta =
+      energy >= *last_energy_ ? energy - *last_energy_
+                              : energy + (wrap_uj_ - *last_energy_);
+  last_energy_ = energy;
+  last_time_ = now;
+  return Watts{static_cast<double>(delta) * 1e-6 / dt};
+}
+
+}  // namespace capgpu::hal

@@ -1,0 +1,70 @@
+// File-backed RAPL plumbing (Linux intel-rapl sysfs shape).
+//
+// RAPL does not report watts: it exposes a monotonically increasing energy
+// counter (`energy_uj`, microjoules) that wraps at `max_energy_range_uj`.
+// Userspace derives power from two reads. This pair reproduces those exact
+// semantics against a real directory:
+//
+//   SysfsRaplTree   — "kernel" side: integrates the simulated package's
+//                     power into the counter on a periodic event,
+//   SysfsRaplReader — "userspace" side: computes average watts between
+//                     consecutive reads, handling counter wraparound.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "hw/cpu_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+
+/// Kernel side: owns <dir>/{name,energy_uj,max_energy_range_uj}.
+class SysfsRaplTree {
+ public:
+  /// `wrap_uj` is the counter range (intel-rapl uses ~2^32 uj-scale
+  /// values; small values are handy for testing wraparound).
+  SysfsRaplTree(sim::Engine& engine, const hw::CpuModel& cpu,
+                std::filesystem::path dir,
+                Seconds update_interval = Seconds{0.1},
+                unsigned long long wrap_uj = 262143328850ULL);
+  ~SysfsRaplTree();
+
+  SysfsRaplTree(const SysfsRaplTree&) = delete;
+  SysfsRaplTree& operator=(const SysfsRaplTree&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  void tick();
+  void publish() const;
+
+  sim::Engine* engine_;
+  const hw::CpuModel* cpu_;
+  std::filesystem::path dir_;
+  double interval_s_;
+  unsigned long long wrap_uj_;
+  double accumulated_uj_{0.0};
+  sim::EventId timer_{0};
+};
+
+/// Userspace side: derives average package power between reads.
+class SysfsRaplReader {
+ public:
+  explicit SysfsRaplReader(std::filesystem::path dir);
+
+  /// Reads the counter at simulated time `now` and returns the average
+  /// power since the previous read (nullopt on the first call, which only
+  /// primes the state). Handles counter wraparound.
+  [[nodiscard]] std::optional<Watts> sample(double now);
+
+ private:
+  [[nodiscard]] unsigned long long read_energy() const;
+
+  std::filesystem::path dir_;
+  unsigned long long wrap_uj_;
+  std::optional<unsigned long long> last_energy_;
+  double last_time_{0.0};
+};
+
+}  // namespace capgpu::hal

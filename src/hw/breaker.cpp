@@ -1,0 +1,63 @@
+#include "hw/breaker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+BreakerModel::BreakerModel(BreakerParams params)
+    : params_(params),
+      trip_threshold_joules_(params.rating.value * params.trip_overload_frac *
+                             params.trip_seconds) {
+  CAPGPU_REQUIRE(params_.rating.value > 0.0, "rating must be positive");
+  CAPGPU_REQUIRE(params_.trip_overload_frac > 0.0,
+                 "trip overload fraction must be positive");
+  CAPGPU_REQUIRE(params_.trip_seconds > 0.0, "trip time must be positive");
+  CAPGPU_REQUIRE(params_.cooling_frac_per_s >= 0.0,
+                 "cooling rate must be >= 0");
+}
+
+bool BreakerModel::step(Watts power, double dt) {
+  CAPGPU_REQUIRE(dt > 0.0, "dt must be positive");
+  if (tripped_) return false;
+  const double excess = power.value - params_.rating.value;
+  if (excess > 0.0) {
+    charge_joules_ += excess * dt;
+  } else {
+    charge_joules_ -= trip_threshold_joules_ * params_.cooling_frac_per_s * dt;
+    charge_joules_ = std::max(0.0, charge_joules_);
+  }
+  if (charge_joules_ >= trip_threshold_joules_) {
+    tripped_ = true;
+    return true;
+  }
+  return false;
+}
+
+double BreakerModel::stress() const {
+  return std::min(1.0, charge_joules_ / trip_threshold_joules_);
+}
+
+void BreakerModel::reset() {
+  charge_joules_ = 0.0;
+  tripped_ = false;
+}
+
+BreakerMonitor::BreakerMonitor(sim::Engine& engine, BreakerModel& breaker,
+                               std::function<double()> power_fn,
+                               Seconds interval)
+    : engine_(&engine), breaker_(&breaker), power_fn_(std::move(power_fn)) {
+  CAPGPU_REQUIRE(static_cast<bool>(power_fn_), "power source required");
+  CAPGPU_REQUIRE(interval.value > 0.0, "interval must be positive");
+  const double dt = interval.value;
+  timer_ = engine_->schedule_periodic(dt, [this, dt] {
+    if (breaker_->step(Watts{power_fn_()}, dt)) {
+      trip_time_ = engine_->now();
+    }
+  });
+}
+
+BreakerMonitor::~BreakerMonitor() { engine_->cancel(timer_); }
+
+}  // namespace capgpu::hw

@@ -1,0 +1,79 @@
+// Thermal-magnetic circuit breaker model.
+//
+// The paper's premise: oversubscription is safe only if capping prevents
+// the sustained overloads that trip branch breakers and black out servers.
+// Real breakers do not trip on instantaneous excursions — their thermal
+// element integrates overload energy (an I^2·t curve) and cools when the
+// load drops. This model reproduces that: an overload-energy accumulator
+// charges while power exceeds the rating, discharges below it, and trips
+// at a threshold calibrated from a standard trip point (e.g. "30 s at
+// 135% of rating").
+#pragma once
+
+#include <functional>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hw {
+
+/// Breaker characteristics.
+struct BreakerParams {
+  Watts rating{1000.0};
+  /// Trip calibration: sustained operation at `trip_overload_frac` above
+  /// the rating trips after `trip_seconds`.
+  double trip_overload_frac{0.35};
+  double trip_seconds{30.0};
+  /// Cooling rate of the thermal element, as a fraction of the trip
+  /// charge per second when running at/below the rating.
+  double cooling_frac_per_s{0.02};
+};
+
+/// Overload-energy accumulator with a trip latch.
+class BreakerModel {
+ public:
+  explicit BreakerModel(BreakerParams params);
+
+  [[nodiscard]] const BreakerParams& params() const { return params_; }
+
+  /// Feeds `dt` seconds at draw `power`. Returns true if this step tripped
+  /// the breaker. A tripped breaker stays tripped until reset().
+  bool step(Watts power, double dt);
+
+  [[nodiscard]] bool tripped() const { return tripped_; }
+  /// Thermal-element charge in [0, 1]; trips at 1.
+  [[nodiscard]] double stress() const;
+  void reset();
+
+ private:
+  BreakerParams params_;
+  double charge_joules_{0.0};
+  double trip_threshold_joules_;
+  bool tripped_{false};
+};
+
+/// Samples a power source periodically into a BreakerModel.
+class BreakerMonitor {
+ public:
+  /// `power_fn` is read every `interval` seconds (1 s default, like the
+  /// meter). References must outlive the monitor.
+  BreakerMonitor(sim::Engine& engine, BreakerModel& breaker,
+                 std::function<double()> power_fn,
+                 Seconds interval = Seconds{1.0});
+  ~BreakerMonitor();
+
+  BreakerMonitor(const BreakerMonitor&) = delete;
+  BreakerMonitor& operator=(const BreakerMonitor&) = delete;
+
+  /// Simulated time of the trip; negative when it never tripped.
+  [[nodiscard]] double trip_time() const { return trip_time_; }
+
+ private:
+  sim::Engine* engine_;
+  BreakerModel* breaker_;
+  std::function<double()> power_fn_;
+  double trip_time_{-1.0};
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::hw

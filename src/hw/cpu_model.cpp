@@ -1,0 +1,35 @@
+#include "hw/cpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+CpuModel::CpuModel(CpuParams params)
+    : params_(std::move(params)), freq_(params_.freqs.min()) {
+  CAPGPU_REQUIRE(params_.idle_watts >= 0.0, "idle_watts must be >= 0");
+  CAPGPU_REQUIRE(params_.watts_per_mhz >= 0.0, "watts_per_mhz must be >= 0");
+  CAPGPU_REQUIRE(params_.idle_activity >= 0.0 && params_.idle_activity <= 1.0,
+                 "idle_activity must be in [0,1]");
+}
+
+Megahertz CpuModel::set_frequency(Megahertz f) {
+  freq_ = params_.freqs.nearest(f);
+  return freq_;
+}
+
+void CpuModel::set_utilization(double u) {
+  util_ = std::clamp(u, 0.0, 1.0);
+}
+
+Watts CpuModel::power() const { return power_at(freq_, util_); }
+
+Watts CpuModel::power_at(Megahertz f, double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const double activity =
+      params_.idle_activity + (1.0 - params_.idle_activity) * u;
+  return Watts{params_.idle_watts + params_.watts_per_mhz * f.value * activity};
+}
+
+}  // namespace capgpu::hw

@@ -1,0 +1,59 @@
+// Host CPU power/frequency model.
+//
+// Power is affine in frequency at constant activity — the same assumption
+// the paper validates with system identification (Eq. 3, R^2 = 0.96):
+//
+//   P(f, u) = idle_watts + watts_per_mhz * f * (idle_activity + (1 - idle_activity) * u)
+//
+// where u in [0,1] is the utilization reported by the workload. At constant
+// utilization this is A*f + C, exactly the identified structure.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "hw/frequency_table.hpp"
+
+namespace capgpu::hw {
+
+/// Static parameters of a CPU package model.
+struct CpuParams {
+  std::string name{"cpu"};
+  FrequencyTable freqs{FrequencyTable::xeon_pstates()};
+  double idle_watts{25.0};
+  double watts_per_mhz{0.055};  ///< dynamic slope at 100% utilization
+  double idle_activity{0.35};   ///< fraction of the slope active at u = 0
+};
+
+/// Simulated CPU package: holds the applied P-state and current utilization.
+class CpuModel {
+ public:
+  explicit CpuModel(CpuParams params);
+
+  [[nodiscard]] const CpuParams& params() const { return params_; }
+  [[nodiscard]] const FrequencyTable& freqs() const { return params_.freqs; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+
+  /// Applies the nearest discrete P-state to `f` (what `cpupower
+  /// frequency-set -f` would do). Returns the actually applied level.
+  Megahertz set_frequency(Megahertz f);
+  [[nodiscard]] Megahertz frequency() const { return freq_; }
+
+  /// Utilization of the package in [0,1]; set by the workload simulation.
+  void set_utilization(double u);
+  [[nodiscard]] double utilization() const { return util_; }
+
+  /// Instantaneous electrical power at the current state.
+  [[nodiscard]] Watts power() const;
+
+  /// Power the model would draw at a hypothetical state (used by tests and
+  /// by benches that sweep configurations without mutating the model).
+  [[nodiscard]] Watts power_at(Megahertz f, double u) const;
+
+ private:
+  CpuParams params_;
+  Megahertz freq_;
+  double util_{0.0};
+};
+
+}  // namespace capgpu::hw

@@ -1,0 +1,85 @@
+#include "hw/frequency_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+FrequencyTable::FrequencyTable(std::vector<Megahertz> levels)
+    : levels_(std::move(levels)) {
+  CAPGPU_REQUIRE(!levels_.empty(), "FrequencyTable needs at least one level");
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  CAPGPU_REQUIRE(levels_.front().value > 0.0, "frequencies must be positive");
+}
+
+FrequencyTable FrequencyTable::uniform(Megahertz first, Megahertz last,
+                                       Megahertz step) {
+  CAPGPU_REQUIRE(step.value > 0.0, "step must be positive");
+  CAPGPU_REQUIRE(last >= first, "last must be >= first");
+  std::vector<Megahertz> levels;
+  for (double f = first.value; f <= last.value + 1e-9; f += step.value) {
+    levels.push_back(Megahertz{f});
+  }
+  return FrequencyTable(std::move(levels));
+}
+
+FrequencyTable FrequencyTable::v100_core() {
+  return uniform(435_MHz, 1350_MHz, 15_MHz);
+}
+
+FrequencyTable FrequencyTable::rtx3090_core() {
+  return uniform(405_MHz, 1095_MHz, 15_MHz);
+}
+
+FrequencyTable FrequencyTable::xeon_pstates() {
+  return uniform(1000_MHz, 2400_MHz, 100_MHz);
+}
+
+Megahertz FrequencyTable::level(std::size_t i) const {
+  CAPGPU_ASSERT(i < levels_.size());
+  return levels_[i];
+}
+
+std::size_t FrequencyTable::floor_index(Megahertz f) const {
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), f);
+  if (it == levels_.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(levels_.begin(), it)) - 1;
+}
+
+std::size_t FrequencyTable::nearest_index(Megahertz f) const {
+  const std::size_t lo = floor_index(f);
+  if (lo + 1 >= levels_.size()) return lo;
+  const double d_lo = std::abs(f.value - levels_[lo].value);
+  const double d_hi = std::abs(levels_[lo + 1].value - f.value);
+  return d_hi < d_lo ? lo + 1 : lo;
+}
+
+Megahertz FrequencyTable::nearest(Megahertz f) const {
+  return levels_[nearest_index(f)];
+}
+
+Megahertz FrequencyTable::clamp(Megahertz f) const {
+  return Megahertz{std::clamp(f.value, min().value, max().value)};
+}
+
+FrequencyTable::Bracket FrequencyTable::bracket(Megahertz f) const {
+  const Megahertz c = clamp(f);
+  const std::size_t lo = floor_index(c);
+  const std::size_t hi = std::min(lo + 1, levels_.size() - 1);
+  // When f lands exactly on a level, both ends are that level.
+  if (levels_[lo].value == c.value) return {levels_[lo], levels_[lo]};
+  return {levels_[lo], levels_[hi]};
+}
+
+std::size_t FrequencyTable::step_index(std::size_t from, int steps) const {
+  CAPGPU_ASSERT(from < levels_.size());
+  const long target = static_cast<long>(from) + steps;
+  const long clamped =
+      std::clamp<long>(target, 0, static_cast<long>(levels_.size()) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace capgpu::hw

@@ -1,0 +1,68 @@
+// Discrete frequency levels of a device.
+//
+// Real hardware only exposes discrete operating points (CPU P-states,
+// NVIDIA application clocks in fixed-MHz increments). Controllers compute
+// fractional frequencies; the delta-sigma modulator resolves them into a
+// sequence of these discrete levels (paper Sec 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace capgpu::hw {
+
+/// Sorted, strictly increasing list of supported frequencies.
+class FrequencyTable {
+ public:
+  /// Levels must be non-empty; they are sorted and deduplicated.
+  explicit FrequencyTable(std::vector<Megahertz> levels);
+
+  /// Uniformly spaced table: first, first+step, ..., <= last.
+  static FrequencyTable uniform(Megahertz first, Megahertz last, Megahertz step);
+
+  /// V100-style application core clocks: 435..1350 MHz in 15 MHz steps
+  /// (paper Sec 5: `nvidia-smi -ac 877,435-1350`).
+  static FrequencyTable v100_core();
+
+  /// RTX 3090-style core clocks covering the motivation experiment's
+  /// 495 / 660 / 810 MHz operating points (15 MHz steps, 405..1095).
+  static FrequencyTable rtx3090_core();
+
+  /// Xeon-style P-states: 1.0..2.4 GHz in 100 MHz steps (paper Sec 5:
+  /// cpupower discrete levels from 1.1 to 2.4 GHz, sysid sweeps from 1.0).
+  static FrequencyTable xeon_pstates();
+
+  [[nodiscard]] std::size_t size() const { return levels_.size(); }
+  [[nodiscard]] Megahertz level(std::size_t i) const;
+  [[nodiscard]] Megahertz min() const { return levels_.front(); }
+  [[nodiscard]] Megahertz max() const { return levels_.back(); }
+  [[nodiscard]] const std::vector<Megahertz>& levels() const { return levels_; }
+
+  /// Index of the largest level <= f, or 0 when f is below the range.
+  [[nodiscard]] std::size_t floor_index(Megahertz f) const;
+
+  /// Nearest level to f.
+  [[nodiscard]] Megahertz nearest(Megahertz f) const;
+  [[nodiscard]] std::size_t nearest_index(Megahertz f) const;
+
+  /// Clamps f into [min, max] (still fractional; not snapped to a level).
+  [[nodiscard]] Megahertz clamp(Megahertz f) const;
+
+  /// The two adjacent levels bracketing a fractional target, for delta-sigma
+  /// modulation. When f is at/below min or at/above max both ends coincide.
+  struct Bracket {
+    Megahertz lower;
+    Megahertz upper;
+  };
+  [[nodiscard]] Bracket bracket(Megahertz f) const;
+
+  /// Index move by `steps` levels (negative = down), saturating at the ends.
+  [[nodiscard]] std::size_t step_index(std::size_t from, int steps) const;
+
+ private:
+  std::vector<Megahertz> levels_;
+};
+
+}  // namespace capgpu::hw

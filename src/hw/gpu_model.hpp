@@ -1,0 +1,85 @@
+// GPU power/frequency model (V100- or RTX3090-style).
+//
+// Same affine power-vs-frequency structure the paper identifies for GPUs
+// (Eq. 3), plus a fixed memory-clock power term: the paper pins the memory
+// clock at 877 MHz (`nvidia-smi -ac 877,<core>`), so that term is constant.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "hw/frequency_table.hpp"
+
+namespace capgpu::hw {
+
+/// Static parameters of a GPU model.
+struct GpuParams {
+  std::string name{"gpu"};
+  FrequencyTable core_freqs{FrequencyTable::v100_core()};
+  Megahertz memory_clock{877_MHz};
+  double idle_watts{20.0};        ///< board power at idle, excl. memory term
+  double memory_watts{15.0};      ///< fixed power of the pinned memory clock
+  double watts_per_mhz{0.21};     ///< core dynamic slope at 100% utilization
+  double idle_activity{0.25};     ///< fraction of the slope active at u = 0
+
+  // Emergency memory throttling (paper Sec 4.4: the fallback when no core
+  // frequency combination can reach the cap). Dropping the memory clock
+  // saves a fixed chunk of power at a latency cost.
+  Megahertz memory_clock_low{810_MHz};
+  double memory_watts_low{6.0};
+  /// Batch latency multiplier while memory-throttled.
+  double memory_throttle_slowdown{1.25};
+};
+
+/// Preset matching the paper's testbed GPU (Tesla V100 16 GB).
+[[nodiscard]] GpuParams v100_params(std::string name);
+
+/// Preset matching the motivation experiment's GPU (GeForce RTX 3090).
+[[nodiscard]] GpuParams rtx3090_params(std::string name);
+
+/// Simulated GPU board: applied application clock + current utilization.
+class GpuModel {
+ public:
+  explicit GpuModel(GpuParams params);
+
+  [[nodiscard]] const GpuParams& params() const { return params_; }
+  [[nodiscard]] const FrequencyTable& freqs() const { return params_.core_freqs; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+
+  /// Applies the nearest supported application clock (what
+  /// `nvmlDeviceSetApplicationsClocks` does). Returns the applied level.
+  Megahertz set_core_clock(Megahertz f);
+  [[nodiscard]] Megahertz core_clock() const { return core_; }
+  /// Current memory clock: the pinned value, or the low P-state while
+  /// memory-throttled.
+  [[nodiscard]] Megahertz memory_clock() const;
+
+  /// Board temperature, maintained by hw::ThermalIntegrator (the NVML
+  /// shim surfaces it as nvmlDeviceGetTemperature would).
+  void set_temperature(double celsius) { temperature_c_ = celsius; }
+  [[nodiscard]] double temperature_c() const { return temperature_c_; }
+
+  /// Emergency memory throttle (Sec 4.4 fallback mechanism).
+  void set_memory_throttled(bool throttled) { memory_throttled_ = throttled; }
+  [[nodiscard]] bool memory_throttled() const { return memory_throttled_; }
+  /// Latency multiplier the workload experiences in the current memory
+  /// state (1.0 when unthrottled).
+  [[nodiscard]] double memory_slowdown() const;
+
+  /// GPU utilization in [0,1]; set by the workload simulation.
+  void set_utilization(double u);
+  [[nodiscard]] double utilization() const { return util_; }
+
+  /// Instantaneous board power at the current state.
+  [[nodiscard]] Watts power() const;
+  [[nodiscard]] Watts power_at(Megahertz f, double u) const;
+
+ private:
+  GpuParams params_;
+  Megahertz core_;
+  double util_{0.0};
+  double temperature_c_{25.0};
+  bool memory_throttled_{false};
+};
+
+}  // namespace capgpu::hw

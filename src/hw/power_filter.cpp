@@ -1,0 +1,30 @@
+#include "hw/power_filter.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+PowerLowPass::PowerLowPass(double tau_seconds) : tau_(tau_seconds) {
+  CAPGPU_REQUIRE(tau_seconds >= 0.0, "filter time constant must be >= 0");
+}
+
+double PowerLowPass::step(double x, double dt) {
+  CAPGPU_REQUIRE(dt > 0.0, "filter step needs dt > 0");
+  if (!primed_ || tau_ == 0.0) {
+    value_ = x;
+    primed_ = true;
+    return value_;
+  }
+  const double alpha = 1.0 - std::exp(-dt / tau_);
+  value_ += (x - value_) * alpha;
+  return value_;
+}
+
+void PowerLowPass::reset() {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+}  // namespace capgpu::hw

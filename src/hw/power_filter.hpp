@@ -1,0 +1,30 @@
+// First-order low-pass filter for power readings.
+//
+// Real server power does not step instantaneously when clocks change:
+// capacitance, VRM response and the meter's own averaging smear transitions
+// over a second or two. The ACPI meter path runs samples through this filter
+// so closed-loop traces show realistic settling.
+#pragma once
+
+namespace capgpu::hw {
+
+/// y' = y + (x - y) * (1 - exp(-dt / tau)); tau = 0 disables filtering.
+class PowerLowPass {
+ public:
+  explicit PowerLowPass(double tau_seconds);
+
+  /// Feeds a raw sample taken `dt` seconds after the previous one and
+  /// returns the filtered value. The first sample initialises the state.
+  double step(double x, double dt);
+
+  void reset();
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  double tau_;
+  double value_{0.0};
+  bool primed_{false};
+};
+
+}  // namespace capgpu::hw

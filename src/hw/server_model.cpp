@@ -1,0 +1,112 @@
+#include "hw/server_model.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+ServerModel::ServerModel(ChassisParams chassis, CpuParams cpu,
+                         std::vector<GpuParams> gpus)
+    : chassis_(std::move(chassis)), cpu_(std::move(cpu)) {
+  CAPGPU_REQUIRE(!gpus.empty(), "a GPU server needs at least one GPU");
+  gpus_.reserve(gpus.size());
+  for (auto& g : gpus) gpus_.emplace_back(std::move(g));
+}
+
+ServerModel ServerModel::v100_testbed(std::size_t n_gpus) {
+  CAPGPU_REQUIRE(n_gpus >= 1, "testbed needs at least one GPU");
+  ChassisParams chassis;
+  chassis.name = "v100-testbed";
+  chassis.fan_watts = 60.0;
+  chassis.misc_watts = 110.0;
+
+  CpuParams cpu;
+  cpu.name = "xeon-gold-5215";
+  cpu.freqs = FrequencyTable::xeon_pstates();
+  cpu.idle_watts = 25.0;
+  cpu.watts_per_mhz = 0.055;
+  cpu.idle_activity = 0.35;
+
+  std::vector<GpuParams> gpus;
+  gpus.reserve(n_gpus);
+  for (std::size_t i = 0; i < n_gpus; ++i) {
+    gpus.push_back(v100_params("v100-" + std::to_string(i)));
+  }
+  return ServerModel(std::move(chassis), std::move(cpu), std::move(gpus));
+}
+
+ServerModel ServerModel::rtx3090_workstation() {
+  ChassisParams chassis;
+  chassis.name = "rtx3090-workstation";
+  chassis.fan_watts = 35.0;
+  chassis.misc_watts = 115.0;
+
+  CpuParams cpu;
+  cpu.name = "host-cpu";
+  cpu.freqs = FrequencyTable::uniform(1000_MHz, 2100_MHz, 100_MHz);
+  cpu.idle_watts = 20.0;
+  // Desktop host CPU: a larger frequency-dependent share than the Xeon, and
+  // blocked-but-resident worker processes keep the uncore active; this is
+  // what makes the GPU-only configuration (CPU pinned at 2.1 GHz) the most
+  // power-hungry row of Table 1, as in the paper.
+  cpu.watts_per_mhz = 0.075;
+  cpu.idle_activity = 0.55;
+
+  std::vector<GpuParams> gpus;
+  gpus.push_back(rtx3090_params("rtx3090"));
+  return ServerModel(std::move(chassis), std::move(cpu), std::move(gpus));
+}
+
+GpuModel& ServerModel::gpu(std::size_t i) {
+  CAPGPU_ASSERT(i < gpus_.size());
+  return gpus_[i];
+}
+
+const GpuModel& ServerModel::gpu(std::size_t i) const {
+  CAPGPU_ASSERT(i < gpus_.size());
+  return gpus_[i];
+}
+
+DeviceKind ServerModel::device_kind(DeviceId id) const {
+  CAPGPU_REQUIRE(id.index < device_count(), "device id out of range");
+  return id.index == 0 ? DeviceKind::kCpu : DeviceKind::kGpu;
+}
+
+const FrequencyTable& ServerModel::device_freqs(DeviceId id) const {
+  if (device_kind(id) == DeviceKind::kCpu) return cpu_.freqs();
+  return gpus_[id.index - 1].freqs();
+}
+
+Megahertz ServerModel::device_frequency(DeviceId id) const {
+  if (device_kind(id) == DeviceKind::kCpu) return cpu_.frequency();
+  return gpus_[id.index - 1].core_clock();
+}
+
+Megahertz ServerModel::set_device_frequency(DeviceId id, Megahertz f) {
+  if (device_kind(id) == DeviceKind::kCpu) return cpu_.set_frequency(f);
+  return gpus_[id.index - 1].set_core_clock(f);
+}
+
+double ServerModel::device_utilization(DeviceId id) const {
+  if (device_kind(id) == DeviceKind::kCpu) return cpu_.utilization();
+  return gpus_[id.index - 1].utilization();
+}
+
+void ServerModel::set_device_utilization(DeviceId id, double u) {
+  if (device_kind(id) == DeviceKind::kCpu) {
+    cpu_.set_utilization(u);
+  } else {
+    gpus_[id.index - 1].set_utilization(u);
+  }
+}
+
+Watts ServerModel::total_power() const {
+  Watts total = static_power() + cpu_.power();
+  for (const auto& g : gpus_) total += g.power();
+  return total;
+}
+
+Watts ServerModel::static_power() const {
+  return Watts{chassis_.fan_watts + chassis_.misc_watts};
+}
+
+}  // namespace capgpu::hw

@@ -1,0 +1,72 @@
+// Whole-server power model: one host CPU package + N GPUs + everything else.
+//
+// "Everything else" (fans at the paper's fixed speed, DRAM, disks, NICs, PSU
+// overhead) is a constant offset, matching the constant C the paper's system
+// identification absorbs (Eq. 3).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+
+namespace capgpu::hw {
+
+/// Static parameters of the non-CPU/GPU part of the chassis.
+struct ChassisParams {
+  std::string name{"server"};
+  double fan_watts{60.0};    ///< fixed fan speed (paper Sec 5 pins the fans)
+  double misc_watts{110.0};  ///< DRAM, disks, NICs, PSU overhead, ...
+};
+
+/// A GPU server: one CPU package plus one or more GPUs.
+///
+/// Owns the device models; HAL backends hold references into this object.
+class ServerModel {
+ public:
+  ServerModel(ChassisParams chassis, CpuParams cpu,
+              std::vector<GpuParams> gpus);
+
+  /// Paper testbed preset: Xeon Gold 5215 + `n_gpus` Tesla V100s.
+  static ServerModel v100_testbed(std::size_t n_gpus);
+
+  /// Motivation-experiment preset: one RTX 3090 + host CPU (Sec 3.2).
+  static ServerModel rtx3090_workstation();
+
+  [[nodiscard]] const std::string& name() const { return chassis_.name; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] std::size_t gpu_count() const { return gpus_.size(); }
+  [[nodiscard]] GpuModel& gpu(std::size_t i);
+  [[nodiscard]] const GpuModel& gpu(std::size_t i) const;
+
+  /// Number of controllable devices: 1 CPU domain + gpu_count().
+  [[nodiscard]] std::size_t device_count() const { return 1 + gpus_.size(); }
+
+  /// Kind of the device at `id` (0 = CPU, 1.. = GPUs), mirroring the paper's
+  /// F = [f_c, f_g1..f_gNg] ordering.
+  [[nodiscard]] DeviceKind device_kind(DeviceId id) const;
+  [[nodiscard]] const FrequencyTable& device_freqs(DeviceId id) const;
+  [[nodiscard]] Megahertz device_frequency(DeviceId id) const;
+  Megahertz set_device_frequency(DeviceId id, Megahertz f);
+  [[nodiscard]] double device_utilization(DeviceId id) const;
+  void set_device_utilization(DeviceId id, double u);
+
+  /// True instantaneous wall power of the whole chassis (no sensor noise —
+  /// the meter adds that).
+  [[nodiscard]] Watts total_power() const;
+
+  /// Constant (non-CPU/GPU) part of the power.
+  [[nodiscard]] Watts static_power() const;
+
+ private:
+  ChassisParams chassis_;
+  CpuModel cpu_;
+  std::vector<GpuModel> gpus_;
+};
+
+}  // namespace capgpu::hw

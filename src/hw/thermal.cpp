@@ -1,0 +1,66 @@
+#include "hw/thermal.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+
+ThermalIntegrator::ThermalIntegrator(sim::Engine& engine, ServerModel& server,
+                                     std::vector<ThermalParams> params,
+                                     Seconds step)
+    : engine_(&engine),
+      server_(&server),
+      params_(std::move(params)),
+      step_s_(step.value) {
+  CAPGPU_REQUIRE(step.value > 0.0, "step must be positive");
+  if (params_.size() == 1 && server.gpu_count() > 1) {
+    params_.resize(server.gpu_count(), params_.front());
+  }
+  CAPGPU_REQUIRE(params_.size() == server.gpu_count(),
+                 "need thermal params per GPU");
+  for (const auto& p : params_) {
+    CAPGPU_REQUIRE(p.r_c_per_w > 0.0 && p.tau_s > 0.0,
+                   "thermal parameters must be positive");
+  }
+  // Boards start at ambient.
+  for (std::size_t i = 0; i < server.gpu_count(); ++i) {
+    server.gpu(i).set_temperature(params_[i].ambient_c);
+  }
+  timer_ = engine_->schedule_periodic(step_s_, [this] { this->step(); });
+}
+
+ThermalIntegrator::~ThermalIntegrator() { engine_->cancel(timer_); }
+
+const ThermalParams& ThermalIntegrator::params(std::size_t gpu) const {
+  CAPGPU_REQUIRE(gpu < params_.size(), "gpu index out of range");
+  return params_[gpu];
+}
+
+void ThermalIntegrator::set_params(std::size_t gpu, ThermalParams params) {
+  CAPGPU_REQUIRE(gpu < params_.size(), "gpu index out of range");
+  CAPGPU_REQUIRE(params.r_c_per_w > 0.0 && params.tau_s > 0.0,
+                 "thermal parameters must be positive");
+  params_[gpu] = params;
+}
+
+double ThermalIntegrator::steady_state_c(std::size_t gpu,
+                                         double watts) const {
+  const auto& p = params(gpu);
+  return p.ambient_c + p.r_c_per_w * watts;
+}
+
+double ThermalIntegrator::power_budget_for(std::size_t gpu,
+                                           double temperature_c) const {
+  const auto& p = params(gpu);
+  return (temperature_c - p.ambient_c) / p.r_c_per_w;
+}
+
+void ThermalIntegrator::step() {
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    auto& gpu = server_->gpu(i);
+    const double t_ss = steady_state_c(i, gpu.power().value);
+    const double t = gpu.temperature_c();
+    gpu.set_temperature(t + (t_ss - t) * (step_s_ / params_[i].tau_s));
+  }
+}
+
+}  // namespace capgpu::hw

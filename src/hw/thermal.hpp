@@ -1,0 +1,66 @@
+// First-order GPU thermal model.
+//
+// Each board is a thermal RC node: steady-state temperature rises linearly
+// with board power above ambient, with a first-order time constant,
+//
+//   T_ss = T_ambient + R_thermal * P,      dT/dt = (T_ss - T) / tau.
+//
+// The thermal resistance R models the board's cooling capability; a fan
+// failure or inlet-temperature rise appears as a larger R at runtime. The
+// integrator advances every GPU's temperature from its instantaneous power
+// on a periodic simulation event and publishes it into the GpuModel, where
+// the NVML shim reads it (nvmlDeviceGetTemperature).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hw {
+
+/// Thermal parameters of one board.
+struct ThermalParams {
+  double ambient_c{25.0};
+  double r_c_per_w{0.17};  ///< °C per board watt (healthy V100 air cooling)
+  double tau_s{30.0};      ///< thermal time constant
+};
+
+/// Advances every GPU's temperature on a periodic event.
+class ThermalIntegrator {
+ public:
+  /// One ThermalParams per GPU in `server` (or a single entry applied to
+  /// all). Starts integrating immediately at `step` resolution.
+  ThermalIntegrator(sim::Engine& engine, ServerModel& server,
+                    std::vector<ThermalParams> params,
+                    Seconds step = Seconds{1.0});
+  ~ThermalIntegrator();
+
+  ThermalIntegrator(const ThermalIntegrator&) = delete;
+  ThermalIntegrator& operator=(const ThermalIntegrator&) = delete;
+
+  [[nodiscard]] const ThermalParams& params(std::size_t gpu) const;
+
+  /// Degrades/changes board cooling at runtime (fan failure, hot inlet).
+  void set_params(std::size_t gpu, ThermalParams params);
+
+  /// Steady-state temperature the board would reach at power `watts`.
+  [[nodiscard]] double steady_state_c(std::size_t gpu, double watts) const;
+
+  /// Board power that settles exactly at `temperature_c` (the inverse of
+  /// steady_state_c) — what a thermal governor may allow the board to draw.
+  [[nodiscard]] double power_budget_for(std::size_t gpu,
+                                        double temperature_c) const;
+
+ private:
+  void step();
+
+  sim::Engine* engine_;
+  ServerModel* server_;
+  std::vector<ThermalParams> params_;
+  double step_s_;
+  sim::EventId timer_{0};
+};
+
+}  // namespace capgpu::hw

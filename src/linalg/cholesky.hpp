@@ -1,0 +1,27 @@
+// Cholesky factorisation for symmetric positive-definite systems.
+//
+// The MPC Hessian H = S^T Q S + R is SPD by construction, so the QP solver's
+// KKT systems are solved with Cholesky where possible.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::linalg {
+
+/// A = L L^T for symmetric positive-definite A.
+/// Throws NumericalError when A is not (numerically) positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  [[nodiscard]] Vector solve(const Vector& b) const;
+  [[nodiscard]] const Matrix& l() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// True if `a` is symmetric within `tol`.
+[[nodiscard]] bool is_symmetric(const Matrix& a, double tol = 1e-9);
+
+}  // namespace capgpu::linalg

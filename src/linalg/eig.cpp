@@ -1,0 +1,213 @@
+#include "linalg/eig.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::linalg {
+
+namespace {
+
+/// Reduces `a` to upper Hessenberg form in place by Householder similarity
+/// transforms (eigenvalues are preserved).
+void to_hessenberg(Matrix& a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    double scale = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) scale += std::abs(a(i, k));
+    if (scale == 0.0) continue;
+
+    // Build the Householder vector v for column k below the subdiagonal.
+    std::vector<double> v(n, 0.0);
+    double h = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = a(i, k) / scale;
+      h += v[i] * v[i];
+    }
+    double g = std::sqrt(h);
+    if (v[k + 1] > 0.0) g = -g;
+    h -= v[k + 1] * g;
+    v[k + 1] -= g;
+    if (h == 0.0) continue;
+
+    // A <- (I - v v^T / h) A (I - v v^T / h)
+    for (std::size_t j = 0; j < n; ++j) {  // left multiply
+      double f = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) f += v[i] * a(i, j);
+      f /= h;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= f * v[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {  // right multiply
+      double f = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) f += a(i, j) * v[j];
+      f /= h;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= f * v[j];
+    }
+    a(k + 1, k) = scale * g;
+    for (std::size_t i = k + 2; i < n; ++i) a(i, k) = 0.0;
+  }
+}
+
+/// Francis double-shift QR on an upper Hessenberg matrix; returns the
+/// eigenvalues. Classic HQR scheme (cf. Golub & Van Loan / EISPACK hqr).
+std::vector<std::complex<double>> hqr(Matrix& a) {
+  const std::size_t size = a.rows();
+  std::vector<std::complex<double>> eig;
+  eig.reserve(size);
+  if (size == 0) return eig;
+
+  // Overall scale for deflation tests.
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < size; ++i)
+    for (std::size_t j = (i > 0 ? i - 1 : 0); j < size; ++j)
+      anorm += std::abs(a(i, j));
+  if (anorm == 0.0) anorm = 1.0;
+
+  long n = static_cast<long>(size) - 1;  // index of the active trailing block
+  double t = 0.0;                        // accumulated exceptional shifts
+  while (n >= 0) {
+    int its = 0;
+    long l;
+    for (;;) {
+      // Find a small subdiagonal element to split the matrix.
+      for (l = n; l >= 1; --l) {
+        const double s =
+            std::abs(a(l - 1, l - 1)) + std::abs(a(l, l));
+        const double scale = (s == 0.0) ? anorm : s;
+        if (std::abs(a(l, l - 1)) <= 1e-15 * scale) {
+          a(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = a(n, n);
+      if (l == n) {  // one real eigenvalue deflates
+        eig.emplace_back(x + t, 0.0);
+        --n;
+        break;
+      }
+      double y = a(n - 1, n - 1);
+      double w = a(n, n - 1) * a(n - 1, n);
+      if (l == n - 1) {  // a 2x2 block deflates
+        const double p2 = 0.5 * (y - x);
+        const double q2 = p2 * p2 + w;
+        const double z2 = std::sqrt(std::abs(q2));
+        x += t;
+        if (q2 >= 0.0) {  // two real roots
+          const double z = p2 + (p2 >= 0.0 ? z2 : -z2);
+          eig.emplace_back(x + z, 0.0);
+          eig.emplace_back(z != 0.0 ? x - w / z : x + z, 0.0);
+        } else {  // complex conjugate pair
+          eig.emplace_back(x + p2, z2);
+          eig.emplace_back(x + p2, -z2);
+        }
+        n -= 2;
+        break;
+      }
+      // No deflation yet: perform a double-shift QR sweep.
+      if (its == 60) {
+        throw NumericalError("eigenvalues: QR iteration did not converge");
+      }
+      double p = 0.0, q = 0.0, z = 0.0, r = 0.0, s = 0.0;
+      if (its == 10 || its == 20) {  // exceptional shift
+        t += x;
+        for (long i = 0; i <= n; ++i) a(i, i) -= x;
+        s = std::abs(a(n, n - 1)) + std::abs(a(n - 1, n - 2));
+        x = y = 0.75 * s;
+        w = -0.4375 * s * s;
+      }
+      ++its;
+      long m;
+      for (m = n - 2; m >= l; --m) {  // look for two consecutive small subdiagonals
+        z = a(m, m);
+        r = x - z;
+        s = y - z;
+        p = (r * s - w) / a(m + 1, m) + a(m, m + 1);
+        q = a(m + 1, m + 1) - z - r - s;
+        r = a(m + 2, m + 1);
+        s = std::abs(p) + std::abs(q) + std::abs(r);
+        p /= s;
+        q /= s;
+        r /= s;
+        if (m == l) break;
+        const double u =
+            std::abs(a(m, m - 1)) * (std::abs(q) + std::abs(r));
+        const double v = std::abs(p) * (std::abs(a(m - 1, m - 1)) +
+                                        std::abs(z) + std::abs(a(m + 1, m + 1)));
+        if (u <= 1e-15 * v) break;
+      }
+      for (long i = m + 2; i <= n; ++i) {
+        a(i, i - 2) = 0.0;
+        if (i != m + 2) a(i, i - 3) = 0.0;
+      }
+      for (long k = m; k <= n - 1; ++k) {  // the QR sweep itself
+        if (k != m) {
+          p = a(k, k - 1);
+          q = a(k + 1, k - 1);
+          r = (k != n - 1) ? a(k + 2, k - 1) : 0.0;
+          x = std::abs(p) + std::abs(q) + std::abs(r);
+          if (x != 0.0) {
+            p /= x;
+            q /= x;
+            r /= x;
+          }
+        }
+        s = std::sqrt(p * p + q * q + r * r);
+        if (p < 0.0) s = -s;
+        if (s == 0.0) continue;
+        if (k == m) {
+          if (l != m) a(k, k - 1) = -a(k, k - 1);
+        } else {
+          a(k, k - 1) = -s * x;
+        }
+        p += s;
+        x = p / s;
+        y = q / s;
+        z = r / s;
+        q /= p;
+        r /= p;
+        for (long j = k; j <= n; ++j) {  // row modification
+          p = a(k, j) + q * a(k + 1, j);
+          if (k != n - 1) {
+            p += r * a(k + 2, j);
+            a(k + 2, j) -= p * z;
+          }
+          a(k + 1, j) -= p * y;
+          a(k, j) -= p * x;
+        }
+        const long mmin = (n < k + 3) ? n : k + 3;
+        for (long i = l; i <= mmin; ++i) {  // column modification
+          p = x * a(i, k) + y * a(i, k + 1);
+          if (k != n - 1) {
+            p += z * a(i, k + 2);
+            a(i, k + 2) -= p * r;
+          }
+          a(i, k + 1) -= p * q;
+          a(i, k) -= p;
+        }
+      }
+    }
+  }
+  return eig;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  CAPGPU_REQUIRE(a.rows() == a.cols(), "eigenvalues: matrix must be square");
+  Matrix h = a;
+  to_hessenberg(h);
+  return hqr(h);
+}
+
+double spectral_radius(const Matrix& a) {
+  double rho = 0.0;
+  for (const auto& lambda : eigenvalues(a)) rho = std::max(rho, std::abs(lambda));
+  return rho;
+}
+
+bool is_schur_stable(const Matrix& a, double tol) {
+  return spectral_radius(a) < 1.0 - tol;
+}
+
+}  // namespace capgpu::linalg

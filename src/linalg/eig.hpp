@@ -1,0 +1,28 @@
+// Eigenvalues of real (non-symmetric) matrices.
+//
+// Used by the stability analysis (paper Sec 4.4): the closed-loop dynamics of
+// the server under CapGPU's control law form a small real matrix whose poles
+// (eigenvalues) must lie strictly inside the unit circle for p(k) -> P_s.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::linalg {
+
+/// All eigenvalues of a real square matrix, computed via Hessenberg
+/// reduction followed by the shifted QR (Francis) iteration. Complex
+/// conjugate pairs are returned as such.
+/// Throws NumericalError if the iteration fails to converge.
+[[nodiscard]] std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Spectral radius: max |lambda_i|.
+[[nodiscard]] double spectral_radius(const Matrix& a);
+
+/// True when every eigenvalue lies strictly inside the unit circle
+/// (discrete-time asymptotic stability), with margin `tol`.
+[[nodiscard]] bool is_schur_stable(const Matrix& a, double tol = 1e-9);
+
+}  // namespace capgpu::linalg

@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a) {
+  CAPGPU_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  piv_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best < 1e-13) {
+      throw NumericalError("LU: matrix is singular to working precision");
+    }
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[p], piv_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  CAPGPU_REQUIRE(b.size() == n, "LU solve: dimension mismatch");
+  Vector x(n);
+  // Apply permutation, then forward substitution with unit-lower L.
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t c = 0; c < i; ++c) acc -= lu_(i, c) * x[c];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) acc -= lu_(ii, c) * x[c];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  CAPGPU_REQUIRE(b.rows() == dim(), "LU solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col(b.rows());
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector lu_solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) {
+  return Lu(a).solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace capgpu::linalg

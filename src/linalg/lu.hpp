@@ -1,0 +1,37 @@
+// LU decomposition with partial pivoting, plus solve / inverse / determinant.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::linalg {
+
+/// PA = LU factorisation of a square matrix with partial (row) pivoting.
+/// Throws NumericalError if the matrix is singular to working precision.
+class Lu {
+ public:
+  explicit Lu(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+  /// Solves A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+  /// det(A), including the pivot sign.
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                    // packed L (unit diag) and U
+  std::vector<std::size_t> piv_; // row permutation
+  int pivot_sign_{1};
+};
+
+/// Convenience: solve A x = b in one call.
+[[nodiscard]] Vector lu_solve(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix (prefer Lu::solve where possible).
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace capgpu::linalg

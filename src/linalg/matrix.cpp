@@ -1,0 +1,206 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::linalg {
+
+double& Vector::operator[](std::size_t i) {
+  CAPGPU_ASSERT(i < data_.size());
+  return data_[i];
+}
+
+double Vector::operator[](std::size_t i) const {
+  CAPGPU_ASSERT(i < data_.size());
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& o) {
+  CAPGPU_ASSERT(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& o) {
+  CAPGPU_ASSERT(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Vector::dot(const Vector& o) const {
+  CAPGPU_ASSERT(size() == o.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += data_[i] * o.data_[i];
+  return acc;
+}
+
+double Vector::norm2() const { return std::sqrt(dot(*this)); }
+
+double Vector::norm_inf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Vector::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Vector operator+(Vector a, const Vector& b) { return a += b; }
+Vector operator-(Vector a, const Vector& b) { return a -= b; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator*(Vector v, double s) { return v *= s; }
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    CAPGPU_REQUIRE(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  CAPGPU_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  CAPGPU_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  CAPGPU_ASSERT(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  CAPGPU_ASSERT(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  CAPGPU_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  CAPGPU_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::operator*(const Vector& x) const {
+  CAPGPU_ASSERT(cols_ == x.size());
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  CAPGPU_ASSERT(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < o.cols_; ++c) out(r, c) += a * o(k, c);
+    }
+  }
+  return out;
+}
+
+double Matrix::norm_fro() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::norm_inf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(double s, Matrix m) { return m *= s; }
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+  return true;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace capgpu::linalg

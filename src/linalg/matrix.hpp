@@ -1,0 +1,108 @@
+// Small dense linear algebra.
+//
+// CapGPU's control problems are tiny (a server has one CPU domain and up to
+// ~16 GPUs; MPC decision vectors have a few dozen entries), so this module
+// favours clarity and numerical robustness over blocking/vectorisation.
+// Storage is row-major contiguous.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace capgpu::linalg {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i);
+  double operator[](std::size_t i) const;
+
+  [[nodiscard]] std::span<const double> span() const { return data_; }
+  [[nodiscard]] std::span<double> span() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  Vector& operator+=(const Vector& o);
+  Vector& operator-=(const Vector& o);
+  Vector& operator*=(double s);
+
+  [[nodiscard]] double dot(const Vector& o) const;
+  [[nodiscard]] double norm2() const;      ///< Euclidean norm.
+  [[nodiscard]] double norm_inf() const;   ///< Max absolute entry.
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector a, const Vector& b);
+[[nodiscard]] Vector operator-(Vector a, const Vector& b);
+[[nodiscard]] Vector operator*(double s, Vector v);
+[[nodiscard]] Vector operator*(Vector v, double s);
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Diagonal matrix from the given vector.
+  [[nodiscard]] static Matrix diag(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+  [[nodiscard]] std::span<double> row(std::size_t r);
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix-vector product. Requires cols() == x.size().
+  [[nodiscard]] Vector operator*(const Vector& x) const;
+  /// Matrix-matrix product. Requires cols() == o.rows().
+  [[nodiscard]] Matrix operator*(const Matrix& o) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm_fro() const;
+  /// Max absolute entry.
+  [[nodiscard]] double norm_inf() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator-(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator*(double s, Matrix m);
+
+/// True when every pairwise entry differs by at most `tol`.
+[[nodiscard]] bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+[[nodiscard]] bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace capgpu::linalg

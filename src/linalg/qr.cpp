@@ -1,0 +1,99 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::linalg {
+
+Qr::Qr(const Matrix& a) : qr_(a), householder_(a.cols()) {
+  CAPGPU_REQUIRE(a.rows() >= a.cols(), "QR requires rows >= cols");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm = std::hypot(norm, qr_(i, k));
+    if (norm != 0.0) {
+      if (qr_(k, k) < 0.0) norm = -norm;
+      for (std::size_t i = k; i < m; ++i) qr_(i, k) /= norm;
+      qr_(k, k) += 1.0;
+      // Apply the reflector to the remaining columns.
+      for (std::size_t j = k + 1; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+        s = -s / qr_(k, k);
+        for (std::size_t i = k; i < m; ++i) qr_(i, j) += s * qr_(i, k);
+      }
+    }
+    householder_[k] = -norm;
+  }
+}
+
+bool Qr::full_rank(double tol) const {
+  for (std::size_t k = 0; k < qr_.cols(); ++k) {
+    if (std::abs(householder_[k]) <= tol) return false;
+  }
+  return true;
+}
+
+Matrix Qr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = householder_[i];
+    for (std::size_t j = i + 1; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Vector Qr::solve(const Vector& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  CAPGPU_REQUIRE(b.size() == m, "QR solve: dimension mismatch");
+  if (!full_rank()) {
+    throw NumericalError("QR: matrix is rank deficient");
+  }
+  Vector y = b;
+  // Apply Q^T to b.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (qr_(k, k) == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * y[i];
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m; ++i) y[i] += s * qr_(i, k);
+  }
+  // Back substitution with R.
+  Vector x(n);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double acc = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) acc -= qr_(kk, j) * x[j];
+    x[kk] = acc / householder_[kk];
+  }
+  return x;
+}
+
+Vector lstsq(const Matrix& a, const Vector& b) { return Qr(a).solve(b); }
+
+FitResult lstsq_fit(const Matrix& a, const Vector& b) {
+  FitResult fit;
+  fit.coefficients = lstsq(a, b);
+  const Vector pred = a * fit.coefficients;
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) mean += b[i];
+  mean /= static_cast<double>(b.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    ss_res += (b[i] - pred[i]) * (b[i] - pred[i]);
+    ss_tot += (b[i] - mean) * (b[i] - mean);
+  }
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(b.size()));
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace capgpu::linalg

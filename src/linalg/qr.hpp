@@ -1,0 +1,43 @@
+// Householder QR factorisation and linear least squares.
+//
+// Least squares is the workhorse of CapGPU's system identification (paper
+// Sec 4.2): we fit the affine power model p = A·F + C from frequency sweeps.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::linalg {
+
+/// Householder QR of an m-by-n matrix with m >= n.
+class Qr {
+ public:
+  explicit Qr(const Matrix& a);
+
+  /// Minimises ||A x - b||_2. Throws NumericalError when A is rank deficient.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// The upper-triangular factor R (n-by-n).
+  [[nodiscard]] Matrix r() const;
+
+  /// True if all diagonal entries of R exceed `tol` in magnitude.
+  [[nodiscard]] bool full_rank(double tol = 1e-10) const;
+
+ private:
+  Matrix qr_;           // packed Householder vectors + R
+  Vector householder_;  // leading coefficients of the reflectors
+};
+
+/// One-shot least squares: argmin_x ||A x - b||_2.
+[[nodiscard]] Vector lstsq(const Matrix& a, const Vector& b);
+
+/// Result of a least-squares fit together with its goodness of fit.
+struct FitResult {
+  Vector coefficients;
+  double r_squared{0.0};   ///< 1 - SS_res / SS_tot of the fit.
+  double rmse{0.0};        ///< Root mean squared residual.
+};
+
+/// Least squares with R^2 / RMSE diagnostics (against the mean-only model).
+[[nodiscard]] FitResult lstsq_fit(const Matrix& a, const Vector& b);
+
+}  // namespace capgpu::linalg

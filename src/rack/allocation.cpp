@@ -1,0 +1,78 @@
+#include "rack/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace capgpu::rack {
+
+std::vector<double> proportional_allocation(
+    double total, const std::vector<AllocationBounds>& bounds,
+    const std::vector<double>& weights) {
+  const std::size_t n = bounds.size();
+  CAPGPU_REQUIRE(n > 0, "allocation needs at least one entry");
+  CAPGPU_REQUIRE(weights.size() == n, "weights size mismatch");
+  CAPGPU_REQUIRE(total >= 0.0, "total budget must be >= 0");
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CAPGPU_REQUIRE(bounds[i].min >= 0.0 && bounds[i].max >= bounds[i].min,
+                   "invalid allocation bounds");
+    CAPGPU_REQUIRE(weights[i] >= 0.0, "weights must be >= 0");
+    min_sum += bounds[i].min;
+    max_sum += bounds[i].max;
+  }
+
+  std::vector<double> out(n);
+  if (min_sum >= total) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = bounds[i].min;
+    return out;
+  }
+  if (max_sum <= total) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = bounds[i].max;
+    return out;
+  }
+
+  // Water-filling: everyone starts at min; distribute the spare
+  // proportionally among entries not yet at max, clamping and
+  // redistributing until the spare is exhausted (at most n rounds: each
+  // round permanently saturates at least one entry).
+  for (std::size_t i = 0; i < n; ++i) out[i] = bounds[i].min;
+  double spare = total - min_sum;
+  std::vector<bool> saturated(n, false);
+  for (std::size_t round = 0; round < n && spare > 1e-9; ++round) {
+    double weight_sum = 0.0;
+    std::size_t open = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!saturated[i]) {
+        weight_sum += weights[i];
+        ++open;
+      }
+    }
+    if (open == 0) break;
+    bool clamped_any = false;
+    double returned = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (saturated[i]) continue;
+      const double share = weight_sum > 1e-12
+                               ? weights[i] / weight_sum
+                               : 1.0 / static_cast<double>(open);
+      const double grant = spare * share;
+      const double headroom = bounds[i].max - out[i];
+      if (grant >= headroom) {
+        out[i] = bounds[i].max;
+        returned += grant - headroom;
+        saturated[i] = true;
+        clamped_any = true;
+      } else {
+        out[i] += grant;
+      }
+    }
+    spare = returned;
+    if (!clamped_any) break;  // everything granted in full
+  }
+  return out;
+}
+
+}  // namespace capgpu::rack

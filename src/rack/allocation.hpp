@@ -1,0 +1,33 @@
+// Budget allocation primitives for rack-level power management.
+//
+// Rack coordinators repeatedly solve the same small problem: divide a total
+// budget among servers proportionally to weights, subject to per-server
+// minimum and maximum budgets. The clamped-proportional allocation here is
+// the water-filling solution: clamp violators to their bounds and
+// redistribute the remainder among the rest until a fixed point.
+#pragma once
+
+#include <vector>
+
+namespace capgpu::rack {
+
+/// One server's allocation constraints.
+struct AllocationBounds {
+  double min{0.0};
+  double max{0.0};
+};
+
+/// Splits `total` across entries proportionally to `weights`, respecting
+/// per-entry [min, max] bounds.
+///
+/// Behaviour at the edges:
+///  - sum(min) > total: every entry gets its min (the rack is
+///    oversubscribed past the guarantees; the caller must shed load),
+///  - sum(max) < total: every entry gets its max (spare budget unusable),
+///  - zero/negative total weight: remaining budget splits equally.
+/// Weights must be >= 0; bounds must satisfy 0 <= min <= max.
+[[nodiscard]] std::vector<double> proportional_allocation(
+    double total, const std::vector<AllocationBounds>& bounds,
+    const std::vector<double>& weights);
+
+}  // namespace capgpu::rack

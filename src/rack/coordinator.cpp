@@ -1,0 +1,88 @@
+#include "rack/coordinator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::rack {
+
+RackCoordinator::RackCoordinator(Watts rack_budget, RackPolicy policy,
+                                 double demand_smoothing)
+    : rack_budget_(rack_budget),
+      policy_(policy),
+      demand_smoothing_(demand_smoothing) {
+  CAPGPU_REQUIRE(rack_budget.value > 0.0, "rack budget must be positive");
+  CAPGPU_REQUIRE(demand_smoothing > 0.0 && demand_smoothing <= 1.0,
+                 "demand_smoothing must be in (0, 1]");
+}
+
+void RackCoordinator::add_server(ServerEndpoint endpoint) {
+  CAPGPU_REQUIRE(static_cast<bool>(endpoint.set_budget),
+                 "server needs a set_budget endpoint");
+  CAPGPU_REQUIRE(static_cast<bool>(endpoint.measured_power),
+                 "server needs a measured_power endpoint");
+  CAPGPU_REQUIRE(endpoint.priority > 0.0, "priority must be positive");
+  servers_.push_back(std::move(endpoint));
+}
+
+void RackCoordinator::set_rack_budget(Watts budget) {
+  CAPGPU_REQUIRE(budget.value > 0.0, "rack budget must be positive");
+  rack_budget_ = budget;
+}
+
+std::vector<double> RackCoordinator::rebalance() {
+  CAPGPU_REQUIRE(!servers_.empty(), "no servers registered");
+  const std::size_t n = servers_.size();
+
+  std::vector<AllocationBounds> bounds;
+  bounds.reserve(n);
+  for (const auto& s : servers_) bounds.push_back(s.bounds);
+
+  std::vector<double> weights(n, 1.0);
+  switch (policy_) {
+    case RackPolicy::kEqual:
+      break;  // uniform weights
+    case RackPolicy::kDemandProportional:
+      smoothed_demand_.resize(n, -1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double raw = std::clamp(
+            servers_[i].demand ? servers_[i].demand() : 0.0, 0.0, 1.0);
+        smoothed_demand_[i] =
+            smoothed_demand_[i] < 0.0
+                ? raw
+                : demand_smoothing_ * raw +
+                      (1.0 - demand_smoothing_) * smoothed_demand_[i];
+        weights[i] = smoothed_demand_[i];
+      }
+      break;
+    case RackPolicy::kPriorityAware:
+      // Steeply super-linear in priority so higher tiers fill to their max
+      // before lower tiers receive spare budget (approximates strict
+      // priority water-filling while staying a single allocation pass).
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = servers_[i].priority;
+        weights[i] = p * p * p * p;
+      }
+      break;
+  }
+
+  budgets_ = proportional_allocation(rack_budget_.value, bounds, weights);
+  for (std::size_t i = 0; i < n; ++i) {
+    servers_[i].set_budget(Watts{budgets_[i]});
+  }
+  return budgets_;
+}
+
+double RackCoordinator::total_power() const {
+  double total = 0.0;
+  for (const auto& s : servers_) total += s.measured_power();
+  return total;
+}
+
+bool RackCoordinator::oversubscribed() const {
+  double min_sum = 0.0;
+  for (const auto& s : servers_) min_sum += s.bounds.min;
+  return min_sum > rack_budget_.value;
+}
+
+}  // namespace capgpu::rack

@@ -1,0 +1,97 @@
+// Rack-level power coordination over CapGPU-capped servers.
+//
+// Data centers enforce caps on racks and rows, not just servers (the
+// paper's motivation; Meta's Dynamo and Google's medium-voltage capping
+// work at this scope). The coordinator periodically re-divides a rack
+// budget across registered servers and pushes per-server set points into
+// their CapGPU controllers. Three policies are provided:
+//
+//   kEqual               — static equal shares (the naive strawman),
+//   kDemandProportional  — spare budget follows each server's demand
+//                          signal (e.g. GPU throughput deficit),
+//   kPriorityAware       — higher-priority servers fill to their maximum
+//                          first (cf. priority-aware capping at Google).
+//
+// The coordinator is transport-agnostic: servers register std::function
+// endpoints, so the same code drives simulated rigs or a fleet RPC layer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "rack/allocation.hpp"
+
+namespace capgpu::rack {
+
+/// Allocation policy.
+enum class RackPolicy { kEqual, kDemandProportional, kPriorityAware };
+
+/// Registration record of one server.
+struct ServerEndpoint {
+  std::string name;
+  /// Pushes a new power budget into the server's capping controller.
+  std::function<void(Watts)> set_budget;
+  /// Last measured server power (for rack telemetry).
+  std::function<double()> measured_power;
+  /// Demand signal in [0, 1]; larger = wants more budget. Used by
+  /// kDemandProportional (a good choice: mean GPU throughput deficit).
+  std::function<double()> demand;
+  /// Priority for kPriorityAware (larger = more important).
+  double priority{1.0};
+  /// Per-server budget bounds (min protects against starvation; max is
+  /// the server's feasible ceiling).
+  AllocationBounds bounds{600.0, 1300.0};
+};
+
+/// The rack budget divider.
+class RackCoordinator {
+ public:
+  /// `demand_smoothing` is the EMA factor applied to each server's demand
+  /// signal across rebalances (1 = use raw samples). Budgets feed back
+  /// into demand — a server granted more budget clocks up and its
+  /// headroom-based demand falls — so an unsmoothed loop can bang-bang
+  /// between allocations.
+  RackCoordinator(Watts rack_budget, RackPolicy policy,
+                  double demand_smoothing = 0.3);
+
+  void add_server(ServerEndpoint endpoint);
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+
+  void set_rack_budget(Watts budget);
+  [[nodiscard]] Watts rack_budget() const { return rack_budget_; }
+  void set_policy(RackPolicy policy) { policy_ = policy; }
+  [[nodiscard]] RackPolicy policy() const { return policy_; }
+
+  /// Recomputes per-server budgets from the current demand signals and
+  /// pushes them to every server. Returns the budgets, in registration
+  /// order.
+  std::vector<double> rebalance();
+
+  /// Budgets from the latest rebalance (empty before the first call).
+  [[nodiscard]] const std::vector<double>& budgets() const { return budgets_; }
+
+  /// Sum of the servers' measured power right now.
+  [[nodiscard]] double total_power() const;
+
+  /// True when the guaranteed minima alone exceed the rack budget — the
+  /// rack is oversubscribed beyond what capping can absorb and load must
+  /// be shed (paper Sec 4.4's infeasibility caveat, at rack scope).
+  [[nodiscard]] bool oversubscribed() const;
+
+  /// Smoothed demand values from the latest rebalance (diagnostics).
+  [[nodiscard]] const std::vector<double>& smoothed_demand() const {
+    return smoothed_demand_;
+  }
+
+ private:
+  Watts rack_budget_;
+  RackPolicy policy_;
+  double demand_smoothing_;
+  std::vector<ServerEndpoint> servers_;
+  std::vector<double> budgets_;
+  std::vector<double> smoothed_demand_;
+};
+
+}  // namespace capgpu::rack

@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback cb) {
+  CAPGPU_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  CAPGPU_REQUIRE(static_cast<bool>(cb), "cannot schedule a null callback");
+  const EventId id = next_id_++;
+  live_.emplace(id, State{std::move(cb), false, 0.0});
+  queue_.push(Node{at, next_seq_++, id});
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback cb) {
+  CAPGPU_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventId Engine::schedule_periodic(SimTime period, Callback cb) {
+  CAPGPU_REQUIRE(period > 0.0, "periodic events need a positive period");
+  CAPGPU_REQUIRE(static_cast<bool>(cb), "cannot schedule a null callback");
+  const EventId id = next_id_++;
+  live_.emplace(id, State{std::move(cb), true, period});
+  queue_.push(Node{now_ + period, next_seq_++, id});
+  return id;
+}
+
+void Engine::cancel(EventId id) { live_.erase(id); }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Node node = queue_.top();
+    queue_.pop();
+    auto it = live_.find(node.id);
+    if (it == live_.end()) continue;  // cancelled
+    now_ = node.time;
+    ++executed_;
+    if (it->second.periodic) {
+      queue_.push(Node{node.time + it->second.period, next_seq_++, node.id});
+      // The callback may cancel its own periodic event, so copy it first.
+      Callback cb = it->second.cb;
+      cb();
+    } else {
+      Callback cb = std::move(it->second.cb);
+      live_.erase(it);
+      cb();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime until) {
+  CAPGPU_REQUIRE(until >= now_, "run_until target is in the past");
+  for (;;) {
+    // Drop cancelled heads so the time check below sees a live event.
+    while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
+    if (queue_.empty() || queue_.top().time > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+}  // namespace capgpu::sim

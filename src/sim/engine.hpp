@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// The workload pipeline (preprocessing, queueing, batching, GPU execution)
+// and the 1 Hz power meter / 4 s control loop all run as events on this
+// engine. Events at equal timestamps execute in scheduling order
+// (deterministic FIFO tie-break), which keeps every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace capgpu::sim {
+
+/// Simulated wall-clock, in seconds since simulation start.
+using SimTime = double;
+
+/// Handle used to cancel a scheduled event. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event engine.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (>= now). Returns a cancellable id.
+  EventId schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (delay >= 0).
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Schedules `cb` every `period` seconds, first firing at now() + period.
+  /// The periodic event reschedules itself until cancelled.
+  EventId schedule_periodic(SimTime period, Callback cb);
+
+  /// Cancels a pending event; a no-op for already-fired or unknown ids.
+  void cancel(EventId id);
+
+  /// Runs events with time <= `until`; afterwards now() == `until` even if
+  /// the queue drained earlier.
+  void run_until(SimTime until);
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (excluding cancelled ones).
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct State {
+    Callback cb;
+    bool periodic{false};
+    SimTime period{0.0};
+  };
+  struct Node {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0.0};
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Node, std::vector<Node>, Later> queue_;
+  std::unordered_map<EventId, State> live_;
+};
+
+}  // namespace capgpu::sim

@@ -1,0 +1,72 @@
+#include "telemetry/audit.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+namespace {
+
+CappingAudit audit_impl(const TimeSeries& power,
+                        const std::function<double(std::size_t)>& cap_at,
+                        double sample_seconds, double tolerance_watts,
+                        std::size_t skip) {
+  CAPGPU_REQUIRE(sample_seconds > 0.0, "sample spacing must be positive");
+  CAPGPU_REQUIRE(tolerance_watts >= 0.0, "tolerance must be >= 0");
+  CappingAudit audit;
+  std::size_t streak = 0;
+  double headroom_sum = 0.0;
+  std::size_t headroom_n = 0;
+  for (std::size_t i = skip; i < power.size(); ++i) {
+    const double p = power.value_at(i);
+    const double cap = cap_at(i);
+    ++audit.samples;
+    const double excess = p - cap;
+    if (excess > tolerance_watts) {
+      ++audit.violation_samples;
+      ++streak;
+      audit.longest_streak = std::max(audit.longest_streak, streak);
+      audit.worst_excess_watts = std::max(audit.worst_excess_watts, excess);
+      audit.excess_joules += excess * sample_seconds;
+    } else {
+      streak = 0;
+      if (excess < 0.0) {
+        headroom_sum += -excess;
+        ++headroom_n;
+      }
+    }
+  }
+  if (audit.samples > 0) {
+    audit.violation_fraction =
+        static_cast<double>(audit.violation_samples) /
+        static_cast<double>(audit.samples);
+  }
+  if (headroom_n > 0) {
+    audit.mean_headroom_watts = headroom_sum / static_cast<double>(headroom_n);
+  }
+  return audit;
+}
+
+}  // namespace
+
+CappingAudit audit_capping(const TimeSeries& power, Watts cap,
+                           double sample_seconds, double tolerance_watts,
+                           std::size_t skip) {
+  return audit_impl(
+      power, [&](std::size_t) { return cap.value; }, sample_seconds,
+      tolerance_watts, skip);
+}
+
+CappingAudit audit_capping(const TimeSeries& power, const TimeSeries& cap,
+                           double sample_seconds, double tolerance_watts,
+                           std::size_t skip) {
+  CAPGPU_REQUIRE(cap.size() == power.size(),
+                 "cap trace must match the power trace");
+  return audit_impl(
+      power, [&](std::size_t i) { return cap.value_at(i); }, sample_seconds,
+      tolerance_watts, skip);
+}
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,45 @@
+// Power-capping audit: breaker-risk metrics over a power trace.
+//
+// Circuit breakers trip on sustained overcurrent, not instantaneous blips:
+// what matters operationally is how long and how far a trace sat above the
+// cap, and the worst contiguous excess-energy burst. These metrics
+// summarise a run the way a capacity engineer would read it.
+#pragma once
+
+#include "common/units.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace capgpu::telemetry {
+
+/// Breaker-risk summary of one power trace against a (possibly moving) cap.
+struct CappingAudit {
+  std::size_t samples{0};
+  std::size_t violation_samples{0};    ///< samples above cap + tolerance
+  double violation_fraction{0.0};
+  double worst_excess_watts{0.0};      ///< max (p - cap) over the trace
+  std::size_t longest_streak{0};       ///< consecutive violating samples
+  /// Excess energy above the cap, integrated over violating samples
+  /// (watt-seconds): the quantity thermal breaker elements integrate.
+  double excess_joules{0.0};
+  /// Mean headroom (cap - p) over non-violating samples: the budget the
+  /// controller left unused.
+  double mean_headroom_watts{0.0};
+};
+
+/// Audits `power` against a fixed cap. `sample_seconds` is the spacing of
+/// the trace samples (the control period); `tolerance` is the violation
+/// dead-band.
+[[nodiscard]] CappingAudit audit_capping(const TimeSeries& power, Watts cap,
+                                         double sample_seconds,
+                                         double tolerance_watts = 5.0,
+                                         std::size_t skip = 0);
+
+/// Audits against a per-sample cap trace (set-point schedules); both series
+/// must be the same length.
+[[nodiscard]] CappingAudit audit_capping(const TimeSeries& power,
+                                         const TimeSeries& cap,
+                                         double sample_seconds,
+                                         double tolerance_watts = 5.0,
+                                         std::size_t skip = 0);
+
+}  // namespace capgpu::telemetry

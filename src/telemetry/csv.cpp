@@ -1,0 +1,64 @@
+#include "telemetry/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << fields[i];
+  }
+  *out_ << '\n';
+}
+
+void write_series_csv(std::ostream& out,
+                      const std::vector<const TimeSeries*>& series) {
+  CAPGPU_REQUIRE(!series.empty(), "write_series_csv: no series");
+  const std::size_t n = series.front()->size();
+  for (const auto* s : series) {
+    CAPGPU_REQUIRE(s->size() == n, "write_series_csv: length mismatch");
+  }
+  CsvWriter w(out);
+  std::vector<std::string> header{"time"};
+  for (const auto* s : series) header.push_back(s->name());
+  w.write_row(header);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row{series.front()->time_at(i)};
+    for (const auto* s : series) row.push_back(s->value_at(i));
+    w.write_row(row);
+  }
+}
+
+void save_series_csv(const std::string& path,
+                     const std::vector<const TimeSeries*>& series) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open CSV file for writing: " + path);
+  write_series_csv(out, series);
+}
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,34 @@
+// CSV output for traces and experiment results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace capgpu::telemetry {
+
+/// Streams rows of a CSV file with proper quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header / data row. Fields containing separators or quotes are
+  /// quoted per RFC 4180.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Writes several time series sharing a time axis as columns
+/// (time,name1,name2,...). Series are sampled by index; all series must have
+/// the same length.
+void write_series_csv(std::ostream& out, const std::vector<const TimeSeries*>& series);
+
+/// Saves series to a file path; creates/truncates the file.
+void save_series_csv(const std::string& path, const std::vector<const TimeSeries*>& series);
+
+}  // namespace capgpu::telemetry

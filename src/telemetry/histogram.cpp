@@ -1,0 +1,60 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CAPGPU_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  CAPGPU_REQUIRE(bins > 0, "Histogram: needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / w);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  CAPGPU_ASSERT(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  CAPGPU_ASSERT(i < counts_.size());
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    os << bin_center(i) << "\t" << counts_[i] << "\t"
+       << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace capgpu::telemetry

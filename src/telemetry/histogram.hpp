@@ -1,0 +1,39 @@
+// Fixed-bin histogram, mostly for latency distributions in benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capgpu::telemetry {
+
+/// Uniform-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+
+  /// Renders a compact ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,95 @@
+#include "telemetry/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(o.count_);
+  const double delta = o.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += o.m2_ + delta * delta * na * nb / n;
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const {
+  return count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_ - 1)) : 0.0;
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+double RunningStats::sum() const { return sum_; }
+
+void PercentileTracker::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void PercentileTracker::reset() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+double PercentileTracker::quantile(double q) const {
+  CAPGPU_REQUIRE(!samples_.empty(), "quantile of empty tracker");
+  CAPGPU_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void RatioCounter::add(bool hit) {
+  ++total_;
+  if (hit) ++hits_;
+}
+
+void RatioCounter::reset() { *this = RatioCounter{}; }
+
+double RatioCounter::ratio() const {
+  return total_ ? static_cast<double>(hits_) / static_cast<double>(total_) : 0.0;
+}
+
+}  // namespace capgpu::telemetry

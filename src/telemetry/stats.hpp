@@ -1,0 +1,67 @@
+// Streaming and exact statistics used by monitors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace capgpu::telemetry {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;   ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sample_stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Exact percentile tracker: stores samples and answers quantile queries with
+/// linear interpolation (type-7, same convention as numpy.percentile).
+class PercentileTracker {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0, 1]; e.g. quantile(0.5) is the median. Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+/// Fraction of samples for which `pred` held; used for SLO miss rates.
+class RatioCounter {
+ public:
+  void add(bool hit);
+  void reset();
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] double ratio() const;  ///< hits / total, 0 when empty.
+
+ private:
+  std::size_t total_{0};
+  std::size_t hits_{0};
+};
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,34 @@
+// ASCII table rendering; every bench prints its paper table/figure rows
+// through this so the output format is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capgpu::telemetry {
+
+/// Column-aligned ASCII table with a title.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& set_header(std::vector<std::string> header);
+  Table& add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  Table& add_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;  ///< render() to stdout.
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,45 @@
+#include "telemetry/timeseries.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+void TimeSeries::add(double time, double value) {
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double TimeSeries::time_at(std::size_t i) const {
+  CAPGPU_ASSERT(i < times_.size());
+  return times_[i];
+}
+
+double TimeSeries::value_at(std::size_t i) const {
+  CAPGPU_ASSERT(i < values_.size());
+  return values_[i];
+}
+
+RunningStats TimeSeries::stats_from(std::size_t first) const {
+  RunningStats s;
+  for (std::size_t i = first; i < values_.size(); ++i) s.add(values_[i]);
+  return s;
+}
+
+std::size_t TimeSeries::count_above(double limit, std::size_t first) const {
+  std::size_t n = 0;
+  for (std::size_t i = first; i < values_.size(); ++i)
+    if (values_[i] > limit) ++n;
+  return n;
+}
+
+std::size_t TimeSeries::settling_index(double target, double band) const {
+  std::size_t idx = values_.size();
+  for (std::size_t i = values_.size(); i-- > 0;) {
+    const double err = values_[i] - target;
+    if (err > band || err < -band) break;
+    idx = i;
+  }
+  return idx;
+}
+
+}  // namespace capgpu::telemetry

@@ -1,0 +1,52 @@
+// Named time series used to record control traces (power, frequencies,
+// latency) for benches and EXPERIMENTS.md figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/stats.hpp"
+
+namespace capgpu::telemetry {
+
+/// A (time, value) series with a name and a unit label.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::string name, std::string unit)
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  void add(double time, double value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& unit() const { return unit_; }
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] double time_at(std::size_t i) const;
+  [[nodiscard]] double value_at(std::size_t i) const;
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Stats over values with index >= first (steady-state analysis: the paper
+  /// keeps the last 80 of 100 control periods).
+  [[nodiscard]] RunningStats stats_from(std::size_t first) const;
+  [[nodiscard]] RunningStats stats() const { return stats_from(0); }
+
+  /// Number of samples strictly above `limit` from index `first` on
+  /// (power-cap violation count).
+  [[nodiscard]] std::size_t count_above(double limit, std::size_t first = 0) const;
+
+  /// First index from which all subsequent values stay within +/- band of
+  /// `target`; returns size() when never settled. This is the settling time
+  /// in samples.
+  [[nodiscard]] std::size_t settling_index(double target, double band) const;
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace capgpu::telemetry

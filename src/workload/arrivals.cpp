@@ -1,0 +1,82 @@
+#include "workload/arrivals.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+ArrivalProcess::ArrivalProcess(sim::Engine& engine, Rng rng,
+                               std::vector<RatePoint> schedule)
+    : engine_(&engine), rng_(rng), schedule_(std::move(schedule)) {
+  CAPGPU_REQUIRE(!schedule_.empty(), "arrival schedule must be non-empty");
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    CAPGPU_REQUIRE(schedule_[i].rate_per_s >= 0.0, "rates must be >= 0");
+    if (i > 0) {
+      CAPGPU_REQUIRE(schedule_[i].time_s > schedule_[i - 1].time_s,
+                     "schedule times must be strictly increasing");
+    }
+  }
+}
+
+ArrivalProcess::~ArrivalProcess() { stop(); }
+
+double ArrivalProcess::rate_at(double t) const {
+  double rate = 0.0;
+  for (const auto& pt : schedule_) {
+    if (pt.time_s <= t) {
+      rate = pt.rate_per_s;
+    } else {
+      break;
+    }
+  }
+  return rate;
+}
+
+void ArrivalProcess::start() {
+  CAPGPU_REQUIRE(!started_, "arrival process already started");
+  started_ = true;
+  schedule_next();
+}
+
+void ArrivalProcess::stop() {
+  if (pending_ != 0) {
+    engine_->cancel(pending_);
+    pending_ = 0;
+  }
+  started_ = false;
+}
+
+void ArrivalProcess::schedule_next() {
+  const double now = engine_->now();
+  const double rate = rate_at(now);
+
+  // Find the next schedule change after `now`.
+  double next_change = -1.0;
+  for (const auto& pt : schedule_) {
+    if (pt.time_s > now) {
+      next_change = pt.time_s;
+      break;
+    }
+  }
+
+  if (rate <= 0.0) {
+    if (next_change < 0.0) return;  // zero rate forever: done
+    pending_ = engine_->schedule_at(next_change, [this] { schedule_next(); });
+    return;
+  }
+
+  const double gap = rng_.exponential(rate);
+  const double arrival_time = now + gap;
+  if (next_change > 0.0 && arrival_time > next_change) {
+    // The rate changes before this arrival would land: re-draw under the
+    // new rate from the change point (memorylessness makes this exact).
+    pending_ = engine_->schedule_at(next_change, [this] { schedule_next(); });
+    return;
+  }
+  pending_ = engine_->schedule_at(arrival_time, [this] {
+    ++arrivals_;
+    if (on_arrival) on_arrival();
+    schedule_next();
+  });
+}
+
+}  // namespace capgpu::workload

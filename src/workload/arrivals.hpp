@@ -1,0 +1,58 @@
+// Open-loop request arrivals.
+//
+// The paper's experiments run saturated (closed-loop) pipelines; real
+// serving load is open-loop and time-varying — the paper's own motivation
+// for changing set points and SLOs is a request surge. This Poisson
+// arrival process with a piecewise-constant rate schedule feeds an
+// InferenceStream running in open-loop mode, enabling experiments where
+// demand, not hardware, is the bottleneck.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::workload {
+
+/// Rate change point: from `time_s` on, arrivals follow `rate_per_s`.
+struct RatePoint {
+  double time_s{0.0};
+  double rate_per_s{0.0};
+};
+
+/// Poisson arrivals with a piecewise-constant rate schedule.
+class ArrivalProcess {
+ public:
+  /// `schedule` must be non-empty with strictly increasing times; the
+  /// first entry applies from its time onward (before that: no arrivals).
+  /// A rate of 0 pauses arrivals until the next schedule point.
+  ArrivalProcess(sim::Engine& engine, Rng rng, std::vector<RatePoint> schedule);
+  ~ArrivalProcess();
+
+  ArrivalProcess(const ArrivalProcess&) = delete;
+  ArrivalProcess& operator=(const ArrivalProcess&) = delete;
+
+  /// Invoked once per arrival.
+  std::function<void()> on_arrival;
+
+  void start();
+  void stop();
+
+  /// The schedule rate in force at time `t`.
+  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  void schedule_next();
+
+  sim::Engine* engine_;
+  Rng rng_;
+  std::vector<RatePoint> schedule_;
+  std::uint64_t arrivals_{0};
+  sim::EventId pending_{0};
+  bool started_{false};
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,115 @@
+#include "workload/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double parse_cell(const std::string& cell, std::size_t row,
+                  const std::string& column) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    CAPGPU_REQUIRE(pos == cell.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("non-numeric cell '" + cell + "' in column " +
+                          column + ", data row " + std::to_string(row));
+  }
+}
+
+}  // namespace
+
+Dataset load_dataset_csv(std::istream& in, const std::string& target_column) {
+  std::string line;
+  CAPGPU_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "CSV is empty (no header row)");
+  const std::vector<std::string> header = split_csv_line(line);
+
+  std::size_t target_index = header.size();
+  std::vector<std::string> feature_names;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == target_column) {
+      CAPGPU_REQUIRE(target_index == header.size(),
+                     "duplicate target column in header");
+      target_index = i;
+    } else {
+      feature_names.push_back(header[i]);
+    }
+  }
+  CAPGPU_REQUIRE(target_index < header.size(),
+                 "target column '" + target_column + "' not in header");
+  CAPGPU_REQUIRE(!feature_names.empty(), "CSV has no feature columns");
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  std::size_t row_number = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++row_number;
+    const auto cells = split_csv_line(line);
+    CAPGPU_REQUIRE(cells.size() == header.size(),
+                   "row " + std::to_string(row_number) + " has " +
+                       std::to_string(cells.size()) + " cells, header has " +
+                       std::to_string(header.size()));
+    std::vector<double> features;
+    features.reserve(feature_names.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const double v = parse_cell(cells[i], row_number, header[i]);
+      if (i == target_index) {
+        targets.push_back(v);
+      } else {
+        features.push_back(v);
+      }
+    }
+    rows.push_back(std::move(features));
+  }
+  CAPGPU_REQUIRE(!rows.empty(), "CSV has no data rows");
+
+  Dataset d;
+  d.feature_names = std::move(feature_names);
+  d.x = linalg::Matrix(rows.size(), d.feature_names.size());
+  d.y = linalg::Vector(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) d.x(r, c) = rows[r][c];
+    d.y[r] = targets[r];
+  }
+  return d;
+}
+
+Dataset load_dataset_csv_file(const std::string& path,
+                              const std::string& target_column) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open dataset CSV: " + path);
+  return load_dataset_csv(in, target_column);
+}
+
+void save_dataset_csv(std::ostream& out, const Dataset& dataset,
+                      const std::string& target_column) {
+  // Round-trippable doubles.
+  out.precision(17);
+  for (const auto& name : dataset.feature_names) out << name << ',';
+  out << target_column << '\n';
+  for (std::size_t r = 0; r < dataset.samples(); ++r) {
+    for (std::size_t c = 0; c < dataset.features(); ++c) {
+      out << dataset.x(r, c) << ',';
+    }
+    out << dataset.y[r] << '\n';
+  }
+}
+
+}  // namespace capgpu::workload

@@ -1,0 +1,32 @@
+// CSV loading for regression datasets.
+//
+// The feature-selection workload ships with a synthetic PAI-like trace;
+// users holding the real Alibaba PAI trace (or any task table) can load it
+// from CSV instead. The loader takes a header row, selects the target
+// column by name, and treats every other numeric column as a feature.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/feature_selection.hpp"
+
+namespace capgpu::workload {
+
+/// Parses a CSV with a header row into a Dataset. `target_column` names
+/// the regression target; all other columns become features, in header
+/// order. Throws InvalidArgument on missing target, ragged rows, or
+/// non-numeric cells, and requires at least one feature and one row.
+[[nodiscard]] Dataset load_dataset_csv(std::istream& in,
+                                       const std::string& target_column);
+
+/// File-path convenience wrapper; throws Error when the file cannot open.
+[[nodiscard]] Dataset load_dataset_csv_file(const std::string& path,
+                                            const std::string& target_column);
+
+/// Writes a dataset back out as CSV (features then target), the inverse of
+/// load_dataset_csv.
+void save_dataset_csv(std::ostream& out, const Dataset& dataset,
+                      const std::string& target_column = "target");
+
+}  // namespace capgpu::workload

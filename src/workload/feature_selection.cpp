@@ -1,0 +1,104 @@
+#include "workload/feature_selection.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+
+namespace capgpu::workload {
+
+std::vector<std::string> FeatureSelectionResult::best_features(
+    const Dataset& data) const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < data.features(); ++i) {
+    if (best.mask & (std::uint64_t{1} << i)) names.push_back(data.feature_names[i]);
+  }
+  return names;
+}
+
+ExhaustiveFeatureSelection::ExhaustiveFeatureSelection(
+    FeatureSelectionConfig config)
+    : config_(config) {
+  CAPGPU_REQUIRE(config_.k_folds >= 2, "need at least 2 CV folds");
+}
+
+double ExhaustiveFeatureSelection::evaluate_subset(const Dataset& data,
+                                                   std::uint64_t mask) const {
+  CAPGPU_REQUIRE(mask != 0, "cannot evaluate the empty feature subset");
+  CAPGPU_REQUIRE(data.samples() >= 2 * config_.k_folds,
+                 "dataset too small for the requested folds");
+
+  const std::size_t n = data.samples();
+  const auto n_selected = static_cast<std::size_t>(std::popcount(mask));
+  const std::size_t cols = n_selected + (config_.include_intercept ? 1 : 0);
+
+  // Column indices of the selected features.
+  std::vector<std::size_t> selected;
+  selected.reserve(n_selected);
+  for (std::size_t i = 0; i < data.features(); ++i) {
+    if (mask & (std::uint64_t{1} << i)) selected.push_back(i);
+  }
+
+  double total_sq_err = 0.0;
+  std::size_t total_val = 0;
+  for (std::size_t fold = 0; fold < config_.k_folds; ++fold) {
+    // Deterministic fold assignment: sample i belongs to fold i % k.
+    std::size_t n_val = 0;
+    for (std::size_t i = 0; i < n; ++i) n_val += (i % config_.k_folds == fold);
+    const std::size_t n_train = n - n_val;
+    CAPGPU_ASSERT(n_train >= cols);
+
+    linalg::Matrix xt(n_train, cols);
+    linalg::Vector yt(n_train);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % config_.k_folds == fold) continue;
+      std::size_t c = 0;
+      for (const std::size_t f : selected) xt(r, c++) = data.x(i, f);
+      if (config_.include_intercept) xt(r, c) = 1.0;
+      yt[r] = data.y[i];
+      ++r;
+    }
+    const linalg::Vector beta = linalg::lstsq(xt, yt);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % config_.k_folds != fold) continue;
+      double pred = config_.include_intercept ? beta[cols - 1] : 0.0;
+      std::size_t c = 0;
+      for (const std::size_t f : selected) pred += beta[c++] * data.x(i, f);
+      const double err = data.y[i] - pred;
+      total_sq_err += err * err;
+      ++total_val;
+    }
+  }
+  return total_sq_err / static_cast<double>(total_val);
+}
+
+FeatureSelectionResult ExhaustiveFeatureSelection::run(
+    const Dataset& data,
+    const std::function<void(std::uint64_t)>& progress) const {
+  CAPGPU_REQUIRE(data.features() >= 1, "dataset has no features");
+  CAPGPU_REQUIRE(data.features() < 63, "too many features to enumerate");
+  CAPGPU_REQUIRE(data.feature_names.size() == data.features(),
+                 "feature_names size mismatch");
+  const std::uint64_t n_subsets =
+      (std::uint64_t{1} << data.features()) - 1;  // non-empty subsets
+  CAPGPU_REQUIRE(n_subsets <= config_.max_subsets,
+                 "subset count exceeds config_.max_subsets");
+
+  FeatureSelectionResult result;
+  result.all_scores.reserve(n_subsets);
+  for (std::uint64_t mask = 1; mask <= n_subsets; ++mask) {
+    const double mse = evaluate_subset(data, mask);
+    result.all_scores.push_back(SubsetScore{mask, mse});
+    if (result.subsets_evaluated == 0 || mse < result.best.cv_mse) {
+      result.best = SubsetScore{mask, mse};
+    }
+    ++result.subsets_evaluated;
+    if (progress) progress(result.subsets_evaluated);
+  }
+  return result;
+}
+
+}  // namespace capgpu::workload

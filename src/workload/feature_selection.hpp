@@ -1,0 +1,75 @@
+// Exhaustive feature selection with k-fold cross-validation (paper Sec 6.1).
+//
+// The paper's CPU-side workload fits and tests a model on *every possible
+// feature subset* of the Alibaba PAI trace and keeps the subset with the
+// lowest cross-validation MSE. This is the real algorithm (not a stand-in):
+// linear least squares per fold via the linalg QR solver. The DES uses
+// CpuTaskSim to model its timing; this class is what you would actually run
+// on the host CPU, and what examples/tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace capgpu::workload {
+
+/// A regression dataset: rows of features plus a target.
+struct Dataset {
+  linalg::Matrix x;                       ///< n_samples x n_features
+  linalg::Vector y;                       ///< n_samples
+  std::vector<std::string> feature_names; ///< size n_features
+
+  [[nodiscard]] std::size_t samples() const { return x.rows(); }
+  [[nodiscard]] std::size_t features() const { return x.cols(); }
+};
+
+/// Configuration of the search.
+struct FeatureSelectionConfig {
+  std::size_t k_folds{5};
+  bool include_intercept{true};
+  /// Safety valve: abort if the subset count exceeds this (2^d growth).
+  std::uint64_t max_subsets{1u << 22};
+};
+
+/// Result of evaluating one subset.
+struct SubsetScore {
+  std::uint64_t mask{0};  ///< bit i set => feature i included
+  double cv_mse{0.0};
+};
+
+/// Outcome of the exhaustive search.
+struct FeatureSelectionResult {
+  SubsetScore best;
+  std::uint64_t subsets_evaluated{0};
+  /// Scores of every subset, in evaluation order (mask ascending).
+  std::vector<SubsetScore> all_scores;
+
+  [[nodiscard]] std::vector<std::string> best_features(
+      const Dataset& data) const;
+};
+
+/// Exhaustive subset search minimising k-fold CV mean squared error.
+class ExhaustiveFeatureSelection {
+ public:
+  explicit ExhaustiveFeatureSelection(FeatureSelectionConfig config = {});
+
+  /// Evaluates a single subset (bitmask over features). Exposed so the DES
+  /// calibration and tests can time individual evaluations.
+  [[nodiscard]] double evaluate_subset(const Dataset& data,
+                                       std::uint64_t mask) const;
+
+  /// Runs the full search. `progress` (optional) is called after each
+  /// subset with the number evaluated so far.
+  [[nodiscard]] FeatureSelectionResult run(
+      const Dataset& data,
+      const std::function<void(std::uint64_t)>& progress = {}) const;
+
+ private:
+  FeatureSelectionConfig config_;
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,39 @@
+// The frequency-latency scaling law (paper Eq. 8):
+//
+//   e(f) = e_min * (f_max / f)^gamma
+//
+// where e_min is the latency at f_max and gamma (~0.91 in the paper)
+// captures the sub-linear speedup of real kernels with core clock. The
+// workload simulator uses this as the *plant* truth; the controller fits its
+// own copy from samples (control/latency_model), keeping plant and model
+// separate as in a real deployment.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace capgpu::workload {
+
+/// Latency at frequency `f` given latency `e_min` at `f_max`.
+[[nodiscard]] inline double latency_at(double e_min, Megahertz f_max,
+                                       Megahertz f, double gamma) {
+  CAPGPU_ASSERT(e_min > 0.0);
+  CAPGPU_ASSERT(f.value > 0.0 && f_max.value > 0.0);
+  CAPGPU_ASSERT(gamma > 0.0);
+  return e_min * std::pow(f_max.value / f.value, gamma);
+}
+
+/// Inverse of latency_at: the minimum frequency at which the latency stays
+/// at or below `budget`. Returns a value above f_max when even f_max cannot
+/// meet the budget (callers must check feasibility).
+[[nodiscard]] inline Megahertz frequency_for_latency(double e_min,
+                                                     Megahertz f_max,
+                                                     double budget,
+                                                     double gamma) {
+  CAPGPU_ASSERT(budget > 0.0);
+  return Megahertz{f_max.value * std::pow(e_min / budget, 1.0 / gamma)};
+}
+
+}  // namespace capgpu::workload

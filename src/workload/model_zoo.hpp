@@ -1,0 +1,71 @@
+// Inference model characteristics.
+//
+// Each spec captures what the control loop can observe about a model: its
+// batch latency at the maximum clock (e_min), the latency scaling exponent
+// gamma, the CPU cost of preprocessing one input, and how hard it drives the
+// GPU while executing. Presets are calibrated against the paper's testbed
+// numbers (Table 1 and Sec 6.1 workloads t1..t3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace capgpu::workload {
+
+/// Static description of one ML inference workload.
+struct ModelSpec {
+  std::string name;
+  std::size_t batch_size{20};
+  /// Batch latency (seconds) at the GPU's maximum core clock.
+  double e_min_batch_s{0.5};
+  /// Latency scaling exponent (paper fits gamma = 0.91).
+  double gamma{0.91};
+  /// The f_max this e_min was measured at; latency scales from here.
+  Megahertz gpu_f_max{1350_MHz};
+  /// CPU preprocessing cost per image, expressed in seconds * GHz: the time
+  /// on one core at frequency f is (preprocess_s_ghz / f_GHz).
+  double preprocess_s_ghz{0.035};
+  /// GPU utilization while a batch is executing (power-model activity).
+  double gpu_busy_util{0.95};
+  /// Multiplicative jitter (uniform +/- this fraction) on batch and
+  /// preprocessing times, modelling run-to-run variance.
+  double jitter_frac{0.03};
+  /// Fraction of the batch latency that is fixed per-launch overhead
+  /// (kernel launches, transfers); the rest scales with the batch size.
+  /// Determines how latency changes when the batch size is adapted at
+  /// runtime: e(b) = e_min * (o + (1-o) * b / batch_size).
+  double batch_overhead_frac{0.2};
+
+  /// Effective e_min (at gpu_f_max) for an alternative batch size `b`.
+  [[nodiscard]] double e_min_for_batch(std::size_t b) const {
+    const double ref = static_cast<double>(batch_size);
+    return e_min_batch_s * (batch_overhead_frac +
+                            (1.0 - batch_overhead_frac) *
+                                static_cast<double>(b) / ref);
+  }
+};
+
+/// Paper Sec 6.1 workload t1 on the V100 testbed.
+[[nodiscard]] ModelSpec resnet50_v100();
+/// Paper Sec 6.1 workload t2 (the only transformer-based model).
+[[nodiscard]] ModelSpec swin_t_v100();
+/// Paper Sec 6.1 workload t3.
+[[nodiscard]] ModelSpec vgg16_v100();
+/// Motivation experiment model (Sec 3.2): GoogLeNet on an RTX 3090,
+/// calibrated so the Table 1 operating points land near the paper's values.
+[[nodiscard]] ModelSpec googlenet_rtx3090();
+
+/// LLM autoregressive decoding (cf. the paper's reference [22] on LLM
+/// power management): modelled as a continuous micro-batch stream — each
+/// "batch" is one decode step over `batch_size` concurrent sequences, so
+/// e_min is a per-step latency and the SLO is the per-token latency bound
+/// (TPOT). Decode is memory-bandwidth-heavy: lower gamma (latency less
+/// sensitive to core clock) and high sustained utilization.
+[[nodiscard]] ModelSpec llm_decode_v100();
+
+/// All V100 testbed models in the paper's t1..t3 order.
+[[nodiscard]] std::vector<ModelSpec> v100_testbed_models();
+
+}  // namespace capgpu::workload

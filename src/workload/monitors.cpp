@@ -1,0 +1,110 @@
+#include "workload/monitors.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+ThroughputMonitor::ThroughputMonitor(double max_rate) : max_rate_(max_rate) {
+  CAPGPU_REQUIRE(max_rate > 0.0, "max_rate must be positive");
+}
+
+void ThroughputMonitor::record(sim::SimTime now, double count) {
+  CAPGPU_ASSERT(count >= 0.0);
+  events_.push_back(Event{now, count});
+  total_ += count;
+}
+
+double ThroughputMonitor::rate(sim::SimTime now, double window) const {
+  CAPGPU_REQUIRE(window > 0.0, "window must be positive");
+  const double cutoff = now - window;
+  double sum = 0.0;
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    sum += it->count;
+  }
+  return sum / window;
+}
+
+double ThroughputMonitor::normalized_rate(sim::SimTime now,
+                                          double window) const {
+  return std::clamp(rate(now, window) / max_rate_, 0.0, 1.0);
+}
+
+void ThroughputMonitor::trim(sim::SimTime now, double horizon) {
+  const double cutoff = now - horizon;
+  while (!events_.empty() && events_.front().time <= cutoff) {
+    events_.pop_front();
+  }
+}
+
+void LatencyMonitor::record(sim::SimTime now, double latency_s) {
+  samples_.push_back(Sample{now, latency_s});
+  lifetime_.add(latency_s);
+}
+
+double LatencyMonitor::mean(sim::SimTime now, double window) const {
+  const double cutoff = now - window;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    sum += it->latency;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double LatencyMonitor::max(sim::SimTime now, double window) const {
+  const double cutoff = now - window;
+  double m = 0.0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    m = std::max(m, it->latency);
+  }
+  return m;
+}
+
+std::size_t LatencyMonitor::count(sim::SimTime now, double window) const {
+  const double cutoff = now - window;
+  std::size_t n = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    ++n;
+  }
+  return n;
+}
+
+double LatencyMonitor::miss_rate(sim::SimTime now, double window,
+                                 double threshold) const {
+  const double cutoff = now - window;
+  std::size_t n = 0;
+  std::size_t misses = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    ++n;
+    if (it->latency > threshold) ++misses;
+  }
+  return n ? static_cast<double>(misses) / static_cast<double>(n) : 0.0;
+}
+
+void LatencyMonitor::visit(sim::SimTime now, double window,
+                           const std::function<void(double)>& fn) const {
+  const double cutoff = now - window;
+  // Find the oldest in-window sample, then iterate forward.
+  auto it = samples_.rbegin();
+  while (it != samples_.rend() && it->time > cutoff) ++it;
+  for (auto fwd = it.base(); fwd != samples_.end(); ++fwd) {
+    fn(fwd->latency);
+  }
+}
+
+void LatencyMonitor::trim(sim::SimTime now, double horizon) {
+  const double cutoff = now - horizon;
+  while (!samples_.empty() && samples_.front().time <= cutoff) {
+    samples_.pop_front();
+  }
+}
+
+}  // namespace capgpu::workload

@@ -1,0 +1,82 @@
+// Throughput and latency monitors (paper Sec 3.1, loop step 2).
+//
+// Each device's monitor reports the average throughput over the last control
+// period; the controller normalizes it by the device's maximum throughput to
+// drive weight assignment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "telemetry/stats.hpp"
+
+namespace capgpu::workload {
+
+/// Counts completion events and reports a windowed rate.
+class ThroughputMonitor {
+ public:
+  /// `max_rate` is the device's nominal peak throughput, used for
+  /// normalization (e.g. batch_size / e_min for a GPU stream at f_max).
+  explicit ThroughputMonitor(double max_rate);
+
+  /// Records `count` completions at simulated time `now`.
+  void record(sim::SimTime now, double count = 1.0);
+
+  /// Completions per second over (now - window, now].
+  [[nodiscard]] double rate(sim::SimTime now, double window) const;
+
+  /// rate / max_rate, clamped to [0, 1].
+  [[nodiscard]] double normalized_rate(sim::SimTime now, double window) const;
+
+  [[nodiscard]] double max_rate() const { return max_rate_; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Drops events older than `horizon` seconds before `now` (bounds memory).
+  void trim(sim::SimTime now, double horizon = 600.0);
+
+ private:
+  struct Event {
+    sim::SimTime time;
+    double count;
+  };
+  double max_rate_;
+  double total_{0.0};
+  std::deque<Event> events_;
+};
+
+/// Collects latency samples within a rolling window plus lifetime stats.
+class LatencyMonitor {
+ public:
+  void record(sim::SimTime now, double latency_s);
+
+  /// Mean latency of samples in (now - window, now]; 0 when none.
+  [[nodiscard]] double mean(sim::SimTime now, double window) const;
+  /// Max latency in the window; 0 when none.
+  [[nodiscard]] double max(sim::SimTime now, double window) const;
+  /// Number of samples in the window.
+  [[nodiscard]] std::size_t count(sim::SimTime now, double window) const;
+  /// Fraction of samples in the window exceeding `threshold`; 0 when none.
+  [[nodiscard]] double miss_rate(sim::SimTime now, double window,
+                                 double threshold) const;
+
+  [[nodiscard]] const telemetry::RunningStats& lifetime() const { return lifetime_; }
+
+  /// Invokes `fn(latency)` for every sample in (now - window, now], oldest
+  /// first (percentile extraction, custom aggregation).
+  void visit(sim::SimTime now, double window,
+             const std::function<void(double)>& fn) const;
+
+  void trim(sim::SimTime now, double horizon = 600.0);
+
+ private:
+  struct Sample {
+    sim::SimTime time;
+    double latency;
+  };
+  std::deque<Sample> samples_;
+  telemetry::RunningStats lifetime_;
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,161 @@
+#include "workload/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "workload/latency_law.hpp"
+
+namespace capgpu::workload {
+
+namespace {
+std::size_t default_queue_capacity(const StreamParams& p) {
+  return p.queue_capacity ? p.queue_capacity : 2 * p.model.batch_size;
+}
+}  // namespace
+
+InferenceStream::InferenceStream(sim::Engine& engine, hw::ServerModel& server,
+                                 std::size_t gpu_index, StreamParams params,
+                                 Rng rng)
+    : engine_(&engine),
+      server_(&server),
+      gpu_index_(gpu_index),
+      params_(std::move(params)),
+      rng_(rng),
+      queue_(default_queue_capacity(params_)),
+      workers_(params_.n_preprocess_workers),
+      batch_size_(params_.model.batch_size),
+      images_(params_.model.batch_size / params_.model.e_min_batch_s) {
+  CAPGPU_REQUIRE(gpu_index < server.gpu_count(), "gpu_index out of range");
+  CAPGPU_REQUIRE(params_.n_preprocess_workers > 0,
+                 "need at least one preprocessing worker");
+  CAPGPU_REQUIRE(params_.model.batch_size > 0, "batch size must be positive");
+  CAPGPU_REQUIRE(queue_.capacity() >= params_.model.batch_size,
+                 "queue must hold at least one batch");
+}
+
+void InferenceStream::set_gpu_busy_util(double util) {
+  CAPGPU_REQUIRE(util >= 0.0 && util <= 1.0, "utilization must be in [0,1]");
+  params_.model.gpu_busy_util = util;
+  if (gpu_busy_) {
+    server_->gpu(gpu_index_).set_utilization(util);
+  }
+}
+
+void InferenceStream::start() {
+  CAPGPU_REQUIRE(!started_, "stream already started");
+  started_ = true;
+  for (std::size_t w = 0; w < workers_.size(); ++w) worker_start_image(w);
+  consumer_try_start();
+}
+
+double InferenceStream::max_images_per_s() const {
+  return static_cast<double>(params_.model.batch_size) /
+         params_.model.e_min_batch_s;
+}
+
+double InferenceStream::preprocess_duration() {
+  const Megahertz f = preprocess_frequency ? preprocess_frequency()
+                                           : server_->cpu().frequency();
+  const double f_ghz = f.value / 1000.0;
+  const double base = params_.model.preprocess_s_ghz / f_ghz;
+  const double j = params_.model.jitter_frac;
+  return base * rng_.uniform(1.0 - j, 1.0 + j);
+}
+
+double InferenceStream::batch_duration() {
+  const auto& gpu = server_->gpu(gpu_index_);
+  const double base =
+      latency_at(params_.model.e_min_for_batch(batch_size_),
+                 params_.model.gpu_f_max, gpu.core_clock(),
+                 params_.model.gamma) *
+      gpu.memory_slowdown();
+  const double j = params_.model.jitter_frac;
+  return base * rng_.uniform(1.0 - j, 1.0 + j);
+}
+
+void InferenceStream::set_batch_size(std::size_t batch) {
+  batch_size_ = std::clamp<std::size_t>(batch, 1, queue_.capacity());
+  // A consumer parked on the old threshold must not stall behind it; move
+  // the threshold (fires immediately if the queue already suffices).
+  queue_.update_consumer_threshold(batch_size_);
+}
+
+void InferenceStream::set_worker_computing(std::size_t w, bool computing) {
+  if (workers_[w].computing == computing) return;
+  workers_[w].computing = computing;
+  if (on_worker_compute_change) {
+    on_worker_compute_change(computing ? +1 : -1);
+  }
+}
+
+void InferenceStream::worker_start_image(std::size_t w) {
+  if (params_.open_loop) {
+    if (pending_requests_ == 0) {
+      idle_workers_.push_back(w);  // nothing to do; submit_requests wakes us
+      return;
+    }
+    --pending_requests_;
+  }
+  workers_[w].image_started = engine_->now();
+  set_worker_computing(w, true);
+  const double compute = preprocess_duration();
+  engine_->schedule_after(compute,
+                          [this, w, compute] { worker_finish_image(w, compute); });
+}
+
+void InferenceStream::submit_requests(std::size_t n_images) {
+  CAPGPU_REQUIRE(params_.open_loop,
+                 "submit_requests is only valid in open-loop mode");
+  pending_requests_ += n_images;
+  while (!idle_workers_.empty() && pending_requests_ > 0) {
+    const std::size_t w = idle_workers_.back();
+    idle_workers_.pop_back();
+    worker_start_image(w);
+  }
+}
+
+void InferenceStream::worker_finish_image(std::size_t w, double compute) {
+  set_worker_computing(w, false);  // compute done; may still block on queue
+  preprocess_compute_.record(engine_->now(), compute);
+  worker_try_push(w);
+}
+
+void InferenceStream::worker_try_push(std::size_t w) {
+  if (queue_.try_push(engine_->now())) {
+    preprocess_latency_.record(engine_->now(),
+                               engine_->now() - workers_[w].image_started);
+    worker_start_image(w);
+  } else {
+    queue_.wait_for_space([this, w] { worker_try_push(w); });
+  }
+}
+
+void InferenceStream::consumer_try_start() {
+  const std::size_t batch = batch_size_;
+  if (queue_.size() >= batch) {
+    auto stamps = queue_.pop(batch);
+    gpu_busy_ = true;
+    server_->gpu(gpu_index_).set_utilization(params_.model.gpu_busy_util);
+    for (const auto stamp : stamps) {
+      queue_delay_.record(engine_->now(), engine_->now() - stamp);
+    }
+    const double exec = batch_duration();
+    engine_->schedule_after(
+        exec, [this, exec, stamps] { consumer_finish_batch(exec, stamps); });
+  } else {
+    queue_.wait_for_items(batch, [this] { consumer_try_start(); });
+  }
+}
+
+void InferenceStream::consumer_finish_batch(
+    double exec_latency, const std::vector<sim::SimTime>& stamps) {
+  gpu_busy_ = false;
+  server_->gpu(gpu_index_).set_utilization(0.0);
+  batch_latency_.record(engine_->now(), exec_latency);
+  images_.record(engine_->now(), static_cast<double>(stamps.size()));
+  images_completed_ += stamps.size();
+  ++batches_completed_;
+  consumer_try_start();
+}
+
+}  // namespace capgpu::workload

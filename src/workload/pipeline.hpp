@@ -1,0 +1,149 @@
+// The ML inference pipeline the paper's servers run (Sec 3.2 / Sec 5):
+//
+//   CPU preprocessing workers -> bounded shared queue -> batch assembly ->
+//   GPU execution (latency law Eq. 8) -> completion metrics
+//
+// One InferenceStream binds one model to one GPU, with a configurable number
+// of dedicated CPU preprocessing workers. Preprocessing speed follows the
+// host CPU's current frequency; GPU batch latency follows the current core
+// clock. Starvation (slow CPU) and backpressure (slow GPU) emerge naturally,
+// reproducing the coordination effects that motivate CapGPU (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/monitors.hpp"
+#include "workload/queue.hpp"
+
+namespace capgpu::workload {
+
+/// Configuration of one inference stream.
+struct StreamParams {
+  ModelSpec model;
+  std::size_t n_preprocess_workers{1};
+  /// Queue capacity in images; defaults to 2 batches when 0.
+  std::size_t queue_capacity{0};
+  /// Closed loop (default): workers always have input — the saturated
+  /// pipeline of the paper's experiments. Open loop: workers only process
+  /// requests submitted via submit_requests() (wire an ArrivalProcess).
+  bool open_loop{false};
+};
+
+/// One model pinned to one GPU, fed by dedicated CPU preprocessing workers.
+class InferenceStream {
+ public:
+  /// `gpu_index` selects the GPU inside `server`. All references must
+  /// outlive the stream. Call start() to begin producing work.
+  InferenceStream(sim::Engine& engine, hw::ServerModel& server,
+                  std::size_t gpu_index, StreamParams params, Rng rng);
+
+  InferenceStream(const InferenceStream&) = delete;
+  InferenceStream& operator=(const InferenceStream&) = delete;
+
+  /// Kicks off the preprocessing workers and the GPU consumer.
+  void start();
+
+  [[nodiscard]] const ModelSpec& model() const { return params_.model; }
+  [[nodiscard]] std::size_t gpu_index() const { return gpu_index_; }
+
+  /// Changes how hard batches drive the GPU while executing — models a
+  /// workload-intensity shift at runtime (e.g. a different input mix).
+  /// Takes effect from the next batch; shifts the plant's effective power
+  /// gain, which is what the adaptive controller has to track.
+  void set_gpu_busy_util(double util);
+
+  /// Open-loop mode only: enqueues `n_images` requests for preprocessing.
+  /// Idle workers wake immediately.
+  void submit_requests(std::size_t n_images);
+  /// Requests submitted but not yet started by a worker.
+  [[nodiscard]] std::uint64_t pending_requests() const { return pending_requests_; }
+
+  /// Changes the GPU batch size at runtime (coordinated batching + DVFS,
+  /// cf. Nabavinejad et al.). Takes effect from the next batch assembly;
+  /// latency scales per ModelSpec::e_min_for_batch. Clamped into
+  /// [1, queue capacity].
+  void set_batch_size(std::size_t batch);
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+
+  /// Peak images/second of the GPU stage (batch_size / e_min): the
+  /// normalization denominator for this stream's throughput.
+  [[nodiscard]] double max_images_per_s() const;
+
+  /// Called with +1/-1 when a preprocessing worker starts/stops computing
+  /// (used by HostCpuLoad to aggregate package utilization).
+  std::function<void(int)> on_worker_compute_change;
+
+  /// Frequency governing preprocessing speed. Defaults to the host CPU's
+  /// package frequency (whole-package DVFS, as in the motivation
+  /// experiment). The paper's Sec 6 testbed instead pins the data-copy
+  /// cores at their maximum P-state and only throttles the CPU-workload
+  /// cores — model that by supplying a constant provider.
+  std::function<Megahertz()> preprocess_frequency;
+
+  // --- Monitors (read by the controller and by benches) ---
+  [[nodiscard]] ThroughputMonitor& images_throughput() { return images_; }
+  [[nodiscard]] const ThroughputMonitor& images_throughput() const { return images_; }
+  /// GPU batch execution latency e_i (the quantity under SLO, Eq. 10c).
+  [[nodiscard]] LatencyMonitor& batch_latency() { return batch_latency_; }
+  [[nodiscard]] const LatencyMonitor& batch_latency() const { return batch_latency_; }
+  /// Per-image queue delay (enqueue -> dequeue into a batch).
+  [[nodiscard]] LatencyMonitor& queue_delay() { return queue_delay_; }
+  [[nodiscard]] const LatencyMonitor& queue_delay() const { return queue_delay_; }
+  /// Per-image preprocessing latency, including time blocked on a full queue.
+  [[nodiscard]] LatencyMonitor& preprocess_latency() { return preprocess_latency_; }
+  [[nodiscard]] const LatencyMonitor& preprocess_latency() const { return preprocess_latency_; }
+  /// Pure preprocessing compute time (excludes queue blocking) — the
+  /// "preprocessing latency" metric Table 1 reports.
+  [[nodiscard]] LatencyMonitor& preprocess_compute_latency() { return preprocess_compute_; }
+  [[nodiscard]] const LatencyMonitor& preprocess_compute_latency() const { return preprocess_compute_; }
+
+  [[nodiscard]] std::uint64_t images_completed() const { return images_completed_; }
+  [[nodiscard]] std::uint64_t batches_completed() const { return batches_completed_; }
+  [[nodiscard]] const ImageQueue& queue() const { return queue_; }
+
+ private:
+  struct Worker {
+    bool computing{false};
+    sim::SimTime image_started{0.0};
+  };
+
+  void worker_start_image(std::size_t w);
+  void worker_finish_image(std::size_t w, double compute);
+  void worker_try_push(std::size_t w);
+  void consumer_try_start();
+  void consumer_finish_batch(double exec_latency,
+                             const std::vector<sim::SimTime>& stamps);
+  [[nodiscard]] double preprocess_duration();
+  [[nodiscard]] double batch_duration();
+  void set_worker_computing(std::size_t w, bool computing);
+
+  sim::Engine* engine_;
+  hw::ServerModel* server_;
+  std::size_t gpu_index_;
+  StreamParams params_;
+  Rng rng_;
+  ImageQueue queue_;
+  std::vector<Worker> workers_;
+  bool gpu_busy_{false};
+  bool started_{false};
+  std::size_t batch_size_{0};  // current (dynamic) batch size
+  std::uint64_t pending_requests_{0};
+  std::vector<std::size_t> idle_workers_;
+
+  ThroughputMonitor images_;
+  LatencyMonitor batch_latency_;
+  LatencyMonitor queue_delay_;
+  LatencyMonitor preprocess_latency_;
+  LatencyMonitor preprocess_compute_;
+  std::uint64_t images_completed_{0};
+  std::uint64_t batches_completed_{0};
+};
+
+}  // namespace capgpu::workload

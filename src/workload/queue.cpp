@@ -1,0 +1,68 @@
+#include "workload/queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+ImageQueue::ImageQueue(std::size_t capacity) : capacity_(capacity) {
+  CAPGPU_REQUIRE(capacity > 0, "queue capacity must be positive");
+}
+
+bool ImageQueue::try_push(sim::SimTime now) {
+  if (full()) return false;
+  items_.push_back(now);
+  ++total_enqueued_;
+  notify_consumer();
+  return true;
+}
+
+void ImageQueue::wait_for_space(std::function<void()> cb) {
+  CAPGPU_ASSERT(static_cast<bool>(cb));
+  blocked_producers_.push_back(std::move(cb));
+}
+
+void ImageQueue::wait_for_items(std::size_t n, std::function<void()> cb) {
+  CAPGPU_REQUIRE(n > 0 && n <= capacity_,
+                 "consumer threshold must fit in the queue");
+  CAPGPU_REQUIRE(!consumer_cb_, "only one pending consumer is supported");
+  consumer_threshold_ = n;
+  consumer_cb_ = std::move(cb);
+  notify_consumer();
+}
+
+void ImageQueue::update_consumer_threshold(std::size_t n) {
+  if (!consumer_cb_) return;
+  CAPGPU_REQUIRE(n > 0 && n <= capacity_,
+                 "consumer threshold must fit in the queue");
+  consumer_threshold_ = n;
+  notify_consumer();
+}
+
+std::vector<sim::SimTime> ImageQueue::pop(std::size_t n) {
+  CAPGPU_REQUIRE(n <= items_.size(), "pop larger than queue contents");
+  std::vector<sim::SimTime> stamps(items_.begin(),
+                                   items_.begin() + static_cast<long>(n));
+  items_.erase(items_.begin(), items_.begin() + static_cast<long>(n));
+  notify_producers();
+  return stamps;
+}
+
+void ImageQueue::notify_consumer() {
+  if (consumer_cb_ && items_.size() >= consumer_threshold_) {
+    auto cb = std::exchange(consumer_cb_, nullptr);
+    consumer_threshold_ = 0;
+    cb();
+  }
+}
+
+void ImageQueue::notify_producers() {
+  while (!full() && !blocked_producers_.empty()) {
+    auto cb = std::move(blocked_producers_.back());
+    blocked_producers_.pop_back();
+    cb();
+  }
+}
+
+}  // namespace capgpu::workload

@@ -1,0 +1,65 @@
+// Bounded FIFO of preprocessed images between the CPU stage and the GPU.
+//
+// Mirrors the motivation experiment's shared queue (Sec 3.2): preprocessing
+// workers push tensors; the GPU-bound consumer assembles batches. Producers
+// that hit a full queue block (their measured preprocessing latency then
+// includes the blocking time, which is how queue backpressure shows up in
+// Table 1).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace capgpu::workload {
+
+/// FIFO of enqueue timestamps with a capacity and block/notify hooks.
+/// Not thread-safe: lives entirely inside the single-threaded DES.
+class ImageQueue {
+ public:
+  explicit ImageQueue(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// Attempts to enqueue an image stamped `now`. Returns false when full —
+  /// the producer must then register via `wait_for_space`.
+  bool try_push(sim::SimTime now);
+
+  /// Registers a callback fired (once) when space becomes available.
+  void wait_for_space(std::function<void()> cb);
+
+  /// Registers a callback fired (once) when at least `n` items are queued.
+  void wait_for_items(std::size_t n, std::function<void()> cb);
+
+  /// Lowers/raises the pending consumer threshold (no-op when no consumer
+  /// is waiting); fires immediately if the queue already satisfies it.
+  /// Used when the batch size changes while the GPU is idle.
+  void update_consumer_threshold(std::size_t n);
+  [[nodiscard]] bool consumer_waiting() const { return static_cast<bool>(consumer_cb_); }
+
+  /// Pops the `n` oldest items and returns their enqueue timestamps.
+  /// Requires size() >= n. Wakes blocked producers.
+  [[nodiscard]] std::vector<sim::SimTime> pop(std::size_t n);
+
+  /// Total images ever enqueued.
+  [[nodiscard]] std::uint64_t total_enqueued() const { return total_enqueued_; }
+
+ private:
+  void notify_consumer();
+  void notify_producers();
+
+  std::size_t capacity_;
+  std::deque<sim::SimTime> items_;
+  std::vector<std::function<void()>> blocked_producers_;
+  std::size_t consumer_threshold_{0};
+  std::function<void()> consumer_cb_;
+  std::uint64_t total_enqueued_{0};
+};
+
+}  // namespace capgpu::workload

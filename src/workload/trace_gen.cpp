@@ -1,0 +1,62 @@
+#include "workload/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+PaiTraceGenerator::PaiTraceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+std::vector<PaiTaskRecord> PaiTraceGenerator::generate(std::size_t n) {
+  std::vector<PaiTaskRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PaiTaskRecord r{};
+    // Resource plans follow the trace's long-tailed shapes.
+    r.plan_cpu = 100.0 * std::round(rng_.exponential(1.0 / 6.0) + 1.0);
+    r.plan_mem = std::round(rng_.exponential(1.0 / 16.0) + 2.0);
+    r.plan_gpu = 25.0 * std::round(rng_.uniform(0.0, 4.0));
+    r.instance_num = std::round(rng_.exponential(1.0 / 4.0) + 1.0);
+    r.wait_s = rng_.exponential(1.0 / 30.0);
+    r.cap_cpu = rng_.uniform() < 0.3 ? 6400.0 : 9600.0;
+    r.cap_mem = rng_.uniform() < 0.5 ? 512.0 : 768.0;
+    // Ground truth: duration driven by plan_cpu, plan_gpu, instance_num.
+    const double base = 120.0 + 0.35 * r.plan_cpu + 2.2 * r.plan_gpu +
+                        18.0 * r.instance_num;
+    r.duration_s = base * rng_.uniform(0.9, 1.1) + rng_.normal(0.0, 10.0);
+    r.duration_s = std::max(1.0, r.duration_s);
+    out.push_back(r);
+  }
+  return out;
+}
+
+Dataset PaiTraceGenerator::to_dataset(
+    const std::vector<PaiTaskRecord>& records) {
+  CAPGPU_REQUIRE(!records.empty(), "no records to convert");
+  Dataset d;
+  d.feature_names = {"plan_cpu", "plan_mem",  "plan_gpu", "instance_num",
+                     "wait_s",   "cap_cpu",   "cap_mem"};
+  d.x = linalg::Matrix(records.size(), d.feature_names.size());
+  d.y = linalg::Vector(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    d.x(i, 0) = r.plan_cpu;
+    d.x(i, 1) = r.plan_mem;
+    d.x(i, 2) = r.plan_gpu;
+    d.x(i, 3) = r.instance_num;
+    d.x(i, 4) = r.wait_s;
+    d.x(i, 5) = r.cap_cpu;
+    d.x(i, 6) = r.cap_mem;
+    d.y[i] = r.duration_s;
+  }
+  return d;
+}
+
+std::uint64_t PaiTraceGenerator::informative_mask() {
+  // plan_cpu (bit 0), plan_gpu (bit 2), instance_num (bit 3).
+  return 0b1101;
+}
+
+}  // namespace capgpu::workload

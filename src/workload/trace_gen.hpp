@@ -1,0 +1,51 @@
+// Synthetic Alibaba-PAI-like trace generator.
+//
+// The paper runs feature selection on the Alibaba PAI trace, which is not
+// redistributable here; this generator synthesises a table with the same
+// shape (per-task resource plans and runtimes from a GPU cluster) and a
+// known ground truth: task duration depends on a specific feature subset, so
+// the exhaustive search has a meaningful, verifiable answer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/feature_selection.hpp"
+
+namespace capgpu::workload {
+
+/// One synthetic PAI task record.
+struct PaiTaskRecord {
+  double plan_cpu;       ///< requested CPU (cores * 100, as in the trace)
+  double plan_mem;       ///< requested memory (GB)
+  double plan_gpu;       ///< requested GPU fraction (percent)
+  double instance_num;   ///< number of task instances
+  double wait_s;         ///< queueing delay before start
+  double cap_cpu;        ///< machine CPU capacity where it landed
+  double cap_mem;        ///< machine memory capacity
+  double duration_s;     ///< runtime: the regression target
+};
+
+/// Deterministic generator of PAI-like records.
+class PaiTraceGenerator {
+ public:
+  explicit PaiTraceGenerator(std::uint64_t seed = 42);
+
+  [[nodiscard]] std::vector<PaiTaskRecord> generate(std::size_t n);
+
+  /// Converts records to a regression dataset: features are the 7 resource
+  /// columns, the target is duration_s. Ground truth: duration depends on
+  /// plan_cpu, plan_gpu and instance_num (plus noise); the remaining
+  /// features are nuisance.
+  [[nodiscard]] static Dataset to_dataset(
+      const std::vector<PaiTaskRecord>& records);
+
+  /// Bitmask of the ground-truth informative features in to_dataset() order.
+  [[nodiscard]] static std::uint64_t informative_mask();
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,156 @@
+#include "baselines/fixed_step.hpp"
+#include "baselines/safe_fixed_step.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+namespace {
+
+std::vector<control::DeviceRange> devices() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+ControlInputs inputs(double power, std::vector<double> util) {
+  ControlInputs in;
+  in.measured_power = Watts{power};
+  in.utilization = std::move(util);
+  in.normalized_throughput = {0.5, 0.5, 0.5};
+  in.device_power_watts = {100.0, 200.0, 200.0};
+  return in;
+}
+
+TEST(FixedStep, RaisesHighestUtilizationWhenUnderCap) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(700.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 1500.0);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 890.0);  // +90 MHz GPU step
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[2], 800.0);
+}
+
+TEST(FixedStep, LowersLowestUtilizationWhenOverCap) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(1000.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 1400.0);  // -100 MHz CPU step
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 800.0);
+}
+
+TEST(FixedStep, StepMultiplierScalesStep) {
+  FixedStepConfig cfg;
+  cfg.step_multiplier = 5;
+  FixedStepController ctl(cfg, devices(), 900_W);
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(700.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 800.0 + 450.0);
+}
+
+TEST(FixedStep, OnlyOneDeviceMovesPerPeriod) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(700.0, {0.5, 0.6, 0.7}), f);
+  int moved = 0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    moved += (out.target_freqs_mhz[j] != f[j]);
+  }
+  EXPECT_EQ(moved, 1);
+}
+
+TEST(FixedStep, SaturatedDeviceIsSkipped) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  // GPU 1 (highest util) already at max: the next-highest moves instead.
+  const std::vector<double> f{1500.0, 1350.0, 800.0};
+  const auto out = ctl.control(inputs(700.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 1350.0);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[2], 890.0);
+}
+
+TEST(FixedStep, AllSaturatedNoMove) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  const std::vector<double> f{2400.0, 1350.0, 1350.0};
+  const auto out = ctl.control(inputs(700.0, {0.5, 0.5, 0.5}), f);
+  EXPECT_EQ(out.target_freqs_mhz, f);
+}
+
+TEST(FixedStep, TiesBreakRoundRobin) {
+  FixedStepController ctl(FixedStepConfig{}, devices(), 900_W);
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  // Identical utilizations: successive periods must not always pick the
+  // same device.
+  const auto first = ctl.control(inputs(700.0, {0.5, 0.5, 0.5}), f);
+  const auto second = ctl.control(inputs(700.0, {0.5, 0.5, 0.5}), f);
+  EXPECT_NE(first.target_freqs_mhz, second.target_freqs_mhz);
+}
+
+TEST(FixedStep, ClampsAtBounds) {
+  FixedStepConfig cfg;
+  cfg.step_multiplier = 5;  // 500 MHz CPU step
+  FixedStepController ctl(cfg, devices(), 900_W);
+  const std::vector<double> f{2200.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(700.0, {0.9, 0.1, 0.1}), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 2400.0);  // clamped, not 2700
+}
+
+TEST(FixedStep, ValidationThrows) {
+  FixedStepConfig bad;
+  bad.cpu_step_mhz = 0.0;
+  EXPECT_THROW(FixedStepController(bad, devices(), 900_W),
+               capgpu::InvalidArgument);
+  FixedStepConfig bad2;
+  bad2.step_multiplier = 0;
+  EXPECT_THROW(FixedStepController(bad2, devices(), 900_W),
+               capgpu::InvalidArgument);
+  // Device 0 must be the CPU.
+  auto wrong = devices();
+  wrong[0].kind = DeviceKind::kGpu;
+  EXPECT_THROW(FixedStepController(FixedStepConfig{}, wrong, 900_W),
+               capgpu::InvalidArgument);
+}
+
+TEST(SafeFixedStep, TracksCapMinusMargin) {
+  SafeFixedStepController ctl(FixedStepConfig{}, devices(), 900_W, 30.0);
+  EXPECT_DOUBLE_EQ(ctl.set_point().value, 900.0);
+  EXPECT_DOUBLE_EQ(ctl.margin_watts(), 30.0);
+  // Measured 880 W is above the inner target (870): it must step down.
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(880.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_LT(out.target_freqs_mhz[0] + out.target_freqs_mhz[1] +
+                out.target_freqs_mhz[2],
+            f[0] + f[1] + f[2]);
+}
+
+TEST(SafeFixedStep, SetSetPointMovesInnerTarget) {
+  SafeFixedStepController ctl(FixedStepConfig{}, devices(), 900_W, 30.0);
+  ctl.set_set_point(Watts{1000.0});
+  // 950 W is now below the inner target (970): it must step up.
+  const std::vector<double> f{1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(950.0, {0.2, 0.9, 0.5}), f);
+  EXPECT_GT(out.target_freqs_mhz[1], f[1]);
+}
+
+TEST(SafeFixedStep, MarginEstimateIsLargestStepEffect) {
+  const control::LinearPowerModel model({0.05, 0.2, 0.25}, 300.0);
+  FixedStepConfig cfg;  // CPU 100 MHz, GPU 90 MHz
+  const double margin =
+      SafeFixedStepController::estimate_margin(model, devices(), cfg);
+  // max(0.05*100, 0.2*90, 0.25*90) = 22.5.
+  EXPECT_DOUBLE_EQ(margin, 22.5);
+  cfg.step_multiplier = 5;
+  EXPECT_DOUBLE_EQ(
+      SafeFixedStepController::estimate_margin(model, devices(), cfg), 112.5);
+}
+
+TEST(SafeFixedStep, NegativeMarginThrows) {
+  EXPECT_THROW(
+      SafeFixedStepController(FixedStepConfig{}, devices(), 900_W, -1.0),
+      capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::baselines

@@ -1,0 +1,124 @@
+// Multi-socket (N_c = 2) exercises of the paper's general formulation
+// F = [f_c1..f_cNc, f_g1..f_gNg] (Eq. 3/4): the MPC and every baseline
+// must handle more than one CPU device. (The simulated testbed, like the
+// paper's hardware, instantiates N_c = 1; these tests run the controllers
+// against a synthetic dual-socket plant.)
+#include <gtest/gtest.h>
+
+#include "baselines/controller_iface.hpp"
+#include "baselines/cpu_only.hpp"
+#include "baselines/cpu_plus_gpu.hpp"
+#include "baselines/fixed_step.hpp"
+#include "baselines/gpu_only.hpp"
+#include "common/error.hpp"
+#include "control/mpc.hpp"
+
+namespace capgpu::baselines {
+namespace {
+
+std::vector<control::DeviceRange> dual_socket() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kCpu, 1200.0, 2600.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+control::LinearPowerModel model() {
+  return control::LinearPowerModel({0.05, 0.06, 0.2, 0.2}, 350.0);
+}
+
+ControlInputs inputs(double power) {
+  ControlInputs in;
+  in.measured_power = Watts{power};
+  in.utilization = {0.9, 0.8, 0.9, 0.9};
+  in.normalized_throughput = {0.5, 0.5, 0.6, 0.6};
+  in.device_power_watts = {120.0, 130.0, 220.0, 220.0};
+  return in;
+}
+
+TEST(MultiCpu, ValidateAcceptsCpusFirst) {
+  EXPECT_NO_THROW(validate_devices(dual_socket()));
+  EXPECT_EQ(cpu_count(dual_socket()), 2u);
+  // Interleaved kinds rejected.
+  auto bad = dual_socket();
+  std::swap(bad[1], bad[2]);
+  EXPECT_THROW(validate_devices(bad), capgpu::InvalidArgument);
+}
+
+TEST(MultiCpu, SharedRangeIntersects) {
+  const auto span = shared_range(dual_socket(), 0, 2);
+  EXPECT_DOUBLE_EQ(span.f_min_mhz, 1200.0);
+  EXPECT_DOUBLE_EQ(span.f_max_mhz, 2400.0);
+  // Disjoint ranges throw.
+  std::vector<control::DeviceRange> disjoint{
+      {DeviceKind::kCpu, 1000.0, 1500.0},
+      {DeviceKind::kCpu, 1600.0, 2600.0},
+      {DeviceKind::kGpu, 435.0, 1350.0}};
+  EXPECT_THROW((void)shared_range(disjoint, 0, 2), capgpu::InvalidArgument);
+}
+
+TEST(MultiCpu, CpuOnlySharesTheCommandAcrossSockets) {
+  CpuOnlyController ctl(dual_socket(), model(), 0.0, Watts{1050.0});
+  const std::vector<double> f{1500.0, 1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(1000.0), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], out.target_freqs_mhz[1]);
+  EXPECT_GT(out.target_freqs_mhz[0], 1500.0);  // under cap: raise
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[2], 1350.0);  // GPUs pinned
+}
+
+TEST(MultiCpu, CpuOnlyDeadbeatUsesSummedGain) {
+  // Error of -22 W with summed CPU gain 0.11 => +200 MHz on both sockets.
+  CpuOnlyController ctl(dual_socket(), model(), 0.0, Watts{1022.0});
+  const std::vector<double> f{1500.0, 1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(1000.0), f);
+  EXPECT_NEAR(out.target_freqs_mhz[0], 1700.0, 1e-9);
+}
+
+TEST(MultiCpu, GpuOnlyPinsBothSockets) {
+  GpuOnlyController ctl(dual_socket(), model(), 0.2, Watts{1000.0});
+  const std::vector<double> f{1500.0, 1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(950.0), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 2400.0);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 2600.0);  // each at its own max
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[2], out.target_freqs_mhz[3]);
+}
+
+TEST(MultiCpu, CpuPlusGpuSumsDomainPower) {
+  CpuPlusGpuController ctl(dual_socket(), model(), 0.0, Watts{1000.0}, 0.5);
+  // CPU domain draws 250 W of a 500 W share: loop raises both sockets.
+  const std::vector<double> f{1500.0, 1500.0, 800.0, 800.0};
+  const auto out = ctl.control(inputs(950.0), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], out.target_freqs_mhz[1]);
+  EXPECT_GT(out.target_freqs_mhz[0], 1500.0);
+}
+
+TEST(MultiCpu, FixedStepMovesIndividualSockets) {
+  FixedStepController ctl(FixedStepConfig{}, dual_socket(), Watts{1000.0});
+  ControlInputs in = inputs(900.0);
+  in.utilization = {0.95, 0.2, 0.5, 0.5};  // socket 0 busiest
+  const std::vector<double> f{1500.0, 1500.0, 800.0, 800.0};
+  const auto out = ctl.control(in, f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 1600.0);  // +100 MHz CPU step
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], 1500.0);  // untouched
+}
+
+TEST(MultiCpu, MpcRegulatesFourDevicePlant) {
+  control::MpcController mpc(control::MpcConfig{}, dual_socket(), model(),
+                             Watts{1000.0});
+  std::vector<double> f{1000.0, 1200.0, 435.0, 435.0};
+  for (int k = 0; k < 40; ++k) {
+    const Watts p = model().predict(f);
+    f = mpc.step(p, f).target_freqs_mhz;
+  }
+  EXPECT_NEAR(model().predict(f).value, 1000.0, 3.0);
+  // Both sockets stay inside their own (different) ranges.
+  EXPECT_GE(f[0], 1000.0 - 1e-6);
+  EXPECT_LE(f[0], 2400.0 + 1e-6);
+  EXPECT_GE(f[1], 1200.0 - 1e-6);
+  EXPECT_LE(f[1], 2600.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace capgpu::baselines

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_only.hpp"
+#include "baselines/cpu_plus_gpu.hpp"
+#include "baselines/gpu_only.hpp"
+#include "common/error.hpp"
+
+namespace capgpu::baselines {
+namespace {
+
+std::vector<control::DeviceRange> devices() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+control::LinearPowerModel model() {
+  return control::LinearPowerModel({0.05, 0.19, 0.19, 0.19}, 300.0);
+}
+
+ControlInputs inputs(double power) {
+  ControlInputs in;
+  in.measured_power = Watts{power};
+  in.utilization = {0.9, 0.9, 0.9, 0.9};
+  in.normalized_throughput = {0.5, 0.5, 0.5, 0.5};
+  in.device_power_watts = {120.0, 220.0, 220.0, 220.0};
+  return in;
+}
+
+TEST(GpuOnly, PinsCpuAtMaxAndSharesGpuFrequency) {
+  GpuOnlyController ctl(devices(), model(), 0.2, 900_W);
+  const std::vector<double> f{1200.0, 700.0, 700.0, 700.0};
+  const auto out = ctl.control(inputs(850.0), f);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[0], 2400.0);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], out.target_freqs_mhz[2]);
+  EXPECT_DOUBLE_EQ(out.target_freqs_mhz[1], out.target_freqs_mhz[3]);
+}
+
+TEST(GpuOnly, MovesTowardSetPoint) {
+  GpuOnlyController ctl(devices(), model(), 0.2, 900_W);
+  const std::vector<double> f{2400.0, 700.0, 700.0, 700.0};
+  const auto under = ctl.control(inputs(800.0), f);
+  EXPECT_GT(under.target_freqs_mhz[1], 700.0);
+  const auto over = ctl.control(inputs(1000.0), f);
+  EXPECT_LT(over.target_freqs_mhz[1], 700.0);
+}
+
+TEST(GpuOnly, ConvergesOnExactPlant) {
+  // Simulate the plant with the shared GPU command; deadbeat pole.
+  GpuOnlyController ctl(devices(), model(), 0.0, 900_W);
+  std::vector<double> f{2400.0, 700.0, 700.0, 700.0};
+  for (int k = 0; k < 10; ++k) {
+    const Watts p = model().predict(f);
+    f = ctl.control(inputs(p.value), f).target_freqs_mhz;
+  }
+  EXPECT_NEAR(model().predict(f).value, 900.0, 1.0);
+}
+
+TEST(GpuOnly, CannotReachLowSetPoints) {
+  // Even with GPUs railed at min, the pinned CPU keeps power high: the
+  // paper's core criticism of GPU-only capping on low budgets.
+  GpuOnlyController ctl(devices(), model(), 0.0, Watts{500.0});
+  std::vector<double> f{2400.0, 700.0, 700.0, 700.0};
+  for (int k = 0; k < 20; ++k) {
+    f = ctl.control(inputs(model().predict(f).value), f).target_freqs_mhz;
+  }
+  EXPECT_DOUBLE_EQ(f[1], 435.0);  // railed
+  EXPECT_GT(model().predict(f).value, 500.0 + 100.0);
+}
+
+TEST(CpuOnly, PinsGpusAtMax) {
+  CpuOnlyController ctl(devices(), model(), 0.2, 900_W);
+  const std::vector<double> f{1200.0, 700.0, 700.0, 700.0};
+  const auto out = ctl.control(inputs(850.0), f);
+  for (int j = 1; j <= 3; ++j) {
+    EXPECT_DOUBLE_EQ(out.target_freqs_mhz[j], 1350.0);
+  }
+}
+
+TEST(CpuOnly, ControlRangeIsTooSmallForGpuServers) {
+  // The paper's Fig 3 observation: with GPUs at max, the CPU knob cannot
+  // bring a 3-GPU server down to the cap.
+  CpuOnlyController ctl(devices(), model(), 0.0, 900_W);
+  std::vector<double> f{2400.0, 1350.0, 1350.0, 1350.0};
+  for (int k = 0; k < 20; ++k) {
+    f = ctl.control(inputs(model().predict(f).value), f).target_freqs_mhz;
+  }
+  EXPECT_DOUBLE_EQ(f[0], 1000.0);  // CPU railed at min
+  EXPECT_GT(model().predict(f).value, 1100.0);  // nowhere near 900
+}
+
+TEST(CpuOnly, ConvergesWhenFeasible) {
+  // Set point inside the CPU-only controllable band.
+  CpuOnlyController ctl(devices(), model(), 0.0, Watts{1150.0});
+  std::vector<double> f{1000.0, 1350.0, 1350.0, 1350.0};
+  for (int k = 0; k < 10; ++k) {
+    f = ctl.control(inputs(model().predict(f).value), f).target_freqs_mhz;
+  }
+  EXPECT_NEAR(model().predict(f).value, 1150.0, 1.0);
+}
+
+TEST(CpuPlusGpu, SplitsBudgetByShare) {
+  CpuPlusGpuController ctl(devices(), model(), 0.0, 900_W, 0.6);
+  EXPECT_EQ(ctl.gpu_share(), 0.6);
+  EXPECT_NE(ctl.name().find("60"), std::string::npos);
+}
+
+TEST(CpuPlusGpu, RequiresDevicePowerFeedback) {
+  CpuPlusGpuController ctl(devices(), model(), 0.0, 900_W, 0.5);
+  ControlInputs in = inputs(900.0);
+  in.device_power_watts.clear();
+  EXPECT_THROW((void)ctl.control(in, {1200.0, 700.0, 700.0, 700.0}),
+               capgpu::InvalidArgument);
+}
+
+TEST(CpuPlusGpu, LoopsActIndependently) {
+  CpuPlusGpuController ctl(devices(), model(), 0.0, Watts{1000.0}, 0.5);
+  // CPU domain over its 500 W share, GPU domain under its share:
+  // CPU must step down while GPUs step up.
+  ControlInputs in = inputs(900.0);
+  in.device_power_watts = {600.0, 100.0, 100.0, 100.0};
+  const std::vector<double> f{1200.0, 700.0, 700.0, 700.0};
+  const auto out = ctl.control(in, f);
+  EXPECT_LT(out.target_freqs_mhz[0], 1200.0);
+  EXPECT_GT(out.target_freqs_mhz[1], 700.0);
+}
+
+TEST(CpuPlusGpu, TotalPowerMissesCapWithNaiveSplit) {
+  // The paper's criticism: driving each domain to share*cap ignores the
+  // chassis constant, so total power misses the cap.
+  CpuPlusGpuController ctl(devices(), model(), 0.0, 900_W, 0.5);
+  std::vector<double> f{1200.0, 700.0, 700.0, 700.0};
+  // Plant: CPU domain power = 0.05 f0 + 60; GPU domain = 0.19 sum(f) + 120;
+  // chassis adds another 120 to the meter.
+  for (int k = 0; k < 30; ++k) {
+    ControlInputs in;
+    const double cpu_p = 0.05 * f[0] + 60.0;
+    const double gpu_p = 0.19 * (f[1] + f[2] + f[3]) + 120.0;
+    in.measured_power = Watts{cpu_p + gpu_p + 120.0};
+    in.utilization = {0.9, 0.9, 0.9, 0.9};
+    in.normalized_throughput = {0.5, 0.5, 0.5, 0.5};
+    in.device_power_watts = {cpu_p, 0.19 * f[1] + 40.0, 0.19 * f[2] + 40.0,
+                             0.19 * f[3] + 40.0};
+    f = ctl.control(in, f).target_freqs_mhz;
+  }
+  const double total = 0.05 * f[0] + 60.0 + 0.19 * (f[1] + f[2] + f[3]) +
+                       120.0 + 120.0;
+  EXPECT_GT(std::abs(total - 900.0), 40.0);  // fails to converge to the cap
+}
+
+TEST(CpuPlusGpu, InvalidShareThrows) {
+  EXPECT_THROW(CpuPlusGpuController(devices(), model(), 0.0, 900_W, 0.0),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(CpuPlusGpuController(devices(), model(), 0.0, 900_W, 1.0),
+               capgpu::InvalidArgument);
+}
+
+TEST(Baselines, SetSloIsIgnoredByDefault) {
+  GpuOnlyController ctl(devices(), model(), 0.2, 900_W);
+  EXPECT_NO_THROW(ctl.set_slo(1, 0.5));  // silently ignored, as in the paper
+}
+
+}  // namespace
+}  // namespace capgpu::baselines

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace capgpu {
+namespace {
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw NumericalError("x"), Error);
+  EXPECT_THROW(throw InfeasibleError("x"), Error);
+  EXPECT_THROW(throw HalError("x"), Error);
+}
+
+TEST(Error, MessagePreserved) {
+  try {
+    throw NumericalError("singular matrix");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "singular matrix");
+  }
+}
+
+TEST(Error, AssertMacroThrowsWithLocation) {
+  try {
+    CAPGPU_ASSERT(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_log_test"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireMacroThrowsInvalidArgument) {
+  EXPECT_THROW(CAPGPU_REQUIRE(false, "bad input"), InvalidArgument);
+  EXPECT_NO_THROW(CAPGPU_REQUIRE(true, "fine"));
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_level(LogLevel::kDebug);
+    Log::set_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, SinkReceivesMessages) {
+  CAPGPU_LOG_INFO << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LogTest, LevelFiltersMessages) {
+  Log::set_level(LogLevel::kError);
+  CAPGPU_LOG_DEBUG << "nope";
+  CAPGPU_LOG_WARN << "nope";
+  CAPGPU_LOG_ERROR << "yes";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "yes");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  CAPGPU_LOG_ERROR << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace capgpu

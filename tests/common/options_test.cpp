@@ -1,0 +1,64 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu {
+namespace {
+
+Options parse(std::vector<const char*> argv,
+              std::vector<std::string> known = {"alpha", "beta", "flag"}) {
+  argv.insert(argv.begin(), "prog");
+  return Options(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const Options o = parse({"--alpha=3.5", "--beta=hello"});
+  EXPECT_TRUE(o.has("alpha"));
+  EXPECT_EQ(o.get("beta"), "hello");
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), 3.5);
+}
+
+TEST(Options, BareFlagHasEmptyValue) {
+  const Options o = parse({"--flag"});
+  EXPECT_TRUE(o.get_flag("flag"));
+  EXPECT_EQ(o.get("flag"), "");
+  EXPECT_FALSE(o.get_flag("alpha"));
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const Options o = parse({});
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 7.25), 7.25);
+  EXPECT_EQ(o.get_long("beta", 42), 42);
+  EXPECT_EQ(o.get_string("beta", "dflt"), "dflt");
+  EXPECT_FALSE(o.get("alpha").has_value());
+}
+
+TEST(Options, PositionalArgumentsCollected) {
+  const Options o = parse({"one", "--flag", "two"});
+  EXPECT_EQ(o.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Options, UnknownKeyThrows) {
+  EXPECT_THROW(parse({"--bogus=1"}), InvalidArgument);
+}
+
+TEST(Options, MalformedNumbersThrow) {
+  const Options o = parse({"--alpha=12x", "--beta=1.5"});
+  EXPECT_THROW((void)o.get_double("alpha", 0.0), InvalidArgument);
+  EXPECT_THROW((void)o.get_long("beta", 0), InvalidArgument);  // not integral
+}
+
+TEST(Options, IntegerParsing) {
+  const Options o = parse({"--alpha=-12"});
+  EXPECT_EQ(o.get_long("alpha", 0), -12);
+}
+
+TEST(Options, ValueWithEqualsSign) {
+  const Options o = parse({"--beta=a=b"});
+  EXPECT_EQ(o.get("beta"), "a=b");
+}
+
+}  // namespace
+}  // namespace capgpu

@@ -1,0 +1,175 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace capgpu {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.next_u64() == b.next_u64());
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // SplitMix64 seeding guarantees nonzero state: outputs should vary.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), Error);
+}
+
+TEST(Rng, UniformIndexWithinBounds) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(r.uniform_index(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng r(29);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[r.uniform_index(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(Rng, UniformIndexOneAlwaysZero) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(r.uniform_index(1), 0u);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(37);
+  Rng child = parent.split();
+  // Streams must not be identical.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (parent.next_u64() == child.next_u64());
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(ca.next_u64(), cb.next_u64());
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng r(GetParam());
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    seen.insert(static_cast<std::uint64_t>(u * 1e9));
+  }
+  EXPECT_GT(seen.size(), 250u);
+}
+
+TEST_P(RngSeedSweep, NormalCacheKeepsDeterminism) {
+  Rng a(GetParam());
+  Rng b(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1337ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace capgpu

@@ -1,0 +1,36 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "capgpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capgpu {
+namespace {
+
+TEST(Umbrella, VersionExposed) {
+  EXPECT_GE(kVersionMajor, 1);
+  EXPECT_STREQ(kVersionString, "1.0.0");
+}
+
+TEST(Umbrella, PublicTypesUsable) {
+  // A few representative constructions through the umbrella include only.
+  const control::LinearPowerModel model({0.05, 0.2}, 300.0);
+  EXPECT_DOUBLE_EQ(model.predict({2000.0, 900.0}).value, 580.0);
+  const control::LatencyModel lat(0.35, 1350_MHz, 0.91);
+  EXPECT_TRUE(lat.feasible(0.5));
+  telemetry::RunningStats stats;
+  stats.add(1.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(workload::v100_testbed_models().size(), 3u);
+}
+
+TEST(Umbrella, MatrixToStringRendersValues) {
+  const linalg::Matrix m{{1, 2}, {3, 4}};
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find('4'), std::string::npos);
+  const linalg::Vector v{5, 6};
+  EXPECT_EQ(v.to_string(), "[5, 6]");
+}
+
+}  // namespace
+}  // namespace capgpu

@@ -1,0 +1,54 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capgpu {
+namespace {
+
+TEST(Units, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((500_W).value, 500.0);
+  EXPECT_DOUBLE_EQ((1.5_GHz).value, 1500.0);
+  EXPECT_DOUBLE_EQ((900_MHz).value, 900.0);
+  EXPECT_DOUBLE_EQ((4_s).value, 4.0);
+  EXPECT_DOUBLE_EQ((0.5_s).value, 0.5);
+}
+
+TEST(Units, ArithmeticWorks) {
+  const Watts a{100.0};
+  const Watts b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value, 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value, 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value, 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w{10.0};
+  w += Watts{5.0};
+  EXPECT_DOUBLE_EQ(w.value, 15.0);
+  w -= Watts{3.0};
+  EXPECT_DOUBLE_EQ(w.value, 12.0);
+}
+
+TEST(Units, ComparisonsWork) {
+  EXPECT_LT(Megahertz{900}, Megahertz{1000});
+  EXPECT_EQ(Megahertz{900}, 900_MHz);
+  EXPECT_GE(1_GHz, 1000_MHz);
+}
+
+TEST(Units, DeviceIdOrdering) {
+  const DeviceId cpu{0};
+  const DeviceId gpu0{1};
+  EXPECT_LT(cpu, gpu0);
+  EXPECT_EQ(DeviceId{1}, gpu0);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.value, 0.0);
+  EXPECT_DOUBLE_EQ(Megahertz{}.value, 0.0);
+}
+
+}  // namespace
+}  // namespace capgpu

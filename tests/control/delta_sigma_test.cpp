@@ -1,0 +1,99 @@
+#include "control/delta_sigma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace capgpu::control {
+namespace {
+
+TEST(DeltaSigma, ExactLevelPassesThrough) {
+  const auto table = hw::FrequencyTable::uniform(1000_MHz, 3000_MHz, 1000_MHz);
+  DeltaSigmaModulator mod;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(mod.step(2000_MHz, table).value, 2000.0);
+  }
+  EXPECT_DOUBLE_EQ(mod.accumulated_error(), 0.0);
+}
+
+TEST(DeltaSigma, PaperExampleQuarterPoint) {
+  // Paper Sec 5: toggling 2,2,2,3 GHz averages 2.25 GHz.
+  const auto table = hw::FrequencyTable::uniform(1000_MHz, 3000_MHz, 1000_MHz);
+  DeltaSigmaModulator mod;
+  double sum = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) sum += mod.step(Megahertz{2250.0}, table).value;
+  EXPECT_NEAR(sum / n, 2250.0, 5.0);
+}
+
+TEST(DeltaSigma, OutputsAreAdjacentLevels) {
+  const auto table = hw::FrequencyTable::v100_core();
+  DeltaSigmaModulator mod;
+  for (int i = 0; i < 100; ++i) {
+    const double out = mod.step(Megahertz{851.0}, table).value;
+    EXPECT_TRUE(out == 840.0 || out == 855.0) << out;
+  }
+}
+
+TEST(DeltaSigma, ClampsAboveRange) {
+  const auto table = hw::FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  DeltaSigmaModulator mod;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(mod.step(Megahertz{900.0}, table).value, 500.0);
+  }
+  // Clamped: no error accumulates toward the unreachable target.
+  EXPECT_DOUBLE_EQ(mod.accumulated_error(), 0.0);
+}
+
+TEST(DeltaSigma, ClampsBelowRange) {
+  const auto table = hw::FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  DeltaSigmaModulator mod;
+  EXPECT_DOUBLE_EQ(mod.step(Megahertz{10.0}, table).value, 100.0);
+}
+
+TEST(DeltaSigma, ErrorStaysBounded) {
+  const auto table = hw::FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  DeltaSigmaModulator mod;
+  for (int i = 0; i < 1000; ++i) {
+    (void)mod.step(Megahertz{333.3}, table);
+    EXPECT_LE(std::abs(mod.accumulated_error()), 100.0 + 1e-9);
+  }
+}
+
+TEST(DeltaSigma, ResetClearsState) {
+  const auto table = hw::FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  DeltaSigmaModulator mod;
+  (void)mod.step(Megahertz{250.0}, table);
+  mod.reset();
+  EXPECT_DOUBLE_EQ(mod.accumulated_error(), 0.0);
+}
+
+TEST(DeltaSigma, TrackingAMovingTarget) {
+  const auto table = hw::FrequencyTable::v100_core();
+  DeltaSigmaModulator mod;
+  // Converges after target changes.
+  for (int i = 0; i < 50; ++i) (void)mod.step(Megahertz{700.0}, table);
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += mod.step(Megahertz{1007.5}, table).value;
+  EXPECT_NEAR(sum / 200, 1007.5, 2.0);
+}
+
+class FractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionSweep, TimeAverageConvergesToTarget) {
+  const auto table = hw::FrequencyTable::v100_core();
+  DeltaSigmaModulator mod;
+  const Megahertz target{GetParam()};
+  double sum = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) sum += mod.step(target, table).value;
+  // Average error is bounded by one level gap / n plus the residual sigma.
+  EXPECT_NEAR(sum / n, table.clamp(target).value, 15.0 / 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FractionSweep,
+                         ::testing::Values(435.0, 437.3, 500.1, 666.6, 871.9,
+                                           1007.5, 1200.2, 1349.0, 1350.0));
+
+}  // namespace
+}  // namespace capgpu::control

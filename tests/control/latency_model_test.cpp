@@ -1,0 +1,104 @@
+#include "control/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::control {
+namespace {
+
+TEST(LatencyModel, PredictMatchesLaw) {
+  const LatencyModel m(0.35, 1350_MHz, 0.91);
+  EXPECT_DOUBLE_EQ(m.predict(1350_MHz), 0.35);
+  EXPECT_NEAR(m.predict(675_MHz), 0.35 * std::pow(2.0, 0.91), 1e-12);
+}
+
+TEST(LatencyModel, SloInversionRoundTrips) {
+  const LatencyModel m(0.35, 1350_MHz, 0.91);
+  const double slo = 0.6;
+  const Megahertz f = m.min_frequency_for_slo(slo);
+  EXPECT_NEAR(m.predict(f), slo, 1e-9);
+  // Any higher frequency meets the SLO with slack.
+  EXPECT_LT(m.predict(Megahertz{f.value + 50.0}), slo);
+}
+
+TEST(LatencyModel, FeasibilityBoundary) {
+  const LatencyModel m(0.35, 1350_MHz, 0.91);
+  EXPECT_TRUE(m.feasible(0.35));        // exactly e_min at f_max
+  EXPECT_TRUE(m.feasible(1.0));
+  EXPECT_FALSE(m.feasible(0.2));        // below e_min: impossible
+}
+
+TEST(LatencyModel, ValidationThrows) {
+  EXPECT_THROW(LatencyModel(0.0, 1350_MHz, 0.91), capgpu::InvalidArgument);
+  EXPECT_THROW(LatencyModel(0.5, Megahertz{0.0}, 0.91),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(LatencyModel(0.5, 1350_MHz, 0.0), capgpu::InvalidArgument);
+  const LatencyModel m(0.5, 1350_MHz, 0.91);
+  EXPECT_THROW((void)m.predict(Megahertz{0.0}), capgpu::InvalidArgument);
+  EXPECT_THROW((void)m.min_frequency_for_slo(0.0), capgpu::InvalidArgument);
+}
+
+TEST(LatencyFit, RecoversParametersFromCleanSamples) {
+  const LatencyModel truth(0.35, 1350_MHz, 0.91);
+  std::vector<LatencySample> samples;
+  for (double f = 435.0; f <= 1350.0; f += 45.0) {
+    samples.push_back({Megahertz{f}, truth.predict(Megahertz{f})});
+  }
+  const LatencyFit fit = fit_latency_model(samples, 1350_MHz);
+  EXPECT_NEAR(fit.model.gamma(), 0.91, 1e-9);
+  EXPECT_NEAR(fit.model.e_min(), 0.35, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LatencyFit, NoisySamplesStillFitWell) {
+  // The paper reports gamma = 0.91 with R^2 ~ 0.91.
+  capgpu::Rng rng(5);
+  const LatencyModel truth(0.35, 1350_MHz, 0.91);
+  std::vector<LatencySample> samples;
+  for (int i = 0; i < 200; ++i) {
+    const Megahertz f{rng.uniform(435.0, 1350.0)};
+    samples.push_back(
+        {f, truth.predict(f) * std::exp(rng.normal(0.0, 0.05))});
+  }
+  const LatencyFit fit = fit_latency_model(samples, 1350_MHz);
+  EXPECT_NEAR(fit.model.gamma(), 0.91, 0.03);
+  EXPECT_GT(fit.r_squared, 0.85);
+}
+
+TEST(LatencyFit, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_latency_model({}, 1350_MHz),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(
+      (void)fit_latency_model({{Megahertz{900}, 0.5}}, 1350_MHz),
+      capgpu::InvalidArgument);
+  // Same frequency twice: no slope information.
+  EXPECT_THROW((void)fit_latency_model(
+                   {{Megahertz{900}, 0.5}, {Megahertz{900}, 0.6}}, 1350_MHz),
+               capgpu::NumericalError);
+  // Non-positive latency is invalid.
+  EXPECT_THROW((void)fit_latency_model(
+                   {{Megahertz{900}, -0.5}, {Megahertz{800}, 0.6}}, 1350_MHz),
+               capgpu::InvalidArgument);
+}
+
+class SloSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SloSweep, InversionConsistency) {
+  const LatencyModel m(0.55, 1350_MHz, 0.91);
+  const double slo = GetParam();
+  if (m.feasible(slo)) {
+    EXPECT_LE(m.predict(m.min_frequency_for_slo(slo)), slo + 1e-9);
+  } else {
+    EXPECT_GT(m.min_frequency_for_slo(slo).value, 1350.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SloSweep,
+                         ::testing::Values(0.3, 0.55, 0.7, 1.0, 1.6, 3.0));
+
+}  // namespace
+}  // namespace capgpu::control

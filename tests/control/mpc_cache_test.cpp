@@ -1,0 +1,154 @@
+// Tests of the explicit-MPC region cache: cached decisions must be
+// bit-equivalent to fresh active-set solves in every regime.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "control/mpc.hpp"
+
+namespace capgpu::control {
+namespace {
+
+std::vector<DeviceRange> devices() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+LinearPowerModel model() {
+  return LinearPowerModel({0.05, 0.21, 0.21, 0.21}, 300.0);
+}
+
+MpcController make(bool cached) {
+  MpcController mpc(MpcConfig{}, devices(), model(), 900_W);
+  mpc.enable_solve_cache(cached);
+  return mpc;
+}
+
+TEST(MpcCache, MatchesUncachedOnRandomSequences) {
+  MpcController plain = make(false);
+  MpcController cached = make(true);
+  capgpu::Rng rng(3);
+  std::vector<double> f_plain{1000.0, 435.0, 435.0, 435.0};
+  std::vector<double> f_cached = f_plain;
+  for (int k = 0; k < 200; ++k) {
+    const Watts p{rng.uniform(600.0, 1300.0)};
+    const MpcDecision a = plain.step(p, f_plain);
+    const MpcDecision b = cached.step(p, f_cached);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(a.target_freqs_mhz[j], b.target_freqs_mhz[j], 1e-5)
+          << "period " << k << " device " << j;
+    }
+    f_plain = a.target_freqs_mhz;
+    f_cached = b.target_freqs_mhz;
+  }
+  // The cache actually engaged.
+  EXPECT_GT(cached.cache_stats().hits, 50u);
+}
+
+TEST(MpcCache, SteadyStateHitsDominate) {
+  MpcController mpc = make(true);
+  std::vector<double> f{1000.0, 435.0, 435.0, 435.0};
+  for (int k = 0; k < 100; ++k) {
+    const MpcDecision d = mpc.step(model().predict(f), f);
+    f = d.target_freqs_mhz;
+  }
+  const auto& stats = mpc.cache_stats();
+  EXPECT_GT(stats.hits, 4 * stats.misses);
+}
+
+TEST(MpcCache, HitsReportedInDecision) {
+  MpcController mpc = make(true);
+  std::vector<double> f{1500.0, 800.0, 800.0, 800.0};
+  const MpcDecision first = mpc.step(Watts{850.0}, f);
+  EXPECT_FALSE(first.cache_hit);  // cold cache
+  const MpcDecision second = mpc.step(Watts{850.0}, f);
+  EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(MpcCache, WeightChangeInvalidates) {
+  MpcController mpc = make(true);
+  std::vector<double> f{1500.0, 800.0, 800.0, 800.0};
+  (void)mpc.step(Watts{850.0}, f);
+  (void)mpc.step(Watts{850.0}, f);
+  ASSERT_GT(mpc.cache_stats().hits, 0u);
+  mpc.set_control_weights({1e-4, 2e-5, 2e-5, 2e-5});
+  const MpcDecision after = mpc.step(Watts{850.0}, f);
+  EXPECT_FALSE(after.cache_hit);  // Hessian changed: region rebuilt
+  EXPECT_GE(mpc.cache_stats().invalidations, 1u);
+}
+
+TEST(MpcCache, CorrectAcrossWeightChanges) {
+  // Weight churn every period (the CapGPU pattern): cached and uncached
+  // controllers must still agree.
+  MpcController plain = make(false);
+  MpcController cached = make(true);
+  capgpu::Rng rng(11);
+  std::vector<double> f{1200.0, 700.0, 750.0, 800.0};
+  for (int k = 0; k < 60; ++k) {
+    std::vector<double> w(4);
+    for (auto& x : w) x = rng.uniform(1e-5, 1e-4);
+    plain.set_control_weights(w);
+    cached.set_control_weights(w);
+    const Watts p{rng.uniform(700.0, 1100.0)};
+    const MpcDecision a = plain.step(p, f);
+    const MpcDecision b = cached.step(p, f);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(a.target_freqs_mhz[j], b.target_freqs_mhz[j], 1e-5);
+    }
+    f = a.target_freqs_mhz;
+  }
+}
+
+TEST(MpcCache, CorrectWithSloBoundChanges) {
+  MpcController plain = make(false);
+  MpcController cached = make(true);
+  std::vector<double> f{1200.0, 700.0, 750.0, 800.0};
+  for (int k = 0; k < 40; ++k) {
+    if (k == 10) {
+      (void)plain.set_min_frequency_override(1, 900.0);
+      (void)cached.set_min_frequency_override(1, 900.0);
+    }
+    if (k == 25) {
+      plain.clear_min_frequency_overrides();
+      cached.clear_min_frequency_overrides();
+    }
+    const Watts p = model().predict(f);
+    const MpcDecision a = plain.step(p, f);
+    const MpcDecision b = cached.step(p, f);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(a.target_freqs_mhz[j], b.target_freqs_mhz[j], 1e-5);
+    }
+    f = a.target_freqs_mhz;
+  }
+}
+
+TEST(MpcCache, RailedRegimeMatches) {
+  // All devices at bounds (maximal active set) is the stress case.
+  MpcController plain = make(false);
+  MpcController cached = make(true);
+  std::vector<double> f{1000.0, 435.0, 435.0, 435.0};
+  for (int k = 0; k < 10; ++k) {
+    const MpcDecision a = plain.step(Watts{1500.0}, f);   // way over cap
+    const MpcDecision b = cached.step(Watts{1500.0}, f);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(a.target_freqs_mhz[j], b.target_freqs_mhz[j], 1e-5);
+    }
+  }
+}
+
+TEST(MpcCache, DisablingClearsState) {
+  MpcController mpc = make(true);
+  std::vector<double> f{1500.0, 800.0, 800.0, 800.0};
+  (void)mpc.step(Watts{850.0}, f);
+  mpc.enable_solve_cache(false);
+  const MpcDecision d = mpc.step(Watts{850.0}, f);
+  EXPECT_FALSE(d.cache_hit);
+  EXPECT_FALSE(mpc.solve_cache_enabled());
+}
+
+}  // namespace
+}  // namespace capgpu::control

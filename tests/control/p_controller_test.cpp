@@ -1,0 +1,75 @@
+#include "control/p_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+namespace {
+
+PControllerConfig config(double gain, double pole) {
+  PControllerConfig c;
+  c.gain_w_per_mhz = gain;
+  c.pole = pole;
+  c.f_min_mhz = 435.0;
+  c.f_max_mhz = 1350.0;
+  return c;
+}
+
+TEST(PController, GainFollowsPolePlacement) {
+  EXPECT_DOUBLE_EQ(PController(config(0.5, 0.0)).k(), 2.0);
+  EXPECT_DOUBLE_EQ(PController(config(0.5, 0.2)).k(), 1.6);
+  EXPECT_DOUBLE_EQ(PController(config(0.25, 0.5)).k(), 2.0);
+}
+
+TEST(PController, DeadbeatConvergesInOneStep) {
+  // Exact scalar plant: p = a*f + c.
+  const double a = 0.5;
+  const double c = 300.0;
+  PController ctl(config(a, 0.0));
+  double f = 600.0;
+  const double set_point = 700.0;
+  f = ctl.step(Watts{a * f + c}, Watts{set_point}, f);
+  EXPECT_NEAR(a * f + c, set_point, 1e-9);
+}
+
+TEST(PController, PoleDampsGeometrically) {
+  const double a = 0.5;
+  const double c = 300.0;
+  const double pole = 0.4;
+  PController ctl(config(a, pole));
+  double f = 600.0;
+  const double set_point = 700.0;
+  double err = a * f + c - set_point;
+  for (int k = 0; k < 5; ++k) {
+    f = ctl.step(Watts{a * f + c}, Watts{set_point}, f);
+    const double new_err = a * f + c - set_point;
+    EXPECT_NEAR(new_err, pole * err, 1e-9);
+    err = new_err;
+  }
+}
+
+TEST(PController, ClampsToRange) {
+  PController ctl(config(0.5, 0.0));
+  // Huge positive error: railed at max.
+  EXPECT_DOUBLE_EQ(ctl.step(Watts{0.0}, Watts{10000.0}, 800.0), 1350.0);
+  // Huge negative error: railed at min.
+  EXPECT_DOUBLE_EQ(ctl.step(Watts{10000.0}, Watts{0.0}, 800.0), 435.0);
+}
+
+TEST(PController, NoErrorNoMove) {
+  PController ctl(config(0.5, 0.3));
+  EXPECT_DOUBLE_EQ(ctl.step(Watts{900.0}, Watts{900.0}, 777.0), 777.0);
+}
+
+TEST(PController, ValidationThrows) {
+  EXPECT_THROW(PController(config(0.0, 0.0)), capgpu::InvalidArgument);
+  EXPECT_THROW(PController(config(0.5, 1.0)), capgpu::InvalidArgument);
+  EXPECT_THROW(PController(config(0.5, -0.1)), capgpu::InvalidArgument);
+  PControllerConfig bad = config(0.5, 0.0);
+  bad.f_max_mhz = bad.f_min_mhz;
+  EXPECT_THROW(PController{bad}, capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::control

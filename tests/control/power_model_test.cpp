@@ -1,0 +1,46 @@
+#include "control/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+namespace {
+
+TEST(PowerModel, PredictsAffineValue) {
+  const LinearPowerModel m({0.05, 0.2, 0.2}, 300.0);
+  EXPECT_DOUBLE_EQ(m.predict({2000.0, 1000.0, 500.0}).value,
+                   300.0 + 100.0 + 200.0 + 100.0);
+}
+
+TEST(PowerModel, PredictDelta) {
+  const LinearPowerModel m({0.05, 0.2}, 300.0);
+  EXPECT_DOUBLE_EQ(m.predict_delta({100.0, -50.0}), 5.0 - 10.0);
+}
+
+TEST(PowerModel, AccessorsAndValidation) {
+  const LinearPowerModel m({0.1, 0.2}, 42.0);
+  EXPECT_EQ(m.device_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.gain(1), 0.2);
+  EXPECT_DOUBLE_EQ(m.offset(), 42.0);
+  EXPECT_THROW(LinearPowerModel({}, 1.0), capgpu::InvalidArgument);
+}
+
+TEST(PowerModel, SizeMismatchesThrow) {
+  const LinearPowerModel m({0.1, 0.2}, 0.0);
+  EXPECT_THROW((void)m.predict({1.0}), capgpu::InvalidArgument);
+  EXPECT_THROW((void)m.predict_delta({1.0, 2.0, 3.0}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW((void)m.scaled_gains({1.0}), capgpu::InvalidArgument);
+}
+
+TEST(PowerModel, ScaledGainsMultipliesPerDevice) {
+  const LinearPowerModel m({0.1, 0.2}, 10.0);
+  const LinearPowerModel s = m.scaled_gains({2.0, 0.5});
+  EXPECT_DOUBLE_EQ(s.gain(0), 0.2);
+  EXPECT_DOUBLE_EQ(s.gain(1), 0.1);
+  EXPECT_DOUBLE_EQ(s.offset(), 10.0);  // offset untouched
+}
+
+}  // namespace
+}  // namespace capgpu::control

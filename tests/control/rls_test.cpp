@@ -1,0 +1,173 @@
+#include "control/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::control {
+namespace {
+
+LinearPowerModel prior() { return LinearPowerModel({0.05, 0.2, 0.2}, 300.0); }
+
+TEST(Rls, StartsAtPrior) {
+  RlsEstimator rls(prior());
+  EXPECT_DOUBLE_EQ(rls.model().gain(0), 0.05);
+  EXPECT_DOUBLE_EQ(rls.model().gain(2), 0.2);
+  EXPECT_DOUBLE_EQ(rls.model().offset(), 300.0);
+  EXPECT_EQ(rls.updates_applied(), 0u);
+}
+
+TEST(Rls, ConvergesToTrueGains) {
+  // True gains differ from the prior; noisy excitation drives convergence.
+  const std::vector<double> truth{0.08, 0.15, 0.25};
+  capgpu::Rng rng(3);
+  RlsEstimator rls(prior());
+  for (int k = 0; k < 400; ++k) {
+    std::vector<double> df(3);
+    double dp = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      df[j] = rng.uniform(-60.0, 60.0);
+      dp += truth[j] * df[j];
+    }
+    (void)rls.update(df, dp + rng.normal(0.0, 1.0));
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(rls.model().gain(j), truth[j], 0.01) << "gain " << j;
+  }
+}
+
+TEST(Rls, NoiselessSingleGainIdentifiedExactly) {
+  RlsEstimator rls(LinearPowerModel({0.1}, 0.0),
+                   RlsConfig{1.0, 1.0, 0.1});  // no forgetting, loose prior
+  for (int k = 0; k < 50; ++k) {
+    const double df = (k % 2) ? 40.0 : -40.0;
+    (void)rls.update({df}, 0.3 * df);
+  }
+  EXPECT_NEAR(rls.model().gain(0), 0.3, 1e-4);
+}
+
+TEST(Rls, SkipsUpdatesWithoutExcitation) {
+  RlsEstimator rls(prior());
+  EXPECT_FALSE(rls.update({0.5, -0.5, 0.1}, 5.0));  // below 2 MHz threshold
+  EXPECT_EQ(rls.updates_applied(), 0u);
+  EXPECT_DOUBLE_EQ(rls.model().gain(0), 0.05);  // untouched
+}
+
+TEST(Rls, TracksGainDriftWithForgetting) {
+  capgpu::Rng rng(9);
+  RlsConfig cfg;
+  cfg.forgetting = 0.9;
+  RlsEstimator rls(LinearPowerModel({0.2}, 0.0), cfg);
+  // Phase 1: true gain 0.2 (matches prior).
+  for (int k = 0; k < 50; ++k) {
+    const double df = rng.uniform(-50.0, 50.0);
+    (void)rls.update({df}, 0.2 * df);
+  }
+  // Phase 2: plant shifts to 0.35.
+  for (int k = 0; k < 80; ++k) {
+    const double df = rng.uniform(-50.0, 50.0);
+    (void)rls.update({df}, 0.35 * df);
+  }
+  EXPECT_NEAR(rls.model().gain(0), 0.35, 0.01);
+}
+
+TEST(Rls, GainsClampedNonNegative) {
+  RlsEstimator rls(LinearPowerModel({0.01}, 0.0), RlsConfig{1.0, 1.0, 0.1});
+  // Adversarial data pulling the gain negative.
+  for (int k = 0; k < 20; ++k) {
+    (void)rls.update({50.0}, -20.0);
+  }
+  EXPECT_GT(rls.model().gain(0), 0.0);
+}
+
+TEST(Rls, BiasAbsorbsDisturbanceSteps) {
+  // A constant per-period power drift unrelated to dF must land in the
+  // bias term, not the gains.
+  capgpu::Rng rng(21);
+  RlsConfig cfg;
+  cfg.estimate_bias = true;
+  RlsEstimator rls(LinearPowerModel({0.2}, 0.0), cfg);
+  for (int k = 0; k < 300; ++k) {
+    const double df = rng.uniform(-50.0, 50.0);
+    (void)rls.update({df}, 0.2 * df + 8.0);  // +8 W/period drift
+  }
+  EXPECT_NEAR(rls.model().gain(0), 0.2, 0.01);
+  EXPECT_NEAR(rls.bias(), 8.0, 0.5);
+}
+
+TEST(Rls, WithoutBiasDisturbanceCorruptsGains) {
+  // The control experiment for the test above: same data, bias disabled —
+  // the gate is what protects the estimates, so here they get polluted.
+  capgpu::Rng rng(21);
+  RlsConfig cfg;
+  cfg.estimate_bias = false;
+  RlsEstimator rls(LinearPowerModel({0.2}, 0.0), cfg);
+  double sq_err = 0.0;
+  int n = 0;
+  for (int k = 0; k < 300; ++k) {
+    const double df = rng.uniform(-50.0, 50.0);
+    (void)rls.update({df}, 0.2 * df + 8.0);
+    sq_err += (rls.model().gain(0) - 0.2) * (rls.model().gain(0) - 0.2);
+    ++n;
+  }
+  // Noisy wandering around the truth instead of convergence.
+  EXPECT_GT(std::sqrt(sq_err / n), 0.02);
+  EXPECT_DOUBLE_EQ(rls.bias(), 0.0);
+}
+
+TEST(Rls, ResidualGateRejectsOutliers) {
+  RlsConfig cfg;
+  cfg.max_residual_watts = 30.0;
+  cfg.estimate_bias = false;
+  RlsEstimator rls(LinearPowerModel({0.2}, 0.0), cfg);
+  // Consistent observation accepted...
+  EXPECT_TRUE(rls.update({100.0}, 21.0));
+  // ...a 100 W surprise rejected, estimates untouched.
+  const double before = rls.model().gain(0);
+  EXPECT_FALSE(rls.update({100.0}, 120.0));
+  EXPECT_DOUBLE_EQ(rls.model().gain(0), before);
+}
+
+TEST(Rls, ResidualReported) {
+  RlsEstimator rls(LinearPowerModel({0.1}, 0.0));
+  ASSERT_TRUE(rls.update({100.0}, 25.0));
+  // Prediction was 10 W, observation 25 W.
+  EXPECT_NEAR(rls.last_residual(), 15.0, 1e-9);
+}
+
+TEST(Rls, ValidationThrows) {
+  EXPECT_THROW(RlsEstimator(prior(), RlsConfig{0.0, 1e-2, 2.0}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(RlsEstimator(prior(), RlsConfig{1.1, 1e-2, 2.0}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(RlsEstimator(prior(), RlsConfig{0.98, 0.0, 2.0}),
+               capgpu::InvalidArgument);
+  RlsEstimator rls(prior());
+  EXPECT_THROW((void)rls.update({1.0}, 0.0), capgpu::InvalidArgument);
+}
+
+class RlsForgettingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RlsForgettingSweep, StableUnderLongNoisyStreams) {
+  capgpu::Rng rng(17);
+  RlsConfig cfg;
+  cfg.forgetting = GetParam();
+  RlsEstimator rls(LinearPowerModel({0.1, 0.2}, 100.0), cfg);
+  for (int k = 0; k < 2000; ++k) {
+    std::vector<double> df{rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0)};
+    const double dp = 0.12 * df[0] + 0.18 * df[1] + rng.normal(0.0, 2.0);
+    (void)rls.update(df, dp);
+  }
+  // No divergence: estimates stay in a physical range.
+  EXPECT_NEAR(rls.model().gain(0), 0.12, 0.05);
+  EXPECT_NEAR(rls.model().gain(1), 0.18, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, RlsForgettingSweep,
+                         ::testing::Values(0.9, 0.95, 0.98, 1.0));
+
+}  // namespace
+}  // namespace capgpu::control

@@ -1,0 +1,118 @@
+#include "control/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::control {
+namespace {
+
+std::vector<DeviceRange> devices() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+LinearPowerModel nominal() {
+  return LinearPowerModel({0.05, 0.2, 0.2}, 300.0);
+}
+
+MpcController make_controller() {
+  return MpcController(MpcConfig{}, devices(), nominal(), 900_W);
+}
+
+TEST(Stability, ClosedLoopMatrixHasExpectedShape) {
+  const MpcController ctl = make_controller();
+  const linalg::Matrix m = closed_loop_matrix(ctl.linear_gains(), nominal());
+  EXPECT_EQ(m.rows(), 3u);  // frequency space: power is static in f
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Stability, NominalPlantIsStable) {
+  const MpcController ctl = make_controller();
+  const StabilityReport r = analyze_closed_loop(ctl, nominal());
+  EXPECT_TRUE(r.stable);
+  EXPECT_LT(r.spectral_radius, 1.0);
+  EXPECT_EQ(r.poles.size(), 3u);
+}
+
+TEST(Stability, ModeratePlantMismatchStaysStable) {
+  // Paper Sec 4.4: stability must hold for a range of gain errors g_i.
+  const MpcController ctl = make_controller();
+  for (const double g : {0.5, 0.8, 1.2, 1.5, 2.0}) {
+    const StabilityReport r =
+        analyze_closed_loop(ctl, nominal().scaled_gains({g, g, g}));
+    EXPECT_TRUE(r.stable) << "gain multiplier " << g;
+  }
+}
+
+TEST(Stability, ExtremeGainErrorDestabilises) {
+  const MpcController ctl = make_controller();
+  const StabilityReport huge =
+      analyze_closed_loop(ctl, nominal().scaled_gains({60.0, 60.0, 60.0}));
+  EXPECT_FALSE(huge.stable);
+}
+
+TEST(Stability, MaxStableGainIsMeaningful) {
+  const MpcController ctl = make_controller();
+  const double g_max = max_stable_uniform_gain(ctl, nominal());
+  EXPECT_GT(g_max, 1.5);   // robust to at least 50% gain error
+  EXPECT_LT(g_max, 64.0);  // but not unconditionally stable
+  // Just inside is stable, just outside is not.
+  const std::vector<double> inside(3, g_max * 0.98);
+  const std::vector<double> outside(3, g_max * 1.05);
+  EXPECT_TRUE(analyze_closed_loop(ctl, nominal().scaled_gains(inside)).stable);
+  EXPECT_FALSE(
+      analyze_closed_loop(ctl, nominal().scaled_gains(outside)).stable);
+}
+
+TEST(Stability, SweepIsConsistentWithBisection) {
+  const MpcController ctl = make_controller();
+  const double g_max = max_stable_uniform_gain(ctl, nominal());
+  const auto sweep =
+      sweep_uniform_gain(ctl, nominal(), {0.5, 1.0, g_max * 0.9, g_max * 1.2});
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_TRUE(sweep[0].stable);
+  EXPECT_TRUE(sweep[1].stable);
+  EXPECT_TRUE(sweep[2].stable);
+  EXPECT_FALSE(sweep[3].stable);
+  // Spectral radius grows with the gain multiplier near the boundary.
+  EXPECT_LT(sweep[2].spectral_radius, sweep[3].spectral_radius);
+}
+
+TEST(Stability, PerDeviceGainErrors) {
+  // Only one device's gain wrong: still within the stable range.
+  const MpcController ctl = make_controller();
+  const StabilityReport r =
+      analyze_closed_loop(ctl, nominal().scaled_gains({1.0, 3.0, 1.0}));
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(Stability, MismatchedModelThrows) {
+  const MpcController ctl = make_controller();
+  EXPECT_THROW(
+      (void)closed_loop_matrix(ctl.linear_gains(),
+                               LinearPowerModel({0.1}, 0.0)),
+      capgpu::InvalidArgument);
+}
+
+TEST(Stability, DampedReferenceLowersSpectralRadius) {
+  // The analysis covers the violation side of the asymmetric reference, so
+  // the damping under test is violation_decay.
+  MpcConfig deadbeat;
+  deadbeat.violation_decay = 0.0;
+  MpcConfig damped;
+  damped.violation_decay = 0.7;
+  MpcController a(deadbeat, devices(), nominal(), 900_W);
+  MpcController b(damped, devices(), nominal(), 900_W);
+  // With a 3x gain surprise, the damped controller has a smaller radius.
+  const auto plant = nominal().scaled_gains({3.0, 3.0, 3.0});
+  const double rho_a = analyze_closed_loop(a, plant).spectral_radius;
+  const double rho_b = analyze_closed_loop(b, plant).spectral_radius;
+  EXPECT_LT(rho_b, rho_a);
+}
+
+}  // namespace
+}  // namespace capgpu::control

@@ -1,0 +1,91 @@
+#include "control/sysid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::control {
+namespace {
+
+TEST(SysId, RecoversExactAffineModel) {
+  // Truth: p = 0.05 f0 + 0.2 f1 + 300.
+  SystemIdentifier id(2);
+  for (const double f0 : {1000.0, 1500.0, 2000.0}) {
+    for (const double f1 : {500.0, 900.0, 1300.0}) {
+      id.add_sample({f0, f1}, Watts{0.05 * f0 + 0.2 * f1 + 300.0});
+    }
+  }
+  const IdentifiedModel m = id.fit();
+  EXPECT_NEAR(m.model.gain(0), 0.05, 1e-10);
+  EXPECT_NEAR(m.model.gain(1), 0.2, 1e-10);
+  EXPECT_NEAR(m.model.offset(), 300.0, 1e-7);
+  EXPECT_NEAR(m.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(m.rmse_watts, 0.0, 1e-8);
+  EXPECT_EQ(m.samples, 9u);
+}
+
+TEST(SysId, NoisyFitStillAccurate) {
+  capgpu::Rng rng(17);
+  SystemIdentifier id(2);
+  for (int i = 0; i < 100; ++i) {
+    const double f0 = rng.uniform(1000.0, 2400.0);
+    const double f1 = rng.uniform(435.0, 1350.0);
+    id.add_sample({f0, f1},
+                  Watts{0.05 * f0 + 0.2 * f1 + 300.0 + rng.normal(0.0, 4.0)});
+  }
+  const IdentifiedModel m = id.fit();
+  EXPECT_NEAR(m.model.gain(0), 0.05, 0.01);
+  EXPECT_NEAR(m.model.gain(1), 0.2, 0.02);
+  EXPECT_GT(m.r_squared, 0.9);  // paper reports R^2 = 0.96
+  EXPECT_NEAR(m.rmse_watts, 4.0, 1.5);
+}
+
+TEST(SysId, InsufficientExcitationThrows) {
+  // Device 1 never varied: rank deficient regression.
+  SystemIdentifier id(2);
+  for (const double f0 : {1000.0, 1500.0, 2000.0, 2400.0}) {
+    id.add_sample({f0, 800.0}, Watts{0.05 * f0 + 160.0 + 300.0});
+  }
+  EXPECT_THROW((void)id.fit(), capgpu::NumericalError);
+}
+
+TEST(SysId, TooFewSamplesThrows) {
+  SystemIdentifier id(3);
+  id.add_sample({1.0, 2.0, 3.0}, Watts{10.0});
+  EXPECT_THROW((void)id.fit(), capgpu::InvalidArgument);
+}
+
+TEST(SysId, SampleSizeMismatchThrows) {
+  SystemIdentifier id(2);
+  EXPECT_THROW(id.add_sample({1.0}, Watts{10.0}), capgpu::InvalidArgument);
+}
+
+TEST(SysId, ClearResets) {
+  SystemIdentifier id(1);
+  id.add_sample({1.0}, Watts{1.0});
+  id.clear();
+  EXPECT_EQ(id.sample_count(), 0u);
+}
+
+TEST(SysId, FourDeviceMimoIdentification) {
+  // The paper's testbed: CPU + 3 GPUs, different gains per GPU.
+  capgpu::Rng rng(23);
+  const std::vector<double> truth{0.05, 0.18, 0.21, 0.19};
+  SystemIdentifier id(4);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> f(4);
+    f[0] = rng.uniform(1000.0, 2400.0);
+    for (int g = 1; g < 4; ++g) f[g] = rng.uniform(435.0, 1350.0);
+    double p = 300.0;
+    for (int j = 0; j < 4; ++j) p += truth[j] * f[j];
+    id.add_sample(f, Watts{p + rng.normal(0.0, 2.0)});
+  }
+  const IdentifiedModel m = id.fit();
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(m.model.gain(j), truth[j], 0.01) << "gain " << j;
+  }
+}
+
+}  // namespace
+}  // namespace capgpu::control

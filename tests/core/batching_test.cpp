@@ -1,0 +1,180 @@
+// Tests of dynamic batch sizing: the pipeline knob and the coordinated
+// batching + DVFS governor.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/batching.hpp"
+#include "core/rig.hpp"
+#include "workload/latency_law.hpp"
+
+namespace capgpu::core {
+namespace {
+
+TEST(ModelSpec, EminScalesAffinelyWithBatch) {
+  const workload::ModelSpec m = workload::resnet50_v100();
+  EXPECT_DOUBLE_EQ(m.e_min_for_batch(20), m.e_min_batch_s);
+  // Half batch: overhead(0.2) + 0.8*0.5 = 0.6 of the reference latency.
+  EXPECT_NEAR(m.e_min_for_batch(10), 0.6 * m.e_min_batch_s, 1e-12);
+  // Double batch: 0.2 + 1.6 = 1.8x.
+  EXPECT_NEAR(m.e_min_for_batch(40), 1.8 * m.e_min_batch_s, 1e-12);
+  // Throughput b/e(b) improves with larger batches (overhead amortised).
+  EXPECT_GT(40.0 / m.e_min_for_batch(40), 20.0 / m.e_min_for_batch(20));
+  EXPECT_LT(10.0 / m.e_min_for_batch(10), 20.0 / m.e_min_for_batch(20));
+}
+
+class BatchPipelineTest : public ::testing::Test {
+ protected:
+  BatchPipelineTest() : server_(hw::ServerModel::v100_testbed(1)) {
+    workload::StreamParams p;
+    p.model = workload::resnet50_v100();
+    p.model.jitter_frac = 0.0;
+    p.model.preprocess_s_ghz = 0.01;  // ample supply
+    p.n_preprocess_workers = 2;
+    p.queue_capacity = 60;
+    stream_ = std::make_unique<workload::InferenceStream>(engine_, server_, 0,
+                                                          p, Rng(5));
+    server_.cpu().set_frequency(2.4_GHz);
+    server_.gpu(0).set_core_clock(1350_MHz);
+    stream_->start();
+  }
+
+  sim::Engine engine_;
+  hw::ServerModel server_;
+  std::unique_ptr<workload::InferenceStream> stream_;
+};
+
+TEST_F(BatchPipelineTest, BatchSizeChangesLatencyAndThroughput) {
+  engine_.run_until(60.0);
+  const double lat_20 = stream_->batch_latency().mean(60.0, 30.0);
+  const double thr_20 = stream_->images_throughput().rate(60.0, 30.0);
+  stream_->set_batch_size(40);
+  engine_.run_until(160.0);
+  const double lat_40 = stream_->batch_latency().mean(160.0, 60.0);
+  const double thr_40 = stream_->images_throughput().rate(160.0, 60.0);
+  EXPECT_NEAR(lat_40 / lat_20, 1.8, 0.05);  // e scales with the batch
+  EXPECT_GT(thr_40, thr_20 * 1.05);         // overhead amortised
+}
+
+TEST_F(BatchPipelineTest, ShrinkWakesParkedConsumer) {
+  engine_.run_until(20.0);
+  // Park the consumer behind an unreachable threshold, then shrink.
+  stream_->set_batch_size(60);
+  engine_.run_until(25.0);
+  const auto completed = stream_->images_completed();
+  stream_->set_batch_size(5);
+  engine_.run_until(30.0);
+  EXPECT_GT(stream_->images_completed(), completed);
+  EXPECT_EQ(stream_->batch_size(), 5u);
+}
+
+TEST_F(BatchPipelineTest, BatchClampedToQueueCapacity) {
+  stream_->set_batch_size(500);
+  EXPECT_EQ(stream_->batch_size(), 60u);
+  stream_->set_batch_size(0);
+  EXPECT_EQ(stream_->batch_size(), 1u);
+}
+
+TEST(BatchingGovernor, FeasibleBatchMatchesLatencyLaw) {
+  sim::Engine engine;
+  core::ServerRig rig;
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  BatchingGovernor gov(rig.engine(),
+                       {&rig.stream(0), &rig.stream(1), &rig.stream(2)}, ctl);
+  const auto& m = rig.stream(0).model();
+  // A generous SLO allows the maximum batch.
+  EXPECT_EQ(gov.feasible_batch(m, 5.0), 40u);
+  // An SLO below even the min-batch latency yields min_batch.
+  EXPECT_EQ(gov.feasible_batch(m, 0.05), 4u);
+  // Intermediate SLO: the returned batch is feasible, the next one is not.
+  const double slo = 0.5;
+  const std::size_t b = gov.feasible_batch(m, slo);
+  const double target = slo * 0.92;
+  const double limit = 0.95 * m.gpu_f_max.value;
+  EXPECT_LE(workload::frequency_for_latency(m.e_min_for_batch(b),
+                                            m.gpu_f_max, target, m.gamma)
+                .value,
+            limit);
+  EXPECT_GT(workload::frequency_for_latency(m.e_min_for_batch(b + 1),
+                                            m.gpu_f_max, target, m.gamma)
+                .value,
+            limit);
+}
+
+TEST(BatchingGovernor, GrowsToMaxWithoutSlo) {
+  core::ServerRig rig;
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 1000_W,
+                       rig.latency_models());
+  BatchingGovernor gov(rig.engine(),
+                       {&rig.stream(0), &rig.stream(1), &rig.stream(2)}, ctl);
+  gov.start();
+  rig.engine().run_until(200.0);
+  EXPECT_EQ(rig.stream(0).batch_size(), 40u);
+  EXPECT_GT(gov.adjustments(), 0u);
+}
+
+TEST(BatchingGovernor, MakesAnImpossibleSloFeasible) {
+  // SLO below e_min at batch 20: fixed-batch CapGPU cannot meet it; the
+  // governor shrinks the batch until the floor fits.
+  core::ServerRig rig;
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 1100_W,
+                       rig.latency_models());
+  const double slo = 0.25;  // ResNet e_min at batch 20 is 0.35 s
+  ctl.set_slo(1, slo);
+  EXPECT_TRUE(ctl.slo_infeasible(1));
+
+  BatchingGovernor gov(rig.engine(), {&rig.stream(0), &rig.stream(1),
+                                      &rig.stream(2)},
+                       ctl);
+  gov.start();
+  RunOptions opt;
+  opt.periods = 60;
+  opt.set_point = 1100_W;
+  opt.initial_slos = {{1, slo}};
+  const RunResult res = rig.run(ctl, opt);
+
+  EXPECT_LT(rig.stream(0).batch_size(), 20u);
+  EXPECT_FALSE(ctl.slo_infeasible(1));
+  // Steady-state latency honours the SLO.
+  telemetry::RunningStats tail;
+  for (std::size_t k = 30; k < 60; ++k) {
+    tail.add(res.gpu_latency[0].value_at(k));
+  }
+  EXPECT_LT(tail.mean(), slo);
+}
+
+TEST(BatchingGovernor, UpdatesControllerLatencyModel) {
+  core::ServerRig rig;
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 1000_W,
+                       rig.latency_models());
+  ctl.set_slo(1, 0.6);
+  const double floor_before = ctl.mpc().effective_f_min(1);
+  BatchingGovernor gov(rig.engine(), {&rig.stream(0), &rig.stream(1),
+                                      &rig.stream(2)},
+                       ctl);
+  gov.start();
+  rig.engine().run_until(100.0);  // governor grows batches toward target
+  // Larger batch -> larger e_min -> higher SLO frequency floor.
+  EXPECT_GT(ctl.mpc().effective_f_min(1), floor_before);
+}
+
+TEST(BatchingGovernor, ValidationThrows) {
+  core::ServerRig rig;
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  EXPECT_THROW(BatchingGovernor(rig.engine(), {}, ctl),
+               capgpu::InvalidArgument);
+  BatchingConfig bad;
+  bad.min_batch = 10;
+  bad.max_batch = 5;
+  EXPECT_THROW(BatchingGovernor(rig.engine(), {&rig.stream(0)}, ctl, bad),
+               capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::core

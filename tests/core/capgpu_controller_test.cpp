@@ -1,0 +1,164 @@
+#include "core/capgpu_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::core {
+namespace {
+
+std::vector<control::DeviceRange> devices() {
+  return {
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+}
+
+control::LinearPowerModel model() {
+  return control::LinearPowerModel({0.05, 0.2, 0.2}, 300.0);
+}
+
+std::map<std::size_t, control::LatencyModel> latency_models() {
+  std::map<std::size_t, control::LatencyModel> out;
+  out.emplace(1, control::LatencyModel(0.35, 1350_MHz, 0.91));
+  out.emplace(2, control::LatencyModel(0.55, 1350_MHz, 0.91));
+  return out;
+}
+
+CapGpuController make() {
+  return CapGpuController(CapGpuConfig{}, devices(), model(), 900_W,
+                          latency_models());
+}
+
+baselines::ControlInputs inputs(double power,
+                                std::vector<double> throughput) {
+  baselines::ControlInputs in;
+  in.measured_power = Watts{power};
+  in.utilization = {0.9, 0.9, 0.9};
+  in.normalized_throughput = std::move(throughput);
+  in.device_power_watts = {100.0, 200.0, 200.0};
+  return in;
+}
+
+TEST(CapGpu, ControlReturnsOneCommandPerDevice) {
+  CapGpuController ctl = make();
+  const auto out =
+      ctl.control(inputs(800.0, {0.5, 0.5, 0.5}), {1200.0, 700.0, 700.0});
+  EXPECT_EQ(out.target_freqs_mhz.size(), 3u);
+  EXPECT_EQ(ctl.name(), "capgpu");
+}
+
+TEST(CapGpu, SloRaisesGpuFrequencyFloor) {
+  CapGpuController ctl = make();
+  // SLO 0.5 s on device 1 with the default 8% safety margin: the floor is
+  // computed for 0.46 s: 1350 * (0.35/0.46)^{1/0.91}.
+  ctl.set_slo(1, 0.5);
+  const double expected =
+      1350.0 * std::pow(0.35 / (0.5 * 0.92), 1.0 / 0.91);
+  EXPECT_NEAR(ctl.mpc().effective_f_min(1), expected, 1e-6);
+  EXPECT_FALSE(ctl.slo_infeasible(1));
+  EXPECT_EQ(ctl.slo_of(1), 0.5);
+}
+
+TEST(CapGpu, MarginFallsBackToRawSloNearEmin) {
+  CapGpuController ctl = make();
+  // 0.36 s is feasible raw (e_min 0.35) but not with an 8% margin; the
+  // controller must fall back to the raw SLO rather than flag infeasible.
+  ctl.set_slo(1, 0.36);
+  EXPECT_FALSE(ctl.slo_infeasible(1));
+  const double expected = 1350.0 * std::pow(0.35 / 0.36, 1.0 / 0.91);
+  EXPECT_NEAR(ctl.mpc().effective_f_min(1), expected, 1e-6);
+}
+
+TEST(CapGpu, InfeasibleSloFlagged) {
+  CapGpuController ctl = make();
+  ctl.set_slo(1, 0.2);  // below e_min = 0.35: impossible
+  EXPECT_TRUE(ctl.slo_infeasible(1));
+  EXPECT_DOUBLE_EQ(ctl.mpc().effective_f_min(1), 1350.0);
+}
+
+TEST(CapGpu, SloOnDeviceWithoutModelThrows) {
+  CapGpuController ctl = make();
+  EXPECT_THROW(ctl.set_slo(0, 0.5), capgpu::InvalidArgument);
+}
+
+TEST(CapGpu, ClearSlosRestoresFloors) {
+  CapGpuController ctl = make();
+  ctl.set_slo(1, 0.5);
+  ctl.clear_slos();
+  EXPECT_DOUBLE_EQ(ctl.mpc().effective_f_min(1), 435.0);
+  EXPECT_FALSE(ctl.slo_of(1).has_value());
+}
+
+TEST(CapGpu, WeightsReflectThroughputInversion) {
+  CapGpuController ctl = make();
+  (void)ctl.control(inputs(800.0, {0.9, 0.2, 0.9}), {1200.0, 700.0, 700.0});
+  const auto& w = ctl.last_weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[1], w[0]);  // starved device penalised harder
+  EXPECT_GT(w[1], w[2]);
+}
+
+TEST(CapGpu, WeightSmoothingDampsSwings) {
+  CapGpuConfig cfg;
+  cfg.weights.ema_alpha = 0.2;
+  CapGpuController ctl(cfg, devices(), model(), 900_W, latency_models());
+  (void)ctl.control(inputs(800.0, {1.0, 1.0, 1.0}), {1200.0, 700.0, 700.0});
+  const double before = ctl.last_weights()[1];
+  // Throughput collapses; with alpha = 0.2 the weight moves only 20% of
+  // the way to the new value.
+  (void)ctl.control(inputs(800.0, {1.0, 0.0, 1.0}), {1200.0, 700.0, 700.0});
+  const double after = ctl.last_weights()[1];
+  const double fresh =
+      control::WeightAssigner(cfg.weights).assign({0.0})[0];
+  EXPECT_NEAR(after, 0.2 * fresh + 0.8 * before, 1e-12);
+}
+
+TEST(CapGpu, ThroughputSizeMismatchThrows) {
+  CapGpuController ctl = make();
+  EXPECT_THROW(
+      (void)ctl.control(inputs(800.0, {0.5}), {1200.0, 700.0, 700.0}),
+      capgpu::InvalidArgument);
+}
+
+TEST(CapGpu, SetPointPropagates) {
+  CapGpuController ctl = make();
+  ctl.set_set_point(Watts{1100.0});
+  EXPECT_DOUBLE_EQ(ctl.set_point().value, 1100.0);
+  EXPECT_DOUBLE_EQ(ctl.mpc().set_point().value, 1100.0);
+}
+
+TEST(CapGpu, LastDecisionExposed) {
+  CapGpuController ctl = make();
+  (void)ctl.control(inputs(800.0, {0.5, 0.5, 0.5}), {1200.0, 700.0, 700.0});
+  EXPECT_TRUE(ctl.last_decision().qp_converged);
+  EXPECT_EQ(ctl.last_decision().target_freqs_mhz.size(), 3u);
+}
+
+TEST(CapGpu, LatencyModelOnCpuDeviceRejected) {
+  std::map<std::size_t, control::LatencyModel> bad;
+  bad.emplace(0, control::LatencyModel(0.35, 1350_MHz, 0.91));
+  EXPECT_THROW(
+      CapGpuController(CapGpuConfig{}, devices(), model(), 900_W, bad),
+      capgpu::InvalidArgument);
+}
+
+TEST(CapGpu, ConvergesOnExactPlantWithSloActive) {
+  CapGpuController ctl = make();
+  ctl.set_slo(1, 0.45);
+  std::vector<double> f{1000.0, 435.0, 435.0};
+  for (int k = 0; k < 40; ++k) {
+    const Watts p = model().predict(f);
+    f = ctl.control(inputs(p.value, {0.5, 0.6, 0.6}), f).target_freqs_mhz;
+  }
+  EXPECT_NEAR(model().predict(f).value, 900.0, 3.0);
+  // SLO floor respected at equilibrium.
+  const control::LatencyModel lm(0.35, 1350_MHz, 0.91);
+  EXPECT_LE(lm.predict(Megahertz{f[1]}), 0.45 + 1e-6);
+}
+
+}  // namespace
+}  // namespace capgpu::core

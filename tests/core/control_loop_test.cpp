@@ -1,0 +1,232 @@
+#include "core/control_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::core {
+namespace {
+
+/// Scripted policy: returns fixed commands and records what it saw.
+class ScriptedPolicy : public baselines::IServerPowerController {
+ public:
+  explicit ScriptedPolicy(std::vector<double> commands)
+      : commands_(std::move(commands)) {}
+
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+
+  [[nodiscard]] baselines::ControlOutputs control(
+      const baselines::ControlInputs& in,
+      const std::vector<double>& current) override {
+    last_inputs = in;
+    last_current = current;
+    ++calls;
+    baselines::ControlOutputs out;
+    out.target_freqs_mhz = commands_;
+    return out;
+  }
+
+  std::vector<double> commands_;
+  baselines::ControlInputs last_inputs;
+  std::vector<double> last_current;
+  int calls{0};
+  Watts set_point_{900.0};
+};
+
+class ControlLoopTest : public ::testing::Test {
+ protected:
+  ControlLoopTest()
+      : server_(hw::ServerModel::v100_testbed(2)),
+        hal_(engine_, server_, hal::AcpiPowerMeterParams{}, Rng(1)),
+        rapl_(server_.cpu()) {}
+
+  std::vector<double> throughputs() const { return {0.5, 0.6, 0.7}; }
+
+  sim::Engine engine_;
+  hw::ServerModel server_;
+  hal::ServerHal hal_;
+  hal::RaplSim rapl_;
+};
+
+TEST_F(ControlLoopTest, AppliesMinimumCommandsAtStart) {
+  ScriptedPolicy policy({1000.0, 435.0, 435.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  EXPECT_DOUBLE_EQ(server_.cpu().frequency().value, 1000.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(0).core_clock().value, 435.0);
+}
+
+TEST_F(ControlLoopTest, RunsOncePerPeriod) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(16.5);  // periods at 4, 8, 12, 16
+  EXPECT_EQ(policy.calls, 4);
+  EXPECT_EQ(loop.periods_elapsed(), 4u);
+}
+
+TEST_F(ControlLoopTest, PolicyCommandsAreApplied) {
+  ScriptedPolicy policy({1800.0, 900.0, 750.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(4.5);
+  EXPECT_DOUBLE_EQ(server_.cpu().frequency().value, 1800.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(0).core_clock().value, 900.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(1).core_clock().value, 750.0);
+}
+
+TEST_F(ControlLoopTest, InputsCarryMeterAndThroughput) {
+  // Commands equal the start-up values so device state is unchanged when
+  // we compare the gathered inputs afterwards.
+  ScriptedPolicy policy({1000.0, 435.0, 435.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(4.5);
+  EXPECT_GT(policy.last_inputs.measured_power.value, 100.0);
+  EXPECT_EQ(policy.last_inputs.normalized_throughput, throughputs());
+  EXPECT_EQ(policy.last_inputs.utilization.size(), 3u);
+  EXPECT_EQ(policy.last_inputs.device_power_watts.size(), 3u);
+  EXPECT_DOUBLE_EQ(policy.last_inputs.device_power_watts[0],
+                   server_.cpu().power().value);
+  // The first period sees the start-up commands as "current".
+  EXPECT_DOUBLE_EQ(policy.last_current[0], 1000.0);
+}
+
+TEST_F(ControlLoopTest, FractionalCommandsDeltaSigmaModulate) {
+  ScriptedPolicy policy({1250.0, 442.5, 435.0});  // between P-states/levels
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  telemetry::RunningStats applied_cpu;
+  telemetry::RunningStats applied_gpu;
+  loop.on_period = [&](std::size_t) {
+    applied_cpu.add(server_.cpu().frequency().value);
+    applied_gpu.add(server_.gpu(0).core_clock().value);
+  };
+  engine_.run_until(400.0);
+  // Time-averaged applied levels converge to the fractional targets.
+  EXPECT_NEAR(applied_cpu.mean(), 1250.0, 5.0);
+  EXPECT_NEAR(applied_gpu.mean(), 442.5, 1.0);
+  // Only adjacent levels were ever applied.
+  EXPECT_GE(applied_cpu.min(), 1200.0);
+  EXPECT_LE(applied_cpu.max(), 1300.0);
+}
+
+TEST_F(ControlLoopTest, NearestModeSnapsInstead) {
+  ScriptedPolicy policy({1249.0, 442.0, 435.0});
+  ControlLoopConfig cfg;
+  cfg.use_delta_sigma = false;
+  ControlLoop loop(engine_, hal_, rapl_, policy, cfg,
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(8.5);
+  EXPECT_DOUBLE_EQ(server_.cpu().frequency().value, 1200.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(0).core_clock().value, 435.0);
+}
+
+TEST_F(ControlLoopTest, TracesRecorded) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(20.5);
+  EXPECT_EQ(loop.power_trace().size(), 5u);
+  EXPECT_EQ(loop.set_point_trace().size(), 5u);
+  EXPECT_EQ(loop.freq_trace(0).size(), 5u);
+  EXPECT_DOUBLE_EQ(loop.freq_trace(1).values().back(), 600.0);
+  EXPECT_THROW((void)loop.freq_trace(9), capgpu::InvalidArgument);
+}
+
+TEST_F(ControlLoopTest, ScheduledActionsFireAtPeriod) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  std::vector<std::size_t> fired;
+  loop.at_period(0, [&] { fired.push_back(0); });
+  loop.at_period(2, [&] { fired.push_back(2); });
+  loop.at_period(2, [&] { fired.push_back(22); });
+  loop.start();
+  engine_.run_until(12.5);
+  EXPECT_EQ(fired, (std::vector<std::size_t>{0, 2, 22}));
+}
+
+TEST_F(ControlLoopTest, OnPeriodCallbackSeesIndex) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  std::vector<std::size_t> seen;
+  loop.on_period = [&](std::size_t index) { seen.push_back(index); };
+  loop.start();
+  engine_.run_until(12.5);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST_F(ControlLoopTest, StopHaltsControl) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(8.5);
+  loop.stop();
+  engine_.run_until(20.0);
+  EXPECT_EQ(policy.calls, 2);
+}
+
+TEST_F(ControlLoopTest, DoubleStartThrows) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  EXPECT_THROW(loop.start(), capgpu::InvalidArgument);
+}
+
+TEST(ControlLoopResilience, MeterDropoutHoldsCommands) {
+  // A meter sampling slower than the control period leaves some windows
+  // empty: those periods must hold commands, stay in the traces, and be
+  // counted as skipped — never crash the loop.
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  hal::AcpiPowerMeterParams slow_meter;
+  slow_meter.sample_interval = Seconds{10.0};  // slower than the 4 s period
+  hal::ServerHal hal(engine, server, slow_meter, Rng(1));
+  hal::RaplSim rapl(server.cpu());
+  ScriptedPolicy policy({1500.0, 800.0});
+  ControlLoop loop(engine, hal, rapl, policy, ControlLoopConfig{},
+                   [] { return std::vector<double>{0.5, 0.5}; });
+  loop.start();
+  engine.run_until(40.5);  // 10 periods; samples at 10,20,30,40
+  EXPECT_EQ(loop.periods_elapsed(), 10u);
+  EXPECT_GT(loop.skipped_periods(), 3u);
+  EXPECT_LT(loop.skipped_periods(), 10u);  // some periods did see samples
+  // Traces stayed aligned.
+  EXPECT_EQ(loop.power_trace().size(), 10u);
+  EXPECT_EQ(loop.freq_trace(0).size(), 10u);
+  // Commands were applied on the good periods.
+  EXPECT_DOUBLE_EQ(server.cpu().frequency().value, 1500.0);
+}
+
+TEST_F(ControlLoopTest, WrongThroughputSizeThrows) {
+  ScriptedPolicy policy({1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [] { return std::vector<double>{0.5}; });
+  loop.start();
+  EXPECT_THROW(engine_.run_until(4.5), capgpu::InvalidArgument);
+}
+
+TEST_F(ControlLoopTest, WrongPolicyOutputSizeThrows) {
+  ScriptedPolicy policy({1200.0});  // only one command for three devices
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  EXPECT_THROW(engine_.run_until(4.5), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::core

@@ -1,0 +1,143 @@
+#include "core/emergency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hal/server_hal.hpp"
+
+namespace capgpu::core {
+namespace {
+
+TEST(GpuMemoryThrottle, DropsPowerAndSlowsBatches) {
+  hw::GpuModel gpu{hw::v100_params("g")};
+  gpu.set_core_clock(1000_MHz);
+  gpu.set_utilization(1.0);
+  const double before = gpu.power().value;
+  EXPECT_DOUBLE_EQ(gpu.memory_slowdown(), 1.0);
+  gpu.set_memory_throttled(true);
+  EXPECT_LT(gpu.power().value, before);
+  EXPECT_NEAR(before - gpu.power().value, 15.0 - 6.0, 1e-9);
+  EXPECT_GT(gpu.memory_slowdown(), 1.0);
+  EXPECT_LT(gpu.memory_clock().value, 877.0);
+  gpu.set_memory_throttled(false);
+  EXPECT_DOUBLE_EQ(gpu.power().value, before);
+}
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest()
+      : server_(hw::ServerModel::v100_testbed(3)),
+        hal_(engine_, server_, noiseless_meter(), Rng(1)) {}
+
+  static hal::AcpiPowerMeterParams noiseless_meter() {
+    hal::AcpiPowerMeterParams p;
+    p.noise_stddev_watts = 0.0;
+    p.response_tau_seconds = 0.0;
+    return p;
+  }
+
+  /// Puts the server in its minimum-power state (controller fully railed).
+  void rail_at_minimum() {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      const DeviceId id{j};
+      server_.set_device_frequency(id, server_.device_freqs(id).min());
+      server_.set_device_utilization(id, 1.0);
+    }
+  }
+
+  sim::Engine engine_;
+  hw::ServerModel server_;
+  hal::ServerHal hal_;
+};
+
+TEST_F(GovernorTest, EngagesWhenCapUnreachable) {
+  rail_at_minimum();
+  const double floor_power = server_.total_power().value;
+  // A cap below the DVFS floor: only memory throttling can close the gap.
+  const Watts cap{floor_power - 20.0};
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(), cap);
+  gov.start();
+  engine_.run_until(100.0);
+  EXPECT_GE(gov.engagements(), 1u);
+  EXPECT_GE(gov.throttled_count(), 1u);
+  EXPECT_LT(server_.total_power().value, floor_power);
+}
+
+TEST_F(GovernorTest, EscalatesUntilCapMetOrExhausted) {
+  rail_at_minimum();
+  const double floor_power = server_.total_power().value;
+  // Deeper deficit than one board's memory saving (9 W): needs all three.
+  const Watts cap{floor_power - 25.0};
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(), cap);
+  gov.start();
+  engine_.run_until(300.0);
+  EXPECT_EQ(gov.throttled_count(), 3u);
+}
+
+TEST_F(GovernorTest, DoesNotEngageWithHeadroom) {
+  rail_at_minimum();
+  const Watts cap{server_.total_power().value + 100.0};
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(), cap);
+  gov.start();
+  engine_.run_until(200.0);
+  EXPECT_EQ(gov.engagements(), 0u);
+  EXPECT_EQ(gov.throttled_count(), 0u);
+}
+
+TEST_F(GovernorTest, ReleasesWithHysteresisWhenCapRaised) {
+  rail_at_minimum();
+  const double floor_power = server_.total_power().value;
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(),
+                              Watts{floor_power - 20.0});
+  gov.start();
+  engine_.run_until(100.0);
+  ASSERT_GE(gov.throttled_count(), 1u);
+  // Budget restored with ample headroom: the governor backs off.
+  gov.set_cap(Watts{floor_power + 200.0});
+  engine_.run_until(300.0);
+  EXPECT_EQ(gov.throttled_count(), 0u);
+  EXPECT_GE(gov.releases(), 1u);
+}
+
+TEST_F(GovernorTest, PersistenceFiltersTransients) {
+  rail_at_minimum();
+  const double floor_power = server_.total_power().value;
+  EmergencyConfig cfg;
+  cfg.persistence = 5;
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(),
+                              Watts{floor_power - 20.0}, cfg);
+  gov.start();
+  // Only 3 checks happen in 12 s < persistence: no engagement yet.
+  engine_.run_until(12.5);
+  EXPECT_EQ(gov.engagements(), 0u);
+  engine_.run_until(40.0);
+  EXPECT_GE(gov.engagements(), 1u);
+}
+
+TEST_F(GovernorTest, PicksHungriestBoardFirst) {
+  rail_at_minimum();
+  // GPU 1 runs hotter (higher clock) than the others.
+  server_.set_device_frequency(DeviceId{2}, 900_MHz);
+  const double power = server_.total_power().value;
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(),
+                              Watts{power - 15.0});
+  gov.start();
+  engine_.run_until(20.0);
+  ASSERT_EQ(gov.throttled_count(), 1u);
+  EXPECT_TRUE(server_.gpu(1).memory_throttled());
+}
+
+TEST_F(GovernorTest, ValidationThrows) {
+  EmergencyConfig bad;
+  bad.release_margin_watts = bad.engage_margin_watts;
+  EXPECT_THROW(EmergencyMemoryGovernor(engine_, server_, hal_.power_meter(),
+                                       900_W, bad),
+               capgpu::InvalidArgument);
+  EmergencyMemoryGovernor gov(engine_, server_, hal_.power_meter(), 900_W);
+  gov.start();
+  EXPECT_THROW(gov.start(), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::core

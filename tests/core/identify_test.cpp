@@ -1,0 +1,70 @@
+#include "core/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/rig.hpp"
+
+namespace capgpu::core {
+namespace {
+
+TEST(Identify, FitQualityMatchesPaper) {
+  // The paper reports R^2 = 0.96 on its testbed; the simulated sweep with
+  // sensor noise and workload variation should land at or above that.
+  ServerRig rig;
+  const auto m = rig.identify();
+  EXPECT_GT(m.r_squared, 0.96);
+  EXPECT_LT(m.rmse_watts, 8.0);
+  EXPECT_EQ(m.model.device_count(), 4u);
+  EXPECT_EQ(m.samples, 4u * 6u);
+}
+
+TEST(Identify, GainsCloseToAnalyticTruth) {
+  ServerRig rig;
+  const auto identified = rig.identify();
+  const auto analytic = rig.analytic_power_model();
+  // Identified gains are the analytic slopes scaled by average activity;
+  // they must be positive and within a plausible band of the truth.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_GT(identified.model.gain(j), 0.5 * analytic.gain(j));
+    EXPECT_LT(identified.model.gain(j), 1.1 * analytic.gain(j));
+  }
+  EXPECT_GT(identified.model.offset(), 200.0);
+}
+
+TEST(Identify, MoreLevelsTightenTheFit) {
+  ServerRig coarse_rig;
+  IdentifyOptions coarse;
+  coarse.levels_per_device = 3;
+  const auto m_coarse = coarse_rig.identify(coarse);
+
+  ServerRig fine_rig;
+  IdentifyOptions fine;
+  fine.levels_per_device = 10;
+  const auto m_fine = fine_rig.identify(fine);
+
+  EXPECT_EQ(m_coarse.samples, 12u);
+  EXPECT_EQ(m_fine.samples, 40u);
+  // Both identify the same plant: gains agree within a few percent.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(m_fine.model.gain(j), m_coarse.model.gain(j),
+                0.15 * m_fine.model.gain(j));
+  }
+}
+
+TEST(Identify, RejectsDegenerateOptions) {
+  ServerRig rig;
+  IdentifyOptions bad;
+  bad.levels_per_device = 1;
+  EXPECT_THROW((void)rig.identify(bad), capgpu::InvalidArgument);
+}
+
+TEST(Identify, AdvancesSimulatedTime) {
+  ServerRig rig;
+  const double before = rig.engine().now();
+  (void)rig.identify();
+  EXPECT_GT(rig.engine().now(), before + 60.0);
+}
+
+}  // namespace
+}  // namespace capgpu::core

@@ -1,0 +1,102 @@
+// Tests of the loop's operational features: meter reporting delay and the
+// actuation deadband / churn accounting.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+
+namespace capgpu::core {
+namespace {
+
+TEST(MeterDelay, DelayedSamplesSurfaceLate) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  hal::AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 0.0;
+  params.response_tau_seconds = 0.0;
+  params.report_delay = Seconds{2.0};
+  hal::AcpiPowerMeter meter(engine, server, params, Rng(1));
+  engine.run_until(2.5);
+  // Samples measured at t=1,2 surfaced at t=3,4: at t=2.5 nothing visible.
+  EXPECT_THROW((void)meter.latest(), HalError);
+  engine.run_until(3.5);
+  const auto s = meter.latest();
+  EXPECT_DOUBLE_EQ(s.time, 1.0);  // timestamp is the measurement time
+}
+
+TEST(MeterDelay, CappingRemainsStableWithStaleFeedback) {
+  // A 2 s reporting delay (half a control period): the loop acts on stale
+  // averages and must still converge without oscillation.
+  RigConfig cfg;
+  cfg.meter.report_delay = Seconds{2.0};
+  ServerRig rig(cfg);
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  RunOptions opt;
+  opt.periods = 80;
+  opt.set_point = 900_W;
+  const RunResult res = rig.run(ctl, opt);
+  const auto steady = res.steady_power(30);
+  EXPECT_NEAR(steady.mean(), 900.0, 10.0);
+  EXPECT_LT(steady.stddev(), 12.0);
+}
+
+TEST(Deadband, HoldsCommandsWhenConverged) {
+  RigConfig cfg;
+  ServerRig rig(cfg);
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  RunOptions opt;
+  opt.periods = 100;
+  opt.set_point = 900_W;
+  opt.loop.error_deadband_watts = 12.0;
+  const RunResult res = rig.run(ctl, opt);
+  // Still capped...
+  EXPECT_NEAR(res.steady_power(30).mean(), 900.0, 13.0);
+  // ...and once converged most periods sit inside the band. The loop
+  // object is internal to run(); infer holding from the frequency traces:
+  // long stretches of identical commands.
+  std::size_t held = 0;
+  for (std::size_t k = 31; k < res.periods; ++k) {
+    bool same = true;
+    for (const auto& f : res.device_freqs) {
+      same = same && f.value_at(k) == f.value_at(k - 1);
+    }
+    held += same;
+  }
+  EXPECT_GT(held, 35u);
+}
+
+TEST(Deadband, ChurnDropsComparedToAlwaysActing) {
+  auto churn = [](double deadband) {
+    sim::Engine engine;
+    hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+    hal::AcpiPowerMeterParams mp;
+    hal::ServerHal hal(engine, server, mp, Rng(3));
+    hal::RaplSim rapl(server.cpu());
+    // Plant sits essentially at the cap: only noise drives action.
+    CapGpuController ctl(
+        CapGpuConfig{},
+        {{DeviceKind::kCpu, 1000.0, 2400.0}, {DeviceKind::kGpu, 435.0, 1350.0}},
+        control::LinearPowerModel({0.053, 0.19}, 300.0),
+        Watts{server.total_power().value + 60.0}, {});
+    ControlLoopConfig lc;
+    lc.error_deadband_watts = deadband;
+    ControlLoop loop(engine, hal, rapl, ctl, lc,
+                     [] { return std::vector<double>{0.5, 0.5}; });
+    loop.start();
+    engine.run_until(400.0);
+    return std::pair{loop.level_transitions(), loop.deadband_periods()};
+  };
+  const auto [t_none, d_none] = churn(0.0);
+  const auto [t_band, d_band] = churn(15.0);
+  EXPECT_EQ(d_none, 0u);
+  EXPECT_GT(d_band, 20u);
+  EXPECT_LT(t_band, t_none / 2);  // at least half the actuator churn gone
+}
+
+}  // namespace
+}  // namespace capgpu::core

@@ -1,0 +1,179 @@
+// Tests of the thermal model, the MPC frequency ceilings, and the thermal
+// governor.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/rig.hpp"
+#include "core/thermal_governor.hpp"
+#include "hw/thermal.hpp"
+
+namespace capgpu::core {
+namespace {
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.gpu(0).set_core_clock(1350_MHz);
+  server.gpu(0).set_utilization(1.0);
+  hw::ThermalParams p;
+  hw::ThermalIntegrator thermal(engine, server, {p});
+  const double expected = p.ambient_c + p.r_c_per_w * server.gpu(0).power().value;
+  engine.run_until(10.0 * p.tau_s);
+  EXPECT_NEAR(server.gpu(0).temperature_c(), expected, 0.5);
+}
+
+TEST(ThermalModel, FirstOrderTimeConstant) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.gpu(0).set_core_clock(1350_MHz);
+  server.gpu(0).set_utilization(1.0);
+  hw::ThermalParams p;
+  hw::ThermalIntegrator thermal(engine, server, {p});
+  const double t_ss = thermal.steady_state_c(0, server.gpu(0).power().value);
+  engine.run_until(p.tau_s);  // one time constant: ~63% of the step
+  const double frac = (server.gpu(0).temperature_c() - p.ambient_c) /
+                      (t_ss - p.ambient_c);
+  EXPECT_NEAR(frac, 0.632, 0.03);
+}
+
+TEST(ThermalModel, InverseBudgetRoundTrips) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  hw::ThermalIntegrator thermal(engine, server, {hw::ThermalParams{}});
+  const double budget = thermal.power_budget_for(0, 80.0);
+  EXPECT_NEAR(thermal.steady_state_c(0, budget), 80.0, 1e-9);
+}
+
+TEST(ThermalModel, PerBoardParamsAndRuntimeDegradation) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(2);
+  for (std::uint32_t g = 1; g <= 2; ++g) {
+    server.set_device_frequency(DeviceId{g}, 1000_MHz);
+    server.set_device_utilization(DeviceId{g}, 1.0);
+  }
+  hw::ThermalParams healthy;
+  hw::ThermalParams weak;
+  weak.r_c_per_w = healthy.r_c_per_w * 1.5;  // degraded cooling
+  hw::ThermalIntegrator thermal(engine, server, {healthy, weak});
+  engine.run_until(200.0);
+  EXPECT_GT(server.gpu(1).temperature_c(), server.gpu(0).temperature_c() + 10.0);
+
+  // Degrade board 0 at runtime: its temperature climbs to match.
+  thermal.set_params(0, weak);
+  engine.run_until(400.0);
+  EXPECT_NEAR(server.gpu(0).temperature_c(), server.gpu(1).temperature_c(),
+              1.0);
+}
+
+TEST(MpcCeiling, MaxOverrideCapsCommands) {
+  std::vector<control::DeviceRange> devices{
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0}};
+  control::LinearPowerModel model({0.05, 0.2, 0.2}, 300.0);
+  control::MpcController mpc(control::MpcConfig{}, devices, model, 1000_W);
+  EXPECT_TRUE(mpc.set_max_frequency_override(1, 700.0));
+  EXPECT_DOUBLE_EQ(mpc.effective_f_max(1), 700.0);
+  std::vector<double> f{1000.0, 435.0, 435.0};
+  for (int k = 0; k < 30; ++k) {
+    f = mpc.step(model.predict(f), f).target_freqs_mhz;
+    EXPECT_LE(f[1], 700.0 + 1e-6);
+  }
+  // The other GPU absorbs the budget the capped one cannot take.
+  EXPECT_GT(f[2], f[1] + 200.0);
+}
+
+TEST(MpcCeiling, CeilingBeatsSloFloor) {
+  std::vector<control::DeviceRange> devices{
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0}};
+  control::LinearPowerModel model({0.05, 0.2}, 300.0);
+  control::MpcController mpc(control::MpcConfig{}, devices, model, 900_W);
+  ASSERT_TRUE(mpc.set_min_frequency_override(1, 1000.0));  // SLO floor
+  EXPECT_FALSE(mpc.set_max_frequency_override(1, 800.0));  // thermal wins
+  EXPECT_DOUBLE_EQ(mpc.effective_f_min(1), 800.0);
+  EXPECT_DOUBLE_EQ(mpc.effective_f_max(1), 800.0);
+  // And an SLO floor above an existing ceiling is clamped + flagged.
+  EXPECT_FALSE(mpc.set_min_frequency_override(1, 1200.0));
+  EXPECT_DOUBLE_EQ(mpc.effective_f_min(1), 800.0);
+}
+
+TEST(MpcCeiling, ClearRestoresSpecMax) {
+  std::vector<control::DeviceRange> devices{
+      {DeviceKind::kCpu, 1000.0, 2400.0},
+      {DeviceKind::kGpu, 435.0, 1350.0}};
+  control::LinearPowerModel model({0.05, 0.2}, 300.0);
+  control::MpcController mpc(control::MpcConfig{}, devices, model, 900_W);
+  (void)mpc.set_max_frequency_override(1, 700.0);
+  mpc.clear_max_frequency_overrides();
+  EXPECT_DOUBLE_EQ(mpc.effective_f_max(1), 1350.0);
+}
+
+TEST(ThermalGovernor, HoldsBoardsUnderTheLimit) {
+  // One board with degraded cooling on a loaded server: without the
+  // governor it would exceed the limit; with it, temperature settles at or
+  // under limit.
+  ServerRig rig;
+  hw::ThermalParams healthy;
+  hw::ThermalParams weak;
+  weak.r_c_per_w = 0.45;  // would hit ~ambient + 0.45 * 200 W ~ 115 C
+  hw::ThermalIntegrator thermal(rig.engine(), rig.server(),
+                                {weak, healthy, healthy});
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 975_W,
+                       rig.latency_models());
+  ThermalGovernorConfig cfg;
+  cfg.limit_c = 83.0;
+  ThermalGovernor governor(rig.engine(), rig.server(), thermal, ctl, cfg);
+  governor.start();
+  RunOptions opt;
+  opt.periods = 120;  // 480 s: several thermal time constants
+  opt.set_point = 975_W;
+  const RunResult res = rig.run(ctl, opt);
+
+  EXPECT_LE(rig.server().gpu(0).temperature_c(), 83.5);
+  EXPECT_GT(governor.binding_periods(), 10u);
+  // The hot board is clocked below the healthy ones.
+  EXPECT_LT(res.device_freqs[1].values().back(),
+            res.device_freqs[2].values().back() - 100.0);
+  // Power still tracks the cap: the freed watts went to the cool boards.
+  EXPECT_NEAR(res.steady_power(60).mean(), 975.0, 10.0);
+}
+
+TEST(ThermalGovernor, IdleWhenCool) {
+  ServerRig rig;
+  hw::ThermalIntegrator thermal(rig.engine(), rig.server(),
+                                {hw::ThermalParams{}});
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  ThermalGovernor governor(rig.engine(), rig.server(), thermal, ctl);
+  governor.start();
+  RunOptions opt;
+  opt.periods = 60;
+  opt.set_point = 900_W;
+  (void)rig.run(ctl, opt);
+  // Healthy cooling at 900 W: ceilings never bind.
+  EXPECT_EQ(governor.binding_periods(), 0u);
+  EXPECT_DOUBLE_EQ(ctl.mpc().effective_f_max(1), 1350.0);
+}
+
+TEST(ThermalGovernor, ValidationThrows) {
+  ServerRig rig;
+  hw::ThermalIntegrator thermal(rig.engine(), rig.server(),
+                                {hw::ThermalParams{}});
+  CapGpuController ctl(CapGpuConfig{}, rig.device_ranges(),
+                       rig.analytic_power_model(), 900_W,
+                       rig.latency_models());
+  ThermalGovernorConfig bad;
+  bad.max_step_mhz = 0.0;
+  EXPECT_THROW(
+      ThermalGovernor(rig.engine(), rig.server(), thermal, ctl, bad),
+      capgpu::InvalidArgument);
+  ThermalGovernor governor(rig.engine(), rig.server(), thermal, ctl);
+  governor.start();
+  EXPECT_THROW(governor.start(), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::core

@@ -1,0 +1,103 @@
+// End-to-end proof of HAL swappability: CapGPU capping a server it only
+// ever touches through the NVML C API, the cpufreq sysfs file tree, the
+// RAPL energy-counter files, and the ACPI meter — the exact surfaces a
+// real deployment has.
+#include "hal/compat_server_hal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+
+namespace capgpu::hal {
+namespace {
+
+class CompatHalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::filesystem::temp_directory_path() /
+            ("capgpu_compat_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(base_);
+  }
+  void TearDown() override {
+    nvmlShutdown();
+    compat::clear_gpus();
+    std::filesystem::remove_all(base_);
+  }
+  std::filesystem::path base_;
+};
+
+TEST_F(CompatHalTest, CapGpuCapsThroughDeploymentSurfacesOnly) {
+  // Plant: the usual simulated testbed (server model + workload streams).
+  core::ServerRig rig;
+  auto& server = rig.server();
+
+  // Deployment surfaces: cpufreq + RAPL file trees and the NVML registry.
+  SysfsCpuFreqTree cpufreq(rig.engine(), server.cpu(), base_ / "cpufreq");
+  SysfsRaplTree rapl_tree(rig.engine(), server.cpu(), base_ / "rapl");
+  std::vector<hw::GpuModel*> boards;
+  for (std::size_t i = 0; i < server.gpu_count(); ++i) {
+    boards.push_back(&server.gpu(i));
+  }
+  compat::register_gpus(boards);
+
+  CompatServerHal hal(base_ / "cpufreq", rig.hal().power_meter());
+  auto* engine = &rig.engine();
+  SysfsRaplPowerReader rapl_reader(base_ / "rapl",
+                                   [engine] { return engine->now(); });
+
+  ASSERT_EQ(hal.device_count(), 4u);
+  ASSERT_EQ(hal.gpu_count(), 3u);
+
+  // Controller stack, identical to the simulated-HAL path.
+  core::CapGpuController controller(
+      core::CapGpuConfig{}, rig.device_ranges(), rig.analytic_power_model(),
+      900_W, rig.latency_models());
+  auto* rig_ptr = &rig;
+  core::ControlLoop loop(rig.engine(), hal, rapl_reader, controller,
+                         core::ControlLoopConfig{},
+                         [rig_ptr] { return rig_ptr->normalized_throughputs(); });
+  loop.start();
+  rig.engine().run_until(400.0);
+  loop.stop();
+
+  ASSERT_EQ(loop.periods_elapsed(), 100u);
+  const auto steady = loop.power_trace().stats_from(20);
+  EXPECT_NEAR(steady.mean(), 900.0, 8.0);
+  EXPECT_LT(steady.stddev(), 10.0);
+  // The commands actually reached the hardware through the C/file paths.
+  EXPECT_GT(server.gpu(0).core_clock().value, 435.0);
+  EXPECT_NE(server.cpu().frequency().value, 2400.0);
+}
+
+TEST_F(CompatHalTest, SupportedClocksDiscoveredThroughTheCApi) {
+  core::ServerRig rig;
+  SysfsCpuFreqTree cpufreq(rig.engine(), rig.server().cpu(),
+                           base_ / "cpufreq");
+  std::vector<hw::GpuModel*> boards{&rig.server().gpu(0)};
+  compat::register_gpus(boards);
+  CompatServerHal hal(base_ / "cpufreq", rig.hal().power_meter());
+  const auto& table = hal.device_freqs(DeviceId{1});
+  EXPECT_EQ(table.size(), rig.server().gpu(0).freqs().size());
+  EXPECT_DOUBLE_EQ(table.min().value, 435.0);
+  EXPECT_DOUBLE_EQ(table.max().value, 1350.0);
+  // CPU table parsed from the sysfs file.
+  EXPECT_DOUBLE_EQ(hal.device_freqs(DeviceId{0}).max().value, 2400.0);
+}
+
+TEST_F(CompatHalTest, FailsLoudlyWithoutRegistration) {
+  core::ServerRig rig;
+  SysfsCpuFreqTree cpufreq(rig.engine(), rig.server().cpu(),
+                           base_ / "cpufreq");
+  compat::clear_gpus();
+  EXPECT_THROW(
+      CompatServerHal(base_ / "cpufreq", rig.hal().power_meter()),
+      HalError);
+}
+
+}  // namespace
+}  // namespace capgpu::hal

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hal/acpi_power_meter.hpp"
+#include "hal/cpufreq_sim.hpp"
+#include "hal/nvml_sim.hpp"
+#include "hal/rapl_sim.hpp"
+#include "hal/server_hal.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+namespace {
+
+TEST(NvmlSim, SetsAndSnapsCoreClock) {
+  hw::GpuModel gpu{hw::v100_params("g0")};
+  NvmlSim nvml(gpu);
+  const Megahertz applied = nvml.set_application_clocks(877_MHz, Megahertz{1001.0});
+  EXPECT_DOUBLE_EQ(applied.value, 1005.0);
+  EXPECT_DOUBLE_EQ(nvml.core_clock().value, 1005.0);
+}
+
+TEST(NvmlSim, RejectsWrongMemoryClock) {
+  hw::GpuModel gpu{hw::v100_params("g0")};
+  NvmlSim nvml(gpu);
+  EXPECT_THROW(nvml.set_application_clocks(999_MHz, 900_MHz), HalError);
+}
+
+TEST(NvmlSim, ReportsPowerAndUtilization) {
+  hw::GpuModel gpu{hw::v100_params("g0")};
+  gpu.set_utilization(0.5);
+  NvmlSim nvml(gpu);
+  EXPECT_DOUBLE_EQ(nvml.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(nvml.power_usage().value, gpu.power().value);
+  EXPECT_EQ(&nvml.supported_core_clocks(), &gpu.freqs());
+}
+
+TEST(CpuFreqSim, SetsAndReadsFrequency) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  CpuFreqSim ctl(cpu);
+  const Megahertz applied = ctl.set_frequency(Megahertz{1849.0});
+  EXPECT_DOUBLE_EQ(applied.value, 1800.0);
+  EXPECT_DOUBLE_EQ(ctl.frequency().value, 1800.0);
+}
+
+TEST(RaplSim, TracksCpuPackagePower) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  RaplSim rapl(cpu);
+  const double before = rapl.package_power().value;
+  cpu.set_utilization(1.0);
+  cpu.set_frequency(2.4_GHz);
+  EXPECT_GT(rapl.package_power().value, before);
+  EXPECT_DOUBLE_EQ(rapl.package_power().value, cpu.power().value);
+}
+
+class PowerMeterTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  hw::ServerModel server_ = hw::ServerModel::v100_testbed(1);
+};
+
+TEST_F(PowerMeterTest, NoSampleBeforeFirstInterval) {
+  AcpiPowerMeter meter(engine_, server_, AcpiPowerMeterParams{}, Rng(1));
+  EXPECT_THROW((void)meter.latest(), HalError);
+  engine_.run_until(1.0);
+  EXPECT_NO_THROW((void)meter.latest());
+}
+
+TEST_F(PowerMeterTest, SamplesAtConfiguredInterval) {
+  AcpiPowerMeterParams params;
+  params.sample_interval = Seconds{1.0};
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(10.5);
+  EXPECT_EQ(meter.samples_taken(), 10u);
+  EXPECT_DOUBLE_EQ(meter.latest().time, 10.0);
+}
+
+TEST_F(PowerMeterTest, NoiselessReadingTracksTruth) {
+  AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 0.0;
+  params.response_tau_seconds = 0.0;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(2.0);
+  EXPECT_NEAR(meter.latest().power.value, server_.total_power().value, 1e-9);
+}
+
+TEST_F(PowerMeterTest, NoiseHasConfiguredSpread) {
+  AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 5.0;
+  params.response_tau_seconds = 0.0;
+  params.history_capacity = 4096;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(99));
+  engine_.run_until(2000.0);
+  // Average of 2000 samples is within a few tenths of the truth.
+  EXPECT_NEAR(meter.average(Seconds{2000.0}).value,
+              server_.total_power().value, 1.0);
+}
+
+TEST_F(PowerMeterTest, AverageWindowSelectsRecentSamples) {
+  AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 0.0;
+  params.response_tau_seconds = 0.0;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(5.0);
+  const double low_power = server_.total_power().value;
+  // Raise power and take 4 more samples: a 4 s window must see only them.
+  server_.set_device_frequency(DeviceId{1}, 1350_MHz);
+  server_.set_device_utilization(DeviceId{1}, 1.0);
+  engine_.run_until(9.0);
+  const double high_power = server_.total_power().value;
+  // Window of 3.5 s at t = 9 covers exactly the samples at t = 6..9, all
+  // taken after the frequency change.
+  EXPECT_NEAR(meter.average(Seconds{3.5}).value, high_power, 1e-9);
+  EXPECT_LT(low_power, high_power);
+}
+
+TEST_F(PowerMeterTest, AverageEmptyWindowThrows) {
+  AcpiPowerMeter meter(engine_, server_, AcpiPowerMeterParams{}, Rng(1));
+  EXPECT_THROW((void)meter.average(Seconds{4.0}), HalError);
+}
+
+TEST_F(PowerMeterTest, ResponseLagSmoothsSteps) {
+  AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 0.0;
+  params.response_tau_seconds = 2.0;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(3.0);
+  const double before = meter.latest().power.value;
+  server_.set_device_frequency(DeviceId{1}, 1350_MHz);
+  server_.set_device_utilization(DeviceId{1}, 1.0);
+  engine_.run_until(4.0);
+  const double truth = server_.total_power().value;
+  const double lagged = meter.latest().power.value;
+  EXPECT_GT(lagged, before);
+  EXPECT_LT(lagged, truth);  // has not caught up after one sample
+}
+
+TEST_F(PowerMeterTest, FileBackedRoundTripWorks) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capgpu_meter_test").string();
+  AcpiPowerMeterParams params;
+  params.noise_stddev_watts = 0.0;
+  params.response_tau_seconds = 0.0;
+  params.backing_file = path;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(2.0);
+  // Microwatt quantisation through the file: within 1e-6 W.
+  EXPECT_NEAR(meter.latest().power.value, server_.total_power().value, 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST_F(PowerMeterTest, HistoryCapacityBounded) {
+  AcpiPowerMeterParams params;
+  params.history_capacity = 8;
+  AcpiPowerMeter meter(engine_, server_, params, Rng(1));
+  engine_.run_until(100.0);
+  EXPECT_EQ(meter.samples_taken(), 100u);
+  // Only the newest 8 remain: a 100 s average sees 8 samples, all recent.
+  EXPECT_NO_THROW((void)meter.average(Seconds{100.0}));
+}
+
+TEST(ServerHal, DeviceLayoutCpuThenGpus) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(2);
+  ServerHal hal(engine, server, AcpiPowerMeterParams{}, Rng(1));
+  EXPECT_EQ(hal.device_count(), 3u);
+  hal.set_device_frequency(DeviceId{0}, 2_GHz);
+  EXPECT_DOUBLE_EQ(server.cpu().frequency().value, 2000.0);
+  hal.set_device_frequency(DeviceId{2}, 750_MHz);
+  EXPECT_DOUBLE_EQ(server.gpu(1).core_clock().value, 750.0);
+  EXPECT_DOUBLE_EQ(hal.device_frequency(DeviceId{2}).value, 750.0);
+  EXPECT_THROW((void)hal.set_device_frequency(DeviceId{3}, 1_GHz),
+               capgpu::InvalidArgument);
+}
+
+TEST(ServerHal, UtilizationPassthrough) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  ServerHal hal(engine, server, AcpiPowerMeterParams{}, Rng(1));
+  server.set_device_utilization(DeviceId{1}, 0.42);
+  EXPECT_DOUBLE_EQ(hal.device_utilization(DeviceId{1}), 0.42);
+}
+
+}  // namespace
+}  // namespace capgpu::hal

@@ -1,0 +1,124 @@
+// Tests of the NVML-compatible C shim: code written against real nvml.h
+// must behave identically against the simulator.
+#include "hal/nvml_compat.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_model.hpp"
+
+namespace {
+
+class NvmlCompatTest : public ::testing::Test {
+ protected:
+  NvmlCompatTest()
+      : g0_(capgpu::hw::v100_params("v100-0")),
+        g1_(capgpu::hw::v100_params("v100-1")) {
+    capgpu::hal::compat::register_gpus({&g0_, &g1_});
+  }
+  ~NvmlCompatTest() override {
+    nvmlShutdown();
+    capgpu::hal::compat::clear_gpus();
+  }
+
+  capgpu::hw::GpuModel g0_;
+  capgpu::hw::GpuModel g1_;
+};
+
+TEST_F(NvmlCompatTest, InitAndEnumerate) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  unsigned int count = 0;
+  ASSERT_EQ(nvmlDeviceGetCount(&count), NVML_SUCCESS);
+  EXPECT_EQ(count, 2u);
+  nvmlDevice_t dev = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(1, &dev), NVML_SUCCESS);
+  char name[64];
+  ASSERT_EQ(nvmlDeviceGetName(dev, name, sizeof name), NVML_SUCCESS);
+  EXPECT_STREQ(name, "v100-1");
+}
+
+TEST_F(NvmlCompatTest, UninitializedCallsFail) {
+  unsigned int count = 0;
+  EXPECT_EQ(nvmlDeviceGetCount(&count), NVML_ERROR_UNINITIALIZED);
+}
+
+TEST_F(NvmlCompatTest, OutOfRangeIndexNotFound) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  nvmlDevice_t dev = nullptr;
+  EXPECT_EQ(nvmlDeviceGetHandleByIndex(2, &dev), NVML_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlCompatTest, PowerInMilliwatts) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  nvmlDevice_t dev = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+  g0_.set_utilization(1.0);
+  g0_.set_core_clock(capgpu::Megahertz{1350.0});
+  unsigned int mw = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(dev, &mw), NVML_SUCCESS);
+  EXPECT_NEAR(static_cast<double>(mw) / 1000.0, g0_.power().value, 1e-3);
+}
+
+TEST_F(NvmlCompatTest, SetApplicationsClocksSnapsAndValidatesMemory) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  nvmlDevice_t dev = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+  EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 877, 1001), NVML_SUCCESS);
+  EXPECT_DOUBLE_EQ(g0_.core_clock().value, 1005.0);  // snapped
+  EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 999, 900),
+            NVML_ERROR_NOT_SUPPORTED);
+  unsigned int clk = 0;
+  ASSERT_EQ(nvmlDeviceGetApplicationsClock(dev, NVML_CLOCK_GRAPHICS, &clk),
+            NVML_SUCCESS);
+  EXPECT_EQ(clk, 1005u);
+  ASSERT_EQ(nvmlDeviceGetApplicationsClock(dev, NVML_CLOCK_MEM, &clk),
+            NVML_SUCCESS);
+  EXPECT_EQ(clk, 877u);
+}
+
+TEST_F(NvmlCompatTest, UtilizationAndTemperature) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  nvmlDevice_t dev = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(1, &dev), NVML_SUCCESS);
+  g1_.set_utilization(0.73);
+  g1_.set_temperature(66.4);
+  nvmlUtilization_t util{};
+  ASSERT_EQ(nvmlDeviceGetUtilizationRates(dev, &util), NVML_SUCCESS);
+  EXPECT_EQ(util.gpu, 73u);
+  unsigned int temp = 0;
+  ASSERT_EQ(nvmlDeviceGetTemperature(dev, NVML_TEMPERATURE_GPU, &temp),
+            NVML_SUCCESS);
+  EXPECT_EQ(temp, 66u);
+}
+
+TEST_F(NvmlCompatTest, SupportedClocksDescendingWithSizeQuery) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  nvmlDevice_t dev = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+  unsigned int count = 0;
+  ASSERT_EQ(nvmlDeviceGetSupportedGraphicsClocks(dev, 877, &count, nullptr),
+            NVML_SUCCESS);
+  EXPECT_EQ(count, g0_.freqs().size());
+
+  std::vector<unsigned int> clocks(count);
+  unsigned int capacity = count;
+  ASSERT_EQ(nvmlDeviceGetSupportedGraphicsClocks(dev, 877, &capacity,
+                                                 clocks.data()),
+            NVML_SUCCESS);
+  EXPECT_EQ(clocks.front(), 1350u);
+  EXPECT_EQ(clocks.back(), 435u);
+  for (std::size_t i = 1; i < clocks.size(); ++i) {
+    EXPECT_LT(clocks[i], clocks[i - 1]);
+  }
+  // Undersized buffer reports insufficient size, as NVML does.
+  unsigned int small = 3;
+  unsigned int tiny[3];
+  EXPECT_EQ(nvmlDeviceGetSupportedGraphicsClocks(dev, 877, &small, tiny),
+            NVML_ERROR_INSUFFICIENT_SIZE);
+}
+
+TEST_F(NvmlCompatTest, ErrorStringsResolve) {
+  EXPECT_STREQ(nvmlErrorString(NVML_SUCCESS), "Success");
+  EXPECT_STREQ(nvmlErrorString(NVML_ERROR_NOT_SUPPORTED), "Not supported");
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "hal/sysfs_cpufreq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::hal {
+namespace {
+
+class SysfsCpuFreqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("capgpu_cpufreq_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  sim::Engine engine_;
+  hw::CpuModel cpu_{hw::CpuParams{}};
+  std::filesystem::path dir_;
+};
+
+TEST_F(SysfsCpuFreqTest, TreeMaterialisesKernelFiles) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  for (const char* name :
+       {"scaling_available_frequencies", "scaling_min_freq",
+        "scaling_max_freq", "scaling_cur_freq", "scaling_setspeed",
+        "cpu_busy_fraction"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ / name)) << name;
+  }
+  std::ifstream in(dir_ / "scaling_min_freq");
+  long long khz = 0;
+  in >> khz;
+  EXPECT_EQ(khz, 1000000);  // 1 GHz in kHz, kernel units
+}
+
+TEST_F(SysfsCpuFreqTest, WriteRoundTripsThroughFiles) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  SysfsCpuFreqControl ctl(dir_);
+  const Megahertz applied = ctl.set_frequency(Megahertz{1849.0});
+  EXPECT_DOUBLE_EQ(applied.value, 1800.0);  // snapped client-side
+  // The "kernel" has not polled yet: cur_freq still shows the old state.
+  EXPECT_DOUBLE_EQ(ctl.frequency().value, 1000.0);
+  engine_.run_until(0.2);  // poll fires
+  EXPECT_DOUBLE_EQ(cpu_.frequency().value, 1800.0);
+  EXPECT_DOUBLE_EQ(ctl.frequency().value, 1800.0);
+  EXPECT_EQ(tree.writes_applied(), 1u);
+}
+
+TEST_F(SysfsCpuFreqTest, AvailableFrequenciesParsedFromFile) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  SysfsCpuFreqControl ctl(dir_);
+  EXPECT_EQ(ctl.supported_frequencies().size(), cpu_.freqs().size());
+  EXPECT_DOUBLE_EQ(ctl.supported_frequencies().max().value, 2400.0);
+}
+
+TEST_F(SysfsCpuFreqTest, UtilizationPublished) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  cpu_.set_utilization(0.625);
+  engine_.run_until(0.2);
+  SysfsCpuFreqControl ctl(dir_);
+  EXPECT_NEAR(ctl.utilization(), 0.625, 1e-9);
+}
+
+TEST_F(SysfsCpuFreqTest, GarbageWritesIgnoredLikeTheKernel) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  {
+    std::ofstream out(dir_ / "scaling_setspeed", std::ios::trunc);
+    out << "not-a-number\n";
+  }
+  engine_.run_until(0.3);
+  EXPECT_EQ(tree.writes_applied(), 0u);
+  EXPECT_DOUBLE_EQ(cpu_.frequency().value, 1000.0);  // untouched
+}
+
+TEST_F(SysfsCpuFreqTest, RepeatedWritesEachApplied) {
+  SysfsCpuFreqTree tree(engine_, cpu_, dir_);
+  SysfsCpuFreqControl ctl(dir_);
+  (void)ctl.set_frequency(1.5_GHz);
+  engine_.run_until(0.2);
+  (void)ctl.set_frequency(2.2_GHz);
+  engine_.run_until(0.4);
+  EXPECT_DOUBLE_EQ(cpu_.frequency().value, 2200.0);
+  EXPECT_EQ(tree.writes_applied(), 2u);
+}
+
+TEST_F(SysfsCpuFreqTest, MissingTreeThrows) {
+  EXPECT_THROW(SysfsCpuFreqControl(dir_ / "nope"), HalError);
+}
+
+}  // namespace
+}  // namespace capgpu::hal

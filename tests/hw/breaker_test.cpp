@@ -1,0 +1,105 @@
+#include "hw/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+namespace {
+
+BreakerParams params_1kw() {
+  BreakerParams p;
+  p.rating = 1000_W;
+  p.trip_overload_frac = 0.35;  // trips after 30 s at 1350 W
+  p.trip_seconds = 30.0;
+  p.cooling_frac_per_s = 0.02;
+  return p;
+}
+
+TEST(Breaker, TripsAtTheCalibrationPoint) {
+  BreakerModel b(params_1kw());
+  // 135% of rating: must trip at ~30 s, not much earlier.
+  bool tripped = false;
+  int seconds = 0;
+  while (!tripped && seconds < 60) {
+    tripped = b.step(Watts{1350.0}, 1.0);
+    ++seconds;
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(seconds, 30);
+}
+
+TEST(Breaker, HarderOverloadTripsFaster) {
+  BreakerModel mild(params_1kw());
+  BreakerModel hard(params_1kw());
+  int t_mild = 0;
+  while (!mild.step(Watts{1200.0}, 1.0)) ++t_mild;
+  int t_hard = 0;
+  while (!hard.step(Watts{1700.0}, 1.0)) ++t_hard;
+  EXPECT_LT(t_hard, t_mild / 2);
+}
+
+TEST(Breaker, NeverTripsAtOrBelowRating) {
+  BreakerModel b(params_1kw());
+  for (int s = 0; s < 3600; ++s) {
+    EXPECT_FALSE(b.step(Watts{1000.0}, 1.0));
+  }
+  EXPECT_FALSE(b.tripped());
+  EXPECT_DOUBLE_EQ(b.stress(), 0.0);
+}
+
+TEST(Breaker, CoolingForgetsOldOverloads) {
+  BreakerModel b(params_1kw());
+  // Half-charge the element...
+  for (int s = 0; s < 15; ++s) (void)b.step(Watts{1350.0}, 1.0);
+  EXPECT_NEAR(b.stress(), 0.5, 0.05);
+  // ...then cool at the rating: 2%/s discharges in ~25 s.
+  for (int s = 0; s < 30; ++s) (void)b.step(Watts{900.0}, 1.0);
+  EXPECT_NEAR(b.stress(), 0.0, 1e-9);
+}
+
+TEST(Breaker, BriefSpikesRideThrough) {
+  // One 4 s spike to 150%: charge = 500*4 = 2000 J of 10500 J — far from
+  // tripping, and it bleeds away. This is why capping at the control-period
+  // timescale is sufficient.
+  BreakerModel b(params_1kw());
+  for (int s = 0; s < 4; ++s) EXPECT_FALSE(b.step(Watts{1500.0}, 1.0));
+  EXPECT_LT(b.stress(), 0.2);
+  for (int s = 0; s < 60; ++s) (void)b.step(Watts{950.0}, 1.0);
+  EXPECT_DOUBLE_EQ(b.stress(), 0.0);
+}
+
+TEST(Breaker, LatchesUntilReset) {
+  BreakerModel b(params_1kw());
+  while (!b.step(Watts{1700.0}, 1.0)) {
+  }
+  EXPECT_TRUE(b.tripped());
+  // Further steps do not "re-trip"; reset clears.
+  EXPECT_FALSE(b.step(Watts{2000.0}, 1.0));
+  b.reset();
+  EXPECT_FALSE(b.tripped());
+  EXPECT_DOUBLE_EQ(b.stress(), 0.0);
+}
+
+TEST(Breaker, MonitorRecordsTripTime) {
+  sim::Engine engine;
+  BreakerModel b(params_1kw());
+  double load = 1350.0;
+  BreakerMonitor monitor(engine, b, [&load] { return load; });
+  engine.run_until(10.0);
+  EXPECT_LT(monitor.trip_time(), 0.0);  // not yet
+  engine.run_until(60.0);
+  EXPECT_NEAR(monitor.trip_time(), 30.0, 1.5);
+  EXPECT_TRUE(b.tripped());
+}
+
+TEST(Breaker, ValidationThrows) {
+  BreakerParams bad = params_1kw();
+  bad.rating = Watts{0.0};
+  EXPECT_THROW(BreakerModel{bad}, capgpu::InvalidArgument);
+  BreakerModel b(params_1kw());
+  EXPECT_THROW((void)b.step(Watts{100.0}, 0.0), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::hw

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/server_model.hpp"
+
+namespace capgpu::hw {
+namespace {
+
+TEST(CpuModel, PowerIsAffineInFrequencyAtFixedUtilization) {
+  CpuModel cpu{CpuParams{}};
+  cpu.set_utilization(0.8);
+  const double p1 = cpu.power_at(1000_MHz, 0.8).value;
+  const double p2 = cpu.power_at(1500_MHz, 0.8).value;
+  const double p3 = cpu.power_at(2000_MHz, 0.8).value;
+  EXPECT_NEAR(p3 - p2, p2 - p1, 1e-9);  // equal increments => linear
+  EXPECT_GT(p2, p1);
+}
+
+TEST(CpuModel, PowerMonotonicInUtilization) {
+  CpuModel cpu{CpuParams{}};
+  EXPECT_LT(cpu.power_at(2000_MHz, 0.0).value, cpu.power_at(2000_MHz, 0.5).value);
+  EXPECT_LT(cpu.power_at(2000_MHz, 0.5).value, cpu.power_at(2000_MHz, 1.0).value);
+}
+
+TEST(CpuModel, UtilizationClamped) {
+  CpuModel cpu{CpuParams{}};
+  cpu.set_utilization(2.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0);
+  cpu.set_utilization(-1.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.0);
+}
+
+TEST(CpuModel, SetFrequencySnapsToPState) {
+  CpuModel cpu{CpuParams{}};
+  const Megahertz applied = cpu.set_frequency(Megahertz{1730.0});
+  EXPECT_DOUBLE_EQ(applied.value, 1700.0);
+  EXPECT_DOUBLE_EQ(cpu.frequency().value, 1700.0);
+}
+
+TEST(CpuModel, StartsAtMinimum) {
+  CpuModel cpu{CpuParams{}};
+  EXPECT_EQ(cpu.frequency(), cpu.freqs().min());
+}
+
+TEST(CpuModel, InvalidParamsThrow) {
+  CpuParams bad;
+  bad.idle_activity = 1.5;
+  EXPECT_THROW(CpuModel{bad}, capgpu::InvalidArgument);
+  CpuParams neg;
+  neg.idle_watts = -1.0;
+  EXPECT_THROW(CpuModel{neg}, capgpu::InvalidArgument);
+}
+
+TEST(GpuModel, PowerIsAffineInClock) {
+  GpuModel gpu{v100_params("g")};
+  const double p1 = gpu.power_at(600_MHz, 1.0).value;
+  const double p2 = gpu.power_at(900_MHz, 1.0).value;
+  const double p3 = gpu.power_at(1200_MHz, 1.0).value;
+  EXPECT_NEAR(p3 - p2, p2 - p1, 1e-9);
+}
+
+TEST(GpuModel, MemoryClockPinnedAt877) {
+  GpuModel gpu{v100_params("g")};
+  EXPECT_EQ(gpu.memory_clock(), 877_MHz);  // paper: nvidia-smi -ac 877,...
+}
+
+TEST(GpuModel, ClockSnapsToSupportedLevel) {
+  GpuModel gpu{v100_params("g")};
+  const Megahertz applied = gpu.set_core_clock(Megahertz{1000.0});
+  // V100 table is 15 MHz steps from 435.
+  EXPECT_DOUBLE_EQ(applied.value, 1005.0);
+}
+
+TEST(GpuModel, V100PowerEnvelopeIsPlausible) {
+  GpuModel gpu{v100_params("g")};
+  // Idle at min clock vs flat out at max clock: V100-like span.
+  const double lo = gpu.power_at(gpu.freqs().min(), 0.0).value;
+  const double hi = gpu.power_at(gpu.freqs().max(), 1.0).value;
+  EXPECT_GT(lo, 30.0);
+  EXPECT_LT(lo, 130.0);
+  EXPECT_GT(hi, 220.0);
+  EXPECT_LT(hi, 330.0);
+}
+
+TEST(ServerModel, TotalPowerIsSumOfParts) {
+  ServerModel s = ServerModel::v100_testbed(3);
+  const double expected = s.static_power().value + s.cpu().power().value +
+                          s.gpu(0).power().value + s.gpu(1).power().value +
+                          s.gpu(2).power().value;
+  EXPECT_DOUBLE_EQ(s.total_power().value, expected);
+}
+
+TEST(ServerModel, DeviceIndexingMapsCpuThenGpus) {
+  ServerModel s = ServerModel::v100_testbed(2);
+  EXPECT_EQ(s.device_count(), 3u);
+  EXPECT_EQ(s.device_kind(DeviceId{0}), DeviceKind::kCpu);
+  EXPECT_EQ(s.device_kind(DeviceId{1}), DeviceKind::kGpu);
+  EXPECT_EQ(s.device_kind(DeviceId{2}), DeviceKind::kGpu);
+  EXPECT_THROW((void)s.device_kind(DeviceId{3}), capgpu::InvalidArgument);
+}
+
+TEST(ServerModel, DeviceFrequencyRoundTrips) {
+  ServerModel s = ServerModel::v100_testbed(1);
+  s.set_device_frequency(DeviceId{0}, 1.8_GHz);
+  EXPECT_DOUBLE_EQ(s.device_frequency(DeviceId{0}).value, 1800.0);
+  s.set_device_frequency(DeviceId{1}, 900_MHz);
+  EXPECT_DOUBLE_EQ(s.device_frequency(DeviceId{1}).value, 900.0);
+}
+
+TEST(ServerModel, DeviceUtilizationRoundTrips) {
+  ServerModel s = ServerModel::v100_testbed(1);
+  s.set_device_utilization(DeviceId{1}, 0.7);
+  EXPECT_DOUBLE_EQ(s.device_utilization(DeviceId{1}), 0.7);
+  s.set_device_utilization(DeviceId{0}, 0.3);
+  EXPECT_DOUBLE_EQ(s.device_utilization(DeviceId{0}), 0.3);
+}
+
+TEST(ServerModel, TestbedEnvelopeCoversPaperSetPoints) {
+  // The paper sweeps set points 800..1200 W on the 3-GPU testbed; the
+  // simulated envelope must cover that band.
+  ServerModel s = ServerModel::v100_testbed(3);
+  // Everything at min, idle:
+  const double floor = s.total_power().value;
+  // Everything at max, fully busy:
+  s.set_device_frequency(DeviceId{0}, s.cpu().freqs().max());
+  s.set_device_utilization(DeviceId{0}, 1.0);
+  for (std::uint32_t g = 1; g <= 3; ++g) {
+    s.set_device_frequency(DeviceId{g}, 1350_MHz);
+    s.set_device_utilization(DeviceId{g}, 1.0);
+  }
+  const double ceiling = s.total_power().value;
+  EXPECT_LT(floor, 800.0);
+  EXPECT_GT(ceiling, 1200.0);
+}
+
+TEST(ServerModel, NeedsAtLeastOneGpu) {
+  EXPECT_THROW(ServerModel::v100_testbed(0), capgpu::InvalidArgument);
+}
+
+TEST(ServerModel, Rtx3090WorkstationBuilds) {
+  ServerModel s = ServerModel::rtx3090_workstation();
+  EXPECT_EQ(s.gpu_count(), 1u);
+  EXPECT_EQ(s.cpu().freqs().max(), 2.1_GHz);
+}
+
+}  // namespace
+}  // namespace capgpu::hw

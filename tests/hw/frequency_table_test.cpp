@@ -1,0 +1,122 @@
+#include "hw/frequency_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+namespace {
+
+TEST(FrequencyTable, UniformGeneration) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.min(), 100_MHz);
+  EXPECT_EQ(t.max(), 500_MHz);
+  EXPECT_EQ(t.level(2), 300_MHz);
+}
+
+TEST(FrequencyTable, SortsAndDeduplicates) {
+  const FrequencyTable t({300_MHz, 100_MHz, 300_MHz, 200_MHz});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.level(0), 100_MHz);
+  EXPECT_EQ(t.level(2), 300_MHz);
+}
+
+TEST(FrequencyTable, EmptyThrows) {
+  EXPECT_THROW(FrequencyTable({}), capgpu::InvalidArgument);
+}
+
+TEST(FrequencyTable, NonPositiveThrows) {
+  EXPECT_THROW(FrequencyTable({0_MHz, 100_MHz}), capgpu::InvalidArgument);
+}
+
+TEST(FrequencyTable, PresetsMatchPaper) {
+  const auto v100 = FrequencyTable::v100_core();
+  EXPECT_EQ(v100.min(), 435_MHz);   // nvidia-smi -ac 877,435-1350
+  EXPECT_EQ(v100.max(), 1350_MHz);
+  const auto xeon = FrequencyTable::xeon_pstates();
+  EXPECT_EQ(xeon.min(), 1_GHz);
+  EXPECT_EQ(xeon.max(), 2.4_GHz);
+  const auto rtx = FrequencyTable::rtx3090_core();
+  // Must contain the motivation experiment's operating points.
+  EXPECT_EQ(rtx.nearest(495_MHz), 495_MHz);
+  EXPECT_EQ(rtx.nearest(660_MHz), 660_MHz);
+  EXPECT_EQ(rtx.nearest(810_MHz), 810_MHz);
+}
+
+TEST(FrequencyTable, FloorIndex) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_EQ(t.floor_index(250_MHz), 1u);
+  EXPECT_EQ(t.floor_index(300_MHz), 2u);
+  EXPECT_EQ(t.floor_index(50_MHz), 0u);
+  EXPECT_EQ(t.floor_index(900_MHz), 4u);
+}
+
+TEST(FrequencyTable, NearestRoundsCorrectly) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_EQ(t.nearest(249_MHz), 200_MHz);
+  EXPECT_EQ(t.nearest(251_MHz), 300_MHz);
+  EXPECT_EQ(t.nearest(50_MHz), 100_MHz);
+  EXPECT_EQ(t.nearest(1000_MHz), 500_MHz);
+}
+
+TEST(FrequencyTable, ClampStaysFractional) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_DOUBLE_EQ(t.clamp(Megahertz{233.3}).value, 233.3);
+  EXPECT_DOUBLE_EQ(t.clamp(Megahertz{50.0}).value, 100.0);
+  EXPECT_DOUBLE_EQ(t.clamp(Megahertz{999.0}).value, 500.0);
+}
+
+TEST(FrequencyTable, BracketBetweenLevels) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  const auto br = t.bracket(Megahertz{250.0});
+  EXPECT_EQ(br.lower, 200_MHz);
+  EXPECT_EQ(br.upper, 300_MHz);
+}
+
+TEST(FrequencyTable, BracketOnLevelCollapses) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  const auto br = t.bracket(300_MHz);
+  EXPECT_EQ(br.lower, 300_MHz);
+  EXPECT_EQ(br.upper, 300_MHz);
+}
+
+TEST(FrequencyTable, BracketOutsideRangeCollapses) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_EQ(t.bracket(Megahertz{10.0}).lower, 100_MHz);
+  EXPECT_EQ(t.bracket(Megahertz{10.0}).upper, 100_MHz);
+  EXPECT_EQ(t.bracket(Megahertz{999.0}).lower, 500_MHz);
+  EXPECT_EQ(t.bracket(Megahertz{999.0}).upper, 500_MHz);
+}
+
+TEST(FrequencyTable, StepIndexSaturates) {
+  const auto t = FrequencyTable::uniform(100_MHz, 500_MHz, 100_MHz);
+  EXPECT_EQ(t.step_index(2, 1), 3u);
+  EXPECT_EQ(t.step_index(2, -1), 1u);
+  EXPECT_EQ(t.step_index(4, 3), 4u);
+  EXPECT_EQ(t.step_index(0, -3), 0u);
+}
+
+class BracketSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BracketSweep, BracketInvariantHolds) {
+  const auto t = FrequencyTable::v100_core();
+  const Megahertz f{GetParam()};
+  const auto br = t.bracket(f);
+  const Megahertz c = t.clamp(f);
+  EXPECT_LE(br.lower.value, c.value);
+  EXPECT_GE(br.upper.value, c.value);
+  // Lower and upper are adjacent levels (or identical).
+  if (br.lower.value != br.upper.value) {
+    const std::size_t lo = t.floor_index(br.lower);
+    EXPECT_EQ(t.level(lo + 1), br.upper);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyFrequencies, BracketSweep,
+                         ::testing::Values(100.0, 435.0, 436.0, 442.5, 450.0,
+                                           777.7, 900.0, 1349.9, 1350.0,
+                                           2000.0));
+
+}  // namespace
+}  // namespace capgpu::hw

@@ -1,0 +1,64 @@
+#include "hw/power_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::hw {
+namespace {
+
+TEST(PowerLowPass, FirstSamplePrimes) {
+  PowerLowPass f(2.0);
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.step(100.0, 1.0), 100.0);
+  EXPECT_TRUE(f.primed());
+}
+
+TEST(PowerLowPass, ZeroTauPassesThrough) {
+  PowerLowPass f(0.0);
+  f.step(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.step(250.0, 1.0), 250.0);
+}
+
+TEST(PowerLowPass, ConvergesToStepInput) {
+  PowerLowPass f(1.0);
+  f.step(0.0, 1.0);
+  double y = 0.0;
+  for (int i = 0; i < 20; ++i) y = f.step(100.0, 1.0);
+  EXPECT_NEAR(y, 100.0, 1e-6);
+}
+
+TEST(PowerLowPass, MatchesAnalyticExponential) {
+  const double tau = 2.0;
+  PowerLowPass f(tau);
+  f.step(0.0, 1.0);
+  const double y = f.step(1.0, 1.0);
+  EXPECT_NEAR(y, 1.0 - std::exp(-1.0 / tau), 1e-12);
+}
+
+TEST(PowerLowPass, LagReducesWithLargerDt) {
+  PowerLowPass slow(2.0);
+  PowerLowPass fast(2.0);
+  slow.step(0.0, 1.0);
+  fast.step(0.0, 1.0);
+  EXPECT_LT(slow.step(100.0, 0.5), fast.step(100.0, 4.0));
+}
+
+TEST(PowerLowPass, ResetForgetsState) {
+  PowerLowPass f(1.0);
+  f.step(100.0, 1.0);
+  f.reset();
+  EXPECT_FALSE(f.primed());
+  EXPECT_DOUBLE_EQ(f.step(5.0, 1.0), 5.0);
+}
+
+TEST(PowerLowPass, InvalidArgsThrow) {
+  EXPECT_THROW(PowerLowPass(-1.0), capgpu::InvalidArgument);
+  PowerLowPass f(1.0);
+  EXPECT_THROW(f.step(1.0, 0.0), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::hw

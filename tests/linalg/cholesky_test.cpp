@@ -1,0 +1,69 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+TEST(Cholesky, FactorisesKnownSpd) {
+  Matrix a{{4, 2}, {2, 3}};
+  const Cholesky chol(a);
+  const Matrix l = chol.l();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(0, 1), 0.0, 1e-12);
+  EXPECT_TRUE(approx_equal(l * l.transposed(), a, 1e-12));
+}
+
+TEST(Cholesky, SolvesSystem) {
+  Matrix a{{4, 2}, {2, 3}};
+  const Vector x = Cholesky(a).solve(Vector{10, 8});
+  const Vector residual = a * x - Vector{10, 8};
+  EXPECT_LT(residual.norm_inf(), 1e-12);
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, capgpu::NumericalError);
+}
+
+TEST(Cholesky, ZeroMatrixThrows) {
+  EXPECT_THROW(Cholesky{Matrix(2, 2)}, capgpu::NumericalError);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, capgpu::InvalidArgument);
+}
+
+TEST(Cholesky, IsSymmetricHelper) {
+  EXPECT_TRUE(is_symmetric(Matrix{{1, 2}, {2, 1}}));
+  EXPECT_FALSE(is_symmetric(Matrix{{1, 2}, {3, 1}}));
+  EXPECT_FALSE(is_symmetric(Matrix(2, 3)));
+}
+
+class CholeskyRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyRandomSweep, RandomSpdSolves) {
+  const std::size_t n = GetParam();
+  capgpu::Rng rng(n * 17);
+  // A = B B^T + n*I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = rng.uniform(-5.0, 5.0);
+  const Vector x = Cholesky(a).solve(rhs);
+  EXPECT_LT((a * x - rhs).norm_inf(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+}  // namespace
+}  // namespace capgpu::linalg

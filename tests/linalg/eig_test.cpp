@@ -1,0 +1,135 @@
+#include "linalg/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/lu.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+std::vector<double> sorted_real_parts(const std::vector<std::complex<double>>& eig) {
+  std::vector<double> out;
+  out.reserve(eig.size());
+  for (const auto& e : eig) out.push_back(e.real());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Eig, DiagonalMatrix) {
+  const auto eig = eigenvalues(Matrix{{3, 0}, {0, -1}});
+  const auto real = sorted_real_parts(eig);
+  ASSERT_EQ(real.size(), 2u);
+  EXPECT_NEAR(real[0], -1.0, 1e-10);
+  EXPECT_NEAR(real[1], 3.0, 1e-10);
+  for (const auto& e : eig) EXPECT_NEAR(e.imag(), 0.0, 1e-10);
+}
+
+TEST(Eig, UpperTriangularEigenvaluesAreDiagonal) {
+  const auto real = sorted_real_parts(eigenvalues(Matrix{{1, 5}, {0, 4}}));
+  EXPECT_NEAR(real[0], 1.0, 1e-10);
+  EXPECT_NEAR(real[1], 4.0, 1e-10);
+}
+
+TEST(Eig, RotationHasUnitCirclePair) {
+  const double theta = 0.7;
+  Matrix rot{{std::cos(theta), -std::sin(theta)},
+             {std::sin(theta), std::cos(theta)}};
+  const auto eig = eigenvalues(rot);
+  ASSERT_EQ(eig.size(), 2u);
+  for (const auto& e : eig) {
+    EXPECT_NEAR(std::abs(e), 1.0, 1e-10);
+    EXPECT_NEAR(std::abs(e.imag()), std::sin(theta), 1e-10);
+  }
+}
+
+TEST(Eig, ComplexPairKnown) {
+  // [[0,-1],[1,0]] has eigenvalues +/- i.
+  const auto eig = eigenvalues(Matrix{{0, -1}, {1, 0}});
+  ASSERT_EQ(eig.size(), 2u);
+  EXPECT_NEAR(eig[0].real(), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(eig[0].imag()), 1.0, 1e-10);
+  // Conjugate pair.
+  EXPECT_NEAR(eig[0].imag() + eig[1].imag(), 0.0, 1e-10);
+}
+
+TEST(Eig, SingleElement) {
+  const auto eig = eigenvalues(Matrix{{7}});
+  ASSERT_EQ(eig.size(), 1u);
+  EXPECT_NEAR(eig[0].real(), 7.0, 1e-12);
+}
+
+TEST(Eig, EmptyMatrix) {
+  EXPECT_TRUE(eigenvalues(Matrix(0, 0)).empty());
+}
+
+TEST(Eig, NonSquareThrows) {
+  EXPECT_THROW((void)eigenvalues(Matrix(2, 3)), capgpu::InvalidArgument);
+}
+
+TEST(Eig, SpectralRadius) {
+  EXPECT_NEAR(spectral_radius(Matrix{{0.5, 0}, {0, -0.9}}), 0.9, 1e-10);
+}
+
+TEST(Eig, SchurStability) {
+  EXPECT_TRUE(is_schur_stable(Matrix{{0.5, 0}, {0, 0.9}}));
+  EXPECT_FALSE(is_schur_stable(Matrix{{1.1, 0}, {0, 0.2}}));
+  EXPECT_FALSE(is_schur_stable(Matrix{{1.0, 0}, {0, 0.2}}));  // marginal
+}
+
+TEST(Eig, KnownThreeByThree) {
+  // Companion matrix of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  Matrix c{{6, -11, 6}, {1, 0, 0}, {0, 1, 0}};
+  const auto real = sorted_real_parts(eigenvalues(c));
+  ASSERT_EQ(real.size(), 3u);
+  EXPECT_NEAR(real[0], 1.0, 1e-8);
+  EXPECT_NEAR(real[1], 2.0, 1e-8);
+  EXPECT_NEAR(real[2], 3.0, 1e-8);
+}
+
+class EigRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigRandomSweep, TraceAndDeterminantInvariants) {
+  const std::size_t n = GetParam();
+  capgpu::Rng rng(n * 97);
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+    trace += a(r, r);
+  }
+  const auto eig = eigenvalues(a);
+  ASSERT_EQ(eig.size(), n);
+
+  std::complex<double> sum{0, 0};
+  std::complex<double> prod{1, 0};
+  for (const auto& e : eig) {
+    sum += e;
+    prod *= e;
+  }
+  EXPECT_NEAR(sum.real(), trace, 1e-7 * std::max(1.0, std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+
+  // Determinant via LU when nonsingular; skip near-singular cases.
+  bool skip_det = false;
+  double det = 0.0;
+  try {
+    det = Lu(a).determinant();
+  } catch (...) {
+    skip_det = true;
+  }
+  if (!skip_det) {
+    EXPECT_NEAR(prod.real(), det, 1e-5 * std::max(1.0, std::abs(det)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigRandomSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u, 10u));
+
+}  // namespace
+}  // namespace capgpu::linalg

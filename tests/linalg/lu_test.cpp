@@ -1,0 +1,99 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Vector x = lu_solve(a, Vector{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveRequiresPivoting) {
+  // Zero on the first diagonal entry forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  const Vector x = lu_solve(a, Vector{2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_NEAR(Lu(a).determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPivotSign) {
+  Matrix a{{0, 1}, {1, 0}};
+  EXPECT_NEAR(Lu(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(Lu{a}, capgpu::NumericalError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(Lu{Matrix(2, 3)}, capgpu::InvalidArgument);
+}
+
+TEST(Lu, InverseRoundTrips) {
+  Matrix a{{4, 7}, {2, 6}};
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE(approx_equal(a * inv, Matrix::identity(2), 1e-10));
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  Matrix a{{2, 0}, {0, 4}};
+  Matrix b{{2, 4}, {8, 12}};
+  const Matrix x = Lu(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  Matrix a{{1, 0}, {0, 1}};
+  EXPECT_THROW((void)Lu(a).solve(Vector{1, 2, 3}), capgpu::InvalidArgument);
+}
+
+class LuRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSweep, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  capgpu::Rng rng(n * 7919);
+  // Diagonally dominant => well conditioned and never singular.
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-10.0, 10.0);
+  const Vector x = lu_solve(a, b);
+  const Vector residual = a * x - b;
+  EXPECT_LT(residual.norm_inf(), 1e-9);
+}
+
+TEST_P(LuRandomSweep, DeterminantMatchesInverseConsistency) {
+  const std::size_t n = GetParam();
+  capgpu::Rng rng(n * 104729);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  const double det_a = Lu(a).determinant();
+  const double det_inv = Lu(inverse(a)).determinant();
+  EXPECT_NEAR(det_a * det_inv, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace capgpu::linalg

@@ -1,0 +1,140 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+TEST(Vector, ConstructionAndIndexing) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  v[2] = 5.0;
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(Vector, FillConstruction) {
+  Vector v(4, 2.5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 2.5);
+}
+
+TEST(Vector, ArithmeticAndDot) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[1], 7.0);
+  const Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[2], 3.0);
+  const Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[0], 2.0);
+}
+
+TEST(Vector, Norms) {
+  Vector v{3, -4};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vector, SizeMismatchAsserts) {
+  Vector a{1, 2};
+  Vector b{1, 2, 3};
+  EXPECT_THROW(a += b, capgpu::Error);
+  EXPECT_THROW((void)a.dot(b), capgpu::Error);
+}
+
+TEST(Matrix, InitializerListAndIndexing) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), capgpu::InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  const Matrix d = Matrix::diag(Vector{2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Vector y = m * Vector{1, 1};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MatMulKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulIdentityIsNoop) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a, 1e-12));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a, 1e-12));
+}
+
+TEST(Matrix, DimensionMismatchAsserts) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), capgpu::Error);
+  EXPECT_THROW((void)(a * Vector{1, 2}), capgpu::Error);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(1, 0), 6.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m{{3, 0}, {0, -4}};
+  EXPECT_DOUBLE_EQ(m.norm_fro(), 5.0);
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 4.0);
+}
+
+TEST(Matrix, RowSpanAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  m.row(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, ApproxEqualRespectsTolerance) {
+  Matrix a{{1.0}};
+  Matrix b{{1.0005}};
+  EXPECT_TRUE(approx_equal(a, b, 1e-3));
+  EXPECT_FALSE(approx_equal(a, b, 1e-4));
+  EXPECT_FALSE(approx_equal(a, Matrix(1, 2), 1.0));
+}
+
+}  // namespace
+}  // namespace capgpu::linalg

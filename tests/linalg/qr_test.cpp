@@ -1,0 +1,113 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+TEST(Qr, SolvesSquareSystemExactly) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Vector x = lstsq(a, Vector{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(Qr, OverdeterminedKnownFit) {
+  // y = 2x + 1 sampled exactly: least squares must recover it.
+  Matrix a{{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+  Vector b{1, 3, 5, 7};
+  const Vector x = lstsq(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(Qr, LeastSquaresMinimisesResidual) {
+  // Inconsistent system: solution is the projection.
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  Vector b{1, 1, 0};
+  const Vector x = lstsq(a, b);
+  // Analytic solution of normal equations: x = (1/3, 1/3).
+  EXPECT_NEAR(x[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0 / 3.0, 1e-10);
+}
+
+TEST(Qr, RankDeficientThrows) {
+  Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  EXPECT_THROW((void)lstsq(a, Vector{1, 2, 3}), capgpu::NumericalError);
+}
+
+TEST(Qr, WideMatrixThrows) {
+  EXPECT_THROW(Qr{Matrix(2, 3)}, capgpu::InvalidArgument);
+}
+
+TEST(Qr, FullRankDetection) {
+  Matrix good{{1, 0}, {0, 1}, {1, 1}};
+  EXPECT_TRUE(Qr(good).full_rank());
+  Matrix bad{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_FALSE(Qr(bad).full_rank());
+}
+
+TEST(Qr, RFactorIsUpperTriangularAndConsistent) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix r = Qr(a).r();
+  EXPECT_EQ(r.rows(), 2u);
+  // R^T R == A^T A (up to sign conventions the product is invariant).
+  const Matrix ata = a.transposed() * a;
+  const Matrix rtr = r.transposed() * r;
+  EXPECT_TRUE(approx_equal(ata, rtr, 1e-9));
+}
+
+TEST(QrFit, PerfectFitHasUnitR2) {
+  Matrix a{{1, 1}, {2, 1}, {3, 1}};
+  Vector b{3, 5, 7};
+  const FitResult fit = lstsq_fit(a, b);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(QrFit, NoisyFitHasReasonableR2) {
+  capgpu::Rng rng(5);
+  const std::size_t n = 200;
+  Matrix a(n, 2);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 3.0 * x + 2.0 + rng.normal(0.0, 0.5);
+  }
+  const FitResult fit = lstsq_fit(a, b);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_NEAR(fit.rmse, 0.5, 0.1);
+}
+
+class QrRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QrRandomSweep, NormalEquationsHold) {
+  const std::size_t n = GetParam();
+  capgpu::Rng rng(n * 31);
+  const std::size_t m = 3 * n + 2;
+  Matrix a(m, n);
+  Vector b(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    b[r] = rng.uniform(-1.0, 1.0);
+  }
+  const Vector x = lstsq(a, b);
+  // A^T (A x - b) == 0 characterises the least-squares optimum.
+  const Vector grad = a.transposed() * (a * x - b);
+  EXPECT_LT(grad.norm_inf(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrRandomSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u, 10u));
+
+}  // namespace
+}  // namespace capgpu::linalg

@@ -1,0 +1,125 @@
+#include "rack/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::rack {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Allocation, EqualWeightsSplitEvenly) {
+  const auto out = proportional_allocation(
+      900.0, {{0.0, 1000.0}, {0.0, 1000.0}, {0.0, 1000.0}}, {1.0, 1.0, 1.0});
+  for (const double b : out) EXPECT_NEAR(b, 300.0, 1e-9);
+}
+
+TEST(Allocation, ProportionalToWeights) {
+  const auto out = proportional_allocation(
+      600.0, {{0.0, 1000.0}, {0.0, 1000.0}}, {2.0, 1.0});
+  EXPECT_NEAR(out[0], 400.0, 1e-9);
+  EXPECT_NEAR(out[1], 200.0, 1e-9);
+}
+
+TEST(Allocation, MinimumsAreGuaranteed) {
+  const auto out = proportional_allocation(
+      1000.0, {{400.0, 1000.0}, {100.0, 1000.0}}, {0.0, 1.0});
+  EXPECT_GE(out[0], 400.0);
+  EXPECT_NEAR(sum(out), 1000.0, 1e-9);
+  // All spare (500) goes to the weighted entry.
+  EXPECT_NEAR(out[1], 600.0, 1e-9);
+}
+
+TEST(Allocation, MaximumsClampAndRedistribute) {
+  const auto out = proportional_allocation(
+      900.0, {{0.0, 200.0}, {0.0, 1000.0}, {0.0, 1000.0}}, {5.0, 1.0, 1.0});
+  EXPECT_NEAR(out[0], 200.0, 1e-9);  // clamped despite the big weight
+  EXPECT_NEAR(sum(out), 900.0, 1e-9);
+  EXPECT_NEAR(out[1], 350.0, 1e-9);
+  EXPECT_NEAR(out[2], 350.0, 1e-9);
+}
+
+TEST(Allocation, OversubscribedMinimaFallBackToMins) {
+  const auto out = proportional_allocation(
+      500.0, {{400.0, 900.0}, {400.0, 900.0}}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 400.0);
+  EXPECT_DOUBLE_EQ(out[1], 400.0);
+}
+
+TEST(Allocation, SurplusBudgetCapsAtMaxima) {
+  const auto out = proportional_allocation(
+      5000.0, {{0.0, 800.0}, {0.0, 900.0}}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 800.0);
+  EXPECT_DOUBLE_EQ(out[1], 900.0);
+}
+
+TEST(Allocation, ZeroWeightsSplitEqually) {
+  const auto out = proportional_allocation(
+      600.0, {{0.0, 1000.0}, {0.0, 1000.0}}, {0.0, 0.0});
+  EXPECT_NEAR(out[0], 300.0, 1e-9);
+  EXPECT_NEAR(out[1], 300.0, 1e-9);
+}
+
+TEST(Allocation, SingleEntryGetsClampedTotal) {
+  EXPECT_DOUBLE_EQ(
+      proportional_allocation(700.0, {{100.0, 500.0}}, {1.0})[0], 500.0);
+  EXPECT_DOUBLE_EQ(
+      proportional_allocation(300.0, {{100.0, 500.0}}, {1.0})[0], 300.0);
+}
+
+TEST(Allocation, ValidationThrows) {
+  EXPECT_THROW((void)proportional_allocation(100.0, {}, {}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(
+      (void)proportional_allocation(100.0, {{0.0, 10.0}}, {1.0, 2.0}),
+      capgpu::InvalidArgument);
+  EXPECT_THROW(
+      (void)proportional_allocation(100.0, {{10.0, 5.0}}, {1.0}),
+      capgpu::InvalidArgument);
+  EXPECT_THROW(
+      (void)proportional_allocation(100.0, {{0.0, 10.0}}, {-1.0}),
+      capgpu::InvalidArgument);
+}
+
+class AllocationPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationPropertySweep, InvariantsHoldOnRandomInstances) {
+  capgpu::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(8);
+    std::vector<AllocationBounds> bounds(n);
+    std::vector<double> weights(n);
+    double min_sum = 0.0;
+    double max_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bounds[i].min = rng.uniform(0.0, 300.0);
+      bounds[i].max = bounds[i].min + rng.uniform(0.0, 700.0);
+      weights[i] = rng.uniform(0.0, 3.0);
+      min_sum += bounds[i].min;
+      max_sum += bounds[i].max;
+    }
+    const double total = rng.uniform(0.0, max_sum * 1.2);
+    const auto out = proportional_allocation(total, bounds, weights);
+
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_GE(out[i], bounds[i].min - 1e-7);
+      ASSERT_LE(out[i], bounds[i].max + 1e-7);
+    }
+    if (total >= min_sum && total <= max_sum) {
+      ASSERT_NEAR(sum(out), total, 1e-6);  // exact division when feasible
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationPropertySweep,
+                         ::testing::Values(1ULL, 7ULL, 42ULL));
+
+}  // namespace
+}  // namespace capgpu::rack

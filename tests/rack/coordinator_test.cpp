@@ -1,0 +1,177 @@
+#include "rack/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace capgpu::rack {
+namespace {
+
+/// A recording fake server.
+struct FakeServer {
+  double budget{0.0};
+  double power{800.0};
+  double demand{0.5};
+  double priority{1.0};
+
+  ServerEndpoint endpoint(const std::string& name) {
+    ServerEndpoint e;
+    e.name = name;
+    e.set_budget = [this](Watts w) { budget = w.value; };
+    e.measured_power = [this] { return power; };
+    e.demand = [this] { return demand; };
+    e.priority = priority;
+    e.bounds = {600.0, 1300.0};
+    return e;
+  }
+};
+
+TEST(RackCoordinator, EqualPolicySplitsEvenly) {
+  RackCoordinator coord(Watts{2700.0}, RackPolicy::kEqual);
+  FakeServer a, b, c;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  coord.add_server(c.endpoint("c"));
+  const auto budgets = coord.rebalance();
+  for (const double w : budgets) EXPECT_NEAR(w, 900.0, 1e-9);
+  EXPECT_NEAR(a.budget, 900.0, 1e-9);
+  EXPECT_NEAR(c.budget, 900.0, 1e-9);
+}
+
+TEST(RackCoordinator, DemandProportionalFavoursHungryServers) {
+  RackCoordinator coord(Watts{2700.0}, RackPolicy::kDemandProportional);
+  FakeServer hungry, sated, idle;
+  hungry.demand = 0.9;
+  sated.demand = 0.3;
+  idle.demand = 0.0;
+  coord.add_server(hungry.endpoint("hungry"));
+  coord.add_server(sated.endpoint("sated"));
+  coord.add_server(idle.endpoint("idle"));
+  (void)coord.rebalance();
+  EXPECT_GT(hungry.budget, sated.budget);
+  EXPECT_GT(sated.budget, idle.budget);
+  EXPECT_NEAR(idle.budget, 600.0, 1e-6);  // only the guaranteed minimum
+  EXPECT_NEAR(hungry.budget + sated.budget + idle.budget, 2700.0, 1e-6);
+}
+
+TEST(RackCoordinator, PriorityAwareFillsHighTiersFirst) {
+  // Rack budget big enough for one server at max plus minima.
+  RackCoordinator coord(Watts{2600.0}, RackPolicy::kPriorityAware);
+  FakeServer prod, batch, dev;
+  prod.priority = 3.0;
+  batch.priority = 1.0;
+  dev.priority = 1.0;
+  coord.add_server(prod.endpoint("prod"));
+  coord.add_server(batch.endpoint("batch"));
+  coord.add_server(dev.endpoint("dev"));
+  (void)coord.rebalance();
+  // The high-priority server reaches (or nearly reaches) its max.
+  EXPECT_GT(prod.budget, 1250.0);
+  EXPECT_GT(prod.budget, batch.budget + 500.0);
+  EXPECT_NEAR(prod.budget + batch.budget + dev.budget, 2600.0, 1e-6);
+  // Equal-priority peers are treated equally.
+  EXPECT_NEAR(batch.budget, dev.budget, 1e-6);
+}
+
+TEST(RackCoordinator, TotalPowerSumsServers) {
+  RackCoordinator coord(Watts{2000.0}, RackPolicy::kEqual);
+  FakeServer a, b;
+  a.power = 750.0;
+  b.power = 825.0;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  EXPECT_DOUBLE_EQ(coord.total_power(), 1575.0);
+}
+
+TEST(RackCoordinator, OversubscriptionDetected) {
+  RackCoordinator coord(Watts{1000.0}, RackPolicy::kEqual);
+  FakeServer a, b;
+  coord.add_server(a.endpoint("a"));  // min 600 each => 1200 > 1000
+  coord.add_server(b.endpoint("b"));
+  EXPECT_TRUE(coord.oversubscribed());
+  coord.set_rack_budget(Watts{1500.0});
+  EXPECT_FALSE(coord.oversubscribed());
+}
+
+TEST(RackCoordinator, BudgetChangeTakesEffectOnNextRebalance) {
+  RackCoordinator coord(Watts{2600.0}, RackPolicy::kEqual);
+  FakeServer a, b;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  (void)coord.rebalance();
+  EXPECT_NEAR(a.budget, 1300.0, 1e-9);
+  coord.set_rack_budget(Watts{1800.0});
+  (void)coord.rebalance();
+  EXPECT_NEAR(a.budget, 900.0, 1e-9);
+}
+
+TEST(RackCoordinator, PolicySwitchable) {
+  RackCoordinator coord(Watts{2700.0}, RackPolicy::kEqual);
+  FakeServer a, b, c;
+  a.demand = 1.0;
+  b.demand = 0.0;
+  c.demand = 0.0;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  coord.add_server(c.endpoint("c"));
+  (void)coord.rebalance();
+  EXPECT_NEAR(a.budget, 900.0, 1e-9);
+  coord.set_policy(RackPolicy::kDemandProportional);
+  (void)coord.rebalance();
+  EXPECT_GT(a.budget, 1200.0);
+}
+
+TEST(RackCoordinator, DemandSmoothingDampsFlipFlops) {
+  // Alternating raw demand (the bang-bang failure mode) must produce far
+  // steadier budgets with smoothing than without.
+  auto spread = [](double alpha) {
+    RackCoordinator coord(Watts{2000.0}, RackPolicy::kDemandProportional,
+                          alpha);
+    FakeServer a, b;
+    coord.add_server(a.endpoint("a"));
+    coord.add_server(b.endpoint("b"));
+    double min_a = 1e9;
+    double max_a = 0.0;
+    for (int k = 0; k < 20; ++k) {
+      a.demand = (k % 2) ? 1.0 : 0.0;
+      b.demand = (k % 2) ? 0.0 : 1.0;
+      (void)coord.rebalance();
+      if (k >= 10) {  // after warm-up
+        min_a = std::min(min_a, a.budget);
+        max_a = std::max(max_a, a.budget);
+      }
+    }
+    return max_a - min_a;
+  };
+  EXPECT_LT(spread(0.2), 0.35 * spread(1.0));
+}
+
+TEST(RackCoordinator, SmoothedDemandExposed) {
+  RackCoordinator coord(Watts{2000.0}, RackPolicy::kDemandProportional, 0.5);
+  FakeServer a, b;
+  a.demand = 1.0;
+  b.demand = 0.0;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  (void)coord.rebalance();
+  ASSERT_EQ(coord.smoothed_demand().size(), 2u);
+  EXPECT_DOUBLE_EQ(coord.smoothed_demand()[0], 1.0);  // seeded from raw
+  a.demand = 0.0;
+  (void)coord.rebalance();
+  EXPECT_DOUBLE_EQ(coord.smoothed_demand()[0], 0.5);  // EMA
+}
+
+TEST(RackCoordinator, ValidationThrows) {
+  EXPECT_THROW(RackCoordinator(Watts{0.0}, RackPolicy::kEqual),
+               capgpu::InvalidArgument);
+  RackCoordinator coord(Watts{1000.0}, RackPolicy::kEqual);
+  EXPECT_THROW((void)coord.rebalance(), capgpu::InvalidArgument);
+  ServerEndpoint incomplete;
+  incomplete.name = "x";
+  EXPECT_THROW(coord.add_server(incomplete), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::rack

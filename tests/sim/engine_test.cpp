@@ -1,0 +1,176 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace capgpu::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, EqualTimestampsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, TimeAdvancesToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(5.5, [&] { seen = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(Engine, ScheduleAfterUsesRelativeTime) {
+  Engine e;
+  e.run_until(2.0);
+  double seen = -1.0;
+  e.schedule_after(3.0, [&] { seen = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.run_until(5.0);
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), capgpu::InvalidArgument);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), capgpu::InvalidArgument);
+  EXPECT_THROW(e.run_until(4.0), capgpu::InvalidArgument);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), capgpu::InvalidArgument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(1.0, [&] { ran = true; });
+  e.cancel(id);
+  e.run_until(2.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(9999);  // must not crash
+  e.run_until(1.0);
+}
+
+TEST(Engine, EventsBeyondHorizonStayPending) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(5.0, [&] { ran = true; });
+  e.run_until(4.0);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine e;
+  int fires = 0;
+  e.schedule_periodic(1.0, [&] { ++fires; });
+  e.run_until(5.5);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine e;
+  int fires = 0;
+  EventId id = 0;
+  id = e.schedule_periodic(1.0, [&] {
+    if (++fires == 3) e.cancel(id);
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Engine, PeriodicNeedsPositivePeriod) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(0.0, [] {}), capgpu::InvalidArgument);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(1.0, [&] {
+    times.push_back(e.now());
+    e.schedule_after(1.0, [&] { times.push_back(e.now()); });
+  });
+  e.run_until(5.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Engine, CancelledHeadDoesNotBlockLaterEvents) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [&] { ran = true; });
+  e.cancel(id);
+  e.run_until(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, CancelledEventAfterHorizonNotExecuted) {
+  Engine e;
+  bool late_ran = false;
+  e.schedule_at(1.0, [] {});
+  const EventId late = e.schedule_at(5.0, [&] { late_ran = true; });
+  e.cancel(late);
+  // run_until must not execute the 5.0 event even though the head at 1.0
+  // was live.
+  e.run_until(3.0);
+  EXPECT_FALSE(late_ran);
+  e.run_until(10.0);
+  EXPECT_FALSE(late_ran);
+}
+
+TEST(Engine, ExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 4; ++i) e.schedule_at(1.0 + i, [] {});
+  e.run_until(10.0);
+  EXPECT_EQ(e.events_executed(), 4u);
+}
+
+TEST(Engine, StepRunsOneEvent) {
+  Engine e;
+  int runs = 0;
+  e.schedule_at(1.0, [&] { ++runs; });
+  e.schedule_at(2.0, [&] { ++runs; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(runs, 2);
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace capgpu::sim

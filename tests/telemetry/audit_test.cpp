@@ -1,0 +1,88 @@
+#include "telemetry/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TimeSeries series(std::initializer_list<double> values) {
+  TimeSeries ts("p", "W");
+  double t = 0.0;
+  for (const double v : values) ts.add(t += 4.0, v);
+  return ts;
+}
+
+TEST(CappingAudit, CleanTraceHasNoViolations) {
+  const auto ts = series({890, 895, 899, 900, 885});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  EXPECT_EQ(a.samples, 5u);
+  EXPECT_EQ(a.violation_samples, 0u);
+  EXPECT_DOUBLE_EQ(a.violation_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(a.excess_joules, 0.0);
+  EXPECT_DOUBLE_EQ(a.worst_excess_watts, 0.0);
+}
+
+TEST(CappingAudit, CountsViolationsAboveTolerance) {
+  // Tolerance 5 W: 904 is legal, 910 and 920 are not.
+  const auto ts = series({904, 910, 920, 890});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  EXPECT_EQ(a.violation_samples, 2u);
+  EXPECT_DOUBLE_EQ(a.violation_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(a.worst_excess_watts, 20.0);
+}
+
+TEST(CappingAudit, ExcessEnergyIntegratesOverTime) {
+  const auto ts = series({910, 930});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  // (10 + 30) W * 4 s each.
+  EXPECT_DOUBLE_EQ(a.excess_joules, 160.0);
+}
+
+TEST(CappingAudit, LongestStreakTracksConsecutiveViolations) {
+  const auto ts = series({950, 950, 890, 950, 950, 950, 880});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  EXPECT_EQ(a.longest_streak, 3u);
+  EXPECT_EQ(a.violation_samples, 5u);
+}
+
+TEST(CappingAudit, HeadroomAveragesNonViolatingSamples) {
+  const auto ts = series({880, 890, 950});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 15.0);  // (20 + 10) / 2
+}
+
+TEST(CappingAudit, SkipIgnoresTransient) {
+  const auto ts = series({1100, 1050, 900, 898});
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0, 5.0, 2);
+  EXPECT_EQ(a.samples, 2u);
+  EXPECT_EQ(a.violation_samples, 0u);
+}
+
+TEST(CappingAudit, MovingCapUsesPerSampleBudget) {
+  const auto power = series({850, 950, 950});
+  const auto cap = series({800, 900, 1000});
+  const CappingAudit a = audit_capping(power, cap, 4.0);
+  // 850 vs 800: violation (50); 950 vs 900: violation (50); 950 vs 1000: ok.
+  EXPECT_EQ(a.violation_samples, 2u);
+  EXPECT_DOUBLE_EQ(a.worst_excess_watts, 50.0);
+  EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 50.0);
+}
+
+TEST(CappingAudit, MismatchedCapTraceThrows) {
+  const auto power = series({850, 950});
+  const auto cap = series({900});
+  EXPECT_THROW((void)audit_capping(power, cap, 4.0),
+               capgpu::InvalidArgument);
+}
+
+TEST(CappingAudit, ValidationThrows) {
+  const auto ts = series({900});
+  EXPECT_THROW((void)audit_capping(ts, 900_W, 0.0), capgpu::InvalidArgument);
+  EXPECT_THROW((void)audit_capping(ts, 900_W, 4.0, -1.0),
+               capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "telemetry/csv.hpp"
+#include "telemetry/table.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TEST(Csv, WritesSimpleRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(std::vector<std::string>{"a", "b"});
+  w.write_row(std::vector<double>{1.5, 2.0});
+  EXPECT_EQ(out.str(), "a,b\n1.5,2\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(std::vector<std::string>{"with,comma", "with\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST(Csv, SeriesExportAlignsColumns) {
+  TimeSeries a("p1", "W");
+  TimeSeries b("p2", "W");
+  a.add(1.0, 10.0);
+  a.add(2.0, 20.0);
+  b.add(1.0, 30.0);
+  b.add(2.0, 40.0);
+  std::ostringstream out;
+  write_series_csv(out, {&a, &b});
+  EXPECT_EQ(out.str(), "time,p1,p2\n1,10,30\n2,20,40\n");
+}
+
+TEST(Csv, SeriesLengthMismatchThrows) {
+  TimeSeries a("p1", "W");
+  TimeSeries b("p2", "W");
+  a.add(1.0, 10.0);
+  std::ostringstream out;
+  EXPECT_THROW(write_series_csv(out, {&a, &b}), capgpu::InvalidArgument);
+}
+
+TEST(Csv, EmptySeriesListThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(write_series_csv(out, {}), capgpu::InvalidArgument);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("T");
+  t.set_header({"a", "b"});
+  t.add_row({"longvalue", "x"});
+  const std::string s = t.render();
+  // Header 'b' must start at the same column as 'x'.
+  const auto header_line = s.substr(s.find("a"), s.find('\n', s.find("a")) - s.find("a"));
+  EXPECT_NE(header_line.find("b"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(1000.5, 1), "1000.5");
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

@@ -1,0 +1,142 @@
+#include "telemetry/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleStddevUsesBesselCorrection) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_stddev(), std::sqrt(2.0));
+  RunningStats single;
+  single.add(5.0);
+  EXPECT_DOUBLE_EQ(single.sample_stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  capgpu::Rng rng(3);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  PercentileTracker p;
+  for (const double x : {3.0, 1.0, 2.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  PercentileTracker p;
+  for (const double x : {0.0, 10.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  PercentileTracker p;
+  for (const double x : {5.0, 1.0, 9.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 9.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  PercentileTracker p;
+  EXPECT_THROW((void)p.quantile(0.5), capgpu::InvalidArgument);
+}
+
+TEST(Percentile, OutOfRangeQThrows) {
+  PercentileTracker p;
+  p.add(1.0);
+  EXPECT_THROW((void)p.quantile(1.5), capgpu::InvalidArgument);
+  EXPECT_THROW((void)p.quantile(-0.1), capgpu::InvalidArgument);
+}
+
+TEST(Percentile, AddAfterQueryResorts) {
+  PercentileTracker p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentile, MatchesNormalQuantiles) {
+  capgpu::Rng rng(9);
+  PercentileTracker p;
+  for (int i = 0; i < 100000; ++i) p.add(rng.normal());
+  EXPECT_NEAR(p.quantile(0.5), 0.0, 0.02);
+  EXPECT_NEAR(p.quantile(0.841), 1.0, 0.03);  // +1 sigma
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter c;
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.0);
+  c.add(true);
+  c.add(false);
+  c.add(true);
+  c.add(true);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_EQ(c.hits(), 3u);
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.75);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

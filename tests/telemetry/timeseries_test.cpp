@@ -1,0 +1,70 @@
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TimeSeries make_series(std::initializer_list<double> values) {
+  TimeSeries ts("test", "W");
+  double t = 0.0;
+  for (const double v : values) ts.add(t += 1.0, v);
+  return ts;
+}
+
+TEST(TimeSeries, StoresNameUnitAndSamples) {
+  TimeSeries ts("power", "W");
+  ts.add(1.0, 500.0);
+  ts.add(2.0, 510.0);
+  EXPECT_EQ(ts.name(), "power");
+  EXPECT_EQ(ts.unit(), "W");
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.time_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 510.0);
+}
+
+TEST(TimeSeries, StatsFromSkipsPrefix) {
+  const TimeSeries ts = make_series({100, 100, 900, 900});
+  EXPECT_DOUBLE_EQ(ts.stats().mean(), 500.0);
+  EXPECT_DOUBLE_EQ(ts.stats_from(2).mean(), 900.0);
+  EXPECT_EQ(ts.stats_from(2).count(), 2u);
+}
+
+TEST(TimeSeries, CountAbove) {
+  const TimeSeries ts = make_series({890, 905, 910, 899});
+  EXPECT_EQ(ts.count_above(900.0), 2u);
+  EXPECT_EQ(ts.count_above(900.0, 2), 1u);
+  EXPECT_EQ(ts.count_above(1000.0), 0u);
+}
+
+TEST(TimeSeries, SettlingIndexFindsConvergence) {
+  const TimeSeries ts = make_series({700, 800, 880, 905, 898, 902});
+  // Within +/-10 of 900 from index 3 onward.
+  EXPECT_EQ(ts.settling_index(900.0, 10.0), 3u);
+}
+
+TEST(TimeSeries, SettlingIndexNeverSettled) {
+  const TimeSeries ts = make_series({700, 800, 700, 800});
+  EXPECT_EQ(ts.settling_index(900.0, 10.0), ts.size());
+}
+
+TEST(TimeSeries, SettlingIndexImmediate) {
+  const TimeSeries ts = make_series({900, 901, 899});
+  EXPECT_EQ(ts.settling_index(900.0, 5.0), 0u);
+}
+
+TEST(TimeSeries, SettlingIgnoresTransientReturn) {
+  // Dips out of the band late: settling must restart after the dip.
+  const TimeSeries ts = make_series({900, 950, 900, 900});
+  EXPECT_EQ(ts.settling_index(900.0, 10.0), 2u);
+}
+
+TEST(TimeSeries, OutOfRangeAccessThrows) {
+  const TimeSeries ts = make_series({1.0});
+  EXPECT_THROW((void)ts.value_at(5), capgpu::Error);
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

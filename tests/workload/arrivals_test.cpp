@@ -1,0 +1,170 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "workload/pipeline.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(Arrivals, PoissonRateMatchesSchedule) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(5), {{0.0, 20.0}});
+  arrivals.start();
+  engine.run_until(500.0);
+  // 20/s * 500 s = 10000 expected; Poisson sd = 100.
+  EXPECT_NEAR(static_cast<double>(arrivals.arrivals()), 10000.0, 400.0);
+}
+
+TEST(Arrivals, CallbackFiresPerArrival) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(5), {{0.0, 5.0}});
+  std::uint64_t seen = 0;
+  arrivals.on_arrival = [&] { ++seen; };
+  arrivals.start();
+  engine.run_until(100.0);
+  EXPECT_EQ(seen, arrivals.arrivals());
+  EXPECT_GT(seen, 0u);
+}
+
+TEST(Arrivals, RateScheduleChangesTakeEffect) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(7),
+                          {{0.0, 5.0}, {100.0, 50.0}, {200.0, 5.0}});
+  std::vector<double> times;
+  arrivals.on_arrival = [&] { times.push_back(engine.now()); };
+  arrivals.start();
+  engine.run_until(300.0);
+  std::size_t phase1 = 0, phase2 = 0, phase3 = 0;
+  for (const double t : times) {
+    if (t < 100.0) ++phase1;
+    else if (t < 200.0) ++phase2;
+    else ++phase3;
+  }
+  EXPECT_NEAR(static_cast<double>(phase1), 500.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(phase2), 5000.0, 350.0);
+  EXPECT_NEAR(static_cast<double>(phase3), 500.0, 120.0);
+}
+
+TEST(Arrivals, ZeroRatePausesUntilNextPoint) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(9), {{0.0, 0.0}, {50.0, 10.0}});
+  std::vector<double> times;
+  arrivals.on_arrival = [&] { times.push_back(engine.now()); };
+  arrivals.start();
+  engine.run_until(100.0);
+  ASSERT_FALSE(times.empty());
+  for (const double t : times) EXPECT_GE(t, 50.0);
+}
+
+TEST(Arrivals, DelayedScheduleStartsSilent) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(9), {{30.0, 10.0}});
+  arrivals.start();
+  engine.run_until(29.0);
+  EXPECT_EQ(arrivals.arrivals(), 0u);
+  engine.run_until(80.0);
+  EXPECT_GT(arrivals.arrivals(), 0u);
+}
+
+TEST(Arrivals, StopCancelsPending) {
+  sim::Engine engine;
+  ArrivalProcess arrivals(engine, Rng(5), {{0.0, 100.0}});
+  arrivals.start();
+  engine.run_until(1.0);
+  const auto before = arrivals.arrivals();
+  arrivals.stop();
+  engine.run_until(10.0);
+  EXPECT_EQ(arrivals.arrivals(), before);
+}
+
+TEST(Arrivals, DeterministicForSeed) {
+  auto count = [](std::uint64_t seed) {
+    sim::Engine engine;
+    ArrivalProcess a(engine, Rng(seed), {{0.0, 7.0}});
+    a.start();
+    engine.run_until(200.0);
+    return a.arrivals();
+  };
+  EXPECT_EQ(count(11), count(11));
+}
+
+TEST(Arrivals, ValidationThrows) {
+  sim::Engine engine;
+  EXPECT_THROW(ArrivalProcess(engine, Rng(1), {}), capgpu::InvalidArgument);
+  EXPECT_THROW(ArrivalProcess(engine, Rng(1), {{0.0, -1.0}}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(ArrivalProcess(engine, Rng(1), {{10.0, 1.0}, {10.0, 2.0}}),
+               capgpu::InvalidArgument);
+}
+
+TEST(OpenLoopPipeline, ThroughputFollowsOfferedLoad) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.cpu().set_frequency(2.4_GHz);
+  server.gpu(0).set_core_clock(1350_MHz);
+
+  StreamParams p;
+  p.model.name = "open";
+  p.model.batch_size = 10;
+  p.model.e_min_batch_s = 0.2;     // capacity 50 img/s
+  p.model.preprocess_s_ghz = 0.02; // supply 120 img/s at 2.4 GHz
+  p.model.jitter_frac = 0.0;
+  p.n_preprocess_workers = 2;
+  p.open_loop = true;
+  InferenceStream stream(engine, server, 0, p, Rng(3));
+  stream.start();
+
+  // Offer 20 img/s — well under both supply and capacity.
+  ArrivalProcess arrivals(engine, Rng(5), {{0.0, 20.0}});
+  arrivals.on_arrival = [&] { stream.submit_requests(1); };
+  arrivals.start();
+  engine.run_until(200.0);
+  EXPECT_NEAR(stream.images_throughput().rate(200.0, 100.0), 20.0, 2.0);
+}
+
+TEST(OpenLoopPipeline, IdleWhenNoRequests) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  StreamParams p;
+  p.model.batch_size = 10;
+  p.open_loop = true;
+  InferenceStream stream(engine, server, 0, p, Rng(3));
+  stream.start();
+  engine.run_until(50.0);
+  EXPECT_EQ(stream.images_completed(), 0u);
+  EXPECT_EQ(stream.pending_requests(), 0u);
+}
+
+TEST(OpenLoopPipeline, BurstDrainsThroughPipeline) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.cpu().set_frequency(2.4_GHz);
+  server.gpu(0).set_core_clock(1350_MHz);
+  StreamParams p;
+  p.model.batch_size = 10;
+  p.model.e_min_batch_s = 0.2;
+  p.model.preprocess_s_ghz = 0.02;
+  p.model.jitter_frac = 0.0;
+  p.n_preprocess_workers = 4;
+  p.open_loop = true;
+  InferenceStream stream(engine, server, 0, p, Rng(3));
+  stream.start();
+  stream.submit_requests(200);
+  engine.run_until(60.0);
+  EXPECT_EQ(stream.images_completed(), 200u);
+  EXPECT_EQ(stream.pending_requests(), 0u);
+}
+
+TEST(OpenLoopPipeline, SubmitOnClosedLoopThrows) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  StreamParams p;  // closed loop by default
+  InferenceStream stream(engine, server, 0, p, Rng(3));
+  EXPECT_THROW(stream.submit_requests(1), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

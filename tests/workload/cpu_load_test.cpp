@@ -1,0 +1,122 @@
+#include "workload/cpu_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(HostCpuLoad, UtilizationTracksBusyCores) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  HostCpuLoad load(cpu, 40);
+  EXPECT_DOUBLE_EQ(load.utilization(), 0.0);
+  load.add_always_busy_cores(20);
+  EXPECT_DOUBLE_EQ(load.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.5);
+}
+
+TEST(HostCpuLoad, WorkerDeltasAdjustUtilization) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  HostCpuLoad load(cpu, 10);
+  load.worker_compute_delta(+1);
+  load.worker_compute_delta(+1);
+  EXPECT_DOUBLE_EQ(load.utilization(), 0.2);
+  load.worker_compute_delta(-1);
+  EXPECT_DOUBLE_EQ(load.utilization(), 0.1);
+}
+
+TEST(HostCpuLoad, UtilizationClampsAtOne) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  HostCpuLoad load(cpu, 4);
+  load.add_always_busy_cores(4);
+  load.worker_compute_delta(+3);
+  EXPECT_DOUBLE_EQ(load.utilization(), 1.0);
+}
+
+TEST(HostCpuLoad, OverCommittingAlwaysBusyThrows) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  HostCpuLoad load(cpu, 4);
+  EXPECT_THROW(load.add_always_busy_cores(5), capgpu::InvalidArgument);
+}
+
+TEST(HostCpuLoad, NegativeWorkerBalanceAsserts) {
+  hw::CpuModel cpu{hw::CpuParams{}};
+  HostCpuLoad load(cpu, 4);
+  EXPECT_THROW(load.worker_compute_delta(-1), capgpu::Error);
+}
+
+class CpuTaskHarness {
+ public:
+  sim::Engine engine;
+  hw::CpuModel cpu{hw::CpuParams{}};
+
+  std::unique_ptr<CpuTaskSim> make(std::size_t cores, double cost) {
+    CpuTaskParams p;
+    p.cores = cores;
+    p.subset_s_ghz = cost;
+    p.jitter_frac = 0.0;
+    return std::make_unique<CpuTaskSim>(engine, cpu, p, Rng(1));
+  }
+};
+
+TEST(CpuTaskSim, ThroughputMatchesAnalyticRate) {
+  CpuTaskHarness h;
+  auto task = h.make(36, 0.08);
+  h.cpu.set_frequency(2_GHz);
+  task->start();
+  h.engine.run_until(100.0);
+  // 36 cores, 0.08/2.0 = 0.04 s per subset => 900 subsets/s.
+  EXPECT_NEAR(task->throughput().rate(100.0, 50.0), 900.0, 20.0);
+}
+
+TEST(CpuTaskSim, ThroughputScalesWithFrequency) {
+  CpuTaskHarness h;
+  auto task = h.make(10, 0.1);
+  h.cpu.set_frequency(1_GHz);
+  task->start();
+  h.engine.run_until(100.0);
+  const double slow = task->throughput().rate(100.0, 50.0);
+  h.cpu.set_frequency(2.4_GHz);
+  h.engine.run_until(200.0);
+  const double fast = task->throughput().rate(200.0, 50.0);
+  EXPECT_NEAR(fast / slow, 2.4, 0.1);
+}
+
+TEST(CpuTaskSim, NormalizedRateIsOneAtMaxFrequency) {
+  CpuTaskHarness h;
+  auto task = h.make(8, 0.05);
+  h.cpu.set_frequency(h.cpu.freqs().max());
+  task->start();
+  h.engine.run_until(100.0);
+  EXPECT_NEAR(task->throughput().normalized_rate(100.0, 50.0), 1.0, 0.05);
+}
+
+TEST(CpuTaskSim, SubsetLatencyMatchesFrequency) {
+  CpuTaskHarness h;
+  auto task = h.make(4, 0.08);
+  h.cpu.set_frequency(1.6_GHz);
+  task->start();
+  h.engine.run_until(50.0);
+  EXPECT_NEAR(task->subset_latency().mean(50.0, 25.0), 0.05, 1e-9);
+}
+
+TEST(CpuTaskSim, CountsSubsets) {
+  CpuTaskHarness h;
+  auto task = h.make(4, 0.1);
+  h.cpu.set_frequency(1_GHz);
+  task->start();
+  h.engine.run_until(10.0);
+  // 10 s / 0.1 s per round * 4 cores = 400.
+  EXPECT_NEAR(static_cast<double>(task->subsets_evaluated()), 400.0, 8.0);
+}
+
+TEST(CpuTaskSim, DoubleStartThrows) {
+  CpuTaskHarness h;
+  auto task = h.make(4, 0.1);
+  task->start();
+  EXPECT_THROW(task->start(), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,101 @@
+#include "workload/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(DatasetIo, LoadsHeaderAndRows) {
+  std::istringstream in("a,b,target\n1,2,3\n4,5,6\n");
+  const Dataset d = load_dataset_csv(in, "target");
+  EXPECT_EQ(d.samples(), 2u);
+  EXPECT_EQ(d.features(), 2u);
+  EXPECT_EQ(d.feature_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(d.x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.x(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.y[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.y[1], 6.0);
+}
+
+TEST(DatasetIo, TargetCanBeAnyColumn) {
+  std::istringstream in("y,x\n10,1\n20,2\n");
+  const Dataset d = load_dataset_csv(in, "y");
+  EXPECT_EQ(d.feature_names, (std::vector<std::string>{"x"}));
+  EXPECT_DOUBLE_EQ(d.y[1], 20.0);
+  EXPECT_DOUBLE_EQ(d.x(1, 0), 2.0);
+}
+
+TEST(DatasetIo, SkipsBlankLines) {
+  std::istringstream in("x,target\n1,2\n\n3,4\n");
+  const Dataset d = load_dataset_csv(in, "target");
+  EXPECT_EQ(d.samples(), 2u);
+}
+
+TEST(DatasetIo, ErrorsAreSpecific) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW((void)load_dataset_csv(in, "t"), capgpu::InvalidArgument);
+  }
+  {
+    std::istringstream in("a,b\n1,2\n");
+    EXPECT_THROW((void)load_dataset_csv(in, "missing"),
+                 capgpu::InvalidArgument);
+  }
+  {
+    std::istringstream in("a,target\n1\n");  // ragged
+    EXPECT_THROW((void)load_dataset_csv(in, "target"),
+                 capgpu::InvalidArgument);
+  }
+  {
+    std::istringstream in("a,target\n1,abc\n");  // non-numeric
+    EXPECT_THROW((void)load_dataset_csv(in, "target"),
+                 capgpu::InvalidArgument);
+  }
+  {
+    std::istringstream in("target\n1\n");  // no features
+    EXPECT_THROW((void)load_dataset_csv(in, "target"),
+                 capgpu::InvalidArgument);
+  }
+  {
+    std::istringstream in("a,target\n");  // no rows
+    EXPECT_THROW((void)load_dataset_csv(in, "target"),
+                 capgpu::InvalidArgument);
+  }
+  EXPECT_THROW((void)load_dataset_csv_file("/nonexistent/x.csv", "t"),
+               capgpu::Error);
+}
+
+TEST(DatasetIo, SaveLoadRoundTrips) {
+  const auto records = PaiTraceGenerator(3).generate(50);
+  const Dataset original = PaiTraceGenerator::to_dataset(records);
+  std::stringstream buffer;
+  save_dataset_csv(buffer, original, "duration_s");
+  const Dataset loaded = load_dataset_csv(buffer, "duration_s");
+  ASSERT_EQ(loaded.samples(), original.samples());
+  ASSERT_EQ(loaded.features(), original.features());
+  EXPECT_EQ(loaded.feature_names, original.feature_names);
+  for (std::size_t r = 0; r < loaded.samples(); ++r) {
+    EXPECT_NEAR(loaded.y[r], original.y[r], 1e-9);
+    for (std::size_t c = 0; c < loaded.features(); ++c) {
+      EXPECT_NEAR(loaded.x(r, c), original.x(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(DatasetIo, LoadedTraceFeedsFeatureSelection) {
+  const auto records = PaiTraceGenerator(9).generate(200);
+  std::stringstream buffer;
+  save_dataset_csv(buffer, PaiTraceGenerator::to_dataset(records), "dur");
+  const Dataset d = load_dataset_csv(buffer, "dur");
+  const auto result = ExhaustiveFeatureSelection().run(d);
+  const auto truth = PaiTraceGenerator::informative_mask();
+  EXPECT_EQ(result.best.mask & truth, truth);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,125 @@
+#include "workload/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+/// y = 3*x0 - 2*x2 + noise; x1 is pure noise.
+Dataset make_synthetic(std::size_t n, double noise, std::uint64_t seed = 1) {
+  capgpu::Rng rng(seed);
+  Dataset d;
+  d.feature_names = {"x0", "x1", "x2"};
+  d.x = linalg::Matrix(n, 3);
+  d.y = linalg::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) d.x(i, j) = rng.uniform(-1.0, 1.0);
+    d.y[i] = 3.0 * d.x(i, 0) - 2.0 * d.x(i, 2) + rng.normal(0.0, noise);
+  }
+  return d;
+}
+
+TEST(FeatureSelection, FindsInformativeSubset) {
+  const Dataset d = make_synthetic(200, 0.05);
+  ExhaustiveFeatureSelection fs;
+  const auto result = fs.run(d);
+  // Best mask must include x0 and x2 (bits 0 and 2).
+  EXPECT_TRUE(result.best.mask & 0b001);
+  EXPECT_TRUE(result.best.mask & 0b100);
+  EXPECT_EQ(result.subsets_evaluated, 7u);
+  EXPECT_EQ(result.all_scores.size(), 7u);
+}
+
+TEST(FeatureSelection, InformativeSubsetBeatsNuisanceOnly) {
+  const Dataset d = make_synthetic(200, 0.05);
+  ExhaustiveFeatureSelection fs;
+  const double informative = fs.evaluate_subset(d, 0b101);
+  const double nuisance = fs.evaluate_subset(d, 0b010);
+  EXPECT_LT(informative, 0.1 * nuisance);
+}
+
+TEST(FeatureSelection, BestFeatureNamesResolve) {
+  const Dataset d = make_synthetic(200, 0.05);
+  ExhaustiveFeatureSelection fs;
+  const auto result = fs.run(d);
+  const auto names = result.best_features(d);
+  EXPECT_NE(std::find(names.begin(), names.end(), "x0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "x2"), names.end());
+}
+
+TEST(FeatureSelection, CvMseApproximatesNoiseFloor) {
+  const Dataset d = make_synthetic(500, 0.5, 7);
+  ExhaustiveFeatureSelection fs;
+  const double mse = fs.evaluate_subset(d, 0b101);
+  EXPECT_NEAR(mse, 0.25, 0.08);  // variance of the injected noise
+}
+
+TEST(FeatureSelection, DeterministicEvaluation) {
+  const Dataset d = make_synthetic(100, 0.1);
+  ExhaustiveFeatureSelection fs;
+  EXPECT_DOUBLE_EQ(fs.evaluate_subset(d, 0b011), fs.evaluate_subset(d, 0b011));
+}
+
+TEST(FeatureSelection, ProgressCallbackFires) {
+  const Dataset d = make_synthetic(60, 0.1);
+  ExhaustiveFeatureSelection fs;
+  std::uint64_t last = 0;
+  (void)fs.run(d, [&](std::uint64_t n) { last = n; });
+  EXPECT_EQ(last, 7u);
+}
+
+TEST(FeatureSelection, EmptyMaskThrows) {
+  const Dataset d = make_synthetic(60, 0.1);
+  ExhaustiveFeatureSelection fs;
+  EXPECT_THROW((void)fs.evaluate_subset(d, 0), capgpu::InvalidArgument);
+}
+
+TEST(FeatureSelection, TooFewSamplesThrows) {
+  const Dataset d = make_synthetic(8, 0.1);
+  FeatureSelectionConfig cfg;
+  cfg.k_folds = 5;
+  ExhaustiveFeatureSelection fs(cfg);
+  EXPECT_THROW((void)fs.evaluate_subset(d, 0b1), capgpu::InvalidArgument);
+}
+
+TEST(FeatureSelection, SubsetBudgetEnforced) {
+  Dataset d = make_synthetic(100, 0.1);
+  FeatureSelectionConfig cfg;
+  cfg.max_subsets = 3;  // 7 subsets needed
+  ExhaustiveFeatureSelection fs(cfg);
+  EXPECT_THROW((void)fs.run(d), capgpu::InvalidArgument);
+}
+
+TEST(FeatureSelection, KFoldsValidation) {
+  FeatureSelectionConfig cfg;
+  cfg.k_folds = 1;
+  EXPECT_THROW(ExhaustiveFeatureSelection{cfg}, capgpu::InvalidArgument);
+}
+
+TEST(FeatureSelection, InterceptOptionChangesFit) {
+  // With a target offset, the no-intercept model must do worse.
+  capgpu::Rng rng(3);
+  Dataset d;
+  d.feature_names = {"x0"};
+  d.x = linalg::Matrix(100, 1);
+  d.y = linalg::Vector(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    d.x(i, 0) = rng.uniform(-1.0, 1.0);
+    d.y[i] = 2.0 * d.x(i, 0) + 10.0 + rng.normal(0.0, 0.05);
+  }
+  FeatureSelectionConfig with;
+  FeatureSelectionConfig without;
+  without.include_intercept = false;
+  const double mse_with =
+      ExhaustiveFeatureSelection(with).evaluate_subset(d, 0b1);
+  const double mse_without =
+      ExhaustiveFeatureSelection(without).evaluate_subset(d, 0b1);
+  EXPECT_LT(mse_with, 0.01);
+  EXPECT_GT(mse_without, 50.0);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,63 @@
+#include "workload/latency_law.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capgpu::workload {
+namespace {
+
+TEST(LatencyLaw, AtMaxFrequencyLatencyIsEmin) {
+  EXPECT_DOUBLE_EQ(latency_at(0.5, 1350_MHz, 1350_MHz, 0.91), 0.5);
+}
+
+TEST(LatencyLaw, LowerFrequencyIsSlower) {
+  const double at_max = latency_at(0.5, 1350_MHz, 1350_MHz, 0.91);
+  const double at_half = latency_at(0.5, 1350_MHz, 675_MHz, 0.91);
+  EXPECT_GT(at_half, at_max);
+}
+
+TEST(LatencyLaw, GammaOneIsExactInverseProportion) {
+  EXPECT_NEAR(latency_at(1.0, 1000_MHz, 500_MHz, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(latency_at(1.0, 1000_MHz, 250_MHz, 1.0), 4.0, 1e-12);
+}
+
+TEST(LatencyLaw, SubLinearGammaDampsSlowdown) {
+  // gamma < 1: halving frequency less than doubles latency.
+  const double e = latency_at(1.0, 1000_MHz, 500_MHz, 0.91);
+  EXPECT_LT(e, 2.0);
+  EXPECT_GT(e, 1.8);
+}
+
+TEST(LatencyLaw, PaperCalibrationRatios) {
+  // Table 1's GPU-latency column reports 1.3 / 2.0 / 1.6 s/batch at
+  // 810 / 495 / 660 MHz. Our GoogLeNet preset scales e_min to match the
+  // throughput column instead (the two are mutually inconsistent in the
+  // paper); the *ratios* across clocks depend only on the law and must
+  // match the paper's.
+  const double e810 = latency_at(1.75, 1095_MHz, 810_MHz, 0.91);
+  const double e495 = latency_at(1.75, 1095_MHz, 495_MHz, 0.91);
+  const double e660 = latency_at(1.75, 1095_MHz, 660_MHz, 0.91);
+  EXPECT_NEAR(e810 / e495, 1.3 / 2.0, 0.04);
+  EXPECT_NEAR(e660 / e495, 1.6 / 2.0, 0.04);
+  EXPECT_NEAR(e810 / e660, 1.3 / 1.6, 0.04);
+}
+
+TEST(LatencyLaw, InverseRoundTrips) {
+  const double e_min = 0.35;
+  const Megahertz f_max = 1350_MHz;
+  const double gamma = 0.91;
+  for (const double f : {500.0, 750.0, 1000.0, 1350.0}) {
+    const double e = latency_at(e_min, f_max, Megahertz{f}, gamma);
+    const Megahertz back = frequency_for_latency(e_min, f_max, e, gamma);
+    EXPECT_NEAR(back.value, f, 1e-9);
+  }
+}
+
+TEST(LatencyLaw, InfeasibleBudgetExceedsMaxFrequency) {
+  // A budget below e_min requires a frequency above f_max.
+  const Megahertz f =
+      frequency_for_latency(0.5, 1000_MHz, 0.25, 0.91);
+  EXPECT_GT(f.value, 1000.0);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,79 @@
+// LLM decode workload: the bandwidth-bound profile behaves differently
+// under capping than the compute-bound vision models — that difference
+// must show up in the latency law, the SLO inversion, and the capped mix.
+#include <gtest/gtest.h>
+
+#include "core/capgpu_controller.hpp"
+#include "core/rig.hpp"
+#include "workload/latency_law.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(LlmWorkload, WeakClockSensitivity) {
+  const ModelSpec llm = llm_decode_v100();
+  const ModelSpec vision = resnet50_v100();
+  // Halving the clock slows the LLM step far less than the vision batch.
+  const double llm_slowdown =
+      latency_at(llm.e_min_batch_s, llm.gpu_f_max, 675_MHz, llm.gamma) /
+      llm.e_min_batch_s;
+  const double vision_slowdown =
+      latency_at(vision.e_min_batch_s, vision.gpu_f_max, 675_MHz,
+                 vision.gamma) /
+      vision.e_min_batch_s;
+  EXPECT_LT(llm_slowdown, 1.5);
+  EXPECT_GT(vision_slowdown, 1.8);
+}
+
+TEST(LlmWorkload, TpotSloNeedsLessClockThanVisionSlos) {
+  // A 25% latency allowance buys a much deeper clock cut for the
+  // bandwidth-bound model (flat latency curve => cheap SLO headroom).
+  const ModelSpec llm = llm_decode_v100();
+  const control::LatencyModel lm(llm.e_min_batch_s, llm.gpu_f_max, llm.gamma);
+  const double floor_llm =
+      lm.min_frequency_for_slo(1.25 * llm.e_min_batch_s).value;
+  const ModelSpec vision = resnet50_v100();
+  const control::LatencyModel vm(vision.e_min_batch_s, vision.gpu_f_max,
+                                 vision.gamma);
+  const double floor_vision =
+      vm.min_frequency_for_slo(1.25 * vision.e_min_batch_s).value;
+  // Analytic ratio: 1.25^(1/0.91 - 1/0.55) = 0.85.
+  EXPECT_LT(floor_llm, 0.9 * floor_vision);
+}
+
+TEST(LlmWorkload, CappedMixedServingThrottlesByLatencySensitivity) {
+  // LLM + two vision models under a cap, every task given the same 1.3x
+  // latency allowance. The bandwidth-bound LLM converts its allowance
+  // into a much deeper clock cut (floor ~975 MHz vs ~1108 for gamma=0.91
+  // vision), so the controller parks it lower while every SLO holds.
+  core::RigConfig cfg;
+  cfg.models = {llm_decode_v100(), resnet50_v100(), vgg16_v100()};
+  core::ServerRig rig(cfg);
+  core::CapGpuController ctl(core::CapGpuConfig{}, rig.device_ranges(),
+                             rig.analytic_power_model(), 1000_W,
+                             rig.latency_models());
+  core::RunOptions opt;
+  opt.periods = 80;
+  opt.set_point = 1000_W;
+  opt.initial_slos = {{1, 1.3 * llm_decode_v100().e_min_batch_s},
+                      {2, 1.3 * resnet50_v100().e_min_batch_s},
+                      {3, 1.3 * vgg16_v100().e_min_batch_s}};
+  const core::RunResult res = rig.run(ctl, opt);
+
+  EXPECT_NEAR(res.steady_power(30).mean(), 1000.0, 8.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(res.slo_misses[i].ratio(), 0.05) << "stream " << i;
+  }
+  // The LLM board sits well below the vision boards.
+  const double f_llm = res.device_freqs[1].stats_from(30).mean();
+  const double f_resnet = res.device_freqs[2].stats_from(30).mean();
+  EXPECT_LT(f_llm, f_resnet - 100.0);
+  // And its token throughput only drops by the (f/fmax)^0.55 factor:
+  // >= 80% of the peak rate despite the deep clock cut.
+  const double peak = rig.stream(0).max_images_per_s();
+  EXPECT_GT(res.gpu_throughput[0].stats_from(30).mean(), 0.80 * peak);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

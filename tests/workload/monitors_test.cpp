@@ -1,0 +1,99 @@
+#include "workload/monitors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(ThroughputMonitor, RateOverWindow) {
+  ThroughputMonitor m(100.0);
+  m.record(1.0, 10.0);
+  m.record(2.0, 10.0);
+  m.record(3.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.rate(4.0, 4.0), 30.0 / 4.0);
+}
+
+TEST(ThroughputMonitor, WindowExcludesOldEvents) {
+  ThroughputMonitor m(100.0);
+  m.record(1.0, 50.0);
+  m.record(10.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.rate(10.0, 4.0), 10.0 / 4.0);
+}
+
+TEST(ThroughputMonitor, NormalizedClampsToOne) {
+  ThroughputMonitor m(10.0);
+  m.record(1.0, 200.0);
+  EXPECT_DOUBLE_EQ(m.normalized_rate(2.0, 2.0), 1.0);
+}
+
+TEST(ThroughputMonitor, NormalizedFraction) {
+  ThroughputMonitor m(20.0);
+  m.record(1.0, 40.0);
+  // 40 over a 4 s window = 10/s of a 20/s max.
+  EXPECT_DOUBLE_EQ(m.normalized_rate(4.0, 4.0), 0.5);
+}
+
+TEST(ThroughputMonitor, TotalAccumulates) {
+  ThroughputMonitor m(10.0);
+  m.record(1.0, 2.0);
+  m.record(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.total(), 5.0);
+}
+
+TEST(ThroughputMonitor, TrimDropsOldEvents) {
+  ThroughputMonitor m(10.0);
+  m.record(1.0, 5.0);
+  m.record(100.0, 5.0);
+  m.trim(100.0, 50.0);
+  // Old event gone, but the rate over a huge window now only sees recent.
+  EXPECT_DOUBLE_EQ(m.rate(100.0, 1000.0), 5.0 / 1000.0);
+}
+
+TEST(ThroughputMonitor, InvalidArgsThrow) {
+  EXPECT_THROW(ThroughputMonitor(0.0), capgpu::InvalidArgument);
+  ThroughputMonitor m(10.0);
+  EXPECT_THROW((void)m.rate(1.0, 0.0), capgpu::InvalidArgument);
+}
+
+TEST(LatencyMonitor, MeanMaxCountOverWindow) {
+  LatencyMonitor m;
+  m.record(1.0, 0.2);
+  m.record(2.0, 0.4);
+  EXPECT_DOUBLE_EQ(m.mean(2.5, 2.5), 0.3);
+  m.record(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean(10.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(10.0, 100.0), 1.0);
+  EXPECT_EQ(m.count(10.0, 100.0), 3u);
+}
+
+TEST(LatencyMonitor, EmptyWindowYieldsZero) {
+  LatencyMonitor m;
+  EXPECT_DOUBLE_EQ(m.mean(10.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.miss_rate(10.0, 4.0, 1.0), 0.0);
+}
+
+TEST(LatencyMonitor, MissRateAgainstThreshold) {
+  LatencyMonitor m;
+  m.record(1.0, 0.5);
+  m.record(2.0, 1.5);
+  m.record(3.0, 2.5);
+  m.record(4.0, 0.9);
+  EXPECT_DOUBLE_EQ(m.miss_rate(4.0, 4.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.miss_rate(4.0, 4.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.miss_rate(4.0, 4.0, 0.1), 1.0);
+}
+
+TEST(LatencyMonitor, LifetimeStatsSurviveTrim) {
+  LatencyMonitor m;
+  m.record(1.0, 0.5);
+  m.record(2.0, 1.5);
+  m.trim(1000.0, 10.0);
+  EXPECT_EQ(m.count(1000.0, 1000.0), 0u);
+  EXPECT_EQ(m.lifetime().count(), 2u);
+  EXPECT_DOUBLE_EQ(m.lifetime().mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,232 @@
+#include "workload/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "workload/latency_law.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+/// Harness: one stream on a 1-GPU testbed with controllable frequencies.
+struct PipelineHarness {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  std::unique_ptr<InferenceStream> stream;
+
+  explicit PipelineHarness(StreamParams params, std::uint64_t seed = 1) {
+    stream = std::make_unique<InferenceStream>(engine, server, 0, params,
+                                               Rng(seed));
+  }
+
+  void run(double seconds) { engine.run_until(engine.now() + seconds); }
+};
+
+StreamParams fast_model(std::size_t workers = 1) {
+  StreamParams p;
+  p.model.name = "test";
+  p.model.batch_size = 10;
+  p.model.e_min_batch_s = 0.2;
+  p.model.gamma = 0.91;
+  p.model.gpu_f_max = 1350_MHz;
+  p.model.preprocess_s_ghz = 0.02;
+  p.model.gpu_busy_util = 0.9;
+  p.model.jitter_frac = 0.0;  // deterministic timing for analytic checks
+  p.n_preprocess_workers = workers;
+  return p;
+}
+
+TEST(Pipeline, GpuBoundThroughputMatchesCapacity) {
+  // CPU fast (supply >> demand), GPU at max: throughput == batch/e_min.
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);     // supply 2*120 img/s
+  h.server.gpu(0).set_core_clock(1350_MHz);  // capacity 50 img/s
+  h.stream->start();
+  h.run(100.0);
+  const double rate = h.stream->images_throughput().rate(100.0, 50.0);
+  EXPECT_NEAR(rate, 50.0, 2.5);
+}
+
+TEST(Pipeline, CpuBoundThroughputMatchesSupply) {
+  // One slow worker: supply = f_ghz / preprocess_s_ghz = 1.0/0.02 = 50,
+  // GPU capacity 50 at max clock... make CPU clearly the bottleneck.
+  StreamParams p = fast_model(1);
+  p.model.preprocess_s_ghz = 0.05;  // supply at 1 GHz = 20 img/s
+  PipelineHarness h(p);
+  h.server.cpu().set_frequency(1_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);  // capacity 50 img/s
+  h.stream->start();
+  h.run(100.0);
+  const double rate = h.stream->images_throughput().rate(100.0, 50.0);
+  EXPECT_NEAR(rate, 20.0, 1.5);
+}
+
+TEST(Pipeline, ThroughputIsMinOfSupplyAndCapacity) {
+  StreamParams p = fast_model(1);
+  p.model.preprocess_s_ghz = 0.04;  // supply at 2 GHz = 50 img/s
+  PipelineHarness h(p);
+  h.server.cpu().set_frequency(2_GHz);
+  h.server.gpu(0).set_core_clock(675_MHz);  // capacity ~ 10/0.2/(2)^.91 ~ 26.6
+  h.stream->start();
+  h.run(100.0);
+  const double capacity =
+      10.0 / latency_at(0.2, 1350_MHz, 675_MHz, 0.91);
+  const double rate = h.stream->images_throughput().rate(100.0, 50.0);
+  EXPECT_NEAR(rate, capacity, 2.0);
+}
+
+TEST(Pipeline, BatchLatencyFollowsLatencyLaw) {
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(675_MHz);
+  h.stream->start();
+  h.run(60.0);
+  const double expected = latency_at(0.2, 1350_MHz, 675_MHz, 0.91);
+  EXPECT_NEAR(h.stream->batch_latency().mean(60.0, 30.0), expected, 1e-9);
+}
+
+TEST(Pipeline, PreprocessComputeLatencyScalesWithCpuFrequency) {
+  PipelineHarness h(fast_model(1));
+  h.server.cpu().set_frequency(1_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(30.0);
+  EXPECT_NEAR(h.stream->preprocess_compute_latency().mean(30.0, 10.0),
+              0.02 / 1.0, 1e-9);
+}
+
+TEST(Pipeline, BlockedProducersInflateTotalPreprocessLatency) {
+  // GPU far too slow: queue backs up, workers block.
+  StreamParams p = fast_model(4);
+  p.model.e_min_batch_s = 5.0;  // capacity 2 img/s << supply
+  PipelineHarness h(p);
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(200.0);
+  const double compute =
+      h.stream->preprocess_compute_latency().mean(200.0, 100.0);
+  const double total = h.stream->preprocess_latency().mean(200.0, 100.0);
+  EXPECT_GT(total, 5.0 * compute);  // dominated by blocking
+}
+
+TEST(Pipeline, QueueDelayPositiveAndBounded) {
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(60.0);
+  const double qd = h.stream->queue_delay().mean(60.0, 30.0);
+  EXPECT_GT(qd, 0.0);
+  // Bounded by (queue capacity / throughput): 20 / 50 = 0.4 s plus a batch.
+  EXPECT_LT(qd, 1.0);
+}
+
+TEST(Pipeline, GpuUtilizationReflectsBusyFraction) {
+  // GPU-bound: utilization should sit at the model's busy level.
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(10.0);
+  // At some instant mid-run the GPU is either busy (0.9) or idle (0.0).
+  const double u = h.server.gpu(0).utilization();
+  EXPECT_TRUE(u == 0.0 || u == 0.9);
+}
+
+TEST(Pipeline, WorkerComputeCallbackBalances) {
+  PipelineHarness h(fast_model(3));
+  long delta_sum = 0;
+  long max_seen = 0;
+  h.stream->on_worker_compute_change = [&](int d) {
+    delta_sum += d;
+    max_seen = std::max(max_seen, delta_sum);
+  };
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(20.0);
+  EXPECT_GE(delta_sum, 0);
+  EXPECT_LE(delta_sum, 3);
+  EXPECT_EQ(max_seen, 3);  // all three workers were computing at once
+}
+
+TEST(Pipeline, DeterministicWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    StreamParams p = fast_model(2);
+    p.model.jitter_frac = 0.05;
+    PipelineHarness h(p, seed);
+    h.server.cpu().set_frequency(2.4_GHz);
+    h.server.gpu(0).set_core_clock(900_MHz);
+    h.stream->start();
+    h.run(50.0);
+    return h.stream->images_completed();
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43) + 1000000);  // sanity
+}
+
+TEST(Pipeline, CountersTrackCompletions) {
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(30.0);
+  EXPECT_EQ(h.stream->images_completed(),
+            h.stream->batches_completed() * 10);
+  EXPECT_GT(h.stream->batches_completed(), 100u);
+}
+
+TEST(Pipeline, FrequencyChangeMidRunShiftsThroughput) {
+  PipelineHarness h(fast_model(2));
+  h.server.cpu().set_frequency(2.4_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(50.0);
+  const double fast_rate = h.stream->images_throughput().rate(50.0, 20.0);
+  h.server.gpu(0).set_core_clock(435_MHz);
+  h.run(50.0);
+  const double slow_rate = h.stream->images_throughput().rate(100.0, 20.0);
+  EXPECT_LT(slow_rate, 0.6 * fast_rate);
+}
+
+TEST(Pipeline, InvalidConfigurationsThrow) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  StreamParams p = fast_model();
+  EXPECT_THROW(InferenceStream(engine, server, 1, p, Rng(1)),
+               capgpu::InvalidArgument);  // gpu index out of range
+  StreamParams no_workers = fast_model(1);
+  no_workers.n_preprocess_workers = 0;
+  EXPECT_THROW(InferenceStream(engine, server, 0, no_workers, Rng(1)),
+               capgpu::InvalidArgument);
+  StreamParams tiny_queue = fast_model();
+  tiny_queue.queue_capacity = 5;  // < batch_size 10
+  EXPECT_THROW(InferenceStream(engine, server, 0, tiny_queue, Rng(1)),
+               capgpu::InvalidArgument);
+}
+
+TEST(Pipeline, DoubleStartThrows) {
+  PipelineHarness h(fast_model());
+  h.stream->start();
+  EXPECT_THROW(h.stream->start(), capgpu::InvalidArgument);
+}
+
+TEST(Pipeline, PinnedPreprocessFrequencyDecouplesFromCpu) {
+  // With the provider pinned at 2.4 GHz, lowering the package frequency
+  // must not slow preprocessing (paper Sec 6.3 core-domain split).
+  StreamParams p = fast_model(1);
+  PipelineHarness h(p);
+  h.stream->preprocess_frequency = [] { return 2.4_GHz; };
+  h.server.cpu().set_frequency(1_GHz);
+  h.server.gpu(0).set_core_clock(1350_MHz);
+  h.stream->start();
+  h.run(30.0);
+  EXPECT_NEAR(h.stream->preprocess_compute_latency().mean(30.0, 10.0),
+              0.02 / 2.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

@@ -1,0 +1,109 @@
+#include "workload/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(ImageQueue, PushPopFifoOrder) {
+  ImageQueue q(4);
+  EXPECT_TRUE(q.try_push(1.0));
+  EXPECT_TRUE(q.try_push(2.0));
+  EXPECT_TRUE(q.try_push(3.0));
+  const auto stamps = q.pop(2);
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(stamps[0], 1.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ImageQueue, RejectsWhenFull) {
+  ImageQueue q(2);
+  EXPECT_TRUE(q.try_push(1.0));
+  EXPECT_TRUE(q.try_push(2.0));
+  EXPECT_FALSE(q.try_push(3.0));
+  EXPECT_TRUE(q.full());
+}
+
+TEST(ImageQueue, ProducerWokenOnPop) {
+  ImageQueue q(1);
+  ASSERT_TRUE(q.try_push(1.0));
+  int woken = 0;
+  q.wait_for_space([&] { ++woken; });
+  EXPECT_EQ(woken, 0);
+  (void)q.pop(1);
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(ImageQueue, OnlyAsManyProducersWokenAsSpace) {
+  ImageQueue q(2);
+  ASSERT_TRUE(q.try_push(1.0));
+  ASSERT_TRUE(q.try_push(2.0));
+  int woken = 0;
+  // Three blocked producers, but a pop of 1 frees only one slot; the woken
+  // producer refills it, so exactly one callback fires.
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
+  (void)q.pop(1);
+  EXPECT_EQ(woken, 1);
+  EXPECT_TRUE(q.full());
+}
+
+TEST(ImageQueue, ConsumerFiresWhenThresholdReached) {
+  ImageQueue q(8);
+  int fired = 0;
+  q.wait_for_items(3, [&] { ++fired; });
+  q.try_push(1.0);
+  q.try_push(2.0);
+  EXPECT_EQ(fired, 0);
+  q.try_push(3.0);
+  EXPECT_EQ(fired, 1);
+  // One-shot: further pushes don't re-fire.
+  q.try_push(4.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ImageQueue, ConsumerFiresImmediatelyIfAlreadyEnough) {
+  ImageQueue q(8);
+  q.try_push(1.0);
+  q.try_push(2.0);
+  int fired = 0;
+  q.wait_for_items(2, [&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ImageQueue, SecondPendingConsumerThrows) {
+  ImageQueue q(8);
+  q.wait_for_items(3, [] {});
+  EXPECT_THROW(q.wait_for_items(2, [] {}), capgpu::InvalidArgument);
+}
+
+TEST(ImageQueue, ThresholdLargerThanCapacityThrows) {
+  ImageQueue q(2);
+  EXPECT_THROW(q.wait_for_items(3, [] {}), capgpu::InvalidArgument);
+}
+
+TEST(ImageQueue, PopMoreThanContentsThrows) {
+  ImageQueue q(4);
+  q.try_push(1.0);
+  EXPECT_THROW((void)q.pop(2), capgpu::InvalidArgument);
+}
+
+TEST(ImageQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(ImageQueue(0), capgpu::InvalidArgument);
+}
+
+TEST(ImageQueue, TotalEnqueuedCounts) {
+  ImageQueue q(2);
+  q.try_push(1.0);
+  q.try_push(2.0);
+  (void)q.pop(2);
+  q.try_push(3.0);
+  EXPECT_EQ(q.total_enqueued(), 3u);
+}
+
+}  // namespace
+}  // namespace capgpu::workload

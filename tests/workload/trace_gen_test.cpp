@@ -1,0 +1,86 @@
+#include "workload/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+namespace {
+
+TEST(PaiTrace, DeterministicForSeed) {
+  PaiTraceGenerator a(42);
+  PaiTraceGenerator b(42);
+  const auto ra = a.generate(50);
+  const auto rb = b.generate(50);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].duration_s, rb[i].duration_s);
+    EXPECT_DOUBLE_EQ(ra[i].plan_cpu, rb[i].plan_cpu);
+  }
+}
+
+TEST(PaiTrace, DifferentSeedsDiffer) {
+  const auto ra = PaiTraceGenerator(1).generate(20);
+  const auto rb = PaiTraceGenerator(2).generate(20);
+  int equal = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    equal += (ra[i].duration_s == rb[i].duration_s);
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(PaiTrace, ValuesInPlausibleRanges) {
+  const auto records = PaiTraceGenerator(7).generate(500);
+  for (const auto& r : records) {
+    EXPECT_GE(r.plan_cpu, 100.0);
+    EXPECT_GE(r.plan_mem, 2.0);
+    EXPECT_GE(r.plan_gpu, 0.0);
+    EXPECT_LE(r.plan_gpu, 100.0);
+    EXPECT_GE(r.instance_num, 1.0);
+    EXPECT_GE(r.wait_s, 0.0);
+    EXPECT_GE(r.duration_s, 1.0);
+    EXPECT_TRUE(r.cap_mem == 512.0 || r.cap_mem == 768.0);
+  }
+}
+
+TEST(PaiTrace, DatasetShapeMatches) {
+  const auto records = PaiTraceGenerator(7).generate(100);
+  const Dataset d = PaiTraceGenerator::to_dataset(records);
+  EXPECT_EQ(d.samples(), 100u);
+  EXPECT_EQ(d.features(), 7u);
+  EXPECT_EQ(d.feature_names.size(), 7u);
+  EXPECT_EQ(d.feature_names[0], "plan_cpu");
+  EXPECT_DOUBLE_EQ(d.y[0], records[0].duration_s);
+  EXPECT_DOUBLE_EQ(d.x(3, 2), records[3].plan_gpu);
+}
+
+TEST(PaiTrace, EmptyRecordsThrow) {
+  EXPECT_THROW((void)PaiTraceGenerator::to_dataset({}),
+               capgpu::InvalidArgument);
+}
+
+TEST(PaiTrace, InformativeMaskDrivesDuration) {
+  // Feature selection on the synthetic trace should score the ground-truth
+  // informative subset far better than the nuisance-only one.
+  const auto records = PaiTraceGenerator(11).generate(400);
+  const Dataset d = PaiTraceGenerator::to_dataset(records);
+  ExhaustiveFeatureSelection fs;
+  const double informative =
+      fs.evaluate_subset(d, PaiTraceGenerator::informative_mask());
+  const double nuisance = fs.evaluate_subset(d, 0b1110000);  // wait/caps only
+  EXPECT_LT(informative, 0.2 * nuisance);
+}
+
+TEST(PaiTrace, FullSearchSelectsInformativeFeatures) {
+  const auto records = PaiTraceGenerator(13).generate(300);
+  const Dataset d = PaiTraceGenerator::to_dataset(records);
+  const auto result = ExhaustiveFeatureSelection().run(d);
+  const auto truth = PaiTraceGenerator::informative_mask();
+  // Every ground-truth feature must be selected (extras are allowed: noise
+  // can make a nuisance feature marginally helpful in CV).
+  EXPECT_EQ(result.best.mask & truth, truth);
+  EXPECT_EQ(result.subsets_evaluated, 127u);
+}
+
+}  // namespace
+}  // namespace capgpu::workload
