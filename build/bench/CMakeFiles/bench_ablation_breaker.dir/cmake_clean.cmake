@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_breaker.dir/bench_ablation_breaker.cpp.o"
+  "CMakeFiles/bench_ablation_breaker.dir/bench_ablation_breaker.cpp.o.d"
+  "bench_ablation_breaker"
+  "bench_ablation_breaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_breaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

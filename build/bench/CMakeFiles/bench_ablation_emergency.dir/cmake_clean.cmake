@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_emergency.dir/bench_ablation_emergency.cpp.o"
+  "CMakeFiles/bench_ablation_emergency.dir/bench_ablation_emergency.cpp.o.d"
+  "bench_ablation_emergency"
+  "bench_ablation_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

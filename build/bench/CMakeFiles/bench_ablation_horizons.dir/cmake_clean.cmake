@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_horizons.dir/bench_ablation_horizons.cpp.o"
+  "CMakeFiles/bench_ablation_horizons.dir/bench_ablation_horizons.cpp.o.d"
+  "bench_ablation_horizons"
+  "bench_ablation_horizons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_horizons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2a_sysid.cpp" "bench/CMakeFiles/bench_fig2a_sysid.dir/bench_fig2a_sysid.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2a_sysid.dir/bench_fig2a_sysid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/capgpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/capgpu_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/capgpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/capgpu_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/capgpu_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/capgpu_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rack/CMakeFiles/capgpu_rack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_sysid.dir/bench_fig2a_sysid.cpp.o"
+  "CMakeFiles/bench_fig2a_sysid.dir/bench_fig2a_sysid.cpp.o.d"
+  "bench_fig2a_sysid"
+  "bench_fig2a_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

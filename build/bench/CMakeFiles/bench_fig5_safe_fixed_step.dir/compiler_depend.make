@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_safe_fixed_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_slo_capgpu.dir/bench_fig9_slo_capgpu.cpp.o"
+  "CMakeFiles/bench_fig9_slo_capgpu.dir/bench_fig9_slo_capgpu.cpp.o.d"
+  "bench_fig9_slo_capgpu"
+  "bench_fig9_slo_capgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_slo_capgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontier.dir/bench_frontier.cpp.o"
+  "CMakeFiles/bench_frontier.dir/bench_frontier.cpp.o.d"
+  "bench_frontier"
+  "bench_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openloop_load.dir/bench_openloop_load.cpp.o"
+  "CMakeFiles/bench_openloop_load.dir/bench_openloop_load.cpp.o.d"
+  "bench_openloop_load"
+  "bench_openloop_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openloop_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rack_policies.dir/bench_rack_policies.cpp.o"
+  "CMakeFiles/bench_rack_policies.dir/bench_rack_policies.cpp.o.d"
+  "bench_rack_policies"
+  "bench_rack_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rack_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_capping.dir/datacenter_capping.cpp.o"
+  "CMakeFiles/datacenter_capping.dir/datacenter_capping.cpp.o.d"
+  "datacenter_capping"
+  "datacenter_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_capping.dir/rack_capping.cpp.o"
+  "CMakeFiles/rack_capping.dir/rack_capping.cpp.o.d"
+  "rack_capping"
+  "rack_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

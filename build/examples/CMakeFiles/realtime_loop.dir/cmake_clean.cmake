@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_loop.dir/realtime_loop.cpp.o"
+  "CMakeFiles/realtime_loop.dir/realtime_loop.cpp.o.d"
+  "realtime_loop"
+  "realtime_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

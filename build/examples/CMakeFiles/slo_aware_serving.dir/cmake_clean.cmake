@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_aware_serving.dir/slo_aware_serving.cpp.o"
+  "CMakeFiles/slo_aware_serving.dir/slo_aware_serving.cpp.o.d"
+  "slo_aware_serving"
+  "slo_aware_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_aware_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

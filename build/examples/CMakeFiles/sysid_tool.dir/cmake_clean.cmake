@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysid_tool.dir/sysid_tool.cpp.o"
+  "CMakeFiles/sysid_tool.dir/sysid_tool.cpp.o.d"
+  "sysid_tool"
+  "sysid_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysid_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

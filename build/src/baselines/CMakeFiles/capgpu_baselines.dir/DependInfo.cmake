@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/controller_iface.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/controller_iface.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/controller_iface.cpp.o.d"
+  "/root/repo/src/baselines/cpu_only.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/cpu_only.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/cpu_only.cpp.o.d"
+  "/root/repo/src/baselines/cpu_plus_gpu.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/cpu_plus_gpu.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/cpu_plus_gpu.cpp.o.d"
+  "/root/repo/src/baselines/fixed_step.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/fixed_step.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/fixed_step.cpp.o.d"
+  "/root/repo/src/baselines/gpu_only.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/gpu_only.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/gpu_only.cpp.o.d"
+  "/root/repo/src/baselines/safe_fixed_step.cpp" "src/baselines/CMakeFiles/capgpu_baselines.dir/safe_fixed_step.cpp.o" "gcc" "src/baselines/CMakeFiles/capgpu_baselines.dir/safe_fixed_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/capgpu_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/capgpu_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

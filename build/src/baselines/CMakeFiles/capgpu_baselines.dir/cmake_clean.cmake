@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_baselines.dir/controller_iface.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/controller_iface.cpp.o.d"
+  "CMakeFiles/capgpu_baselines.dir/cpu_only.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/cpu_only.cpp.o.d"
+  "CMakeFiles/capgpu_baselines.dir/cpu_plus_gpu.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/cpu_plus_gpu.cpp.o.d"
+  "CMakeFiles/capgpu_baselines.dir/fixed_step.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/fixed_step.cpp.o.d"
+  "CMakeFiles/capgpu_baselines.dir/gpu_only.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/gpu_only.cpp.o.d"
+  "CMakeFiles/capgpu_baselines.dir/safe_fixed_step.cpp.o"
+  "CMakeFiles/capgpu_baselines.dir/safe_fixed_step.cpp.o.d"
+  "libcapgpu_baselines.a"
+  "libcapgpu_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

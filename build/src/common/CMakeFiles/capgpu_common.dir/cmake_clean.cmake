@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_common.dir/log.cpp.o"
+  "CMakeFiles/capgpu_common.dir/log.cpp.o.d"
+  "CMakeFiles/capgpu_common.dir/options.cpp.o"
+  "CMakeFiles/capgpu_common.dir/options.cpp.o.d"
+  "CMakeFiles/capgpu_common.dir/rng.cpp.o"
+  "CMakeFiles/capgpu_common.dir/rng.cpp.o.d"
+  "libcapgpu_common.a"
+  "libcapgpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

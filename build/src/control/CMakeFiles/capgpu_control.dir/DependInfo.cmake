@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/delta_sigma.cpp" "src/control/CMakeFiles/capgpu_control.dir/delta_sigma.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/delta_sigma.cpp.o.d"
+  "/root/repo/src/control/latency_model.cpp" "src/control/CMakeFiles/capgpu_control.dir/latency_model.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/latency_model.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/capgpu_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/mpc.cpp.o.d"
+  "/root/repo/src/control/p_controller.cpp" "src/control/CMakeFiles/capgpu_control.dir/p_controller.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/p_controller.cpp.o.d"
+  "/root/repo/src/control/power_model.cpp" "src/control/CMakeFiles/capgpu_control.dir/power_model.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/power_model.cpp.o.d"
+  "/root/repo/src/control/prbs.cpp" "src/control/CMakeFiles/capgpu_control.dir/prbs.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/prbs.cpp.o.d"
+  "/root/repo/src/control/qp.cpp" "src/control/CMakeFiles/capgpu_control.dir/qp.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/qp.cpp.o.d"
+  "/root/repo/src/control/rls.cpp" "src/control/CMakeFiles/capgpu_control.dir/rls.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/rls.cpp.o.d"
+  "/root/repo/src/control/stability.cpp" "src/control/CMakeFiles/capgpu_control.dir/stability.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/stability.cpp.o.d"
+  "/root/repo/src/control/sysid.cpp" "src/control/CMakeFiles/capgpu_control.dir/sysid.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/sysid.cpp.o.d"
+  "/root/repo/src/control/weights.cpp" "src/control/CMakeFiles/capgpu_control.dir/weights.cpp.o" "gcc" "src/control/CMakeFiles/capgpu_control.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

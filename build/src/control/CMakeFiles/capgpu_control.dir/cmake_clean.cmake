@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_control.dir/delta_sigma.cpp.o"
+  "CMakeFiles/capgpu_control.dir/delta_sigma.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/latency_model.cpp.o"
+  "CMakeFiles/capgpu_control.dir/latency_model.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/mpc.cpp.o"
+  "CMakeFiles/capgpu_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/p_controller.cpp.o"
+  "CMakeFiles/capgpu_control.dir/p_controller.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/power_model.cpp.o"
+  "CMakeFiles/capgpu_control.dir/power_model.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/prbs.cpp.o"
+  "CMakeFiles/capgpu_control.dir/prbs.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/qp.cpp.o"
+  "CMakeFiles/capgpu_control.dir/qp.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/rls.cpp.o"
+  "CMakeFiles/capgpu_control.dir/rls.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/stability.cpp.o"
+  "CMakeFiles/capgpu_control.dir/stability.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/sysid.cpp.o"
+  "CMakeFiles/capgpu_control.dir/sysid.cpp.o.d"
+  "CMakeFiles/capgpu_control.dir/weights.cpp.o"
+  "CMakeFiles/capgpu_control.dir/weights.cpp.o.d"
+  "libcapgpu_control.a"
+  "libcapgpu_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

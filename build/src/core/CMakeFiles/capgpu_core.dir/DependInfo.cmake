@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batching.cpp" "src/core/CMakeFiles/capgpu_core.dir/batching.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/batching.cpp.o.d"
+  "/root/repo/src/core/capgpu_controller.cpp" "src/core/CMakeFiles/capgpu_core.dir/capgpu_controller.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/capgpu_controller.cpp.o.d"
+  "/root/repo/src/core/control_loop.cpp" "src/core/CMakeFiles/capgpu_core.dir/control_loop.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/control_loop.cpp.o.d"
+  "/root/repo/src/core/emergency.cpp" "src/core/CMakeFiles/capgpu_core.dir/emergency.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/emergency.cpp.o.d"
+  "/root/repo/src/core/identify.cpp" "src/core/CMakeFiles/capgpu_core.dir/identify.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/identify.cpp.o.d"
+  "/root/repo/src/core/motivation.cpp" "src/core/CMakeFiles/capgpu_core.dir/motivation.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/motivation.cpp.o.d"
+  "/root/repo/src/core/rig.cpp" "src/core/CMakeFiles/capgpu_core.dir/rig.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/rig.cpp.o.d"
+  "/root/repo/src/core/thermal_governor.cpp" "src/core/CMakeFiles/capgpu_core.dir/thermal_governor.cpp.o" "gcc" "src/core/CMakeFiles/capgpu_core.dir/thermal_governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/capgpu_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/capgpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/capgpu_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/capgpu_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/capgpu_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

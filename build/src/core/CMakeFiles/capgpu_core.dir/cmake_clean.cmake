@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_core.dir/batching.cpp.o"
+  "CMakeFiles/capgpu_core.dir/batching.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/capgpu_controller.cpp.o"
+  "CMakeFiles/capgpu_core.dir/capgpu_controller.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/control_loop.cpp.o"
+  "CMakeFiles/capgpu_core.dir/control_loop.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/emergency.cpp.o"
+  "CMakeFiles/capgpu_core.dir/emergency.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/identify.cpp.o"
+  "CMakeFiles/capgpu_core.dir/identify.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/motivation.cpp.o"
+  "CMakeFiles/capgpu_core.dir/motivation.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/rig.cpp.o"
+  "CMakeFiles/capgpu_core.dir/rig.cpp.o.d"
+  "CMakeFiles/capgpu_core.dir/thermal_governor.cpp.o"
+  "CMakeFiles/capgpu_core.dir/thermal_governor.cpp.o.d"
+  "libcapgpu_core.a"
+  "libcapgpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

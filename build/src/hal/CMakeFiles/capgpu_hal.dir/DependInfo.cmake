@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/acpi_power_meter.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/acpi_power_meter.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/acpi_power_meter.cpp.o.d"
+  "/root/repo/src/hal/compat_server_hal.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/compat_server_hal.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/compat_server_hal.cpp.o.d"
+  "/root/repo/src/hal/cpufreq_sim.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/cpufreq_sim.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/cpufreq_sim.cpp.o.d"
+  "/root/repo/src/hal/nvml_compat.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/nvml_compat.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/nvml_compat.cpp.o.d"
+  "/root/repo/src/hal/nvml_sim.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/nvml_sim.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/nvml_sim.cpp.o.d"
+  "/root/repo/src/hal/server_hal.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/server_hal.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/server_hal.cpp.o.d"
+  "/root/repo/src/hal/sysfs_cpufreq.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/sysfs_cpufreq.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/sysfs_cpufreq.cpp.o.d"
+  "/root/repo/src/hal/sysfs_rapl.cpp" "src/hal/CMakeFiles/capgpu_hal.dir/sysfs_rapl.cpp.o" "gcc" "src/hal/CMakeFiles/capgpu_hal.dir/sysfs_rapl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

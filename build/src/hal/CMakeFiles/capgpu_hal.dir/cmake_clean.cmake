@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_hal.dir/acpi_power_meter.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/acpi_power_meter.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/compat_server_hal.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/compat_server_hal.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/cpufreq_sim.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/cpufreq_sim.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/nvml_compat.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/nvml_compat.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/nvml_sim.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/nvml_sim.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/server_hal.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/server_hal.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/sysfs_cpufreq.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/sysfs_cpufreq.cpp.o.d"
+  "CMakeFiles/capgpu_hal.dir/sysfs_rapl.cpp.o"
+  "CMakeFiles/capgpu_hal.dir/sysfs_rapl.cpp.o.d"
+  "libcapgpu_hal.a"
+  "libcapgpu_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

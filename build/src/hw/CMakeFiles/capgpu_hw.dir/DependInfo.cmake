@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/breaker.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/breaker.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/breaker.cpp.o.d"
+  "/root/repo/src/hw/cpu_model.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/cpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/hw/frequency_table.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/frequency_table.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/frequency_table.cpp.o.d"
+  "/root/repo/src/hw/gpu_model.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/gpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/hw/power_filter.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/power_filter.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/power_filter.cpp.o.d"
+  "/root/repo/src/hw/server_model.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/server_model.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/server_model.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/capgpu_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/capgpu_hw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

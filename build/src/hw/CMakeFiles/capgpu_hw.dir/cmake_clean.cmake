@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_hw.dir/breaker.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/breaker.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/cpu_model.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/frequency_table.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/frequency_table.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/gpu_model.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/power_filter.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/power_filter.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/server_model.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/server_model.cpp.o.d"
+  "CMakeFiles/capgpu_hw.dir/thermal.cpp.o"
+  "CMakeFiles/capgpu_hw.dir/thermal.cpp.o.d"
+  "libcapgpu_hw.a"
+  "libcapgpu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/capgpu_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/capgpu_linalg.dir/eig.cpp.o"
+  "CMakeFiles/capgpu_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/capgpu_linalg.dir/lu.cpp.o"
+  "CMakeFiles/capgpu_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/capgpu_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/capgpu_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/capgpu_linalg.dir/qr.cpp.o"
+  "CMakeFiles/capgpu_linalg.dir/qr.cpp.o.d"
+  "libcapgpu_linalg.a"
+  "libcapgpu_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

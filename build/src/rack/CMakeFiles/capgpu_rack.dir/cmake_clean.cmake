@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_rack.dir/allocation.cpp.o"
+  "CMakeFiles/capgpu_rack.dir/allocation.cpp.o.d"
+  "CMakeFiles/capgpu_rack.dir/coordinator.cpp.o"
+  "CMakeFiles/capgpu_rack.dir/coordinator.cpp.o.d"
+  "libcapgpu_rack.a"
+  "libcapgpu_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for capgpu_rack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_sim.dir/engine.cpp.o"
+  "CMakeFiles/capgpu_sim.dir/engine.cpp.o.d"
+  "libcapgpu_sim.a"
+  "libcapgpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/audit.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/audit.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/audit.cpp.o.d"
+  "/root/repo/src/telemetry/csv.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/csv.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/csv.cpp.o.d"
+  "/root/repo/src/telemetry/histogram.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/histogram.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/histogram.cpp.o.d"
+  "/root/repo/src/telemetry/stats.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/stats.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/stats.cpp.o.d"
+  "/root/repo/src/telemetry/table.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/table.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/table.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries.cpp" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/timeseries.cpp.o" "gcc" "src/telemetry/CMakeFiles/capgpu_telemetry.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_telemetry.dir/audit.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/audit.cpp.o.d"
+  "CMakeFiles/capgpu_telemetry.dir/csv.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/csv.cpp.o.d"
+  "CMakeFiles/capgpu_telemetry.dir/histogram.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/histogram.cpp.o.d"
+  "CMakeFiles/capgpu_telemetry.dir/stats.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/stats.cpp.o.d"
+  "CMakeFiles/capgpu_telemetry.dir/table.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/table.cpp.o.d"
+  "CMakeFiles/capgpu_telemetry.dir/timeseries.cpp.o"
+  "CMakeFiles/capgpu_telemetry.dir/timeseries.cpp.o.d"
+  "libcapgpu_telemetry.a"
+  "libcapgpu_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

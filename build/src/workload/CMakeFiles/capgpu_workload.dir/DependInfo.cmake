@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/cpu_load.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/cpu_load.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/cpu_load.cpp.o.d"
+  "/root/repo/src/workload/dataset_io.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/dataset_io.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/workload/feature_selection.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/feature_selection.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/workload/model_zoo.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/model_zoo.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/workload/monitors.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/monitors.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/monitors.cpp.o.d"
+  "/root/repo/src/workload/pipeline.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/pipeline.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/pipeline.cpp.o.d"
+  "/root/repo/src/workload/queue.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/queue.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/queue.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/capgpu_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/capgpu_workload.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/capgpu_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

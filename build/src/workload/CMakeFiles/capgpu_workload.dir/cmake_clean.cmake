@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capgpu_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/cpu_load.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/cpu_load.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/dataset_io.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/feature_selection.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/monitors.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/monitors.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/pipeline.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/pipeline.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/queue.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/queue.cpp.o.d"
+  "CMakeFiles/capgpu_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/capgpu_workload.dir/trace_gen.cpp.o.d"
+  "libcapgpu_workload.a"
+  "libcapgpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capgpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapgpu_workload.a"
+)

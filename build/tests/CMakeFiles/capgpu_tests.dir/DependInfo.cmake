@@ -1,0 +1,94 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/fixed_step_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/baselines/fixed_step_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/baselines/fixed_step_test.cpp.o.d"
+  "/root/repo/tests/baselines/multi_cpu_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/baselines/multi_cpu_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/baselines/multi_cpu_test.cpp.o.d"
+  "/root/repo/tests/baselines/p_baselines_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/baselines/p_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/baselines/p_baselines_test.cpp.o.d"
+  "/root/repo/tests/common/error_log_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/common/error_log_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/common/error_log_test.cpp.o.d"
+  "/root/repo/tests/common/options_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/common/options_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/common/options_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/umbrella_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/common/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/common/umbrella_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/common/units_test.cpp.o.d"
+  "/root/repo/tests/control/delta_sigma_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/delta_sigma_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/delta_sigma_test.cpp.o.d"
+  "/root/repo/tests/control/latency_model_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/latency_model_test.cpp.o.d"
+  "/root/repo/tests/control/mpc_cache_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/mpc_cache_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/mpc_cache_test.cpp.o.d"
+  "/root/repo/tests/control/mpc_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/mpc_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/mpc_test.cpp.o.d"
+  "/root/repo/tests/control/p_controller_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/p_controller_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/p_controller_test.cpp.o.d"
+  "/root/repo/tests/control/power_model_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/power_model_test.cpp.o.d"
+  "/root/repo/tests/control/prbs_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/prbs_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/prbs_test.cpp.o.d"
+  "/root/repo/tests/control/qp_reference_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/qp_reference_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/qp_reference_test.cpp.o.d"
+  "/root/repo/tests/control/qp_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/qp_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/qp_test.cpp.o.d"
+  "/root/repo/tests/control/rls_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/rls_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/rls_test.cpp.o.d"
+  "/root/repo/tests/control/stability_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/stability_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/stability_test.cpp.o.d"
+  "/root/repo/tests/control/sysid_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/sysid_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/sysid_test.cpp.o.d"
+  "/root/repo/tests/control/weights_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/control/weights_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/control/weights_test.cpp.o.d"
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/batching_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/batching_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/batching_test.cpp.o.d"
+  "/root/repo/tests/core/capgpu_controller_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/capgpu_controller_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/capgpu_controller_test.cpp.o.d"
+  "/root/repo/tests/core/control_loop_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/control_loop_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/control_loop_test.cpp.o.d"
+  "/root/repo/tests/core/emergency_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/emergency_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/emergency_test.cpp.o.d"
+  "/root/repo/tests/core/identify_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/identify_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/identify_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/loop_features_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/loop_features_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/loop_features_test.cpp.o.d"
+  "/root/repo/tests/core/priority_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/priority_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/priority_test.cpp.o.d"
+  "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/robustness_test.cpp.o.d"
+  "/root/repo/tests/core/thermal_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/core/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/core/thermal_test.cpp.o.d"
+  "/root/repo/tests/hal/compat_server_hal_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hal/compat_server_hal_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hal/compat_server_hal_test.cpp.o.d"
+  "/root/repo/tests/hal/hal_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hal/hal_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hal/hal_test.cpp.o.d"
+  "/root/repo/tests/hal/nvml_compat_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hal/nvml_compat_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hal/nvml_compat_test.cpp.o.d"
+  "/root/repo/tests/hal/sysfs_cpufreq_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hal/sysfs_cpufreq_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hal/sysfs_cpufreq_test.cpp.o.d"
+  "/root/repo/tests/hal/sysfs_rapl_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hal/sysfs_rapl_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hal/sysfs_rapl_test.cpp.o.d"
+  "/root/repo/tests/hw/breaker_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hw/breaker_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hw/breaker_test.cpp.o.d"
+  "/root/repo/tests/hw/device_models_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hw/device_models_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hw/device_models_test.cpp.o.d"
+  "/root/repo/tests/hw/frequency_table_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hw/frequency_table_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hw/frequency_table_test.cpp.o.d"
+  "/root/repo/tests/hw/power_filter_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/hw/power_filter_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/hw/power_filter_test.cpp.o.d"
+  "/root/repo/tests/linalg/cholesky_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/linalg/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/linalg/cholesky_test.cpp.o.d"
+  "/root/repo/tests/linalg/eig_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/linalg/eig_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/linalg/eig_test.cpp.o.d"
+  "/root/repo/tests/linalg/lu_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/linalg/lu_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/linalg/lu_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/qr_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/linalg/qr_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/linalg/qr_test.cpp.o.d"
+  "/root/repo/tests/rack/allocation_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/rack/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/rack/allocation_test.cpp.o.d"
+  "/root/repo/tests/rack/coordinator_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/rack/coordinator_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/rack/coordinator_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_fuzz_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/sim/engine_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/sim/engine_fuzz_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/telemetry/audit_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/telemetry/audit_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/telemetry/audit_test.cpp.o.d"
+  "/root/repo/tests/telemetry/csv_table_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/telemetry/csv_table_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/telemetry/csv_table_test.cpp.o.d"
+  "/root/repo/tests/telemetry/histogram_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/telemetry/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/telemetry/histogram_test.cpp.o.d"
+  "/root/repo/tests/telemetry/stats_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/telemetry/stats_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/telemetry/stats_test.cpp.o.d"
+  "/root/repo/tests/telemetry/timeseries_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/telemetry/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/telemetry/timeseries_test.cpp.o.d"
+  "/root/repo/tests/workload/arrivals_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/arrivals_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/arrivals_test.cpp.o.d"
+  "/root/repo/tests/workload/cpu_load_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/cpu_load_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/cpu_load_test.cpp.o.d"
+  "/root/repo/tests/workload/dataset_io_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/workload/feature_selection_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/feature_selection_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/feature_selection_test.cpp.o.d"
+  "/root/repo/tests/workload/latency_law_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/latency_law_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/latency_law_test.cpp.o.d"
+  "/root/repo/tests/workload/llm_workload_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/llm_workload_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/llm_workload_test.cpp.o.d"
+  "/root/repo/tests/workload/monitors_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/monitors_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/monitors_test.cpp.o.d"
+  "/root/repo/tests/workload/pipeline_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/pipeline_test.cpp.o.d"
+  "/root/repo/tests/workload/queue_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/queue_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/queue_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_gen_test.cpp" "tests/CMakeFiles/capgpu_tests.dir/workload/trace_gen_test.cpp.o" "gcc" "tests/CMakeFiles/capgpu_tests.dir/workload/trace_gen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/capgpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/capgpu_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/capgpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/capgpu_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/capgpu_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/capgpu_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/capgpu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/capgpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/capgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rack/CMakeFiles/capgpu_rack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/capgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
