@@ -67,7 +67,8 @@ double segment_abs_err(const core::RunResult& res, std::size_t from,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: online RLS adaptation vs static model",
                       "extension of paper Sec 4.2/4.4; workload shift @ t=160s");
   (void)bench::testbed_model();

@@ -60,7 +60,8 @@ Outcome run_case(bool with_governor, double slo_resnet) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: coordinated batching + DVFS",
                       "extension of CapGPU with the batch-size knob of [20]");
   (void)bench::testbed_model();

@@ -74,7 +74,8 @@ Outcome run_one(const std::string& kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner(
       "Ablation: breaker stress under a 3.3% oversubscription margin",
       "cap 900 W, breaker rated 930 W (trips after 90 s at +3%)");

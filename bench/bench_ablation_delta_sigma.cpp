@@ -34,7 +34,8 @@ Outcome run_with(bool use_delta_sigma, double set_point) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: delta-sigma modulation vs nearest snapping",
                       "paper Sec 5 frequency modulators");
   (void)bench::testbed_model();

@@ -14,7 +14,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: emergency memory throttling",
                       "paper Sec 4.4 infeasibility fallback");
   (void)bench::testbed_model();

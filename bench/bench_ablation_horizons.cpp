@@ -60,7 +60,8 @@ Outcome run_one(std::size_t p_horizon, std::size_t m_horizon) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: MPC horizon sweep",
                       "paper config P=8, M=2 in context");
   (void)bench::testbed_model();

@@ -6,6 +6,7 @@
 // solver and the delta-sigma modulator for reference.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "common/rng.hpp"
 #include "control/delta_sigma.hpp"
 #include "control/mpc.hpp"
@@ -117,4 +118,13 @@ BENCHMARK(BM_DeltaSigmaStep)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so bench::init can consume the observability
+// flags before google-benchmark rejects them as unknown.
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,7 +13,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: closed-loop stability margin",
                       "paper Sec 4.4 analysis, quantified");
   const auto& identified = bench::testbed_model();

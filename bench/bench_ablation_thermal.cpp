@@ -75,7 +75,8 @@ Outcome run_case(bool with_governor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: thermal-constrained capping",
                       "fan failure on GPU 0 at period 40; 1000 W + 83 C limits");
   (void)bench::testbed_model();

@@ -51,7 +51,8 @@ Outcome run_with(bool invert) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Ablation: throughput-inverted vs uniform weights",
                       "paper Sec 4.3 weight assignment");
   (void)bench::testbed_model();

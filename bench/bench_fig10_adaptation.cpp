@@ -42,7 +42,8 @@ std::size_t segment_settling(const telemetry::TimeSeries& power,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 10: adaptation to changing set points",
                       "paper Sec 6.4, Fig 10; 800 W -> 900 W @40 -> 800 W @80");
   const auto& model = bench::testbed_model().model;

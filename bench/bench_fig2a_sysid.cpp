@@ -10,7 +10,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 2(a): system identification fit",
                       "paper Sec 4.2, Fig 2(a); R^2 = 0.96 on the testbed");
 

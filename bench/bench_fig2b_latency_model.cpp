@@ -9,7 +9,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 2(b): latency-vs-frequency model fit",
                       "paper Sec 4.2 Eq. 8, Fig 2(b); gamma=0.91, R^2~0.91");
 

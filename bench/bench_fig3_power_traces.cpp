@@ -23,7 +23,8 @@ core::RunResult run_policy(baselines::IServerPowerController& policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 3: power control, baselines vs CapGPU @ 900 W",
                       "paper Sec 6.2, Fig 3");
   const auto& model = bench::testbed_model().model;

@@ -8,7 +8,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 4: Fixed-Step controller, step sizes 1 and 5",
                       "paper Sec 6.2, Fig 4");
   (void)bench::testbed_model();

@@ -9,7 +9,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 5: Safe Fixed-Step for different step sizes",
                       "paper Sec 6.2, Fig 5");
   const auto& model = bench::testbed_model().model;

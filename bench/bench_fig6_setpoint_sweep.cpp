@@ -58,7 +58,8 @@ Cell run_one(const std::string& kind, double set_point) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner(
       "Figure 6: control accuracy across set points 900-1200 W",
       "paper Sec 6.3, Fig 6");

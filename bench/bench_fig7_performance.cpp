@@ -41,7 +41,8 @@ Perf measure(const std::string& name, core::RunResult res) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 7: application performance under a 900 W cap",
                       "paper Sec 6.3, Fig 7(a)-(d)");
   const auto& model = bench::testbed_model().model;

@@ -12,7 +12,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 8: SLO adherence of Safe Fixed-Step / GPU-Only",
                       "paper Sec 6.4, Fig 8; set point 1000 W");
   const auto& model = bench::testbed_model().model;

@@ -8,7 +8,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Figure 9: SLO adherence of CapGPU",
                       "paper Sec 6.4, Fig 9; set point 1000 W");
   (void)bench::testbed_model();

@@ -67,7 +67,8 @@ Point run_one(const std::string& kind, double set_point) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Extension: power-performance frontier",
                       "GPU throughput vs power drawn, budgets 850-1200 W");
   (void)bench::testbed_model();

@@ -14,7 +14,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Extension: open-loop demand cycle at a 950 W cap",
                       "offered load 30% -> 85% -> 30% of peak");
   (void)bench::testbed_model();

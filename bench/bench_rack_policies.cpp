@@ -120,7 +120,8 @@ const char* policy_name(rack::RackPolicy p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Extension: rack budget policies over CapGPU servers",
                       "rack-scope power oversubscription (cf. Dynamo)");
   (void)bench::testbed_model();

@@ -9,7 +9,8 @@
 
 using namespace capgpu;
 
-int main() {
+int main(int argc, char** argv) {
+  capgpu::bench::init(argc, argv);
   bench::print_banner("Table 1: motivation — CPU-only vs GPU-only vs CapGPU",
                       "paper Sec 3.2, Table 1");
 

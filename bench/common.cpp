@@ -1,13 +1,119 @@
 #include "common.hpp"
 
+#include "common/log.hpp"
 #include "telemetry/csv.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/trace.hpp"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 
 namespace capgpu::bench {
+
+namespace {
+
+struct ObservabilityOutputs {
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> events_path;
+};
+
+ObservabilityOutputs& outputs() {
+  static ObservabilityOutputs out;
+  return out;
+}
+
+void flush_outputs() {
+  const auto& out = outputs();
+  try {
+    if (out.metrics_path) {
+      telemetry::save_prometheus(telemetry::MetricsRegistry::global(),
+                                 *out.metrics_path);
+      std::printf("[telemetry] metrics: %s\n", out.metrics_path->c_str());
+    }
+    if (out.trace_path) {
+      telemetry::Tracer::global().save_chrome_json(*out.trace_path);
+      std::printf("[telemetry] trace: %s\n", out.trace_path->c_str());
+    }
+    if (out.events_path) {
+      telemetry::Tracer::global().save_jsonl(*out.events_path);
+      std::printf("[telemetry] events: %s\n", out.events_path->c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[telemetry] export failed: %s\n", e.what());
+  }
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+/// Returns the value of `--key value` / `--key=value` at position i, or
+/// nullopt when argv[i] is some other flag. Advances i past a consumed
+/// space-separated value.
+std::optional<std::string> flag_value(int argc, char** argv, int& i,
+                                      const char* key) {
+  const char* arg = argv[i];
+  const std::size_t key_len = std::strlen(key);
+  if (std::strncmp(arg, key, key_len) != 0) return std::nullopt;
+  if (arg[key_len] == '=') return std::string(arg + key_len + 1);
+  if (arg[key_len] == '\0' && i + 1 < argc) return std::string(argv[++i]);
+  return std::nullopt;
+}
+
+}  // namespace
+
+void init(int& argc, char** argv) {
+  auto& out = outputs();
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const int before = i;
+    if (auto v = flag_value(argc, argv, i, "--metrics-out")) {
+      out.metrics_path = *v;
+    } else if (auto v2 = flag_value(argc, argv, i, "--trace-out")) {
+      out.trace_path = *v2;
+    } else if (auto v3 = flag_value(argc, argv, i, "--events-out")) {
+      out.events_path = *v3;
+    } else if (auto v4 = flag_value(argc, argv, i, "--log-level")) {
+      if (auto level = parse_log_level(*v4)) {
+        Log::set_level(*level);
+      } else {
+        std::fprintf(stderr, "[telemetry] unknown log level '%s'\n",
+                     v4->c_str());
+      }
+    } else {
+      argv[kept++] = argv[before];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (out.trace_path || out.events_path) {
+    telemetry::Tracer::global().set_enabled(true);
+  }
+  if (out.metrics_path || out.trace_path || out.events_path) {
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      // Force-construct the singletons before registering the flush so
+      // they are destroyed after it runs (atexit and static destructors
+      // share one LIFO list).
+      (void)telemetry::MetricsRegistry::global();
+      (void)telemetry::Tracer::global();
+      std::atexit(flush_outputs);
+    }
+  }
+}
 
 const control::IdentifiedModel& testbed_model() {
   static const control::IdentifiedModel model = [] {

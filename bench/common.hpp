@@ -19,6 +19,23 @@
 
 namespace capgpu::bench {
 
+/// Parses the observability flags shared by every bench and arranges for
+/// the outputs to be flushed at process exit:
+///
+///   --metrics-out <path>   Prometheus text exposition of the global
+///                          metrics registry
+///   --trace-out <path>     Chrome trace-event JSON (load in Perfetto);
+///                          also enables the tracer
+///   --events-out <path>    JSONL structured-event stream; also enables
+///                          the tracer
+///   --log-level <level>    debug | info | warn | error | off
+///
+/// Both `--flag value` and `--flag=value` forms work. Consumed flags are
+/// removed from argv; unknown flags are left alone (google-benchmark
+/// binaries keep their --benchmark_* flags and plain benches ignore the
+/// leftovers). Call first thing in main().
+void init(int& argc, char** argv);
+
 /// Pole used by every proportional baseline (chosen, as in the paper, to
 /// minimise oscillation while converging quickly).
 inline constexpr double kBaselinePole = 0.3;

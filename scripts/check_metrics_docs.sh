@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Fails when a metric name registered in src/telemetry/metric_names.hpp is
+# not documented (backticked) in docs/observability.md. Run from the repo
+# root; the CTest target `metrics_docs_coverage` wires this in.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+names_file=src/telemetry/metric_names.hpp
+docs_file=docs/observability.md
+
+[[ -f "$names_file" ]] || { echo "missing $names_file" >&2; exit 1; }
+[[ -f "$docs_file" ]] || { echo "missing $docs_file" >&2; exit 1; }
+
+# Every quoted capgpu_* literal in the names header is a registered family.
+mapfile -t names < <(grep -oE '"capgpu_[a-z0-9_]+"' "$names_file" | tr -d '"' | sort -u)
+
+if [[ ${#names[@]} -eq 0 ]]; then
+  echo "no metric names found in $names_file" >&2
+  exit 1
+fi
+
+missing=0
+for name in "${names[@]}"; do
+  if ! grep -qF "\`$name\`" "$docs_file"; then
+    echo "undocumented metric: $name (add it to $docs_file)" >&2
+    missing=1
+  fi
+done
+
+if [[ $missing -ne 0 ]]; then
+  exit 1
+fi
+
+echo "all ${#names[@]} metric names documented in $docs_file"

@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
+#include <memory>
 #include <mutex>
 
 namespace capgpu {
@@ -9,10 +11,21 @@ namespace capgpu {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_sink_mutex;
-Log::Sink& sink_storage() {
-  static Log::Sink sink;
+
+// The sink and time source are swapped as shared_ptrs under a mutex and
+// invoked from a local copy, so a writer racing a set_sink either sees the
+// old or the new callable — never a half-written one — and a sink that
+// logs recursively cannot deadlock.
+std::mutex g_config_mutex;
+
+std::shared_ptr<const Log::Sink>& sink_storage() {
+  static std::shared_ptr<const Log::Sink> sink;
   return sink;
+}
+
+std::shared_ptr<const std::function<double()>>& clock_storage() {
+  static std::shared_ptr<const std::function<double()>> clock;
+  return clock;
 }
 
 const char* level_name(LogLevel level) {
@@ -33,16 +46,42 @@ void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel Log::level() { return static_cast<LogLevel>(g_level.load()); }
 
 void Log::set_sink(Sink sink) {
-  std::lock_guard lock(g_sink_mutex);
-  sink_storage() = std::move(sink);
+  auto next = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+  std::lock_guard lock(g_config_mutex);
+  sink_storage() = std::move(next);
+}
+
+void Log::set_time_source(std::function<double()> now_seconds) {
+  auto next = now_seconds ? std::make_shared<const std::function<double()>>(
+                                std::move(now_seconds))
+                          : nullptr;
+  std::lock_guard lock(g_config_mutex);
+  clock_storage() = std::move(next);
 }
 
 void Log::write(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_sink_mutex);
-  if (auto& sink = sink_storage()) {
-    sink(level, message);
+  std::shared_ptr<const Sink> sink;
+  std::shared_ptr<const std::function<double()>> clock;
+  {
+    std::lock_guard lock(g_config_mutex);
+    sink = sink_storage();
+    clock = clock_storage();
+  }
+  std::string line;
+  if (clock && *clock) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, "[t=%.3fs] ", (*clock)());
+    line = prefix + message;
   } else {
-    std::cerr << "[capgpu " << level_name(level) << "] " << message << '\n';
+    line = message;
+  }
+  if (sink && *sink) {
+    (*sink)(level, line);
+  } else {
+    // One formatted insertion keeps concurrent default-sink writers from
+    // interleaving mid-line.
+    std::cerr << ("[capgpu " + std::string(level_name(level)) + "] " + line +
+                  '\n');
   }
 }
 

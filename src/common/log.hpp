@@ -12,8 +12,9 @@ namespace capgpu {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global logging configuration. Thread-compatible: configure before
-/// spawning threads that log.
+/// Global logging configuration. Safe under concurrent writers: the sink
+/// is swapped atomically (shared_ptr) and invoked outside any lock, so a
+/// sink that itself logs or swaps the sink cannot deadlock.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -24,6 +25,11 @@ class Log {
   /// Replaces the sink (default writes to stderr). Pass nullptr to restore
   /// the default sink.
   static void set_sink(Sink sink);
+
+  /// Registers a clock (e.g. the sim engine's virtual time, in seconds).
+  /// While set, every message is prefixed with "[t=<sec>s]". Pass nullptr
+  /// to remove the prefix. Usually wired via telemetry::attach_time_source.
+  static void set_time_source(std::function<double()> now_seconds);
 
   static void write(LogLevel level, const std::string& message);
   static bool enabled(LogLevel level) { return level >= Log::level(); }

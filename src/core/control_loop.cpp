@@ -4,8 +4,18 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
 
 namespace capgpu::core {
+
+namespace {
+
+std::string device_label(std::size_t j) {
+  return j == 0 ? "cpu" : "gpu" + std::to_string(j - 1);
+}
+
+}  // namespace
 
 ControlLoop::ControlLoop(
     sim::Engine& engine, hal::IServerHal& hal, hal::ICpuPowerReader& rapl,
@@ -29,6 +39,42 @@ ControlLoop::ControlLoop(
                        .min().value;
     freqs_.emplace_back("f_" + std::to_string(j), "MHz");
   }
+
+  auto& registry = telemetry::MetricsRegistry::global();
+  const telemetry::Labels by_policy{{"policy", policy_->name()}};
+  namespace metric = telemetry::metric;
+  periods_metric_ = &registry.counter(
+      metric::kLoopPeriods, "Control periods executed", by_policy);
+  skipped_metric_ = &registry.counter(
+      metric::kLoopSkippedPeriods,
+      "Periods skipped on sensor hiccup (commands held)", by_policy);
+  deadband_metric_ = &registry.counter(
+      metric::kLoopDeadbandPeriods,
+      "Periods where the error sat inside the deadband", by_policy);
+  transitions_metric_ = &registry.counter(
+      metric::kLoopLevelTransitions,
+      "Discrete frequency level changes applied across all devices",
+      by_policy);
+  power_metric_ = &registry.gauge(
+      metric::kServerPowerWatts, "Per-period average server power",
+      {{"policy", policy_->name()}, {"kind", "measured"}});
+  set_point_metric_ = &registry.gauge(
+      metric::kServerPowerWatts, "Per-period average server power",
+      {{"policy", policy_->name()}, {"kind", "set_point"}});
+  telemetry::HistogramSpec error_spec;
+  error_spec.min_bound = 0.1;  // 0.1 W .. 1 kW absolute tracking error
+  error_spec.decades = 4;
+  error_metric_ = &registry.histogram(
+      metric::kPowerErrorWatts,
+      "Absolute per-period power tracking error |measured - set point|",
+      error_spec, by_policy);
+  freq_metrics_.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    freq_metrics_.push_back(&registry.gauge(
+        metric::kDeviceFrequencyMhz, "Commanded device frequency",
+        {{"policy", policy_->name()}, {"device", device_label(j)}}));
+  }
+  trace_tid_ = telemetry::Tracer::global().register_track("control_loop");
 }
 
 ControlLoop::~ControlLoop() { stop(); }
@@ -80,6 +126,7 @@ baselines::ControlInputs ControlLoop::gather() const {
 }
 
 void ControlLoop::run_period() {
+  auto& tracer = telemetry::Tracer::global();
   // Scheduled actions (set-point / SLO changes) fire before the decision.
   auto [first, last] = schedule_.equal_range(periods_);
   for (auto it = first; it != last; ++it) it->second();
@@ -90,9 +137,15 @@ void ControlLoop::run_period() {
   try {
     last_inputs_ = gather();
   } catch (const HalError& e) {
-    CAPGPU_LOG_WARN << "control period skipped (" << e.what()
-                    << "); holding previous commands";
     ++skipped_;
+    skipped_metric_->inc();
+    if (tracer.enabled()) {
+      tracer.instant(trace_tid_, "period_skipped", "control",
+                     {{"period", static_cast<double>(periods_)},
+                      {"reason", e.what()}});
+    }
+    CAPGPU_LOG_DEBUG << "control period skipped (" << e.what()
+                     << "); holding previous commands";
     // Keep every trace aligned: repeat the last reading (or the set point
     // before any reading exists) and the held commands.
     const double held_power =
@@ -102,6 +155,7 @@ void ControlLoop::run_period() {
     for (std::size_t j = 0; j < commands_.size(); ++j) {
       freqs_[j].add(engine_->now(), commands_[j]);
     }
+    periods_metric_->inc();
     const std::size_t index = periods_++;
     if (on_period) on_period(index);
     return;
@@ -113,6 +167,12 @@ void ControlLoop::run_period() {
     // Converged within the band: hold commands, skip the policy, and do
     // not re-apply (no delta-sigma toggling this period).
     ++deadband_held_;
+    deadband_metric_->inc();
+    if (tracer.enabled()) {
+      tracer.instant(trace_tid_, "deadband_hold", "control",
+                     {{"period", static_cast<double>(periods_)},
+                      {"error_w", error}});
+    }
   } else {
     const baselines::ControlOutputs out =
         policy_->control(last_inputs_, commands_);
@@ -126,6 +186,20 @@ void ControlLoop::run_period() {
   set_point_.add(engine_->now(), policy_->set_point().value);
   for (std::size_t j = 0; j < commands_.size(); ++j) {
     freqs_[j].add(engine_->now(), commands_[j]);
+    freq_metrics_[j]->set(commands_[j]);
+  }
+  periods_metric_->inc();
+  power_metric_->set(last_inputs_.measured_power.value);
+  set_point_metric_->set(policy_->set_point().value);
+  error_metric_->observe(std::abs(error));
+  if (tracer.enabled()) {
+    const double now = engine_->now();
+    tracer.complete(trace_tid_, "control_period", "control",
+                    now - config_.period.value, now,
+                    {{"period", static_cast<double>(periods_)},
+                     {"power_w", last_inputs_.measured_power.value},
+                     {"set_point_w", policy_->set_point().value},
+                     {"error_w", error}});
   }
   const std::size_t index = periods_++;
   if (on_period) on_period(index);
@@ -145,6 +219,7 @@ void ControlLoop::apply_commands() {
     hal_->set_device_frequency(id, level);
     if (applied_levels_[j] >= 0.0 && applied_levels_[j] != level.value) {
       ++transitions_;
+      transitions_metric_->inc();
     }
     applied_levels_[j] = level.value;
   }

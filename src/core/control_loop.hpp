@@ -19,6 +19,7 @@
 #include "hal/rapl_sim.hpp"
 #include "hal/server_hal.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace capgpu::core {
@@ -105,6 +106,19 @@ class ControlLoop {
   telemetry::TimeSeries set_point_{"set_point", "W"};
   std::vector<telemetry::TimeSeries> freqs_;
   baselines::ControlInputs last_inputs_{};
+
+  // Observability (process-wide registry/tracer; docs/observability.md).
+  // Series are labeled {policy=<policy name>} so several loops in one
+  // process stay distinguishable; per-device gauges add {device=...}.
+  telemetry::Counter* periods_metric_{nullptr};
+  telemetry::Counter* skipped_metric_{nullptr};
+  telemetry::Counter* deadband_metric_{nullptr};
+  telemetry::Counter* transitions_metric_{nullptr};
+  telemetry::Gauge* power_metric_{nullptr};
+  telemetry::Gauge* set_point_metric_{nullptr};
+  std::vector<telemetry::Gauge*> freq_metrics_;
+  telemetry::LogLinearHistogram* error_metric_{nullptr};
+  int trace_tid_{0};
 };
 
 }  // namespace capgpu::core

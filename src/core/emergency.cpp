@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
 
 namespace capgpu::core {
 
@@ -20,6 +22,17 @@ EmergencyMemoryGovernor::EmergencyMemoryGovernor(sim::Engine& engine,
   CAPGPU_REQUIRE(config_.persistence >= 1, "persistence must be >= 1");
   CAPGPU_REQUIRE(config_.release_margin_watts > config_.engage_margin_watts,
                  "release margin must exceed engage margin (hysteresis)");
+  auto& registry = telemetry::MetricsRegistry::global();
+  engagements_metric_ = &registry.counter(
+      telemetry::metric::kEmergencyEngagements,
+      "Boards memory-throttled because DVFS alone could not reach the cap");
+  releases_metric_ = &registry.counter(
+      telemetry::metric::kEmergencyReleases,
+      "Memory-throttled boards released after headroom returned");
+  throttled_metric_ = &registry.gauge(
+      telemetry::metric::kEmergencyThrottledBoards,
+      "GPUs currently memory-throttled by the emergency governor");
+  trace_tid_ = telemetry::Tracer::global().register_track("emergency");
 }
 
 EmergencyMemoryGovernor::~EmergencyMemoryGovernor() { stop(); }
@@ -114,6 +127,15 @@ void EmergencyMemoryGovernor::engage_one() {
   if (pick == server_->gpu_count()) return;  // everything already throttled
   server_->gpu(pick).set_memory_throttled(true);
   ++engagements_;
+  engagements_metric_->inc();
+  throttled_metric_->set(static_cast<double>(throttled_count()));
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(trace_tid_, "emergency_engage", "protection",
+                   {{"gpu", server_->gpu(pick).name()},
+                    {"cap_w", cap_.value},
+                    {"throttled", static_cast<double>(throttled_count())}});
+  }
   CAPGPU_LOG_WARN << "emergency governor: memory-throttling "
                   << server_->gpu(pick).name() << " (cap " << cap_.value
                   << " W unreachable by DVFS alone)";
@@ -133,6 +155,14 @@ void EmergencyMemoryGovernor::release_one() {
   if (pick == server_->gpu_count()) return;  // nothing throttled
   server_->gpu(pick).set_memory_throttled(false);
   ++releases_;
+  releases_metric_->inc();
+  throttled_metric_->set(static_cast<double>(throttled_count()));
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(trace_tid_, "emergency_release", "protection",
+                   {{"gpu", server_->gpu(pick).name()},
+                    {"throttled", static_cast<double>(throttled_count())}});
+  }
   CAPGPU_LOG_INFO << "emergency governor: released "
                   << server_->gpu(pick).name();
 }

@@ -15,6 +15,7 @@
 #include "hal/interfaces.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace capgpu::core {
 
@@ -74,6 +75,13 @@ class EmergencyMemoryGovernor {
   std::size_t engagements_{0};
   std::size_t releases_{0};
   sim::EventId timer_{0};
+
+  // Observability: lifetime engage/release counters, current throttled
+  // board count, and instant trace events on the "emergency" track.
+  telemetry::Counter* engagements_metric_{nullptr};
+  telemetry::Counter* releases_metric_{nullptr};
+  telemetry::Gauge* throttled_metric_{nullptr};
+  int trace_tid_{0};
 };
 
 }  // namespace capgpu::core

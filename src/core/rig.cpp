@@ -4,6 +4,10 @@
 
 #include "common/error.hpp"
 #include <algorithm>
+#include "telemetry/metric_names.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/runtime.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/latency_law.hpp"
 
 namespace capgpu::core {
@@ -34,6 +38,11 @@ ServerRig::ServerRig(RigConfig config)
       server_(hw::ServerModel::v100_testbed(config_.models.size())),
       rapl_(server_.cpu()),
       host_load_(server_.cpu(), config_.total_cores) {
+  // Every rig is one trace "process" and, while alive, the virtual-time
+  // source for log prefixes and trace timestamps. Must precede HAL and
+  // stream construction so their tracks land under this rig's pid.
+  telemetry::attach_time_source(this, [eng = &engine_] { return eng->now(); });
+  telemetry::Tracer::global().begin_run("server_rig");
   Rng rng(config_.seed);
   hal_ = std::make_unique<hal::ServerHal>(engine_, server_, config_.meter,
                                           rng.split());
@@ -82,6 +91,8 @@ ServerRig::ServerRig(RigConfig config)
     streams_.push_back(std::move(stream));
   }
 }
+
+ServerRig::~ServerRig() { telemetry::detach_time_source(this); }
 
 workload::InferenceStream& ServerRig::stream(std::size_t i) {
   CAPGPU_REQUIRE(i < streams_.size(), "stream index out of range");
@@ -190,6 +201,9 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
     result.device_freqs.emplace_back("f_" + std::to_string(j), "MHz");
   }
   std::vector<double> active_slo(streams_.size(), 0.0);
+  std::vector<telemetry::Counter*> slo_checked_metrics;
+  std::vector<telemetry::Counter*> slo_missed_metrics;
+  auto& registry = telemetry::MetricsRegistry::global();
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const auto& name = streams_[i]->model().name;
     result.gpu_latency.emplace_back(name + "_latency", "s");
@@ -197,6 +211,13 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
     result.gpu_throughput.emplace_back(name + "_thr", "img/s");
     result.slo_misses.emplace_back();
     result.gpu_latency_dist.emplace_back();
+    slo_checked_metrics.push_back(&registry.counter(
+        telemetry::metric::kSloChecks,
+        "Batches checked against an active SLO", {{"model", name}}));
+    slo_missed_metrics.push_back(&registry.counter(
+        telemetry::metric::kSloMisses,
+        "Batches whose execution latency exceeded the active SLO",
+        {{"model", name}}));
   }
 
   // Schedule: initial SLOs, SLO changes, set-point changes.
@@ -239,6 +260,8 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
         for (std::size_t k = 0; k < cnt; ++k) {
           result.slo_misses[i].add(k < misses);
         }
+        slo_checked_metrics[i]->inc(static_cast<double>(cnt));
+        slo_missed_metrics[i]->inc(static_cast<double>(misses));
       }
       lat.trim(now);
       s.images_throughput().trim(now);

@@ -98,6 +98,8 @@ struct RunResult {
 class ServerRig {
  public:
   explicit ServerRig(RigConfig config = RigConfig{});
+  /// Detaches this rig's engine from the global telemetry time source.
+  ~ServerRig();
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] hw::ServerModel& server() { return server_; }

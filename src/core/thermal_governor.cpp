@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
 
 namespace capgpu::core {
 
@@ -18,6 +20,17 @@ ThermalGovernor::ThermalGovernor(sim::Engine& engine, hw::ServerModel& server,
   CAPGPU_REQUIRE(config_.period.value > 0.0, "period must be positive");
   CAPGPU_REQUIRE(config_.guard_c >= 0.0, "guard must be >= 0");
   CAPGPU_REQUIRE(config_.max_step_mhz > 0.0, "max_step must be positive");
+  auto& registry = telemetry::MetricsRegistry::global();
+  binding_metric_ = &registry.counter(
+      telemetry::metric::kThermalBindingPeriods,
+      "Periods in which a thermal ceiling bound below the spec maximum");
+  for (std::size_t i = 0; i < server_->gpu_count(); ++i) {
+    ceiling_metrics_.push_back(&registry.gauge(
+        telemetry::metric::kThermalCeilingMhz,
+        "Thermally derived per-board frequency ceiling",
+        {{"device", "gpu" + std::to_string(i)}}));
+  }
+  trace_tid_ = telemetry::Tracer::global().register_track("thermal");
 }
 
 ThermalGovernor::~ThermalGovernor() { stop(); }
@@ -78,9 +91,20 @@ void ThermalGovernor::tick() {
     ceilings_[i] = std::clamp(ceilings_[i],
                               server_->gpu(i).freqs().min().value, f_max);
     (void)controller_->set_max_frequency(i + 1, ceilings_[i]);
+    ceiling_metrics_[i]->set(ceilings_[i]);
     any_binding = any_binding || ceilings_[i] < f_max - 1.0;
   }
   binding_periods_ += any_binding;
+  if (any_binding) binding_metric_->inc();
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    std::vector<telemetry::TraceArg> args;
+    for (std::size_t i = 0; i < ceilings_.size(); ++i) {
+      args.emplace_back("gpu" + std::to_string(i), ceilings_[i]);
+    }
+    tracer.counter(trace_tid_, "thermal_ceiling_mhz", "protection",
+                   std::move(args));
+  }
 }
 
 }  // namespace capgpu::core

@@ -15,6 +15,7 @@
 #include "core/capgpu_controller.hpp"
 #include "hw/thermal.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace capgpu::core {
 
@@ -69,6 +70,12 @@ class ThermalGovernor {
   std::vector<double> ceilings_;
   std::size_t binding_periods_{0};
   sim::EventId timer_{0};
+
+  // Observability: per-board ceiling gauges {device=gpuN}, binding-period
+  // counter, and a Perfetto counter track of the applied ceilings.
+  std::vector<telemetry::Gauge*> ceiling_metrics_;
+  telemetry::Counter* binding_metric_{nullptr};
+  int trace_tid_{0};
 };
 
 }  // namespace capgpu::core

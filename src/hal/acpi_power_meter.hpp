@@ -17,6 +17,7 @@
 #include "hw/power_filter.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace capgpu::hal {
 
@@ -66,6 +67,12 @@ class AcpiPowerMeter final : public IPowerMeter {
   std::deque<PowerSample> history_;
   std::size_t samples_taken_{0};
   sim::EventId timer_{0};
+
+  // Observability: sample counter, latest-reading gauge, and a Perfetto
+  // counter track of the published readings.
+  telemetry::Counter* samples_metric_{nullptr};
+  telemetry::Gauge* power_metric_{nullptr};
+  int trace_tid_{0};
 };
 
 }  // namespace capgpu::hal

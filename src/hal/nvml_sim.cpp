@@ -1,8 +1,16 @@
 #include "hal/nvml_sim.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/metric_names.hpp"
 
 namespace capgpu::hal {
+
+NvmlSim::NvmlSim(hw::GpuModel& gpu) : gpu_(&gpu) {
+  clock_commands_metric_ = &telemetry::MetricsRegistry::global().counter(
+      telemetry::metric::kHalClockCommands,
+      "Clock change commands accepted by the HAL",
+      {{"device", gpu_->name()}});
+}
 
 Megahertz NvmlSim::set_application_clocks(Megahertz memory, Megahertz core) {
   // The simulated boards have a single (pinned) memory clock, like the
@@ -11,6 +19,7 @@ Megahertz NvmlSim::set_application_clocks(Megahertz memory, Megahertz core) {
   if (memory.value != gpu_->memory_clock().value) {
     throw HalError("unsupported memory clock for " + gpu_->name());
   }
+  clock_commands_metric_->inc();
   return gpu_->set_core_clock(core);
 }
 

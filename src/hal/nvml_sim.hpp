@@ -3,6 +3,7 @@
 
 #include "hal/interfaces.hpp"
 #include "hw/gpu_model.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace capgpu::hal {
 
@@ -10,7 +11,7 @@ namespace capgpu::hal {
 /// device model, which must outlive this object.
 class NvmlSim final : public IGpuControl {
  public:
-  explicit NvmlSim(hw::GpuModel& gpu) : gpu_(&gpu) {}
+  explicit NvmlSim(hw::GpuModel& gpu);
 
   Megahertz set_application_clocks(Megahertz memory, Megahertz core) override;
   [[nodiscard]] Megahertz core_clock() const override;
@@ -22,6 +23,7 @@ class NvmlSim final : public IGpuControl {
 
  private:
   hw::GpuModel* gpu_;
+  telemetry::Counter* clock_commands_metric_{nullptr};
 };
 
 }  // namespace capgpu::hal

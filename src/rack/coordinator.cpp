@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
 
 namespace capgpu::rack {
 
@@ -14,6 +16,10 @@ RackCoordinator::RackCoordinator(Watts rack_budget, RackPolicy policy,
   CAPGPU_REQUIRE(rack_budget.value > 0.0, "rack budget must be positive");
   CAPGPU_REQUIRE(demand_smoothing > 0.0 && demand_smoothing <= 1.0,
                  "demand_smoothing must be in (0, 1]");
+  rebalances_metric_ = &telemetry::MetricsRegistry::global().counter(
+      telemetry::metric::kRackRebalances,
+      "Rack budget rebalances pushed to the servers");
+  trace_tid_ = telemetry::Tracer::global().register_track("rack");
 }
 
 void RackCoordinator::add_server(ServerEndpoint endpoint) {
@@ -22,6 +28,14 @@ void RackCoordinator::add_server(ServerEndpoint endpoint) {
   CAPGPU_REQUIRE(static_cast<bool>(endpoint.measured_power),
                  "server needs a measured_power endpoint");
   CAPGPU_REQUIRE(endpoint.priority > 0.0, "priority must be positive");
+  auto& registry = telemetry::MetricsRegistry::global();
+  const telemetry::Labels by_server{{"server", endpoint.name}};
+  budget_metrics_.push_back(
+      &registry.gauge(telemetry::metric::kRackServerBudgetWatts,
+                      "Power budget allocated to the server", by_server));
+  demand_metrics_.push_back(
+      &registry.gauge(telemetry::metric::kRackServerDemand,
+                      "Smoothed demand signal in [0,1]", by_server));
   servers_.push_back(std::move(endpoint));
 }
 
@@ -69,6 +83,19 @@ std::vector<double> RackCoordinator::rebalance() {
   budgets_ = proportional_allocation(rack_budget_.value, bounds, weights);
   for (std::size_t i = 0; i < n; ++i) {
     servers_[i].set_budget(Watts{budgets_[i]});
+    budget_metrics_[i]->set(budgets_[i]);
+    demand_metrics_[i]->set(i < smoothed_demand_.size() ? smoothed_demand_[i]
+                                                        : 0.0);
+  }
+  rebalances_metric_->inc();
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    std::vector<telemetry::TraceArg> args;
+    args.emplace_back("rack_budget_w", rack_budget_.value);
+    for (std::size_t i = 0; i < n; ++i) {
+      args.emplace_back(servers_[i].name, budgets_[i]);
+    }
+    tracer.instant(trace_tid_, "rack_rebalance", "rack", std::move(args));
   }
   return budgets_;
 }

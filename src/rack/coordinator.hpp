@@ -22,6 +22,7 @@
 
 #include "common/units.hpp"
 #include "rack/allocation.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace capgpu::rack {
 
@@ -92,6 +93,13 @@ class RackCoordinator {
   std::vector<ServerEndpoint> servers_;
   std::vector<double> budgets_;
   std::vector<double> smoothed_demand_;
+
+  // Observability: rebalance counter plus per-server budget/demand gauges
+  // {server=<name>}; each rebalance is an instant trace event.
+  telemetry::Counter* rebalances_metric_{nullptr};
+  std::vector<telemetry::Gauge*> budget_metrics_;
+  std::vector<telemetry::Gauge*> demand_metrics_;
+  int trace_tid_{0};
 };
 
 }  // namespace capgpu::rack

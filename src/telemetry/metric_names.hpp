@@ -1,0 +1,60 @@
+// Canonical metric names for the observability registry.
+//
+// Every metric the library registers is named here — one constant per
+// series family — so instrumentation sites cannot drift apart on spelling
+// and scripts/check_metrics_docs.sh can verify each name is documented in
+// docs/observability.md. Naming follows the Prometheus conventions:
+// `capgpu_<subsystem>_<quantity>_<unit>`, `_total` suffix on counters.
+#pragma once
+
+namespace capgpu::telemetry::metric {
+
+// --- control loop (core::ControlLoop) ---
+inline constexpr const char* kLoopPeriods = "capgpu_loop_periods_total";
+inline constexpr const char* kLoopSkippedPeriods =
+    "capgpu_loop_skipped_periods_total";
+inline constexpr const char* kLoopDeadbandPeriods =
+    "capgpu_loop_deadband_periods_total";
+inline constexpr const char* kLoopLevelTransitions =
+    "capgpu_loop_level_transitions_total";
+inline constexpr const char* kServerPowerWatts = "capgpu_server_power_watts";
+inline constexpr const char* kPowerErrorWatts =
+    "capgpu_loop_power_error_watts";
+inline constexpr const char* kDeviceFrequencyMhz =
+    "capgpu_device_frequency_mhz";
+
+// --- inference pipeline (workload::InferenceStream) ---
+inline constexpr const char* kBatchLatencySeconds =
+    "capgpu_gpu_batch_latency_seconds";
+inline constexpr const char* kImagesCompleted =
+    "capgpu_gpu_images_completed_total";
+inline constexpr const char* kBatchesCompleted = "capgpu_gpu_batches_total";
+
+// --- SLO accounting (core::ServerRig) ---
+inline constexpr const char* kSloChecks = "capgpu_slo_checked_batches_total";
+inline constexpr const char* kSloMisses = "capgpu_slo_missed_batches_total";
+
+// --- protection governors (core::emergency / core::thermal_governor) ---
+inline constexpr const char* kEmergencyEngagements =
+    "capgpu_emergency_engagements_total";
+inline constexpr const char* kEmergencyReleases =
+    "capgpu_emergency_releases_total";
+inline constexpr const char* kEmergencyThrottledBoards =
+    "capgpu_emergency_throttled_boards";
+inline constexpr const char* kThermalCeilingMhz = "capgpu_thermal_ceiling_mhz";
+inline constexpr const char* kThermalBindingPeriods =
+    "capgpu_thermal_binding_periods_total";
+
+// --- rack coordination (rack::RackCoordinator) ---
+inline constexpr const char* kRackRebalances = "capgpu_rack_rebalances_total";
+inline constexpr const char* kRackServerBudgetWatts =
+    "capgpu_rack_server_budget_watts";
+inline constexpr const char* kRackServerDemand = "capgpu_rack_server_demand";
+
+// --- HAL (hal::AcpiPowerMeter / hal::NvmlSim) ---
+inline constexpr const char* kMeterSamples = "capgpu_meter_samples_total";
+inline constexpr const char* kMeterPowerWatts = "capgpu_meter_power_watts";
+inline constexpr const char* kHalClockCommands =
+    "capgpu_hal_clock_commands_total";
+
+}  // namespace capgpu::telemetry::metric

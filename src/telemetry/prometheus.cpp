@@ -1,0 +1,147 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+namespace {
+
+// Shortest stable rendering: integral values print as integers (counter
+// and bucket counts read naturally), everything else as %.10g.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` with an optional extra (le) pair appended; empty
+/// string when there are no labels at all.
+std::string label_block(const Labels& labels, const std::string& extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  for (const auto* family : registry.families()) {
+    out << "# HELP " << family->name << ' ' << escape_help(family->help)
+        << '\n';
+    out << "# TYPE " << family->name << ' ' << type_name(family->type)
+        << '\n';
+    for (const auto& [key, inst] : family->series) {
+      (void)key;
+      switch (family->type) {
+        case MetricType::kCounter:
+          out << family->name << label_block(inst->labels, "", "") << ' '
+              << format_value(inst->counter.value()) << '\n';
+          break;
+        case MetricType::kGauge:
+          out << family->name << label_block(inst->labels, "", "") << ' '
+              << format_value(inst->gauge.value()) << '\n';
+          break;
+        case MetricType::kHistogram: {
+          const LogLinearHistogram& h = *inst->histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+            cumulative += h.counts()[i];
+            out << family->name << "_bucket"
+                << label_block(inst->labels, "le",
+                               format_value(h.upper_bounds()[i]))
+                << ' ' << cumulative << '\n';
+          }
+          cumulative += h.counts().back();
+          out << family->name << "_bucket"
+              << label_block(inst->labels, "le", "+Inf") << ' ' << cumulative
+              << '\n';
+          out << family->name << "_sum" << label_block(inst->labels, "", "")
+              << ' ' << format_value(h.sum()) << '\n';
+          out << family->name << "_count" << label_block(inst->labels, "", "")
+              << ' ' << h.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(registry, out);
+  return out.str();
+}
+
+void save_prometheus(const MetricsRegistry& registry,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot write metrics file: " + path);
+  write_prometheus(registry, out);
+}
+
+}  // namespace capgpu::telemetry

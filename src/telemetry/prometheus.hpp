@@ -1,0 +1,25 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsRegistry.
+//
+// Output is deterministic — families in registration order, series in
+// canonical label order — so golden tests can pin the exact bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace capgpu::telemetry {
+
+/// Writes `# HELP` / `# TYPE` headers and every series. Histograms expand
+/// to cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out);
+
+/// Convenience: exposition as a string.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Writes the exposition to `path`. Throws capgpu::Error when the file
+/// cannot be created.
+void save_prometheus(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace capgpu::telemetry

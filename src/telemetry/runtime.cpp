@@ -1,0 +1,26 @@
+#include "telemetry/runtime.hpp"
+
+#include "common/log.hpp"
+#include "telemetry/trace.hpp"
+
+namespace capgpu::telemetry {
+
+namespace {
+const void* g_clock_owner = nullptr;
+}  // namespace
+
+void attach_time_source(const void* owner,
+                        std::function<double()> now_seconds) {
+  g_clock_owner = owner;
+  Tracer::global().set_clock(now_seconds);
+  Log::set_time_source(std::move(now_seconds));
+}
+
+void detach_time_source(const void* owner) {
+  if (owner != g_clock_owner) return;
+  g_clock_owner = nullptr;
+  Tracer::global().set_clock(nullptr);
+  Log::set_time_source(nullptr);
+}
+
+}  // namespace capgpu::telemetry

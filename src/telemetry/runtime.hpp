@@ -1,0 +1,23 @@
+// Wiring between a simulation's virtual clock and the process-wide
+// observability singletons (Tracer timestamps, Log sim-time prefixes).
+//
+// A ServerRig attaches its engine on construction and detaches on
+// destruction. Attachment is owner-tracked so a stale rig being destroyed
+// after a newer one attached does not tear down the newer clock.
+#pragma once
+
+#include <functional>
+
+namespace capgpu::telemetry {
+
+/// Registers `now_seconds` as the virtual-time source for the global
+/// Tracer and the Log prefix. `owner` identifies the caller (usually
+/// `this`) for detach.
+void attach_time_source(const void* owner,
+                        std::function<double()> now_seconds);
+
+/// Clears the time source if `owner` is the current owner; no-op
+/// otherwise.
+void detach_time_source(const void* owner);
+
+}  // namespace capgpu::telemetry

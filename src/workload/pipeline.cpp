@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/latency_law.hpp"
 
 namespace capgpu::workload {
@@ -31,6 +33,24 @@ InferenceStream::InferenceStream(sim::Engine& engine, hw::ServerModel& server,
   CAPGPU_REQUIRE(params_.model.batch_size > 0, "batch size must be positive");
   CAPGPU_REQUIRE(queue_.capacity() >= params_.model.batch_size,
                  "queue must hold at least one batch");
+
+  auto& registry = telemetry::MetricsRegistry::global();
+  const telemetry::Labels by_model{{"model", params_.model.name}};
+  images_metric_ = &registry.counter(telemetry::metric::kImagesCompleted,
+                                     "Images completed by the GPU stage",
+                                     by_model);
+  batches_metric_ = &registry.counter(telemetry::metric::kBatchesCompleted,
+                                      "Batches executed by the GPU stage",
+                                      by_model);
+  telemetry::HistogramSpec latency_spec;
+  latency_spec.min_bound = 1e-3;  // 1 ms .. 1000 s of batch execution
+  latency_spec.decades = 6;
+  latency_metric_ = &registry.histogram(
+      telemetry::metric::kBatchLatencySeconds,
+      "GPU batch execution latency (the quantity under SLO)", latency_spec,
+      by_model);
+  trace_tid_ = telemetry::Tracer::global().register_track(
+      "gpu" + std::to_string(gpu_index_) + ":" + params_.model.name);
 }
 
 void InferenceStream::set_gpu_busy_util(double util) {
@@ -139,6 +159,8 @@ void InferenceStream::consumer_try_start() {
     for (const auto stamp : stamps) {
       queue_delay_.record(engine_->now(), engine_->now() - stamp);
     }
+    batch_span_ = telemetry::Tracer::global().begin_span(trace_tid_, "batch",
+                                                         "workload");
     const double exec = batch_duration();
     engine_->schedule_after(
         exec, [this, exec, stamps] { consumer_finish_batch(exec, stamps); });
@@ -155,6 +177,15 @@ void InferenceStream::consumer_finish_batch(
   images_.record(engine_->now(), static_cast<double>(stamps.size()));
   images_completed_ += stamps.size();
   ++batches_completed_;
+  latency_metric_->observe(exec_latency);
+  images_metric_->inc(static_cast<double>(stamps.size()));
+  batches_metric_->inc();
+  if (batch_span_ != 0) {
+    telemetry::Tracer::global().end_span(
+        batch_span_, {{"images", static_cast<double>(stamps.size())},
+                      {"exec_s", exec_latency}});
+    batch_span_ = 0;
+  }
   consumer_try_start();
 }
 

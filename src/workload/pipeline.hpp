@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/monitors.hpp"
 #include "workload/queue.hpp"
@@ -144,6 +145,15 @@ class InferenceStream {
   LatencyMonitor preprocess_compute_;
   std::uint64_t images_completed_{0};
   std::uint64_t batches_completed_{0};
+
+  // Observability: batch latency histogram + completion counters, labeled
+  // {model=...}; each in-flight batch is a trace span on this stream's
+  // track.
+  telemetry::Counter* images_metric_{nullptr};
+  telemetry::Counter* batches_metric_{nullptr};
+  telemetry::LogLinearHistogram* latency_metric_{nullptr};
+  int trace_tid_{0};
+  std::uint64_t batch_span_{0};
 };
 
 }  // namespace capgpu::workload

@@ -228,5 +228,59 @@ TEST_F(ControlLoopTest, WrongPolicyOutputSizeThrows) {
   EXPECT_THROW(engine_.run_until(4.5), capgpu::InvalidArgument);
 }
 
+/// ScriptedPolicy with a caller-chosen name, so registry series from this
+/// test cannot collide with other tests sharing the process-wide registry.
+class NamedPolicy : public ScriptedPolicy {
+ public:
+  NamedPolicy(std::string name, std::vector<double> commands)
+      : ScriptedPolicy(std::move(commands)), name_(std::move(name)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+TEST_F(ControlLoopTest, LoopCountersSurfaceInMetricsRegistry) {
+  NamedPolicy policy("registry-probe", {1200.0, 600.0, 600.0});
+  ControlLoop loop(engine_, hal_, rapl_, policy, ControlLoopConfig{},
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(12.5);  // periods at 4, 8, 12
+
+  auto& reg = telemetry::MetricsRegistry::global();
+  const telemetry::Labels by_policy{{"policy", "registry-probe"}};
+  EXPECT_DOUBLE_EQ(
+      reg.counter("capgpu_loop_periods_total", "", by_policy).value(),
+      static_cast<double>(loop.periods_elapsed()));
+  EXPECT_DOUBLE_EQ(
+      reg.counter("capgpu_loop_skipped_periods_total", "", by_policy).value(),
+      static_cast<double>(loop.skipped_periods()));
+  EXPECT_DOUBLE_EQ(
+      reg.counter("capgpu_loop_deadband_periods_total", "", by_policy)
+          .value(),
+      static_cast<double>(loop.deadband_periods()));
+  EXPECT_DOUBLE_EQ(
+      reg.counter("capgpu_loop_level_transitions_total", "", by_policy)
+          .value(),
+      static_cast<double>(loop.level_transitions()));
+  EXPECT_GT(loop.level_transitions(), 0u);
+}
+
+TEST_F(ControlLoopTest, DeadbandPeriodsCountedInRegistry) {
+  NamedPolicy policy("deadband-probe", {1200.0, 600.0, 600.0});
+  ControlLoopConfig config;
+  config.error_deadband_watts = 1e6;  // every period lands inside the band
+  ControlLoop loop(engine_, hal_, rapl_, policy, config,
+                   [this] { return throughputs(); });
+  loop.start();
+  engine_.run_until(8.5);
+  EXPECT_EQ(loop.deadband_periods(), 2u);
+  auto& reg = telemetry::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(reg.counter("capgpu_loop_deadband_periods_total", "",
+                               {{"policy", "deadband-probe"}})
+                       .value(),
+                   2.0);
+}
+
 }  // namespace
 }  // namespace capgpu::core

@@ -70,6 +70,23 @@ TEST(CappingAudit, MovingCapUsesPerSampleBudget) {
   EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 50.0);
 }
 
+TEST(CappingAudit, MovingCapStepBreaksStreakMidRun) {
+  // Power holds at 950 W while the cap schedule steps up and back. The
+  // relieved sample must break the violation streak even though the power
+  // itself never changed, and the excess must be measured against the
+  // per-sample cap.
+  const auto power = series({950, 950, 950, 950, 950});
+  const auto cap = series({900, 880, 1000, 1000, 900});
+  const CappingAudit a = audit_capping(power, cap, 4.0);
+  EXPECT_EQ(a.violation_samples, 3u);
+  EXPECT_EQ(a.longest_streak, 2u);
+  EXPECT_DOUBLE_EQ(a.worst_excess_watts, 70.0);
+  // 50 + 70 + 50 W of excess, 4 s per sample.
+  EXPECT_DOUBLE_EQ(a.excess_joules, 680.0);
+  // Headroom only over the two relieved samples: 50 W each.
+  EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 50.0);
+}
+
 TEST(CappingAudit, MismatchedCapTraceThrows) {
   const auto power = series({850, 950});
   const auto cap = series({900});

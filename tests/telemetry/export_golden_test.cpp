@@ -1,0 +1,135 @@
+// Exporter golden tests: the Prometheus exposition and Chrome trace JSON
+// are pinned byte-for-byte. Both formats are consumed by external tools
+// (promtool, Perfetto), so accidental format drift is a real break even
+// when the numbers are right.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/trace.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TEST(PrometheusGolden, CounterAndGaugeFamilies) {
+  MetricsRegistry reg;
+  reg.counter("capgpu_loop_periods_total", "Control periods executed",
+              {{"policy", "capgpu"}})
+      .inc(42.0);
+  reg.counter("capgpu_loop_periods_total", "Control periods executed",
+              {{"policy", "gpu-only"}})
+      .inc(7.0);
+  reg.gauge("capgpu_server_power_watts", "Per-period average server power",
+            {{"policy", "capgpu"}, {"kind", "measured"}})
+      .set(895.25);
+
+  const std::string expected =
+      "# HELP capgpu_loop_periods_total Control periods executed\n"
+      "# TYPE capgpu_loop_periods_total counter\n"
+      "capgpu_loop_periods_total{policy=\"capgpu\"} 42\n"
+      "capgpu_loop_periods_total{policy=\"gpu-only\"} 7\n"
+      "# HELP capgpu_server_power_watts Per-period average server power\n"
+      "# TYPE capgpu_server_power_watts gauge\n"
+      "capgpu_server_power_watts{kind=\"measured\",policy=\"capgpu\"} "
+      "895.25\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(PrometheusGolden, HistogramExpandsToCumulativeBuckets) {
+  MetricsRegistry reg;
+  LogLinearHistogram& h = reg.histogram(
+      "capgpu_latency_seconds", "Batch latency", HistogramSpec{0.1, 1, 3});
+  // Bounds: 0.1, 0.4, 0.7, 1.0 (+Inf implicit).
+  h.observe(0.05);  // first bucket
+  h.observe(0.4);   // le-inclusive: still the 0.4 bucket
+  h.observe(0.5);
+  h.observe(99.0);  // +Inf
+
+  const std::string expected =
+      "# HELP capgpu_latency_seconds Batch latency\n"
+      "# TYPE capgpu_latency_seconds histogram\n"
+      "capgpu_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "capgpu_latency_seconds_bucket{le=\"0.4\"} 2\n"
+      "capgpu_latency_seconds_bucket{le=\"0.7\"} 3\n"
+      "capgpu_latency_seconds_bucket{le=\"1\"} 3\n"
+      "capgpu_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "capgpu_latency_seconds_sum 99.95\n"
+      "capgpu_latency_seconds_count 4\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(PrometheusGolden, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter("capgpu_events_total", "events",
+              {{"note", "a\"b\\c\nd"}})
+      .inc();
+  const std::string expected =
+      "# HELP capgpu_events_total events\n"
+      "# TYPE capgpu_events_total counter\n"
+      "capgpu_events_total{note=\"a\\\"b\\\\c\\nd\"} 1\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(ChromeTraceGolden, FullDocument) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  double now = 0.0;
+  tracer.set_clock([&now] { return now; });
+  const int pid = tracer.begin_run("rig");
+  const int tid = tracer.register_track("loop");
+  tracer.complete(tid, "control_period", "control", 0.0, 4.0,
+                  {{"power_w", 901.5}, {"period", 0.0}});
+  now = 4.0;
+  tracer.instant(tid, "deadband_hold", "control", {{"error_w", -1.25}});
+  tracer.counter(tid, "watts", "power", {{"server", 900.0}});
+  ASSERT_EQ(pid, 1);
+  ASSERT_EQ(tid, 1);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+      "\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"rig\"}},\n"
+      "{\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+      "\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"loop\"}},\n"
+      "{\"name\":\"control_period\",\"cat\":\"control\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":4000000,"
+      "\"args\":{\"power_w\":901.5,\"period\":0}},\n"
+      "{\"name\":\"deadband_hold\",\"cat\":\"control\",\"ph\":\"i\","
+      "\"pid\":1,\"tid\":1,\"ts\":4000000,\"s\":\"t\","
+      "\"args\":{\"error_w\":-1.25}},\n"
+      "{\"name\":\"watts\",\"cat\":\"power\",\"ph\":\"C\","
+      "\"pid\":1,\"tid\":1,\"ts\":4000000,\"args\":{\"server\":900}}\n"
+      "]}\n";
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  EXPECT_EQ(out.str(), expected);
+
+  const std::string jsonl_expected =
+      "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+      "\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"rig\"}}\n"
+      "{\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\","
+      "\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"loop\"}}\n"
+      "{\"name\":\"control_period\",\"cat\":\"control\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":4000000,"
+      "\"args\":{\"power_w\":901.5,\"period\":0}}\n"
+      "{\"name\":\"deadband_hold\",\"cat\":\"control\",\"ph\":\"i\","
+      "\"pid\":1,\"tid\":1,\"ts\":4000000,\"s\":\"t\","
+      "\"args\":{\"error_w\":-1.25}}\n"
+      "{\"name\":\"watts\",\"cat\":\"power\",\"ph\":\"C\","
+      "\"pid\":1,\"tid\":1,\"ts\":4000000,\"args\":{\"server\":900}}\n";
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  EXPECT_EQ(jsonl.str(), jsonl_expected);
+}
+
+TEST(ChromeTraceGolden, EmptyTracerStillValidDocument) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

@@ -1,0 +1,162 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests_total", "requests");
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(MetricsRegistry, GaugeSetsAndAdds) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("power_watts", "power");
+  g.set(900.0);
+  g.add(-25.0);
+  EXPECT_DOUBLE_EQ(g.value(), 875.0);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  // The Prometheus client model: a second registration of the same series
+  // is a lookup, so short-lived components accumulate into one series.
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total", "hits", {{"device", "gpu0"}});
+  a.inc(3.0);
+  Counter& b = reg.counter("hits_total", "ignored help", {{"device", "gpu0"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 3.0);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total", "hits",
+                           {{"device", "gpu0"}, {"policy", "capgpu"}});
+  Counter& b = reg.counter("hits_total", "hits",
+                           {{"policy", "capgpu"}, {"device", "gpu0"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, DifferentLabelValuesAreDifferentSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total", "hits", {{"device", "gpu0"}});
+  Counter& b = reg.counter("hits_total", "hits", {{"device", "gpu1"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, RejectsMalformedNamesAndLabelKeys) {
+  MetricsRegistry reg;
+  EXPECT_THROW((void)reg.counter("", "x"), InvalidArgument);
+  EXPECT_THROW((void)reg.counter("9lives", "x"), InvalidArgument);
+  EXPECT_THROW((void)reg.counter("a-b", "x"), InvalidArgument);
+  EXPECT_THROW((void)reg.counter("ok_name", "x", {{"bad-key", "v"}}),
+               InvalidArgument);
+  EXPECT_THROW((void)reg.counter("ok_name", "x", {{"k", "a"}, {"k", "b"}}),
+               InvalidArgument);
+}
+
+TEST(MetricsRegistry, RejectsTypeConflicts) {
+  MetricsRegistry reg;
+  (void)reg.counter("mixed", "x");
+  EXPECT_THROW((void)reg.gauge("mixed", "x"), InvalidArgument);
+  EXPECT_THROW((void)reg.histogram("mixed", "x"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, FamiliesKeepRegistrationOrder) {
+  MetricsRegistry reg;
+  (void)reg.counter("zeta_total", "z");
+  (void)reg.gauge("alpha_watts", "a");
+  (void)reg.counter("zeta_total", "z", {{"device", "gpu0"}});
+  const auto fams = reg.families();
+  ASSERT_EQ(fams.size(), 2u);
+  EXPECT_EQ(fams[0]->name, "zeta_total");
+  EXPECT_EQ(fams[1]->name, "alpha_watts");
+  const auto names = reg.metric_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "zeta_total");
+}
+
+TEST(MetricsRegistry, ClearDropsEverything) {
+  MetricsRegistry reg;
+  (void)reg.counter("a_total", "a");
+  reg.clear();
+  EXPECT_EQ(reg.series_count(), 0u);
+  EXPECT_TRUE(reg.families().empty());
+}
+
+TEST(LogLinearHistogram, DefaultBoundsAreLogLinear) {
+  const LogLinearHistogram h{HistogramSpec{}};
+  // First decade: 0.001 then linear splits 0.004, 0.007; next decade
+  // starts at 0.01.
+  const auto& b = h.upper_bounds();
+  ASSERT_GE(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.001);
+  EXPECT_DOUBLE_EQ(b[1], 0.004);
+  EXPECT_DOUBLE_EQ(b[2], 0.007);
+  EXPECT_DOUBLE_EQ(b[3], 0.01);
+  // The min bound plus 3 bounds per decade over 6 decades.
+  EXPECT_EQ(b.size(), 1u + 6u * 3u);
+  EXPECT_EQ(h.counts().size(), b.size() + 1u);  // +Inf slot
+}
+
+TEST(LogLinearHistogram, BucketIndexIsLeInclusive) {
+  const LogLinearHistogram h{HistogramSpec{}};
+  const auto& b = h.upper_bounds();
+  // A value exactly on a bound must land in that bucket (Prometheus `le`
+  // semantics), the next representable value above it in the next one.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(h.bucket_index(b[i]), i) << "bound " << b[i];
+    const double above = std::nextafter(b[i], 1e300);
+    EXPECT_EQ(h.bucket_index(above), i + 1) << "just above " << b[i];
+  }
+}
+
+TEST(LogLinearHistogram, UnderflowAndOverflow) {
+  const LogLinearHistogram h{HistogramSpec{}};
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(-5.0), 0u);
+  EXPECT_EQ(h.bucket_index(1e9), h.upper_bounds().size());  // +Inf bucket
+}
+
+TEST(LogLinearHistogram, ObserveTracksSumAndCount) {
+  MetricsRegistry reg;
+  LogLinearHistogram& h =
+      reg.histogram("latency_seconds", "latency", HistogramSpec{});
+  h.observe(0.002);
+  h.observe(0.002);
+  h.observe(5000.0);  // beyond the last bound
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.004 + 5000.0);
+  EXPECT_EQ(h.counts()[1], 2u);      // (0.001, 0.004]
+  EXPECT_EQ(h.counts().back(), 1u);  // +Inf
+}
+
+TEST(LogLinearHistogram, CustomSpecRoundTrips) {
+  MetricsRegistry reg;
+  LogLinearHistogram& h = reg.histogram(
+      "error_watts", "error", HistogramSpec{0.1, 4, 2});
+  EXPECT_DOUBLE_EQ(h.spec().min_bound, 0.1);
+  EXPECT_EQ(h.spec().decades, 4u);
+  const auto& b = h.upper_bounds();
+  EXPECT_DOUBLE_EQ(b[0], 0.1);
+  EXPECT_DOUBLE_EQ(b[1], 0.55);
+  EXPECT_DOUBLE_EQ(b[2], 1.0);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry

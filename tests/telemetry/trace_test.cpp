@@ -1,0 +1,197 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "telemetry/runtime.hpp"
+
+namespace capgpu::telemetry {
+namespace {
+
+/// Fresh, enabled tracer with a settable fake clock.
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest() {
+    tracer_.set_enabled(true);
+    tracer_.set_clock([this] { return now_; });
+  }
+
+  Tracer tracer_;
+  double now_{0.0};
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer off;
+  off.set_clock([] { return 1.0; });
+  (void)off.begin_run("run");
+  const int tid = off.register_track("loop");
+  off.instant(tid, "event", "test");
+  off.counter(tid, "value", "test", {{"v", 1.0}});
+  off.complete(tid, "span", "test", 0.0, 1.0);
+  EXPECT_EQ(off.begin_span(tid, "open", "test"), 0u);
+  off.end_span(0);
+  EXPECT_EQ(off.size(), 0u);
+  EXPECT_EQ(off.dropped(), 0u);
+}
+
+TEST_F(TracerTest, RunAndTrackMetadataCarryNames) {
+  const int pid = tracer_.begin_run("server_rig");
+  const int tid = tracer_.register_track("control_loop");
+  ASSERT_EQ(tracer_.size(), 2u);
+  const TraceEvent& process = tracer_.events()[0];
+  EXPECT_EQ(process.phase, 'M');
+  EXPECT_EQ(process.name, "process_name");
+  EXPECT_EQ(process.pid, pid);
+  ASSERT_EQ(process.args.size(), 1u);
+  EXPECT_EQ(process.args[0].value, "server_rig");
+  const TraceEvent& thread = tracer_.events()[1];
+  EXPECT_EQ(thread.name, "thread_name");
+  EXPECT_EQ(thread.tid, tid);
+  EXPECT_EQ(thread.args[0].value, "control_loop");
+}
+
+TEST_F(TracerTest, BeginRunBumpsPidAndResetsTracks) {
+  (void)tracer_.begin_run("first");
+  const int t1 = tracer_.register_track("a");
+  const int pid2 = tracer_.begin_run("second");
+  const int t2 = tracer_.register_track("b");
+  EXPECT_EQ(t1, t2);  // track numbering restarts per run
+  EXPECT_EQ(tracer_.events().back().pid, pid2);
+}
+
+TEST_F(TracerTest, InstantStampsVirtualTime) {
+  const int tid = tracer_.register_track("loop");
+  now_ = 12.5;
+  tracer_.instant(tid, "deadband_hold", "control");
+  const TraceEvent& e = tracer_.events().back();
+  EXPECT_EQ(e.phase, 'i');
+  EXPECT_DOUBLE_EQ(e.ts_us, 12.5e6);
+}
+
+TEST_F(TracerTest, SpanCoversVirtualInterval) {
+  const int tid = tracer_.register_track("gpu0");
+  now_ = 4.0;
+  const std::uint64_t span = tracer_.begin_span(tid, "batch", "workload");
+  ASSERT_NE(span, 0u);
+  now_ = 4.25;
+  tracer_.end_span(span, {{"images", 32.0}});
+  const TraceEvent& e = tracer_.events().back();
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_EQ(e.name, "batch");
+  EXPECT_DOUBLE_EQ(e.ts_us, 4.0e6);
+  EXPECT_DOUBLE_EQ(e.dur_us, 0.25e6);
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0].key, "images");
+  EXPECT_TRUE(e.args[0].is_number);
+}
+
+TEST_F(TracerTest, NestedSpansAreContained) {
+  const int tid = tracer_.register_track("loop");
+  now_ = 0.0;
+  const auto outer = tracer_.begin_span(tid, "outer", "test");
+  now_ = 1.0;
+  const auto inner = tracer_.begin_span(tid, "inner", "test");
+  now_ = 2.0;
+  tracer_.end_span(inner);
+  now_ = 3.0;
+  tracer_.end_span(outer);
+  ASSERT_EQ(tracer_.size(), 3u);  // thread_name + two spans
+  const TraceEvent& in = tracer_.events()[1];
+  const TraceEvent& out = tracer_.events()[2];
+  EXPECT_EQ(in.name, "inner");
+  EXPECT_EQ(out.name, "outer");
+  EXPECT_GE(in.ts_us, out.ts_us);
+  EXPECT_LE(in.ts_us + in.dur_us, out.ts_us + out.dur_us);
+}
+
+TEST_F(TracerTest, EventsAppearInVirtualTimeOrder) {
+  const int tid = tracer_.register_track("loop");
+  for (int i = 0; i < 5; ++i) {
+    now_ = static_cast<double>(i);
+    tracer_.instant(tid, "tick", "test");
+  }
+  double last = -1.0;
+  for (const auto& e : tracer_.events()) {
+    if (e.phase != 'i') continue;
+    EXPECT_GT(e.ts_us, last);
+    last = e.ts_us;
+  }
+}
+
+TEST_F(TracerTest, MaxEventsCapCountsDropped) {
+  tracer_.set_max_events(2);
+  const int tid = tracer_.register_track("loop");  // event 1 (metadata)
+  tracer_.instant(tid, "kept", "test");            // event 2
+  tracer_.instant(tid, "dropped", "test");
+  tracer_.instant(tid, "dropped", "test");
+  EXPECT_EQ(tracer_.size(), 2u);
+  EXPECT_EQ(tracer_.dropped(), 2u);
+  tracer_.clear();
+  EXPECT_EQ(tracer_.size(), 0u);
+  EXPECT_EQ(tracer_.dropped(), 0u);
+}
+
+TEST_F(TracerTest, EndSpanOnUnknownIdIsANoOp) {
+  tracer_.end_span(0);
+  tracer_.end_span(12345);
+  EXPECT_EQ(tracer_.size(), 0u);
+}
+
+TEST_F(TracerTest, ChromeJsonIsWellFormed) {
+  const int tid = tracer_.register_track("loop");
+  now_ = 1.0;
+  tracer_.instant(tid, "say \"hi\"", "test", {{"note", "a\nb"}});
+  tracer_.counter(tid, "watts", "test", {{"power", 900.0}});
+  std::ostringstream out;
+  tracer_.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\"a\\nb\""), std::string::npos);
+  EXPECT_NE(json.find("\"power\":900"), std::string::npos);  // unquoted number
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);    // instant scope
+}
+
+TEST_F(TracerTest, JsonlEmitsOneObjectPerLine) {
+  const int tid = tracer_.register_track("loop");
+  tracer_.instant(tid, "a", "test");
+  tracer_.instant(tid, "b", "test");
+  std::ostringstream out;
+  tracer_.write_jsonl(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 3u);  // metadata + two instants
+}
+
+TEST(TelemetryRuntime, AttachesEngineClockToTracer) {
+  sim::Engine engine;
+  engine.run_until(2.0);
+  const int owner = 0;
+  attach_time_source(&owner, [&engine] { return engine.now(); });
+  EXPECT_DOUBLE_EQ(Tracer::global().now_seconds(), 2.0);
+  detach_time_source(&owner);
+  EXPECT_DOUBLE_EQ(Tracer::global().now_seconds(), 0.0);
+}
+
+TEST(TelemetryRuntime, StaleOwnerCannotDetachNewerClock) {
+  const int first = 0;
+  const int second = 0;
+  attach_time_source(&first, [] { return 1.0; });
+  attach_time_source(&second, [] { return 2.0; });
+  detach_time_source(&first);  // stale owner: must be ignored
+  EXPECT_DOUBLE_EQ(Tracer::global().now_seconds(), 2.0);
+  detach_time_source(&second);
+  EXPECT_DOUBLE_EQ(Tracer::global().now_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace capgpu::telemetry
