@@ -28,8 +28,24 @@ for name in "${names[@]}"; do
   fi
 done
 
-if [[ $missing -ne 0 ]]; then
+# Reverse direction: every backticked capgpu_* metric family the docs
+# mention must still exist in the names header (catches stale docs after
+# a rename). Only counter/gauge/histogram family names are considered —
+# i.e. backticked identifiers that start with capgpu_.
+stale=0
+while IFS= read -r doc_name; do
+  found=0
+  for name in "${names[@]}"; do
+    [[ "$name" == "$doc_name" ]] && { found=1; break; }
+  done
+  if [[ $found -eq 0 ]]; then
+    echo "stale doc entry: $doc_name is not registered in $names_file" >&2
+    stale=1
+  fi
+done < <(grep -oE '`capgpu_[a-z0-9_]+`' "$docs_file" | tr -d '`' | sort -u)
+
+if [[ $missing -ne 0 || $stale -ne 0 ]]; then
   exit 1
 fi
 
-echo "all ${#names[@]} metric names documented in $docs_file"
+echo "all ${#names[@]} metric names documented in $docs_file (and none stale)"

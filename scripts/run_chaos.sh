@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos verification: build, run the `chaos`-labeled test suite
+# (fault-injection + fail-safe), then the reference chaos bench. All
+# injection is driven by fixed seeds, so this run is bit-for-bit
+# reproducible; any shape-check FAIL in the bench output fails the
+# script. See docs/fault_model.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target capgpu_chaos_tests bench_fault_chaos
+
+ctest --test-dir build -L chaos -j"$(nproc)" --output-on-failure
+
+echo "==== bench_fault_chaos (seed 0xC0FFEE)"
+out=$(./build/bench/bench_fault_chaos 2>&1)
+echo "$out"
+if grep -q FAIL <<<"$out"; then
+  echo "^^^ shape-check FAIL in bench_fault_chaos" >&2
+  exit 1
+fi

@@ -17,4 +17,17 @@ Megahertz DeltaSigmaModulator::step(Megahertz target,
   return out;
 }
 
+void DeltaSigmaModulator::hold(Megahertz target,
+                               const Megahertz applied,
+                               const hw::FrequencyTable& table) {
+  const Megahertz clamped = table.clamp(target);
+  const auto [lower, upper] = table.bracket(clamped);
+  const double gap = upper.value - lower.value;
+  sigma_ += clamped.value - applied.value;
+  // A hold can repeat for many periods; |sigma| stays within one level gap
+  // (the same invariant step() maintains) so resuming never over-corrects.
+  if (sigma_ > gap) sigma_ = gap;
+  if (sigma_ < -gap) sigma_ = -gap;
+}
+
 }  // namespace capgpu::control

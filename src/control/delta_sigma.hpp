@@ -18,6 +18,15 @@ class DeltaSigmaModulator {
   /// carrying the quantisation error to the next call.
   [[nodiscard]] Megahertz step(Megahertz target, const hw::FrequencyTable& table);
 
+  /// Accounts for a held period: the loop kept the hardware at `applied`
+  /// (no new command) while the fractional target remained `target`.
+  /// Accumulates the resulting quantisation error, clamped to one level
+  /// gap, so the modulator neither forgets the fraction it owes nor winds
+  /// up across a long hold. Without this, a loop that freezes commands
+  /// (deadband, sensor holdover) silently biases the time-average toward
+  /// whichever discrete level it happened to stop on.
+  void hold(Megahertz target, Megahertz applied, const hw::FrequencyTable& table);
+
   /// Accumulated quantisation error (MHz); bounded by one level gap.
   [[nodiscard]] double accumulated_error() const { return sigma_; }
 

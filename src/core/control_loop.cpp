@@ -30,9 +30,14 @@ ControlLoop::ControlLoop(
   CAPGPU_REQUIRE(config_.period.value > 0.0, "control period must be positive");
   CAPGPU_REQUIRE(static_cast<bool>(normalized_throughput_),
                  "throughput provider required");
+  if (config_.failsafe) {
+    governor_ =
+        std::make_unique<FailSafeGovernor>(*config_.failsafe, policy_->name());
+  }
   const std::size_t n = hal_->device_count();
   commands_.resize(n);
   modulators_.resize(n);
+  command_seq_.assign(n, 0);
   freqs_.reserve(n);
   for (std::size_t j = 0; j < n; ++j) {
     commands_[j] = hal_->device_freqs(DeviceId{static_cast<std::uint32_t>(j)})
@@ -55,6 +60,15 @@ ControlLoop::ControlLoop(
       metric::kLoopLevelTransitions,
       "Discrete frequency level changes applied across all devices",
       by_policy);
+  retries_metric_ = &registry.counter(
+      metric::kActuationRetries,
+      "Actuation re-issues after a failure or read-back mismatch", by_policy);
+  actuation_failures_metric_ = &registry.counter(
+      metric::kActuationFailures,
+      "Actuation attempts that raised a HAL error", by_policy);
+  readback_metric_ = &registry.counter(
+      metric::kReadbackMismatches,
+      "Commands whose read-back did not match the issued level", by_policy);
   power_metric_ = &registry.gauge(
       metric::kServerPowerWatts, "Per-period average server power",
       {{"policy", policy_->name()}, {"kind", "measured"}});
@@ -77,7 +91,10 @@ ControlLoop::ControlLoop(
   trace_tid_ = telemetry::Tracer::global().register_track("control_loop");
 }
 
-ControlLoop::~ControlLoop() { stop(); }
+ControlLoop::~ControlLoop() {
+  stop();
+  *alive_ = false;  // silence in-flight actuation retries
+}
 
 void ControlLoop::start() {
   CAPGPU_REQUIRE(!started_, "loop already started");
@@ -106,9 +123,16 @@ const telemetry::TimeSeries& ControlLoop::freq_trace(std::size_t device) const {
 }
 
 baselines::ControlInputs ControlLoop::gather() const {
+  baselines::ControlInputs in = gather_devices();
+  in.measured_power = hal_->power_meter().average(config_.period);
+  return in;
+}
+
+// Everything except the power reading — the hardened path sources that
+// from the validator instead of trusting the meter directly.
+baselines::ControlInputs ControlLoop::gather_devices() const {
   const std::size_t n = hal_->device_count();
   baselines::ControlInputs in;
-  in.measured_power = hal_->power_meter().average(config_.period);
   in.utilization.resize(n);
   in.device_power_watts.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -126,11 +150,18 @@ baselines::ControlInputs ControlLoop::gather() const {
 }
 
 void ControlLoop::run_period() {
-  auto& tracer = telemetry::Tracer::global();
   // Scheduled actions (set-point / SLO changes) fire before the decision.
   auto [first, last] = schedule_.equal_range(periods_);
   for (auto it = first; it != last; ++it) it->second();
+  if (governor_) {
+    run_period_hardened();
+  } else {
+    run_period_basic();
+  }
+}
 
+void ControlLoop::run_period_basic() {
+  auto& tracer = telemetry::Tracer::global();
   // Sensor resilience: a meter with no samples this period (hiccup,
   // driver restart) must not take the loop down — hold the previous
   // commands and keep the period accounting moving.
@@ -139,6 +170,7 @@ void ControlLoop::run_period() {
   } catch (const HalError& e) {
     ++skipped_;
     skipped_metric_->inc();
+    hold_period("sensor_gap");
     if (tracer.enabled()) {
       tracer.instant(trace_tid_, "period_skipped", "control",
                      {{"period", static_cast<double>(periods_)},
@@ -168,6 +200,7 @@ void ControlLoop::run_period() {
     // not re-apply (no delta-sigma toggling this period).
     ++deadband_held_;
     deadband_metric_->inc();
+    hold_period("deadband");
     if (tracer.enabled()) {
       tracer.instant(trace_tid_, "deadband_hold", "control",
                      {{"period", static_cast<double>(periods_)},
@@ -205,6 +238,126 @@ void ControlLoop::run_period() {
   if (on_period) on_period(index);
 }
 
+void ControlLoop::run_period_hardened() {
+  auto& tracer = telemetry::Tracer::global();
+  const double now = engine_->now();
+  const FailSafeGovernor::Assessment a =
+      governor_->assess(now, hal_->power_meter(), config_.period);
+
+  last_inputs_ = gather_devices();
+  // With the meter dark the traces repeat the last reading (or the set
+  // point before one exists) so every series stays period-aligned.
+  const double measured =
+      a.verdict == SampleVerdict::kDark
+          ? (power_.empty() ? policy_->set_point().value
+                            : power_.values().back())
+          : a.power;
+  last_inputs_.measured_power = Watts{measured};
+  const double error = measured - policy_->set_point().value;
+
+  if (a.degrade) {
+    degrade_step();
+  } else if (!a.act) {
+    const bool recovering = governor_->state() == FailSafeState::kRecovering;
+    const char* reason = recovering ? "recovering" : "dark";
+    hold_period(reason);
+    if (tracer.enabled()) {
+      tracer.instant(trace_tid_, "period_held", "control",
+                     {{"period", static_cast<double>(periods_)},
+                      {"reason", reason}});
+    }
+  } else if (config_.error_deadband_watts > 0.0 &&
+             std::abs(error) < config_.error_deadband_watts) {
+    ++deadband_held_;
+    deadband_metric_->inc();
+    hold_period("deadband");
+    if (tracer.enabled()) {
+      tracer.instant(trace_tid_, "deadband_hold", "control",
+                     {{"period", static_cast<double>(periods_)},
+                      {"error_w", error}});
+    }
+  } else {
+    const baselines::ControlOutputs out =
+        policy_->control(last_inputs_, commands_);
+    CAPGPU_REQUIRE(out.target_freqs_mhz.size() == commands_.size(),
+                   "policy returned wrong number of commands");
+    commands_ = out.target_freqs_mhz;
+    apply_commands();
+  }
+  finish_period(measured, error, a.verdict != SampleVerdict::kDark);
+}
+
+void ControlLoop::finish_period(double measured_power, double error,
+                                bool observe_error) {
+  const double now = engine_->now();
+  power_.add(now, measured_power);
+  set_point_.add(now, policy_->set_point().value);
+  for (std::size_t j = 0; j < commands_.size(); ++j) {
+    freqs_[j].add(now, commands_[j]);
+    freq_metrics_[j]->set(commands_[j]);
+  }
+  periods_metric_->inc();
+  power_metric_->set(measured_power);
+  set_point_metric_->set(policy_->set_point().value);
+  if (observe_error) error_metric_->observe(std::abs(error));
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.complete(
+        trace_tid_, "control_period", "control", now - config_.period.value,
+        now,
+        {{"period", static_cast<double>(periods_)},
+         {"power_w", measured_power},
+         {"set_point_w", policy_->set_point().value},
+         {"error_w", error},
+         {"failsafe_state",
+          static_cast<double>(static_cast<int>(governor_->state()))}});
+  }
+  const std::size_t index = periods_++;
+  if (on_period) on_period(index);
+}
+
+// Commands held this period. Ticks the delta-sigma modulators against the
+// level the hardware is sitting on so the quantisation accounting never
+// silently freezes (the fraction the loop owes stays bounded and is paid
+// back once it resumes acting).
+void ControlLoop::hold_period(const char* reason) {
+  ++held_;
+  telemetry::MetricsRegistry::global()
+      .counter(telemetry::metric::kLoopHeldPeriods,
+               "Periods where commands held instead of acting, by cause",
+               {{"policy", policy_->name()}, {"reason", reason}})
+      .inc();
+  if (!config_.use_delta_sigma || applied_levels_.empty()) return;
+  for (std::size_t j = 0; j < commands_.size(); ++j) {
+    if (applied_levels_[j] < 0.0) continue;
+    const DeviceId id{static_cast<std::uint32_t>(j)};
+    modulators_[j].hold(Megahertz{commands_[j]}, Megahertz{applied_levels_[j]},
+                        hal_->device_freqs(id));
+  }
+}
+
+// Fail-safe degradation: walk every device toward its minimum level from
+// wherever the hardware actually is (read-back truth — commands may not
+// have stuck, that is likely why we are degrading).
+void ControlLoop::degrade_step() {
+  const int down = -static_cast<int>(governor_->config().degrade_step_levels);
+  for (std::size_t j = 0; j < commands_.size(); ++j) {
+    const DeviceId id{static_cast<std::uint32_t>(j)};
+    const auto& table = hal_->device_freqs(id);
+    std::size_t idx = 0;
+    try {
+      idx = table.nearest_index(hal_->device_frequency(id));
+    } catch (const HalError&) {
+      idx = table.nearest_index(
+          Megahertz{applied_levels_[j] >= 0.0 ? applied_levels_[j]
+                                              : table.min().value});
+    }
+    commands_[j] = table.level(table.step_index(idx, down)).value;
+    modulators_[j].reset();
+  }
+  apply_commands();
+}
+
 void ControlLoop::apply_commands() {
   if (applied_levels_.empty()) {
     applied_levels_.assign(commands_.size(), -1.0);
@@ -216,13 +369,67 @@ void ControlLoop::apply_commands() {
     const Megahertz level = config_.use_delta_sigma
                                 ? modulators_[j].step(target, table)
                                 : table.nearest(target);
-    hal_->set_device_frequency(id, level);
+    if (governor_) {
+      ++command_seq_[j];
+      issue_command(j, level, governor_->config().retry_budget);
+    } else {
+      try {
+        hal_->set_device_frequency(id, level);
+      } catch (const HalError& e) {
+        // Unhardened loops drop the command: no retry, no verification.
+        ++actuation_failures_;
+        actuation_failures_metric_->inc();
+        CAPGPU_LOG_DEBUG << "actuation failed on device " << j << " ("
+                         << e.what() << "); command dropped";
+      }
+    }
     if (applied_levels_[j] >= 0.0 && applied_levels_[j] != level.value) {
       ++transitions_;
       transitions_metric_->inc();
     }
     applied_levels_[j] = level.value;
   }
+}
+
+// One actuation attempt plus, on failure or read-back mismatch, a chain of
+// retries at retry_backoff * 2^k. A newer command for the same device (see
+// command_seq_) or loop destruction (alive_) invalidates pending retries.
+void ControlLoop::issue_command(std::size_t device, Megahertz level,
+                                std::size_t attempts_left) {
+  const DeviceId id{static_cast<std::uint32_t>(device)};
+  const std::uint64_t seq = command_seq_[device];
+  bool ok = true;
+  try {
+    hal_->set_device_frequency(id, level);
+    if (governor_->config().verify_readback &&
+        hal_->device_frequency(id).value != level.value) {
+      ok = false;
+      ++readback_mismatches_;
+      readback_metric_->inc();
+    }
+  } catch (const HalError&) {
+    ok = false;
+    ++actuation_failures_;
+    actuation_failures_metric_->inc();
+  }
+  governor_->note_actuation(engine_->now(), device, ok);
+  if (ok) return;
+  if (attempts_left == 0) {
+    CAPGPU_LOG_DEBUG << "actuation retry budget exhausted on device "
+                     << device << "; giving up on " << level.value << " MHz";
+    return;
+  }
+  const std::size_t used = governor_->config().retry_budget - attempts_left;
+  const double delay = governor_->config().retry_backoff.value *
+                       std::pow(2.0, static_cast<double>(used));
+  std::shared_ptr<bool> alive = alive_;
+  engine_->schedule_after(
+      delay, [this, alive, device, level, attempts_left, seq] {
+        if (!*alive || command_seq_[device] != seq) return;
+        ++retries_;
+        retries_metric_->inc();
+        issue_command(device, level, attempts_left - 1);
+      });
 }
 
 }  // namespace capgpu::core

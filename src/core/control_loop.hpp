@@ -10,12 +10,16 @@
 // periods) and records the traces every bench consumes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "baselines/controller_iface.hpp"
 #include "control/delta_sigma.hpp"
+#include "core/failsafe.hpp"
 #include "hal/rapl_sim.hpp"
 #include "hal/server_hal.hpp"
 #include "sim/engine.hpp"
@@ -35,6 +39,12 @@ struct ControlLoopConfig {
   /// wear VRMs and cost microseconds of stall, so converged loops should
   /// go quiet. 0 disables (the paper's loop acts every period).
   double error_deadband_watts{0.0};
+  /// When set, the loop runs hardened: power readings pass through the
+  /// SampleValidator, actuation is retried with backoff and (optionally)
+  /// read-back verified, and the FailSafeGovernor degrades toward minimum
+  /// clocks once the HAL stays broken past its deadlines. When unset the
+  /// loop trusts the HAL (the paper's assumption).
+  std::optional<FailSafeConfig> failsafe{};
 };
 
 /// Drives one policy against one server.
@@ -70,6 +80,18 @@ class ControlLoop {
   [[nodiscard]] std::size_t skipped_periods() const { return skipped_; }
   /// Periods where the error sat inside the deadband and commands held.
   [[nodiscard]] std::size_t deadband_periods() const { return deadband_held_; }
+  /// Periods where commands held for any reason (deadband, sensor gap,
+  /// meter dark, recovery hysteresis). Superset of the two counts above
+  /// in hardened mode.
+  [[nodiscard]] std::size_t held_periods() const { return held_; }
+  /// Actuation re-issues after a failed or unverified command (hardened).
+  [[nodiscard]] std::size_t actuation_retries() const { return retries_; }
+  /// Actuation attempts that threw a HalError.
+  [[nodiscard]] std::size_t actuation_failures() const { return actuation_failures_; }
+  /// Commands whose read-back did not match the issued level (hardened).
+  [[nodiscard]] std::size_t readback_mismatches() const { return readback_mismatches_; }
+  /// The watchdog, or nullptr when the loop runs unhardened.
+  [[nodiscard]] const FailSafeGovernor* failsafe() const { return governor_.get(); }
   /// Total discrete level changes applied across all devices (actuator
   /// churn; delta-sigma toggling counts).
   [[nodiscard]] std::size_t level_transitions() const { return transitions_; }
@@ -81,8 +103,16 @@ class ControlLoop {
 
  private:
   void run_period();
+  void run_period_basic();
+  void run_period_hardened();
+  void finish_period(double measured_power, double error, bool observe_error);
   void apply_commands();
+  void issue_command(std::size_t device, Megahertz level,
+                     std::size_t attempts_left);
+  void degrade_step();
+  void hold_period(const char* reason);
   [[nodiscard]] baselines::ControlInputs gather() const;
+  [[nodiscard]] baselines::ControlInputs gather_devices() const;
 
   sim::Engine* engine_;
   hal::IServerHal* hal_;
@@ -97,10 +127,21 @@ class ControlLoop {
   std::size_t periods_{0};
   std::size_t skipped_{0};
   std::size_t deadband_held_{0};
+  std::size_t held_{0};
   std::size_t transitions_{0};
+  std::size_t retries_{0};
+  std::size_t actuation_failures_{0};
+  std::size_t readback_mismatches_{0};
   std::vector<double> applied_levels_;
   sim::EventId timer_{0};
   bool started_{false};
+
+  // Hardened-mode state. `command_seq_` invalidates in-flight retries once
+  // a newer command targets the device; `alive_` guards retry events that
+  // fire after the loop is destroyed.
+  std::unique_ptr<FailSafeGovernor> governor_;
+  std::vector<std::uint64_t> command_seq_;
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 
   telemetry::TimeSeries power_{"power", "W"};
   telemetry::TimeSeries set_point_{"set_point", "W"};
@@ -114,6 +155,9 @@ class ControlLoop {
   telemetry::Counter* skipped_metric_{nullptr};
   telemetry::Counter* deadband_metric_{nullptr};
   telemetry::Counter* transitions_metric_{nullptr};
+  telemetry::Counter* retries_metric_{nullptr};
+  telemetry::Counter* actuation_failures_metric_{nullptr};
+  telemetry::Counter* readback_metric_{nullptr};
   telemetry::Gauge* power_metric_{nullptr};
   telemetry::Gauge* set_point_metric_{nullptr};
   std::vector<telemetry::Gauge*> freq_metrics_;

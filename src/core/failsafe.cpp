@@ -1,0 +1,210 @@
+#include "core/failsafe.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/trace.hpp"
+
+namespace capgpu::core {
+
+FailSafeConfig validated(FailSafeConfig config) {
+  CAPGPU_REQUIRE(std::isfinite(config.validator.min_power_watts) &&
+                     std::isfinite(config.validator.max_power_watts),
+                 "validator power bounds must be finite");
+  CAPGPU_REQUIRE(
+      config.validator.max_power_watts > config.validator.min_power_watts,
+      "validator max power must exceed min power");
+  CAPGPU_REQUIRE(config.validator.max_holdover.value >= 0.0,
+                 "max_holdover must be >= 0");
+  CAPGPU_REQUIRE(config.retry_backoff.value >= 0.0,
+                 "retry_backoff must be >= 0");
+  CAPGPU_REQUIRE(!(config.verify_readback && config.retry_budget == 0),
+                 "read-back verification needs a retry budget >= 1 "
+                 "(a detected mismatch must be correctable)");
+  CAPGPU_REQUIRE(config.meter_dark_deadline.value > 0.0,
+                 "meter_dark_deadline must be positive");
+  CAPGPU_REQUIRE(config.actuation_fail_deadline.value > 0.0,
+                 "actuation_fail_deadline must be positive");
+  CAPGPU_REQUIRE(config.recovery_periods >= 1,
+                 "recovery_periods must be >= 1 (hysteresis)");
+  CAPGPU_REQUIRE(config.degrade_step_levels >= 1,
+                 "degrade_step_levels must be >= 1");
+  return config;
+}
+
+SampleValidator::SampleValidator(SampleValidatorConfig config,
+                                 const std::string& policy_label)
+    : config_(config) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  namespace metric = telemetry::metric;
+  const char* reject_help =
+      "Power readings rejected before reaching the policy";
+  rejected_nan_metric_ = &registry.counter(
+      metric::kSamplesRejected, reject_help,
+      {{"policy", policy_label}, {"reason", "nan"}});
+  rejected_range_metric_ = &registry.counter(
+      metric::kSamplesRejected, reject_help,
+      {{"policy", policy_label}, {"reason", "range"}});
+  gaps_metric_ = &registry.counter(
+      metric::kSamplesRejected, reject_help,
+      {{"policy", policy_label}, {"reason", "no_data"}});
+  holdover_metric_ = &registry.counter(
+      metric::kSampleHoldovers,
+      "Periods served from the bounded-age last-good power reading",
+      {{"policy", policy_label}});
+}
+
+SampleValidator::Result SampleValidator::ingest(double now,
+                                                const hal::IPowerMeter& meter,
+                                                Seconds window) {
+  bool usable = false;
+  double power = 0.0;
+  try {
+    power = meter.average(window).value;
+    if (!std::isfinite(power)) {
+      ++rejected_nan_;
+      rejected_nan_metric_->inc();
+    } else if (power < config_.min_power_watts ||
+               power > config_.max_power_watts) {
+      ++rejected_range_;
+      rejected_range_metric_->inc();
+    } else {
+      usable = true;
+    }
+  } catch (const HalError&) {
+    // Window held no samples: the meter is stalled or gone. Distinct from
+    // a corrupt reading, but handled the same way downstream.
+    ++gaps_;
+    gaps_metric_->inc();
+  }
+  if (usable) {
+    have_last_good_ = true;
+    last_good_time_ = now;
+    last_good_power_ = power;
+    return {SampleVerdict::kFresh, power};
+  }
+  if (have_last_good_ &&
+      now - last_good_time_ <= config_.max_holdover.value) {
+    ++holdovers_;
+    holdover_metric_->inc();
+    return {SampleVerdict::kHoldover, last_good_power_};
+  }
+  return {SampleVerdict::kDark, 0.0};
+}
+
+FailSafeGovernor::FailSafeGovernor(FailSafeConfig config,
+                                   const std::string& policy_label)
+    : config_(validated(config)),
+      validator_(config_.validator, policy_label) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  namespace metric = telemetry::metric;
+  const telemetry::Labels by_policy{{"policy", policy_label}};
+  engagements_metric_ = &registry.counter(
+      metric::kFailsafeEngagements,
+      "Fail-safe degradations (meter dark or actuation failing past its "
+      "deadline)",
+      by_policy);
+  releases_metric_ = &registry.counter(
+      metric::kFailsafeReleases,
+      "Recoveries from fail-safe degradation (policy re-admitted)",
+      by_policy);
+  state_metric_ = &registry.gauge(
+      metric::kFailsafeState,
+      "Degradation state: 0 nominal, 1 degraded, 2 recovering", by_policy);
+  trace_tid_ = telemetry::Tracer::global().register_track("failsafe");
+}
+
+bool FailSafeGovernor::actuation_failing(double now) const {
+  for (const auto& h : devices_) {
+    if (h.last_attempt < 0.0) continue;           // never actuated
+    if (h.last_ok >= h.last_attempt) continue;    // latest attempt succeeded
+    if (now - h.last_ok > config_.actuation_fail_deadline.value) return true;
+  }
+  return false;
+}
+
+void FailSafeGovernor::note_actuation(double now, std::size_t device,
+                                      bool ok) {
+  if (devices_.size() <= device) devices_.resize(device + 1);
+  auto& h = devices_[device];
+  if (h.last_attempt < 0.0) {
+    // First contact: the failure clock starts here, not at sim time 0.
+    h.last_ok = now;
+  }
+  h.last_attempt = now;
+  if (ok) h.last_ok = now;
+}
+
+FailSafeGovernor::Assessment FailSafeGovernor::assess(
+    double now, const hal::IPowerMeter& meter, Seconds window) {
+  if (!primed_) {
+    primed_ = true;
+    last_fresh_time_ = now;  // grace: the dark clock starts at the first period
+  }
+  const SampleValidator::Result r = validator_.ingest(now, meter, window);
+  if (r.verdict == SampleVerdict::kFresh) last_fresh_time_ = now;
+
+  const bool act_failing = actuation_failing(now);
+  const bool meter_dark_over =
+      now - last_fresh_time_ > config_.meter_dark_deadline.value;
+  const bool over_deadline = meter_dark_over || act_failing;
+  const bool healthy = r.verdict == SampleVerdict::kFresh && !act_failing;
+
+  auto& tracer = telemetry::Tracer::global();
+  switch (state_) {
+    case FailSafeState::kNominal:
+      if (over_deadline) {
+        state_ = FailSafeState::kDegraded;
+        ++engagements_;
+        engagements_metric_->inc();
+        if (tracer.enabled()) {
+          tracer.instant(trace_tid_, "failsafe_engage", "protection",
+                         {{"meter_dark", meter_dark_over ? 1.0 : 0.0},
+                          {"actuation_failing", act_failing ? 1.0 : 0.0}});
+        }
+        CAPGPU_LOG_WARN << "fail-safe engaged: "
+                        << (meter_dark_over ? "meter dark" : "actuation failing")
+                        << " past deadline; stepping toward minimum clocks";
+      }
+      break;
+    case FailSafeState::kDegraded:
+      if (healthy) {
+        state_ = FailSafeState::kRecovering;
+        healthy_streak_ = 0;
+      }
+      break;
+    case FailSafeState::kRecovering:
+      if (over_deadline) state_ = FailSafeState::kDegraded;  // relapse
+      break;
+  }
+  if (state_ == FailSafeState::kRecovering) {
+    if (healthy) {
+      if (++healthy_streak_ >= config_.recovery_periods) {
+        state_ = FailSafeState::kNominal;
+        ++releases_;
+        releases_metric_->inc();
+        if (tracer.enabled()) {
+          tracer.instant(trace_tid_, "failsafe_release", "protection",
+                         {{"healthy_periods",
+                           static_cast<double>(healthy_streak_)}});
+        }
+        CAPGPU_LOG_INFO << "fail-safe released: HAL healthy for "
+                        << healthy_streak_ << " periods; policy re-admitted";
+      }
+    } else {
+      healthy_streak_ = 0;
+    }
+  }
+  state_metric_->set(static_cast<double>(static_cast<int>(state_)));
+
+  Assessment a;
+  a.verdict = r.verdict;
+  a.power = r.power;
+  a.act = state_ == FailSafeState::kNominal && r.verdict != SampleVerdict::kDark;
+  a.degrade = state_ == FailSafeState::kDegraded;
+  return a;
+}
+
+}  // namespace capgpu::core

@@ -1,0 +1,181 @@
+// Fail-safe hardening of the control loop against HAL faults.
+//
+// The paper's premise — power capping makes rack oversubscription safe —
+// only holds while the loop can see and steer the server. This module
+// supplies the three defenses the hardened loop composes:
+//
+//   - SampleValidator: rejects NaN / out-of-range / stale power readings
+//     before they reach the policy, serving a bounded-age last-good value
+//     while the meter hiccups;
+//   - actuation policy knobs (retry budget, backoff, read-back
+//     verification) consumed by core::ControlLoop;
+//   - FailSafeGovernor: a watchdog state machine that, once the meter has
+//     been dark or actuation has been failing past its deadline, degrades
+//     gracefully — the loop steps devices toward minimum clocks instead
+//     of holding potentially-over-cap commands — and re-admits the policy
+//     with hysteresis once the HAL recovers.
+//
+// State machine (docs/fault_model.md has the full picture):
+//
+//     NOMINAL --deadline exceeded--> DEGRADED --healthy period--> RECOVERING
+//        ^                               ^                            |
+//        |                               +---unhealthy / relapse------+
+//        +--recovery_periods consecutive healthy periods--------------+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hal/interfaces.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace capgpu::core {
+
+/// Power-sample plausibility and staleness limits.
+struct SampleValidatorConfig {
+  /// Physical plausibility range of a server power reading.
+  double min_power_watts{0.0};
+  double max_power_watts{20000.0};
+  /// How long the last-good reading may substitute for a missing or
+  /// rejected one before the loop must consider the meter dark.
+  Seconds max_holdover{8.0};
+};
+
+/// Fail-safe configuration consumed by core::ControlLoop. Validate with
+/// `validated()` (the loop does so on construction).
+struct FailSafeConfig {
+  SampleValidatorConfig validator{};
+
+  /// Re-issues allowed after a failed or unverified actuation (0 = single
+  /// attempt). Retries are scheduled `retry_backoff * 2^k` after the
+  /// failure, so a flaky driver is not hammered back-to-back.
+  std::size_t retry_budget{2};
+  Seconds retry_backoff{0.25};
+  /// Read the frequency back after each command and re-issue on mismatch
+  /// — catches commands that claim success but silently do not stick.
+  bool verify_readback{true};
+
+  /// Degrade once the meter has produced no accepted sample for this long.
+  Seconds meter_dark_deadline{12.0};
+  /// Degrade once actuation has kept failing (attempts but no verified
+  /// success) for this long.
+  Seconds actuation_fail_deadline{12.0};
+  /// Consecutive healthy periods required before the policy is re-admitted
+  /// (hysteresis against flapping in and out of degradation).
+  std::size_t recovery_periods{3};
+  /// Discrete levels each device steps toward its minimum per degraded
+  /// period. Higher sheds power faster at the cost of a harsher brake.
+  std::size_t degrade_step_levels{4};
+};
+
+/// Checks the config's domain; throws InvalidArgument naming the offending
+/// field. Notably rejects a retry budget of 0 with verification on (a
+/// detected mismatch the loop is not allowed to correct) and non-positive
+/// deadlines.
+[[nodiscard]] FailSafeConfig validated(FailSafeConfig config);
+
+/// Verdict on one control period's power feedback.
+enum class SampleVerdict {
+  kFresh,     ///< a valid reading from this period
+  kHoldover,  ///< reading missing/rejected; last-good served within budget
+  kDark,      ///< no usable reading at all
+};
+
+/// Screens power readings before they reach the policy.
+class SampleValidator {
+ public:
+  /// `policy_label` labels the rejection metrics. Config must already be
+  /// validated (the governor validates the enclosing FailSafeConfig).
+  SampleValidator(SampleValidatorConfig config, const std::string& policy_label);
+
+  struct Result {
+    SampleVerdict verdict{SampleVerdict::kDark};
+    double power{0.0};  ///< meaningful unless verdict == kDark
+  };
+
+  /// Reads `meter.average(window)` at time `now`, validates it, and
+  /// resolves to fresh / holdover / dark.
+  Result ingest(double now, const hal::IPowerMeter& meter, Seconds window);
+
+  [[nodiscard]] std::size_t rejected_nan() const { return rejected_nan_; }
+  [[nodiscard]] std::size_t rejected_range() const { return rejected_range_; }
+  [[nodiscard]] std::size_t gaps() const { return gaps_; }
+  [[nodiscard]] std::size_t holdovers() const { return holdovers_; }
+
+ private:
+  SampleValidatorConfig config_;
+  bool have_last_good_{false};
+  double last_good_time_{0.0};
+  double last_good_power_{0.0};
+  std::size_t rejected_nan_{0};
+  std::size_t rejected_range_{0};
+  std::size_t gaps_{0};
+  std::size_t holdovers_{0};
+  telemetry::Counter* rejected_nan_metric_{nullptr};
+  telemetry::Counter* rejected_range_metric_{nullptr};
+  telemetry::Counter* gaps_metric_{nullptr};
+  telemetry::Counter* holdover_metric_{nullptr};
+};
+
+/// Degradation states. Numeric values are exported on the
+/// `capgpu_failsafe_state` gauge.
+enum class FailSafeState : int {
+  kNominal = 0,
+  kDegraded = 1,
+  kRecovering = 2,
+};
+
+/// The watchdog: owns the validator, tracks meter and actuation health
+/// against the deadlines, and runs the degradation state machine.
+class FailSafeGovernor {
+ public:
+  /// Validates the config. `policy_label` labels every metric.
+  FailSafeGovernor(FailSafeConfig config, const std::string& policy_label);
+
+  /// What the loop should do this period.
+  struct Assessment {
+    SampleVerdict verdict{SampleVerdict::kDark};
+    double power{0.0};  ///< meaningful unless verdict == kDark
+    bool act{false};     ///< consult the policy with `power`
+    bool degrade{false}; ///< step devices toward minimum instead
+  };
+
+  /// Evaluates one control period. Call exactly once per period.
+  Assessment assess(double now, const hal::IPowerMeter& meter, Seconds window);
+
+  /// Reports one actuation attempt's outcome for a device (initial issue
+  /// or retry; `ok` means applied and, when enabled, read-back verified).
+  void note_actuation(double now, std::size_t device, bool ok);
+
+  [[nodiscard]] FailSafeState state() const { return state_; }
+  [[nodiscard]] const FailSafeConfig& config() const { return config_; }
+  [[nodiscard]] const SampleValidator& validator() const { return validator_; }
+  [[nodiscard]] std::size_t engagements() const { return engagements_; }
+  [[nodiscard]] std::size_t releases() const { return releases_; }
+
+ private:
+  struct DeviceHealth {
+    double last_attempt{-1.0};
+    double last_ok{-1.0};
+  };
+  [[nodiscard]] bool actuation_failing(double now) const;
+
+  FailSafeConfig config_;
+  SampleValidator validator_;
+  FailSafeState state_{FailSafeState::kNominal};
+  bool primed_{false};
+  double last_fresh_time_{0.0};
+  std::vector<DeviceHealth> devices_;
+  std::size_t healthy_streak_{0};
+  std::size_t engagements_{0};
+  std::size_t releases_{0};
+
+  telemetry::Counter* engagements_metric_{nullptr};
+  telemetry::Counter* releases_metric_{nullptr};
+  telemetry::Gauge* state_metric_{nullptr};
+  int trace_tid_{0};
+};
+
+}  // namespace capgpu::core

@@ -46,6 +46,12 @@ ServerRig::ServerRig(RigConfig config)
   Rng rng(config_.seed);
   hal_ = std::make_unique<hal::ServerHal>(engine_, server_, config_.meter,
                                           rng.split());
+  if (config_.faults) {
+    // Constructed after the inner HAL so the fault layer's mirror capture
+    // fires after each inner meter sample (engine FIFO at equal times).
+    faulty_ = std::make_unique<hal::FaultyServerHal>(engine_, *hal_,
+                                                     *config_.faults);
+  }
 
   // Always-busy cores: controller + the feature-selection job.
   host_load_.add_always_busy_cores(config_.controller_cores +
@@ -93,6 +99,10 @@ ServerRig::ServerRig(RigConfig config)
 }
 
 ServerRig::~ServerRig() { telemetry::detach_time_source(this); }
+
+hal::IServerHal& ServerRig::control_hal() {
+  return faulty_ ? static_cast<hal::IServerHal&>(*faulty_) : *hal_;
+}
 
 workload::InferenceStream& ServerRig::stream(std::size_t i) {
   CAPGPU_REQUIRE(i < streams_.size(), "stream index out of range");
@@ -192,7 +202,7 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
 
   policy.set_set_point(options.set_point);
 
-  ControlLoop loop(engine_, *hal_, rapl_, policy, options.loop,
+  ControlLoop loop(engine_, control_hal(), rapl_, policy, options.loop,
                    [this] { return normalized_throughputs(); });
 
   RunResult result;
@@ -287,6 +297,15 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
     result.device_freqs[j] = loop.freq_trace(j);
   }
   result.periods = options.periods;
+  result.held_periods = loop.held_periods();
+  result.skipped_periods = loop.skipped_periods();
+  result.actuation_retries = loop.actuation_retries();
+  result.actuation_failures = loop.actuation_failures();
+  result.readback_mismatches = loop.readback_mismatches();
+  if (const auto* fs = loop.failsafe()) {
+    result.failsafe_engagements = fs->engagements();
+    result.failsafe_releases = fs->releases();
+  }
   return result;
 }
 

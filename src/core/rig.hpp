@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "baselines/controller_iface.hpp"
@@ -17,6 +18,7 @@
 #include "control/sysid.hpp"
 #include "core/control_loop.hpp"
 #include "core/identify.hpp"
+#include "hal/fault_injection.hpp"
 #include "hal/rapl_sim.hpp"
 #include "hal/server_hal.hpp"
 #include "hw/server_model.hpp"
@@ -53,6 +55,10 @@ struct RigConfig {
   /// rate is a *fraction* of the stream's peak throughput (batch/e_min),
   /// so one schedule describes the offered-load shape for all models.
   std::vector<workload::RatePoint> offered_load;
+  /// When set, the control loop sees the HAL through fault-injection
+  /// decorators running this plan (chaos experiments); the workload and
+  /// physics keep running on the pristine hardware model underneath.
+  std::optional<hal::FaultPlan> faults;
   std::uint64_t seed{1};
 };
 
@@ -89,6 +95,15 @@ struct RunResult {
   std::vector<telemetry::PercentileTracker> gpu_latency_dist;
   std::size_t periods{0};
 
+  /// Loop robustness counters (all zero on a fault-free unhardened run).
+  std::size_t held_periods{0};
+  std::size_t skipped_periods{0};
+  std::size_t actuation_retries{0};
+  std::size_t actuation_failures{0};
+  std::size_t readback_mismatches{0};
+  std::size_t failsafe_engagements{0};
+  std::size_t failsafe_releases{0};
+
   /// Steady-state power stats over the last `periods - skip` periods
   /// (the paper uses the last 80 of 100).
   [[nodiscard]] telemetry::RunningStats steady_power(std::size_t skip) const;
@@ -104,6 +119,12 @@ class ServerRig {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] hw::ServerModel& server() { return server_; }
   [[nodiscard]] hal::ServerHal& hal() { return *hal_; }
+  /// The HAL the control loop drives: the fault wrapper when
+  /// RigConfig::faults is set, the pristine HAL otherwise.
+  [[nodiscard]] hal::IServerHal& control_hal();
+  /// The fault-injection wrapper, or nullptr when RigConfig::faults is
+  /// unset (for inspecting injection counters after a chaos run).
+  [[nodiscard]] hal::FaultyServerHal* faulty_hal() { return faulty_.get(); }
   [[nodiscard]] hal::RaplSim& rapl() { return rapl_; }
   [[nodiscard]] std::size_t gpu_count() const { return server_.gpu_count(); }
   [[nodiscard]] workload::InferenceStream& stream(std::size_t i);
@@ -146,6 +167,7 @@ class ServerRig {
   sim::Engine engine_;
   hw::ServerModel server_;
   std::unique_ptr<hal::ServerHal> hal_;
+  std::unique_ptr<hal::FaultyServerHal> faulty_;
   hal::RaplSim rapl_;
   workload::HostCpuLoad host_load_;
   std::vector<std::unique_ptr<workload::InferenceStream>> streams_;

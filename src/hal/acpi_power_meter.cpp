@@ -102,6 +102,11 @@ Watts AcpiPowerMeter::average(Seconds window) const {
   return Watts{sum / static_cast<double>(n)};
 }
 
+Seconds AcpiPowerMeter::latest_age() const {
+  if (history_.empty()) throw HalError("power meter has no samples yet");
+  return Seconds{engine_->now() - history_.back().time};
+}
+
 Seconds AcpiPowerMeter::sample_interval() const {
   return params_.sample_interval;
 }

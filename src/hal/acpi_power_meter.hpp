@@ -50,6 +50,7 @@ class AcpiPowerMeter final : public IPowerMeter {
 
   [[nodiscard]] PowerSample latest() const override;
   [[nodiscard]] Watts average(Seconds window) const override;
+  [[nodiscard]] Seconds latest_age() const override;
   [[nodiscard]] Seconds sample_interval() const override;
 
   [[nodiscard]] std::size_t samples_taken() const { return samples_taken_; }

@@ -1,0 +1,350 @@
+#include "hal/fault_injection.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "telemetry/metric_names.hpp"
+
+namespace capgpu::hal {
+
+namespace {
+
+void require_windows(const std::vector<FaultWindow>& windows,
+                     const char* field) {
+  for (const auto& w : windows) {
+    CAPGPU_REQUIRE(w.start.value >= 0.0,
+                   std::string(field) + " window start must be >= 0");
+    CAPGPU_REQUIRE(w.end.value > w.start.value,
+                   std::string(field) + " window end must exceed its start");
+  }
+}
+
+void require_rate(double rate, const char* field) {
+  CAPGPU_REQUIRE(rate >= 0.0 && rate <= 1.0,
+                 std::string(field) + " must lie in [0, 1]");
+}
+
+}  // namespace
+
+FaultPlan validated(FaultPlan plan) {
+  require_windows(plan.meter_dark, "meter_dark");
+  require_windows(plan.utilization_freeze, "utilization_freeze");
+  require_windows(plan.actuation_blackout, "actuation_blackout");
+  require_rate(plan.meter_nan_rate, "meter_nan_rate");
+  require_rate(plan.meter_spike_rate, "meter_spike_rate");
+  require_rate(plan.actuation_throw_rate, "actuation_throw_rate");
+  require_rate(plan.actuation_noop_rate, "actuation_noop_rate");
+  require_rate(plan.actuation_delay_rate, "actuation_delay_rate");
+  CAPGPU_REQUIRE(plan.meter_nan_rate + plan.meter_spike_rate <= 1.0,
+                 "meter fault rates must sum to <= 1");
+  CAPGPU_REQUIRE(plan.actuation_throw_rate + plan.actuation_noop_rate +
+                         plan.actuation_delay_rate <=
+                     1.0,
+                 "actuation fault rates must sum to <= 1");
+  CAPGPU_REQUIRE(plan.meter_spike_watts >= 0.0,
+                 "meter_spike_watts must be >= 0");
+  CAPGPU_REQUIRE(plan.actuation_delay.value >= 0.0,
+                 "actuation_delay must be >= 0");
+  return plan;
+}
+
+bool in_fault_window(const std::vector<FaultWindow>& windows, double t) {
+  for (const auto& w : windows) {
+    if (t >= w.start.value && t < w.end.value) return true;
+  }
+  return false;
+}
+
+namespace detail {
+
+FaultState::FaultState(sim::Engine& eng, FaultPlan validated_plan)
+    : engine(&eng),
+      plan(std::move(validated_plan)),
+      meter_rng(plan.seed),
+      actuation_rng(Rng(plan.seed).split()) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  namespace metric = telemetry::metric;
+  const char* help = "Faults injected by the hal::FaultyServerHal decorators";
+  meter_dropped_metric = &registry.counter(
+      metric::kFaultInjections, help,
+      {{"site", "meter"}, {"kind", "dark_drop"}});
+  meter_nan_metric = &registry.counter(metric::kFaultInjections, help,
+                                       {{"site", "meter"}, {"kind", "nan"}});
+  meter_spike_metric = &registry.counter(
+      metric::kFaultInjections, help, {{"site", "meter"}, {"kind", "spike"}});
+  util_frozen_metric = &registry.counter(
+      metric::kFaultInjections, help,
+      {{"site", "utilization"}, {"kind", "freeze"}});
+  actuation_throw_metric = &registry.counter(
+      metric::kFaultInjections, help,
+      {{"site", "actuation"}, {"kind", "throw"}});
+  actuation_noop_metric = &registry.counter(
+      metric::kFaultInjections, help,
+      {{"site", "actuation"}, {"kind", "noop"}});
+  actuation_delay_metric = &registry.counter(
+      metric::kFaultInjections, help,
+      {{"site", "actuation"}, {"kind", "delay"}});
+}
+
+FaultState::ActuationFault FaultState::roll_actuation() {
+  const double throw_rate = plan.actuation_throw_rate;
+  const double noop_rate = plan.actuation_noop_rate;
+  const double delay_rate = plan.actuation_delay_rate;
+  if (throw_rate + noop_rate + delay_rate <= 0.0) return ActuationFault::kNone;
+  const double u = actuation_rng.uniform();
+  if (u < throw_rate) return ActuationFault::kThrow;
+  if (u < throw_rate + noop_rate) return ActuationFault::kNoop;
+  if (u < throw_rate + noop_rate + delay_rate) return ActuationFault::kDelay;
+  return ActuationFault::kNone;
+}
+
+}  // namespace detail
+
+// --- FaultyPowerMeter ---
+
+FaultyPowerMeter::FaultyPowerMeter(sim::Engine& engine, IPowerMeter& inner,
+                                   detail::FaultState& state)
+    : engine_(&engine), inner_(&inner), state_(&state) {
+  // One capture per inner sampling tick. The decorator is constructed
+  // after the inner meter, so at equal timestamps the inner publishes
+  // first (FIFO tie-break) and the capture sees the fresh sample.
+  timer_ = engine_->schedule_periodic(inner_->sample_interval().value,
+                                      [this] { capture(); });
+}
+
+FaultyPowerMeter::~FaultyPowerMeter() { engine_->cancel(timer_); }
+
+void FaultyPowerMeter::capture() {
+  if (in_fault_window(state_->plan.meter_dark, engine_->now())) {
+    ++state_->counters.meter_dropped;
+    state_->meter_dropped_metric->inc();
+    return;  // the meter is dark: publish nothing, history goes stale
+  }
+  PowerSample sample;
+  try {
+    sample = inner_->latest();
+  } catch (const HalError&) {
+    return;  // inner has nothing yet
+  }
+  if (sample.time == last_captured_time_) return;  // no new sample this tick
+  last_captured_time_ = sample.time;
+
+  if (state_->plan.meter_nan_rate > 0.0 || state_->plan.meter_spike_rate > 0.0) {
+    const double u = state_->meter_rng.uniform();
+    if (u < state_->plan.meter_nan_rate) {
+      sample.power = Watts{std::nan("")};
+      ++state_->counters.meter_nan;
+      state_->meter_nan_metric->inc();
+    } else if (u < state_->plan.meter_nan_rate + state_->plan.meter_spike_rate) {
+      const double sign = state_->meter_rng.uniform() < 0.5 ? -1.0 : 1.0;
+      sample.power += Watts{sign * state_->plan.meter_spike_watts};
+      ++state_->counters.meter_spike;
+      state_->meter_spike_metric->inc();
+    }
+  }
+  history_.push_back(sample);
+  while (history_.size() > kHistoryCapacity) history_.pop_front();
+}
+
+PowerSample FaultyPowerMeter::latest() const {
+  if (history_.empty()) throw HalError("power meter has no samples yet");
+  return history_.back();
+}
+
+Watts FaultyPowerMeter::average(Seconds window) const {
+  CAPGPU_REQUIRE(window.value > 0.0, "average window must be positive");
+  const double cutoff = engine_->now() - window.value;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->time < cutoff) break;
+    sum += it->power.value;
+    ++n;
+  }
+  if (n == 0) throw HalError("power meter window holds no samples");
+  return Watts{sum / static_cast<double>(n)};
+}
+
+Seconds FaultyPowerMeter::latest_age() const {
+  if (history_.empty()) throw HalError("power meter has no samples yet");
+  return Seconds{engine_->now() - history_.back().time};
+}
+
+Seconds FaultyPowerMeter::sample_interval() const {
+  return inner_->sample_interval();
+}
+
+// --- FaultyGpuControl ---
+
+FaultyGpuControl::FaultyGpuControl(IGpuControl& inner,
+                                   detail::FaultState& state)
+    : inner_(&inner), state_(&state) {}
+
+Megahertz FaultyGpuControl::set_application_clocks(Megahertz memory,
+                                                   Megahertz core) {
+  if (in_fault_window(state_->plan.actuation_blackout, state_->now())) {
+    ++state_->counters.actuation_throw;
+    state_->actuation_throw_metric->inc();
+    throw HalError("injected fault: GPU clock command failed (blackout)");
+  }
+  switch (state_->roll_actuation()) {
+    case detail::FaultState::ActuationFault::kThrow:
+      ++state_->counters.actuation_throw;
+      state_->actuation_throw_metric->inc();
+      throw HalError("injected fault: GPU clock command failed");
+    case detail::FaultState::ActuationFault::kNoop:
+      ++state_->counters.actuation_noop;
+      state_->actuation_noop_metric->inc();
+      // The call claims success (the level the command would snap to) but
+      // the hardware never moves — only a read-back can tell.
+      return inner_->supported_core_clocks().nearest(core);
+    case detail::FaultState::ActuationFault::kDelay: {
+      ++state_->counters.actuation_delay;
+      state_->actuation_delay_metric->inc();
+      auto* inner = inner_;
+      state_->engine->schedule_after(
+          state_->plan.actuation_delay.value,
+          [inner, memory, core] { inner->set_application_clocks(memory, core); });
+      return inner_->supported_core_clocks().nearest(core);
+    }
+    case detail::FaultState::ActuationFault::kNone:
+      break;
+  }
+  return inner_->set_application_clocks(memory, core);
+}
+
+Megahertz FaultyGpuControl::core_clock() const { return inner_->core_clock(); }
+Megahertz FaultyGpuControl::memory_clock() const {
+  return inner_->memory_clock();
+}
+const hw::FrequencyTable& FaultyGpuControl::supported_core_clocks() const {
+  return inner_->supported_core_clocks();
+}
+Watts FaultyGpuControl::power_usage() const { return inner_->power_usage(); }
+
+double FaultyGpuControl::utilization() const {
+  if (in_fault_window(state_->plan.utilization_freeze, state_->now())) {
+    if (!frozen_valid_) {
+      frozen_util_ = inner_->utilization();
+      frozen_valid_ = true;
+    }
+    ++state_->counters.util_frozen;
+    state_->util_frozen_metric->inc();
+    return frozen_util_;
+  }
+  frozen_valid_ = false;
+  return inner_->utilization();
+}
+
+double FaultyGpuControl::temperature_c() const {
+  return inner_->temperature_c();
+}
+
+// --- FaultyCpuFreqControl ---
+
+FaultyCpuFreqControl::FaultyCpuFreqControl(ICpuFreqControl& inner,
+                                           detail::FaultState& state)
+    : inner_(&inner), state_(&state) {}
+
+Megahertz FaultyCpuFreqControl::set_frequency(Megahertz f) {
+  if (in_fault_window(state_->plan.actuation_blackout, state_->now())) {
+    ++state_->counters.actuation_throw;
+    state_->actuation_throw_metric->inc();
+    throw HalError("injected fault: CPU frequency command failed (blackout)");
+  }
+  switch (state_->roll_actuation()) {
+    case detail::FaultState::ActuationFault::kThrow:
+      ++state_->counters.actuation_throw;
+      state_->actuation_throw_metric->inc();
+      throw HalError("injected fault: CPU frequency command failed");
+    case detail::FaultState::ActuationFault::kNoop:
+      ++state_->counters.actuation_noop;
+      state_->actuation_noop_metric->inc();
+      return inner_->supported_frequencies().nearest(f);
+    case detail::FaultState::ActuationFault::kDelay: {
+      ++state_->counters.actuation_delay;
+      state_->actuation_delay_metric->inc();
+      auto* inner = inner_;
+      state_->engine->schedule_after(state_->plan.actuation_delay.value,
+                                     [inner, f] { inner->set_frequency(f); });
+      return inner_->supported_frequencies().nearest(f);
+    }
+    case detail::FaultState::ActuationFault::kNone:
+      break;
+  }
+  return inner_->set_frequency(f);
+}
+
+Megahertz FaultyCpuFreqControl::frequency() const {
+  return inner_->frequency();
+}
+const hw::FrequencyTable& FaultyCpuFreqControl::supported_frequencies() const {
+  return inner_->supported_frequencies();
+}
+
+double FaultyCpuFreqControl::utilization() const {
+  if (in_fault_window(state_->plan.utilization_freeze, state_->now())) {
+    if (!frozen_valid_) {
+      frozen_util_ = inner_->utilization();
+      frozen_valid_ = true;
+    }
+    ++state_->counters.util_frozen;
+    state_->util_frozen_metric->inc();
+    return frozen_util_;
+  }
+  frozen_valid_ = false;
+  return inner_->utilization();
+}
+
+// --- FaultyServerHal ---
+
+FaultyServerHal::FaultyServerHal(sim::Engine& engine, IServerHal& inner,
+                                 FaultPlan plan)
+    : inner_(&inner),
+      state_(std::make_unique<detail::FaultState>(engine,
+                                                  validated(std::move(plan)))) {
+  cpu_ = std::make_unique<FaultyCpuFreqControl>(inner_->cpu(), *state_);
+  gpus_.reserve(inner_->gpu_count());
+  for (std::size_t i = 0; i < inner_->gpu_count(); ++i) {
+    gpus_.push_back(
+        std::make_unique<FaultyGpuControl>(inner_->gpu(i), *state_));
+  }
+  meter_ = std::make_unique<FaultyPowerMeter>(engine, inner_->power_meter(),
+                                              *state_);
+}
+
+std::size_t FaultyServerHal::device_count() const {
+  return inner_->device_count();
+}
+
+std::size_t FaultyServerHal::gpu_count() const { return inner_->gpu_count(); }
+
+IGpuControl& FaultyServerHal::gpu(std::size_t i) {
+  CAPGPU_ASSERT(i < gpus_.size());
+  return *gpus_[i];
+}
+
+Megahertz FaultyServerHal::set_device_frequency(DeviceId id, Megahertz f) {
+  if (id.index == 0) return cpu_->set_frequency(f);
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  auto& g = *gpus_[id.index - 1];
+  return g.set_application_clocks(g.memory_clock(), f);
+}
+
+Megahertz FaultyServerHal::device_frequency(DeviceId id) const {
+  // True hardware state, not the decorators' claims: this is the
+  // read-back path that catches silent no-ops.
+  return inner_->device_frequency(id);
+}
+
+const hw::FrequencyTable& FaultyServerHal::device_freqs(DeviceId id) const {
+  return inner_->device_freqs(id);
+}
+
+double FaultyServerHal::device_utilization(DeviceId id) const {
+  if (id.index == 0) return cpu_->utilization();
+  CAPGPU_REQUIRE(id.index <= gpus_.size(), "device id out of range");
+  return gpus_[id.index - 1]->utilization();
+}
+
+}  // namespace capgpu::hal

@@ -1,0 +1,224 @@
+// Deterministic fault injection over the HAL interfaces.
+//
+// HPC-scale deployments report exactly the off-nominal behaviour a
+// simulator must exercise before its capping claims are credible: NVML
+// calls that fail transiently, hwmon files that go stale, clock commands
+// that silently do not stick. This layer wraps any IServerHal (and its
+// IGpuControl / ICpuFreqControl / IPowerMeter endpoints) in decorators
+// that inject those faults on a script — fixed sim-time windows for
+// outages, seeded per-site random streams for flaky-call rates — so every
+// chaos scenario replays bit-for-bit under a fixed seed.
+//
+// Fault classes (see docs/fault_model.md for the full model):
+//   - meter dark:   no new samples are published for a window; latest()
+//                   serves stale data, average() throws (no fresh data)
+//   - meter NaN:    a captured sample is replaced by NaN
+//   - meter spike:  a captured sample is displaced by a large excursion
+//   - util freeze:  device utilization freezes at its window-entry value
+//   - actuation throw:   a clock command raises HalError
+//   - actuation no-op:   a clock command claims success but does nothing
+//   - actuation delay:   a clock command applies only after a delay
+//   - actuation blackout: every command in a window raises HalError
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hal/interfaces.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace capgpu::hal {
+
+/// Half-open sim-time interval [start, end) during which a fault is active.
+struct FaultWindow {
+  Seconds start{0.0};
+  Seconds end{0.0};
+};
+
+/// Scriptable fault schedule. Windows fire at fixed sim times; rates are
+/// per-event probabilities drawn from seeded streams (one stream per
+/// injection site, so the meter's faults do not depend on how often the
+/// loop actuates and vice versa). Validate with `validated()` before use.
+struct FaultPlan {
+  std::uint64_t seed{0xC0FFEEULL};
+
+  // --- power meter ---
+  std::vector<FaultWindow> meter_dark;  ///< publishes nothing inside
+  double meter_nan_rate{0.0};           ///< P(sample -> NaN)
+  double meter_spike_rate{0.0};         ///< P(sample displaced by a spike)
+  double meter_spike_watts{500.0};      ///< spike magnitude (random sign)
+
+  // --- utilization telemetry ---
+  std::vector<FaultWindow> utilization_freeze;  ///< frozen at window entry
+
+  // --- actuation (set_application_clocks / set_frequency) ---
+  double actuation_throw_rate{0.0};  ///< P(command raises HalError)
+  double actuation_noop_rate{0.0};   ///< P(command silently not applied)
+  double actuation_delay_rate{0.0};  ///< P(command applies after a delay)
+  Seconds actuation_delay{2.0};      ///< the delay for delayed commands
+  std::vector<FaultWindow> actuation_blackout;  ///< every command throws
+};
+
+/// Checks a plan's domain: rates in [0, 1] and summing to <= 1 per site,
+/// windows with end > start >= 0, non-negative delay and spike magnitude.
+/// Returns the plan on success; throws InvalidArgument with a message
+/// naming the offending field otherwise.
+[[nodiscard]] FaultPlan validated(FaultPlan plan);
+
+/// True when `t` lies inside any of the windows.
+[[nodiscard]] bool in_fault_window(const std::vector<FaultWindow>& windows,
+                                   double t);
+
+/// Lifetime injection counts, shared by all decorators of one server.
+struct FaultCounters {
+  std::size_t meter_dropped{0};   ///< samples suppressed by dark windows
+  std::size_t meter_nan{0};       ///< samples replaced by NaN
+  std::size_t meter_spike{0};     ///< samples displaced by a spike
+  std::size_t util_frozen{0};     ///< utilization reads served frozen
+  std::size_t actuation_throw{0}; ///< commands that raised HalError
+  std::size_t actuation_noop{0};  ///< commands silently dropped
+  std::size_t actuation_delay{0}; ///< commands applied late
+};
+
+namespace detail {
+/// Shared plan + RNG streams + counters + metrics for one faulty server.
+struct FaultState {
+  FaultState(sim::Engine& engine, FaultPlan plan);
+
+  sim::Engine* engine;
+  FaultPlan plan;
+  Rng meter_rng;      ///< consumed once per captured meter sample
+  Rng actuation_rng;  ///< consumed once per clock command
+  FaultCounters counters;
+
+  // Registry counters, one per fault kind (labels {site, kind}).
+  telemetry::Counter* meter_dropped_metric;
+  telemetry::Counter* meter_nan_metric;
+  telemetry::Counter* meter_spike_metric;
+  telemetry::Counter* util_frozen_metric;
+  telemetry::Counter* actuation_throw_metric;
+  telemetry::Counter* actuation_noop_metric;
+  telemetry::Counter* actuation_delay_metric;
+
+  [[nodiscard]] double now() const { return engine->now(); }
+
+  /// Rolls the actuation stream and reports the fault to apply to one
+  /// command (kNone when the command should pass through).
+  enum class ActuationFault { kNone, kThrow, kNoop, kDelay };
+  ActuationFault roll_actuation();
+};
+}  // namespace detail
+
+/// IPowerMeter decorator. Mirrors the inner meter sample-by-sample into
+/// its own history (one capture event per inner sampling interval), then
+/// serves reads from that possibly-corrupted history. During a dark
+/// window nothing is captured: latest() goes stale and average() starts
+/// throwing once the control window holds no samples — exactly the shape
+/// of a stalled hwmon file.
+class FaultyPowerMeter final : public IPowerMeter {
+ public:
+  /// Starts the capture event. References must outlive this object.
+  FaultyPowerMeter(sim::Engine& engine, IPowerMeter& inner,
+                   detail::FaultState& state);
+  ~FaultyPowerMeter() override;
+
+  FaultyPowerMeter(const FaultyPowerMeter&) = delete;
+  FaultyPowerMeter& operator=(const FaultyPowerMeter&) = delete;
+
+  [[nodiscard]] PowerSample latest() const override;
+  [[nodiscard]] Watts average(Seconds window) const override;
+  [[nodiscard]] Seconds latest_age() const override;
+  [[nodiscard]] Seconds sample_interval() const override;
+
+ private:
+  void capture();
+
+  sim::Engine* engine_;
+  IPowerMeter* inner_;
+  detail::FaultState* state_;
+  std::deque<PowerSample> history_;
+  double last_captured_time_{-1.0};
+  sim::EventId timer_{0};
+
+  static constexpr std::size_t kHistoryCapacity = 512;
+};
+
+/// IGpuControl decorator: actuation faults on set_application_clocks,
+/// utilization freezing; every read-back path (core_clock, power) passes
+/// through untouched so verification can catch the lies.
+class FaultyGpuControl final : public IGpuControl {
+ public:
+  FaultyGpuControl(IGpuControl& inner, detail::FaultState& state);
+
+  Megahertz set_application_clocks(Megahertz memory, Megahertz core) override;
+  [[nodiscard]] Megahertz core_clock() const override;
+  [[nodiscard]] Megahertz memory_clock() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_core_clocks() const override;
+  [[nodiscard]] Watts power_usage() const override;
+  [[nodiscard]] double utilization() const override;
+  [[nodiscard]] double temperature_c() const override;
+
+ private:
+  IGpuControl* inner_;
+  detail::FaultState* state_;
+  mutable double frozen_util_{0.0};
+  mutable bool frozen_valid_{false};
+};
+
+/// ICpuFreqControl decorator: actuation faults on set_frequency,
+/// utilization freezing.
+class FaultyCpuFreqControl final : public ICpuFreqControl {
+ public:
+  FaultyCpuFreqControl(ICpuFreqControl& inner, detail::FaultState& state);
+
+  Megahertz set_frequency(Megahertz f) override;
+  [[nodiscard]] Megahertz frequency() const override;
+  [[nodiscard]] const hw::FrequencyTable& supported_frequencies() const override;
+  [[nodiscard]] double utilization() const override;
+
+ private:
+  ICpuFreqControl* inner_;
+  detail::FaultState* state_;
+  mutable double frozen_util_{0.0};
+  mutable bool frozen_valid_{false};
+};
+
+/// The assembled faulty server: wraps every endpoint of an inner
+/// IServerHal. Control code takes this where it took the inner HAL; the
+/// plan decides what (if anything) misbehaves, so a default-constructed
+/// FaultPlan makes this a transparent pass-through.
+class FaultyServerHal final : public IServerHal {
+ public:
+  /// The engine and inner HAL must outlive this object. Throws
+  /// InvalidArgument when the plan fails validation.
+  FaultyServerHal(sim::Engine& engine, IServerHal& inner, FaultPlan plan);
+
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] ICpuFreqControl& cpu() override { return *cpu_; }
+  [[nodiscard]] std::size_t gpu_count() const override;
+  [[nodiscard]] IGpuControl& gpu(std::size_t i) override;
+  [[nodiscard]] IPowerMeter& power_meter() override { return *meter_; }
+
+  Megahertz set_device_frequency(DeviceId id, Megahertz f) override;
+  [[nodiscard]] Megahertz device_frequency(DeviceId id) const override;
+  [[nodiscard]] const hw::FrequencyTable& device_freqs(DeviceId id) const override;
+  [[nodiscard]] double device_utilization(DeviceId id) const override;
+
+  [[nodiscard]] const FaultCounters& counters() const {
+    return state_->counters;
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return state_->plan; }
+
+ private:
+  IServerHal* inner_;
+  std::unique_ptr<detail::FaultState> state_;
+  std::unique_ptr<FaultyCpuFreqControl> cpu_;
+  std::vector<std::unique_ptr<FaultyGpuControl>> gpus_;
+  std::unique_ptr<FaultyPowerMeter> meter_;
+};
+
+}  // namespace capgpu::hal

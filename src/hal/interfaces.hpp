@@ -62,17 +62,33 @@ struct PowerSample {
 };
 
 /// Server-level power meter (ACPI power_meter-like; ~1 s sampling).
+///
+/// Staleness contract: `latest()` may legitimately return an *old* sample
+/// (its timestamp says how old), but `average()` must never launder stale
+/// data into a fresh-looking number — a window that holds no samples
+/// throws HalError even when older samples exist. Consumers that need to
+/// distinguish "meter never reported" from "meter went dark" compare
+/// `latest_age()` against the control period.
 class IPowerMeter {
  public:
   virtual ~IPowerMeter() = default;
 
   /// The most recent sample. Throws HalError when no sample exists yet.
+  /// The sample may be arbitrarily old; check its `time` (or
+  /// `latest_age()`) before trusting it.
   [[nodiscard]] virtual PowerSample latest() const = 0;
 
   /// Average of the samples taken in the last `window` seconds — this is
   /// the "average power over the previous control period" the paper's loop
-  /// feeds back. Throws HalError when the window holds no samples.
+  /// feeds back. Throws HalError when the window holds no samples — in
+  /// particular when every retained sample predates the window (a stalled
+  /// meter): frozen data is reported as "no data", never as an average.
   [[nodiscard]] virtual Watts average(Seconds window) const = 0;
+
+  /// Age of the most recent sample: now - latest().time, in seconds.
+  /// Throws HalError when no sample exists yet. A healthy meter keeps
+  /// this near sample_interval(); a dark one lets it grow without bound.
+  [[nodiscard]] virtual Seconds latest_age() const = 0;
 
   /// Nominal sampling interval of the device.
   [[nodiscard]] virtual Seconds sample_interval() const = 0;

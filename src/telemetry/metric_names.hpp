@@ -51,6 +51,29 @@ inline constexpr const char* kRackServerBudgetWatts =
     "capgpu_rack_server_budget_watts";
 inline constexpr const char* kRackServerDemand = "capgpu_rack_server_demand";
 
+// --- fail-safe hardening (core::FailSafeGovernor / core::ControlLoop) ---
+inline constexpr const char* kLoopHeldPeriods =
+    "capgpu_loop_held_periods_total";
+inline constexpr const char* kSamplesRejected =
+    "capgpu_loop_samples_rejected_total";
+inline constexpr const char* kSampleHoldovers =
+    "capgpu_loop_sample_holdover_periods_total";
+inline constexpr const char* kActuationRetries =
+    "capgpu_loop_actuation_retries_total";
+inline constexpr const char* kActuationFailures =
+    "capgpu_loop_actuation_failures_total";
+inline constexpr const char* kReadbackMismatches =
+    "capgpu_loop_readback_mismatches_total";
+inline constexpr const char* kFailsafeEngagements =
+    "capgpu_failsafe_engagements_total";
+inline constexpr const char* kFailsafeReleases =
+    "capgpu_failsafe_releases_total";
+inline constexpr const char* kFailsafeState = "capgpu_failsafe_state";
+
+// --- fault injection (hal::FaultyServerHal) ---
+inline constexpr const char* kFaultInjections =
+    "capgpu_fault_injections_total";
+
 // --- HAL (hal::AcpiPowerMeter / hal::NvmlSim) ---
 inline constexpr const char* kMeterSamples = "capgpu_meter_samples_total";
 inline constexpr const char* kMeterPowerWatts = "capgpu_meter_power_watts";

@@ -1,0 +1,576 @@
+#include "core/failsafe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/control_loop.hpp"
+#include "hal/fault_injection.hpp"
+#include "hal/rapl_sim.hpp"
+#include "hal/server_hal.hpp"
+#include "hw/breaker.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::core {
+namespace {
+
+// --- config validation ---
+
+TEST(FailSafeConfigValidation, AcceptsDefaults) {
+  EXPECT_NO_THROW((void)validated(FailSafeConfig{}));
+}
+
+TEST(FailSafeConfigValidation, RejectsVerificationWithoutRetryBudget) {
+  FailSafeConfig cfg;
+  cfg.retry_budget = 0;
+  cfg.verify_readback = true;  // a detected mismatch it may not correct
+  try {
+    (void)validated(cfg);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget"), std::string::npos);
+  }
+  cfg.verify_readback = false;  // fire-and-forget single attempt is fine
+  EXPECT_NO_THROW((void)validated(cfg));
+}
+
+TEST(FailSafeConfigValidation, RejectsNonPositiveDeadlines) {
+  FailSafeConfig cfg;
+  cfg.meter_dark_deadline = Seconds{0.0};
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+  cfg = FailSafeConfig{};
+  cfg.actuation_fail_deadline = Seconds{-3.0};
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+}
+
+TEST(FailSafeConfigValidation, RejectsDegenerateKnobs) {
+  FailSafeConfig cfg;
+  cfg.validator.max_power_watts = cfg.validator.min_power_watts;
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+  cfg = FailSafeConfig{};
+  cfg.validator.max_holdover = Seconds{-1.0};
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+  cfg = FailSafeConfig{};
+  cfg.retry_backoff = Seconds{-0.5};
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+  cfg = FailSafeConfig{};
+  cfg.recovery_periods = 0;
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+  cfg = FailSafeConfig{};
+  cfg.degrade_step_levels = 0;
+  EXPECT_THROW((void)validated(cfg), InvalidArgument);
+}
+
+// --- sample validator ---
+
+/// Meter stub whose average() the tests script directly.
+class StubMeter : public hal::IPowerMeter {
+ public:
+  double value{500.0};
+  bool no_data{false};
+
+  [[nodiscard]] hal::PowerSample latest() const override {
+    return {0.0, Watts{value}};
+  }
+  [[nodiscard]] Watts average(Seconds) const override {
+    if (no_data) throw HalError("power meter window holds no samples");
+    return Watts{value};
+  }
+  [[nodiscard]] Seconds latest_age() const override { return Seconds{0.0}; }
+  [[nodiscard]] Seconds sample_interval() const override {
+    return Seconds{1.0};
+  }
+};
+
+TEST(SampleValidatorTest, ClassifiesFreshHoldoverAndDark) {
+  SampleValidatorConfig cfg;
+  cfg.max_holdover = Seconds{8.0};
+  SampleValidator v(cfg, "validator-unit");
+  StubMeter meter;
+  const Seconds window{4.0};
+
+  meter.value = 500.0;
+  auto r = v.ingest(0.0, meter, window);
+  EXPECT_EQ(r.verdict, SampleVerdict::kFresh);
+  EXPECT_DOUBLE_EQ(r.power, 500.0);
+
+  // NaN is rejected; the last-good reading covers within the holdover.
+  meter.value = std::numeric_limits<double>::quiet_NaN();
+  r = v.ingest(4.0, meter, window);
+  EXPECT_EQ(r.verdict, SampleVerdict::kHoldover);
+  EXPECT_DOUBLE_EQ(r.power, 500.0);
+  EXPECT_EQ(v.rejected_nan(), 1u);
+  EXPECT_EQ(v.holdovers(), 1u);
+
+  // Implausible magnitude is rejected the same way.
+  meter.value = 30000.0;
+  r = v.ingest(8.0, meter, window);
+  EXPECT_EQ(r.verdict, SampleVerdict::kHoldover);
+  EXPECT_DOUBLE_EQ(r.power, 500.0);
+  EXPECT_EQ(v.rejected_range(), 1u);
+
+  // Past the holdover budget the meter is dark: no number at all.
+  meter.no_data = true;
+  r = v.ingest(12.0, meter, window);
+  EXPECT_EQ(r.verdict, SampleVerdict::kDark);
+  EXPECT_EQ(v.gaps(), 1u);
+
+  // A good reading resets everything.
+  meter.no_data = false;
+  meter.value = 600.0;
+  r = v.ingest(16.0, meter, window);
+  EXPECT_EQ(r.verdict, SampleVerdict::kFresh);
+  EXPECT_DOUBLE_EQ(r.power, 600.0);
+}
+
+TEST(SampleValidatorTest, DarkWhenNoGoodReadingEverSeen) {
+  SampleValidator v(SampleValidatorConfig{}, "validator-unit-dark");
+  StubMeter meter;
+  meter.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(v.ingest(0.0, meter, Seconds{4.0}).verdict, SampleVerdict::kDark);
+}
+
+// --- governor state machine ---
+
+FailSafeConfig governor_config() {
+  FailSafeConfig cfg;
+  cfg.validator.max_holdover = Seconds{2.0};
+  cfg.meter_dark_deadline = Seconds{5.0};
+  cfg.actuation_fail_deadline = Seconds{5.0};
+  cfg.recovery_periods = 2;
+  return cfg;
+}
+
+TEST(FailSafeGovernorTest, EngagesAfterDeadlineAndReleasesWithHysteresis) {
+  FailSafeGovernor gov(governor_config(), "gov-unit-engage");
+  StubMeter meter;
+  const Seconds window{4.0};
+
+  auto a = gov.assess(0.0, meter, window);
+  EXPECT_TRUE(a.act);
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+
+  meter.no_data = true;
+  a = gov.assess(4.0, meter, window);  // dark, but under the deadline
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+  EXPECT_FALSE(a.act);      // no usable power: hold, don't consult
+  EXPECT_FALSE(a.degrade);  // ...but don't brake yet either
+
+  a = gov.assess(8.0, meter, window);  // 8 s dark > 5 s deadline
+  EXPECT_EQ(gov.state(), FailSafeState::kDegraded);
+  EXPECT_TRUE(a.degrade);
+  EXPECT_EQ(gov.engagements(), 1u);
+
+  a = gov.assess(12.0, meter, window);  // still dark: no re-count
+  EXPECT_EQ(gov.engagements(), 1u);
+  EXPECT_TRUE(a.degrade);
+
+  // One healthy period is not enough to re-admit the policy.
+  meter.no_data = false;
+  a = gov.assess(16.0, meter, window);
+  EXPECT_EQ(gov.state(), FailSafeState::kRecovering);
+  EXPECT_FALSE(a.act);
+  EXPECT_FALSE(a.degrade);
+  EXPECT_EQ(gov.releases(), 0u);
+
+  // The second consecutive healthy period releases.
+  a = gov.assess(20.0, meter, window);
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+  EXPECT_TRUE(a.act);
+  EXPECT_EQ(gov.releases(), 1u);
+}
+
+TEST(FailSafeGovernorTest, RelapseDoesNotDoubleCountEngagements) {
+  FailSafeGovernor gov(governor_config(), "gov-unit-relapse");
+  StubMeter meter;
+  const Seconds window{4.0};
+
+  (void)gov.assess(0.0, meter, window);
+  meter.no_data = true;
+  (void)gov.assess(4.0, meter, window);
+  (void)gov.assess(8.0, meter, window);  // engage
+  EXPECT_EQ(gov.state(), FailSafeState::kDegraded);
+
+  meter.no_data = false;
+  (void)gov.assess(12.0, meter, window);  // healthy: recovering
+  EXPECT_EQ(gov.state(), FailSafeState::kRecovering);
+
+  meter.no_data = true;
+  (void)gov.assess(16.0, meter, window);  // dark again, under deadline
+  EXPECT_EQ(gov.state(), FailSafeState::kRecovering);
+  (void)gov.assess(20.0, meter, window);  // past deadline: relapse
+  EXPECT_EQ(gov.state(), FailSafeState::kDegraded);
+  EXPECT_EQ(gov.engagements(), 1u);  // a relapse is not a new engagement
+
+  meter.no_data = false;
+  (void)gov.assess(24.0, meter, window);
+  (void)gov.assess(28.0, meter, window);
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+  EXPECT_EQ(gov.releases(), 1u);
+}
+
+TEST(FailSafeGovernorTest, ActsOnHoldoverReadings) {
+  FailSafeConfig cfg = governor_config();
+  cfg.validator.max_holdover = Seconds{6.0};
+  FailSafeGovernor gov(cfg, "gov-unit-holdover");
+  StubMeter meter;
+  meter.value = 480.0;
+  (void)gov.assess(0.0, meter, Seconds{4.0});
+  meter.no_data = true;
+  auto a = gov.assess(4.0, meter, Seconds{4.0});
+  EXPECT_EQ(a.verdict, SampleVerdict::kHoldover);
+  EXPECT_TRUE(a.act);  // the policy still runs, on the last-good reading
+  EXPECT_DOUBLE_EQ(a.power, 480.0);
+}
+
+TEST(FailSafeGovernorTest, ActuationWatchdogEngagesOnPersistentFailure) {
+  FailSafeConfig cfg = governor_config();
+  cfg.recovery_periods = 1;
+  FailSafeGovernor gov(cfg, "gov-unit-actuation");
+  StubMeter meter;  // meter stays healthy throughout
+  const Seconds window{4.0};
+
+  gov.note_actuation(0.0, 0, true);
+  (void)gov.assess(0.0, meter, window);
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+
+  gov.note_actuation(4.0, 0, false);
+  (void)gov.assess(4.0, meter, window);  // failing for 4 s < 5 s deadline
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+
+  gov.note_actuation(8.0, 0, false);
+  auto a = gov.assess(8.0, meter, window);  // failing for 8 s > deadline
+  EXPECT_EQ(gov.state(), FailSafeState::kDegraded);
+  EXPECT_TRUE(a.degrade);
+  EXPECT_EQ(gov.engagements(), 1u);
+
+  gov.note_actuation(12.0, 0, true);
+  a = gov.assess(12.0, meter, window);  // recovery_periods == 1
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+  EXPECT_TRUE(a.act);
+  EXPECT_EQ(gov.releases(), 1u);
+}
+
+TEST(FailSafeGovernorTest, FirstFailedContactGetsGrace) {
+  FailSafeGovernor gov(governor_config(), "gov-unit-grace");
+  StubMeter meter;
+  // The very first attempt ever fails at t=10. The failure clock starts
+  // there, not at sim time 0, so this must not instantly engage.
+  gov.note_actuation(10.0, 0, false);
+  (void)gov.assess(10.0, meter, Seconds{4.0});
+  EXPECT_EQ(gov.state(), FailSafeState::kNominal);
+}
+
+// --- control-loop integration ---
+
+/// Scripted policy with a per-test name (registry series isolation). When
+/// `alt_commands` is non-empty the policy alternates between the two
+/// command sets so every period carries a level transition.
+class TestPolicy : public baselines::IServerPowerController {
+ public:
+  TestPolicy(std::string name, std::vector<double> commands,
+             std::vector<double> alt_commands = {})
+      : name_(std::move(name)),
+        commands_(std::move(commands)),
+        alt_commands_(std::move(alt_commands)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void set_set_point(Watts p) override { set_point_ = p; }
+  [[nodiscard]] Watts set_point() const override { return set_point_; }
+
+  [[nodiscard]] baselines::ControlOutputs control(
+      const baselines::ControlInputs& in,
+      const std::vector<double>&) override {
+    seen_powers.push_back(in.measured_power.value);
+    baselines::ControlOutputs out;
+    const bool alt =
+        !alt_commands_.empty() && seen_powers.size() % 2 == 0;
+    out.target_freqs_mhz = alt ? alt_commands_ : commands_;
+    return out;
+  }
+
+  std::vector<double> seen_powers;
+
+ private:
+  std::string name_;
+  std::vector<double> commands_;
+  std::vector<double> alt_commands_;
+  Watts set_point_{900.0};
+};
+
+hal::AcpiPowerMeterParams noiseless_meter() {
+  hal::AcpiPowerMeterParams p;
+  p.noise_stddev_watts = 0.0;
+  p.response_tau_seconds = 0.0;
+  return p;
+}
+
+class HardenedLoopTest : public ::testing::Test {
+ protected:
+  HardenedLoopTest()
+      : server_(hw::ServerModel::v100_testbed(1)),
+        hal_(engine_, server_, noiseless_meter(), Rng(1)),
+        rapl_(server_.cpu()) {}
+
+  static std::vector<double> throughputs() { return {0.5, 0.6}; }
+
+  sim::Engine engine_;
+  hw::ServerModel server_;
+  hal::ServerHal hal_;
+  hal::RaplSim rapl_;
+};
+
+TEST_F(HardenedLoopTest, RejectsInvalidFailSafeConfigAtConstruction) {
+  TestPolicy policy("fs-bad-config", {1500.0, 900.0});
+  ControlLoopConfig cfg;
+  cfg.failsafe = FailSafeConfig{};
+  cfg.failsafe->retry_budget = 0;  // with verify_readback on: invalid
+  EXPECT_THROW(ControlLoop(engine_, hal_, rapl_, policy, cfg,
+                           [] { return throughputs(); }),
+               InvalidArgument);
+}
+
+TEST_F(HardenedLoopTest, NanNeverReachesThePolicy) {
+  hal::FaultPlan plan;
+  plan.seed = 11;
+  plan.meter_nan_rate = 0.3;
+  hal::FaultyServerHal faulty(engine_, hal_, plan);
+
+  TestPolicy policy("fs-nan-probe", {1500.0, 900.0});
+  ControlLoopConfig cfg;
+  cfg.failsafe = FailSafeConfig{};
+  ControlLoop loop(engine_, faulty, rapl_, policy, cfg,
+                   [] { return throughputs(); });
+  loop.start();
+  engine_.run_until(120.5);  // 30 periods
+
+  ASSERT_GT(policy.seen_powers.size(), 0u);
+  for (double p : policy.seen_powers) {
+    EXPECT_TRUE(std::isfinite(p)) << "policy saw power " << p;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 20000.0);
+  }
+  ASSERT_NE(loop.failsafe(), nullptr);
+  EXPECT_GT(loop.failsafe()->validator().rejected_nan(), 0u);
+  EXPECT_EQ(loop.periods_elapsed(), 30u);
+}
+
+TEST_F(HardenedLoopTest, RetryGivesUpAfterBudgetThenRecoversNextPeriod) {
+  hal::FaultPlan plan;
+  plan.actuation_blackout.push_back({Seconds{4.0}, Seconds{6.0}});
+  hal::FaultyServerHal faulty(engine_, hal_, plan);
+
+  TestPolicy policy("fs-blackout", {1500.0, 900.0});
+  ControlLoopConfig cfg;
+  cfg.failsafe = FailSafeConfig{};  // retry budget 2, backoff 0.25 s
+  ControlLoop loop(engine_, faulty, rapl_, policy, cfg,
+                   [] { return throughputs(); });
+  loop.start();  // start-up commands at t=0 apply fine
+  engine_.run_until(10.5);
+
+  // Period t=4: per device, the initial attempt (t=4) and both retries
+  // (t=4.25, t=4.75) land inside the blackout and throw; the budget is
+  // then exhausted. Period t=8 re-issues and succeeds.
+  EXPECT_EQ(loop.actuation_failures(), 6u);
+  EXPECT_EQ(loop.actuation_retries(), 4u);
+  EXPECT_DOUBLE_EQ(server_.cpu().frequency().value, 1500.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(0).core_clock().value, 900.0);
+}
+
+TEST_F(HardenedLoopTest, ReadbackCatchesNoopsAndReissuesUntilApplied) {
+  hal::FaultPlan plan;
+  plan.seed = 3;
+  plan.actuation_noop_rate = 0.3;
+  hal::FaultyServerHal faulty(engine_, hal_, plan);
+
+  // Alternating targets: every period changes levels, so a silent no-op
+  // always leaves the hardware visibly behind the command.
+  TestPolicy policy("fs-noop", {1500.0, 900.0}, {1400.0, 840.0});
+  ControlLoopConfig cfg;
+  cfg.failsafe = FailSafeConfig{};
+  ControlLoop loop(engine_, faulty, rapl_, policy, cfg,
+                   [] { return throughputs(); });
+  loop.start();
+  engine_.run_until(41.5);  // 10 periods (last retries land by t=40.75)
+
+  // Some commands silently did nothing; read-back caught them and the
+  // loop re-issued. By the end the hardware sits at the commanded levels
+  // (the 10th call is an even one, so the alternate set is in force).
+  EXPECT_GT(loop.readback_mismatches(), 0u);
+  EXPECT_GT(loop.actuation_retries(), 0u);
+  EXPECT_DOUBLE_EQ(server_.cpu().frequency().value, 1400.0);
+  EXPECT_DOUBLE_EQ(server_.gpu(0).core_clock().value, 840.0);
+}
+
+TEST_F(HardenedLoopTest, HeldPeriodsTickTheHeldCounter) {
+  TestPolicy policy("fs-held-probe", {1500.0, 900.0});
+  ControlLoopConfig cfg;
+  cfg.error_deadband_watts = 1e6;  // every period lands inside the band
+  ControlLoop loop(engine_, hal_, rapl_, policy, cfg,
+                   [] { return throughputs(); });
+  loop.start();
+  engine_.run_until(16.5);  // 4 periods, all deadband-held
+
+  EXPECT_EQ(loop.deadband_periods(), 4u);
+  EXPECT_EQ(loop.held_periods(), 4u);
+  auto& reg = telemetry::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(
+      reg.counter("capgpu_loop_held_periods_total", "",
+                  {{"policy", "fs-held-probe"}, {"reason", "deadband"}})
+          .value(),
+      4.0);
+}
+
+// --- the reference chaos scenario, asserted ---
+
+struct PowerPoints {
+  double surge;     ///< max clocks, util 1.0
+  double normal;    ///< max clocks, util 0.5
+  double degraded;  ///< min clocks, util 1.0
+};
+
+/// True chassis power at the three operating points the scenario visits,
+/// probed on a scratch server so the breaker thresholds need no magic
+/// numbers.
+PowerPoints probe_power_points() {
+  hw::ServerModel s = hw::ServerModel::v100_testbed(2);
+  auto configure = [&s](bool max_clocks, double util) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      const DeviceId id{j};
+      const auto& table = s.device_freqs(id);
+      (void)s.set_device_frequency(id, max_clocks ? table.max() : table.min());
+      s.set_device_utilization(id, util);
+    }
+    return s.total_power().value;
+  };
+  PowerPoints p;
+  p.surge = configure(true, 1.0);
+  p.normal = configure(true, 0.5);
+  p.degraded = configure(false, 1.0);
+  return p;
+}
+
+struct ChaosOutcome {
+  double trip_time{-1.0};
+  std::size_t engagements{0};
+  std::size_t releases{0};
+  std::size_t held{0};
+  std::size_t retries{0};
+  std::size_t mismatches{0};
+  std::vector<double> power_trace;
+};
+
+/// The bench's reference scenario in miniature: a utilization surge lands
+/// while the meter is dark and 20% of clock commands fail. The policy is
+/// scripted to hold maximum clocks — the paper's loop trusts it blindly;
+/// the hardened loop must notice the outage and shed clocks before the
+/// branch breaker lets go.
+ChaosOutcome run_chaos(bool hardened, const std::string& label,
+                       std::uint64_t seed = 0xC0FFEE) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(2);
+  hal::ServerHal inner(engine, server, noiseless_meter(), Rng(1));
+  hal::RaplSim rapl(server.cpu());
+
+  hal::FaultPlan plan;
+  plan.seed = seed;
+  plan.meter_dark.push_back({Seconds{15.0}, Seconds{60.0}});
+  plan.actuation_throw_rate = 0.1;
+  plan.actuation_noop_rate = 0.1;
+  hal::FaultyServerHal faulty(engine, inner, plan);
+
+  auto set_util = [&server](double u) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      server.set_device_utilization(DeviceId{j}, u);
+    }
+  };
+  set_util(0.5);
+  engine.schedule_after(20.0, [&set_util] { set_util(1.0); });  // surge
+  engine.schedule_after(55.0, [&set_util] { set_util(0.5); });  // passes
+
+  // Breaker sized between the scenario's operating points: normal serving
+  // and degraded clocks sit below the rating, the surge at full clocks
+  // above it, tripping after ~14 s of sustained overload.
+  const PowerPoints pts = probe_power_points();
+  const double under = std::max(pts.normal, pts.degraded);
+  const double rating = under + 0.25 * (pts.surge - under);
+  hw::BreakerParams bp;
+  bp.rating = Watts{rating};
+  bp.trip_overload_frac = (pts.surge - rating) / rating;
+  bp.trip_seconds = 14.0;
+  bp.cooling_frac_per_s = 0.0;
+  hw::BreakerModel breaker(bp);
+  hw::BreakerMonitor monitor(engine, breaker,
+                             [&server] { return server.total_power().value; });
+
+  TestPolicy policy(label, {2400.0, 1380.0, 1380.0});  // ride the surge
+  ControlLoopConfig cfg;
+  if (hardened) {
+    FailSafeConfig fs;
+    fs.validator.max_holdover = Seconds{4.0};
+    fs.meter_dark_deadline = Seconds{6.0};
+    fs.degrade_step_levels = 32;
+    fs.recovery_periods = 2;
+    cfg.failsafe = fs;
+  }
+  ControlLoop loop(engine, faulty, rapl, policy, cfg,
+                   [] { return std::vector<double>{0.5, 0.5, 0.5}; });
+  loop.start();
+  engine.run_until(100.0);
+
+  ChaosOutcome o;
+  o.trip_time = monitor.trip_time();
+  o.held = loop.held_periods();
+  o.retries = loop.actuation_retries();
+  o.mismatches = loop.readback_mismatches();
+  if (loop.failsafe() != nullptr) {
+    o.engagements = loop.failsafe()->engagements();
+    o.releases = loop.failsafe()->releases();
+  }
+  o.power_trace = loop.power_trace().values();
+  return o;
+}
+
+TEST(ChaosScenarioTest, HardenedLoopAvoidsTheBreakerTripTheTrustingLoopTakes) {
+  const PowerPoints pts = probe_power_points();
+  ASSERT_GT(pts.surge, std::max(pts.normal, pts.degraded))
+      << "scenario needs surge headroom above both safe operating points";
+
+  const ChaosOutcome trusting = run_chaos(false, "chaos-trusting");
+  const ChaosOutcome hardened = run_chaos(true, "chaos-hardened");
+
+  // The paper's loop holds maximum clocks through the dark window and the
+  // breaker lets go mid-surge.
+  ASSERT_GE(trusting.trip_time, 20.0);
+  EXPECT_LT(trusting.trip_time, 60.0);
+  EXPECT_EQ(trusting.engagements, 0u);
+
+  // The hardened loop engages the fail-safe, sheds clocks, survives the
+  // surge, and re-admits the policy once the meter returns.
+  EXPECT_LT(hardened.trip_time, 0.0);
+  EXPECT_GE(hardened.engagements, 1u);
+  EXPECT_GE(hardened.releases, 1u);
+  EXPECT_GT(hardened.held, 0u);
+}
+
+TEST(ChaosScenarioTest, FixedSeedReplaysBitForBit) {
+  const ChaosOutcome a = run_chaos(true, "chaos-det");
+  const ChaosOutcome b = run_chaos(true, "chaos-det");
+  EXPECT_EQ(a.power_trace, b.power_trace);
+  EXPECT_EQ(a.trip_time, b.trip_time);
+  EXPECT_EQ(a.engagements, b.engagements);
+  EXPECT_EQ(a.releases, b.releases);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+  EXPECT_EQ(a.held, b.held);
+}
+
+}  // namespace
+}  // namespace capgpu::core

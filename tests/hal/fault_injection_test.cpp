@@ -1,0 +1,320 @@
+#include "hal/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hal/acpi_power_meter.hpp"
+#include "hal/server_hal.hpp"
+#include "hw/server_model.hpp"
+#include "sim/engine.hpp"
+
+namespace capgpu::hal {
+namespace {
+
+AcpiPowerMeterParams noiseless_meter() {
+  AcpiPowerMeterParams p;
+  p.noise_stddev_watts = 0.0;
+  p.response_tau_seconds = 0.0;
+  return p;
+}
+
+// --- plan validation ---
+
+TEST(FaultPlanValidation, AcceptsDefaultAndSensiblePlans) {
+  EXPECT_NO_THROW((void)validated(FaultPlan{}));
+  FaultPlan plan;
+  plan.meter_dark.push_back({Seconds{10.0}, Seconds{20.0}});
+  plan.meter_nan_rate = 0.5;
+  plan.meter_spike_rate = 0.5;
+  plan.actuation_throw_rate = 0.2;
+  plan.actuation_noop_rate = 0.2;
+  plan.actuation_delay_rate = 0.2;
+  EXPECT_NO_THROW((void)validated(plan));
+}
+
+TEST(FaultPlanValidation, RejectsBadWindows) {
+  FaultPlan plan;
+  plan.meter_dark.push_back({Seconds{-1.0}, Seconds{5.0}});
+  EXPECT_THROW((void)validated(plan), InvalidArgument);
+  plan.meter_dark = {{Seconds{5.0}, Seconds{5.0}}};  // empty window
+  EXPECT_THROW((void)validated(plan), InvalidArgument);
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeRates) {
+  FaultPlan plan;
+  plan.meter_nan_rate = 1.5;
+  EXPECT_THROW((void)validated(plan), InvalidArgument);
+  plan.meter_nan_rate = 0.0;
+  plan.actuation_throw_rate = -0.1;
+  EXPECT_THROW((void)validated(plan), InvalidArgument);
+}
+
+TEST(FaultPlanValidation, RejectsRatesSummingPastOne) {
+  FaultPlan plan;
+  plan.actuation_throw_rate = 0.5;
+  plan.actuation_noop_rate = 0.4;
+  plan.actuation_delay_rate = 0.2;
+  EXPECT_THROW((void)validated(plan), InvalidArgument);
+}
+
+TEST(FaultPlanValidation, ErrorNamesTheOffendingField) {
+  FaultPlan plan;
+  plan.actuation_delay = Seconds{-2.0};
+  try {
+    (void)validated(plan);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("actuation_delay"),
+              std::string::npos);
+  }
+}
+
+// --- AcpiPowerMeter staleness contract (the age accessor the validator
+// and fail-safe lean on) ---
+
+TEST(AcpiMeterStaleness, LatestAgeThrowsBeforeFirstSample) {
+  sim::Engine engine;
+  auto server = hw::ServerModel::v100_testbed(1);
+  AcpiPowerMeter meter(engine, server, noiseless_meter(), Rng(1));
+  EXPECT_THROW((void)meter.latest_age(), HalError);
+}
+
+TEST(AcpiMeterStaleness, LatestAgeTracksSimTime) {
+  sim::Engine engine;
+  auto server = hw::ServerModel::v100_testbed(1);
+  AcpiPowerMeterParams params = noiseless_meter();
+  params.sample_interval = Seconds{10.0};
+  AcpiPowerMeter meter(engine, server, params, Rng(1));
+  engine.run_until(10.5);
+  EXPECT_DOUBLE_EQ(meter.latest_age().value, 0.5);
+  engine.run_until(17.0);
+  EXPECT_DOUBLE_EQ(meter.latest_age().value, 7.0);
+}
+
+TEST(AcpiMeterStaleness, AverageOverStaleOnlyWindowThrows) {
+  sim::Engine engine;
+  auto server = hw::ServerModel::v100_testbed(1);
+  AcpiPowerMeterParams params = noiseless_meter();
+  params.sample_interval = Seconds{10.0};
+  AcpiPowerMeter meter(engine, server, params, Rng(1));
+  engine.run_until(17.0);  // one sample, taken at t=10
+  // A 4 s window at t=17 holds no samples: a frozen meter must read as
+  // "no data", never as an average of stale readings.
+  EXPECT_THROW((void)meter.average(Seconds{4.0}), HalError);
+  // A window long enough to reach back to t=10 sees the sample again.
+  EXPECT_NO_THROW((void)meter.average(Seconds{8.0}));
+}
+
+// --- decorators ---
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : server_(hw::ServerModel::v100_testbed(2)),
+        inner_(engine_, server_, noiseless_meter(), Rng(1)) {}
+
+  sim::Engine engine_;
+  hw::ServerModel server_;
+  ServerHal inner_;
+};
+
+TEST_F(FaultInjectionTest, DefaultPlanIsTransparent) {
+  FaultyServerHal faulty(engine_, inner_, FaultPlan{});
+  engine_.run_until(5.0);
+  EXPECT_DOUBLE_EQ(faulty.power_meter().latest().power.value,
+                   inner_.power_meter().latest().power.value);
+  const Megahertz applied =
+      faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0});
+  EXPECT_DOUBLE_EQ(applied.value, 900.0);
+  EXPECT_DOUBLE_EQ(faulty.device_frequency(DeviceId{1}).value, 900.0);
+  EXPECT_EQ(faulty.counters().actuation_throw, 0u);
+  EXPECT_EQ(faulty.counters().meter_dropped, 0u);
+}
+
+TEST_F(FaultInjectionTest, DarkWindowStallsTheMeter) {
+  FaultPlan plan;
+  plan.meter_dark.push_back({Seconds{3.0}, Seconds{8.0}});
+  FaultyServerHal faulty(engine_, inner_, plan);
+  auto& meter = faulty.power_meter();
+
+  engine_.run_until(2.5);
+  EXPECT_DOUBLE_EQ(meter.latest().time, 2.0);
+  engine_.run_until(7.5);
+  // No captures since t=2: latest() serves stale data, its age grows, and
+  // a 4 s average window holds nothing.
+  EXPECT_DOUBLE_EQ(meter.latest().time, 2.0);
+  EXPECT_DOUBLE_EQ(meter.latest_age().value, 5.5);
+  EXPECT_THROW((void)meter.average(Seconds{4.0}), HalError);
+  EXPECT_EQ(faulty.counters().meter_dropped, 5u);  // t = 3..7
+
+  // The inner meter kept sampling the whole time (the hardware is fine,
+  // only its hwmon file stalled).
+  EXPECT_DOUBLE_EQ(inner_.power_meter().latest().time, 7.0);
+
+  engine_.run_until(9.5);
+  EXPECT_DOUBLE_EQ(meter.latest().time, 9.0);
+  EXPECT_NO_THROW((void)meter.average(Seconds{4.0}));
+}
+
+TEST_F(FaultInjectionTest, NanRateCorruptsSamples) {
+  FaultPlan plan;
+  plan.meter_nan_rate = 1.0;
+  FaultyServerHal faulty(engine_, inner_, plan);
+  engine_.run_until(3.5);
+  EXPECT_TRUE(std::isnan(faulty.power_meter().latest().power.value));
+  EXPECT_TRUE(std::isnan(faulty.power_meter().average(Seconds{4.0}).value));
+  EXPECT_EQ(faulty.counters().meter_nan, 3u);
+  EXPECT_FALSE(std::isnan(inner_.power_meter().latest().power.value));
+}
+
+TEST_F(FaultInjectionTest, SpikeRateDisplacesSamples) {
+  FaultPlan plan;
+  plan.meter_spike_rate = 1.0;
+  plan.meter_spike_watts = 500.0;
+  FaultyServerHal faulty(engine_, inner_, plan);
+  engine_.run_until(3.5);
+  const double seen = faulty.power_meter().latest().power.value;
+  const double truth = inner_.power_meter().latest().power.value;
+  EXPECT_NEAR(std::abs(seen - truth), 500.0, 1e-9);
+  EXPECT_EQ(faulty.counters().meter_spike, 3u);
+}
+
+TEST_F(FaultInjectionTest, UtilizationFreezesAtWindowEntry) {
+  FaultPlan plan;
+  plan.utilization_freeze.push_back({Seconds{2.0}, Seconds{6.0}});
+  FaultyServerHal faulty(engine_, inner_, plan);
+
+  server_.set_device_utilization(DeviceId{1}, 0.3);
+  engine_.run_until(3.0);
+  EXPECT_DOUBLE_EQ(faulty.device_utilization(DeviceId{1}), 0.3);
+  server_.set_device_utilization(DeviceId{1}, 0.9);
+  EXPECT_DOUBLE_EQ(faulty.device_utilization(DeviceId{1}), 0.3);  // frozen
+  EXPECT_DOUBLE_EQ(inner_.device_utilization(DeviceId{1}), 0.9);
+  EXPECT_GT(faulty.counters().util_frozen, 0u);
+
+  engine_.run_until(6.5);
+  EXPECT_DOUBLE_EQ(faulty.device_utilization(DeviceId{1}), 0.9);  // thawed
+}
+
+TEST_F(FaultInjectionTest, ThrowRateRaisesHalError) {
+  FaultPlan plan;
+  plan.actuation_throw_rate = 1.0;
+  FaultyServerHal faulty(engine_, inner_, plan);
+  EXPECT_THROW(faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0}),
+               HalError);
+  EXPECT_THROW(faulty.set_device_frequency(DeviceId{0}, Megahertz{1500.0}),
+               HalError);
+  EXPECT_EQ(faulty.counters().actuation_throw, 2u);
+}
+
+TEST_F(FaultInjectionTest, NoopClaimsSuccessButHardwareHolds) {
+  FaultPlan plan;
+  plan.actuation_noop_rate = 1.0;
+  FaultyServerHal faulty(engine_, inner_, plan);
+  const double before = faulty.device_frequency(DeviceId{1}).value;
+  const Megahertz claimed =
+      faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0});
+  EXPECT_DOUBLE_EQ(claimed.value, 900.0);  // the lie
+  // Read-back goes to the real hardware and exposes it.
+  EXPECT_DOUBLE_EQ(faulty.device_frequency(DeviceId{1}).value, before);
+  EXPECT_EQ(faulty.counters().actuation_noop, 1u);
+}
+
+TEST_F(FaultInjectionTest, DelayedCommandAppliesLate) {
+  FaultPlan plan;
+  plan.actuation_delay_rate = 1.0;
+  plan.actuation_delay = Seconds{2.0};
+  FaultyServerHal faulty(engine_, inner_, plan);
+  const double before = faulty.device_frequency(DeviceId{1}).value;
+  engine_.run_until(1.0);
+  (void)faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0});
+  EXPECT_DOUBLE_EQ(faulty.device_frequency(DeviceId{1}).value, before);
+  engine_.run_until(3.5);  // the delayed apply fires at t=3
+  EXPECT_DOUBLE_EQ(faulty.device_frequency(DeviceId{1}).value, 900.0);
+  EXPECT_EQ(faulty.counters().actuation_delay, 1u);
+}
+
+TEST_F(FaultInjectionTest, BlackoutWindowFailsEveryCommand) {
+  FaultPlan plan;
+  plan.actuation_blackout.push_back({Seconds{2.0}, Seconds{4.0}});
+  FaultyServerHal faulty(engine_, inner_, plan);
+  EXPECT_NO_THROW(faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0}));
+  engine_.run_until(3.0);
+  EXPECT_THROW(faulty.set_device_frequency(DeviceId{1}, Megahertz{750.0}),
+               HalError);
+  engine_.run_until(4.5);
+  EXPECT_NO_THROW(faulty.set_device_frequency(DeviceId{1}, Megahertz{750.0}));
+}
+
+TEST_F(FaultInjectionTest, SameSeedReplaysIdenticalFaultSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.actuation_throw_rate = 0.3;
+  plan.actuation_noop_rate = 0.3;
+
+  auto drive = [](FaultPlan p) {
+    sim::Engine engine;
+    auto server = hw::ServerModel::v100_testbed(2);
+    ServerHal inner(engine, server, noiseless_meter(), Rng(1));
+    FaultyServerHal faulty(engine, inner, p);
+    std::vector<int> outcomes;
+    for (int k = 0; k < 60; ++k) {
+      const DeviceId id{static_cast<std::uint32_t>(1 + (k % 2))};
+      try {
+        const Megahertz f{k % 2 == 0 ? 900.0 : 750.0};
+        (void)faulty.set_device_frequency(id, f);
+        outcomes.push_back(
+            static_cast<int>(faulty.device_frequency(id).value));
+      } catch (const HalError&) {
+        outcomes.push_back(-1);
+      }
+    }
+    return outcomes;
+  };
+
+  const auto a = drive(plan);
+  const auto b = drive(plan);
+  EXPECT_EQ(a, b);
+  // A different seed produces a different sequence (overwhelmingly).
+  plan.seed = 43;
+  EXPECT_NE(a, drive(plan));
+}
+
+TEST_F(FaultInjectionTest, MeterAndActuationStreamsAreIndependent) {
+  // Consuming actuation randomness must not shift the meter's fault
+  // pattern: the NaN positions depend only on the seed and sample count.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.meter_nan_rate = 0.5;
+  plan.actuation_throw_rate = 0.5;
+
+  auto nan_pattern = [](FaultPlan p, int actuation_calls) {
+    sim::Engine engine;
+    auto server = hw::ServerModel::v100_testbed(1);
+    ServerHal inner(engine, server, noiseless_meter(), Rng(1));
+    FaultyServerHal faulty(engine, inner, p);
+    for (int k = 0; k < actuation_calls; ++k) {
+      try {
+        (void)faulty.set_device_frequency(DeviceId{1}, Megahertz{900.0});
+      } catch (const HalError&) {
+      }
+    }
+    std::vector<bool> pattern;
+    for (int t = 1; t <= 20; ++t) {
+      engine.run_until(static_cast<double>(t) + 0.5);
+      pattern.push_back(
+          std::isnan(faulty.power_meter().latest().power.value));
+    }
+    return pattern;
+  };
+
+  EXPECT_EQ(nan_pattern(plan, 0), nan_pattern(plan, 25));
+}
+
+}  // namespace
+}  // namespace capgpu::hal
