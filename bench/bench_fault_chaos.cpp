@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "hal/fault_injection.hpp"
 #include "hw/breaker.hpp"
+#include "runner/scenario_runner.hpp"
 #include "telemetry/table.hpp"
 
 using namespace capgpu;
@@ -53,6 +54,7 @@ core::FailSafeConfig hardening() {
 
 struct Outcome {
   bool crashed{false};
+  std::string crash_message;  ///< printed after the parallel sweep joins
   double violation_s{0.0};   ///< true power > cap + 5 W (seconds)
   double trip_time{-1.0};
   double peak_watts{0.0};
@@ -104,8 +106,11 @@ Outcome run_one(bool hardened, double actuation_fail_rate) {
   try {
     o.res = rig.run(ctl, opt);
   } catch (const Error& e) {
-    std::printf("  !! %s run CRASHED: %s\n", hardened ? "hardened" : "trusting",
-                e.what());
+    // Scenarios may run on worker threads: record the message and let
+    // main() print it after the sweep joins, in scenario order.
+    o.crash_message = std::string("  !! ") +
+                      (hardened ? "hardened" : "trusting") +
+                      " run CRASHED: " + e.what() + "\n";
     o.crashed = true;
     return o;
   }
@@ -134,9 +139,20 @@ int main(int argc, char** argv) {
       "cap 900 W, breaker 930 W; hardened loop vs the paper's trusting loop");
   (void)bench::testbed_model();
 
+  // The whole grid — reference pair plus the sweep — is six independent
+  // scenarios: rates {0, 0.2, 0.4} x {trusting, hardened}.
+  const std::vector<double> rates{0.0, 0.2, 0.4};
+  runner::ScenarioRunner sr({bench::jobs()});
+  const std::vector<Outcome> outcomes = sr.map(
+      rates.size() * 2,
+      [&](std::size_t idx) { return run_one(idx % 2 == 1, rates[idx / 2]); });
+  for (const Outcome& o : outcomes) {
+    if (o.crashed) std::printf("%s", o.crash_message.c_str());
+  }
+
   // Reference scenario: 20% actuation failure.
-  const Outcome trusting = run_one(false, 0.20);
-  const Outcome hardened = run_one(true, 0.20);
+  const Outcome& trusting = outcomes[2];
+  const Outcome& hardened = outcomes[3];
 
   telemetry::Table t("reference scenario (600 s, seed 0xC0FFEE)");
   t.set_header({"Loop", "over-cap s", "peak W", "peak stress", "breaker",
@@ -170,11 +186,10 @@ int main(int argc, char** argv) {
   telemetry::Table sweep("actuation failure sweep");
   sweep.set_header({"fail rate", "loop", "over-cap s", "breaker", "img/s",
                     "retries", "mismatches"});
-  std::vector<double> rates{0.0, 0.2, 0.4};
-  for (double rate : rates) {
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    const double rate = rates[r];
     for (bool hard : {false, true}) {
-      const Outcome o = (rate == 0.2) ? (hard ? hardened : trusting)
-                                      : run_one(hard, rate);
+      const Outcome& o = outcomes[r * 2 + (hard ? 1 : 0)];
       sweep.add_row({telemetry::fmt(100.0 * rate, 0) + "%",
                      hard ? "hardened" : "trusting",
                      o.crashed ? "-" : telemetry::fmt(o.violation_s, 0),

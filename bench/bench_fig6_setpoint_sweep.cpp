@@ -9,6 +9,7 @@
 #include "baselines/gpu_only.hpp"
 #include "baselines/safe_fixed_step.hpp"
 #include "common.hpp"
+#include "runner/scenario_runner.hpp"
 #include "telemetry/table.hpp"
 
 using namespace capgpu;
@@ -77,10 +78,23 @@ int main(int argc, char** argv) {
   };
   std::vector<Agg> agg(kinds.size());
 
-  for (double sp = 900.0; sp <= 1200.0; sp += 50.0) {
+  std::vector<double> set_points;
+  for (double sp = 900.0; sp <= 1200.0; sp += 50.0) set_points.push_back(sp);
+
+  // One scenario per (set point, controller) cell, executed by the runner
+  // (--jobs N workers, byte-identical output for every N).
+  runner::ScenarioRunner sr({bench::jobs()});
+  const std::vector<Cell> cells =
+      sr.map(set_points.size() * kinds.size(), [&](std::size_t idx) {
+        return run_one(kinds[idx % kinds.size()],
+                       set_points[idx / kinds.size()]);
+      });
+
+  for (std::size_t s = 0; s < set_points.size(); ++s) {
+    const double sp = set_points[s];
     std::vector<std::string> row{telemetry::fmt(sp, 0) + " W"};
     for (std::size_t k = 0; k < kinds.size(); ++k) {
-      const Cell c = run_one(kinds[k], sp);
+      const Cell c = cells[s * kinds.size() + k];
       row.push_back(telemetry::fmt(c.mean, 1) + " (" +
                     telemetry::fmt(c.stddev, 1) + ")");
       agg[k].abs_err += std::abs(c.mean - sp);

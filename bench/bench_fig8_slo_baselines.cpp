@@ -8,6 +8,7 @@
 #include "baselines/gpu_only.hpp"
 #include "baselines/safe_fixed_step.hpp"
 #include "common.hpp"
+#include "runner/scenario_runner.hpp"
 #include "slo_helpers.hpp"
 
 using namespace capgpu;
@@ -27,22 +28,23 @@ int main(int argc, char** argv) {
     std::string name;
     core::RunResult res;
   };
-  std::vector<Entry> entries;
-  {
+  // Both baselines are independent scenarios — run through the runner.
+  runner::ScenarioRunner sr({bench::jobs()});
+  std::vector<Entry> entries = sr.map(2, [&](std::size_t idx) -> Entry {
     core::ServerRig rig;
-    baselines::FixedStepConfig cfg;
-    const double margin = baselines::SafeFixedStepController::estimate_margin(
-        model, rig.device_ranges(), cfg);
-    baselines::SafeFixedStepController ctl(cfg, rig.device_ranges(), 1000_W,
-                                           margin);
-    entries.push_back({"Safe Fixed-Step", rig.run(ctl, opt)});
-  }
-  {
-    core::ServerRig rig;
+    if (idx == 0) {
+      baselines::FixedStepConfig cfg;
+      const double margin =
+          baselines::SafeFixedStepController::estimate_margin(
+              model, rig.device_ranges(), cfg);
+      baselines::SafeFixedStepController ctl(cfg, rig.device_ranges(), 1000_W,
+                                             margin);
+      return {"Safe Fixed-Step", rig.run(ctl, opt)};
+    }
     baselines::GpuOnlyController ctl(rig.device_ranges(), model,
                                      bench::kBaselinePole, 1000_W);
-    entries.push_back({"GPU-Only", rig.run(ctl, opt)});
-  }
+    return {"GPU-Only", rig.run(ctl, opt)};
+  });
 
   for (const auto& e : entries) {
     std::printf("\n%s — per-GPU batch latency vs SLO (every 4th period):\n",

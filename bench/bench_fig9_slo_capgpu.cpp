@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "runner/scenario_runner.hpp"
 #include "slo_helpers.hpp"
 
 using namespace capgpu;
@@ -14,13 +15,19 @@ int main(int argc, char** argv) {
                       "paper Sec 6.4, Fig 9; set point 1000 W");
   (void)bench::testbed_model();
 
-  core::ServerRig rig;
-  core::CapGpuController ctl = bench::make_capgpu(rig, 1000_W);
   core::RunOptions opt;
   opt.periods = 60;
   opt.set_point = 1000_W;
   bench::apply_slo_schedule(opt);
-  const core::RunResult res = rig.run(ctl, opt);
+
+  // A single scenario, still routed through the runner so --jobs exercises
+  // the same code path as the sweeps.
+  runner::ScenarioRunner sr({bench::jobs()});
+  const core::RunResult res = std::move(sr.map(1, [&](std::size_t) {
+    core::ServerRig rig;
+    core::CapGpuController ctl = bench::make_capgpu(rig, 1000_W);
+    return rig.run(ctl, opt);
+  })[0]);
   bench::export_result_csv("fig9_capgpu_slo", res);
 
   std::printf("\nCapGPU — per-GPU batch latency vs SLO (every 4th period):\n");

@@ -11,6 +11,7 @@
 #include "baselines/safe_fixed_step.hpp"
 #include "common.hpp"
 #include "core/batching.hpp"
+#include "runner/scenario_runner.hpp"
 #include "telemetry/table.hpp"
 
 using namespace capgpu;
@@ -78,11 +79,21 @@ int main(int argc, char** argv) {
   telemetry::Table t("throughput img/s (at measured watts)");
   t.set_header({"Budget", "SafeFixedStep", "GPU-Only", "CapGPU",
                 "CapGPU+batch"});
+  std::vector<double> budgets;
+  for (double sp = 850.0; sp <= 1200.0; sp += 70.0) budgets.push_back(sp);
+
+  // One scenario per (budget, controller) point, fanned out by --jobs.
+  runner::ScenarioRunner sr({bench::jobs()});
+  const std::vector<Point> points =
+      sr.map(budgets.size() * kinds.size(), [&](std::size_t idx) {
+        return run_one(kinds[idx % kinds.size()], budgets[idx / kinds.size()]);
+      });
+
   std::vector<std::vector<Point>> frontier(kinds.size());
-  for (double sp = 850.0; sp <= 1200.0; sp += 70.0) {
-    std::vector<std::string> row{telemetry::fmt(sp, 0) + " W"};
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    std::vector<std::string> row{telemetry::fmt(budgets[b], 0) + " W"};
     for (std::size_t k = 0; k < kinds.size(); ++k) {
-      const Point p = run_one(kinds[k], sp);
+      const Point p = points[b * kinds.size() + k];
       frontier[k].push_back(p);
       row.push_back(telemetry::fmt(p.throughput, 1) + " @" +
                     telemetry::fmt(p.power, 0) + "W");

@@ -13,6 +13,7 @@
 #include "common.hpp"
 #include "core/control_loop.hpp"
 #include "rack/coordinator.hpp"
+#include "runner/scenario_runner.hpp"
 #include "telemetry/table.hpp"
 
 using namespace capgpu;
@@ -134,17 +135,19 @@ int main(int argc, char** argv) {
       "2700 W rack: resnet-heavy + mixed (saturated) / swin (35% load)");
   t.set_header({"Policy", "rack W", "budgets W", "per-server img/s",
                 "rack img/s"});
-  std::vector<RackOutcome> outcomes;
-  for (const auto policy : policies) {
-    outcomes.push_back(run_policy(policy));
-    const auto& o = outcomes.back();
+  // Each policy's three-server rack is an independent scenario.
+  runner::ScenarioRunner sr({bench::jobs()});
+  const std::vector<RackOutcome> outcomes = sr.map(
+      policies.size(), [&](std::size_t idx) { return run_policy(policies[idx]); });
+  for (std::size_t k = 0; k < policies.size(); ++k) {
+    const auto& o = outcomes[k];
     std::string budgets;
     std::string thr;
     for (std::size_t i = 0; i < o.budgets.size(); ++i) {
       budgets += (i ? "/" : "") + telemetry::fmt(o.budgets[i], 0);
       thr += (i ? "/" : "") + telemetry::fmt(o.throughputs[i], 0);
     }
-    t.add_row({policy_name(policy), telemetry::fmt(o.rack_power_mean, 1),
+    t.add_row({policy_name(policies[k]), telemetry::fmt(o.rack_power_mean, 1),
                budgets, thr, telemetry::fmt(o.rack_throughput, 1)});
   }
   t.print();

@@ -1,6 +1,9 @@
 #include "common.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/options.hpp"
+#include "runner/thread_pool.hpp"
 #include "telemetry/csv.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
@@ -9,7 +12,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <optional>
@@ -59,45 +61,52 @@ std::optional<LogLevel> parse_log_level(const std::string& name) {
   return std::nullopt;
 }
 
-/// Returns the value of `--key value` / `--key=value` at position i, or
-/// nullopt when argv[i] is some other flag. Advances i past a consumed
-/// space-separated value.
-std::optional<std::string> flag_value(int argc, char** argv, int& i,
-                                      const char* key) {
-  const char* arg = argv[i];
-  const std::size_t key_len = std::strlen(key);
-  if (std::strncmp(arg, key, key_len) != 0) return std::nullopt;
-  if (arg[key_len] == '=') return std::string(arg + key_len + 1);
-  if (arg[key_len] == '\0' && i + 1 < argc) return std::string(argv[++i]);
-  return std::nullopt;
+std::size_t& jobs_slot() {
+  static std::size_t jobs = 1;
+  return jobs;
 }
 
 }  // namespace
 
 void init(int& argc, char** argv) {
   auto& out = outputs();
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const int before = i;
-    if (auto v = flag_value(argc, argv, i, "--metrics-out")) {
-      out.metrics_path = *v;
-    } else if (auto v2 = flag_value(argc, argv, i, "--trace-out")) {
-      out.trace_path = *v2;
-    } else if (auto v3 = flag_value(argc, argv, i, "--events-out")) {
-      out.events_path = *v3;
-    } else if (auto v4 = flag_value(argc, argv, i, "--log-level")) {
-      if (auto level = parse_log_level(*v4)) {
-        Log::set_level(*level);
-      } else {
-        std::fprintf(stderr, "[telemetry] unknown log level '%s'\n",
-                     v4->c_str());
-      }
+  std::map<std::string, std::string> flags;
+  try {
+    flags = extract_flags(
+        argc, argv,
+        {"metrics-out", "trace-out", "events-out", "log-level", "jobs"});
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    out.metrics_path = it->second;
+  }
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    out.trace_path = it->second;
+  }
+  if (auto it = flags.find("events-out"); it != flags.end()) {
+    out.events_path = it->second;
+  }
+  if (auto it = flags.find("log-level"); it != flags.end()) {
+    if (auto level = parse_log_level(it->second)) {
+      Log::set_level(*level);
     } else {
-      argv[kept++] = argv[before];
+      std::fprintf(stderr, "[telemetry] unknown log level '%s'\n",
+                   it->second.c_str());
     }
   }
-  argc = kept;
-  argv[argc] = nullptr;
+  if (auto it = flags.find("jobs"); it != flags.end()) {
+    char* end = nullptr;
+    const long n = std::strtol(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 0) {
+      std::fprintf(stderr, "%s: option --jobs expects a non-negative integer\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    jobs_slot() = n == 0 ? runner::ThreadPool::hardware_jobs()
+                         : static_cast<std::size_t>(n);
+  }
   if (out.trace_path || out.events_path) {
     telemetry::Tracer::global().set_enabled(true);
   }
@@ -114,6 +123,8 @@ void init(int& argc, char** argv) {
     }
   }
 }
+
+std::size_t jobs() { return jobs_slot(); }
 
 const control::IdentifiedModel& testbed_model() {
   static const control::IdentifiedModel model = [] {

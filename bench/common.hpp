@@ -29,12 +29,20 @@ namespace capgpu::bench {
 ///   --events-out <path>    JSONL structured-event stream; also enables
 ///                          the tracer
 ///   --log-level <level>    debug | info | warn | error | off
+///   --jobs <N>             worker threads for parallel scenario sweeps
+///                          (default 1; 0 = hardware threads). Output is
+///                          byte-identical for every N — see
+///                          docs/performance.md.
 ///
 /// Both `--flag value` and `--flag=value` forms work. Consumed flags are
 /// removed from argv; unknown flags are left alone (google-benchmark
 /// binaries keep their --benchmark_* flags and plain benches ignore the
-/// leftovers). Call first thing in main().
+/// leftovers). Duplicate flags and empty values are rejected (exit 2).
+/// Call first thing in main().
 void init(int& argc, char** argv);
+
+/// Worker-thread count requested via --jobs, already resolved: >= 1.
+[[nodiscard]] std::size_t jobs();
 
 /// Pole used by every proportional baseline (chosen, as in the paper, to
 /// minimise oscillation while converging quickly).

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# ThreadSanitizer verification of the parallel runner: configures the
+# `tsan` preset (CAPGPU_SANITIZER=thread into build-tsan/), builds the
+# runner test suite, and runs the `runner`-labeled tests under TSan. Any
+# data race aborts the run. See docs/performance.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target capgpu_runner_tests
+
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan -L runner -j"$(nproc)" --output-on-failure

@@ -12,10 +12,10 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
-// The sink and time source are swapped as shared_ptrs under a mutex and
-// invoked from a local copy, so a writer racing a set_sink either sees the
-// old or the new callable — never a half-written one — and a sink that
-// logs recursively cannot deadlock.
+// The sink is swapped as a shared_ptr under a mutex and invoked from a
+// local copy, so a writer racing a set_sink either sees the old or the new
+// callable — never a half-written one — and a sink that logs recursively
+// cannot deadlock.
 std::mutex g_config_mutex;
 
 std::shared_ptr<const Log::Sink>& sink_storage() {
@@ -23,10 +23,10 @@ std::shared_ptr<const Log::Sink>& sink_storage() {
   return sink;
 }
 
-std::shared_ptr<const std::function<double()>>& clock_storage() {
-  static std::shared_ptr<const std::function<double()>> clock;
-  return clock;
-}
+// The time source is per thread: each runner worker prefixes its own
+// scenario's virtual time (wired via telemetry::attach_time_source) without
+// racing other workers, and the main thread keeps its own clock.
+thread_local std::function<double()> t_clock;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -52,25 +52,19 @@ void Log::set_sink(Sink sink) {
 }
 
 void Log::set_time_source(std::function<double()> now_seconds) {
-  auto next = now_seconds ? std::make_shared<const std::function<double()>>(
-                                std::move(now_seconds))
-                          : nullptr;
-  std::lock_guard lock(g_config_mutex);
-  clock_storage() = std::move(next);
+  t_clock = std::move(now_seconds);
 }
 
 void Log::write(LogLevel level, const std::string& message) {
   std::shared_ptr<const Sink> sink;
-  std::shared_ptr<const std::function<double()>> clock;
   {
     std::lock_guard lock(g_config_mutex);
     sink = sink_storage();
-    clock = clock_storage();
   }
   std::string line;
-  if (clock && *clock) {
+  if (t_clock) {
     char prefix[32];
-    std::snprintf(prefix, sizeof prefix, "[t=%.3fs] ", (*clock)());
+    std::snprintf(prefix, sizeof prefix, "[t=%.3fs] ", t_clock());
     line = prefix + message;
   } else {
     line = message;

@@ -26,9 +26,10 @@ class Log {
   /// the default sink.
   static void set_sink(Sink sink);
 
-  /// Registers a clock (e.g. the sim engine's virtual time, in seconds).
-  /// While set, every message is prefixed with "[t=<sec>s]". Pass nullptr
-  /// to remove the prefix. Usually wired via telemetry::attach_time_source.
+  /// Registers a clock (e.g. the sim engine's virtual time, in seconds)
+  /// for the calling thread. While set, every message written from this
+  /// thread is prefixed with "[t=<sec>s]". Pass nullptr to remove the
+  /// prefix. Usually wired via telemetry::attach_time_source.
   static void set_time_source(std::function<double()> now_seconds);
 
   static void write(LogLevel level, const std::string& message);

@@ -69,4 +69,45 @@ std::string Options::get_string(const std::string& key,
   return get(key).value_or(fallback);
 }
 
+std::map<std::string, std::string> extract_flags(
+    int& argc, char** argv, const std::vector<std::string>& keys) {
+  std::map<std::string, std::string> values;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string* matched = nullptr;
+    std::string value;
+    for (const std::string& key : keys) {
+      const std::string flag = "--" + key;
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          throw InvalidArgument("option " + flag + " expects a value");
+        }
+        matched = &key;
+        value = argv[++i];
+        break;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        matched = &key;
+        value = arg.substr(flag.size() + 1);
+        break;
+      }
+    }
+    if (matched == nullptr) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    if (value.empty()) {
+      throw InvalidArgument("option --" + *matched +
+                            " expects a non-empty value");
+    }
+    if (!values.emplace(*matched, value).second) {
+      throw InvalidArgument("duplicate option --" + *matched);
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  return values;
+}
+
 }  // namespace capgpu

@@ -41,4 +41,17 @@ class Options {
   std::vector<std::string> positional_;
 };
 
+/// Argv scrubber used by bench::init: extracts every `--key value` /
+/// `--key=value` occurrence of the listed keys (no leading dashes in
+/// `keys`), compacts argv in place and updates argc, leaving unknown
+/// arguments for the bench's own parser (google-benchmark flags etc.).
+///
+/// Throws InvalidArgument on
+///  - a duplicate key (`--metrics-out a --metrics-out b` must not silently
+///    drop an output),
+///  - an empty value (`--metrics-out=` used to be treated as a real path),
+///  - a space-separated key with no value left (`bench --trace-out`).
+std::map<std::string, std::string> extract_flags(
+    int& argc, char** argv, const std::vector<std::string>& keys);
+
 }  // namespace capgpu

@@ -45,7 +45,7 @@ ControlLoop::ControlLoop(
     freqs_.emplace_back("f_" + std::to_string(j), "MHz");
   }
 
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   const telemetry::Labels by_policy{{"policy", policy_->name()}};
   namespace metric = telemetry::metric;
   periods_metric_ = &registry.counter(
@@ -88,7 +88,7 @@ ControlLoop::ControlLoop(
         metric::kDeviceFrequencyMhz, "Commanded device frequency",
         {{"policy", policy_->name()}, {"device", device_label(j)}}));
   }
-  trace_tid_ = telemetry::Tracer::global().register_track("control_loop");
+  trace_tid_ = telemetry::Tracer::current().register_track("control_loop");
 }
 
 ControlLoop::~ControlLoop() {
@@ -161,7 +161,7 @@ void ControlLoop::run_period() {
 }
 
 void ControlLoop::run_period_basic() {
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   // Sensor resilience: a meter with no samples this period (hiccup,
   // driver restart) must not take the loop down — hold the previous
   // commands and keep the period accounting moving.
@@ -239,7 +239,7 @@ void ControlLoop::run_period_basic() {
 }
 
 void ControlLoop::run_period_hardened() {
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   const double now = engine_->now();
   const FailSafeGovernor::Assessment a =
       governor_->assess(now, hal_->power_meter(), config_.period);
@@ -300,7 +300,7 @@ void ControlLoop::finish_period(double measured_power, double error,
   power_metric_->set(measured_power);
   set_point_metric_->set(policy_->set_point().value);
   if (observe_error) error_metric_->observe(std::abs(error));
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     tracer.complete(
         trace_tid_, "control_period", "control", now - config_.period.value,
@@ -322,7 +322,7 @@ void ControlLoop::finish_period(double measured_power, double error,
 // back once it resumes acting).
 void ControlLoop::hold_period(const char* reason) {
   ++held_;
-  telemetry::MetricsRegistry::global()
+  telemetry::MetricsRegistry::current()
       .counter(telemetry::metric::kLoopHeldPeriods,
                "Periods where commands held instead of acting, by cause",
                {{"policy", policy_->name()}, {"reason", reason}})

@@ -22,7 +22,7 @@ EmergencyMemoryGovernor::EmergencyMemoryGovernor(sim::Engine& engine,
   CAPGPU_REQUIRE(config_.persistence >= 1, "persistence must be >= 1");
   CAPGPU_REQUIRE(config_.release_margin_watts > config_.engage_margin_watts,
                  "release margin must exceed engage margin (hysteresis)");
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   engagements_metric_ = &registry.counter(
       telemetry::metric::kEmergencyEngagements,
       "Boards memory-throttled because DVFS alone could not reach the cap");
@@ -32,7 +32,7 @@ EmergencyMemoryGovernor::EmergencyMemoryGovernor(sim::Engine& engine,
   throttled_metric_ = &registry.gauge(
       telemetry::metric::kEmergencyThrottledBoards,
       "GPUs currently memory-throttled by the emergency governor");
-  trace_tid_ = telemetry::Tracer::global().register_track("emergency");
+  trace_tid_ = telemetry::Tracer::current().register_track("emergency");
 }
 
 EmergencyMemoryGovernor::~EmergencyMemoryGovernor() { stop(); }
@@ -129,7 +129,7 @@ void EmergencyMemoryGovernor::engage_one() {
   ++engagements_;
   engagements_metric_->inc();
   throttled_metric_->set(static_cast<double>(throttled_count()));
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     tracer.instant(trace_tid_, "emergency_engage", "protection",
                    {{"gpu", server_->gpu(pick).name()},
@@ -157,7 +157,7 @@ void EmergencyMemoryGovernor::release_one() {
   ++releases_;
   releases_metric_->inc();
   throttled_metric_->set(static_cast<double>(throttled_count()));
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     tracer.instant(trace_tid_, "emergency_release", "protection",
                    {{"gpu", server_->gpu(pick).name()},

@@ -37,7 +37,7 @@ FailSafeConfig validated(FailSafeConfig config) {
 SampleValidator::SampleValidator(SampleValidatorConfig config,
                                  const std::string& policy_label)
     : config_(config) {
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   namespace metric = telemetry::metric;
   const char* reject_help =
       "Power readings rejected before reaching the policy";
@@ -98,7 +98,7 @@ FailSafeGovernor::FailSafeGovernor(FailSafeConfig config,
                                    const std::string& policy_label)
     : config_(validated(config)),
       validator_(config_.validator, policy_label) {
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   namespace metric = telemetry::metric;
   const telemetry::Labels by_policy{{"policy", policy_label}};
   engagements_metric_ = &registry.counter(
@@ -113,7 +113,7 @@ FailSafeGovernor::FailSafeGovernor(FailSafeConfig config,
   state_metric_ = &registry.gauge(
       metric::kFailsafeState,
       "Degradation state: 0 nominal, 1 degraded, 2 recovering", by_policy);
-  trace_tid_ = telemetry::Tracer::global().register_track("failsafe");
+  trace_tid_ = telemetry::Tracer::current().register_track("failsafe");
 }
 
 bool FailSafeGovernor::actuation_failing(double now) const {
@@ -152,7 +152,7 @@ FailSafeGovernor::Assessment FailSafeGovernor::assess(
   const bool over_deadline = meter_dark_over || act_failing;
   const bool healthy = r.verdict == SampleVerdict::kFresh && !act_failing;
 
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   switch (state_) {
     case FailSafeState::kNominal:
       if (over_deadline) {

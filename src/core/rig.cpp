@@ -42,7 +42,7 @@ ServerRig::ServerRig(RigConfig config)
   // source for log prefixes and trace timestamps. Must precede HAL and
   // stream construction so their tracks land under this rig's pid.
   telemetry::attach_time_source(this, [eng = &engine_] { return eng->now(); });
-  telemetry::Tracer::global().begin_run("server_rig");
+  telemetry::Tracer::current().begin_run("server_rig");
   Rng rng(config_.seed);
   hal_ = std::make_unique<hal::ServerHal>(engine_, server_, config_.meter,
                                           rng.split());
@@ -213,7 +213,7 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   std::vector<double> active_slo(streams_.size(), 0.0);
   std::vector<telemetry::Counter*> slo_checked_metrics;
   std::vector<telemetry::Counter*> slo_missed_metrics;
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const auto& name = streams_[i]->model().name;
     result.gpu_latency.emplace_back(name + "_latency", "s");

@@ -20,7 +20,7 @@ ThermalGovernor::ThermalGovernor(sim::Engine& engine, hw::ServerModel& server,
   CAPGPU_REQUIRE(config_.period.value > 0.0, "period must be positive");
   CAPGPU_REQUIRE(config_.guard_c >= 0.0, "guard must be >= 0");
   CAPGPU_REQUIRE(config_.max_step_mhz > 0.0, "max_step must be positive");
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   binding_metric_ = &registry.counter(
       telemetry::metric::kThermalBindingPeriods,
       "Periods in which a thermal ceiling bound below the spec maximum");
@@ -30,7 +30,7 @@ ThermalGovernor::ThermalGovernor(sim::Engine& engine, hw::ServerModel& server,
         "Thermally derived per-board frequency ceiling",
         {{"device", "gpu" + std::to_string(i)}}));
   }
-  trace_tid_ = telemetry::Tracer::global().register_track("thermal");
+  trace_tid_ = telemetry::Tracer::current().register_track("thermal");
 }
 
 ThermalGovernor::~ThermalGovernor() { stop(); }
@@ -96,7 +96,7 @@ void ThermalGovernor::tick() {
   }
   binding_periods_ += any_binding;
   if (any_binding) binding_metric_->inc();
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     std::vector<telemetry::TraceArg> args;
     for (std::size_t i = 0; i < ceilings_.size(); ++i) {

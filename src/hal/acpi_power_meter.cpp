@@ -21,12 +21,12 @@ AcpiPowerMeter::AcpiPowerMeter(sim::Engine& engine,
   CAPGPU_REQUIRE(params_.noise_stddev_watts >= 0.0,
                  "noise stddev must be >= 0");
   CAPGPU_REQUIRE(params_.history_capacity > 0, "history capacity must be > 0");
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   samples_metric_ = &registry.counter(telemetry::metric::kMeterSamples,
                                       "Power readings published by the meter");
   power_metric_ = &registry.gauge(telemetry::metric::kMeterPowerWatts,
                                   "Latest published power meter reading");
-  trace_tid_ = telemetry::Tracer::global().register_track("meter");
+  trace_tid_ = telemetry::Tracer::current().register_track("meter");
   timer_ = engine_->schedule_periodic(params_.sample_interval.value,
                                       [this] { take_sample(); });
 }
@@ -58,7 +58,7 @@ void AcpiPowerMeter::publish(const PowerSample& sample) {
   while (history_.size() > params_.history_capacity) history_.pop_front();
   samples_metric_->inc();
   power_metric_->set(sample.power.value);
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     tracer.counter(trace_tid_, "meter_power_watts", "hal",
                    {{"watts", sample.power.value}});

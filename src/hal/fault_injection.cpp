@@ -62,7 +62,7 @@ FaultState::FaultState(sim::Engine& eng, FaultPlan validated_plan)
       plan(std::move(validated_plan)),
       meter_rng(plan.seed),
       actuation_rng(Rng(plan.seed).split()) {
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   namespace metric = telemetry::metric;
   const char* help = "Faults injected by the hal::FaultyServerHal decorators";
   meter_dropped_metric = &registry.counter(

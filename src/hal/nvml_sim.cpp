@@ -6,7 +6,7 @@
 namespace capgpu::hal {
 
 NvmlSim::NvmlSim(hw::GpuModel& gpu) : gpu_(&gpu) {
-  clock_commands_metric_ = &telemetry::MetricsRegistry::global().counter(
+  clock_commands_metric_ = &telemetry::MetricsRegistry::current().counter(
       telemetry::metric::kHalClockCommands,
       "Clock change commands accepted by the HAL",
       {{"device", gpu_->name()}});

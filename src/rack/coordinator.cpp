@@ -16,10 +16,10 @@ RackCoordinator::RackCoordinator(Watts rack_budget, RackPolicy policy,
   CAPGPU_REQUIRE(rack_budget.value > 0.0, "rack budget must be positive");
   CAPGPU_REQUIRE(demand_smoothing > 0.0 && demand_smoothing <= 1.0,
                  "demand_smoothing must be in (0, 1]");
-  rebalances_metric_ = &telemetry::MetricsRegistry::global().counter(
+  rebalances_metric_ = &telemetry::MetricsRegistry::current().counter(
       telemetry::metric::kRackRebalances,
       "Rack budget rebalances pushed to the servers");
-  trace_tid_ = telemetry::Tracer::global().register_track("rack");
+  trace_tid_ = telemetry::Tracer::current().register_track("rack");
 }
 
 void RackCoordinator::add_server(ServerEndpoint endpoint) {
@@ -28,7 +28,7 @@ void RackCoordinator::add_server(ServerEndpoint endpoint) {
   CAPGPU_REQUIRE(static_cast<bool>(endpoint.measured_power),
                  "server needs a measured_power endpoint");
   CAPGPU_REQUIRE(endpoint.priority > 0.0, "priority must be positive");
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   const telemetry::Labels by_server{{"server", endpoint.name}};
   budget_metrics_.push_back(
       &registry.gauge(telemetry::metric::kRackServerBudgetWatts,
@@ -88,7 +88,7 @@ std::vector<double> RackCoordinator::rebalance() {
                                                         : 0.0);
   }
   rebalances_metric_->inc();
-  auto& tracer = telemetry::Tracer::global();
+  auto& tracer = telemetry::Tracer::current();
   if (tracer.enabled()) {
     std::vector<telemetry::TraceArg> args;
     args.emplace_back("rack_budget_w", rack_budget_.value);

@@ -1,0 +1,70 @@
+#include "runner/scenario_runner.hpp"
+
+#include <exception>
+#include <memory>
+
+#include "telemetry/scope.hpp"
+
+namespace capgpu::runner {
+
+ScenarioRunner::ScenarioRunner(ScenarioOptions options)
+    : jobs_(options.jobs == 0 ? ThreadPool::hardware_jobs() : options.jobs) {}
+
+void ScenarioRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+
+  // Merge targets: whatever telemetry is current on the launching thread
+  // (the process singletons in a bench, a test's private instances when it
+  // installed its own scope).
+  telemetry::MetricsRegistry& parent_metrics =
+      telemetry::MetricsRegistry::current();
+  telemetry::Tracer& parent_tracer = telemetry::Tracer::current();
+
+  struct ScenarioState {
+    std::unique_ptr<telemetry::ScenarioTelemetry> telemetry;
+    std::exception_ptr error;
+    bool ran{false};
+  };
+  std::vector<ScenarioState> states(count);
+
+  // Every scenario runs even when another fails: which scenarios executed
+  // (and therefore which error is rethrown and what telemetry merges) must
+  // not depend on completion timing, or the error path would differ
+  // between --jobs values.
+  auto run_one = [&](std::size_t i) {
+    ScenarioState& state = states[i];
+    state.telemetry =
+        std::make_unique<telemetry::ScenarioTelemetry>(parent_tracer);
+    telemetry::ScenarioTelemetry::Binding bind(*state.telemetry);
+    state.ran = true;
+    try {
+      body(i);
+    } catch (...) {
+      state.error = std::current_exception();
+    }
+  };
+
+  if (jobs_ <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  } else {
+    ThreadPool pool(jobs_ < count ? jobs_ : count);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  // Ordered merge-on-join: scenario order, stopping at the lowest failed
+  // index — exactly the telemetry a sequential run would have accumulated
+  // before dying there.
+  for (std::size_t i = 0; i < count; ++i) {
+    ScenarioState& state = states[i];
+    if (state.error) std::rethrow_exception(state.error);
+    if (state.ran) {
+      state.telemetry->merge_into(parent_metrics, parent_tracer);
+    }
+  }
+}
+
+}  // namespace capgpu::runner

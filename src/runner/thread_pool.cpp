@@ -1,0 +1,132 @@
+#include "runner/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace capgpu::runner {
+
+namespace {
+thread_local std::size_t t_worker_index = static_cast<std::size_t>(-1);
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  CAPGPU_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(state_mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  CAPGPU_REQUIRE(static_cast<bool>(task), "cannot submit a null task");
+  std::size_t target;
+  {
+    std::lock_guard lock(state_mutex_);
+    target = t_worker_index < queues_.size()
+                 ? t_worker_index
+                 : next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // The task is visible in its queue before the claim ticket exists, so a
+  // worker that wins a ticket is guaranteed to find work.
+  {
+    std::lock_guard lock(state_mutex_);
+    ++unfinished_;
+    ++unclaimed_;
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, Task& out) {
+  // Own queue: LIFO for locality.
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: FIFO from the next victims in ring order, so the oldest work
+  // migrates first and two idle workers scan different victims.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = *queues_[(index + k) % queues_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
+  for (;;) {
+    // Claim a ticket before touching the queues: tickets are 1:1 with
+    // submitted tasks and every pop is preceded by a claim, so holding one
+    // guarantees a task is (or is about to be) findable.
+    {
+      std::unique_lock lock(state_mutex_);
+      work_available_.wait(lock,
+                           [this] { return stop_ || unclaimed_ > 0; });
+      if (unclaimed_ == 0) return;  // stop requested and nothing queued
+      --unclaimed_;
+    }
+    Task task;
+    while (!try_pop(index, task)) {
+      // Only transiently possible: our reserved task is being pushed to a
+      // queue we already scanned. Rescan.
+      std::this_thread::yield();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(state_mutex_);
+      if (!leaked_exception_) leaked_exception_ = std::current_exception();
+    }
+    bool drained = false;
+    {
+      std::lock_guard lock(state_mutex_);
+      drained = --unfinished_ == 0;
+    }
+    if (drained) idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr leaked;
+  {
+    std::unique_lock lock(state_mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+    leaked = std::exchange(leaked_exception_, nullptr);
+  }
+  if (leaked) std::rethrow_exception(leaked);
+}
+
+std::size_t ThreadPool::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace capgpu::runner

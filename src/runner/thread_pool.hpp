@@ -1,0 +1,77 @@
+// Work-stealing thread pool for embarrassingly-parallel simulations.
+//
+// Each worker owns a deque: it pops its own tasks LIFO (cache-warm) and
+// steals FIFO from a victim when empty, so a burst of submissions spreads
+// across workers without a single contended queue. Queues are tiny —
+// scenario granularity is whole simulations — so plain mutexes per deque
+// are cheap, keep the pool trivially correct under ThreadSanitizer, and
+// leave the lock-free fanciness to engines that need microsecond tasks.
+//
+// Tasks must not throw: the runner layer catches per-scenario exceptions
+// and replays them on the caller. A task that does throw anyway is caught,
+// stashed, and rethrown from the next wait_idle() so nothing is lost
+// silently and the pool keeps draining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capgpu::runner {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Round-robins across worker deques; a worker
+  /// submitting from inside a task pushes to its own deque.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception a task leaked (if any).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Concurrency to use for `--jobs 0`: the hardware thread count, or 1
+  /// when it cannot be determined.
+  [[nodiscard]] static std::size_t hardware_jobs();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_pop(std::size_t index, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t unfinished_{0};  ///< submitted, not yet completed
+  std::size_t unclaimed_{0};   ///< submitted, no worker claimed yet
+  std::size_t next_queue_{0};
+  std::exception_ptr leaked_exception_;
+  bool stop_{false};
+};
+
+}  // namespace capgpu::runner

@@ -4,13 +4,114 @@
 
 namespace capgpu::sim {
 
+namespace {
+// A fresh engine is cheap (a few KB) but never grows in the hot loop for
+// typical rigs: ~32 concurrent timers cover pipeline + meter + governors.
+constexpr std::size_t kInitialCapacity = 64;
+// Heap arity = 1 << kAryShift. Binary measured fastest: wider nodes halve
+// the depth but pay ~k/2 unpredictable compares per level (4-ary was ~1.6x
+// slower on the periodic-timer workload of bench_engine_selfperf).
+constexpr std::size_t kAryShift = 1;
+constexpr std::size_t kAry = std::size_t{1} << kAryShift;
+}  // namespace
+
+Engine::Engine() {
+  heap_.reserve(kInitialCapacity);
+  free_slots_.reserve(kInitialCapacity);
+}
+
+std::uint32_t Engine::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
+}
+
+void Engine::recycle_slot(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.cb.reset();
+  s.live = false;
+  s.periodic = false;
+  // Invalidate every outstanding id for this incarnation; generation 0 is
+  // skipped on wrap so no EventId is ever 0.
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+}
+
+void Engine::sift_up(std::size_t i, const Node& value) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> kAryShift;
+    if (!earlier(value, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, value);
+}
+
+void Engine::sift_down(std::size_t i, const Node& value) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << kAryShift) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + kAry < n ? first + kAry : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], value)) break;
+    place(i, heap_[best]);
+    i = best;
+  }
+  place(i, value);
+}
+
+void Engine::heap_push(const Node& node) {
+  heap_.push_back(node);  // grow; sift_up overwrites from the hole
+  sift_up(heap_.size() - 1, node);
+}
+
+Engine::Node Engine::heap_pop() {
+  const Node top = heap_[0];
+  const Node last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0, last);
+  return top;
+}
+
+void Engine::remove_at(std::size_t pos) {
+  const Node last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail itself
+  // The tail may belong above or below the vacated position.
+  if (pos > 0 && earlier(last, heap_[(pos - 1) >> kAryShift])) {
+    sift_up(pos, last);
+  } else {
+    sift_down(pos, last);
+  }
+}
+
+void Engine::push_node(SimTime time, std::uint32_t slot,
+                       std::uint32_t generation) {
+  heap_push(Node{time, next_seq_++, slot, generation});
+}
+
 EventId Engine::schedule_at(SimTime at, Callback cb) {
   CAPGPU_REQUIRE(at >= now_, "cannot schedule an event in the past");
   CAPGPU_REQUIRE(static_cast<bool>(cb), "cannot schedule a null callback");
-  const EventId id = next_id_++;
-  live_.emplace(id, State{std::move(cb), false, 0.0});
-  queue_.push(Node{at, next_seq_++, id});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slot_ref(slot);
+  s.cb = std::move(cb);
+  s.periodic = false;
+  s.period = 0.0;
+  s.live = true;
+  ++live_count_;
+  push_node(at, slot, s.generation);
+  return make_id(slot, s.generation);
 }
 
 EventId Engine::schedule_after(SimTime delay, Callback cb) {
@@ -21,44 +122,117 @@ EventId Engine::schedule_after(SimTime delay, Callback cb) {
 EventId Engine::schedule_periodic(SimTime period, Callback cb) {
   CAPGPU_REQUIRE(period > 0.0, "periodic events need a positive period");
   CAPGPU_REQUIRE(static_cast<bool>(cb), "cannot schedule a null callback");
-  const EventId id = next_id_++;
-  live_.emplace(id, State{std::move(cb), true, period});
-  queue_.push(Node{now_ + period, next_seq_++, id});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slot_ref(slot);
+  s.cb = std::move(cb);
+  s.periodic = true;
+  s.period = period;
+  s.live = true;
+  ++live_count_;
+  push_node(now_ + period, slot, s.generation);
+  return make_id(slot, s.generation);
 }
 
-void Engine::cancel(EventId id) { live_.erase(id); }
+void Engine::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto generation = static_cast<std::uint32_t>(id);
+  if (slot >= slot_count_) return;
+  Slot& s = slot_ref(slot);
+  if (s.generation != generation || !s.live) return;
+  s.live = false;
+  --live_count_;
+  // A callback cancelling itself mid-invocation: its node is the one
+  // fire_top is holding at the top, and a closure must not destroy itself,
+  // so fire_top removes the node and recycles the slot after it returns.
+  if (s.firing) return;
+  remove_at(s.heap_pos);
+  recycle_slot(slot);
+}
+
+bool Engine::fire_top() {
+  const Node node = heap_.front();
+
+  Slot& s = slot_ref(node.slot);
+  // cancel() removes nodes eagerly, so a stale or dead node reaching the
+  // top would be an engine bug; discard it rather than corrupt the run.
+  if (s.generation != node.generation) {
+    heap_pop();
+    return false;
+  }
+  if (!s.live) {
+    heap_pop();
+    recycle_slot(node.slot);
+    return false;
+  }
+
+  now_ = node.time;
+  ++executed_;
+  if (!s.periodic) {
+    // Invoke in place: the slot stays occupied until after the callback
+    // returns (so new events cannot reuse it mid-invocation, and the
+    // closure is not destroyed while it runs), but it is already dead —
+    // a cancel() of our id from inside the callback is a plain no-op.
+    heap_pop();
+    s.live = false;
+    --live_count_;
+    try {
+      s.cb();
+    } catch (...) {
+      recycle_slot(node.slot);
+      throw;
+    }
+    recycle_slot(node.slot);
+    return true;
+  }
+
+  // Periodic: run in place — the slot reference is stable (chunked pool)
+  // even if the callback grows it, and a self-cancel only marks the slot
+  // dead (cancel defers the destroy while `firing` is set). The fired
+  // node also stays at the heap top while the callback runs: anything the
+  // callback schedules is strictly later than (node.time, node.seq), so
+  // the heap property holds, and the reschedule becomes a replace-top —
+  // one sift-down instead of a pop plus a push. Reschedule only if the
+  // callback did not cancel its own event — rescheduling up front could
+  // resurrect a series that cancelled itself.
+  const SimTime next_time = node.time + s.period;
+  s.firing = true;
+  try {
+    s.cb();
+  } catch (...) {
+    // Keep the seed engine's contract: a throwing periodic callback stays
+    // scheduled (its reschedule used to be pushed before the invocation).
+    s.firing = false;
+    if (s.live) {
+      replace_top(Node{next_time, next_seq_++, node.slot, node.generation});
+    } else {
+      heap_pop();
+      recycle_slot(node.slot);
+    }
+    throw;
+  }
+  s.firing = false;
+  if (s.live) {
+    replace_top(Node{next_time, next_seq_++, node.slot, node.generation});
+  } else {
+    // Cancelled from inside its own callback: let the slot go instead of
+    // rescheduling (the pre-overhaul engine could resurrect this series).
+    heap_pop();
+    recycle_slot(node.slot);
+  }
+  return true;
+}
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Node node = queue_.top();
-    queue_.pop();
-    auto it = live_.find(node.id);
-    if (it == live_.end()) continue;  // cancelled
-    now_ = node.time;
-    ++executed_;
-    if (it->second.periodic) {
-      queue_.push(Node{node.time + it->second.period, next_seq_++, node.id});
-      // The callback may cancel its own periodic event, so copy it first.
-      Callback cb = it->second.cb;
-      cb();
-    } else {
-      Callback cb = std::move(it->second.cb);
-      live_.erase(it);
-      cb();
-    }
-    return true;
+  while (!heap_.empty()) {
+    if (fire_top()) return true;
   }
   return false;
 }
 
 void Engine::run_until(SimTime until) {
   CAPGPU_REQUIRE(until >= now_, "run_until target is in the past");
-  for (;;) {
-    // Drop cancelled heads so the time check below sees a live event.
-    while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
-    if (queue_.empty() || queue_.top().time > until) break;
-    step();
+  while (!heap_.empty() && heap_.front().time <= until) {
+    fire_top();
   }
   now_ = until;
 }

@@ -4,14 +4,27 @@
 // and the 1 Hz power meter / 4 s control loop all run as events on this
 // engine. Events at equal timestamps execute in scheduling order
 // (deterministic FIFO tie-break), which keeps every experiment reproducible.
+//
+// Hot-path layout (this is the innermost loop of every experiment):
+//  - event state lives in a recycled slot pool indexed by the heap nodes,
+//    so the fire path touches no associative container;
+//  - callbacks are stored in SmallCallback's inline buffer, so scheduling
+//    the common capture-a-few-pointers lambda performs no heap allocation;
+//  - the heap is indexed: every slot records where its node sits, so
+//    cancel() removes the node in place (O(log n) on a heap of *live*
+//    events) instead of leaving a tombstone — watchdog patterns that arm
+//    and cancel far-out deadlines cannot bloat the heap or the slot pool.
+//
+// EventIds encode (slot index, generation); a recycled slot bumps its
+// generation, so stale ids from fired or cancelled events can never touch
+// a newer event occupying the same slot.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/small_callback.hpp"
 
 namespace capgpu::sim {
 
@@ -24,7 +37,9 @@ using EventId = std::uint64_t;
 /// Single-threaded discrete-event engine.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
+
+  Engine();
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -36,7 +51,8 @@ class Engine {
   EventId schedule_after(SimTime delay, Callback cb);
 
   /// Schedules `cb` every `period` seconds, first firing at now() + period.
-  /// The periodic event reschedules itself until cancelled.
+  /// The periodic event reschedules itself until cancelled — including
+  /// cancellation from inside its own callback.
   EventId schedule_periodic(SimTime period, Callback cb);
 
   /// Cancels a pending event; a no-op for already-fired or unknown ids.
@@ -53,32 +69,88 @@ class Engine {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
   /// Number of events currently pending (excluding cancelled ones).
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
 
  private:
-  struct State {
+  struct Slot {
     Callback cb;
-    bool periodic{false};
     SimTime period{0.0};
+    std::uint32_t generation{1};
+    bool periodic{false};
+    bool live{false};
+    /// True while this slot's callback is executing in place (periodic
+    /// fire). A cancel() during that window marks the slot dead but defers
+    /// destroying the callback to fire_top — a closure must not destroy
+    /// itself mid-invocation.
+    bool firing{false};
+    /// Index of this slot's node in heap_, maintained by every sift so
+    /// cancel() can remove the node without a search.
+    std::uint32_t heap_pos{0};
   };
   struct Node {
     SimTime time;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const Node& a, const Node& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// Strict total order (seq is unique), so the fire sequence is the same
+  /// for any heap shape — arity is purely a performance choice.
+  static bool earlier(const Node& a, const Node& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Writes `node` at heap index `i` and records the position in its slot.
+  void place(std::size_t i, const Node& node) {
+    heap_[i] = node;
+    slot_ref(node.slot).heap_pos = static_cast<std::uint32_t>(i);
+  }
+  void sift_up(std::size_t i, const Node& value);
+  /// Places `value` at position `i` after moving smaller descendants up.
+  void sift_down(std::size_t i, const Node& value);
+  void heap_push(const Node& node);
+  /// Removes and returns the minimum; heap must be non-empty.
+  Node heap_pop();
+  /// Removes the node at heap index `pos` (cancel path).
+  void remove_at(std::size_t pos);
+  /// Overwrites the minimum with `node` and restores the heap with one
+  /// sift-down — the periodic-reschedule fast path (no pop + sift-up).
+  void replace_top(const Node& node) { sift_down(0, node); }
+
+  /// Slots live in fixed-size chunks: addresses stay valid while a
+  /// callback runs (even when it schedules events that grow the pool), and
+  /// indexing is a shift+mask, not a division like std::deque's.
+  static constexpr std::uint32_t kChunkShift = 6;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t alloc_slot();
+  void recycle_slot(std::uint32_t slot);
+  void push_node(SimTime time, std::uint32_t slot, std::uint32_t generation);
+  /// Pops the top node and runs it if still live; returns true when a
+  /// callback executed.
+  bool fire_top();
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) << 32) | generation;
+  }
 
   SimTime now_{0.0};
   std::uint64_t next_seq_{0};
-  EventId next_id_{1};
   std::uint64_t executed_{0};
-  std::priority_queue<Node, std::vector<Node>, Later> queue_;
-  std::unordered_map<EventId, State> live_;
+  std::size_t live_count_{0};
+  // Indexed binary min-heap (slots track their node's position). Binary
+  // beats higher arities here: the min-of-k child selection is a chain of
+  // data-dependent branches, and with k=2 it is one well-predicted
+  // comparison per level (measured ~1.6x faster fires than 4-ary).
+  std::vector<Node> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_{0};  ///< slots constructed across all chunks
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace capgpu::sim

@@ -1,0 +1,114 @@
+// Move-only callable wrapper with inline (small-buffer) storage.
+//
+// The DES schedules tens of millions of events per experiment, and almost
+// every callback is a lambda capturing a couple of pointers. std::function
+// heap-allocates once its (implementation-defined, typically 16-24 byte)
+// inline buffer overflows, which puts malloc/free on the engine's fire
+// path. SmallCallback stores any callable up to kInlineBytes in place and
+// only falls back to the heap beyond that, so the common case is
+// allocation-free. Move-only: the engine never needs to copy a callback.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace capgpu::sim {
+
+class SmallCallback {
+ public:
+  /// Inline capacity, sized for a lambda capturing six pointers/doubles.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+    invoke_ = ops_->invoke;
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept
+      : ops_(other.ops_), invoke_(other.invoke_) {
+    if (ops_) ops_->relocate(buf_, other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      invoke_ = other.invoke_;
+      if (ops_) ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Invoking through the cached pointer skips the ops-table indirection —
+  // one dependent load instead of two on the engine's fire path.
+  void operator()() { invoke_(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+
+  // Heap case: the buffer holds only a Fn* (trivially destructible), the
+  // callable itself lives behind it.
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_{nullptr};
+  void (*invoke_)(void*){nullptr};  ///< cached ops_->invoke (hot path)
+};
+
+}  // namespace capgpu::sim

@@ -94,9 +94,63 @@ void LogLinearHistogram::observe(double x) noexcept {
   ++count_;
 }
 
+void LogLinearHistogram::merge_from(const LogLinearHistogram& other) {
+  CAPGPU_REQUIRE(bounds_ == other.bounds_,
+                 "cannot merge histograms with different bucket layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+namespace {
+thread_local MetricsRegistry* t_current_registry = nullptr;
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+MetricsRegistry& MetricsRegistry::current() {
+  return t_current_registry ? *t_current_registry : global();
+}
+
+MetricsRegistry::ScopedCurrent::ScopedCurrent(MetricsRegistry& registry)
+    : previous_(t_current_registry) {
+  t_current_registry = &registry;
+}
+
+MetricsRegistry::ScopedCurrent::~ScopedCurrent() {
+  t_current_registry = previous_;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const Family* family : other.families()) {
+    for (const auto& [key, series] : family->series) {
+      Instrument& mine =
+          find_or_create(family->name, family->help, family->type,
+                         series->labels);
+      switch (family->type) {
+        case MetricType::kCounter:
+          mine.counter.inc(series->counter.value());
+          break;
+        case MetricType::kGauge:
+          mine.gauge.set(series->gauge.value());
+          break;
+        case MetricType::kHistogram:
+          if (series->histogram) {
+            if (!mine.histogram) {
+              mine.histogram = std::make_unique<LogLinearHistogram>(
+                  series->histogram->spec());
+            }
+            mine.histogram->merge_from(*series->histogram);
+          }
+          break;
+      }
+    }
+  }
 }
 
 Instrument& MetricsRegistry::find_or_create(const std::string& name,

@@ -11,7 +11,11 @@
 //
 // Thread-compatible, like the rest of the library: concurrent reads are
 // fine, concurrent mutation needs external synchronisation (the DES is
-// single-threaded).
+// single-threaded). Parallel scenario execution (runner::ScenarioRunner)
+// gives every scenario a private registry bound to its worker thread via
+// current()/ScopedCurrent and merges the instances back into the parent
+// registry in scenario order, so exports stay deterministic under any
+// --jobs value.
 #pragma once
 
 #include <cstddef>
@@ -89,6 +93,9 @@ class LogLinearHistogram {
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
 
+  /// Adds another histogram's observations; both must share one spec.
+  void merge_from(const LogLinearHistogram& other);
+
  private:
   HistogramSpec spec_;
   std::vector<double> bounds_;
@@ -144,8 +151,32 @@ class MetricsRegistry {
   /// is for test isolation only.
   void clear();
 
-  /// The process-wide registry all library instrumentation writes to.
+  /// Folds another registry into this one: counters and histograms
+  /// accumulate, gauges take the other registry's value (last merge in
+  /// call order wins, mirroring sequential execution). Families and series
+  /// missing here are created in the other registry's registration order,
+  /// so merging scenario registries in scenario order reproduces the
+  /// sequential export byte for byte.
+  void merge_from(const MetricsRegistry& other);
+
+  /// The process-wide registry.
   static MetricsRegistry& global();
+
+  /// The registry instrumentation on this thread writes to: the one set by
+  /// ScopedCurrent (runner worker threads), global() otherwise.
+  static MetricsRegistry& current();
+
+  /// Rebinds current() for this thread for the guard's lifetime (RAII).
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(MetricsRegistry& registry);
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    MetricsRegistry* previous_;
+  };
 
  private:
   Instrument& find_or_create(const std::string& name, const std::string& help,

@@ -6,20 +6,23 @@
 namespace capgpu::telemetry {
 
 namespace {
-const void* g_clock_owner = nullptr;
+// Thread-local: each runner worker wires its scenario's engine to its own
+// current() tracer and log prefix without racing other workers or the
+// main thread.
+thread_local const void* t_clock_owner = nullptr;
 }  // namespace
 
 void attach_time_source(const void* owner,
                         std::function<double()> now_seconds) {
-  g_clock_owner = owner;
-  Tracer::global().set_clock(now_seconds);
+  t_clock_owner = owner;
+  Tracer::current().set_clock(now_seconds);
   Log::set_time_source(std::move(now_seconds));
 }
 
 void detach_time_source(const void* owner) {
-  if (owner != g_clock_owner) return;
-  g_clock_owner = nullptr;
-  Tracer::global().set_clock(nullptr);
+  if (owner != t_clock_owner) return;
+  t_clock_owner = nullptr;
+  Tracer::current().set_clock(nullptr);
   Log::set_time_source(nullptr);
 }
 

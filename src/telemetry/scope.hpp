@@ -1,0 +1,54 @@
+// Per-scenario telemetry isolation for parallel experiment execution.
+//
+// A ScenarioTelemetry owns a private MetricsRegistry + Tracer for one
+// simulation scenario. While a Binding is alive on a thread, every
+// MetricsRegistry::current() / Tracer::current() call on that thread — all
+// library instrumentation — lands in the scenario's instances instead of
+// the process-wide singletons. After the scenario completes, merge_into()
+// folds the instances into a parent (usually the registry/tracer that was
+// current on the launching thread); the runner merges scenarios in index
+// order, which makes Prometheus and Chrome-trace exports byte-identical
+// for any worker count.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace capgpu::telemetry {
+
+class ScenarioTelemetry {
+ public:
+  /// `like` provides the tracer configuration to inherit (enabled flag and
+  /// event cap) — pass the parent tracer the merge will target.
+  explicit ScenarioTelemetry(const Tracer& like) {
+    tracer_.set_enabled(like.enabled());
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Folds this scenario's telemetry into the parent instances. Call from
+  /// one thread at a time, in scenario order.
+  void merge_into(MetricsRegistry& metrics, Tracer& tracer) {
+    metrics.merge_from(metrics_);
+    tracer.merge_from(std::move(tracer_));
+  }
+
+  /// RAII binding making this scenario's instances the thread's current
+  /// telemetry. Stack-nestable.
+  class Binding {
+   public:
+    explicit Binding(ScenarioTelemetry& scope)
+        : metrics_(scope.metrics_), tracer_(scope.tracer_) {}
+
+   private:
+    MetricsRegistry::ScopedCurrent metrics_;
+    Tracer::ScopedCurrent tracer_;
+  };
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace capgpu::telemetry

@@ -82,9 +82,37 @@ TraceArg::TraceArg(std::string k, double v)
 TraceArg::TraceArg(std::string k, std::string v)
     : key(std::move(k)), value(std::move(v)) {}
 
+namespace {
+thread_local Tracer* t_current_tracer = nullptr;
+}  // namespace
+
 Tracer& Tracer::global() {
   static Tracer tracer;
   return tracer;
+}
+
+Tracer& Tracer::current() {
+  return t_current_tracer ? *t_current_tracer : global();
+}
+
+Tracer::ScopedCurrent::ScopedCurrent(Tracer& tracer)
+    : previous_(t_current_tracer) {
+  t_current_tracer = &tracer;
+}
+
+Tracer::ScopedCurrent::~ScopedCurrent() { t_current_tracer = previous_; }
+
+void Tracer::merge_from(Tracer&& other) {
+  const int pid_base = pid_;
+  for (TraceEvent& e : other.events_) {
+    e.pid += pid_base;
+    push(std::move(e));
+  }
+  pid_ += other.pid_;
+  dropped_ += other.dropped_;
+  other.clear();
+  other.pid_ = 0;
+  other.next_tid_ = 1;
 }
 
 void Tracer::set_clock(std::function<double()> now_seconds) {

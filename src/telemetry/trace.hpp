@@ -53,8 +53,30 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Process-wide tracer all library instrumentation writes to.
+  /// Process-wide tracer.
   static Tracer& global();
+
+  /// The tracer instrumentation on this thread writes to: the one set by
+  /// ScopedCurrent (runner worker threads), global() otherwise.
+  static Tracer& current();
+
+  /// Rebinds current() for this thread for the guard's lifetime (RAII).
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(Tracer& tracer);
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    Tracer* previous_;
+  };
+
+  /// Appends another tracer's events, shifting their pids past this
+  /// tracer's so runs stay distinct on the timeline. Merging scenario
+  /// tracers in scenario order reproduces the sequential export byte for
+  /// byte. The source is drained.
+  void merge_from(Tracer&& other);
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }

@@ -34,7 +34,7 @@ InferenceStream::InferenceStream(sim::Engine& engine, hw::ServerModel& server,
   CAPGPU_REQUIRE(queue_.capacity() >= params_.model.batch_size,
                  "queue must hold at least one batch");
 
-  auto& registry = telemetry::MetricsRegistry::global();
+  auto& registry = telemetry::MetricsRegistry::current();
   const telemetry::Labels by_model{{"model", params_.model.name}};
   images_metric_ = &registry.counter(telemetry::metric::kImagesCompleted,
                                      "Images completed by the GPU stage",
@@ -49,7 +49,7 @@ InferenceStream::InferenceStream(sim::Engine& engine, hw::ServerModel& server,
       telemetry::metric::kBatchLatencySeconds,
       "GPU batch execution latency (the quantity under SLO)", latency_spec,
       by_model);
-  trace_tid_ = telemetry::Tracer::global().register_track(
+  trace_tid_ = telemetry::Tracer::current().register_track(
       "gpu" + std::to_string(gpu_index_) + ":" + params_.model.name);
 }
 
@@ -159,7 +159,7 @@ void InferenceStream::consumer_try_start() {
     for (const auto stamp : stamps) {
       queue_delay_.record(engine_->now(), engine_->now() - stamp);
     }
-    batch_span_ = telemetry::Tracer::global().begin_span(trace_tid_, "batch",
+    batch_span_ = telemetry::Tracer::current().begin_span(trace_tid_, "batch",
                                                          "workload");
     const double exec = batch_duration();
     engine_->schedule_after(
@@ -181,7 +181,7 @@ void InferenceStream::consumer_finish_batch(
   images_metric_->inc(static_cast<double>(stamps.size()));
   batches_metric_->inc();
   if (batch_span_ != 0) {
-    telemetry::Tracer::global().end_span(
+    telemetry::Tracer::current().end_span(
         batch_span_, {{"images", static_cast<double>(stamps.size())},
                       {"exec_s", exec_latency}});
     batch_span_ = 0;

@@ -60,5 +60,66 @@ TEST(Options, ValueWithEqualsSign) {
   EXPECT_EQ(o.get("beta"), "a=b");
 }
 
+/// extract_flags works on a mutable argv (bench::init contract).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    storage.insert(storage.begin(), "prog");
+    for (auto& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc;
+};
+
+TEST(ExtractFlags, ExtractsBothForms) {
+  Argv a({"--metrics-out", "m.prom", "--jobs=4", "rest"});
+  const auto flags =
+      extract_flags(a.argc, a.ptrs.data(), {"metrics-out", "jobs"});
+  EXPECT_EQ(flags.at("metrics-out"), "m.prom");
+  EXPECT_EQ(flags.at("jobs"), "4");
+  ASSERT_EQ(a.argc, 2);
+  EXPECT_STREQ(a.ptrs[1], "rest");
+  EXPECT_EQ(a.ptrs[a.argc], nullptr);
+}
+
+TEST(ExtractFlags, LeavesUnknownFlagsForTheBench) {
+  Argv a({"--benchmark_filter=x", "--jobs", "2", "--other"});
+  const auto flags = extract_flags(a.argc, a.ptrs.data(), {"jobs"});
+  EXPECT_EQ(flags.at("jobs"), "2");
+  ASSERT_EQ(a.argc, 3);
+  EXPECT_STREQ(a.ptrs[1], "--benchmark_filter=x");
+  EXPECT_STREQ(a.ptrs[2], "--other");
+}
+
+TEST(ExtractFlags, DuplicateFlagThrows) {
+  // `--metrics-out a --metrics-out b` used to silently keep only one
+  // output; now it is an error in either spelling.
+  Argv a({"--metrics-out", "a", "--metrics-out=b"});
+  EXPECT_THROW(extract_flags(a.argc, a.ptrs.data(), {"metrics-out"}),
+               InvalidArgument);
+}
+
+TEST(ExtractFlags, EmptyValueThrows) {
+  // `--metrics-out=` used to be treated as a real (empty) path.
+  Argv a({"--metrics-out="});
+  EXPECT_THROW(extract_flags(a.argc, a.ptrs.data(), {"metrics-out"}),
+               InvalidArgument);
+}
+
+TEST(ExtractFlags, MissingValueThrows) {
+  Argv a({"--trace-out"});
+  EXPECT_THROW(extract_flags(a.argc, a.ptrs.data(), {"trace-out"}),
+               InvalidArgument);
+}
+
+TEST(ExtractFlags, NoMatchesLeavesArgvAlone) {
+  Argv a({"positional", "--benchmark_repetitions=3"});
+  const auto flags = extract_flags(a.argc, a.ptrs.data(), {"jobs"});
+  EXPECT_TRUE(flags.empty());
+  EXPECT_EQ(a.argc, 3);
+}
+
 }  // namespace
 }  // namespace capgpu

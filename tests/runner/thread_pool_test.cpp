@@ -1,0 +1,115 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace capgpu::runner {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksSubmittedFromWorkersRun) {
+  // A task submitted from inside a worker lands on that worker's own deque
+  // and must still be executed (and be stealable by other workers).
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      for (int k = 0; k < 4; ++k) {
+        pool.submit([&count] { ++count; });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The failure must not wedge the pool: the other tasks still ran and the
+  // pool stays usable afterwards.
+  EXPECT_EQ(ran.load(), 20);
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // No wait_idle(): the destructor must wait for all tasks, then join.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DestructorSurvivesThrowingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&count, i]() {
+        if (i % 4 == 0) throw std::runtime_error("chaos");
+        ++count;
+      });
+    }
+    // Unretrieved exceptions must not terminate or deadlock the join.
+  }
+  EXPECT_EQ(count.load(), 12);
+}
+
+TEST(ThreadPool, RejectsZeroWorkersAndNullTasks) {
+  EXPECT_THROW(ThreadPool pool(0), capgpu::InvalidArgument);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(ThreadPool::Task{}), capgpu::InvalidArgument);
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+TEST(ThreadPool, ManyWaitIdleCyclesReuseTheWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+}  // namespace
+}  // namespace capgpu::runner

@@ -111,6 +111,42 @@ TEST(Engine, PeriodicCanCancelItself) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(Engine, CancelInsideOwnCallbackDoesNotResurrect) {
+  // Regression: cancelling a periodic event from inside its own callback
+  // used to be undone by the post-callback reschedule, resurrecting the
+  // event forever.
+  Engine e;
+  int fires = 0;
+  EventId id = 0;
+  id = e.schedule_periodic(1.0, [&] {
+    ++fires;
+    e.cancel(id);
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(e.pending(), 0u);
+  // The freed slot must be safely reusable: a new event may land in it, and
+  // the stale id must not cancel the newcomer.
+  int other = 0;
+  e.schedule_at(11.0, [&] { ++other; });
+  e.cancel(id);  // stale generation: no-op
+  e.run_until(12.0);
+  EXPECT_EQ(other, 1);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Engine, CancelInsideOwnCallbackOneShot) {
+  Engine e;
+  int fires = 0;
+  EventId id = e.schedule_at(1.0, [&] {
+    ++fires;
+    e.cancel(id);  // already firing: must be a harmless no-op
+  });
+  e.run_until(2.0);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
 TEST(Engine, PeriodicNeedsPositivePeriod) {
   Engine e;
   EXPECT_THROW(e.schedule_periodic(0.0, [] {}), capgpu::InvalidArgument);
