@@ -9,6 +9,7 @@
 // --out <path>) which scripts/run_perf.sh merges with the parallel-sweep
 // timings; docs/performance.md describes the format.
 #include <chrono>
+#include <cstdlib>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -21,8 +22,11 @@
 #include "common.hpp"
 #include "common/error.hpp"
 #include "common/options.hpp"
+#include "common/rng.hpp"
+#include "hw/server_model.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/table.hpp"
+#include "workload/pipeline.hpp"
 
 using namespace capgpu;
 
@@ -265,6 +269,69 @@ Row measure_pair(const std::string& name, Workload&& workload, int reps) {
   return row;
 }
 
+// --- Request-timeline overhead guard -------------------------------------
+//
+// The per-request latency attribution (RequestTimeline stamps + per-stage
+// sketches) runs inside the pipeline's hot callbacks. With tracing
+// disabled — the default for every simulation that does not ask for
+// --trace-out/--events-out — it must stay within 5% of the pre-attribution
+// fast path (StreamParams::stage_stats = false).
+Measurement run_pipeline_once(bool stage_stats) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.cpu().set_frequency(2.4_GHz);
+  server.gpu(0).set_core_clock(1350_MHz);
+  workload::StreamParams p;
+  p.model.name = "selfperf";
+  p.model.batch_size = 8;
+  p.model.e_min_batch_s = 0.05;
+  p.model.gamma = 0.91;
+  p.model.gpu_f_max = 1350_MHz;
+  p.model.preprocess_s_ghz = 0.005;
+  p.model.gpu_busy_util = 0.9;
+  p.model.jitter_frac = 0.0;
+  p.n_preprocess_workers = 2;
+  p.stage_stats = stage_stats;
+  workload::InferenceStream stream(engine, server, 0, p, Rng(1));
+  stream.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run_until(64000.0);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return Measurement{
+      secs > 0.0 ? static_cast<double>(engine.events_executed()) / secs : 0.0,
+      engine.events_executed()};
+}
+
+struct OverheadResult {
+  Measurement baseline;  // stage_stats off
+  Measurement timeline;  // stage_stats on
+  [[nodiscard]] double overhead_frac() const {
+    return baseline.events_per_s > 0.0
+               ? 1.0 - timeline.events_per_s / baseline.events_per_s
+               : 0.0;
+  }
+};
+
+OverheadResult measure_timeline_overhead(int reps) {
+  // Same protocol as measure_pair above: off/on reps alternate so both
+  // configurations sample the same machine conditions, and best-of keeps
+  // the least-perturbed rep of each — external noise only ever slows a
+  // run down, so the maxima converge on the undisturbed speeds.
+  OverheadResult best;
+  for (int i = 0; i < reps; ++i) {
+    const Measurement off = run_pipeline_once(false);
+    if (off.events_per_s > best.baseline.events_per_s) best.baseline = off;
+    const Measurement on = run_pipeline_once(true);
+    if (on.events_per_s > best.timeline.events_per_s) best.timeline = on;
+    if (std::getenv("CAPGPU_SELFPERF_DEBUG")) {
+      std::fprintf(stderr, "  rep %d: off %.2fM on %.2fM\n", i,
+                   off.events_per_s / 1e6, on.events_per_s / 1e6);
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,6 +372,20 @@ int main(int argc, char** argv) {
   std::printf("\n  worst-case speedup: %.2fx (target >= 1.5x)\n",
               worst_speedup);
 
+  // More reps than the engine table: the guard compares two nearly equal
+  // speeds, so the best-of maxima need more samples to converge under
+  // machine noise than a 2x-apart engine comparison does.
+  constexpr int kOverheadReps = 15;
+  const OverheadResult overhead = measure_timeline_overhead(kOverheadReps);
+  std::printf(
+      "\n  request-timeline overhead (tracing disabled, best of %d "
+      "alternating reps):\n"
+      "    attribution off %.2fM ev/s, on %.2fM ev/s -> %.2f%% overhead "
+      "(target < 5%%): %s\n",
+      kOverheadReps, overhead.baseline.events_per_s / 1e6,
+      overhead.timeline.events_per_s / 1e6, overhead.overhead_frac() * 100.0,
+      overhead.overhead_frac() < 0.05 ? "PASS" : "FAIL");
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -325,10 +406,16 @@ int main(int argc, char** argv) {
                   r.speedup(), i + 1 < rows.size() ? "," : "");
     out << buf;
   }
-  char tail[128];
+  char tail[512];
   std::snprintf(tail, sizeof(tail),
-                "    ],\n    \"worst_speedup\": %.3f\n  }\n}\n",
-                worst_speedup);
+                "    ],\n    \"worst_speedup\": %.3f\n  },\n"
+                "  \"timeline_overhead\": {\n"
+                "    \"baseline_events_per_s\": %.0f,\n"
+                "    \"stage_stats_events_per_s\": %.0f,\n"
+                "    \"overhead_frac\": %.4f,\n"
+                "    \"budget_frac\": 0.05\n  }\n}\n",
+                worst_speedup, overhead.baseline.events_per_s,
+                overhead.timeline.events_per_s, overhead.overhead_frac());
   out << tail;
   std::printf("  [perf] %s\n", out_path.c_str());
   return 0;

@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
   std::printf("\nDeadline miss rates over the run:\n");
   for (const auto& e : entries) bench::print_miss_rates(e.name, e.res);
 
+  std::printf("\nRequest latency by pipeline stage (both baselines pooled):\n");
+  bench::print_stage_quantiles();
+
   std::printf("\nShape checks (paper Fig 8):\n");
   bool some_misses = true;
   for (const auto& e : entries) {

@@ -54,6 +54,9 @@ int main(int argc, char** argv) {
   bench::print_miss_rates("CapGPU", res);
   bench::print_power_summary("CapGPU power", res, 1000.0, 20);
 
+  std::printf("\nRequest latency by pipeline stage:\n");
+  bench::print_stage_quantiles();
+
   double worst = 0.0;
   for (const auto& m : res.slo_misses) worst = std::max(worst, m.ratio());
   const bool per_device =

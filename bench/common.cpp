@@ -3,16 +3,23 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "runner/scenario_runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "telemetry/csv.hpp"
+#include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
+#include "telemetry/sketch.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
+#include "workload/request_timeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -24,11 +31,49 @@ struct ObservabilityOutputs {
   std::optional<std::string> metrics_path;
   std::optional<std::string> trace_path;
   std::optional<std::string> events_path;
+  std::optional<std::string> summary_path;
+  std::optional<std::string> slo_report_path;
+  std::chrono::steady_clock::time_point started;
 };
 
 ObservabilityOutputs& outputs() {
   static ObservabilityOutputs out;
   return out;
+}
+
+void write_summary(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw Error("cannot write summary file: " + path);
+  const auto& out = outputs();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    out.started)
+          .count();
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.3f", wall_s);
+  file << "{\n  \"scenarios\": " << runner::ScenarioRunner::scenarios_executed()
+       << ",\n  \"jobs\": " << jobs() << ",\n  \"wall_time_s\": " << wall
+       << ",\n  \"stage_p99_s\": [";
+  bool first = true;
+  for (const auto* family : telemetry::MetricsRegistry::global().families()) {
+    if (family->name != telemetry::metric::kStageLatencySeconds) continue;
+    for (const auto& [key, inst] : family->series) {
+      (void)key;
+      if (!inst->sketch) continue;
+      std::string model;
+      std::string stage;
+      for (const auto& [k, v] : inst->labels) {
+        if (k == "model") model = v;
+        if (k == "stage") stage = v;
+      }
+      char p99[64];
+      std::snprintf(p99, sizeof p99, "%.10g", inst->sketch->quantile(0.99));
+      file << (first ? "\n    " : ",\n    ") << "{\"model\":\"" << model
+           << "\",\"stage\":\"" << stage << "\",\"p99\":" << p99 << '}';
+      first = false;
+    }
+  }
+  file << "\n  ]\n}\n";
 }
 
 void flush_outputs() {
@@ -46,6 +91,17 @@ void flush_outputs() {
     if (out.events_path) {
       telemetry::Tracer::global().save_jsonl(*out.events_path);
       std::printf("[telemetry] events: %s\n", out.events_path->c_str());
+    }
+    if (out.slo_report_path) {
+      telemetry::save_slo_report(telemetry::SloRegistry::global(),
+                                 telemetry::MetricsRegistry::global(),
+                                 *out.slo_report_path);
+      std::printf("[telemetry] slo report: %s\n",
+                  out.slo_report_path->c_str());
+    }
+    if (out.summary_path) {
+      write_summary(*out.summary_path);
+      std::printf("[telemetry] summary: %s\n", out.summary_path->c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[telemetry] export failed: %s\n", e.what());
@@ -70,11 +126,13 @@ std::size_t& jobs_slot() {
 
 void init(int& argc, char** argv) {
   auto& out = outputs();
+  out.started = std::chrono::steady_clock::now();
   std::map<std::string, std::string> flags;
   try {
-    flags = extract_flags(
-        argc, argv,
-        {"metrics-out", "trace-out", "events-out", "log-level", "jobs"});
+    flags = extract_flags(argc, argv,
+                          {"metrics-out", "trace-out", "events-out",
+                           "summary-out", "slo-report-out", "log-level",
+                           "jobs"});
   } catch (const InvalidArgument& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     std::exit(2);
@@ -87,6 +145,12 @@ void init(int& argc, char** argv) {
   }
   if (auto it = flags.find("events-out"); it != flags.end()) {
     out.events_path = it->second;
+  }
+  if (auto it = flags.find("summary-out"); it != flags.end()) {
+    out.summary_path = it->second;
+  }
+  if (auto it = flags.find("slo-report-out"); it != flags.end()) {
+    out.slo_report_path = it->second;
   }
   if (auto it = flags.find("log-level"); it != flags.end()) {
     if (auto level = parse_log_level(it->second)) {
@@ -110,7 +174,8 @@ void init(int& argc, char** argv) {
   if (out.trace_path || out.events_path) {
     telemetry::Tracer::global().set_enabled(true);
   }
-  if (out.metrics_path || out.trace_path || out.events_path) {
+  if (out.metrics_path || out.trace_path || out.events_path ||
+      out.summary_path || out.slo_report_path) {
     static bool registered = false;
     if (!registered) {
       registered = true;
@@ -119,6 +184,7 @@ void init(int& argc, char** argv) {
       // share one LIFO list).
       (void)telemetry::MetricsRegistry::global();
       (void)telemetry::Tracer::global();
+      (void)telemetry::SloRegistry::global();
       std::atexit(flush_outputs);
     }
   }
@@ -185,6 +251,40 @@ void print_power_summary(const std::string& name, const core::RunResult& res,
       name.c_str(), s.mean(), s.mean() - set_point_watts, s.stddev(), s.max(),
       audit.violation_samples, audit.worst_excess_watts,
       audit.longest_streak, audit.excess_joules);
+}
+
+void print_stage_quantiles() {
+  const auto& registry = telemetry::MetricsRegistry::global();
+  bool any = false;
+  for (const auto* family : registry.families()) {
+    const bool is_stage =
+        family->name == telemetry::metric::kStageLatencySeconds;
+    const bool is_total =
+        family->name == telemetry::metric::kRequestLatencySeconds;
+    if (!is_stage && !is_total) continue;
+    if (!any) {
+      any = true;
+      std::printf(
+          "\n  %-10s %-18s %10s %10s %10s %10s %10s\n", "model", "stage",
+          "count", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms");
+    }
+    for (const auto& [key, inst] : family->series) {
+      (void)key;
+      if (!inst->sketch || inst->sketch->count() == 0) continue;
+      std::string model;
+      std::string stage = "total";
+      for (const auto& [k, v] : inst->labels) {
+        if (k == "model") model = v;
+        if (is_stage && k == "stage") stage = v;
+      }
+      const auto& s = *inst->sketch;
+      std::printf("  %-10s %-18s %10llu %10.2f %10.2f %10.2f %10.2f\n",
+                  model.c_str(), stage.c_str(),
+                  static_cast<unsigned long long>(s.count()),
+                  s.quantile(0.5) * 1e3, s.quantile(0.95) * 1e3,
+                  s.quantile(0.99) * 1e3, s.quantile(0.999) * 1e3);
+    }
+  }
 }
 
 double steady_mean(const telemetry::TimeSeries& ts, std::size_t skip) {

@@ -33,6 +33,12 @@ namespace capgpu::bench {
 ///                          (default 1; 0 = hardware threads). Output is
 ///                          byte-identical for every N — see
 ///                          docs/performance.md.
+///   --summary-out <path>   machine-readable JSON run summary: scenario
+///                          count, jobs, wall time, per-stage/per-model
+///                          p99 request latencies
+///   --slo-report-out <path> SLO burn-rate report JSON (error-budget
+///                          accounting + alert episodes + stage latency
+///                          quantiles); input to tools/capgpu_report
 ///
 /// Both `--flag value` and `--flag=value` forms work. Consumed flags are
 /// removed from argv; unknown flags are left alone (google-benchmark
@@ -68,6 +74,11 @@ void print_strip(const std::string& label, const telemetry::TimeSeries& ts,
 /// skip the first 20 of 100 periods).
 void print_power_summary(const std::string& name, const core::RunResult& res,
                          double set_point_watts, std::size_t skip = 20);
+
+/// Prints the per-stage / per-model request-latency quantile table
+/// (p50/p95/p99/p99.9 from the registry's sketches). No-op when no stream
+/// recorded stage stats.
+void print_stage_quantiles();
 
 /// Convenience: mean over the steady tail of a series.
 [[nodiscard]] double steady_mean(const telemetry::TimeSeries& ts,

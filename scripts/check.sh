@@ -10,6 +10,10 @@ cmake --build build
 
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
+# Offline report-tool smoke (also part of the suite above; kept explicit so
+# a filtered ctest cache can't silently skip it).
+ctest --test-dir build -L report --output-on-failure
+
 status=0
 for b in build/bench/*; do
   [ -x "$b" ] && [ ! -d "$b" ] || continue

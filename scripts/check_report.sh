@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke test for the offline report tool: run a small bench with the
+# observability sinks enabled, feed the artifacts to capgpu_report, and
+# check the latency-attribution table comes out. Registered as the
+# `report` CTest label; scripts/check.sh runs it via ctest.
+#
+# Usage: check_report.sh <bench_binary> <capgpu_report_binary>
+set -euo pipefail
+
+BENCH="${1:?usage: check_report.sh <bench> <capgpu_report>}"
+REPORT="${2:?usage: check_report.sh <bench> <capgpu_report>}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BENCH" --events-out "$tmp/events.jsonl" \
+         --slo-report-out "$tmp/slo.json" > /dev/null
+
+[ -s "$tmp/events.jsonl" ] || { echo "FAIL: events.jsonl empty"; exit 1; }
+[ -s "$tmp/slo.json" ] || { echo "FAIL: slo.json empty"; exit 1; }
+
+"$REPORT" "$tmp/events.jsonl" "$tmp/slo.json" > "$tmp/report.txt"
+
+fail=0
+for needle in \
+    "Latency attribution by power cap" \
+    "dominant stage" \
+    "Burn-rate alerts vs protection events" \
+    "SLO error-budget summary"; do
+  if ! grep -q "$needle" "$tmp/report.txt"; then
+    echo "FAIL: report missing \"$needle\""
+    fail=1
+  fi
+done
+
+# The attribution table must name a real pipeline stage as dominant.
+if ! grep -E 'dominant stage at .*: (preprocess_queue|cpu_preprocess|gpu_batch_queue|gpu_exec)' \
+    "$tmp/report.txt" > /dev/null; then
+  echo "FAIL: no dominant-stage attribution line"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  sed 's/^/  | /' "$tmp/report.txt"
+  exit 1
+fi
+echo "report smoke: PASS"

@@ -42,7 +42,7 @@ ServerRig::ServerRig(RigConfig config)
   // source for log prefixes and trace timestamps. Must precede HAL and
   // stream construction so their tracks land under this rig's pid.
   telemetry::attach_time_source(this, [eng = &engine_] { return eng->now(); });
-  telemetry::Tracer::current().begin_run("server_rig");
+  trace_pid_ = telemetry::Tracer::current().begin_run("server_rig");
   Rng rng(config_.seed);
   hal_ = std::make_unique<hal::ServerHal>(engine_, server_, config_.meter,
                                           rng.split());
@@ -213,12 +213,25 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   std::vector<double> active_slo(streams_.size(), 0.0);
   std::vector<telemetry::Counter*> slo_checked_metrics;
   std::vector<telemetry::Counter*> slo_missed_metrics;
+  std::vector<telemetry::SloBurnMonitor> burn_monitors;
+  std::vector<std::vector<telemetry::SloAlertEpisode>> burn_episodes(
+      streams_.size());
+  std::vector<telemetry::Gauge*> burn_fast_gauges;
+  std::vector<telemetry::Gauge*> burn_slow_gauges;
+  std::vector<telemetry::Gauge*> burn_active_gauges;
+  std::vector<telemetry::Gauge*> budget_gauges;
+  std::vector<telemetry::Counter*> burn_alert_counters;
   auto& registry = telemetry::MetricsRegistry::current();
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const auto& name = streams_[i]->model().name;
     result.gpu_latency.emplace_back(name + "_latency", "s");
     result.gpu_slo.emplace_back(name + "_slo", "s");
     result.gpu_throughput.emplace_back(name + "_thr", "img/s");
+    result.gpu_stage_latency.emplace_back();
+    for (std::size_t s = 0; s < workload::kStageCount; ++s) {
+      result.gpu_stage_latency.back().emplace_back(
+          name + "_" + workload::kStageNames[s], "s");
+    }
     result.slo_misses.emplace_back();
     result.gpu_latency_dist.emplace_back();
     slo_checked_metrics.push_back(&registry.counter(
@@ -228,6 +241,25 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
         telemetry::metric::kSloMisses,
         "Batches whose execution latency exceeded the active SLO",
         {{"model", name}}));
+    burn_monitors.emplace_back(options.slo_burn);
+    burn_fast_gauges.push_back(&registry.gauge(
+        telemetry::metric::kSloBurnRate,
+        "Error-budget burn rate over the alerting window",
+        {{"model", name}, {"window", "fast"}}));
+    burn_slow_gauges.push_back(&registry.gauge(
+        telemetry::metric::kSloBurnRate,
+        "Error-budget burn rate over the alerting window",
+        {{"model", name}, {"window", "slow"}}));
+    burn_active_gauges.push_back(&registry.gauge(
+        telemetry::metric::kSloBurnAlertActive,
+        "1 while a burn-rate alert is firing", {{"model", name}}));
+    budget_gauges.push_back(&registry.gauge(
+        telemetry::metric::kSloBudgetConsumed,
+        "Fraction of the lifetime SLO error budget consumed",
+        {{"model", name}}));
+    burn_alert_counters.push_back(&registry.counter(
+        telemetry::metric::kSloBurnAlerts,
+        "Burn-rate alerts fired", {{"model", name}}));
   }
 
   // Schedule: initial SLOs, SLO changes, set-point changes.
@@ -248,6 +280,7 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   }
 
   const double period_s = options.loop.period.value;
+  auto& tracer = telemetry::Tracer::current();
   loop.on_period = [&](std::size_t index) {
     const double now = engine_.now();
     for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -262,6 +295,18 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
       result.gpu_slo[i].add(now, active_slo[i]);
       result.gpu_throughput[i].add(
           now, s.images_throughput().rate(now, period_s));
+      const auto stage_means = s.take_stage_period_means();
+      for (std::size_t st = 0; st < workload::kStageCount; ++st) {
+        result.gpu_stage_latency[i][st].add(now, stage_means[st]);
+      }
+      if (tracer.enabled()) {
+        tracer.counter(
+            s.trace_tid(), "stage_latency_s/" + s.model().name, "workload",
+            {{workload::kStageNames[0], stage_means[0]},
+             {workload::kStageNames[1], stage_means[1]},
+             {workload::kStageNames[2], stage_means[2]},
+             {workload::kStageNames[3], stage_means[3]}});
+      }
       if (active_slo[i] > 0.0) {
         const std::size_t cnt = lat.count(now, period_s);
         const auto misses = static_cast<std::size_t>(
@@ -272,6 +317,30 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
         }
         slo_checked_metrics[i]->inc(static_cast<double>(cnt));
         slo_missed_metrics[i]->inc(static_cast<double>(misses));
+
+        auto& monitor = burn_monitors[i];
+        const auto transition = monitor.record(now, cnt, misses);
+        burn_fast_gauges[i]->set(monitor.fast_burn());
+        burn_slow_gauges[i]->set(monitor.slow_burn());
+        burn_active_gauges[i]->set(monitor.alerting() ? 1.0 : 0.0);
+        budget_gauges[i]->set(monitor.budget_consumed());
+        if (transition == telemetry::SloBurnMonitor::Transition::kFired) {
+          burn_alert_counters[i]->inc();
+          burn_episodes[i].push_back({now, 0.0, false});
+          tracer.instant(s.trace_tid(), "slo_burn_alert", "slo",
+                         {{"model", s.model().name},
+                          {"fast_burn", monitor.fast_burn()},
+                          {"slow_burn", monitor.slow_burn()}});
+        } else if (transition ==
+                   telemetry::SloBurnMonitor::Transition::kCleared) {
+          auto& episode = burn_episodes[i].back();
+          episode.cleared_at_s = now;
+          episode.cleared = true;
+          tracer.instant(s.trace_tid(), "slo_burn_clear", "slo",
+                         {{"model", s.model().name},
+                          {"fast_burn", monitor.fast_burn()},
+                          {"slow_burn", monitor.slow_burn()}});
+        }
       }
       lat.trim(now);
       s.images_throughput().trim(now);
@@ -289,6 +358,9 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
       engine_.now() + static_cast<double>(options.periods) * period_s + 1e-3;
   engine_.run_until(t_end);
   loop.stop();
+  // Push any batches deferred since the last control tick into the
+  // sketches before the registry is read (exporters, summary, SLO report).
+  for (auto& s : streams_) s->flush_stage_stats();
 
   CAPGPU_ASSERT(loop.periods_elapsed() == options.periods);
   result.power = loop.power_trace();
@@ -305,6 +377,27 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   if (const auto* fs = loop.failsafe()) {
     result.failsafe_engagements = fs->engagements();
     result.failsafe_releases = fs->releases();
+  }
+
+  // Final burn accounting: one SloRegistry entry per stream that had SLO
+  // traffic (--slo-report-out renders these).
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& monitor = burn_monitors[i];
+    if (monitor.checked_total() == 0) continue;
+    telemetry::SloEntry entry;
+    entry.pid = trace_pid_;
+    entry.policy = policy.name();
+    entry.model = streams_[i]->model().name;
+    entry.objective = monitor.config().objective;
+    entry.slo_seconds = active_slo[i];
+    entry.checked = monitor.checked_total();
+    entry.missed = monitor.missed_total();
+    entry.budget_consumed = monitor.budget_consumed();
+    entry.final_fast_burn = monitor.fast_burn();
+    entry.final_slow_burn = monitor.slow_burn();
+    entry.alerts = monitor.alerts_fired();
+    entry.episodes = std::move(burn_episodes[i]);
+    telemetry::SloRegistry::current().add(std::move(entry));
   }
   return result;
 }

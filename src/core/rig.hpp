@@ -23,6 +23,7 @@
 #include "hal/server_hal.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/stats.hpp"
 #include "telemetry/timeseries.hpp"
 #include "workload/arrivals.hpp"
@@ -77,6 +78,11 @@ struct RunOptions {
   /// steady-state percentile trackers in RunResult (the paper analyses the
   /// last 80 of 100 periods).
   std::size_t percentile_skip{20};
+  /// Error-budget burn-rate alerting on the SLO miss accounting: one
+  /// monitor per stream, fed each control period, surfaced as metrics,
+  /// trace instants and telemetry::SloRegistry entries (--slo-report-out).
+  /// Streams without an active SLO never record and never alert.
+  telemetry::SloBurnConfig slo_burn{};
 };
 
 /// Per-period traces of one run.
@@ -87,6 +93,9 @@ struct RunResult {
   std::vector<telemetry::TimeSeries> gpu_latency;       ///< mean batch e_i
   std::vector<telemetry::TimeSeries> gpu_slo;           ///< active SLO (0 = none)
   std::vector<telemetry::TimeSeries> gpu_throughput;    ///< img/s
+  /// Per-stream, per-pipeline-stage mean request latency each period
+  /// (indexed [stream][stage], stage order = workload::kStageNames).
+  std::vector<std::vector<telemetry::TimeSeries>> gpu_stage_latency;
   telemetry::TimeSeries cpu_throughput{"cpu_thr", "subsets/s"};
   telemetry::TimeSeries cpu_latency{"cpu_lat", "s"};
   std::vector<telemetry::RatioCounter> slo_misses;      ///< per GPU, per batch
@@ -130,6 +139,9 @@ class ServerRig {
   [[nodiscard]] workload::InferenceStream& stream(std::size_t i);
   [[nodiscard]] workload::CpuTaskSim& cpu_task() { return *cpu_task_; }
   [[nodiscard]] const RigConfig& config() const { return config_; }
+  /// This rig's trace "process" id (joins SloRegistry entries and
+  /// capgpu_report output back to the event stream).
+  [[nodiscard]] int trace_pid() const { return trace_pid_; }
 
   /// Device frequency ranges in controller layout (0 = CPU, 1.. = GPUs).
   [[nodiscard]] std::vector<control::DeviceRange> device_ranges() const;
@@ -173,6 +185,7 @@ class ServerRig {
   std::vector<std::unique_ptr<workload::InferenceStream>> streams_;
   std::vector<std::unique_ptr<workload::ArrivalProcess>> arrivals_;
   std::unique_ptr<workload::CpuTaskSim> cpu_task_;
+  int trace_pid_{0};
   bool ran_{false};
 };
 

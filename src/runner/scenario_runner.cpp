@@ -20,6 +20,7 @@ void ScenarioRunner::run(std::size_t count,
   telemetry::MetricsRegistry& parent_metrics =
       telemetry::MetricsRegistry::current();
   telemetry::Tracer& parent_tracer = telemetry::Tracer::current();
+  telemetry::SloRegistry& parent_slo = telemetry::SloRegistry::current();
 
   struct ScenarioState {
     std::unique_ptr<telemetry::ScenarioTelemetry> telemetry;
@@ -62,9 +63,16 @@ void ScenarioRunner::run(std::size_t count,
     ScenarioState& state = states[i];
     if (state.error) std::rethrow_exception(state.error);
     if (state.ran) {
-      state.telemetry->merge_into(parent_metrics, parent_tracer);
+      state.telemetry->merge_into(parent_metrics, parent_tracer, parent_slo);
+      ++scenarios_merged_;
     }
   }
+}
+
+std::atomic<std::uint64_t> ScenarioRunner::scenarios_merged_{0};
+
+std::uint64_t ScenarioRunner::scenarios_executed() {
+  return scenarios_merged_.load(std::memory_order_relaxed);
 }
 
 }  // namespace capgpu::runner

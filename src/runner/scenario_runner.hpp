@@ -24,7 +24,9 @@
 //    the same error and the same export no matter the worker count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -57,8 +59,13 @@ class ScenarioRunner {
 
   [[nodiscard]] std::size_t jobs() const { return jobs_; }
 
+  /// Scenarios executed and merged process-wide across all runners (bench
+  /// run summaries, --summary-out).
+  [[nodiscard]] static std::uint64_t scenarios_executed();
+
  private:
   std::size_t jobs_;
+  static std::atomic<std::uint64_t> scenarios_merged_;
 };
 
 }  // namespace capgpu::runner

@@ -30,9 +30,23 @@ inline constexpr const char* kImagesCompleted =
     "capgpu_gpu_images_completed_total";
 inline constexpr const char* kBatchesCompleted = "capgpu_gpu_batches_total";
 
+// --- request-level latency attribution (workload::InferenceStream) ---
+inline constexpr const char* kStageLatencySeconds =
+    "capgpu_request_stage_latency_seconds";
+inline constexpr const char* kRequestLatencySeconds =
+    "capgpu_request_latency_seconds";
+
 // --- SLO accounting (core::ServerRig) ---
 inline constexpr const char* kSloChecks = "capgpu_slo_checked_batches_total";
 inline constexpr const char* kSloMisses = "capgpu_slo_missed_batches_total";
+
+// --- SLO error budget / burn-rate alerting (telemetry::SloBurnMonitor) ---
+inline constexpr const char* kSloBurnRate = "capgpu_slo_burn_rate";
+inline constexpr const char* kSloBurnAlertActive =
+    "capgpu_slo_burn_alert_active";
+inline constexpr const char* kSloBurnAlerts = "capgpu_slo_burn_alerts_total";
+inline constexpr const char* kSloBudgetConsumed =
+    "capgpu_slo_error_budget_consumed_ratio";
 
 // --- protection governors (core::emergency / core::thermal_governor) ---
 inline constexpr const char* kEmergencyEngagements =

@@ -4,8 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/sketch.hpp"
 
 namespace capgpu::telemetry {
+
+// Out of line so unique_ptr<QuantileSketch> sees the complete type.
+Instrument::Instrument() = default;
+Instrument::~Instrument() = default;
 
 namespace {
 
@@ -148,6 +153,15 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
             mine.histogram->merge_from(*series->histogram);
           }
           break;
+        case MetricType::kSketch:
+          if (series->sketch) {
+            if (!mine.sketch) {
+              mine.sketch =
+                  std::make_unique<QuantileSketch>(series->sketch->spec());
+            }
+            mine.sketch->merge_from(*series->sketch);
+          }
+          break;
       }
     }
   }
@@ -204,6 +218,16 @@ LogLinearHistogram& MetricsRegistry::histogram(const std::string& name,
     inst.histogram = std::make_unique<LogLinearHistogram>(spec);
   }
   return *inst.histogram;
+}
+
+QuantileSketch& MetricsRegistry::sketch(const std::string& name,
+                                        const std::string& help,
+                                        const Labels& labels) {
+  Instrument& inst = find_or_create(name, help, MetricType::kSketch, labels);
+  if (!inst.sketch) {
+    inst.sketch = std::make_unique<QuantileSketch>();
+  }
+  return *inst.sketch;
 }
 
 std::vector<const MetricsRegistry::Family*> MetricsRegistry::families() const {

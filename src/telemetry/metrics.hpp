@@ -33,7 +33,10 @@ namespace capgpu::telemetry {
 /// the registry canonicalises by key.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-enum class MetricType { kCounter, kGauge, kHistogram };
+enum class MetricType { kCounter, kGauge, kHistogram, kSketch };
+
+class QuantileSketch;
+struct QuantileSketchSpec;
 
 /// Monotonically increasing count (resets only with the registry).
 class Counter {
@@ -111,6 +114,10 @@ struct Instrument {
   Counter counter;
   Gauge gauge;
   std::unique_ptr<LogLinearHistogram> histogram;
+  std::unique_ptr<QuantileSketch> sketch;
+
+  Instrument();
+  ~Instrument();
 };
 
 /// The registry. Families are keyed by metric name; each family owns its
@@ -131,6 +138,10 @@ class MetricsRegistry {
                                 const std::string& help,
                                 HistogramSpec spec = {},
                                 const Labels& labels = {});
+  /// Streaming quantile sketch, exported as a Prometheus summary
+  /// (p50/p95/p99/p99.9 + _sum + _count). Spec must match on re-lookup.
+  QuantileSketch& sketch(const std::string& name, const std::string& help,
+                         const Labels& labels = {});
 
   /// One metric family (all series sharing a name).
   struct Family {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "telemetry/sketch.hpp"
 
 namespace capgpu::telemetry {
 
@@ -83,6 +84,7 @@ const char* type_name(MetricType type) {
     case MetricType::kCounter: return "counter";
     case MetricType::kGauge: return "gauge";
     case MetricType::kHistogram: return "histogram";
+    case MetricType::kSketch: return "summary";
   }
   return "untyped";
 }
@@ -124,6 +126,19 @@ void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
               << ' ' << format_value(h.sum()) << '\n';
           out << family->name << "_count" << label_block(inst->labels, "", "")
               << ' ' << h.count() << '\n';
+          break;
+        }
+        case MetricType::kSketch: {
+          const QuantileSketch& s = *inst->sketch;
+          for (double q : kSummaryQuantiles) {
+            out << family->name
+                << label_block(inst->labels, "quantile", format_value(q))
+                << ' ' << format_value(s.quantile(q)) << '\n';
+          }
+          out << family->name << "_sum" << label_block(inst->labels, "", "")
+              << ' ' << format_value(s.sum()) << '\n';
+          out << family->name << "_count" << label_block(inst->labels, "", "")
+              << ' ' << s.count() << '\n';
           break;
         }
       }

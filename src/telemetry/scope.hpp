@@ -12,6 +12,7 @@
 #pragma once
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
 
 namespace capgpu::telemetry {
@@ -26,12 +27,19 @@ class ScenarioTelemetry {
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] SloRegistry& slo() { return slo_; }
 
   /// Folds this scenario's telemetry into the parent instances. Call from
   /// one thread at a time, in scenario order.
-  void merge_into(MetricsRegistry& metrics, Tracer& tracer) {
+  void merge_into(MetricsRegistry& metrics, Tracer& tracer,
+                  SloRegistry& slo) {
+    // Capture the parent's pid count before the tracer merge shifts this
+    // scenario's events past it: SLO entries need the same offset to keep
+    // pointing at their rig's events.
+    const int pid_offset = tracer.pid();
     metrics.merge_from(metrics_);
     tracer.merge_from(std::move(tracer_));
+    slo.merge_from(slo_, pid_offset);
   }
 
   /// RAII binding making this scenario's instances the thread's current
@@ -39,16 +47,18 @@ class ScenarioTelemetry {
   class Binding {
    public:
     explicit Binding(ScenarioTelemetry& scope)
-        : metrics_(scope.metrics_), tracer_(scope.tracer_) {}
+        : metrics_(scope.metrics_), tracer_(scope.tracer_), slo_(scope.slo_) {}
 
    private:
     MetricsRegistry::ScopedCurrent metrics_;
     Tracer::ScopedCurrent tracer_;
+    SloRegistry::ScopedCurrent slo_;
   };
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  SloRegistry slo_;
 };
 
 }  // namespace capgpu::telemetry

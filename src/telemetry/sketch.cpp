@@ -1,0 +1,171 @@
+#include "telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace capgpu::telemetry {
+
+QuantileSketch::QuantileSketch(QuantileSketchSpec spec) : spec_(spec) {
+  CAPGPU_REQUIRE(spec.relative_error > 0.0 && spec.relative_error < 1.0,
+                 "sketch relative error must be in (0, 1)");
+  CAPGPU_REQUIRE(spec.min_trackable > 0.0,
+                 "sketch min_trackable must be positive");
+  gamma_ = (1.0 + spec.relative_error) / (1.0 - spec.relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  for (std::size_t i = 0; i < kMemoSlots; ++i) {
+    memo_bits_[i] = ~std::uint64_t{0};
+  }
+}
+
+int QuantileSketch::bucket_key(double x) const noexcept {
+  // Bucket i covers (gamma^(i-1), gamma^i]: ceil of the log-gamma index.
+  return static_cast<int>(std::ceil(std::log(x) * inv_log_gamma_ - 1e-9));
+}
+
+double QuantileSketch::bucket_value(int key) const noexcept {
+  // Midpoint estimate 2*gamma^i/(gamma+1): relative error <= alpha for any
+  // value inside the bucket.
+  return 2.0 * std::pow(gamma_, static_cast<double>(key)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::grow_to(int key) noexcept {
+  if (buckets_.empty()) {
+    buckets_.assign(1, 0);
+    offset_ = key;
+    return;
+  }
+  if (key < offset_) {
+    buckets_.insert(buckets_.begin(), static_cast<std::size_t>(offset_ - key),
+                    0);
+    offset_ = key;
+  } else if (key >= offset_ + static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<std::size_t>(key - offset_) + 1, 0);
+  }
+}
+
+// Kept out of line (cold): inlining the grow/log path into observe_span's
+// loop would spill the hot locals around every call.
+__attribute__((noinline)) void QuantileSketch::insert_slow(
+    std::uint64_t qbits, std::uint64_t n, std::size_t slot) noexcept {
+  // Keyed on the quantized value so every double sharing `qbits` lands in
+  // one bucket: the 2^-14 quantization error is far inside any sensible
+  // relative_error and keeps the sketch deterministic.
+  const int key = bucket_key(std::bit_cast<double>(qbits));
+  grow_to(key);
+  buckets_[static_cast<std::size_t>(key - offset_)] += n;
+  memo_bits_[slot] = qbits;
+  memo_key_[slot] = key;
+}
+
+double QuantileSketch::observe_span_record(const double* v, std::size_t n,
+                                           SpanRecord& rec) noexcept {
+  rec.quant.resize(n);
+  rec.updates.clear();
+  rec.n = n;
+  rec.zeros = 0;
+  rec.quant_sum = 0.0;
+  rec.qmin = std::numeric_limits<double>::infinity();
+  rec.qmax = -std::numeric_limits<double>::infinity();
+  if (n == 0) return 0.0;
+  // The record (and therefore everything the sketch accumulates on the
+  // span path) is built from quantized values, so any span with the same
+  // quantized fingerprint produces the byte-identical contribution whether
+  // observed here or replayed via apply_record.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = v[i] > 0.0 ? v[i] : 0.0;
+    const std::uint64_t q = std::bit_cast<std::uint64_t>(x) & kQuantMask;
+    rec.quant[i] = q;
+    sum += std::bit_cast<double>(q);
+  }
+  rec.quant_sum = sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = rec.quant[i];
+    const double qx = std::bit_cast<double>(q);
+    if (qx < spec_.min_trackable) {
+      ++rec.zeros;
+      continue;
+    }
+    const std::size_t slot =
+        static_cast<std::size_t>(q >> kQuantBits) & (kMemoSlots - 1);
+    int key;
+    if (memo_bits_[slot] == q) {
+      key = memo_key_[slot];
+    } else {
+      // Grow eagerly: once a key sits in the value memo, observe_many's
+      // fast path indexes buckets_ without a bounds check.
+      key = bucket_key(qx);
+      grow_to(key);
+      memo_bits_[slot] = q;
+      memo_key_[slot] = key;
+    }
+    // min/max from the quantized value: under-reads the exact one by at
+    // most 2^-14 relative, far inside the sketch's error bound.
+    if (qx < rec.qmin) rec.qmin = qx;
+    if (qx > rec.qmax) rec.qmax = qx;
+    if (!rec.updates.empty() && rec.updates.back().key == key) {
+      ++rec.updates.back().count;
+    } else {
+      rec.updates.push_back({key, 1});
+    }
+  }
+  apply_record(rec, 1);
+  return sum;
+}
+
+void QuantileSketch::apply_record(const SpanRecord& rec,
+                                  std::uint64_t k) noexcept {
+  if (k == 0 || rec.n == 0) return;
+  count_ += k * rec.n;
+  sum_ += static_cast<double>(k) * rec.quant_sum;
+  zero_count_ += k * rec.zeros;
+  for (const SpanUpdate& u : rec.updates) {
+    grow_to(u.key);  // no-op unless the record came from another sketch
+    buckets_[static_cast<std::size_t>(u.key - offset_)] += k * u.count;
+  }
+  if (rec.qmin < min_) min_ = rec.qmin;
+  if (rec.qmax > max_) max_ = rec.qmax;
+  if (rec.zeros != 0) {
+    if (min_ > 0.0) min_ = 0.0;
+    if (max_ < 0.0) max_ = 0.0;  // every observation so far was zero
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  CAPGPU_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Rank of the q-quantile in the sorted sample (0-based, nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative > rank) {
+      return bucket_value(offset_ + static_cast<int>(i));
+    }
+  }
+  return max();  // float fall-through safety: the top bucket
+}
+
+void QuantileSketch::merge_from(const QuantileSketch& other) {
+  CAPGPU_REQUIRE(spec_.relative_error == other.spec_.relative_error &&
+                     spec_.min_trackable == other.spec_.min_trackable,
+                 "cannot merge sketches with different specs");
+  if (other.count_ == 0) return;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i] == 0) continue;
+    const int key = other.offset_ + static_cast<int>(i);
+    grow_to(key);
+    buckets_[static_cast<std::size_t>(key - offset_)] += other.buckets_[i];
+  }
+}
+
+}  // namespace capgpu::telemetry

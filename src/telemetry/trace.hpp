@@ -94,6 +94,11 @@ class Tracer {
   /// track numbering and emits process_name metadata. Returns the pid.
   int begin_run(const std::string& name);
 
+  /// Pid of the most recent begin_run (0 before the first). merge_from
+  /// shifts incoming pids past this value, so it doubles as the offset
+  /// sibling registries (telemetry::SloRegistry) need to stay aligned.
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+
   /// Registers a named track (thread) under the current pid.
   int register_track(const std::string& name);
 

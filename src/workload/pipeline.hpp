@@ -10,7 +10,9 @@
 // reproducing the coordination effects that motivate CapGPU (Table 1).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -19,9 +21,11 @@
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/sketch.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/monitors.hpp"
 #include "workload/queue.hpp"
+#include "workload/request_timeline.hpp"
 
 namespace capgpu::workload {
 
@@ -35,6 +39,11 @@ struct StreamParams {
   /// pipeline of the paper's experiments. Open loop: workers only process
   /// requests submitted via submit_requests() (wire an ArrivalProcess).
   bool open_loop{false};
+  /// Request-level latency attribution: per-stage quantile sketches,
+  /// per-batch stage spans on the trace timeline and the per-period stage
+  /// means behind take_stage_period_means(). Off = the pre-attribution
+  /// fast path (the baseline of the selfperf overhead guard).
+  bool stage_stats{true};
 };
 
 /// One model pinned to one GPU, fed by dedicated CPU preprocessing workers.
@@ -64,7 +73,9 @@ class InferenceStream {
   /// Idle workers wake immediately.
   void submit_requests(std::size_t n_images);
   /// Requests submitted but not yet started by a worker.
-  [[nodiscard]] std::uint64_t pending_requests() const { return pending_requests_; }
+  [[nodiscard]] std::uint64_t pending_requests() const {
+    return pending_arrivals_.size();
+  }
 
   /// Changes the GPU batch size at runtime (coordinated batching + DVFS,
   /// cf. Nabavinejad et al.). Takes effect from the next batch assembly;
@@ -109,10 +120,37 @@ class InferenceStream {
   [[nodiscard]] std::uint64_t batches_completed() const { return batches_completed_; }
   [[nodiscard]] const ImageQueue& queue() const { return queue_; }
 
+  // --- Request-level latency attribution (StreamParams::stage_stats) ---
+  /// Per-stage request-latency sketch ({model, stage} series), nullptr when
+  /// attribution is off. Flushes deferred batches first.
+  [[nodiscard]] const telemetry::QuantileSketch* stage_sketch(Stage stage) {
+    flush_stage_stats();
+    return stage_sketch_[static_cast<std::size_t>(stage)];
+  }
+  /// End-to-end (arrival -> completed) request-latency sketch. Flushes
+  /// deferred batches first.
+  [[nodiscard]] const telemetry::QuantileSketch* request_sketch() {
+    flush_stage_stats();
+    return request_sketch_;
+  }
+  /// Pushes deferred batch attribution into the sketches. The hot path
+  /// fingerprints each batch against the previous distinct one and only
+  /// counts replays; anything reading the sketches through the metrics
+  /// registry (exporters, summary/SLO writers) must be preceded by a flush.
+  /// core::ServerRig flushes every control period and after the run; call
+  /// this directly when driving a bare stream.
+  void flush_stage_stats();
+  /// Mean stage latency over the requests completed since the last call
+  /// (0 for stages with no samples); resets the accumulators. Feeds the
+  /// per-period stage series and the stage_latency_s trace counters.
+  [[nodiscard]] std::array<double, kStageCount> take_stage_period_means();
+  /// Track id of this stream on the trace timeline (counter emission).
+  [[nodiscard]] int trace_tid() const { return trace_tid_; }
+
  private:
   struct Worker {
     bool computing{false};
-    sim::SimTime image_started{0.0};
+    RequestTimeline timeline;
   };
 
   void worker_start_image(std::size_t w);
@@ -120,7 +158,9 @@ class InferenceStream {
   void worker_try_push(std::size_t w);
   void consumer_try_start();
   void consumer_finish_batch(double exec_latency,
-                             const std::vector<sim::SimTime>& stamps);
+                             std::vector<RequestTimeline>& items);
+  void record_stage_stats(double exec_latency,
+                          const std::vector<RequestTimeline>& items);
   [[nodiscard]] double preprocess_duration();
   [[nodiscard]] double batch_duration();
   void set_worker_computing(std::size_t w, bool computing);
@@ -135,7 +175,9 @@ class InferenceStream {
   bool gpu_busy_{false};
   bool started_{false};
   std::size_t batch_size_{0};  // current (dynamic) batch size
-  std::uint64_t pending_requests_{0};
+  /// Open-loop arrival stamps of requests not yet picked up by a worker
+  /// (FIFO, so pending_requests() == size()).
+  std::deque<sim::SimTime> pending_arrivals_;
   std::vector<std::size_t> idle_workers_;
 
   ThroughputMonitor images_;
@@ -154,6 +196,25 @@ class InferenceStream {
   telemetry::LogLinearHistogram* latency_metric_{nullptr};
   int trace_tid_{0};
   std::uint64_t batch_span_{0};
+
+  // Request-level attribution state (null/zero when stage_stats is off).
+  std::array<telemetry::QuantileSketch*, kStageCount> stage_sketch_{};
+  telemetry::QuantileSketch* request_sketch_{nullptr};
+  std::array<int, kStageCount> stage_tid_{};
+  std::array<double, kStageCount> stage_sum_{};
+  std::array<std::uint64_t, kStageCount> stage_count_{};
+  /// Reused staging buffer for the span lanes (fingerprint-miss path).
+  std::vector<double> stage_scratch_;
+  /// Batch fingerprint: span records of the last distinct batch, one per
+  /// sketch series. A batch whose quantized stage durations match is only
+  /// counted (pending_batches_) and flushed as record replays later.
+  telemetry::SpanRecord rec_cpu_;
+  telemetry::SpanRecord rec_bq_;
+  telemetry::SpanRecord rec_total_;
+  telemetry::SpanRecord rec_pq_;
+  telemetry::SpanRecord rec_exec_;
+  std::uint64_t pending_batches_{0};
+  bool rec_valid_{false};
 };
 
 }  // namespace capgpu::workload

@@ -10,9 +10,10 @@ ImageQueue::ImageQueue(std::size_t capacity) : capacity_(capacity) {
   CAPGPU_REQUIRE(capacity > 0, "queue capacity must be positive");
 }
 
-bool ImageQueue::try_push(sim::SimTime now) {
+bool ImageQueue::try_push(RequestTimeline item, sim::SimTime now) {
   if (full()) return false;
-  items_.push_back(now);
+  item.enqueued = now;
+  items_.push_back(item);
   ++total_enqueued_;
   notify_consumer();
   return true;
@@ -40,13 +41,13 @@ void ImageQueue::update_consumer_threshold(std::size_t n) {
   notify_consumer();
 }
 
-std::vector<sim::SimTime> ImageQueue::pop(std::size_t n) {
+std::vector<RequestTimeline> ImageQueue::pop(std::size_t n) {
   CAPGPU_REQUIRE(n <= items_.size(), "pop larger than queue contents");
-  std::vector<sim::SimTime> stamps(items_.begin(),
-                                   items_.begin() + static_cast<long>(n));
+  std::vector<RequestTimeline> items(items_.begin(),
+                                     items_.begin() + static_cast<long>(n));
   items_.erase(items_.begin(), items_.begin() + static_cast<long>(n));
   notify_producers();
-  return stamps;
+  return items;
 }
 
 void ImageQueue::notify_consumer() {

@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "workload/request_timeline.hpp"
 
 namespace capgpu::workload {
 
-/// FIFO of enqueue timestamps with a capacity and block/notify hooks.
-/// Not thread-safe: lives entirely inside the single-threaded DES.
+/// FIFO of preprocessed requests (each carrying its RequestTimeline) with a
+/// capacity and block/notify hooks. Not thread-safe: lives entirely inside
+/// the single-threaded DES.
 class ImageQueue {
  public:
   explicit ImageQueue(std::size_t capacity);
@@ -27,9 +29,10 @@ class ImageQueue {
   [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
   [[nodiscard]] bool empty() const { return items_.empty(); }
 
-  /// Attempts to enqueue an image stamped `now`. Returns false when full —
-  /// the producer must then register via `wait_for_space`.
-  bool try_push(sim::SimTime now);
+  /// Attempts to enqueue a request; stamps item.enqueued with `now`.
+  /// Returns false when full — the producer must then register via
+  /// `wait_for_space`.
+  bool try_push(RequestTimeline item, sim::SimTime now);
 
   /// Registers a callback fired (once) when space becomes available.
   void wait_for_space(std::function<void()> cb);
@@ -43,9 +46,9 @@ class ImageQueue {
   void update_consumer_threshold(std::size_t n);
   [[nodiscard]] bool consumer_waiting() const { return static_cast<bool>(consumer_cb_); }
 
-  /// Pops the `n` oldest items and returns their enqueue timestamps.
+  /// Pops the `n` oldest requests with their timelines.
   /// Requires size() >= n. Wakes blocked producers.
-  [[nodiscard]] std::vector<sim::SimTime> pop(std::size_t n);
+  [[nodiscard]] std::vector<RequestTimeline> pop(std::size_t n);
 
   /// Total images ever enqueued.
   [[nodiscard]] std::uint64_t total_enqueued() const { return total_enqueued_; }
@@ -55,7 +58,7 @@ class ImageQueue {
   void notify_producers();
 
   std::size_t capacity_;
-  std::deque<sim::SimTime> items_;
+  std::deque<RequestTimeline> items_;
   std::vector<std::function<void()>> blocked_producers_;
   std::size_t consumer_threshold_{0};
   std::function<void()> consumer_cb_;

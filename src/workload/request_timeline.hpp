@@ -1,0 +1,77 @@
+// Per-request lifecycle stamps through the inference pipeline.
+//
+// Every image request carries one RequestTimeline from arrival to batch
+// completion:
+//
+//   arrival -> [preprocess_queue] -> preprocess_start
+//           -> [cpu_preprocess]   -> preprocess_done
+//           -> [gpu_batch_queue]  -> batch_start
+//           -> [gpu_exec]         -> completed
+//
+// The stamps are virtual times from the DES. Stage durations feed the
+// per-stage quantile sketches (telemetry::QuantileSketch) and the per-batch
+// stage spans on the trace timeline, which is what lets capgpu_report name
+// the dominant stage at each power cap (the paper's Fig. 8/9 trade-off,
+// resolved per pipeline phase instead of per batch).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/engine.hpp"
+
+namespace capgpu::workload {
+
+/// Pipeline stages in timeline order.
+enum class Stage : std::size_t {
+  /// Arrival until a preprocessing worker picks the request up. Zero in
+  /// closed-loop (saturated) mode, where workers synthesise arrivals.
+  kPreprocessQueue = 0,
+  /// CPU preprocessing compute (excludes blocking on a full queue).
+  kCpuPreprocess = 1,
+  /// Preprocessing done until the GPU consumer starts the batch — includes
+  /// both producer blocking on a full queue and in-queue wait.
+  kGpuBatchQueue = 2,
+  /// GPU batch execution (the quantity under SLO).
+  kGpuExec = 3,
+};
+
+inline constexpr std::size_t kStageCount = 4;
+
+/// Stage label values used in metrics ({stage=...}), trace span names and
+/// the capgpu_report attribution table. Indexed by Stage.
+inline constexpr const char* kStageNames[kStageCount] = {
+    "preprocess_queue",
+    "cpu_preprocess",
+    "gpu_batch_queue",
+    "gpu_exec",
+};
+
+/// The stamps. Filled in strictly increasing order as the request moves
+/// through the pipeline; `enqueued` is an extra stamp inside the
+/// gpu_batch_queue stage marking the actual queue insertion (the historical
+/// queue-delay monitor measures enqueue -> dequeue).
+struct RequestTimeline {
+  sim::SimTime arrival{0.0};
+  sim::SimTime preprocess_start{0.0};
+  sim::SimTime preprocess_done{0.0};
+  sim::SimTime enqueued{0.0};
+  sim::SimTime batch_start{0.0};
+  sim::SimTime completed{0.0};
+
+  [[nodiscard]] double stage_seconds(Stage stage) const noexcept {
+    switch (stage) {
+      case Stage::kPreprocessQueue: return preprocess_start - arrival;
+      case Stage::kCpuPreprocess: return preprocess_done - preprocess_start;
+      case Stage::kGpuBatchQueue: return batch_start - preprocess_done;
+      case Stage::kGpuExec: return completed - batch_start;
+    }
+    return 0.0;
+  }
+
+  /// End-to-end request latency (arrival -> completed).
+  [[nodiscard]] double total_seconds() const noexcept {
+    return completed - arrival;
+  }
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,82 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace capgpu::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-12").as_number(), -12.0);
+  EXPECT_DOUBLE_EQ(parse("6.02e23").as_number(), 6.02e23);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.is_object());
+  const Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_EQ(a[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+  EXPECT_TRUE(v.contains("d"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[]").as_array().empty());
+}
+
+TEST(Json, ConvenienceAccessorsWithFallback) {
+  const Value v = parse(R"({"n": 4, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 2.5), 2.5);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("missing", "d"), "d");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = parse(R"({"a": 1})");
+  EXPECT_THROW((void)v.as_array(), InvalidArgument);
+  EXPECT_THROW((void)v.at("a").as_string(), InvalidArgument);
+  EXPECT_THROW((void)v.at("missing"), InvalidArgument);
+  EXPECT_THROW((void)parse("3").at("k"), InvalidArgument);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW((void)parse(""), InvalidArgument);
+  EXPECT_THROW((void)parse("{"), InvalidArgument);
+  EXPECT_THROW((void)parse("[1,]"), InvalidArgument);
+  EXPECT_THROW((void)parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW((void)parse("tru"), InvalidArgument);
+  EXPECT_THROW((void)parse("1 2"), InvalidArgument);  // trailing tokens
+  EXPECT_THROW((void)parse(R"("\u00zz")"), InvalidArgument);
+}
+
+TEST(Json, ParsePrefixWalksJsonlStream) {
+  // The events.jsonl shape capgpu_report consumes: one document per line.
+  const std::string stream =
+      "{\"ph\":\"i\",\"ts\":1}\n{\"ph\":\"C\",\"ts\":2}\n";
+  std::size_t pos = 0;
+  const Value first = parse_prefix(stream, pos);
+  EXPECT_EQ(first.at("ph").as_string(), "i");
+  const Value second = parse_prefix(stream, pos);
+  EXPECT_DOUBLE_EQ(second.at("ts").as_number(), 2.0);
+  // Only trailing whitespace remains.
+  EXPECT_GE(pos, stream.size() - 1);
+}
+
+}  // namespace
+}  // namespace capgpu::json

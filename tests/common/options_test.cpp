@@ -114,6 +114,35 @@ TEST(ExtractFlags, MissingValueThrows) {
                InvalidArgument);
 }
 
+TEST(ExtractFlags, BenchOutputFlagSet) {
+  // The exact flag set bench::init extracts: every output sink plus the
+  // run controls, in both spellings, leaving bench args untouched.
+  Argv a({"--summary-out", "sum.json", "--slo-report-out=slo.json",
+          "--events-out", "ev.jsonl", "--metrics-out=m.prom", "--jobs=4",
+          "--benchmark_filter=fig8"});
+  const auto flags = extract_flags(
+      a.argc, a.ptrs.data(),
+      {"metrics-out", "trace-out", "events-out", "summary-out",
+       "slo-report-out", "log-level", "jobs"});
+  EXPECT_EQ(flags.at("summary-out"), "sum.json");
+  EXPECT_EQ(flags.at("slo-report-out"), "slo.json");
+  EXPECT_EQ(flags.at("events-out"), "ev.jsonl");
+  EXPECT_EQ(flags.at("metrics-out"), "m.prom");
+  EXPECT_EQ(flags.at("jobs"), "4");
+  EXPECT_FALSE(flags.contains("trace-out"));
+  ASSERT_EQ(a.argc, 2);
+  EXPECT_STREQ(a.ptrs[1], "--benchmark_filter=fig8");
+}
+
+TEST(ExtractFlags, SummaryOutRequiresAValue) {
+  Argv a({"--summary-out"});
+  EXPECT_THROW(extract_flags(a.argc, a.ptrs.data(), {"summary-out"}),
+               InvalidArgument);
+  Argv b({"--summary-out="});
+  EXPECT_THROW(extract_flags(b.argc, b.ptrs.data(), {"summary-out"}),
+               InvalidArgument);
+}
+
 TEST(ExtractFlags, NoMatchesLeavesArgvAlone) {
   Argv a({"positional", "--benchmark_repetitions=3"});
   const auto flags = extract_flags(a.argc, a.ptrs.data(), {"jobs"});

@@ -11,6 +11,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
+#include "telemetry/sketch.hpp"
 #include "telemetry/scope.hpp"
 #include "telemetry/trace.hpp"
 
@@ -49,6 +50,13 @@ void instrument_scenario(std::size_t i) {
   reg.counter("scenario_weight_total", "weighted").inc(double(i) + 1.0);
   reg.gauge("scenario_last_index", "index").set(double(i));
   reg.histogram("scenario_value", "values").observe(0.001 * double(i + 1));
+  // Quantile sketch as the request-latency attribution registers it: the
+  // per-stage series must merge deterministically in scenario order.
+  auto& sk = reg.sketch("scenario_latency_seconds", "latency",
+                        {{"stage", "gpu_exec"}});
+  for (int k = 0; k < 32; ++k) {
+    sk.observe(0.001 * double(i + 1) + 0.0001 * double(k));
+  }
   Tracer::current().instant(0, "scenario-" + std::to_string(i), "test", {});
 }
 
@@ -81,6 +89,32 @@ TEST(ScenarioRunner, TelemetryAndResultsAreByteIdenticalAcrossJobCounts) {
   const std::string seq = run_and_render(1, 24);
   EXPECT_EQ(run_and_render(2, 24), seq);
   EXPECT_EQ(run_and_render(8, 24), seq);
+}
+
+TEST(ScenarioRunner, SketchMergeIsDeterministicAcrossJobCounts) {
+  // Sketch bucket counts are integers and merge in scenario order, so a
+  // parallel run must reproduce the sequential quantiles bit-for-bit.
+  auto run_jobs = [](std::size_t jobs, MetricsRegistry& parent) {
+    MetricsRegistry::ScopedCurrent bind(parent);
+    ScenarioRunner sr({jobs});
+    sr.run(24, [](std::size_t i) { instrument_scenario(i); });
+  };
+  MetricsRegistry seq;
+  MetricsRegistry par;
+  run_jobs(1, seq);
+  run_jobs(8, par);
+  auto& a = seq.sketch("scenario_latency_seconds", "latency",
+                       {{"stage", "gpu_exec"}});
+  auto& b = par.sketch("scenario_latency_seconds", "latency",
+                       {{"stage", "gpu_exec"}});
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.count(), 24u * 32u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
 }
 
 TEST(ScenarioRunner, MergesScenarioTelemetryIntoTheCallersRegistry) {

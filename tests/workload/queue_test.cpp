@@ -7,29 +7,51 @@
 namespace capgpu::workload {
 namespace {
 
+// A request whose preprocessing finished at `t`; try_push stamps enqueued.
+RequestTimeline req(double t) {
+  RequestTimeline r;
+  r.arrival = t;
+  r.preprocess_start = t;
+  r.preprocess_done = t;
+  return r;
+}
+
 TEST(ImageQueue, PushPopFifoOrder) {
   ImageQueue q(4);
-  EXPECT_TRUE(q.try_push(1.0));
-  EXPECT_TRUE(q.try_push(2.0));
-  EXPECT_TRUE(q.try_push(3.0));
-  const auto stamps = q.pop(2);
-  ASSERT_EQ(stamps.size(), 2u);
-  EXPECT_DOUBLE_EQ(stamps[0], 1.0);
-  EXPECT_DOUBLE_EQ(stamps[1], 2.0);
+  EXPECT_TRUE(q.try_push(req(1.0), 1.0));
+  EXPECT_TRUE(q.try_push(req(2.0), 2.0));
+  EXPECT_TRUE(q.try_push(req(3.0), 3.0));
+  const auto items = q.pop(2);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_DOUBLE_EQ(items[0].enqueued, 1.0);
+  EXPECT_DOUBLE_EQ(items[1].enqueued, 2.0);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ImageQueue, PushStampsEnqueuedAndKeepsTimeline) {
+  ImageQueue q(2);
+  RequestTimeline r = req(1.5);
+  r.arrival = 0.5;
+  // Producer blocked on a full queue pushes later than preprocess_done.
+  ASSERT_TRUE(q.try_push(r, 2.0));
+  const auto items = q.pop(1);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_DOUBLE_EQ(items[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(items[0].preprocess_done, 1.5);
+  EXPECT_DOUBLE_EQ(items[0].enqueued, 2.0);
 }
 
 TEST(ImageQueue, RejectsWhenFull) {
   ImageQueue q(2);
-  EXPECT_TRUE(q.try_push(1.0));
-  EXPECT_TRUE(q.try_push(2.0));
-  EXPECT_FALSE(q.try_push(3.0));
+  EXPECT_TRUE(q.try_push(req(1.0), 1.0));
+  EXPECT_TRUE(q.try_push(req(2.0), 2.0));
+  EXPECT_FALSE(q.try_push(req(3.0), 3.0));
   EXPECT_TRUE(q.full());
 }
 
 TEST(ImageQueue, ProducerWokenOnPop) {
   ImageQueue q(1);
-  ASSERT_TRUE(q.try_push(1.0));
+  ASSERT_TRUE(q.try_push(req(1.0), 1.0));
   int woken = 0;
   q.wait_for_space([&] { ++woken; });
   EXPECT_EQ(woken, 0);
@@ -39,14 +61,14 @@ TEST(ImageQueue, ProducerWokenOnPop) {
 
 TEST(ImageQueue, OnlyAsManyProducersWokenAsSpace) {
   ImageQueue q(2);
-  ASSERT_TRUE(q.try_push(1.0));
-  ASSERT_TRUE(q.try_push(2.0));
+  ASSERT_TRUE(q.try_push(req(1.0), 1.0));
+  ASSERT_TRUE(q.try_push(req(2.0), 2.0));
   int woken = 0;
   // Three blocked producers, but a pop of 1 frees only one slot; the woken
   // producer refills it, so exactly one callback fires.
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(9.0)); });
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
+  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
   (void)q.pop(1);
   EXPECT_EQ(woken, 1);
   EXPECT_TRUE(q.full());
@@ -56,20 +78,20 @@ TEST(ImageQueue, ConsumerFiresWhenThresholdReached) {
   ImageQueue q(8);
   int fired = 0;
   q.wait_for_items(3, [&] { ++fired; });
-  q.try_push(1.0);
-  q.try_push(2.0);
+  q.try_push(req(1.0), 1.0);
+  q.try_push(req(2.0), 2.0);
   EXPECT_EQ(fired, 0);
-  q.try_push(3.0);
+  q.try_push(req(3.0), 3.0);
   EXPECT_EQ(fired, 1);
   // One-shot: further pushes don't re-fire.
-  q.try_push(4.0);
+  q.try_push(req(4.0), 4.0);
   EXPECT_EQ(fired, 1);
 }
 
 TEST(ImageQueue, ConsumerFiresImmediatelyIfAlreadyEnough) {
   ImageQueue q(8);
-  q.try_push(1.0);
-  q.try_push(2.0);
+  q.try_push(req(1.0), 1.0);
+  q.try_push(req(2.0), 2.0);
   int fired = 0;
   q.wait_for_items(2, [&] { ++fired; });
   EXPECT_EQ(fired, 1);
@@ -88,7 +110,7 @@ TEST(ImageQueue, ThresholdLargerThanCapacityThrows) {
 
 TEST(ImageQueue, PopMoreThanContentsThrows) {
   ImageQueue q(4);
-  q.try_push(1.0);
+  q.try_push(req(1.0), 1.0);
   EXPECT_THROW((void)q.pop(2), capgpu::InvalidArgument);
 }
 
@@ -98,10 +120,10 @@ TEST(ImageQueue, ZeroCapacityThrows) {
 
 TEST(ImageQueue, TotalEnqueuedCounts) {
   ImageQueue q(2);
-  q.try_push(1.0);
-  q.try_push(2.0);
+  q.try_push(req(1.0), 1.0);
+  q.try_push(req(2.0), 2.0);
   (void)q.pop(2);
-  q.try_push(3.0);
+  q.try_push(req(3.0), 3.0);
   EXPECT_EQ(q.total_enqueued(), 3u);
 }
 

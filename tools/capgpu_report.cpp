@@ -1,0 +1,312 @@
+// Offline latency-attribution report.
+//
+// Ingests the structured event log written by --events-out (JSONL, one
+// trace event per line) and, optionally, the --slo-report-out JSON, and
+// prints:
+//   1. a per-cap latency attribution table — mean per-stage latency and
+//      the dominant pipeline stage for every (set point, model) pair,
+//      joined by bucketing each per-period "stage_latency_s/<model>"
+//      counter sample into the "control_period" span that contains it;
+//   2. the burn-rate alert log correlated with protection events
+//      (fail-safe and emergency engagements shortly before each alert);
+//   3. the per-model SLO summary and stage quantiles from the SLO report.
+//
+// Usage: capgpu_report <events.jsonl> [slo_report.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "workload/request_timeline.hpp"
+
+namespace {
+
+using capgpu::json::Value;
+using capgpu::workload::kStageCount;
+using capgpu::workload::kStageNames;
+
+struct ControlPeriod {
+  double start_us{0.0};
+  double end_us{0.0};
+  double set_point_w{0.0};
+};
+
+struct StageSample {
+  double ts_us{0.0};
+  std::string model;
+  double stage_mean_s[kStageCount]{};
+};
+
+struct InstantEvent {
+  double ts_us{0.0};
+  std::string name;
+  std::string model;  // empty for protection events
+};
+
+struct PidLog {
+  std::vector<ControlPeriod> periods;
+  std::vector<StageSample> samples;
+  std::vector<InstantEvent> alerts;      // slo_burn_alert / slo_burn_clear
+  std::vector<InstantEvent> protection;  // failsafe/emergency engage+release
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw capgpu::Error("cannot open: " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
+}
+
+constexpr const char* kStagePrefix = "stage_latency_s/";
+
+// Parses the JSONL event stream into per-pid logs.
+std::map<int, PidLog> load_events(const std::string& path) {
+  const std::string text = read_file(path);
+  std::map<int, PidLog> logs;
+  std::size_t pos = 0;
+  while (true) {
+    while (pos < text.size() &&
+           (text[pos] == '\n' || text[pos] == '\r' || text[pos] == ' ')) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    const Value ev = capgpu::json::parse_prefix(text, pos);
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.string_or("ph", "");
+    const std::string name = ev.string_or("name", "");
+    const int pid = static_cast<int>(ev.number_or("pid", 0.0));
+    const double ts = ev.number_or("ts", 0.0);
+    PidLog& log = logs[pid];
+    if (ph == "X" && name == "control_period") {
+      const Value& args = ev.at("args");
+      const double dur = ev.number_or("dur", 0.0);
+      log.periods.push_back(
+          {ts, ts + dur, args.number_or("set_point_w", 0.0)});
+    } else if (ph == "C" && name.rfind(kStagePrefix, 0) == 0) {
+      StageSample s;
+      s.ts_us = ts;
+      s.model = name.substr(std::string(kStagePrefix).size());
+      const Value& args = ev.at("args");
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        s.stage_mean_s[i] = args.number_or(kStageNames[i], 0.0);
+      }
+      log.samples.push_back(std::move(s));
+    } else if (ph == "i" &&
+               (name == "slo_burn_alert" || name == "slo_burn_clear")) {
+      std::string model;
+      if (ev.contains("args")) model = ev.at("args").string_or("model", "");
+      log.alerts.push_back({ts, name, std::move(model)});
+    } else if (ph == "i" &&
+               (name == "failsafe_engage" || name == "failsafe_release" ||
+                name == "emergency_engage" || name == "emergency_release")) {
+      log.protection.push_back({ts, name, ""});
+    }
+  }
+  return logs;
+}
+
+// Finds the set point of the control period containing `ts_us`, or NaN.
+// Stage counters are emitted from the end-of-period callback, so their
+// timestamp coincides with the period's end — use a half-open match with
+// a microsecond of slack for the shared rounding.
+double set_point_at(const std::vector<ControlPeriod>& periods, double ts_us) {
+  for (const auto& p : periods) {
+    if (ts_us > p.start_us + 0.5 && ts_us <= p.end_us + 1.5) {
+      return p.set_point_w;
+    }
+  }
+  return std::nan("");
+}
+
+struct StageAccum {
+  double sum_s[kStageCount]{};
+  std::size_t periods{0};
+};
+
+void print_attribution(const std::map<int, PidLog>& logs) {
+  // Key: (set point, model). Caps are rounded to 0.1 W so float noise in
+  // the args does not split buckets.
+  std::map<std::pair<long long, std::string>, StageAccum> table;
+  std::size_t unmatched = 0;
+  for (const auto& [pid, log] : logs) {
+    (void)pid;
+    for (const auto& s : log.samples) {
+      const double cap = set_point_at(log.periods, s.ts_us);
+      if (std::isnan(cap)) {
+        ++unmatched;
+        continue;
+      }
+      auto& acc = table[{static_cast<long long>(std::llround(cap * 10.0)),
+                         s.model}];
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        acc.sum_s[i] += s.stage_mean_s[i];
+      }
+      ++acc.periods;
+    }
+  }
+
+  std::printf("Latency attribution by power cap\n");
+  std::printf("--------------------------------\n");
+  if (table.empty()) {
+    std::printf("  (no stage samples joined a control period — run the\n"
+                "   bench with --events-out and tracing-enabled outputs)\n");
+    return;
+  }
+  std::printf("  %-9s %-10s %8s", "cap W", "model", "periods");
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    std::printf(" %16s", kStageNames[i]);
+  }
+  std::printf("  %s\n", "dominant stage");
+
+  // Per-cap totals drive the per-cap dominant stage line.
+  std::map<long long, StageAccum> cap_totals;
+  for (const auto& [key, acc] : table) {
+    const auto& [cap_tenths, model] = key;
+    std::printf("  %-9.1f %-10s %8zu", static_cast<double>(cap_tenths) / 10.0,
+                model.c_str(), acc.periods);
+    std::size_t dominant = 0;
+    auto& total = cap_totals[cap_tenths];
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const double mean_ms =
+          acc.sum_s[i] / static_cast<double>(acc.periods) * 1e3;
+      std::printf(" %13.3f ms", mean_ms);
+      total.sum_s[i] += acc.sum_s[i];
+      if (acc.sum_s[i] > acc.sum_s[dominant]) dominant = i;
+    }
+    total.periods += acc.periods;
+    std::printf("  %s\n", kStageNames[dominant]);
+  }
+  std::printf("\n");
+  for (const auto& [cap_tenths, total] : cap_totals) {
+    std::size_t dominant = 0;
+    for (std::size_t i = 1; i < kStageCount; ++i) {
+      if (total.sum_s[i] > total.sum_s[dominant]) dominant = i;
+    }
+    std::printf("  dominant stage at %.1f W (all models): %s\n",
+                static_cast<double>(cap_tenths) / 10.0,
+                kStageNames[dominant]);
+  }
+  if (unmatched > 0) {
+    std::printf("  note: %zu stage sample(s) fell outside every control "
+                "period and were dropped\n", unmatched);
+  }
+}
+
+void print_alert_correlation(const std::map<int, PidLog>& logs) {
+  std::printf("\nBurn-rate alerts vs protection events\n");
+  std::printf("-------------------------------------\n");
+  constexpr double kWindowUs = 60e6;  // look back one fast burn window
+  std::size_t alerts = 0;
+  std::size_t with_failsafe = 0;
+  std::size_t with_emergency = 0;
+  for (const auto& [pid, log] : logs) {
+    for (const auto& a : log.alerts) {
+      if (a.name != "slo_burn_alert") continue;
+      ++alerts;
+      const InstantEvent* failsafe = nullptr;
+      const InstantEvent* emergency = nullptr;
+      for (const auto& p : log.protection) {
+        if (p.ts_us > a.ts_us || p.ts_us < a.ts_us - kWindowUs) continue;
+        if (p.name == "failsafe_engage") failsafe = &p;
+        if (p.name == "emergency_engage") emergency = &p;
+      }
+      if (failsafe) ++with_failsafe;
+      if (emergency) ++with_emergency;
+      std::printf("  pid %-3d %-10s alert at %9.3f s", pid, a.model.c_str(),
+                  a.ts_us / 1e6);
+      if (failsafe) {
+        std::printf("  failsafe_engage %.3f s before",
+                    (a.ts_us - failsafe->ts_us) / 1e6);
+      }
+      if (emergency) {
+        std::printf("  emergency_engage %.3f s before",
+                    (a.ts_us - emergency->ts_us) / 1e6);
+      }
+      if (!failsafe && !emergency) {
+        std::printf("  no protection event within 60 s");
+      }
+      std::printf("\n");
+    }
+  }
+  if (alerts == 0) {
+    std::printf("  no burn-rate alerts in the event log\n");
+    return;
+  }
+  std::printf("  total: %zu alert(s), %zu preceded by fail-safe engagement, "
+              "%zu by emergency throttling\n",
+              alerts, with_failsafe, with_emergency);
+}
+
+void print_slo_report(const std::string& path) {
+  const Value report = capgpu::json::parse(read_file(path));
+  std::printf("\nSLO error-budget summary (%s)\n", path.c_str());
+  std::printf("--------------------------------\n");
+  const Value& entries = report.at("entries");
+  if (entries.as_array().empty()) {
+    std::printf("  no SLO entries (burn monitoring disabled or no checks)\n");
+  } else {
+    std::printf("  %-10s %-18s %9s %8s %8s %10s %7s\n", "model", "policy",
+                "objective", "checked", "missed", "budget", "alerts");
+    for (const Value& e : entries.as_array()) {
+      std::printf("  %-10s %-18s %9.4f %8.0f %8.0f %9.1f%% %7.0f\n",
+                  e.string_or("model", "?").c_str(),
+                  e.string_or("policy", "?").c_str(),
+                  e.number_or("objective", 0.0), e.number_or("checked", 0.0),
+                  e.number_or("missed", 0.0),
+                  e.number_or("budget_consumed", 0.0) * 100.0,
+                  e.number_or("alerts", 0.0));
+    }
+  }
+  if (!report.contains("stage_quantiles")) return;
+  const auto& quantiles = report.at("stage_quantiles").as_array();
+  if (quantiles.empty()) return;
+  std::printf("\n  stage quantiles (relative error +/-%.1f%%):\n",
+              quantiles.front().number_or("relative_error", 0.01) * 100.0);
+  std::printf("  %-10s %-18s %10s %10s %10s %10s %10s\n", "model", "stage",
+              "count", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms");
+  for (const Value& q : quantiles) {
+    std::printf("  %-10s %-18s %10.0f %10.2f %10.2f %10.2f %10.2f\n",
+                q.string_or("model", "?").c_str(),
+                q.string_or("stage", "?").c_str(), q.number_or("count", 0.0),
+                q.number_or("p50", 0.0) * 1e3, q.number_or("p95", 0.0) * 1e3,
+                q.number_or("p99", 0.0) * 1e3, q.number_or("p999", 0.0) * 1e3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: %s <events.jsonl> [slo_report.json]\n"
+                 "  events.jsonl     written by a bench with --events-out\n"
+                 "  slo_report.json  written by a bench with --slo-report-out\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const std::map<int, PidLog> logs = load_events(argv[1]);
+    std::size_t events = 0;
+    for (const auto& [pid, log] : logs) {
+      (void)pid;
+      events += log.periods.size() + log.samples.size() + log.alerts.size() +
+                log.protection.size();
+    }
+    std::printf("capgpu_report: %s (%zu relevant event(s) across %zu rig(s))\n\n",
+                argv[1], events, logs.size());
+    print_attribution(logs);
+    print_alert_correlation(logs);
+    if (argc == 3) print_slo_report(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "capgpu_report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
