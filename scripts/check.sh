@@ -14,6 +14,21 @@ ctest --test-dir build -j"$(nproc)" --output-on-failure
 # a filtered ctest cache can't silently skip it).
 ctest --test-dir build -L report --output-on-failure
 
+# Release perf smoke: the allocation-free control-solve tests plus a short
+# pipeline self-perf run. Gates on the report's shape (speedup fields
+# present) and on the pooled hot path not regressing below the legacy
+# pipeline; the full-length numbers live in BENCH_perf.json via
+# scripts/run_perf.sh.
+cmake --preset release >/dev/null
+cmake --build build-release -j"$(nproc)" >/dev/null
+ctest --test-dir build-release -L perf --output-on-failure
+./build-release/bench/bench_pipeline_selfperf --reps 3 --out /tmp/check_pipeline.json
+jq -e '.pipeline_selfperf.workloads | length > 0 and all(.speedup != null)' \
+  /tmp/check_pipeline.json >/dev/null \
+  || { echo "FAIL: pipeline_selfperf report missing speedup fields" >&2; exit 1; }
+jq -e '.pipeline_selfperf.worst_speedup >= 1.0' /tmp/check_pipeline.json >/dev/null \
+  || { echo "FAIL: pooled pipeline slower than legacy (worst_speedup < 1.0)" >&2; exit 1; }
+
 status=0
 for b in build/bench/*; do
   [ -x "$b" ] && [ ! -d "$b" ] || continue

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Performance report: builds Release, runs the engine self-perf
-# microbenchmark, then times one parallel sweep (bench_fig6_setpoint_sweep)
-# at --jobs 1 vs --jobs $(nproc) and verifies the outputs are
-# byte-identical. Everything lands in BENCH_perf.json; the format is
-# documented in docs/performance.md.
+# Performance report: builds Release, runs the engine and pipeline
+# self-perf microbenchmarks, then times one parallel sweep
+# (bench_fig6_setpoint_sweep) at --jobs 1 vs --jobs $(nproc) and verifies
+# the outputs are byte-identical. Everything lands in BENCH_perf.json; the
+# format is documented in docs/performance.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,10 +12,14 @@ JOBS="$(nproc)"
 
 cmake --preset release >/dev/null
 cmake --build build-release -j"$JOBS" \
-  --target bench_engine_selfperf bench_fig6_setpoint_sweep >/dev/null
+  --target bench_engine_selfperf bench_pipeline_selfperf \
+  bench_fig6_setpoint_sweep >/dev/null
 
 echo "==== engine self-perf (Release)"
 ./build-release/bench/bench_engine_selfperf --out "$OUT.selfperf"
+
+echo "==== pipeline self-perf (Release)"
+./build-release/bench/bench_pipeline_selfperf --out "$OUT.pipeline"
 
 echo "==== fig6 sweep: --jobs 1 vs --jobs $JOBS"
 run_sweep() { # $1 = jobs, $2 = output file; prints elapsed seconds
@@ -37,7 +41,9 @@ echo "  byte-identical output: PASS"
 echo "  sequential ${seq_s}s, parallel (${JOBS} jobs) ${par_s}s"
 
 jq --argjson seq "$seq_s" --argjson par "$par_s" --argjson jobs "$JOBS" \
-  '. + {parallel_sweep: {bench: "bench_fig6_setpoint_sweep",
+  --slurpfile pipeline "$OUT.pipeline" \
+  '. + $pipeline[0]
+     + {parallel_sweep: {bench: "bench_fig6_setpoint_sweep",
                          scenarios: 35,
                          jobs: $jobs,
                          sequential_s: $seq,
@@ -45,5 +51,5 @@ jq --argjson seq "$seq_s" --argjson par "$par_s" --argjson jobs "$JOBS" \
                          speedup: (if $par > 0 then $seq / $par else 0 end),
                          byte_identical: true}}' \
   "$OUT.selfperf" > "$OUT"
-rm -f "$OUT.selfperf"
+rm -f "$OUT.selfperf" "$OUT.pipeline"
 echo "  [perf] $OUT"

@@ -8,7 +8,10 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+
+#include "common/error.hpp"
 
 namespace capgpu {
 
@@ -24,15 +27,29 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Next raw 64-bit output.
-  std::uint64_t next_u64();
+  /// Next raw 64-bit output. Inline: the workload hot path draws per
+  /// arrival and per preprocess, and the call chain through a separate TU
+  /// costs as much as the state update itself.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
   result_type operator()() { return next_u64(); }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform();
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [0, n).
   std::uint64_t uniform_index(std::uint64_t n);
@@ -45,13 +62,21 @@ class Rng {
   double normal(double mean, double stddev);
 
   /// Exponential deviate with the given rate (mean 1/rate).
-  double exponential(double rate);
+  double exponential(double rate) {
+    CAPGPU_ASSERT(rate > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+  }
 
   /// Creates an independent stream by jumping this generator's sequence;
   /// used to give each noise source its own decorrelated stream.
   Rng split();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_{0.0};
   bool has_cached_normal_{false};

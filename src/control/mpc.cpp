@@ -5,36 +5,40 @@
 
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
-#include "linalg/lu.hpp"
+#include "linalg/inplace.hpp"
 
 namespace capgpu::control {
 
 /// One explicit-MPC region: an active set together with the pre-factored
-/// KKT system [H C_W^T; C_W -eps*I] for that working set.
+/// KKT system [H C_W^T; C_W -eps*I] for that working set. The factor is
+/// held in a flat buffer so later steps in the same region reduce to one
+/// allocation-free triangular solve.
 struct MpcController::CachedRegion {
   std::vector<std::size_t> active_set;  // sorted row indices
-  linalg::Lu kkt;                       // factorisation, reused per step
+  std::size_t dim{0};                   // n + active_set.size()
+  std::vector<double> factor;           // LU of the KKT matrix, stride dim
+  std::vector<std::size_t> piv;
 
   CachedRegion(const QpProblem& qp, std::vector<std::size_t> rows)
-      : active_set(std::move(rows)), kkt(build_kkt(qp, active_set)) {}
-
-  static linalg::Matrix build_kkt(const QpProblem& qp,
-                                  const std::vector<std::size_t>& rows) {
+      : active_set(std::move(rows)) {
     const std::size_t n = qp.g.size();
-    const std::size_t k = rows.size();
-    linalg::Matrix kkt(n + k, n + k);
+    const std::size_t k = active_set.size();
+    dim = n + k;
+    factor.assign(dim * dim, 0.0);
+    piv.resize(dim);
     for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) kkt(r, c) = qp.h(r, c);
+      const auto hr = qp.h.row(r);
+      for (std::size_t c = 0; c < n; ++c) factor[r * dim + c] = hr[c];
     }
     for (std::size_t a = 0; a < k; ++a) {
-      const auto row = qp.c.row(rows[a]);
+      const auto row = qp.c.row(active_set[a]);
       for (std::size_t c = 0; c < n; ++c) {
-        kkt(n + a, c) = row[c];
-        kkt(c, n + a) = row[c];
+        factor[(n + a) * dim + c] = row[c];
+        factor[c * dim + (n + a)] = row[c];
       }
-      kkt(n + a, n + a) = -1e-10;
+      factor[(n + a) * dim + (n + a)] = -1e-10;
     }
-    return kkt;
+    linalg::lu_factor_inplace(factor.data(), dim, dim, piv.data());
   }
 };
 
@@ -69,6 +73,10 @@ MpcController::MpcController(MpcConfig config, std::vector<DeviceRange> devices,
   max_override_.resize(devices_.size());
   clear_min_frequency_overrides();
   clear_max_frequency_overrides();
+  const std::size_t dim = devices_.size() * config_.control_horizon;
+  prev_active_.reserve(2 * dim);
+  cache_rhs_.resize(3 * dim);  // largest KKT system: dim vars + 2*dim rows
+  cache_sol_.resize(3 * dim);
 }
 
 void MpcController::set_model(LinearPowerModel model) {
@@ -146,8 +154,8 @@ double MpcController::effective_f_max(std::size_t device) const {
   return max_override_[device];
 }
 
-MpcController::Assembled MpcController::assemble(
-    double error_watts, const std::vector<double>& freqs) const {
+void MpcController::assemble_into(double error_watts,
+                                  const std::vector<double>& freqs) const {
   const std::size_t n = devices_.size();
   const std::size_t m_horizon = config_.control_horizon;
   const std::size_t p_horizon = config_.prediction_horizon;
@@ -156,9 +164,34 @@ MpcController::Assembled MpcController::assemble(
 
   // Decision layout: u[i*n + j] = d_j(k+i|k).
   // cum_j(i) = sum_{l<=i} u[l*n+j]; tracking step i uses cum(min(i-1,M-1)).
-  QpProblem qp;
-  qp.h = linalg::Matrix(dim, dim);
-  qp.g = linalg::Vector(dim);
+  if (!ws_structure_built_) {
+    ws_qp_.h = linalg::Matrix(dim, dim);
+    ws_qp_.g = linalg::Vector(dim);
+    // Constraint rows (Eq. 10a + SLO bounds) are structural: for every step
+    // i and device j,  cum_j(i) <= f_max_j - f_j  and  -cum_j(i) <= f_j - lb_j.
+    // Only b depends on the state, so the +-1 pattern is laid down once.
+    const std::size_t rows = 2 * dim;
+    ws_qp_.c = linalg::Matrix(rows, dim);
+    ws_qp_.b = linalg::Vector(rows);
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < m_horizon; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t l = 0; l <= i; ++l) {
+          ws_qp_.c(row, l * n + j) = 1.0;
+          ws_qp_.c(row + 1, l * n + j) = -1.0;
+        }
+        row += 2;
+      }
+    }
+    ws_x0_ = linalg::Vector(dim);
+    ws_structure_built_ = true;
+  }
+
+  for (std::size_t r = 0; r < dim; ++r) {
+    const auto hr = ws_qp_.h.row(r);
+    std::fill(hr.begin(), hr.end(), 0.0);
+  }
+  for (std::size_t a = 0; a < dim; ++a) ws_qp_.g[a] = 0.0;
 
   // Tracking term: for each prediction step, the row t with
   // t[l*n+j] = A_j for l <= mi contributes 2Q t t^T to H and 2Q e_i t to g,
@@ -177,10 +210,10 @@ MpcController::Assembled MpcController::assemble(
       for (std::size_t ja = 0; ja < n; ++ja) {
         const std::size_t a = la * n + ja;
         const double ta = model_.gain(ja);
-        qp.g[a] += 2.0 * q * e_i * ta;
+        ws_qp_.g[a] += 2.0 * q * e_i * ta;
         for (std::size_t lb = 0; lb <= mi; ++lb) {
           for (std::size_t jb = 0; jb < n; ++jb) {
-            qp.h(a, lb * n + jb) += 2.0 * q * ta * model_.gain(jb);
+            ws_qp_.h(a, lb * n + jb) += 2.0 * q * ta * model_.gain(jb);
           }
         }
       }
@@ -196,48 +229,40 @@ MpcController::Assembled MpcController::assemble(
       const double phi = freqs[j] - devices_[j].f_min_mhz;
       for (std::size_t la = 0; la <= i; ++la) {
         const std::size_t a = la * n + j;
-        qp.g[a] += 2.0 * r * phi;
+        ws_qp_.g[a] += 2.0 * r * phi;
         for (std::size_t lb = 0; lb <= i; ++lb) {
-          qp.h(a, lb * n + j) += 2.0 * r;
+          ws_qp_.h(a, lb * n + j) += 2.0 * r;
         }
       }
     }
   }
 
   for (std::size_t a = 0; a < dim; ++a) {
-    qp.h(a, a) += 2.0 * config_.regularization;
+    ws_qp_.h(a, a) += 2.0 * config_.regularization;
   }
 
-  // Constraints (Eq. 10a + SLO bounds): for every step i and device j,
-  //   cum_j(i) <= f_max_j - f_j      and      -cum_j(i) <= f_j - lb_j.
-  const std::size_t rows = 2 * dim;
-  qp.c = linalg::Matrix(rows, dim);
-  qp.b = linalg::Vector(rows);
-  std::size_t row = 0;
-  for (std::size_t i = 0; i < m_horizon; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t l = 0; l <= i; ++l) {
-        qp.c(row, l * n + j) = 1.0;
-        qp.c(row + 1, l * n + j) = -1.0;
+  {
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < m_horizon; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ws_qp_.b[row] = max_override_[j] - freqs[j];
+        ws_qp_.b[row + 1] = freqs[j] - min_override_[j];
+        row += 2;
       }
-      qp.b[row] = max_override_[j] - freqs[j];
-      qp.b[row + 1] = freqs[j] - min_override_[j];
-      row += 2;
     }
   }
 
   // Feasible start: u = 0 unless a bound moved past the current frequency
   // (an SLO tightened or a thermal ceiling dropped); then the first move
   // jumps to the violated bound.
-  linalg::Vector x0(dim);
+  for (std::size_t a = 0; a < dim; ++a) ws_x0_[a] = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     if (freqs[j] < min_override_[j]) {
-      x0[j] = min_override_[j] - freqs[j];
+      ws_x0_[j] = min_override_[j] - freqs[j];
     } else if (freqs[j] > max_override_[j]) {
-      x0[j] = max_override_[j] - freqs[j];
+      ws_x0_[j] = max_override_[j] - freqs[j];
     }
   }
-  return Assembled{std::move(qp), std::move(x0)};
 }
 
 void MpcController::enable_solve_cache(bool on) {
@@ -251,36 +276,34 @@ void MpcController::invalidate_cache() {
   cached_h_ = linalg::Matrix();
 }
 
-bool MpcController::try_cached_solve(const QpProblem& qp, linalg::Vector& u,
+bool MpcController::try_cached_solve(const QpProblem& qp,
                                      std::size_t& region_index) const {
   constexpr double kTol = 1e-7;
   const std::size_t n = qp.g.size();
   for (std::size_t idx = 0; idx < cache_.size(); ++idx) {
     const auto& region = *cache_[idx];
     const std::size_t k = region.active_set.size();
-    linalg::Vector rhs(n + k);
-    for (std::size_t r = 0; r < n; ++r) rhs[r] = -qp.g[r];
+    for (std::size_t r = 0; r < n; ++r) cache_rhs_[r] = -qp.g[r];
     for (std::size_t a = 0; a < k; ++a) {
-      rhs[n + a] = qp.b[region.active_set[a]];
+      cache_rhs_[n + a] = qp.b[region.active_set[a]];
     }
-    const linalg::Vector ul = region.kkt.solve(rhs);
+    linalg::lu_solve_inplace(region.factor.data(), region.dim, region.dim,
+                             region.piv.data(), cache_rhs_.data(),
+                             cache_sol_.data());
     // KKT validity: multipliers of the working set non-negative...
     bool valid = true;
     for (std::size_t a = 0; a < k && valid; ++a) {
-      valid = ul[n + a] >= -kTol;
+      valid = cache_sol_[n + a] >= -kTol;
     }
     if (!valid) continue;
     // ...and primal feasibility of the remaining constraints.
-    linalg::Vector candidate(n);
-    for (std::size_t r = 0; r < n; ++r) candidate[r] = ul[r];
     for (std::size_t i = 0; i < qp.c.rows() && valid; ++i) {
       double cx = 0.0;
       const auto row = qp.c.row(i);
-      for (std::size_t c = 0; c < n; ++c) cx += row[c] * candidate[c];
+      for (std::size_t c = 0; c < n; ++c) cx += row[c] * cache_sol_[c];
       valid = cx <= qp.b[i] + kTol;
     }
     if (!valid) continue;
-    u = std::move(candidate);
     region_index = idx;
     return true;
   }
@@ -294,29 +317,31 @@ void MpcController::store_region(const QpProblem& qp,
   cache_.push_back(std::make_shared<CachedRegion>(qp, active_set));
 }
 
-MpcDecision MpcController::step(Watts measured_power,
-                                const std::vector<double>& current_freqs_mhz) {
+const MpcDecision& MpcController::step(
+    Watts measured_power, const std::vector<double>& current_freqs_mhz) {
   const std::size_t n = devices_.size();
   CAPGPU_REQUIRE(current_freqs_mhz.size() == n,
                  "frequency vector does not match device list");
 
   const double error = measured_power.value - set_point_.value;
-  Assembled a = assemble(error, current_freqs_mhz);
+  assemble_into(error, current_freqs_mhz);
 
-  MpcDecision out;
-  linalg::Vector solution;
-  bool solved = false;
+  MpcDecision& out = decision_;
+  out.qp_iterations = 0;
+  out.qp_converged = false;
+  out.cache_hit = false;
+  const double* solution = nullptr;
 
   if (cache_enabled_) {
     // The Hessian depends on weights and model gains; a change flushes the
     // cache (constraint rows are structural and never change).
     if (cached_h_.rows() == 0 ||
-        !linalg::approx_equal(cached_h_, a.qp.h, 1e-12)) {
+        !linalg::approx_equal(cached_h_, ws_qp_.h, 1e-12)) {
       invalidate_cache();
-      cached_h_ = a.qp.h;
+      cached_h_ = ws_qp_.h;
     }
     std::size_t region_index = 0;
-    if (try_cached_solve(a.qp, solution, region_index)) {
+    if (try_cached_solve(ws_qp_, region_index)) {
       ++cache_stats_.hits;
       // Move the hit region to the back (cheap LRU).
       if (region_index + 1 != cache_.size()) {
@@ -324,20 +349,27 @@ MpcDecision MpcController::step(Watts measured_power,
         cache_.erase(cache_.begin() + static_cast<long>(region_index));
         cache_.push_back(std::move(hit));
       }
-      solved = true;
+      solution = cache_sol_.data();
       out.cache_hit = true;
       out.qp_converged = true;
     }
   }
 
-  if (!solved) {
-    const QpSolution sol = solver_.solve(a.qp, a.x0);
-    out.qp_iterations = sol.iterations;
-    out.qp_converged = sol.converged;
-    solution = sol.x;
-    if (cache_enabled_ && sol.converged) {
+  if (solution == nullptr) {
+    solver_.solve(ws_qp_, ws_x0_, qp_ws_,
+                  prev_active_.empty() ? nullptr : &prev_active_);
+    out.qp_iterations = qp_ws_.iterations();
+    out.qp_converged = qp_ws_.converged();
+    solution = qp_ws_.x().data().data();
+    if (qp_ws_.converged()) {
+      prev_active_.assign(qp_ws_.active_set().begin(),
+                          qp_ws_.active_set().end());
+    } else {
+      prev_active_.clear();
+    }
+    if (cache_enabled_ && qp_ws_.converged()) {
       ++cache_stats_.misses;
-      store_region(a.qp, sol.active_set);
+      store_region(ws_qp_, qp_ws_.active_set());
     }
   }
   out.deltas_mhz.resize(n);
@@ -345,11 +377,13 @@ MpcDecision MpcController::step(Watts measured_power,
   double dp = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     const double d = solution[j];  // first move of device j
-    out.deltas_mhz[j] = d;
     const double target = std::clamp(current_freqs_mhz[j] + d,
                                      min_override_[j], max_override_[j]);
-    out.target_freqs_mhz[j] = target;
     dp += model_.gain(j) * (target - current_freqs_mhz[j]);
+    // Writes come last: a caller may legally pass the previous decision's
+    // own target vector as current_freqs_mhz.
+    out.deltas_mhz[j] = d;
+    out.target_freqs_mhz[j] = target;
   }
   out.predicted_power_watts = measured_power.value + dp;
   return out;
@@ -357,34 +391,34 @@ MpcDecision MpcController::step(Watts measured_power,
 
 MpcLinearGains MpcController::linear_gains() const {
   const std::size_t n = devices_.size();
-  const std::size_t dim = n * config_.control_horizon;
 
   // g(u) is affine in (e, phi): g = g_e * e + G_f * phi. Probe by assembling
   // with unit inputs; H is independent of both.
   std::vector<double> f_at_min(n);
   for (std::size_t j = 0; j < n; ++j) f_at_min[j] = devices_[j].f_min_mhz;
 
-  const Assembled base = assemble(0.0, f_at_min);     // g = 0
-  const Assembled unit_e = assemble(1.0, f_at_min);   // g = g_e
+  assemble_into(0.0, f_at_min);
+  const linalg::Matrix h = ws_qp_.h;  // base Hessian (g = 0 here)
+  assemble_into(1.0, f_at_min);
+  const linalg::Vector g_e = ws_qp_.g;
 
-  linalg::Cholesky h_chol(base.qp.h);
+  linalg::Cholesky h_chol(h);
 
   MpcLinearGains gains;
   gains.k_e = linalg::Vector(n);
   gains.k_f = linalg::Matrix(n, n);
 
   {
-    const linalg::Vector u = h_chol.solve(unit_e.qp.g);
+    const linalg::Vector u = h_chol.solve(g_e);
     for (std::size_t j = 0; j < n; ++j) gains.k_e[j] = -u[j];
   }
   for (std::size_t col = 0; col < n; ++col) {
     std::vector<double> f = f_at_min;
     f[col] += 1.0;  // phi_col = 1
-    const Assembled probe = assemble(0.0, f);
-    const linalg::Vector u = h_chol.solve(probe.qp.g);
+    assemble_into(0.0, f);
+    const linalg::Vector u = h_chol.solve(ws_qp_.g);
     for (std::size_t j = 0; j < n; ++j) gains.k_f(j, col) = -u[j];
   }
-  (void)dim;
   return gains;
 }
 

@@ -121,9 +121,15 @@ class MpcController {
 
   /// One control period: measured power + current (fractional) frequency
   /// commands -> new commands. `current_freqs_mhz` is typically the
-  /// controller's own previous targets.
-  [[nodiscard]] MpcDecision step(Watts measured_power,
-                                 const std::vector<double>& current_freqs_mhz);
+  /// controller's own previous targets. The returned reference points at
+  /// controller-owned storage, overwritten by the next step(); copy the
+  /// fields you keep. After the first period the call performs no heap
+  /// allocations: the QP assembles into a persistent workspace, the solver
+  /// runs in preallocated buffers, and the previous period's active set
+  /// warm-starts the solve (certify-or-fallback, so results are bitwise
+  /// those of a cold solve).
+  [[nodiscard]] const MpcDecision& step(
+      Watts measured_power, const std::vector<double>& current_freqs_mhz);
 
   /// Linear gains of the *unconstrained* optimum at the current weights
   /// (for pole/stability analysis).
@@ -140,12 +146,12 @@ class MpcController {
   [[nodiscard]] const MpcCacheStats& cache_stats() const { return cache_stats_; }
 
  private:
-  struct Assembled {
-    QpProblem qp;
-    linalg::Vector x0;
-  };
-  [[nodiscard]] Assembled assemble(double error_watts,
-                                   const std::vector<double>& freqs) const;
+  /// Assembles the period's QP into the persistent workspace ws_qp_/ws_x0_.
+  /// Structural parts (constraint matrix, buffer shapes) are built once;
+  /// h/g/b/x0 are refilled in place with arithmetic identical to a fresh
+  /// assembly, so steady-state periods allocate nothing.
+  void assemble_into(double error_watts,
+                     const std::vector<double>& freqs) const;
 
   MpcConfig config_;
   std::vector<DeviceRange> devices_;
@@ -156,10 +162,21 @@ class MpcController {
   std::vector<double> max_override_;    // effective upper bounds (MHz)
   QpSolver solver_;
 
+  // Persistent per-step state (mutable: linear_gains() probes through the
+  // same assembly workspace).
+  mutable QpProblem ws_qp_;
+  mutable linalg::Vector ws_x0_;
+  mutable bool ws_structure_built_{false};
+  QpWorkspace qp_ws_;
+  std::vector<std::size_t> prev_active_;  // warm-start seed for the QP
+  MpcDecision decision_;                  // returned by reference from step()
+
   // Explicit-MPC region cache.
   struct CachedRegion;
   void invalidate_cache();
-  [[nodiscard]] bool try_cached_solve(const QpProblem& qp, linalg::Vector& u,
+  /// Scans cached regions; on a hit the candidate [u; lambda] lands in
+  /// cache_sol_ (read the first n entries) and region_index names the hit.
+  [[nodiscard]] bool try_cached_solve(const QpProblem& qp,
                                       std::size_t& region_index) const;
   void store_region(const QpProblem& qp,
                     const std::vector<std::size_t>& active_set);
@@ -167,6 +184,8 @@ class MpcController {
   mutable MpcCacheStats cache_stats_;
   std::vector<std::shared_ptr<CachedRegion>> cache_;
   linalg::Matrix cached_h_;  // Hessian snapshot the cache was built for
+  mutable std::vector<double> cache_rhs_;  // scratch for try_cached_solve
+  mutable std::vector<double> cache_sol_;
 };
 
 }  // namespace capgpu::control

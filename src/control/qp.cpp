@@ -4,38 +4,93 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "linalg/cholesky.hpp"
-#include "linalg/lu.hpp"
+#include "linalg/inplace.hpp"
 
 namespace capgpu::control {
 
 namespace {
 
-double dot_row(const linalg::Matrix& c, std::size_t row,
-               const linalg::Vector& x) {
+double dot_row(const linalg::Matrix& c, std::size_t row, const double* x,
+               std::size_t n) {
   double acc = 0.0;
   const auto r = c.row(row);
-  for (std::size_t j = 0; j < x.size(); ++j) acc += r[j] * x[j];
+  for (std::size_t j = 0; j < n; ++j) acc += r[j] * x[j];
   return acc;
-}
-
-double objective_of(const QpProblem& p, const linalg::Vector& x) {
-  const linalg::Vector hx = p.h * x;
-  return 0.5 * x.dot(hx) + p.g.dot(x);
 }
 
 }  // namespace
 
+void QpWorkspace::ensure(std::size_t n, std::size_t m) {
+  if (n <= cap_n_ && m <= cap_m_) return;
+  cap_n_ = std::max(cap_n_, n);
+  cap_m_ = std::max(cap_m_, m);
+  const std::size_t s = cap_n_ + cap_m_;
+  kkt_.resize(s * s);
+  piv_.resize(s);
+  rhs_.resize(s);
+  sol_.resize(s);
+  grad_.resize(cap_n_);
+  chol_.resize(cap_n_ * cap_n_);
+  active_.resize(cap_m_);
+  w_.reserve(cap_m_);
+  active_set_.reserve(cap_m_);
+}
+
 bool QpSolver::is_feasible(const QpProblem& problem, const linalg::Vector& x,
                            double slack) {
   for (std::size_t i = 0; i < problem.c.rows(); ++i) {
-    if (dot_row(problem.c, i, x) > problem.b[i] + slack) return false;
+    if (dot_row(problem.c, i, x.data().data(), x.size()) >
+        problem.b[i] + slack) {
+      return false;
+    }
   }
   return true;
 }
 
-QpSolution QpSolver::solve(const QpProblem& problem,
-                           const linalg::Vector& x0) const {
+// Builds and solves the regularised KKT system for the working set ws.w_ at
+// the iterate ws.x_:  [H  Cw^T; Cw  -eps*I] [p; lambda] = [-(Hx+g); 0].
+// The tiny -eps*I block keeps the system nonsingular even when working rows
+// become linearly dependent. Arithmetic matches the pre-workspace solver
+// (fresh Matrix kkt + linalg::lu_solve) bit for bit; only the storage is
+// pooled.
+void QpSolver::kkt_solve(const QpProblem& problem, QpWorkspace& ws) const {
+  const std::size_t n = problem.g.size();
+  const std::size_t m = problem.c.rows();
+  const std::size_t k = ws.w_.size();
+  const std::size_t dim = n + k;
+  const std::size_t stride = n + m;  // fixed leading stride of the buffers
+  double* kkt = ws.kkt_.data();
+  for (std::size_t r = 0; r < dim; ++r) {
+    std::fill_n(kkt + r * stride, dim, 0.0);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto hr = problem.h.row(r);
+    for (std::size_t c2 = 0; c2 < n; ++c2) kkt[r * stride + c2] = hr[c2];
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    const auto row = problem.c.row(ws.w_[a]);
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      kkt[(n + a) * stride + c2] = row[c2];
+      kkt[c2 * stride + (n + a)] = row[c2];
+    }
+    kkt[(n + a) * stride + (n + a)] = -1e-10;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto hr = problem.h.row(r);
+    double acc = 0.0;
+    for (std::size_t c2 = 0; c2 < n; ++c2) acc += hr[c2] * ws.x_[c2];
+    ws.grad_[r] = acc + problem.g[r];
+  }
+  for (std::size_t r = 0; r < n; ++r) ws.rhs_[r] = -ws.grad_[r];
+  for (std::size_t a = 0; a < k; ++a) ws.rhs_[n + a] = 0.0;
+  linalg::lu_factor_inplace(kkt, dim, stride, ws.piv_.data());
+  linalg::lu_solve_inplace(kkt, dim, stride, ws.piv_.data(), ws.rhs_.data(),
+                           ws.sol_.data());
+}
+
+void QpSolver::solve(const QpProblem& problem, const linalg::Vector& x0,
+                     QpWorkspace& ws,
+                     const std::vector<std::size_t>* warm_start) const {
   const std::size_t n = problem.g.size();
   const std::size_t m = problem.c.rows();
   CAPGPU_REQUIRE(problem.h.rows() == n && problem.h.cols() == n,
@@ -45,76 +100,112 @@ QpSolution QpSolver::solve(const QpProblem& problem,
                  "constraint column mismatch");
   CAPGPU_REQUIRE(x0.size() == n, "start point dimension mismatch");
   CAPGPU_REQUIRE(is_feasible(problem, x0), "QP start point is infeasible");
-  // Verify H is SPD up front; Cholesky throws otherwise.
-  (void)linalg::Cholesky(problem.h);
+  ws.ensure(n, m);
+  // Verify H is SPD up front, as the Cholesky constructor would.
+  if (n > 0 && !linalg::cholesky_factor_inplace(problem.h.row(0).data(),
+                                                ws.chol_.data(), n, n)) {
+    throw NumericalError("Cholesky: matrix is not positive definite");
+  }
 
   const double tol = options_.tolerance;
-  linalg::Vector x = x0;
-  // Start from an empty working set: constraints that matter get added as
-  // blocking constraints during the line search. Seeding the working set
-  // with every constraint touching x0 invites degenerate add/drop cycling
-  // when many bounds coincide (e.g. all devices parked at f_min).
-  std::vector<bool> active(m, false);
+  if (ws.x_.size() != n) ws.x_ = linalg::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) ws.x_[i] = x0[i];
+  std::fill_n(ws.active_.begin(), m, char{0});
+  ws.active_set_.clear();
+  ws.converged_ = false;
+  ws.iterations_ = 0;
 
-  QpSolution sol;
-  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    sol.iterations = iter + 1;
+  const double* const xp = ws.x_.data().data();
 
-    std::vector<std::size_t> w;  // working set
-    for (std::size_t i = 0; i < m; ++i) {
-      if (active[i]) w.push_back(i);
-    }
-
-    // Solve the equality-constrained subproblem via the (regularised) KKT
-    // system  [H  Cw^T; Cw  -eps*I] [p; lambda] = [-(Hx+g); 0].
-    // The tiny -eps*I block keeps the system nonsingular even when working
-    // rows become linearly dependent.
-    const std::size_t k = w.size();
-    linalg::Matrix kkt(n + k, n + k);
+  auto finish = [&](bool converged) {
+    // objective = 1/2 x^T H x + g^T x, in the reference evaluation order.
     for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c2 = 0; c2 < n; ++c2) kkt(r, c2) = problem.h(r, c2);
+      const auto hr = problem.h.row(r);
+      double acc = 0.0;
+      for (std::size_t c2 = 0; c2 < n; ++c2) acc += hr[c2] * ws.x_[c2];
+      ws.grad_[r] = acc;
     }
-    for (std::size_t a = 0; a < k; ++a) {
-      const auto row = problem.c.row(w[a]);
-      for (std::size_t c2 = 0; c2 < n; ++c2) {
-        kkt(n + a, c2) = row[c2];
-        kkt(c2, n + a) = row[c2];
-      }
-      kkt(n + a, n + a) = -1e-10;
-    }
-    const linalg::Vector grad = problem.h * x + problem.g;
-    linalg::Vector rhs(n + k);
-    for (std::size_t r = 0; r < n; ++r) rhs[r] = -grad[r];
+    double xhx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) xhx += ws.x_[i] * ws.grad_[i];
+    double gx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) gx += problem.g[i] * ws.x_[i];
+    ws.objective_ = 0.5 * xhx + gx;
+    ws.converged_ = converged;
+  };
 
-    const linalg::Vector pk_lambda = linalg::lu_solve(kkt, rhs);
-    linalg::Vector p(n);
-    for (std::size_t r = 0; r < n; ++r) p[r] = pk_lambda[r];
+  // Warm start, certify-or-fallback: seed the working set with the warm rows
+  // still tight at x0 and accept x0 outright if it proves stationary there
+  // with non-negative multipliers — in the controller's steady state (clocks
+  // pinned at their bounds, x0 on the rails) the cold iteration ends at
+  // exactly x0 too, so the shortcut changes no bits. Any failed check falls
+  // through to the unmodified cold solve.
+  if (warm_start != nullptr && !warm_start->empty()) {
+    ws.w_.clear();
+    for (const std::size_t i : *warm_start) {
+      if (i >= m) continue;
+      if (!ws.w_.empty() && ws.w_.back() >= i) continue;  // need sorted+unique
+      const double room = problem.b[i] - dot_row(problem.c, i, xp, n);
+      if (room <= 0.0) ws.w_.push_back(i);
+    }
+    if (!ws.w_.empty()) {
+      kkt_solve(problem, ws);
+      const std::size_t k = ws.w_.size();
+      const double stationary_tol =
+          options_.stationarity_tolerance * std::max(1.0, ws.x_.norm_inf());
+      double p_norm = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        p_norm = std::max(p_norm, std::abs(ws.sol_[r]));
+      }
+      bool certified = p_norm <= stationary_tol;
+      for (std::size_t a = 0; a < k && certified; ++a) {
+        certified = ws.sol_[n + a] >= -tol;
+      }
+      if (certified) {
+        ws.iterations_ = 1;
+        ws.active_set_.assign(ws.w_.begin(), ws.w_.end());
+        finish(true);
+        return;
+      }
+    }
+  }
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    ws.iterations_ = iter + 1;
+
+    ws.w_.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (ws.active_[i]) ws.w_.push_back(i);
+    }
+    const std::size_t k = ws.w_.size();
+    kkt_solve(problem, ws);
 
     // Stationarity is judged relative to the iterate's scale: MPC problems
     // work in MHz (x ~ 1e2..1e3), unit-test problems near 1.
     const double stationary_tol =
-        options_.stationarity_tolerance * std::max(1.0, x.norm_inf());
-    if (p.norm_inf() <= stationary_tol) {
+        options_.stationarity_tolerance * std::max(1.0, ws.x_.norm_inf());
+    double p_norm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      p_norm = std::max(p_norm, std::abs(ws.sol_[r]));
+    }
+    if (p_norm <= stationary_tol) {
       // Stationary on the working set: check multipliers.
       double most_negative = -tol;
       std::size_t drop = m;
       for (std::size_t a = 0; a < k; ++a) {
-        const double lambda = pk_lambda[n + a];
+        const double lambda = ws.sol_[n + a];
         if (lambda < most_negative) {
           most_negative = lambda;
-          drop = w[a];
+          drop = ws.w_[a];
         }
       }
       if (drop == m) {
-        sol.x = x;
-        sol.objective = objective_of(problem, x);
-        sol.converged = true;
         for (std::size_t i = 0; i < m; ++i) {
-          if (active[i]) sol.active_set.push_back(i);
+          if (ws.active_[i]) ws.active_set_.push_back(i);
         }
-        return sol;
+        finish(true);
+        return;
       }
-      active[drop] = false;
+      ws.active_[drop] = 0;
       continue;
     }
 
@@ -122,10 +213,10 @@ QpSolution QpSolver::solve(const QpProblem& problem,
     double alpha = 1.0;
     std::size_t blocking = m;
     for (std::size_t i = 0; i < m; ++i) {
-      if (active[i]) continue;
-      const double cp = dot_row(problem.c, i, p);
+      if (ws.active_[i]) continue;
+      const double cp = dot_row(problem.c, i, ws.sol_.data(), n);
       if (cp > tol) {
-        const double room = problem.b[i] - dot_row(problem.c, i, x);
+        const double room = problem.b[i] - dot_row(problem.c, i, xp, n);
         const double a_i = std::max(0.0, room / cp);
         if (a_i < alpha) {
           alpha = a_i;
@@ -133,14 +224,24 @@ QpSolution QpSolver::solve(const QpProblem& problem,
         }
       }
     }
-    for (std::size_t r = 0; r < n; ++r) x[r] += alpha * p[r];
-    if (blocking != m) active[blocking] = true;
+    for (std::size_t r = 0; r < n; ++r) ws.x_[r] += alpha * ws.sol_[r];
+    if (blocking != m) ws.active_[blocking] = 1;
   }
 
   // Iteration budget exhausted; report the best point found, not converged.
-  sol.x = x;
-  sol.objective = objective_of(problem, x);
-  sol.converged = false;
+  finish(false);
+}
+
+QpSolution QpSolver::solve(const QpProblem& problem,
+                           const linalg::Vector& x0) const {
+  QpWorkspace ws;
+  solve(problem, x0, ws, nullptr);
+  QpSolution sol;
+  sol.x = ws.x();
+  sol.objective = ws.objective();
+  sol.iterations = ws.iterations();
+  sol.converged = ws.converged();
+  sol.active_set = ws.active_set();
   return sol;
 }
 

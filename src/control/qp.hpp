@@ -8,6 +8,12 @@
 // linear, the problem is exactly a convex QP and the active-set method finds
 // the same optimum deterministically. Problem sizes are tiny (N*M <= a few
 // dozen variables), so dense factorisations are the right tool.
+//
+// The solver offers two entry points: the original allocating solve()
+// returning a QpSolution, and a workspace-based solve() that runs entirely
+// inside caller-owned buffers (sized on first use) and optionally
+// warm-starts from a previous active set — the controller's steady-state
+// path performs zero heap allocations per period.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +40,46 @@ struct QpSolution {
   std::vector<std::size_t> active_set;  ///< indices of active constraints
 };
 
+/// Reusable solve state: preallocated KKT, right-hand-side and factorisation
+/// buffers plus the result fields of the last solve. Grows to the largest
+/// problem it has seen and never shrinks, so a controller that solves the
+/// same-shaped QP every period allocates on the first period only.
+class QpWorkspace {
+ public:
+  QpWorkspace() = default;
+
+  // Results of the most recent solve through this workspace.
+  [[nodiscard]] const linalg::Vector& x() const { return x_; }
+  [[nodiscard]] double objective() const { return objective_; }
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  [[nodiscard]] bool converged() const { return converged_; }
+  [[nodiscard]] const std::vector<std::size_t>& active_set() const {
+    return active_set_;
+  }
+
+ private:
+  friend class QpSolver;
+  void ensure(std::size_t n, std::size_t m);
+
+  std::size_t cap_n_{0};
+  std::size_t cap_m_{0};
+  // Results.
+  linalg::Vector x_;
+  double objective_{0.0};
+  std::size_t iterations_{0};
+  bool converged_{false};
+  std::vector<std::size_t> active_set_;
+  // Scratch: KKT system of dimension up to (n+m), stride n+m.
+  std::vector<double> kkt_;
+  std::vector<std::size_t> piv_;
+  std::vector<double> rhs_;
+  std::vector<double> sol_;   // [p; lambda]
+  std::vector<double> grad_;  // n (also reused for the objective's H*x)
+  std::vector<double> chol_;  // n*n SPD-check factor
+  std::vector<char> active_;  // m flags
+  std::vector<std::size_t> w_;  // working set
+};
+
 /// Primal active-set QP solver.
 class QpSolver {
  public:
@@ -57,12 +103,28 @@ class QpSolver {
   [[nodiscard]] QpSolution solve(const QpProblem& problem,
                                  const linalg::Vector& x0) const;
 
+  /// Allocation-free variant: results land in `ws` (read them via its
+  /// accessors). `warm_start`, when non-null, names constraint rows to seed
+  /// the working set with — typically the previous period's active set. The
+  /// seed is certify-or-fallback: rows still tight at x0 form a candidate
+  /// working set, and if x0 proves stationary on it with non-negative
+  /// multipliers the solve returns x0 after a single KKT solve; otherwise
+  /// the standard cold iteration runs unchanged, so a stale or wrong warm
+  /// set can never alter the solution, only forfeit the shortcut.
+  void solve(const QpProblem& problem, const linalg::Vector& x0,
+             QpWorkspace& ws,
+             const std::vector<std::size_t>* warm_start = nullptr) const;
+
   /// True when `x` satisfies C x <= b within `slack`.
   [[nodiscard]] static bool is_feasible(const QpProblem& problem,
                                         const linalg::Vector& x,
                                         double slack = 1e-7);
 
  private:
+  /// One equality-constrained KKT solve on the working set ws.w_:
+  /// fills ws.sol_ with [p; lambda] for the system at iterate ws.x_.
+  void kkt_solve(const QpProblem& problem, QpWorkspace& ws) const;
+
   Options options_{};
 };
 

@@ -90,7 +90,9 @@ ServerRig::ServerRig(RigConfig config)
       auto arrivals = std::make_unique<workload::ArrivalProcess>(
           engine_, rng.split(), std::move(schedule));
       auto* stream_ptr = stream.get();
-      arrivals->on_arrival = [stream_ptr] { stream_ptr->submit_requests(1); };
+      arrivals->on_arrivals = [stream_ptr](const double* times, std::size_t n) {
+        stream_ptr->submit_arrivals(times, n);
+      };
       arrivals->start();
       arrivals_.push_back(std::move(arrivals));
     }

@@ -133,6 +133,26 @@ EventId Engine::schedule_periodic(SimTime period, Callback cb) {
   return make_id(slot, s.generation);
 }
 
+bool Engine::try_reschedule_firing(EventId id, SimTime delay) {
+  CAPGPU_REQUIRE(delay >= 0.0, "negative delay");
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto generation = static_cast<std::uint32_t>(id);
+  if (slot != firing_slot_) return false;
+  Slot& s = slot_ref(slot);
+  if (s.generation != generation) return false;
+  CAPGPU_REQUIRE(!s.periodic, "periodic events reschedule themselves");
+  CAPGPU_REQUIRE(!resched_armed_ && !s.live,
+                 "event already rescheduled during this firing");
+  // The seq is drawn here — at the call, exactly where schedule_after
+  // would draw it — so the FIFO tie-break order is identical whichever
+  // path a caller takes.
+  resched_node_ = Node{now_ + delay, next_seq_++, slot, generation};
+  resched_armed_ = true;
+  s.live = true;
+  ++live_count_;
+  return true;
+}
+
 void Engine::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(id >> 32);
   const auto generation = static_cast<std::uint32_t>(id);
@@ -172,16 +192,40 @@ bool Engine::fire_top() {
     // returns (so new events cannot reuse it mid-invocation, and the
     // closure is not destroyed while it runs), but it is already dead —
     // a cancel() of our id from inside the callback is a plain no-op.
-    heap_pop();
+    // The fired node also stays at the heap top while the callback runs
+    // (everything the callback schedules is strictly later than
+    // (node.time, node.seq), so the heap property holds); when the
+    // callback re-arms itself via try_reschedule_firing the pop + push
+    // collapses into a replace-top, the same fast path periodic events
+    // use.
     s.live = false;
     --live_count_;
+    s.firing = true;
+    firing_slot_ = node.slot;
+    resched_armed_ = false;
     try {
       s.cb();
     } catch (...) {
-      recycle_slot(node.slot);
+      s.firing = false;
+      firing_slot_ = kNoSlot;
+      // schedule_after'd work survives a throwing callback, so a
+      // rescheduled chain does too.
+      if (resched_armed_ && s.live) {
+        replace_top(resched_node_);
+      } else {
+        heap_pop();
+        recycle_slot(node.slot);
+      }
       throw;
     }
-    recycle_slot(node.slot);
+    s.firing = false;
+    firing_slot_ = kNoSlot;
+    if (resched_armed_ && s.live) {
+      replace_top(resched_node_);
+    } else {
+      heap_pop();
+      recycle_slot(node.slot);
+    }
     return true;
   }
 
@@ -196,12 +240,14 @@ bool Engine::fire_top() {
   // resurrect a series that cancelled itself.
   const SimTime next_time = node.time + s.period;
   s.firing = true;
+  firing_slot_ = node.slot;
   try {
     s.cb();
   } catch (...) {
     // Keep the seed engine's contract: a throwing periodic callback stays
     // scheduled (its reschedule used to be pushed before the invocation).
     s.firing = false;
+    firing_slot_ = kNoSlot;
     if (s.live) {
       replace_top(Node{next_time, next_seq_++, node.slot, node.generation});
     } else {
@@ -211,6 +257,7 @@ bool Engine::fire_top() {
     throw;
   }
   s.firing = false;
+  firing_slot_ = kNoSlot;
   if (s.live) {
     replace_top(Node{next_time, next_seq_++, node.slot, node.generation});
   } else {

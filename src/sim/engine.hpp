@@ -55,6 +55,19 @@ class Engine {
   /// cancellation from inside its own callback.
   EventId schedule_periodic(SimTime period, Callback cb);
 
+  /// One-shot self-reschedule fast path. Valid only while `id`'s own
+  /// callback is executing: re-arms the same slot and callback to fire
+  /// again at now() + delay, so a self-perpetuating chain (a preprocess
+  /// worker, a batch consumer) skips the slot recycle, the callback
+  /// reconstruction, and the heap pop+push of a fresh schedule_after —
+  /// the fired node is overwritten in place like a periodic reschedule.
+  /// The id stays valid for the whole chain (same slot, same generation),
+  /// so cancel(id) between firings still stops it. Returns false when
+  /// `id` is not the currently-firing event (e.g. the chain is being
+  /// restarted from another event's callback) — callers then fall back
+  /// to schedule_after.
+  bool try_reschedule_firing(EventId id, SimTime delay);
+
   /// Cancels a pending event; a no-op for already-fired or unknown ids.
   void cancel(EventId id);
 
@@ -139,8 +152,18 @@ class Engine {
     return (static_cast<EventId>(slot) << 32) | generation;
   }
 
+  /// Sentinel for firing_slot_ when no callback is executing.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   SimTime now_{0.0};
   std::uint64_t next_seq_{0};
+  /// Slot whose callback fire_top is currently invoking; gates
+  /// try_reschedule_firing to the self-reschedule case only.
+  std::uint32_t firing_slot_{kNoSlot};
+  /// Set when the firing one-shot re-armed itself; fire_top then turns the
+  /// pending pop + push into a replace-top with resched_node_.
+  bool resched_armed_{false};
+  Node resched_node_{};
   std::uint64_t executed_{0};
   std::size_t live_count_{0};
   // Indexed binary min-heap (slots track their node's position). Binary

@@ -160,10 +160,15 @@ void QuantileSketch::merge_from(const QuantileSketch& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   zero_count_ += other.zero_count_;
+  if (!other.buckets_.empty()) {
+    // One growth to the union range up front instead of a grow_to (and a
+    // possible reallocation + shift) per occupied bucket.
+    grow_to(other.offset_);
+    grow_to(other.offset_ + static_cast<int>(other.buckets_.size()) - 1);
+  }
   for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
     if (other.buckets_[i] == 0) continue;
     const int key = other.offset_ + static_cast<int>(i);
-    grow_to(key);
     buckets_[static_cast<std::size_t>(key - offset_)] += other.buckets_[i];
   }
 }

@@ -34,7 +34,11 @@ double ArrivalProcess::rate_at(double t) const {
 void ArrivalProcess::start() {
   CAPGPU_REQUIRE(!started_, "arrival process already started");
   started_ = true;
-  schedule_next();
+  if (on_arrivals) {
+    generate_chunk();
+  } else {
+    schedule_next();
+  }
 }
 
 void ArrivalProcess::stop() {
@@ -77,6 +81,49 @@ void ArrivalProcess::schedule_next() {
     if (on_arrival) on_arrival();
     schedule_next();
   });
+}
+
+void ArrivalProcess::generate_chunk() {
+  // Mirrors schedule_next gap for gap — including the draw discarded when
+  // an arrival would cross a rate-change point — so bulk mode consumes the
+  // RNG stream identically to the per-event path. Only `t` advances here;
+  // sim time catches up via the single re-arm event per chunk.
+  double t = engine_->now();
+  std::size_t count = 0;
+  while (count < kChunk) {
+    const double rate = rate_at(t);
+    double next_change = -1.0;
+    for (const auto& pt : schedule_) {
+      if (pt.time_s > t) {
+        next_change = pt.time_s;
+        break;
+      }
+    }
+    if (rate <= 0.0) {
+      if (next_change < 0.0) break;  // zero rate forever: done
+      t = next_change;
+      continue;
+    }
+    const double gap = rng_.exponential(rate);
+    const double arrival_time = t + gap;
+    if (next_change > 0.0 && arrival_time > next_change) {
+      // Rate changes first: re-draw under the new rate from the change
+      // point (memorylessness makes this exact, as in schedule_next).
+      t = next_change;
+      continue;
+    }
+    chunk_[count++] = arrival_time;
+    t = arrival_time;
+  }
+  if (count == 0) {
+    pending_ = 0;
+    return;  // zero rate to the end of the schedule: no more arrivals
+  }
+  arrivals_ += count;
+  on_arrivals(chunk_.data(), count);
+  // Re-arm at the last generated arrival: by then every delivered stamp is
+  // due and the next chunk continues the gap sequence seamlessly.
+  pending_ = engine_->schedule_at(chunk_[count - 1], [this] { generate_chunk(); });
 }
 
 }  // namespace capgpu::workload

@@ -8,6 +8,7 @@
 // demand, not hardware, is the bottleneck.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <vector>
 
@@ -36,6 +37,14 @@ class ArrivalProcess {
 
   /// Invoked once per arrival.
   std::function<void()> on_arrival;
+  /// Bulk delivery: invoked with a block of ascending arrival timestamps
+  /// (seconds). When set it takes precedence over on_arrival — whole
+  /// inter-arrival chunks are drawn ahead of sim time in one go (the gap
+  /// sequence is time-deterministic, so the RNG stream is consumed exactly
+  /// as the per-event path would) and only one engine event per chunk
+  /// re-arms generation. The receiver owns time-gating consumption
+  /// (InferenceStream::submit_arrivals).
+  std::function<void(const double*, std::size_t)> on_arrivals;
 
   void start();
   void stop();
@@ -45,11 +54,18 @@ class ArrivalProcess {
   [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
 
  private:
+  /// Arrivals drawn per chunk in bulk mode (one generation event each).
+  static constexpr std::size_t kChunk = 64;
+
   void schedule_next();
+  void generate_chunk();
 
   sim::Engine* engine_;
   Rng rng_;
   std::vector<RatePoint> schedule_;
+  std::array<double, kChunk> chunk_{};
+  /// Fired arrivals (per-event mode) or generated arrivals (bulk mode —
+  /// counts run ahead of sim time by up to one chunk).
   std::uint64_t arrivals_{0};
   sim::EventId pending_{0};
   bool started_{false};

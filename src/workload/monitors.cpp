@@ -6,23 +6,27 @@
 
 namespace capgpu::workload {
 
-ThroughputMonitor::ThroughputMonitor(double max_rate) : max_rate_(max_rate) {
-  CAPGPU_REQUIRE(max_rate > 0.0, "max_rate must be positive");
+void SampleRing::grow() {
+  const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+  std::vector<Entry> next(cap);
+  for (std::size_t i = 0; i < size_; ++i) next[i] = (*this)[i];
+  buf_ = std::move(next);
+  head_ = 0;
+  mask_ = cap - 1;
 }
 
-void ThroughputMonitor::record(sim::SimTime now, double count) {
-  CAPGPU_ASSERT(count >= 0.0);
-  events_.push_back(Event{now, count});
-  total_ += count;
+ThroughputMonitor::ThroughputMonitor(double max_rate) : max_rate_(max_rate) {
+  CAPGPU_REQUIRE(max_rate > 0.0, "max_rate must be positive");
 }
 
 double ThroughputMonitor::rate(sim::SimTime now, double window) const {
   CAPGPU_REQUIRE(window > 0.0, "window must be positive");
   const double cutoff = now - window;
   double sum = 0.0;
-  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
-    if (it->time <= cutoff) break;
-    sum += it->count;
+  for (std::size_t i = events_.size(); i-- > 0;) {
+    const SampleRing::Entry& e = events_[i];
+    if (e.time <= cutoff) break;
+    sum += e.value;
   }
   return sum / window;
 }
@@ -34,23 +38,19 @@ double ThroughputMonitor::normalized_rate(sim::SimTime now,
 
 void ThroughputMonitor::trim(sim::SimTime now, double horizon) {
   const double cutoff = now - horizon;
-  while (!events_.empty() && events_.front().time <= cutoff) {
+  while (!events_.empty() && events_[0].time <= cutoff) {
     events_.pop_front();
   }
-}
-
-void LatencyMonitor::record(sim::SimTime now, double latency_s) {
-  samples_.push_back(Sample{now, latency_s});
-  lifetime_.add(latency_s);
 }
 
 double LatencyMonitor::mean(sim::SimTime now, double window) const {
   const double cutoff = now - window;
   double sum = 0.0;
   std::size_t n = 0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->time <= cutoff) break;
-    sum += it->latency;
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    const SampleRing::Entry& s = samples_[i];
+    if (s.time <= cutoff) break;
+    sum += s.value;
     ++n;
   }
   return n ? sum / static_cast<double>(n) : 0.0;
@@ -59,9 +59,10 @@ double LatencyMonitor::mean(sim::SimTime now, double window) const {
 double LatencyMonitor::max(sim::SimTime now, double window) const {
   const double cutoff = now - window;
   double m = 0.0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->time <= cutoff) break;
-    m = std::max(m, it->latency);
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    const SampleRing::Entry& s = samples_[i];
+    if (s.time <= cutoff) break;
+    m = std::max(m, s.value);
   }
   return m;
 }
@@ -69,8 +70,8 @@ double LatencyMonitor::max(sim::SimTime now, double window) const {
 std::size_t LatencyMonitor::count(sim::SimTime now, double window) const {
   const double cutoff = now - window;
   std::size_t n = 0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->time <= cutoff) break;
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    if (samples_[i].time <= cutoff) break;
     ++n;
   }
   return n;
@@ -81,10 +82,11 @@ double LatencyMonitor::miss_rate(sim::SimTime now, double window,
   const double cutoff = now - window;
   std::size_t n = 0;
   std::size_t misses = 0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->time <= cutoff) break;
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    const SampleRing::Entry& s = samples_[i];
+    if (s.time <= cutoff) break;
     ++n;
-    if (it->latency > threshold) ++misses;
+    if (s.value > threshold) ++misses;
   }
   return n ? static_cast<double>(misses) / static_cast<double>(n) : 0.0;
 }
@@ -93,16 +95,16 @@ void LatencyMonitor::visit(sim::SimTime now, double window,
                            const std::function<void(double)>& fn) const {
   const double cutoff = now - window;
   // Find the oldest in-window sample, then iterate forward.
-  auto it = samples_.rbegin();
-  while (it != samples_.rend() && it->time > cutoff) ++it;
-  for (auto fwd = it.base(); fwd != samples_.end(); ++fwd) {
-    fn(fwd->latency);
+  std::size_t first = samples_.size();
+  while (first > 0 && samples_[first - 1].time > cutoff) --first;
+  for (std::size_t i = first; i < samples_.size(); ++i) {
+    fn(samples_[i].value);
   }
 }
 
 void LatencyMonitor::trim(sim::SimTime now, double horizon) {
   const double cutoff = now - horizon;
-  while (!samples_.empty() && samples_.front().time <= cutoff) {
+  while (!samples_.empty() && samples_[0].time <= cutoff) {
     samples_.pop_front();
   }
 }

@@ -6,13 +6,57 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
+#include "common/error.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/stats.hpp"
 
 namespace capgpu::workload {
+
+/// Flat ring of (time, value) samples backing the monitors.
+///
+/// Replaces the std::deque sample stores on the request hot path: trim()
+/// advances the head without releasing storage, so steady-state record()s
+/// land in warm, already-mapped memory and the rolling window cycles
+/// through one power-of-two allocation. Scans visit the same elements in
+/// the same order as the deque did, so every windowed statistic is
+/// bit-identical to the old storage.
+class SampleRing {
+ public:
+  struct Entry {
+    sim::SimTime time;
+    double value;
+  };
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// i-th live entry, oldest first (i < size()).
+  [[nodiscard]] const Entry& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(sim::SimTime time, double value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = Entry{time, value};
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+ private:
+  void grow();
+
+  std::vector<Entry> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+  std::size_t mask_{0};  // buf_.size() - 1 (capacity is a power of two)
+};
 
 /// Counts completion events and reports a windowed rate.
 class ThroughputMonitor {
@@ -22,7 +66,11 @@ class ThroughputMonitor {
   explicit ThroughputMonitor(double max_rate);
 
   /// Records `count` completions at simulated time `now`.
-  void record(sim::SimTime now, double count = 1.0);
+  void record(sim::SimTime now, double count = 1.0) {
+    CAPGPU_ASSERT(count >= 0.0);
+    events_.push_back(now, count);
+    total_ += count;
+  }
 
   /// Completions per second over (now - window, now].
   [[nodiscard]] double rate(sim::SimTime now, double window) const;
@@ -33,23 +81,23 @@ class ThroughputMonitor {
   [[nodiscard]] double max_rate() const { return max_rate_; }
   [[nodiscard]] double total() const { return total_; }
 
-  /// Drops events older than `horizon` seconds before `now` (bounds memory).
+  /// Drops events older than `horizon` seconds before `now` (bounds memory;
+  /// the backing ring keeps its capacity for reuse).
   void trim(sim::SimTime now, double horizon = 600.0);
 
  private:
-  struct Event {
-    sim::SimTime time;
-    double count;
-  };
   double max_rate_;
   double total_{0.0};
-  std::deque<Event> events_;
+  SampleRing events_;
 };
 
 /// Collects latency samples within a rolling window plus lifetime stats.
 class LatencyMonitor {
  public:
-  void record(sim::SimTime now, double latency_s);
+  void record(sim::SimTime now, double latency_s) {
+    samples_.push_back(now, latency_s);
+    lifetime_.add(latency_s);
+  }
 
   /// Mean latency of samples in (now - window, now]; 0 when none.
   [[nodiscard]] double mean(sim::SimTime now, double window) const;
@@ -71,11 +119,7 @@ class LatencyMonitor {
   void trim(sim::SimTime now, double horizon = 600.0);
 
  private:
-  struct Sample {
-    sim::SimTime time;
-    double latency;
-  };
-  std::deque<Sample> samples_;
+  SampleRing samples_;
   telemetry::RunningStats lifetime_;
 };
 

@@ -34,6 +34,18 @@ InferenceStream::InferenceStream(sim::Engine& engine, hw::ServerModel& server,
   CAPGPU_REQUIRE(queue_.capacity() >= params_.model.batch_size,
                  "queue must hold at least one batch");
 
+  // Worst-case live requests: one per worker, a full queue, and one batch
+  // executing on the GPU. Reserving it up front keeps acquire()/release()
+  // off the allocator for the whole run.
+  pool_.reserve(workers_.size() + 2 * queue_.capacity());
+  batch_ids_.resize(queue_.capacity());
+  blocked_workers_.reserve(workers_.size());
+  idle_workers_.reserve(workers_.size());
+  pending_arrivals_.reserve(256);
+  if (params_.stage_stats) {
+    stage_scratch_.reserve(4 * queue_.capacity());
+  }
+
   auto& registry = telemetry::MetricsRegistry::current();
   const telemetry::Labels by_model{{"model", params_.model.name}};
   images_metric_ = &registry.counter(telemetry::metric::kImagesCompleted,
@@ -111,7 +123,13 @@ void InferenceStream::set_batch_size(std::size_t batch) {
   batch_size_ = std::clamp<std::size_t>(batch, 1, queue_.capacity());
   // A consumer parked on the old threshold must not stall behind it; move
   // the threshold (fires immediately if the queue already suffices).
-  queue_.update_consumer_threshold(batch_size_);
+  if (consumer_waiting_) {
+    consumer_threshold_ = batch_size_;
+    if (queue_.size() >= consumer_threshold_) {
+      consumer_waiting_ = false;
+      consumer_try_start();
+    }
+  }
 }
 
 void InferenceStream::set_worker_computing(std::size_t w, bool computing) {
@@ -126,21 +144,32 @@ void InferenceStream::worker_start_image(std::size_t w) {
   const sim::SimTime now = engine_->now();
   sim::SimTime arrival = now;  // closed loop: requests materialise on demand
   if (params_.open_loop) {
-    if (pending_arrivals_.empty()) {
-      idle_workers_.push_back(w);  // nothing to do; submit_requests wakes us
+    if (pending_arrivals_.empty() || pending_arrivals_.front() > now) {
+      // Nothing has arrived yet; submit/wakeup re-starts us.
+      idle_workers_.push_back(w);
+      maybe_arm_arrival_wakeup();
       return;
     }
     arrival = pending_arrivals_.front();
     pending_arrivals_.pop_front();
   }
-  RequestTimeline& timeline = workers_[w].timeline;
-  timeline = RequestTimeline{};
-  timeline.arrival = arrival;
-  timeline.preprocess_start = now;
+  const RequestId id = pool_.acquire();
+  workers_[w].req = id;
+  pool_.arrival[id] = arrival;
+  pool_.preprocess_start[id] = now;
   set_worker_computing(w, true);
   const double compute = preprocess_duration();
-  engine_->schedule_after(compute,
-                          [this, w, compute] { worker_finish_image(w, compute); });
+  workers_[w].compute = compute;
+  // Workers are self-perpetuating event chains: in the common case this
+  // start runs inside the worker's own completion callback, so the fired
+  // event re-arms in place (no slot recycle, no callback rebuild, one
+  // sift-down). When the start comes from another event — initial start,
+  // a blocked worker woken by the consumer, an arrival wakeup — the stored
+  // id is not the firing event and we fall back to a fresh schedule.
+  if (!engine_->try_reschedule_firing(workers_[w].event, compute)) {
+    workers_[w].event = engine_->schedule_after(
+        compute, [this, w] { worker_finish_image(w); });
+  }
 }
 
 void InferenceStream::submit_requests(std::size_t n_images) {
@@ -148,86 +177,146 @@ void InferenceStream::submit_requests(std::size_t n_images) {
                  "submit_requests is only valid in open-loop mode");
   const sim::SimTime now = engine_->now();
   for (std::size_t i = 0; i < n_images; ++i) pending_arrivals_.push_back(now);
-  while (!idle_workers_.empty() && !pending_arrivals_.empty()) {
+  wake_ready_arrivals();
+}
+
+void InferenceStream::submit_arrivals(const double* times_s, std::size_t n) {
+  CAPGPU_REQUIRE(params_.open_loop,
+                 "submit_arrivals is only valid in open-loop mode");
+  pending_arrivals_.append(times_s, n);
+  wake_ready_arrivals();
+}
+
+void InferenceStream::wake_ready_arrivals() {
+  const sim::SimTime now = engine_->now();
+  while (!idle_workers_.empty() && !pending_arrivals_.empty() &&
+         pending_arrivals_.front() <= now) {
     const std::size_t w = idle_workers_.back();
     idle_workers_.pop_back();
     worker_start_image(w);
   }
+  maybe_arm_arrival_wakeup();
 }
 
-void InferenceStream::worker_finish_image(std::size_t w, double compute) {
+void InferenceStream::maybe_arm_arrival_wakeup() {
+  // Only needed when workers idle ahead of a future arrival (bulk mode);
+  // busy workers re-check the pending ring the moment they free up.
+  if (arrival_wakeup_ != 0 || idle_workers_.empty() ||
+      pending_arrivals_.empty()) {
+    return;
+  }
+  arrival_wakeup_ = engine_->schedule_at(pending_arrivals_.front(), [this] {
+    arrival_wakeup_ = 0;
+    wake_ready_arrivals();
+  });
+}
+
+void InferenceStream::worker_finish_image(std::size_t w) {
   set_worker_computing(w, false);  // compute done; may still block on queue
-  workers_[w].timeline.preprocess_done = engine_->now();
-  preprocess_compute_.record(engine_->now(), compute);
+  pool_.preprocess_done[workers_[w].req] = engine_->now();
+  preprocess_compute_.record(engine_->now(), workers_[w].compute);
   worker_try_push(w);
 }
 
 void InferenceStream::worker_try_push(std::size_t w) {
-  if (queue_.try_push(workers_[w].timeline, engine_->now())) {
-    preprocess_latency_.record(
-        engine_->now(), engine_->now() - workers_[w].timeline.preprocess_start);
+  if (!queue_.full()) {
+    const RequestId id = workers_[w].req;
+    pool_.enqueued[id] = engine_->now();
+    queue_.push(id);
+    // The push that reaches the batch threshold starts the consumer
+    // synchronously (it may pop this very id into a batch; the pool lanes
+    // stay valid either way).
+    if (consumer_waiting_ && queue_.size() >= consumer_threshold_) {
+      consumer_waiting_ = false;
+      consumer_try_start();
+    }
+    preprocess_latency_.record(engine_->now(),
+                               engine_->now() - pool_.preprocess_start[id]);
     worker_start_image(w);
   } else {
-    queue_.wait_for_space([this, w] { worker_try_push(w); });
+    blocked_workers_.push_back(w);  // consumer_try_start wakes us LIFO
   }
 }
 
 void InferenceStream::consumer_try_start() {
   const std::size_t batch = batch_size_;
   if (queue_.size() >= batch) {
-    auto items = queue_.pop(batch);
+    queue_.pop_into(batch_ids_.data(), batch);
+    in_flight_ = batch;
+    // Wake blocked producers newest-first until the freed space is gone —
+    // before the batch stamps, matching the historical queue's pop order.
+    while (!queue_.full() && !blocked_workers_.empty()) {
+      const std::size_t w = blocked_workers_.back();
+      blocked_workers_.pop_back();
+      worker_try_push(w);
+    }
     const sim::SimTime now = engine_->now();
     gpu_busy_ = true;
     server_->gpu(gpu_index_).set_utilization(params_.model.gpu_busy_util);
-    for (auto& item : items) {
-      item.batch_start = now;
-      queue_delay_.record(now, now - item.enqueued);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const RequestId id = batch_ids_[i];
+      pool_.batch_start[id] = now;
+      queue_delay_.record(now, now - pool_.enqueued[id]);
     }
     batch_span_ = telemetry::Tracer::current().begin_span(trace_tid_, "batch",
                                                          "workload");
     const double exec = batch_duration();
-    engine_->schedule_after(exec, [this, exec,
-                                   items = std::move(items)]() mutable {
-      consumer_finish_batch(exec, items);
-    });
+    batch_exec_ = exec;
+    // Saturated streams chain batch after batch from inside the previous
+    // completion: reuse the fired event like the workers do.
+    if (!engine_->try_reschedule_firing(batch_event_, exec)) {
+      batch_event_ = engine_->schedule_after(
+          exec, [this] { consumer_finish_batch(batch_exec_); });
+    }
   } else {
-    queue_.wait_for_items(batch, [this] { consumer_try_start(); });
+    consumer_waiting_ = true;
+    consumer_threshold_ = batch;
   }
 }
 
-void InferenceStream::consumer_finish_batch(
-    double exec_latency, std::vector<RequestTimeline>& items) {
+void InferenceStream::consumer_finish_batch(double exec_latency) {
   const sim::SimTime now = engine_->now();
+  const std::size_t count = in_flight_;
   gpu_busy_ = false;
   server_->gpu(gpu_index_).set_utilization(0.0);
   batch_latency_.record(now, exec_latency);
-  images_.record(now, static_cast<double>(items.size()));
-  images_completed_ += items.size();
+  images_.record(now, static_cast<double>(count));
+  images_completed_ += count;
   ++batches_completed_;
   latency_metric_->observe(exec_latency);
-  images_metric_->inc(static_cast<double>(items.size()));
+  images_metric_->inc(static_cast<double>(count));
   batches_metric_->inc();
-  for (auto& item : items) item.completed = now;
-  if (params_.stage_stats) record_stage_stats(exec_latency, items);
+  // Completion is batch-wide: `now` is every request's completed stamp,
+  // passed straight into the attribution fan-out instead of written per id.
+  if (params_.stage_stats) {
+    record_stage_stats(exec_latency, batch_ids_.data(), count, now);
+  }
   if (batch_span_ != 0) {
     telemetry::Tracer::current().end_span(
-        batch_span_, {{"images", static_cast<double>(items.size())},
+        batch_span_, {{"images", static_cast<double>(count)},
                       {"exec_s", exec_latency}});
     batch_span_ = 0;
   }
+  for (std::size_t i = 0; i < count; ++i) pool_.release(batch_ids_[i]);
+  in_flight_ = 0;
   consumer_try_start();
 }
 
-void InferenceStream::record_stage_stats(
-    double exec_latency, const std::vector<RequestTimeline>& items) {
-  const auto n = static_cast<std::uint64_t>(items.size());
-  const std::size_t count = items.size();
+void InferenceStream::record_stage_stats(double exec_latency,
+                                         const RequestId* ids,
+                                         std::size_t count,
+                                         sim::SimTime completed) {
+  const auto n = static_cast<std::uint64_t>(count);
   constexpr auto kPq = static_cast<std::size_t>(Stage::kPreprocessQueue);
   constexpr auto kCpu = static_cast<std::size_t>(Stage::kCpuPreprocess);
   constexpr auto kBq = static_cast<std::size_t>(Stage::kGpuBatchQueue);
   constexpr auto kExec = static_cast<std::size_t>(Stage::kGpuExec);
   const bool open = params_.open_loop;
   using telemetry::QuantileSketch;
+  const sim::SimTime* arrival = pool_.arrival.data();
+  const sim::SimTime* pre_start = pool_.preprocess_start.data();
+  const sim::SimTime* pre_done = pool_.preprocess_done.data();
+  const sim::SimTime* bstart = pool_.batch_start.data();
   // This is the pipeline's hot loop — the selfperf timeline-overhead guard
   // holds the whole block under 5% of the event rate. A steady-state
   // deterministic pipeline produces the same per-batch stage durations
@@ -245,18 +334,14 @@ void InferenceStream::record_stage_stats(
     std::uint64_t diff =
         QuantileSketch::quantized_bits(exec_latency) ^ rec_exec_.quant[0];
     for (std::size_t i = 0; i < count; ++i) {
-      const RequestTimeline& tl = items[i];
-      diff |= QuantileSketch::quantized_bits(tl.preprocess_done -
-                                             tl.preprocess_start) ^
+      const RequestId id = ids[i];
+      diff |= QuantileSketch::quantized_bits(pre_done[id] - pre_start[id]) ^
               qc[i];
-      diff |=
-          QuantileSketch::quantized_bits(tl.batch_start - tl.preprocess_done) ^
-          qb[i];
-      diff |= QuantileSketch::quantized_bits(tl.completed - tl.arrival) ^
-              qt[i];
+      diff |= QuantileSketch::quantized_bits(bstart[id] - pre_done[id]) ^
+              qb[i];
+      diff |= QuantileSketch::quantized_bits(completed - arrival[id]) ^ qt[i];
       if (open) {
-        diff |= QuantileSketch::quantized_bits(tl.preprocess_start -
-                                               tl.arrival) ^
+        diff |= QuantileSketch::quantized_bits(pre_start[id] - arrival[id]) ^
                 qp[i];
       }
     }
@@ -279,11 +364,11 @@ void InferenceStream::record_stage_stats(
     double* total_lane = queue_lane + count;
     double* pq_lane = total_lane + count;
     for (std::size_t i = 0; i < count; ++i) {
-      const RequestTimeline& tl = items[i];
-      cpu_lane[i] = tl.preprocess_done - tl.preprocess_start;
-      queue_lane[i] = tl.batch_start - tl.preprocess_done;
-      total_lane[i] = tl.completed - tl.arrival;
-      if (open) pq_lane[i] = tl.preprocess_start - tl.arrival;
+      const RequestId id = ids[i];
+      cpu_lane[i] = pre_done[id] - pre_start[id];
+      queue_lane[i] = bstart[id] - pre_done[id];
+      total_lane[i] = completed - arrival[id];
+      if (open) pq_lane[i] = pre_start[id] - arrival[id];
     }
     if (open) {
       stage_sum_[kPq] +=
@@ -316,13 +401,28 @@ void InferenceStream::record_stage_stats(
     double t0 = 0.0;
     double t1 = 0.0;
     double sum = 0.0;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      const auto& tl = items[i];
-      const double end = (s == 0)   ? tl.preprocess_start
-                         : (s == 1) ? tl.preprocess_done
-                         : (s == 2) ? tl.batch_start
-                                    : tl.completed;
-      const double dur = tl.stage_seconds(static_cast<Stage>(s));
+    for (std::size_t i = 0; i < count; ++i) {
+      const RequestId id = ids[i];
+      double end = 0.0;
+      double dur = 0.0;
+      switch (static_cast<Stage>(s)) {
+        case Stage::kPreprocessQueue:
+          end = pre_start[id];
+          dur = pre_start[id] - arrival[id];
+          break;
+        case Stage::kCpuPreprocess:
+          end = pre_done[id];
+          dur = pre_done[id] - pre_start[id];
+          break;
+        case Stage::kGpuBatchQueue:
+          end = bstart[id];
+          dur = bstart[id] - pre_done[id];
+          break;
+        case Stage::kGpuExec:
+          end = completed;
+          dur = completed - bstart[id];
+          break;
+      }
       const double start = end - dur;
       if (i == 0 || start < t0) t0 = start;
       if (i == 0 || end > t1) t1 = end;

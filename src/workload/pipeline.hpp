@@ -8,11 +8,17 @@
 // host CPU's current frequency; GPU batch latency follows the current core
 // clock. Starvation (slow CPU) and backpressure (slow GPU) emerge naturally,
 // reproducing the coordination effects that motivate CapGPU (Table 1).
+//
+// Hot-path layout: requests are ids into a pooled struct-of-arrays store
+// (workload/request_pool.hpp), the queue moves ids through a fixed ring, and
+// producer blocking / consumer waiting are plain index lists on the stream —
+// the steady-state request path performs no heap allocations and copies no
+// per-request structs. Event and RNG order are bit-for-bit those of the
+// historical value-passing pipeline (the bench byte-identity contract).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -25,7 +31,9 @@
 #include "workload/model_zoo.hpp"
 #include "workload/monitors.hpp"
 #include "workload/queue.hpp"
+#include "workload/request_pool.hpp"
 #include "workload/request_timeline.hpp"
+#include "workload/ring.hpp"
 
 namespace capgpu::workload {
 
@@ -37,7 +45,8 @@ struct StreamParams {
   std::size_t queue_capacity{0};
   /// Closed loop (default): workers always have input — the saturated
   /// pipeline of the paper's experiments. Open loop: workers only process
-  /// requests submitted via submit_requests() (wire an ArrivalProcess).
+  /// requests submitted via submit_requests()/submit_arrivals() (wire an
+  /// ArrivalProcess).
   bool open_loop{false};
   /// Request-level latency attribution: per-stage quantile sketches,
   /// per-batch stage spans on the trace timeline and the per-period stage
@@ -69,10 +78,16 @@ class InferenceStream {
   /// gain, which is what the adaptive controller has to track.
   void set_gpu_busy_util(double util);
 
-  /// Open-loop mode only: enqueues `n_images` requests for preprocessing.
-  /// Idle workers wake immediately.
+  /// Open-loop mode only: enqueues `n_images` requests (arriving now) for
+  /// preprocessing. Idle workers wake immediately.
   void submit_requests(std::size_t n_images);
-  /// Requests submitted but not yet started by a worker.
+  /// Open-loop mode only: delivers a block of arrival timestamps (ascending,
+  /// all >= now) from a bulk arrival generator. Requests whose arrival time
+  /// is still in the future stay pending until it comes; the stream arms a
+  /// wakeup for the head arrival when workers idle.
+  void submit_arrivals(const double* times_s, std::size_t n);
+  /// Requests submitted but not yet started by a worker (in bulk-arrival
+  /// mode this includes arrivals scheduled for future times).
   [[nodiscard]] std::uint64_t pending_requests() const {
     return pending_arrivals_.size();
   }
@@ -150,35 +165,59 @@ class InferenceStream {
  private:
   struct Worker {
     bool computing{false};
-    RequestTimeline timeline;
+    RequestId req{0};        ///< pool id of the image currently held
+    double compute{0.0};     ///< preprocess duration of the current image
+    sim::EventId event{0};   ///< completion event of the current image
   };
 
   void worker_start_image(std::size_t w);
-  void worker_finish_image(std::size_t w, double compute);
+  void worker_finish_image(std::size_t w);
   void worker_try_push(std::size_t w);
   void consumer_try_start();
-  void consumer_finish_batch(double exec_latency,
-                             std::vector<RequestTimeline>& items);
-  void record_stage_stats(double exec_latency,
-                          const std::vector<RequestTimeline>& items);
+  void consumer_finish_batch(double exec_latency);
+  void record_stage_stats(double exec_latency, const RequestId* ids,
+                          std::size_t count, sim::SimTime completed);
   [[nodiscard]] double preprocess_duration();
   [[nodiscard]] double batch_duration();
   void set_worker_computing(std::size_t w, bool computing);
+  /// Starts idle workers on every pending arrival whose time has come,
+  /// newest-parked worker first (the historical wake order).
+  void wake_ready_arrivals();
+  /// Schedules a wakeup at the head pending arrival when workers idle ahead
+  /// of the arrivals (bulk mode delivers future timestamps).
+  void maybe_arm_arrival_wakeup();
 
   sim::Engine* engine_;
   hw::ServerModel* server_;
   std::size_t gpu_index_;
   StreamParams params_;
   Rng rng_;
+  RequestPool pool_;
   ImageQueue queue_;
   std::vector<Worker> workers_;
   bool gpu_busy_{false};
   bool started_{false};
   std::size_t batch_size_{0};  // current (dynamic) batch size
+
+  // Block/notify bookkeeping (moved here from the queue): producers parked
+  // on a full queue (woken LIFO), and the one consumer waiting for its
+  // batch threshold.
+  std::vector<std::size_t> blocked_workers_;
+  bool consumer_waiting_{false};
+  std::size_t consumer_threshold_{0};
+
+  /// The batch currently executing on the GPU (ids popped from the queue;
+  /// at most one batch is in flight per stream).
+  std::vector<RequestId> batch_ids_;
+  std::size_t in_flight_{0};
+  sim::EventId batch_event_{0};  ///< completion event of the in-flight batch
+  double batch_exec_{0.0};       ///< execution latency of the in-flight batch
+
   /// Open-loop arrival stamps of requests not yet picked up by a worker
   /// (FIFO, so pending_requests() == size()).
-  std::deque<sim::SimTime> pending_arrivals_;
+  Ring<sim::SimTime> pending_arrivals_;
   std::vector<std::size_t> idle_workers_;
+  sim::EventId arrival_wakeup_{0};
 
   ThroughputMonitor images_;
   LatencyMonitor batch_latency_;

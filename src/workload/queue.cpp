@@ -1,69 +1,30 @@
 #include "workload/queue.hpp"
 
-#include <utility>
-
 #include "common/error.hpp"
 
 namespace capgpu::workload {
 
-ImageQueue::ImageQueue(std::size_t capacity) : capacity_(capacity) {
+ImageQueue::ImageQueue(std::size_t capacity) : ring_(capacity) {
   CAPGPU_REQUIRE(capacity > 0, "queue capacity must be positive");
 }
 
-bool ImageQueue::try_push(RequestTimeline item, sim::SimTime now) {
-  if (full()) return false;
-  item.enqueued = now;
-  items_.push_back(item);
+void ImageQueue::push(RequestId id) {
+  CAPGPU_REQUIRE(!full(), "push into a full queue");
+  std::size_t slot = head_ + count_;
+  if (slot >= ring_.size()) slot -= ring_.size();
+  ring_[slot] = id;
+  ++count_;
   ++total_enqueued_;
-  notify_consumer();
-  return true;
 }
 
-void ImageQueue::wait_for_space(std::function<void()> cb) {
-  CAPGPU_ASSERT(static_cast<bool>(cb));
-  blocked_producers_.push_back(std::move(cb));
-}
-
-void ImageQueue::wait_for_items(std::size_t n, std::function<void()> cb) {
-  CAPGPU_REQUIRE(n > 0 && n <= capacity_,
-                 "consumer threshold must fit in the queue");
-  CAPGPU_REQUIRE(!consumer_cb_, "only one pending consumer is supported");
-  consumer_threshold_ = n;
-  consumer_cb_ = std::move(cb);
-  notify_consumer();
-}
-
-void ImageQueue::update_consumer_threshold(std::size_t n) {
-  if (!consumer_cb_) return;
-  CAPGPU_REQUIRE(n > 0 && n <= capacity_,
-                 "consumer threshold must fit in the queue");
-  consumer_threshold_ = n;
-  notify_consumer();
-}
-
-std::vector<RequestTimeline> ImageQueue::pop(std::size_t n) {
-  CAPGPU_REQUIRE(n <= items_.size(), "pop larger than queue contents");
-  std::vector<RequestTimeline> items(items_.begin(),
-                                     items_.begin() + static_cast<long>(n));
-  items_.erase(items_.begin(), items_.begin() + static_cast<long>(n));
-  notify_producers();
-  return items;
-}
-
-void ImageQueue::notify_consumer() {
-  if (consumer_cb_ && items_.size() >= consumer_threshold_) {
-    auto cb = std::exchange(consumer_cb_, nullptr);
-    consumer_threshold_ = 0;
-    cb();
+void ImageQueue::pop_into(RequestId* out, std::size_t n) {
+  CAPGPU_REQUIRE(n <= count_, "pop larger than queue contents");
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ring_[head_];
+    ++head_;
+    if (head_ == ring_.size()) head_ = 0;
   }
-}
-
-void ImageQueue::notify_producers() {
-  while (!full() && !blocked_producers_.empty()) {
-    auto cb = std::move(blocked_producers_.back());
-    blocked_producers_.pop_back();
-    cb();
-  }
+  count_ -= n;
 }
 
 }  // namespace capgpu::workload

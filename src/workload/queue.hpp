@@ -1,67 +1,47 @@
 // Bounded FIFO of preprocessed images between the CPU stage and the GPU.
 //
 // Mirrors the motivation experiment's shared queue (Sec 3.2): preprocessing
-// workers push tensors; the GPU-bound consumer assembles batches. Producers
-// that hit a full queue block (their measured preprocessing latency then
-// includes the blocking time, which is how queue backpressure shows up in
-// Table 1).
+// workers push tensors; the GPU-bound consumer assembles batches. The queue
+// itself is a fixed ring of request ids into the stream's RequestPool — it
+// holds no timestamps and runs no callbacks. Blocking producers and the
+// waiting consumer are bookkeeping of the InferenceStream (plain index
+// lists), which removed the std::function registration churn from the
+// pipeline hot path; the queue only counts and orders.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <vector>
 
-#include "sim/engine.hpp"
-#include "workload/request_timeline.hpp"
+#include "workload/request_pool.hpp"
 
 namespace capgpu::workload {
 
-/// FIFO of preprocessed requests (each carrying its RequestTimeline) with a
-/// capacity and block/notify hooks. Not thread-safe: lives entirely inside
-/// the single-threaded DES.
+/// Fixed-capacity FIFO ring of request ids. Not thread-safe: lives entirely
+/// inside the single-threaded DES.
 class ImageQueue {
  public:
   explicit ImageQueue(std::size_t capacity);
 
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const { return items_.size(); }
-  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
-  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool full() const { return count_ >= ring_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
 
-  /// Attempts to enqueue a request; stamps item.enqueued with `now`.
-  /// Returns false when full — the producer must then register via
-  /// `wait_for_space`.
-  bool try_push(RequestTimeline item, sim::SimTime now);
+  /// Enqueues a request id; the queue must not be full (a producer that
+  /// finds it full parks in the stream's blocked list instead).
+  void push(RequestId id);
 
-  /// Registers a callback fired (once) when space becomes available.
-  void wait_for_space(std::function<void()> cb);
-
-  /// Registers a callback fired (once) when at least `n` items are queued.
-  void wait_for_items(std::size_t n, std::function<void()> cb);
-
-  /// Lowers/raises the pending consumer threshold (no-op when no consumer
-  /// is waiting); fires immediately if the queue already satisfies it.
-  /// Used when the batch size changes while the GPU is idle.
-  void update_consumer_threshold(std::size_t n);
-  [[nodiscard]] bool consumer_waiting() const { return static_cast<bool>(consumer_cb_); }
-
-  /// Pops the `n` oldest requests with their timelines.
-  /// Requires size() >= n. Wakes blocked producers.
-  [[nodiscard]] std::vector<RequestTimeline> pop(std::size_t n);
+  /// Pops the `n` oldest ids into `out` in FIFO order. Requires size() >= n.
+  void pop_into(RequestId* out, std::size_t n);
 
   /// Total images ever enqueued.
   [[nodiscard]] std::uint64_t total_enqueued() const { return total_enqueued_; }
 
  private:
-  void notify_consumer();
-  void notify_producers();
-
-  std::size_t capacity_;
-  std::deque<RequestTimeline> items_;
-  std::vector<std::function<void()>> blocked_producers_;
-  std::size_t consumer_threshold_{0};
-  std::function<void()> consumer_cb_;
+  std::vector<RequestId> ring_;  // fixed at capacity; never reallocates
+  std::size_t head_{0};
+  std::size_t count_{0};
   std::uint64_t total_enqueued_{0};
 };
 

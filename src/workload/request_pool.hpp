@@ -1,0 +1,73 @@
+// Pooled struct-of-arrays request store.
+//
+// A request used to travel the pipeline as a 48-byte RequestTimeline value,
+// copied into the queue, copied again into a per-batch vector, and freed
+// when the batch callback died. At millions of requests per scenario those
+// copies and allocations dominate the workload hot path. Here a request is
+// a 32-bit id into parallel stamp lanes; the queue and the in-flight batch
+// move ids only, and completed ids return to a free list for recycling.
+//
+// The `completed` stamp has no lane: completion is batch-wide, so the batch
+// event passes its single `now` down the fan-out loop instead of writing it
+// per request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace capgpu::workload {
+
+/// Index into the RequestPool's stamp lanes.
+using RequestId = std::uint32_t;
+
+/// SoA stamp storage + free list. Ids are dense and recycled; a stream
+/// reserves its worst-case live-request count up front (workers + queue +
+/// one in-flight batch), after which acquire()/release() never allocate.
+class RequestPool {
+ public:
+  RequestPool() = default;
+
+  /// Grows the pool to hold `n` concurrently live requests.
+  void reserve(std::size_t n) {
+    if (n <= arrival.size()) return;
+    const std::size_t old = arrival.size();
+    arrival.resize(n);
+    preprocess_start.resize(n);
+    preprocess_done.resize(n);
+    enqueued.resize(n);
+    batch_start.resize(n);
+    free_.reserve(n);
+    // Newest ids go to the bottom of the stack so low ids hand out first.
+    for (std::size_t id = n; id > old; --id) {
+      free_.push_back(static_cast<RequestId>(id - 1));
+    }
+  }
+
+  [[nodiscard]] RequestId acquire() {
+    if (free_.empty()) reserve(arrival.empty() ? 16 : 2 * arrival.size());
+    const RequestId id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+
+  void release(RequestId id) { free_.push_back(id); }
+
+  [[nodiscard]] std::size_t capacity() const { return arrival.size(); }
+  [[nodiscard]] std::size_t live() const { return arrival.size() - free_.size(); }
+
+  // Stamp lanes, indexed by RequestId (see workload/request_timeline.hpp
+  // for the lifecycle the stamps trace).
+  std::vector<sim::SimTime> arrival;
+  std::vector<sim::SimTime> preprocess_start;
+  std::vector<sim::SimTime> preprocess_done;
+  std::vector<sim::SimTime> enqueued;
+  std::vector<sim::SimTime> batch_start;
+
+ private:
+  std::vector<RequestId> free_;
+};
+
+}  // namespace capgpu::workload

@@ -1,0 +1,87 @@
+// Growable single-ended ring buffer (FIFO) for trivially copyable values.
+//
+// std::deque pays a chunk map indirection and a division per access; the
+// workload hot path only ever needs push_back/front/pop_front of doubles and
+// ids, which a flat ring serves with one wrap check. Capacity grows by
+// doubling and never shrinks, so steady-state traffic allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace capgpu::workload {
+
+template <typename T>
+class Ring {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Ring is for plain stamp/id payloads");
+
+ public:
+  Ring() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Grows the backing store to hold at least `n` elements.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) regrow(n);
+  }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) {
+      regrow(buf_.size() < 8 ? 16 : 2 * buf_.size());
+    }
+    std::size_t slot = head_ + size_;
+    if (slot >= buf_.size()) slot -= buf_.size();
+    buf_[slot] = value;
+    ++size_;
+  }
+
+  /// Appends `n` values in order (bulk arrival blocks land in one call).
+  void append(const T* values, std::size_t n) {
+    while (size_ + n > buf_.size()) {
+      regrow(buf_.size() < 8 ? 16 : 2 * buf_.size());
+    }
+    std::size_t slot = head_ + size_;
+    if (slot >= buf_.size()) slot -= buf_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[slot] = values[i];
+      if (++slot == buf_.size()) slot = 0;
+    }
+    size_ += n;
+  }
+
+  [[nodiscard]] const T& front() const {
+    CAPGPU_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    CAPGPU_ASSERT(size_ > 0);
+    ++head_;
+    if (head_ == buf_.size()) head_ = 0;
+    --size_;
+  }
+
+ private:
+  /// Reallocates to `cap` slots, unwrapping the live span to the front.
+  void regrow(std::size_t cap) {
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::size_t slot = head_ + i;
+      if (slot >= buf_.size()) slot -= buf_.size();
+      next[i] = buf_[slot];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace capgpu::workload

@@ -208,5 +208,108 @@ TEST(Engine, StepRunsOneEvent) {
   EXPECT_FALSE(e.step());
 }
 
+TEST(Engine, RescheduleFiringChainsOneShot) {
+  Engine e;
+  std::vector<SimTime> fired;
+  EventId id = 0;
+  id = e.schedule_after(1.0, [&] {
+    fired.push_back(e.now());
+    if (fired.size() < 3) {
+      EXPECT_TRUE(e.try_reschedule_firing(id, 1.0));
+    }
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<SimTime>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RescheduleFiringKeepsFifoOrderAtEqualTimes) {
+  // A re-armed event at zero delay draws its seq at the call, so it fires
+  // after everything already scheduled for the same timestamp — exactly as
+  // a schedule_after(0.0) from the same point would.
+  Engine e;
+  std::vector<int> order;
+  EventId a = 0;
+  bool rearmed = false;
+  a = e.schedule_at(1.0, [&] {
+    order.push_back(1);
+    if (!rearmed) {
+      rearmed = true;
+      EXPECT_TRUE(e.try_reschedule_firing(a, 0.0));
+    }
+  });
+  e.schedule_at(1.0, [&] { order.push_back(2); });
+  e.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(Engine, RescheduleFromOtherEventReturnsFalse) {
+  Engine e;
+  const EventId other = e.schedule_at(5.0, [] {});
+  bool attempted = false;
+  e.schedule_at(1.0, [&] {
+    attempted = true;
+    EXPECT_FALSE(e.try_reschedule_firing(other, 1.0));
+  });
+  e.run_until(10.0);
+  EXPECT_TRUE(attempted);
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+TEST(Engine, RescheduleOutsideAnyFiringReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_FALSE(e.try_reschedule_firing(id, 1.0));
+  EXPECT_FALSE(e.try_reschedule_firing(0, 1.0));
+  e.run_until(2.0);
+}
+
+TEST(Engine, RescheduledEventKeepsCancellableId) {
+  Engine e;
+  int runs = 0;
+  EventId id = 0;
+  id = e.schedule_after(1.0, [&] {
+    ++runs;
+    EXPECT_TRUE(e.try_reschedule_firing(id, 1.0));
+  });
+  e.run_until(1.5);  // first firing re-armed the chain for t=2
+  EXPECT_EQ(e.pending(), 1u);
+  e.cancel(id);
+  e.run_until(10.0);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelAfterRescheduleInsideCallbackDropsChain) {
+  Engine e;
+  int runs = 0;
+  EventId id = 0;
+  id = e.schedule_after(1.0, [&] {
+    ++runs;
+    EXPECT_TRUE(e.try_reschedule_firing(id, 1.0));
+    e.cancel(id);  // changed its mind within the same firing
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RescheduleFiringStaleGenerationReturnsFalse) {
+  // A stale id whose slot was recycled into the currently-firing event must
+  // not re-arm someone else's chain: the generation check rejects it.
+  Engine e;
+  const EventId first = e.schedule_at(1.0, [] {});
+  e.run_until(1.5);  // `first` fired; its slot is free for reuse
+  bool attempted = false;
+  const EventId second = e.schedule_at(2.0, [&] {
+    attempted = true;
+    EXPECT_FALSE(e.try_reschedule_firing(first, 1.0));
+  });
+  // The recycled slot means `second` reuses `first`'s slot index.
+  EXPECT_EQ(first >> 32, second >> 32);
+  e.run_until(3.0);
+  EXPECT_TRUE(attempted);
+}
+
 }  // namespace
 }  // namespace capgpu::sim

@@ -91,6 +91,67 @@ TEST(Arrivals, DeterministicForSeed) {
   EXPECT_EQ(count(11), count(11));
 }
 
+TEST(Arrivals, BulkGenerationConsumesRngIdenticallyToPerArrival) {
+  // Rate changes (with their discarded crossing draws) and a zero-rate
+  // pause exercise every branch of the generation loop.
+  const std::vector<RatePoint> schedule{
+      {0.0, 5.0}, {10.0, 0.0}, {20.0, 50.0}, {30.0, 5.0}};
+  std::vector<double> per_event;
+  {
+    sim::Engine engine;
+    ArrivalProcess a(engine, Rng(21), schedule);
+    a.on_arrival = [&] { per_event.push_back(engine.now()); };
+    a.start();
+    engine.run_until(40.0);
+  }
+  std::vector<double> bulk;
+  {
+    sim::Engine engine;
+    ArrivalProcess a(engine, Rng(21), schedule);
+    a.on_arrivals = [&](const double* t, std::size_t n) {
+      bulk.insert(bulk.end(), t, t + n);
+    };
+    a.start();
+    engine.run_until(40.0);
+  }
+  // Bulk generation runs ahead of sim time by up to one chunk, so it may
+  // hold a few extra trailing arrivals; the shared prefix must be bitwise
+  // identical (same RNG draws in the same order).
+  ASSERT_GT(per_event.size(), 100u);
+  ASSERT_GE(bulk.size(), per_event.size());
+  for (std::size_t i = 0; i < per_event.size(); ++i) {
+    EXPECT_EQ(bulk[i], per_event[i]) << "arrival " << i;
+  }
+}
+
+TEST(OpenLoopPipeline, FutureArrivalsWaitForTheirTime) {
+  sim::Engine engine;
+  hw::ServerModel server = hw::ServerModel::v100_testbed(1);
+  server.cpu().set_frequency(2.4_GHz);
+  server.gpu(0).set_core_clock(1350_MHz);
+  StreamParams p;
+  p.model.batch_size = 10;
+  p.model.e_min_batch_s = 0.2;
+  p.model.preprocess_s_ghz = 0.02;
+  p.model.jitter_frac = 0.0;
+  p.n_preprocess_workers = 4;
+  p.open_loop = true;
+  InferenceStream stream(engine, server, 0, p, Rng(3));
+  stream.start();
+  // A bulk block delivered at t=0 whose stamps lie in the future: workers
+  // must idle until the head arrival comes due, then drain the block.
+  std::vector<double> times;
+  for (int i = 0; i < 20; ++i) times.push_back(5.0 + 0.1 * i);
+  stream.submit_arrivals(times.data(), times.size());
+  EXPECT_EQ(stream.pending_requests(), 20u);
+  engine.run_until(4.9);
+  EXPECT_EQ(stream.images_completed(), 0u);
+  EXPECT_EQ(stream.pending_requests(), 20u);
+  engine.run_until(60.0);
+  EXPECT_EQ(stream.images_completed(), 20u);
+  EXPECT_EQ(stream.pending_requests(), 0u);
+}
+
 TEST(Arrivals, ValidationThrows) {
   sim::Engine engine;
   EXPECT_THROW(ArrivalProcess(engine, Rng(1), {}), capgpu::InvalidArgument);

@@ -2,129 +2,135 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/error.hpp"
+#include "workload/request_pool.hpp"
+#include "workload/ring.hpp"
 
 namespace capgpu::workload {
 namespace {
 
-// A request whose preprocessing finished at `t`; try_push stamps enqueued.
-RequestTimeline req(double t) {
-  RequestTimeline r;
-  r.arrival = t;
-  r.preprocess_start = t;
-  r.preprocess_done = t;
-  return r;
-}
-
 TEST(ImageQueue, PushPopFifoOrder) {
   ImageQueue q(4);
-  EXPECT_TRUE(q.try_push(req(1.0), 1.0));
-  EXPECT_TRUE(q.try_push(req(2.0), 2.0));
-  EXPECT_TRUE(q.try_push(req(3.0), 3.0));
-  const auto items = q.pop(2);
-  ASSERT_EQ(items.size(), 2u);
-  EXPECT_DOUBLE_EQ(items[0].enqueued, 1.0);
-  EXPECT_DOUBLE_EQ(items[1].enqueued, 2.0);
+  q.push(10);
+  q.push(11);
+  q.push(12);
+  RequestId out[2] = {};
+  q.pop_into(out, 2);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 11u);
   EXPECT_EQ(q.size(), 1u);
+  q.pop_into(out, 1);
+  EXPECT_EQ(out[0], 12u);
+  EXPECT_TRUE(q.empty());
 }
 
-TEST(ImageQueue, PushStampsEnqueuedAndKeepsTimeline) {
-  ImageQueue q(2);
-  RequestTimeline r = req(1.5);
-  r.arrival = 0.5;
-  // Producer blocked on a full queue pushes later than preprocess_done.
-  ASSERT_TRUE(q.try_push(r, 2.0));
-  const auto items = q.pop(1);
-  ASSERT_EQ(items.size(), 1u);
-  EXPECT_DOUBLE_EQ(items[0].arrival, 0.5);
-  EXPECT_DOUBLE_EQ(items[0].preprocess_done, 1.5);
-  EXPECT_DOUBLE_EQ(items[0].enqueued, 2.0);
+TEST(ImageQueue, WrapsAroundTheFixedRing) {
+  ImageQueue q(3);
+  RequestId out[3] = {};
+  // Cycle several times the capacity so head wraps repeatedly.
+  RequestId next = 0;
+  RequestId expect = 0;
+  for (int round = 0; round < 7; ++round) {
+    while (!q.full()) q.push(next++);
+    q.pop_into(out, 2);
+    EXPECT_EQ(out[0], expect++);
+    EXPECT_EQ(out[1], expect++);
+  }
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_into(out, 1);
+  EXPECT_EQ(out[0], expect);
 }
 
-TEST(ImageQueue, RejectsWhenFull) {
+TEST(ImageQueue, CapacityAndFullEmptyFlags) {
   ImageQueue q(2);
-  EXPECT_TRUE(q.try_push(req(1.0), 1.0));
-  EXPECT_TRUE(q.try_push(req(2.0), 2.0));
-  EXPECT_FALSE(q.try_push(req(3.0), 3.0));
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  q.push(1);
+  EXPECT_FALSE(q.empty());
+  EXPECT_FALSE(q.full());
+  q.push(2);
   EXPECT_TRUE(q.full());
 }
 
-TEST(ImageQueue, ProducerWokenOnPop) {
+TEST(ImageQueue, CountsTotalEnqueued) {
+  ImageQueue q(2);
+  RequestId out[2] = {};
+  for (int i = 0; i < 5; ++i) {
+    q.push(static_cast<RequestId>(i));
+    q.pop_into(out, 1);
+  }
+  EXPECT_EQ(q.total_enqueued(), 5u);
+}
+
+TEST(ImageQueue, PushIntoFullQueueThrows) {
   ImageQueue q(1);
-  ASSERT_TRUE(q.try_push(req(1.0), 1.0));
-  int woken = 0;
-  q.wait_for_space([&] { ++woken; });
-  EXPECT_EQ(woken, 0);
-  (void)q.pop(1);
-  EXPECT_EQ(woken, 1);
+  q.push(0);
+  EXPECT_THROW(q.push(1), InvalidArgument);
 }
 
-TEST(ImageQueue, OnlyAsManyProducersWokenAsSpace) {
-  ImageQueue q(2);
-  ASSERT_TRUE(q.try_push(req(1.0), 1.0));
-  ASSERT_TRUE(q.try_push(req(2.0), 2.0));
-  int woken = 0;
-  // Three blocked producers, but a pop of 1 frees only one slot; the woken
-  // producer refills it, so exactly one callback fires.
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
-  q.wait_for_space([&] { ++woken; ASSERT_TRUE(q.try_push(req(9.0), 9.0)); });
-  (void)q.pop(1);
-  EXPECT_EQ(woken, 1);
-  EXPECT_TRUE(q.full());
-}
-
-TEST(ImageQueue, ConsumerFiresWhenThresholdReached) {
-  ImageQueue q(8);
-  int fired = 0;
-  q.wait_for_items(3, [&] { ++fired; });
-  q.try_push(req(1.0), 1.0);
-  q.try_push(req(2.0), 2.0);
-  EXPECT_EQ(fired, 0);
-  q.try_push(req(3.0), 3.0);
-  EXPECT_EQ(fired, 1);
-  // One-shot: further pushes don't re-fire.
-  q.try_push(req(4.0), 4.0);
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(ImageQueue, ConsumerFiresImmediatelyIfAlreadyEnough) {
-  ImageQueue q(8);
-  q.try_push(req(1.0), 1.0);
-  q.try_push(req(2.0), 2.0);
-  int fired = 0;
-  q.wait_for_items(2, [&] { ++fired; });
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(ImageQueue, SecondPendingConsumerThrows) {
-  ImageQueue q(8);
-  q.wait_for_items(3, [] {});
-  EXPECT_THROW(q.wait_for_items(2, [] {}), capgpu::InvalidArgument);
-}
-
-TEST(ImageQueue, ThresholdLargerThanCapacityThrows) {
-  ImageQueue q(2);
-  EXPECT_THROW(q.wait_for_items(3, [] {}), capgpu::InvalidArgument);
-}
-
-TEST(ImageQueue, PopMoreThanContentsThrows) {
+TEST(ImageQueue, PopMoreThanSizeThrows) {
   ImageQueue q(4);
-  q.try_push(req(1.0), 1.0);
-  EXPECT_THROW((void)q.pop(2), capgpu::InvalidArgument);
+  q.push(0);
+  RequestId out[2] = {};
+  EXPECT_THROW(q.pop_into(out, 2), InvalidArgument);
 }
 
 TEST(ImageQueue, ZeroCapacityThrows) {
-  EXPECT_THROW(ImageQueue(0), capgpu::InvalidArgument);
+  EXPECT_THROW(ImageQueue q(0), InvalidArgument);
 }
 
-TEST(ImageQueue, TotalEnqueuedCounts) {
-  ImageQueue q(2);
-  q.try_push(req(1.0), 1.0);
-  q.try_push(req(2.0), 2.0);
-  (void)q.pop(2);
-  q.try_push(req(3.0), 3.0);
-  EXPECT_EQ(q.total_enqueued(), 3u);
+TEST(RequestPool, RecyclesIdsThroughTheFreeList) {
+  RequestPool pool;
+  pool.reserve(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  // Low ids hand out first.
+  const RequestId a = pool.acquire();
+  const RequestId b = pool.acquire();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.acquire(), a);  // LIFO recycle
+  EXPECT_EQ(pool.live(), 2u);
+}
+
+TEST(RequestPool, GrowsWhenExhaustedAndKeepsStamps) {
+  RequestPool pool;
+  pool.reserve(2);
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 5; ++i) {
+    const RequestId id = pool.acquire();
+    pool.arrival[id] = 10.0 + i;
+    ids.push_back(id);
+  }
+  EXPECT_GE(pool.capacity(), 5u);
+  EXPECT_EQ(pool.live(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(pool.arrival[ids[static_cast<std::size_t>(i)]],
+                     10.0 + i);
+  }
+}
+
+TEST(Ring, FifoAcrossRegrowth) {
+  Ring<double> ring;
+  EXPECT_TRUE(ring.empty());
+  // Interleave pushes and pops so the live span wraps, then force regrowth
+  // with the wrap in place.
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  for (int i = 10; i < 200; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 193u);
+  for (int i = 7; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
 }
 
 }  // namespace
