@@ -9,6 +9,7 @@
 #include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/sketch.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
@@ -33,6 +34,7 @@ struct ObservabilityOutputs {
   std::optional<std::string> events_path;
   std::optional<std::string> summary_path;
   std::optional<std::string> slo_report_path;
+  std::optional<std::string> flight_path;
   std::chrono::steady_clock::time_point started;
 };
 
@@ -52,8 +54,17 @@ void write_summary(const std::string& path) {
   char wall[32];
   std::snprintf(wall, sizeof wall, "%.3f", wall_s);
   file << "{\n  \"scenarios\": " << runner::ScenarioRunner::scenarios_executed()
-       << ",\n  \"jobs\": " << jobs() << ",\n  \"wall_time_s\": " << wall
-       << ",\n  \"stage_p99_s\": [";
+       << ",\n  \"jobs\": " << jobs() << ",\n  \"wall_time_s\": " << wall;
+  if (out.flight_path) {
+    std::string escaped;
+    for (const char c : *out.flight_path) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    file << ",\n  \"flight_log\": \"" << escaped << "\",\n  \"flight_records\": "
+         << telemetry::FlightRecorder::global().records().size();
+  }
+  file << ",\n  \"stage_p99_s\": [";
   bool first = true;
   for (const auto* family : telemetry::MetricsRegistry::global().families()) {
     if (family->name != telemetry::metric::kStageLatencySeconds) continue;
@@ -91,6 +102,12 @@ void flush_outputs() {
     if (out.events_path) {
       telemetry::Tracer::global().save_jsonl(*out.events_path);
       std::printf("[telemetry] events: %s\n", out.events_path->c_str());
+    }
+    if (out.flight_path) {
+      telemetry::FlightRecorder::global().save_jsonl(*out.flight_path);
+      std::printf("[telemetry] flight log: %s (%zu records)\n",
+                  out.flight_path->c_str(),
+                  telemetry::FlightRecorder::global().records().size());
     }
     if (out.slo_report_path) {
       telemetry::save_slo_report(telemetry::SloRegistry::global(),
@@ -131,8 +148,8 @@ void init(int& argc, char** argv) {
   try {
     flags = extract_flags(argc, argv,
                           {"metrics-out", "trace-out", "events-out",
-                           "summary-out", "slo-report-out", "log-level",
-                           "jobs"});
+                           "summary-out", "slo-report-out", "flight-out",
+                           "log-level", "jobs"});
   } catch (const InvalidArgument& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     std::exit(2);
@@ -151,6 +168,10 @@ void init(int& argc, char** argv) {
   }
   if (auto it = flags.find("slo-report-out"); it != flags.end()) {
     out.slo_report_path = it->second;
+  }
+  if (auto it = flags.find("flight-out"); it != flags.end()) {
+    out.flight_path = it->second;
+    telemetry::FlightRecorder::global().set_enabled(true);
   }
   if (auto it = flags.find("log-level"); it != flags.end()) {
     if (auto level = parse_log_level(it->second)) {
@@ -175,7 +196,7 @@ void init(int& argc, char** argv) {
     telemetry::Tracer::global().set_enabled(true);
   }
   if (out.metrics_path || out.trace_path || out.events_path ||
-      out.summary_path || out.slo_report_path) {
+      out.summary_path || out.slo_report_path || out.flight_path) {
     static bool registered = false;
     if (!registered) {
       registered = true;
@@ -185,6 +206,7 @@ void init(int& argc, char** argv) {
       (void)telemetry::MetricsRegistry::global();
       (void)telemetry::Tracer::global();
       (void)telemetry::SloRegistry::global();
+      (void)telemetry::FlightRecorder::global();
       std::atexit(flush_outputs);
     }
   }

@@ -39,6 +39,9 @@ namespace capgpu::bench {
 ///   --slo-report-out <path> SLO burn-rate report JSON (error-budget
 ///                          accounting + alert episodes + stage latency
 ///                          quantiles); input to tools/capgpu_report
+///   --flight-out <path>    control-loop flight-recorder JSONL (one record
+///                          per control period); also enables the flight
+///                          recorder. Input to tools/capgpu_ctl_replay.
 ///
 /// Both `--flag value` and `--flag=value` forms work. Consumed flags are
 /// removed from argv; unknown flags are left alone (google-benchmark

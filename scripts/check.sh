@@ -14,6 +14,10 @@ ctest --test-dir build -j"$(nproc)" --output-on-failure
 # a filtered ctest cache can't silently skip it).
 ctest --test-dir build -L report --output-on-failure
 
+# Flight-recorder suite: JSONL round-trip, replay determinism across
+# --jobs, and the capgpu_ctl_replay bit-identical re-solve gate.
+ctest --test-dir build -L flight --output-on-failure
+
 # Release perf smoke: the allocation-free control-solve tests plus a short
 # pipeline self-perf run. Gates on the report's shape (speedup fields
 # present) and on the pooled hot path not regressing below the legacy
@@ -28,6 +32,8 @@ jq -e '.pipeline_selfperf.workloads | length > 0 and all(.speedup != null)' \
   || { echo "FAIL: pipeline_selfperf report missing speedup fields" >&2; exit 1; }
 jq -e '.pipeline_selfperf.worst_speedup >= 1.0' /tmp/check_pipeline.json >/dev/null \
   || { echo "FAIL: pooled pipeline slower than legacy (worst_speedup < 1.0)" >&2; exit 1; }
+jq -e '.flight_overhead | .overhead_frac <= .budget_frac' /tmp/check_pipeline.json >/dev/null \
+  || { echo "FAIL: flight-recorder overhead exceeds the 5% budget" >&2; exit 1; }
 
 status=0
 for b in build/bench/*; do

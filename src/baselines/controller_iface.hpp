@@ -15,6 +15,10 @@
 #include "common/units.hpp"
 #include "control/mpc.hpp"
 
+namespace capgpu::telemetry {
+struct FlightRecord;
+}
+
 namespace capgpu::baselines {
 
 /// Observations for one control period.
@@ -49,6 +53,14 @@ class IServerPowerController {
   /// SLO update for the task on `device` (a GPU id). Baselines that cannot
   /// honour SLOs ignore this (the paper shows exactly that in Fig 8).
   virtual void set_slo(std::size_t device, double slo_seconds);
+
+  /// Fills the flight record of the period the last control() decided with
+  /// the policy's replay state (model, weights, bounds, QP diagnostics).
+  /// Policies without introspection leave the record as-is: its `mpc` block
+  /// stays absent and replay tools skip the period.
+  virtual void describe_flight(telemetry::FlightRecord& record) const {
+    (void)record;
+  }
 };
 
 /// Shared helper: validates the paper's device layout — N_c >= 1 CPU

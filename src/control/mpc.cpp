@@ -326,11 +326,16 @@ const MpcDecision& MpcController::step(
   const double error = measured_power.value - set_point_.value;
   assemble_into(error, current_freqs_mhz);
 
+  const std::size_t dim = n * config_.control_horizon;
   MpcDecision& out = decision_;
   out.qp_iterations = 0;
   out.qp_converged = false;
   out.cache_hit = false;
+  out.warm_start_hit = false;
+  out.qp_objective = 0.0;
+  out.active_set_size = 0;
   const double* solution = nullptr;
+  const std::vector<std::size_t>* active_set = nullptr;
 
   if (cache_enabled_) {
     // The Hessian depends on weights and model gains; a change flushes the
@@ -350,8 +355,19 @@ const MpcDecision& MpcController::step(
         cache_.push_back(std::move(hit));
       }
       solution = cache_sol_.data();
+      active_set = &cache_.back()->active_set;
       out.cache_hit = true;
       out.qp_converged = true;
+      // The pre-factored path never evaluates the cost; recover it from the
+      // candidate solution (obj = 1/2 x^T H x + g^T x, no scratch needed).
+      double objective = 0.0;
+      for (std::size_t r = 0; r < dim; ++r) {
+        const auto hr = ws_qp_.h.row(r);
+        double hx = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) hx += hr[c] * solution[c];
+        objective += solution[r] * (0.5 * hx + ws_qp_.g[r]);
+      }
+      out.qp_objective = objective;
     }
   }
 
@@ -360,7 +376,10 @@ const MpcDecision& MpcController::step(
                   prev_active_.empty() ? nullptr : &prev_active_);
     out.qp_iterations = qp_ws_.iterations();
     out.qp_converged = qp_ws_.converged();
+    out.warm_start_hit = qp_ws_.warm_start_hit();
+    out.qp_objective = qp_ws_.objective();
     solution = qp_ws_.x().data().data();
+    active_set = &qp_ws_.active_set();
     if (qp_ws_.converged()) {
       prev_active_.assign(qp_ws_.active_set().begin(),
                           qp_ws_.active_set().end());
@@ -374,6 +393,44 @@ const MpcDecision& MpcController::step(
   }
   out.deltas_mhz.resize(n);
   out.target_freqs_mhz.resize(n);
+  out.planned_deltas_mhz.resize(dim);
+  for (std::size_t a = 0; a < dim; ++a) out.planned_deltas_mhz[a] = solution[a];
+
+  out.floor_binding.resize(n);
+  out.ceiling_binding.resize(n);
+  std::fill(out.floor_binding.begin(), out.floor_binding.end(), 0);
+  std::fill(out.ceiling_binding.begin(), out.ceiling_binding.end(), 0);
+  if (active_set != nullptr) {
+    out.active_set_size = active_set->size();
+    // First-move constraint rows occupy [0, 2n): row 2j is device j's
+    // ceiling, row 2j+1 its floor (assemble_into's layout).
+    for (const std::size_t row : *active_set) {
+      if (row >= 2 * n) continue;
+      if (row % 2 == 0) {
+        out.ceiling_binding[row / 2] = 1;
+      } else {
+        out.floor_binding[row / 2] = 1;
+      }
+    }
+  }
+
+  // Predicted trajectory over the unclamped plan: p(k+i|k) = p(k) +
+  // A * cum(min(i-1, M-1)). Levels fold into the running sum once each.
+  const std::size_t p_horizon = config_.prediction_horizon;
+  out.predicted_power_horizon_watts.resize(p_horizon);
+  double dp_cum = 0.0;
+  std::size_t level = 0;
+  for (std::size_t i = 1; i <= p_horizon; ++i) {
+    const std::size_t mi = std::min(i - 1, config_.control_horizon - 1);
+    while (level <= mi) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dp_cum += model_.gain(j) * solution[level * n + j];
+      }
+      ++level;
+    }
+    out.predicted_power_horizon_watts[i - 1] = measured_power.value + dp_cum;
+  }
+
   double dp = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     const double d = solution[j];  // first move of device j

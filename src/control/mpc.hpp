@@ -56,16 +56,32 @@ struct MpcConfig {
   double regularization{1e-9};
 };
 
-/// Outcome of one control period.
+/// Outcome of one control period. All vectors keep a fixed size per
+/// controller (n, n*M or P), so repeated steps never reallocate them.
 struct MpcDecision {
   std::vector<double> target_freqs_mhz;  ///< new fractional commands
   std::vector<double> deltas_mhz;        ///< applied first moves d(k)
-  double predicted_power_watts{0.0};     ///< p(k+1|k) under the model
+  /// Full stacked QP solution d_j(k+i|k), layout [i*n + j], before the
+  /// first-move clamp — the planned trajectory a flight recorder replays.
+  std::vector<double> planned_deltas_mhz;
+  double predicted_power_watts{0.0};     ///< p(k+1|k), clamped first move
+  /// Model-predicted power trajectory p(k+i|k) for i = 1..P over the
+  /// unclamped plan (entry i-1 holds step i).
+  std::vector<double> predicted_power_horizon_watts;
   std::size_t qp_iterations{0};
   bool qp_converged{false};
   /// True when the decision came from the explicit-MPC region cache
   /// (pre-factored KKT system) instead of a fresh active-set solve.
   bool cache_hit{false};
+  /// True when the warm-start seed certified (single KKT solve); false on
+  /// cold iterations and cache hits.
+  bool warm_start_hit{false};
+  double qp_objective{0.0};      ///< cost at the optimum
+  std::size_t active_set_size{0};  ///< constraint rows active at the optimum
+  /// Per device: 1 when the first-move floor / ceiling constraint row is in
+  /// the active set (the SLO bound or thermal cap shaped this decision).
+  std::vector<int> floor_binding;
+  std::vector<int> ceiling_binding;
 };
 
 /// Hit/miss counters of the explicit-MPC region cache.
@@ -102,6 +118,9 @@ class MpcController {
   /// Per-device control-penalty weights R_j (from WeightAssigner). Resets
   /// to uniform when empty.
   void set_control_weights(std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& control_weights() const {
+    return weights_;
+  }
 
   /// Raises device j's lower frequency bound (SLO constraint, Eq. 10b/c).
   /// Values above f_max are clamped to f_max and reported as infeasible in

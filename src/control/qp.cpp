@@ -113,6 +113,7 @@ void QpSolver::solve(const QpProblem& problem, const linalg::Vector& x0,
   std::fill_n(ws.active_.begin(), m, char{0});
   ws.active_set_.clear();
   ws.converged_ = false;
+  ws.warm_hit_ = false;
   ws.iterations_ = 0;
 
   const double* const xp = ws.x_.data().data();
@@ -162,6 +163,7 @@ void QpSolver::solve(const QpProblem& problem, const linalg::Vector& x0,
       }
       if (certified) {
         ws.iterations_ = 1;
+        ws.warm_hit_ = true;
         ws.active_set_.assign(ws.w_.begin(), ws.w_.end());
         finish(true);
         return;

@@ -53,6 +53,10 @@ class QpWorkspace {
   [[nodiscard]] double objective() const { return objective_; }
   [[nodiscard]] std::size_t iterations() const { return iterations_; }
   [[nodiscard]] bool converged() const { return converged_; }
+  /// True when the last solve accepted the warm-start seed (certified x0
+  /// after a single KKT solve) instead of running the cold iteration.
+  /// Distinguishes the shortcut from a genuine one-iteration cold solve.
+  [[nodiscard]] bool warm_start_hit() const { return warm_hit_; }
   [[nodiscard]] const std::vector<std::size_t>& active_set() const {
     return active_set_;
   }
@@ -68,6 +72,7 @@ class QpWorkspace {
   double objective_{0.0};
   std::size_t iterations_{0};
   bool converged_{false};
+  bool warm_hit_{false};
   std::vector<std::size_t> active_set_;
   // Scratch: KKT system of dimension up to (n+m), stride n+m.
   std::vector<double> kkt_;

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "telemetry/flight.hpp"
 
 namespace capgpu::core {
 
@@ -104,6 +105,56 @@ std::size_t CapGpuController::adaptation_updates() const {
   return rls_ ? rls_->updates_applied() : 0;
 }
 
+void CapGpuController::describe_flight(
+    telemetry::FlightRecord& record) const {
+  if (last_.target_freqs_mhz.empty()) return;  // no period decided yet
+  const std::size_t n = mpc_.device_count();
+  telemetry::FlightMpcState& m = record.mpc;
+  m.present = true;
+  m.fed_power_w = last_fed_;
+  m.gains_w_per_mhz = mpc_.model().gains();
+  m.offset_w = mpc_.model().offset();
+  m.weights = mpc_.control_weights();
+  m.f_min_mhz.resize(n);
+  m.f_max_mhz.resize(n);
+  m.f_lo_mhz.resize(n);
+  m.f_hi_mhz.resize(n);
+  m.device_kinds.resize(n);
+  m.predicted_latency_s.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    m.f_min_mhz[j] = mpc_.effective_f_min(j);
+    m.f_max_mhz[j] = mpc_.effective_f_max(j);
+    m.f_lo_mhz[j] = mpc_.devices()[j].f_min_mhz;
+    m.f_hi_mhz[j] = mpc_.devices()[j].f_max_mhz;
+    m.device_kinds[j] =
+        mpc_.devices()[j].kind == DeviceKind::kCpu ? 0 : 1;
+    auto it = latency_models_.find(j);
+    if (it != latency_models_.end() && j < last_.target_freqs_mhz.size()) {
+      m.predicted_latency_s[j] =
+          it->second.predict(Megahertz{last_.target_freqs_mhz[j]});
+    }
+  }
+  const control::MpcConfig& cfg = mpc_.config();
+  m.prediction_horizon = cfg.prediction_horizon;
+  m.control_horizon = cfg.control_horizon;
+  m.tracking_weight = cfg.tracking_weight;
+  m.reference_decay = cfg.reference_decay;
+  m.violation_decay = cfg.violation_decay;
+  m.regularization = cfg.regularization;
+  m.deltas_mhz = last_.deltas_mhz;
+  m.planned_deltas_mhz = last_.planned_deltas_mhz;
+  m.predicted_power_w = last_.predicted_power_watts;
+  m.predicted_power_horizon_w = last_.predicted_power_horizon_watts;
+  m.qp_iterations = last_.qp_iterations;
+  m.qp_converged = last_.qp_converged;
+  m.cache_hit = last_.cache_hit;
+  m.warm_start_hit = last_.warm_start_hit;
+  m.qp_objective = last_.qp_objective;
+  m.active_set_size = last_.active_set_size;
+  m.floor_binding = last_.floor_binding;
+  m.ceiling_binding = last_.ceiling_binding;
+}
+
 baselines::ControlOutputs CapGpuController::control(
     const baselines::ControlInputs& inputs,
     const std::vector<double>& current_freqs_mhz) {
@@ -151,6 +202,7 @@ baselines::ControlOutputs CapGpuController::control(
   if (excitation_watts_ > 0.0) {
     fed += Watts{excitation_watts_ * static_cast<double>(prbs_.next())};
   }
+  last_fed_ = fed.value;
   last_ = mpc_.step(fed, current_freqs_mhz);
 
   baselines::ControlOutputs out;

@@ -96,6 +96,12 @@ class CapGpuController : public baselines::IServerPowerController {
   [[nodiscard]] const control::MpcDecision& last_decision() const { return last_; }
   [[nodiscard]] const std::vector<double>& last_weights() const { return last_weights_; }
 
+  /// Flight-recorder hook: exports the last period's full replay state
+  /// (post-RLS model, quantized weights, effective bounds, MPC config and
+  /// QP diagnostics) so tools/capgpu_ctl_replay can re-solve the period
+  /// bit-identically from the record alone.
+  void describe_flight(telemetry::FlightRecord& record) const override;
+
   /// Replaces the power model (online re-identification). Also resets the
   /// adaptive estimator's prior when adaptation is enabled.
   void set_model(control::LinearPowerModel model);
@@ -131,6 +137,7 @@ class CapGpuController : public baselines::IServerPowerController {
   std::map<std::size_t, bool> infeasible_;
   control::MpcDecision last_{};
   std::vector<double> last_weights_;
+  double last_fed_{0.0};  ///< power fed to the MPC (incl. PRBS excitation)
 };
 
 }  // namespace capgpu::core

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/trace.hpp"
 
@@ -162,6 +163,9 @@ void ControlLoop::run_period() {
 
 void ControlLoop::run_period_basic() {
   auto& tracer = telemetry::Tracer::current();
+  if (telemetry::FlightRecorder::current().enabled()) {
+    flight_freqs_before_ = commands_;
+  }
   // Sensor resilience: a meter with no samples this period (hiccup,
   // driver restart) must not take the loop down — hold the previous
   // commands and keep the period accounting moving.
@@ -188,14 +192,18 @@ void ControlLoop::run_period_basic() {
       freqs_[j].add(engine_->now(), commands_[j]);
     }
     periods_metric_->inc();
+    record_flight(held_power, held_power - policy_->set_point().value,
+                  /*held=*/true, "sensor_gap", /*described=*/false);
     const std::size_t index = periods_++;
     if (on_period) on_period(index);
     return;
   }
   const double error =
       last_inputs_.measured_power.value - policy_->set_point().value;
+  bool deadband_hold = false;
   if (config_.error_deadband_watts > 0.0 &&
       std::abs(error) < config_.error_deadband_watts) {
+    deadband_hold = true;
     // Converged within the band: hold commands, skip the policy, and do
     // not re-apply (no delta-sigma toggling this period).
     ++deadband_held_;
@@ -234,12 +242,17 @@ void ControlLoop::run_period_basic() {
                      {"set_point_w", policy_->set_point().value},
                      {"error_w", error}});
   }
+  record_flight(last_inputs_.measured_power.value, error, deadband_hold,
+                deadband_hold ? "deadband" : "", !deadband_hold);
   const std::size_t index = periods_++;
   if (on_period) on_period(index);
 }
 
 void ControlLoop::run_period_hardened() {
   auto& tracer = telemetry::Tracer::current();
+  if (telemetry::FlightRecorder::current().enabled()) {
+    flight_freqs_before_ = commands_;
+  }
   const double now = engine_->now();
   const FailSafeGovernor::Assessment a =
       governor_->assess(now, hal_->power_meter(), config_.period);
@@ -255,11 +268,19 @@ void ControlLoop::run_period_hardened() {
   last_inputs_.measured_power = Watts{measured};
   const double error = measured - policy_->set_point().value;
 
+  bool held = false;
+  const char* hold_reason = "";
+  bool described = false;
   if (a.degrade) {
+    // Commands do change (toward minimum levels) but the policy was never
+    // consulted, so the record carries no replay state.
+    hold_reason = "failsafe_degrade";
     degrade_step();
   } else if (!a.act) {
     const bool recovering = governor_->state() == FailSafeState::kRecovering;
     const char* reason = recovering ? "recovering" : "dark";
+    held = true;
+    hold_reason = reason;
     hold_period(reason);
     if (tracer.enabled()) {
       tracer.instant(trace_tid_, "period_held", "control",
@@ -270,6 +291,8 @@ void ControlLoop::run_period_hardened() {
              std::abs(error) < config_.error_deadband_watts) {
     ++deadband_held_;
     deadband_metric_->inc();
+    held = true;
+    hold_reason = "deadband";
     hold_period("deadband");
     if (tracer.enabled()) {
       tracer.instant(trace_tid_, "deadband_hold", "control",
@@ -283,12 +306,15 @@ void ControlLoop::run_period_hardened() {
                    "policy returned wrong number of commands");
     commands_ = out.target_freqs_mhz;
     apply_commands();
+    described = true;
   }
-  finish_period(measured, error, a.verdict != SampleVerdict::kDark);
+  finish_period(measured, error, a.verdict != SampleVerdict::kDark, held,
+                hold_reason, described);
 }
 
 void ControlLoop::finish_period(double measured_power, double error,
-                                bool observe_error) {
+                                bool observe_error, bool held,
+                                const char* hold_reason, bool described) {
   const double now = engine_->now();
   power_.add(now, measured_power);
   set_point_.add(now, policy_->set_point().value);
@@ -312,8 +338,33 @@ void ControlLoop::finish_period(double measured_power, double error,
          {"failsafe_state",
           static_cast<double>(static_cast<int>(governor_->state()))}});
   }
+  record_flight(measured_power, error, held, hold_reason, described);
   const std::size_t index = periods_++;
   if (on_period) on_period(index);
+}
+
+void ControlLoop::record_flight(double measured_power, double error, bool held,
+                                const char* hold_reason, bool described) {
+  auto& recorder = telemetry::FlightRecorder::current();
+  if (!recorder.enabled()) return;
+  telemetry::FlightRecord rec;
+  rec.pid = telemetry::Tracer::current().pid();
+  rec.period = periods_;
+  rec.t_s = engine_->now();
+  rec.policy = policy_->name();
+  rec.measured_power_w = measured_power;
+  rec.set_point_w = policy_->set_point().value;
+  rec.error_w = error;
+  rec.held = held;
+  rec.hold_reason = hold_reason;
+  rec.failsafe_state =
+      governor_ ? static_cast<int>(governor_->state()) : -1;
+  rec.freqs_mhz = flight_freqs_before_;
+  rec.targets_mhz = commands_;
+  rec.utilization = last_inputs_.utilization;
+  rec.normalized_throughput = last_inputs_.normalized_throughput;
+  if (described) policy_->describe_flight(rec);
+  recorder.record(std::move(rec));
 }
 
 // Commands held this period. Ticks the delta-sigma modulators against the

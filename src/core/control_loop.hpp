@@ -105,7 +105,12 @@ class ControlLoop {
   void run_period();
   void run_period_basic();
   void run_period_hardened();
-  void finish_period(double measured_power, double error, bool observe_error);
+  void finish_period(double measured_power, double error, bool observe_error,
+                     bool held, const char* hold_reason, bool described);
+  /// Emits this period's FlightRecord (no-op while the recorder is off).
+  /// `described` asks the policy for its replay state (acted periods only).
+  void record_flight(double measured_power, double error, bool held,
+                     const char* hold_reason, bool described);
   void apply_commands();
   void issue_command(std::size_t device, Megahertz level,
                      std::size_t attempts_left);
@@ -163,6 +168,9 @@ class ControlLoop {
   std::vector<telemetry::Gauge*> freq_metrics_;
   telemetry::LogLinearHistogram* error_metric_{nullptr};
   int trace_tid_{0};
+  /// Fractional commands as they stood before this period's decision
+  /// (captured only while the flight recorder is enabled).
+  std::vector<double> flight_freqs_before_;
 };
 
 }  // namespace capgpu::core

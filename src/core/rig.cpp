@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include <algorithm>
+#include "telemetry/flight.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/runtime.hpp"
@@ -285,10 +286,22 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   auto& tracer = telemetry::Tracer::current();
   loop.on_period = [&](std::size_t index) {
     const double now = engine_.now();
+    // Late annotation of the period's flight record: the realized mean
+    // batch latency per device (index 0 is the CPU, which has none).
+    telemetry::FlightRecord* flight =
+        telemetry::FlightRecorder::current().pending();
+    if (flight != nullptr && flight->period == index &&
+        flight->pid == trace_pid_) {
+      flight->realized_latency_s.assign(n_dev, 0.0);
+    } else {
+      flight = nullptr;
+    }
     for (std::size_t i = 0; i < streams_.size(); ++i) {
       auto& s = *streams_[i];
       auto& lat = s.batch_latency();
-      result.gpu_latency[i].add(now, lat.mean(now, period_s));
+      const double mean_latency = lat.mean(now, period_s);
+      if (flight != nullptr) flight->realized_latency_s[i + 1] = mean_latency;
+      result.gpu_latency[i].add(now, mean_latency);
       if (index >= options.percentile_skip) {
         lat.visit(now, period_s, [&result, i](double sample) {
           result.gpu_latency_dist[i].add(sample);

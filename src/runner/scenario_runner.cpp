@@ -21,6 +21,8 @@ void ScenarioRunner::run(std::size_t count,
       telemetry::MetricsRegistry::current();
   telemetry::Tracer& parent_tracer = telemetry::Tracer::current();
   telemetry::SloRegistry& parent_slo = telemetry::SloRegistry::current();
+  telemetry::FlightRecorder& parent_flight =
+      telemetry::FlightRecorder::current();
 
   struct ScenarioState {
     std::unique_ptr<telemetry::ScenarioTelemetry> telemetry;
@@ -35,8 +37,8 @@ void ScenarioRunner::run(std::size_t count,
   // between --jobs values.
   auto run_one = [&](std::size_t i) {
     ScenarioState& state = states[i];
-    state.telemetry =
-        std::make_unique<telemetry::ScenarioTelemetry>(parent_tracer);
+    state.telemetry = std::make_unique<telemetry::ScenarioTelemetry>(
+        parent_tracer, parent_flight);
     telemetry::ScenarioTelemetry::Binding bind(*state.telemetry);
     state.ran = true;
     try {
@@ -63,7 +65,8 @@ void ScenarioRunner::run(std::size_t count,
     ScenarioState& state = states[i];
     if (state.error) std::rethrow_exception(state.error);
     if (state.ran) {
-      state.telemetry->merge_into(parent_metrics, parent_tracer, parent_slo);
+      state.telemetry->merge_into(parent_metrics, parent_tracer, parent_slo,
+                                  parent_flight);
       ++scenarios_merged_;
     }
   }

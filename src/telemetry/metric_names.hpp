@@ -84,6 +84,25 @@ inline constexpr const char* kFailsafeReleases =
     "capgpu_failsafe_releases_total";
 inline constexpr const char* kFailsafeState = "capgpu_failsafe_state";
 
+// --- controller flight recorder (telemetry::FlightRecorder) ---
+inline constexpr const char* kCtlFlightRecords =
+    "capgpu_ctl_flight_records_total";
+inline constexpr const char* kCtlFlightDroppedRecords =
+    "capgpu_ctl_flight_dropped_records_total";
+inline constexpr const char* kCtlPowerPredictionErrorEwma =
+    "capgpu_ctl_power_prediction_error_ewma_watts";
+inline constexpr const char* kCtlLatencyPredictionErrorEwma =
+    "capgpu_ctl_latency_prediction_error_ewma_seconds";
+inline constexpr const char* kCtlPowerPredictionError =
+    "capgpu_ctl_power_prediction_error_watts";
+inline constexpr const char* kCtlBindingPeriods =
+    "capgpu_ctl_binding_periods_total";
+inline constexpr const char* kCtlBindingFraction =
+    "capgpu_ctl_binding_fraction_ratio";
+inline constexpr const char* kCtlQpIterations = "capgpu_ctl_qp_iterations";
+inline constexpr const char* kCtlFallbackTransitions =
+    "capgpu_ctl_fallback_transitions_total";
+
 // --- fault injection (hal::FaultyServerHal) ---
 inline constexpr const char* kFaultInjections =
     "capgpu_fault_injections_total";

@@ -11,6 +11,7 @@
 // for any worker count.
 #pragma once
 
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
@@ -20,26 +21,33 @@ namespace capgpu::telemetry {
 class ScenarioTelemetry {
  public:
   /// `like` provides the tracer configuration to inherit (enabled flag and
-  /// event cap) — pass the parent tracer the merge will target.
-  explicit ScenarioTelemetry(const Tracer& like) {
+  /// event cap) — pass the parent tracer the merge will target. The flight
+  /// recorder inherits its configuration from `flight_like` (typically the
+  /// recorder that was current on the launching thread).
+  explicit ScenarioTelemetry(const Tracer& like,
+                             const FlightRecorder& flight_like) {
     tracer_.set_enabled(like.enabled());
+    flight_.set_enabled(flight_like.enabled());
+    flight_.set_capacity(flight_like.capacity());
   }
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] SloRegistry& slo() { return slo_; }
+  [[nodiscard]] FlightRecorder& flight() { return flight_; }
 
   /// Folds this scenario's telemetry into the parent instances. Call from
   /// one thread at a time, in scenario order.
-  void merge_into(MetricsRegistry& metrics, Tracer& tracer,
-                  SloRegistry& slo) {
+  void merge_into(MetricsRegistry& metrics, Tracer& tracer, SloRegistry& slo,
+                  FlightRecorder& flight) {
     // Capture the parent's pid count before the tracer merge shifts this
-    // scenario's events past it: SLO entries need the same offset to keep
-    // pointing at their rig's events.
+    // scenario's events past it: SLO entries and flight records need the
+    // same offset to keep pointing at their rig's events.
     const int pid_offset = tracer.pid();
     metrics.merge_from(metrics_);
     tracer.merge_from(std::move(tracer_));
     slo.merge_from(slo_, pid_offset);
+    flight.merge_from(std::move(flight_), pid_offset);
   }
 
   /// RAII binding making this scenario's instances the thread's current
@@ -47,18 +55,23 @@ class ScenarioTelemetry {
   class Binding {
    public:
     explicit Binding(ScenarioTelemetry& scope)
-        : metrics_(scope.metrics_), tracer_(scope.tracer_), slo_(scope.slo_) {}
+        : metrics_(scope.metrics_),
+          tracer_(scope.tracer_),
+          slo_(scope.slo_),
+          flight_(scope.flight_) {}
 
    private:
     MetricsRegistry::ScopedCurrent metrics_;
     Tracer::ScopedCurrent tracer_;
     SloRegistry::ScopedCurrent slo_;
+    FlightRecorder::ScopedCurrent flight_;
   };
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
   SloRegistry slo_;
+  FlightRecorder flight_;
 };
 
 }  // namespace capgpu::telemetry

@@ -9,9 +9,13 @@
 //      counter sample into the "control_period" span that contains it;
 //   2. the burn-rate alert log correlated with protection events
 //      (fail-safe and emergency engagements shortly before each alert);
-//   3. the per-model SLO summary and stage quantiles from the SLO report.
+//   3. the per-model SLO summary and stage quantiles from the SLO report;
+//   4. when a --flight-out log is supplied, each burn alert joined with the
+//      controller health recorded in the minute before it — did the
+//      prediction-error residuals spike (model error) or were the MPC's
+//      frequency constraints binding (constraint pressure)?
 //
-// Usage: capgpu_report <events.jsonl> [slo_report.json]
+// Usage: capgpu_report <events.jsonl> [slo_report.json] [flight.jsonl]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "telemetry/flight.hpp"
 #include "workload/request_timeline.hpp"
 
 namespace {
@@ -244,6 +249,130 @@ void print_alert_correlation(const std::map<int, PidLog>& logs) {
               alerts, with_failsafe, with_emergency);
 }
 
+// One flight record reduced to what the alert join needs.
+struct FlightPoint {
+  double t_s{0.0};
+  bool has_residual{false};
+  double abs_residual_w{0.0};
+  bool acted{false};        // MPC replay state present
+  bool floor_bound{false};  // any device's floor constraint active
+};
+
+std::map<int, std::vector<FlightPoint>> load_flight(const std::string& path) {
+  const std::string text = read_file(path);
+  std::map<int, std::vector<FlightPoint>> points;
+  std::size_t pos = 0;
+  while (true) {
+    while (pos < text.size() &&
+           (text[pos] == '\n' || text[pos] == '\r' || text[pos] == ' ')) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    const capgpu::telemetry::FlightRecord rec =
+        capgpu::telemetry::FlightRecord::from_json(
+            capgpu::json::parse_prefix(text, pos));
+    FlightPoint p;
+    p.t_s = rec.t_s;
+    p.has_residual = rec.outcome_filled && rec.mpc.present;
+    p.abs_residual_w = std::abs(rec.power_residual_w);
+    p.acted = rec.mpc.present;
+    for (const int b : rec.mpc.floor_binding) {
+      p.floor_bound = p.floor_bound || b != 0;
+    }
+    points[rec.pid].push_back(p);
+  }
+  return points;
+}
+
+struct FlightWindowStats {
+  double mean_residual_w{0.0};
+  std::size_t residuals{0};
+  double floor_fraction{0.0};
+  std::size_t acted{0};
+};
+
+FlightWindowStats flight_stats(const std::vector<FlightPoint>& points,
+                               double from_s, double to_s) {
+  FlightWindowStats s;
+  double resid_sum = 0.0;
+  std::size_t floor_bound = 0;
+  for (const auto& p : points) {
+    if (p.t_s < from_s || p.t_s > to_s) continue;
+    if (p.has_residual) {
+      resid_sum += p.abs_residual_w;
+      ++s.residuals;
+    }
+    if (p.acted) {
+      ++s.acted;
+      if (p.floor_bound) ++floor_bound;
+    }
+  }
+  if (s.residuals > 0) {
+    s.mean_residual_w = resid_sum / static_cast<double>(s.residuals);
+  }
+  if (s.acted > 0) {
+    s.floor_fraction =
+        static_cast<double>(floor_bound) / static_cast<double>(s.acted);
+  }
+  return s;
+}
+
+// Joins each burn alert with the controller health recorded in the minute
+// before it. A "model error" verdict means the prediction-error residuals
+// in the window ran at least twice the run's mean; "constraint pressure"
+// means the floor-binding fraction rose 25 points above the run's mean
+// (the SLO floor, not the power model, was shaping the caps).
+void print_flight_join(const std::map<int, PidLog>& logs,
+                       const std::string& path) {
+  std::printf("\nBurn-rate alerts vs controller health (%s)\n", path.c_str());
+  std::printf("---------------------------------------\n");
+  const std::map<int, std::vector<FlightPoint>> flight = load_flight(path);
+  constexpr double kWindowS = 60.0;  // one fast burn window
+  constexpr double kResidualSpike = 2.0;
+  constexpr double kBindingSpike = 0.25;
+  std::size_t alerts = 0;
+  std::size_t model_error = 0;
+  std::size_t constraint_pressure = 0;
+  for (const auto& [pid, log] : logs) {
+    const auto it = flight.find(pid);
+    if (it == flight.end()) continue;
+    const std::vector<FlightPoint>& points = it->second;
+    const FlightWindowStats run =
+        flight_stats(points, -1e300, 1e300);  // whole-run baseline
+    for (const auto& a : log.alerts) {
+      if (a.name != "slo_burn_alert") continue;
+      ++alerts;
+      const double at_s = a.ts_us / 1e6;
+      const FlightWindowStats w =
+          flight_stats(points, at_s - kWindowS, at_s);
+      const bool resid_spiked = w.residuals > 0 && run.mean_residual_w > 0.0 &&
+                                w.mean_residual_w >=
+                                    kResidualSpike * run.mean_residual_w;
+      const bool binding_spiked =
+          w.acted > 0 && w.floor_fraction >= run.floor_fraction + kBindingSpike;
+      if (resid_spiked) ++model_error;
+      if (binding_spiked) ++constraint_pressure;
+      std::printf(
+          "  pid %-3d %-10s alert at %9.3f s  residual %6.2f W (run mean "
+          "%6.2f W)  floor binding %5.1f%% (run %5.1f%%)",
+          pid, a.model.c_str(), at_s, w.mean_residual_w, run.mean_residual_w,
+          w.floor_fraction * 100.0, run.floor_fraction * 100.0);
+      if (resid_spiked) std::printf("  <- model error");
+      if (binding_spiked) std::printf("  <- constraint pressure");
+      if (!resid_spiked && !binding_spiked) std::printf("  steady");
+      std::printf("\n");
+    }
+  }
+  if (alerts == 0) {
+    std::printf("  no burn-rate alerts to join with flight records\n");
+    return;
+  }
+  std::printf(
+      "  total: %zu alert(s), %zu preceded by a prediction-error spike, "
+      "%zu by rising constraint pressure\n",
+      alerts, model_error, constraint_pressure);
+}
+
 void print_slo_report(const std::string& path) {
   const Value report = capgpu::json::parse(read_file(path));
   std::printf("\nSLO error-budget summary (%s)\n", path.c_str());
@@ -283,11 +412,12 @@ void print_slo_report(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
+  if (argc < 2 || argc > 4) {
     std::fprintf(stderr,
-                 "usage: %s <events.jsonl> [slo_report.json]\n"
+                 "usage: %s <events.jsonl> [slo_report.json] [flight.jsonl]\n"
                  "  events.jsonl     written by a bench with --events-out\n"
-                 "  slo_report.json  written by a bench with --slo-report-out\n",
+                 "  slo_report.json  written by a bench with --slo-report-out\n"
+                 "  flight.jsonl     written by a bench with --flight-out\n",
                  argv[0]);
     return 2;
   }
@@ -303,7 +433,8 @@ int main(int argc, char** argv) {
                 argv[1], events, logs.size());
     print_attribution(logs);
     print_alert_correlation(logs);
-    if (argc == 3) print_slo_report(argv[2]);
+    if (argc >= 3) print_slo_report(argv[2]);
+    if (argc >= 4) print_flight_join(logs, argv[3]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "capgpu_report: %s\n", e.what());
     return 1;
