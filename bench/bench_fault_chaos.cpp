@@ -19,6 +19,7 @@
 #include "hal/fault_injection.hpp"
 #include "hw/breaker.hpp"
 #include "runner/scenario_runner.hpp"
+#include "telemetry/resilience.hpp"
 #include "telemetry/table.hpp"
 
 using namespace capgpu;
@@ -56,6 +57,7 @@ struct Outcome {
   bool crashed{false};
   std::string crash_message;  ///< printed after the parallel sweep joins
   double violation_s{0.0};   ///< true power > cap + 5 W (seconds)
+  double last_violation_t{-1.0};  ///< sim time of the last over-cap sample
   double trip_time{-1.0};
   double peak_watts{0.0};
   double peak_stress{0.0};
@@ -89,9 +91,13 @@ Outcome run_one(bool hardened, double actuation_fail_rate) {
 
   // Cap-violation clock runs on true server power, sampled like the meter.
   auto* out = &o;
-  rig.engine().schedule_periodic(1.0, [server, out, b = &breaker] {
+  auto* eng = &rig.engine();
+  rig.engine().schedule_periodic(1.0, [server, out, b = &breaker, eng] {
     const double w = server->total_power().value;
-    if (w > kCap + 5.0) out->violation_s += 1.0;
+    if (w > kCap + 5.0) {
+      out->violation_s += 1.0;
+      out->last_violation_t = eng->now();
+    }
     out->peak_watts = std::max(out->peak_watts, w);
     out->peak_stress = std::max(out->peak_stress, b->stress());
   });
@@ -200,6 +206,41 @@ int main(int argc, char** argv) {
     }
   }
   sweep.print();
+
+  // Resilience scorecard for the reference pair: time from the end of the
+  // meter outage to the last over-cap sample is the loop's recovery time
+  // (--summary-out and --resilience-out surface these fields).
+  auto& resilience = telemetry::ResilienceRegistry::global();
+  for (const Outcome* o : {&trusting, &hardened}) {
+    if (o->crashed) continue;
+    telemetry::ResilienceEntry entry;
+    entry.campaign = "fault_chaos";
+    entry.variant = o == &hardened ? "hardened" : "trusting";
+    entry.stage = "meter_dark_surge";
+    entry.fault_kind = "meter_dark";
+    entry.domain = "server";
+    entry.fault_start_s = kDarkStart;
+    entry.fault_end_s = kDarkEnd;
+    if (o->last_violation_t >= 0.0) {
+      entry.recovered_at_s = std::max(o->last_violation_t, kDarkEnd);
+      entry.mttr_s = entry.recovered_at_s - kDarkEnd;
+    } else {
+      entry.recovered_at_s = kDarkEnd;
+      entry.mttr_s = 0.0;
+    }
+    entry.failsafe_dwell_s = static_cast<double>(o->res.held_periods) * kPeriod;
+    entry.failsafe_entries = o->res.failsafe_engagements;
+    resilience.add(std::move(entry));
+  }
+  if (!resilience.entries().empty()) {
+    std::printf("\nRecovery (last over-cap sample after the outage end):\n");
+    for (const auto& e : resilience.entries()) {
+      if (e.campaign != "fault_chaos") continue;
+      std::printf("  %-9s recovery=%5.1f s  failsafe entries=%llu\n",
+                  e.variant.c_str(), e.mttr_s,
+                  static_cast<unsigned long long>(e.failsafe_entries));
+    }
+  }
 
   std::printf("\nShape checks:\n");
   std::printf("  trusting loop trips the breaker:              %s\n",

@@ -10,6 +10,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/flight.hpp"
+#include "telemetry/resilience.hpp"
 #include "telemetry/sketch.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
@@ -35,6 +36,7 @@ struct ObservabilityOutputs {
   std::optional<std::string> summary_path;
   std::optional<std::string> slo_report_path;
   std::optional<std::string> flight_path;
+  std::optional<std::string> resilience_path;
   std::chrono::steady_clock::time_point started;
 };
 
@@ -63,6 +65,22 @@ void write_summary(const std::string& path) {
     }
     file << ",\n  \"flight_log\": \"" << escaped << "\",\n  \"flight_records\": "
          << telemetry::FlightRecorder::global().records().size();
+  }
+  const auto& resilience = telemetry::ResilienceRegistry::global();
+  if (!resilience.entries().empty()) {
+    file << ",\n  \"resilience\": [";
+    bool first_entry = true;
+    for (const auto& e : resilience.entries()) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "{\"variant\":\"%s\",\"stage\":\"%s\",\"mttr_s\":%.10g,"
+                    "\"failsafe_entries\":%llu}",
+                    e.variant.c_str(), e.stage.c_str(), e.mttr_s,
+                    static_cast<unsigned long long>(e.failsafe_entries));
+      file << (first_entry ? "\n    " : ",\n    ") << buf;
+      first_entry = false;
+    }
+    file << "\n  ]";
   }
   file << ",\n  \"stage_p99_s\": [";
   bool first = true;
@@ -116,6 +134,13 @@ void flush_outputs() {
       std::printf("[telemetry] slo report: %s\n",
                   out.slo_report_path->c_str());
     }
+    if (out.resilience_path) {
+      telemetry::save_resilience_report(telemetry::ResilienceRegistry::global(),
+                                        *out.resilience_path);
+      std::printf("[telemetry] resilience report: %s (%zu stages)\n",
+                  out.resilience_path->c_str(),
+                  telemetry::ResilienceRegistry::global().entries().size());
+    }
     if (out.summary_path) {
       write_summary(*out.summary_path);
       std::printf("[telemetry] summary: %s\n", out.summary_path->c_str());
@@ -149,7 +174,7 @@ void init(int& argc, char** argv) {
     flags = extract_flags(argc, argv,
                           {"metrics-out", "trace-out", "events-out",
                            "summary-out", "slo-report-out", "flight-out",
-                           "log-level", "jobs"});
+                           "resilience-out", "log-level", "jobs"});
   } catch (const InvalidArgument& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     std::exit(2);
@@ -172,6 +197,9 @@ void init(int& argc, char** argv) {
   if (auto it = flags.find("flight-out"); it != flags.end()) {
     out.flight_path = it->second;
     telemetry::FlightRecorder::global().set_enabled(true);
+  }
+  if (auto it = flags.find("resilience-out"); it != flags.end()) {
+    out.resilience_path = it->second;
   }
   if (auto it = flags.find("log-level"); it != flags.end()) {
     if (auto level = parse_log_level(it->second)) {
@@ -196,7 +224,8 @@ void init(int& argc, char** argv) {
     telemetry::Tracer::global().set_enabled(true);
   }
   if (out.metrics_path || out.trace_path || out.events_path ||
-      out.summary_path || out.slo_report_path || out.flight_path) {
+      out.summary_path || out.slo_report_path || out.flight_path ||
+      out.resilience_path) {
     static bool registered = false;
     if (!registered) {
       registered = true;
@@ -207,6 +236,7 @@ void init(int& argc, char** argv) {
       (void)telemetry::Tracer::global();
       (void)telemetry::SloRegistry::global();
       (void)telemetry::FlightRecorder::global();
+      (void)telemetry::ResilienceRegistry::global();
       std::atexit(flush_outputs);
     }
   }

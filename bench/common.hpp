@@ -42,6 +42,9 @@ namespace capgpu::bench {
 ///   --flight-out <path>    control-loop flight-recorder JSONL (one record
 ///                          per control period); also enables the flight
 ///                          recorder. Input to tools/capgpu_ctl_replay.
+///   --resilience-out <path> chaos-campaign resilience scorecard JSON
+///                          (per-stage MTTR, SLO burn, fail-safe dwell);
+///                          written by benches that run campaigns.
 ///
 /// Both `--flag value` and `--flag=value` forms work. Consumed flags are
 /// removed from argv; unknown flags are left alone (google-benchmark

@@ -18,6 +18,11 @@ ctest --test-dir build -L report --output-on-failure
 # --jobs, and the capgpu_ctl_replay bit-identical re-solve gate.
 ctest --test-dir build -L flight --output-on-failure
 
+# Chaos suite: fault-injection / fail-safe / rig-health unit tests plus the
+# campaign resilience gate (scorecard determinism across --jobs, hardened
+# coordinator strictly better than the health-disabled baseline).
+ctest --test-dir build -L chaos --output-on-failure
+
 # Release perf smoke: the allocation-free control-solve tests plus a short
 # pipeline self-perf run. Gates on the report's shape (speedup fields
 # present) and on the pooled hot path not regressing below the legacy

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Chaos-campaign resilience gate: run the reference PDU-brownout campaign
+# (bench_chaos_campaigns), check the --resilience-out scorecard is
+# byte-identical across reruns and --jobs values, then gate on the scores:
+# the health-managed coordinator must burn strictly less SLO error budget
+# during the fault than the health-disabled baseline, must actually detect
+# the fault, and must recover within a pinned MTTR bound. Registered as
+# the `chaos` CTest label; scripts/check.sh runs it via ctest.
+#
+# Usage: check_resilience.sh <bench_chaos_campaigns_binary>
+set -euo pipefail
+
+BENCH="${1:?usage: check_resilience.sh <bench_chaos_campaigns>}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BENCH" --resilience-out "$tmp/resilience.json" --jobs 1 > "$tmp/out.txt"
+[ -s "$tmp/resilience.json" ] || { echo "FAIL: resilience.json empty"; exit 1; }
+
+if grep -q FAIL "$tmp/out.txt"; then
+  echo "FAIL: bench shape checks failed"
+  sed 's/^/  | /' "$tmp/out.txt"
+  exit 1
+fi
+
+# Determinism: a rerun and a parallel run must produce the same bytes.
+"$BENCH" --resilience-out "$tmp/rerun.json" --jobs 1 > /dev/null
+cmp "$tmp/resilience.json" "$tmp/rerun.json" \
+  || { echo "FAIL: two identical runs wrote different scorecards"; exit 1; }
+"$BENCH" --resilience-out "$tmp/jobs4.json" --jobs 4 > /dev/null
+cmp "$tmp/resilience.json" "$tmp/jobs4.json" \
+  || { echo "FAIL: --jobs 4 scorecard differs from --jobs 1"; exit 1; }
+
+# Scorecard gates.
+by() {
+  jq -r ".campaigns[] | select(.variant == \"$1\") | .$2" \
+    "$tmp/resilience.json"
+}
+base_burn=$(by baseline slo_burn_during)
+hard_burn=$(by hardened slo_burn_during)
+base_detect=$(by baseline detected_at_s)
+hard_detect=$(by hardened detected_at_s)
+hard_mttr=$(by hardened mttr_s)
+
+awk -v h="$hard_burn" -v b="$base_burn" 'BEGIN { exit !(h < b) }' \
+  || { echo "FAIL: hardened burn $hard_burn not < baseline $base_burn"; exit 1; }
+awk -v d="$hard_detect" 'BEGIN { exit !(d >= 0) }' \
+  || { echo "FAIL: hardened coordinator never detected the fault"; exit 1; }
+awk -v d="$base_detect" 'BEGIN { exit !(d < 0) }' \
+  || { echo "FAIL: health-disabled baseline claims a detection"; exit 1; }
+awk -v m="$hard_mttr" 'BEGIN { exit !(m >= 0 && m <= 120) }' \
+  || { echo "FAIL: hardened MTTR $hard_mttr outside [0, 120] s"; exit 1; }
+
+echo "resilience gate: PASS (burn $hard_burn < $base_burn during the fault, MTTR $hard_mttr s)"

@@ -8,14 +8,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build --target capgpu_chaos_tests bench_fault_chaos
+cmake --build build --target capgpu_chaos_tests bench_fault_chaos \
+  bench_chaos_campaigns
 
 ctest --test-dir build -L chaos -j"$(nproc)" --output-on-failure
 
-echo "==== bench_fault_chaos (seed 0xC0FFEE)"
-out=$(./build/bench/bench_fault_chaos 2>&1)
-echo "$out"
-if grep -q FAIL <<<"$out"; then
-  echo "^^^ shape-check FAIL in bench_fault_chaos" >&2
-  exit 1
-fi
+for bench in bench_fault_chaos bench_chaos_campaigns; do
+  echo "==== $bench (fixed seeds)"
+  out=$(./build/bench/"$bench" 2>&1)
+  echo "$out"
+  if grep -q FAIL <<<"$out"; then
+    echo "^^^ shape-check FAIL in $bench" >&2
+    exit 1
+  fi
+done

@@ -359,6 +359,7 @@ void ControlLoop::record_flight(double measured_power, double error, bool held,
   rec.hold_reason = hold_reason;
   rec.failsafe_state =
       governor_ ? static_cast<int>(governor_->state()) : -1;
+  if (governor_) rec.failsafe_cause = governor_->engage_cause();
   rec.freqs_mhz = flight_freqs_before_;
   rec.targets_mhz = commands_;
   rec.utilization = last_inputs_.utilization;

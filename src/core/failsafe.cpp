@@ -157,6 +157,8 @@ FailSafeGovernor::Assessment FailSafeGovernor::assess(
     case FailSafeState::kNominal:
       if (over_deadline) {
         state_ = FailSafeState::kDegraded;
+        // Meter-dark wins the tie, matching the log message below.
+        cause_ = meter_dark_over ? "meter_dark" : "actuation_fail";
         ++engagements_;
         engagements_metric_->inc();
         if (tracer.enabled()) {
@@ -183,6 +185,7 @@ FailSafeGovernor::Assessment FailSafeGovernor::assess(
     if (healthy) {
       if (++healthy_streak_ >= config_.recovery_periods) {
         state_ = FailSafeState::kNominal;
+        cause_.clear();
         ++releases_;
         releases_metric_->inc();
         if (tracer.enabled()) {

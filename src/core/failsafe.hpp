@@ -155,6 +155,18 @@ class FailSafeGovernor {
   [[nodiscard]] std::size_t engagements() const { return engagements_; }
   [[nodiscard]] std::size_t releases() const { return releases_; }
 
+  /// Why the current (or most recent) degradation engaged: "meter_dark",
+  /// "actuation_fail", or "" while nominal before the first engagement.
+  /// Kept through DEGRADED and RECOVERING, cleared on release, so each
+  /// flight record carries the fault class the governor reacted to.
+  [[nodiscard]] const std::string& engage_cause() const { return cause_; }
+
+  /// Seconds since the last accepted-fresh power reading (0 before the
+  /// first assess). Feeds the rack coordinator's stale-report watchdog.
+  [[nodiscard]] double seconds_since_fresh(double now) const {
+    return primed_ ? now - last_fresh_time_ : 0.0;
+  }
+
  private:
   struct DeviceHealth {
     double last_attempt{-1.0};
@@ -171,6 +183,7 @@ class FailSafeGovernor {
   std::size_t healthy_streak_{0};
   std::size_t engagements_{0};
   std::size_t releases_{0};
+  std::string cause_;
 
   telemetry::Counter* engagements_metric_{nullptr};
   telemetry::Counter* releases_metric_{nullptr};

@@ -1,0 +1,93 @@
+// Declarative chaos campaigns with resilience scoring.
+//
+// A campaign is a staged fault timeline over a rack of CapGPU-capped rigs:
+// a JSON document names the domain topology, the workload shape, the
+// coordinator's health-management knobs, and a list of stages, each
+// attaching one scripted fault (faults::DomainFault) to one domain node.
+// run_campaign() assembles the rack — one single-GPU rig per leaf of the
+// DomainTree, each driven by its own hardened control loop — executes the
+// timeline as engine events, and scores every stage into a
+// telemetry::ResilienceEntry (MTTR, SLO error-budget burned during and
+// after the fault, recovery overshoot, fail-safe dwell), pushed into
+// ResilienceRegistry::current() so --resilience-out renders the scorecard.
+//
+// The A/B the acceptance test cares about: the same campaign run with
+// coordinator health management on (`health_managed = true`) must burn
+// strictly less error budget than with it off — quarantining dark rigs at
+// their minimum frees budget for the healthy, burning ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/domain_tree.hpp"
+#include "rack/allocation.hpp"
+#include "rack/coordinator.hpp"
+#include "telemetry/resilience.hpp"
+
+namespace capgpu::faults {
+
+/// One stage of the campaign timeline: a named fault on a domain node.
+struct CampaignStage {
+  std::string name;
+  std::string node;  ///< domain path ("", "rackR", "rackR/pduP", ...)
+  DomainFault fault;
+};
+
+/// The parsed campaign document.
+struct CampaignConfig {
+  std::string name{"campaign"};
+  std::uint64_t seed{0xC0FFEEULL};
+  DomainTopology topology{};
+  double rack_budget_w{2400.0};
+  std::size_t periods{150};
+  double period_s{4.0};
+  /// Coordinator rebalance cadence, in control periods.
+  std::size_t rebalance_every{2};
+  /// Offered load as a fraction of each stream's peak throughput
+  /// (0 = saturated closed-loop serving).
+  double offered_load{0.0};
+  /// Latency SLO applied to every stream (seconds).
+  double slo_s{0.05};
+  /// Per-rig budget bounds handed to the coordinator. The default min sits
+  /// at a single-resnet50 rig's feasible floor (~500 W at minimum clocks),
+  /// so a quarantined rig's pinned budget is watts it actually stops using.
+  rack::AllocationBounds bounds{500.0, 650.0};
+  /// Health-management knobs; `enabled` is overridden by the
+  /// `health_managed` argument of run_campaign().
+  rack::RigHealthConfig health{};
+  std::vector<CampaignStage> stages;
+};
+
+/// Parses a campaign JSON document (see docs/fault_model.md for the
+/// schema). Throws InvalidArgument on malformed JSON, unknown fault
+/// kinds, bad domain paths, or out-of-domain numbers.
+[[nodiscard]] CampaignConfig parse_campaign(const std::string& json_text);
+
+/// Checks the config's domain; throws InvalidArgument naming the field.
+[[nodiscard]] CampaignConfig validated(CampaignConfig config);
+
+/// Aggregate outcome of one campaign run (per-stage scorecards land in
+/// telemetry::ResilienceRegistry::current()).
+struct CampaignResult {
+  std::string variant;  ///< "hardened" or "baseline"
+  /// Lifetime error-budget fraction consumed, summed misses over summed
+  /// checks across every rig: (miss rate) / (1 - objective).
+  double total_burn{0.0};
+  double mean_rack_power_w{0.0};
+  double rack_images{0.0};  ///< images completed across all rigs
+  std::size_t failsafe_engagements{0};
+  std::size_t health_transitions{0};
+  std::vector<telemetry::ResilienceEntry> stages;  ///< copy of the entries
+};
+
+/// Runs the campaign once. `health_managed` switches the coordinator's
+/// rig-health layer (the control loops are always hardened — the A/B
+/// isolates the coordinator's contribution). Scorecards are appended to
+/// ResilienceRegistry::current() with variant "hardened" / "baseline".
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
+                                          bool health_managed);
+
+}  // namespace capgpu::faults

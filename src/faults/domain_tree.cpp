@@ -1,0 +1,190 @@
+#include "faults/domain_tree.hpp"
+
+#include "common/error.hpp"
+
+namespace capgpu::faults {
+
+namespace {
+
+/// Parses "name<index>" (e.g. "rack0", "pdu12"); returns false on any
+/// other shape.
+bool parse_component(const std::string& text, const char* name,
+                     std::size_t& index) {
+  const std::size_t len = std::string(name).size();
+  if (text.size() <= len || text.compare(0, len, name) != 0) return false;
+  std::size_t value = 0;
+  for (std::size_t i = len; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  index = value;
+  return true;
+}
+
+/// Splits a node path on '/'; "" yields no components (the row root).
+std::vector<std::string> split_path(const std::string& node) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos < node.size()) {
+    const std::size_t slash = node.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? node.size() : slash;
+    parts.push_back(node.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+DomainTopology validated(DomainTopology topology) {
+  CAPGPU_REQUIRE(topology.racks >= 1, "topology needs at least one rack");
+  CAPGPU_REQUIRE(topology.pdus_per_rack >= 1,
+                 "topology needs at least one PDU per rack");
+  CAPGPU_REQUIRE(topology.rigs_per_pdu >= 1,
+                 "topology needs at least one rig per PDU");
+  return topology;
+}
+
+const char* fault_kind_name(DomainFaultKind kind) {
+  switch (kind) {
+    case DomainFaultKind::kBrownout: return "brownout";
+    case DomainFaultKind::kBudgetSlash: return "budget_slash";
+    case DomainFaultKind::kMeterBug: return "meter_bug";
+    case DomainFaultKind::kBlackout: return "blackout";
+  }
+  return "unknown";
+}
+
+DomainFaultKind fault_kind_from(const std::string& name) {
+  if (name == "brownout") return DomainFaultKind::kBrownout;
+  if (name == "budget_slash") return DomainFaultKind::kBudgetSlash;
+  if (name == "meter_bug") return DomainFaultKind::kMeterBug;
+  if (name == "blackout") return DomainFaultKind::kBlackout;
+  throw InvalidArgument("unknown fault kind: \"" + name +
+                        "\" (want brownout / budget_slash / meter_bug / "
+                        "blackout)");
+}
+
+DomainTree::DomainTree(DomainTopology topology, std::uint64_t seed)
+    : topology_(validated(topology)), seed_(seed) {
+  paths_.reserve(topology_.total_rigs());
+  for (std::size_t r = 0; r < topology_.racks; ++r) {
+    for (std::size_t p = 0; p < topology_.pdus_per_rack; ++p) {
+      for (std::size_t g = 0; g < topology_.rigs_per_pdu; ++g) {
+        paths_.push_back("rack" + std::to_string(r) + "/pdu" +
+                         std::to_string(p) + "/rig" + std::to_string(g));
+      }
+    }
+  }
+}
+
+const std::string& DomainTree::rig_path(std::size_t rig) const {
+  CAPGPU_REQUIRE(rig < paths_.size(), "rig index out of range");
+  return paths_[rig];
+}
+
+std::vector<std::size_t> DomainTree::rigs_under(
+    const std::string& node) const {
+  const std::vector<std::string> parts = split_path(node);
+  CAPGPU_REQUIRE(parts.size() <= 3,
+                 "node path has too many components: \"" + node + "\"");
+  std::size_t rack = 0;
+  std::size_t pdu = 0;
+  std::size_t rig = 0;
+  if (parts.size() >= 1) {
+    CAPGPU_REQUIRE(parse_component(parts[0], "rack", rack) &&
+                       rack < topology_.racks,
+                   "bad rack component in node path: \"" + node + "\"");
+  }
+  if (parts.size() >= 2) {
+    CAPGPU_REQUIRE(parse_component(parts[1], "pdu", pdu) &&
+                       pdu < topology_.pdus_per_rack,
+                   "bad pdu component in node path: \"" + node + "\"");
+  }
+  if (parts.size() >= 3) {
+    CAPGPU_REQUIRE(parse_component(parts[2], "rig", rig) &&
+                       rig < topology_.rigs_per_pdu,
+                   "bad rig component in node path: \"" + node + "\"");
+  }
+
+  std::vector<std::size_t> out;
+  const std::size_t racks_lo = parts.size() >= 1 ? rack : 0;
+  const std::size_t racks_hi = parts.size() >= 1 ? rack + 1 : topology_.racks;
+  const std::size_t pdus_lo = parts.size() >= 2 ? pdu : 0;
+  const std::size_t pdus_hi =
+      parts.size() >= 2 ? pdu + 1 : topology_.pdus_per_rack;
+  const std::size_t rigs_lo = parts.size() >= 3 ? rig : 0;
+  const std::size_t rigs_hi =
+      parts.size() >= 3 ? rig + 1 : topology_.rigs_per_pdu;
+  for (std::size_t r = racks_lo; r < racks_hi; ++r) {
+    for (std::size_t p = pdus_lo; p < pdus_hi; ++p) {
+      for (std::size_t g = rigs_lo; g < rigs_hi; ++g) {
+        out.push_back((r * topology_.pdus_per_rack + p) *
+                          topology_.rigs_per_pdu +
+                      g);
+      }
+    }
+  }
+  return out;
+}
+
+void DomainTree::add_fault(const std::string& node, DomainFault fault) {
+  (void)rigs_under(node);  // validates the path
+  CAPGPU_REQUIRE(fault.start_s >= 0.0, "fault start_s must be >= 0");
+  CAPGPU_REQUIRE(fault.duration_s > 0.0, "fault duration_s must be positive");
+  if (fault.kind == DomainFaultKind::kBrownout ||
+      fault.kind == DomainFaultKind::kBudgetSlash) {
+    CAPGPU_REQUIRE(fault.magnitude > 0.0 && fault.magnitude < 1.0,
+                   "fault magnitude must be in (0, 1)");
+    budget_events_.push_back({fault.start_s, fault.end_s(),
+                              1.0 - fault.magnitude, node, fault.kind});
+  }
+  faults_.emplace_back(node, fault);
+}
+
+hal::FaultPlan DomainTree::rig_plan(std::size_t rig) const {
+  CAPGPU_REQUIRE(rig < paths_.size(), "rig index out of range");
+  hal::FaultPlan plan;
+  // Seed depends only on (tree seed, rig index): the plan replays
+  // bit-for-bit for any --jobs N and any fault insertion order.
+  plan.seed = seed_ ^ (0x9E3779B97F4A7C15ULL * (rig + 1));
+  const std::string& path = paths_[rig];
+  for (const auto& [node, fault] : faults_) {
+    // The fault's domain contains this rig iff the node path is a prefix
+    // of the rig's path on a component boundary ("" contains everything).
+    const bool contains =
+        node.empty() ||
+        (path.size() >= node.size() &&
+         path.compare(0, node.size(), node) == 0 &&
+         (path.size() == node.size() || path[node.size()] == '/'));
+    if (!contains) continue;
+    const hal::FaultWindow window{Seconds{fault.start_s},
+                                  Seconds{fault.end_s()}};
+    switch (fault.kind) {
+      case DomainFaultKind::kBrownout:
+        plan.meter_dark.push_back(window);
+        break;
+      case DomainFaultKind::kBudgetSlash:
+        break;  // budget event only; rigs keep seeing clean hardware
+      case DomainFaultKind::kMeterBug:
+        plan.meter_nan.push_back(window);
+        break;
+      case DomainFaultKind::kBlackout:
+        plan.meter_dark.push_back(window);
+        plan.actuation_blackout.push_back(window);
+        break;
+    }
+  }
+  return plan;
+}
+
+double DomainTree::budget_scale(double now) const {
+  double scale = 1.0;
+  for (const auto& event : budget_events_) {
+    if (now >= event.start_s && now < event.end_s) scale *= event.scale;
+  }
+  return scale;
+}
+
+}  // namespace capgpu::faults

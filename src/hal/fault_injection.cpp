@@ -28,6 +28,7 @@ void require_rate(double rate, const char* field) {
 
 FaultPlan validated(FaultPlan plan) {
   require_windows(plan.meter_dark, "meter_dark");
+  require_windows(plan.meter_nan, "meter_nan");
   require_windows(plan.utilization_freeze, "utilization_freeze");
   require_windows(plan.actuation_blackout, "actuation_blackout");
   require_rate(plan.meter_nan_rate, "meter_nan_rate");
@@ -129,7 +130,15 @@ void FaultyPowerMeter::capture() {
   if (sample.time == last_captured_time_) return;  // no new sample this tick
   last_captured_time_ = sample.time;
 
-  if (state_->plan.meter_nan_rate > 0.0 || state_->plan.meter_spike_rate > 0.0) {
+  if (in_fault_window(state_->plan.meter_nan, engine_->now())) {
+    // Firmware-bug window: every sample published inside reads as NaN.
+    // Deterministic (no RNG roll), so a domain-tree fan-out hits all rigs
+    // under the faulted node with the identical corruption schedule.
+    sample.power = Watts{std::nan("")};
+    ++state_->counters.meter_nan;
+    state_->meter_nan_metric->inc();
+  } else if (state_->plan.meter_nan_rate > 0.0 ||
+             state_->plan.meter_spike_rate > 0.0) {
     const double u = state_->meter_rng.uniform();
     if (u < state_->plan.meter_nan_rate) {
       sample.power = Watts{std::nan("")};

@@ -48,6 +48,8 @@ struct FaultPlan {
 
   // --- power meter ---
   std::vector<FaultWindow> meter_dark;  ///< publishes nothing inside
+  std::vector<FaultWindow> meter_nan;   ///< every sample inside becomes NaN
+                                        ///< (firmware-bug fault class)
   double meter_nan_rate{0.0};           ///< P(sample -> NaN)
   double meter_spike_rate{0.0};         ///< P(sample displaced by a spike)
   double meter_spike_watts{500.0};      ///< spike magnitude (random sign)

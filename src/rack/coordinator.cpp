@@ -3,10 +3,33 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/trace.hpp"
 
 namespace capgpu::rack {
+
+const char* rig_health_name(RigHealth health) {
+  switch (health) {
+    case RigHealth::kHealthy: return "healthy";
+    case RigHealth::kDegraded: return "degraded";
+    case RigHealth::kFailsafe: return "failsafe";
+    case RigHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+RigHealthConfig validated(RigHealthConfig config) {
+  CAPGPU_REQUIRE(config.stale_report_s > 0.0,
+                 "stale_report_s must be positive");
+  CAPGPU_REQUIRE(config.dead_after_s >= config.stale_report_s,
+                 "dead_after_s must be >= stale_report_s");
+  CAPGPU_REQUIRE(config.residual_anomaly_watts > 0.0,
+                 "residual_anomaly_watts must be positive");
+  CAPGPU_REQUIRE(config.reintegrate_rebalances >= 1,
+                 "reintegrate_rebalances must be >= 1 (hysteresis)");
+  return config;
+}
 
 RackCoordinator::RackCoordinator(Watts rack_budget, RackPolicy policy,
                                  double demand_smoothing)
@@ -36,7 +59,117 @@ void RackCoordinator::add_server(ServerEndpoint endpoint) {
   demand_metrics_.push_back(
       &registry.gauge(telemetry::metric::kRackServerDemand,
                       "Smoothed demand signal in [0,1]", by_server));
+  RigHealthState hs;
+  if (health_config_.enabled) {
+    hs.gauge = &registry.gauge(
+        telemetry::metric::kRackRigHealth,
+        "Coordinator-side rig health: 0 healthy, 1 degraded, 2 failsafe, "
+        "3 dead",
+        by_server);
+  }
+  rig_health_.push_back(hs);
   servers_.push_back(std::move(endpoint));
+}
+
+void RackCoordinator::set_health_config(RigHealthConfig config) {
+  health_config_ = validated(config);
+  if (!health_config_.enabled) return;
+  auto& registry = telemetry::MetricsRegistry::current();
+  if (quarantined_metric_ == nullptr) {
+    quarantined_metric_ = &registry.gauge(
+        telemetry::metric::kRackQuarantinedBudgetWatts,
+        "Budget pinned to quarantined (failsafe/dead) rigs at their minimum");
+  }
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (rig_health_[i].gauge == nullptr) {
+      rig_health_[i].gauge = &registry.gauge(
+          telemetry::metric::kRackRigHealth,
+          "Coordinator-side rig health: 0 healthy, 1 degraded, 2 failsafe, "
+          "3 dead",
+          {{"server", servers_[i].name}});
+    }
+  }
+}
+
+RigHealth RackCoordinator::health(std::size_t i) const {
+  CAPGPU_REQUIRE(i < rig_health_.size(), "server index out of range");
+  return rig_health_[i].state;
+}
+
+void RackCoordinator::transition(std::size_t i, double now, RigHealth to,
+                                 const char* cause) {
+  RigHealthState& hs = rig_health_[i];
+  const RigHealth from = hs.state;
+  hs.state = to;
+  health_log_.push_back({servers_[i].name, now, from, to, cause});
+  telemetry::MetricsRegistry::current()
+      .counter(telemetry::metric::kRackHealthTransitions,
+               "Coordinator rig health-state transitions",
+               {{"server", servers_[i].name},
+                {"to", rig_health_name(to)},
+                {"cause", cause}})
+      .inc();
+  if (hs.gauge != nullptr) {
+    hs.gauge->set(static_cast<double>(static_cast<int>(to)));
+  }
+  auto& tracer = telemetry::Tracer::current();
+  if (tracer.enabled()) {
+    tracer.instant(trace_tid_, "rig_health_transition", "rack",
+                   {{servers_[i].name,
+                     static_cast<double>(static_cast<int>(to))},
+                    {"from", static_cast<double>(static_cast<int>(from))}});
+  }
+  CAPGPU_LOG_WARN << "rack health: " << servers_[i].name << " "
+                  << rig_health_name(from) << " -> " << rig_health_name(to)
+                  << " (" << cause << ")";
+}
+
+void RackCoordinator::update_health(double now) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const ServerEndpoint& s = servers_[i];
+    RigHealthState& hs = rig_health_[i];
+    const double age = s.report_age ? s.report_age() : 0.0;
+    const int fs = s.failsafe_state ? s.failsafe_state() : -1;
+    const double residual = s.power_residual ? s.power_residual() : 0.0;
+
+    // Worst matching condition wins; demotion is immediate.
+    RigHealth target = RigHealth::kHealthy;
+    const char* cause = nullptr;
+    if (age > health_config_.dead_after_s) {
+      target = RigHealth::kDead;
+      cause = "dead_watchdog";
+    } else if (fs == 1) {
+      target = RigHealth::kFailsafe;
+      cause = "failsafe_reported";
+    } else if (age > health_config_.stale_report_s) {
+      target = RigHealth::kDegraded;
+      cause = "stale_report";
+    } else if (residual > health_config_.residual_anomaly_watts) {
+      target = RigHealth::kDegraded;
+      cause = "residual_anomaly";
+    } else if (fs == 2) {
+      target = RigHealth::kDegraded;
+      cause = "failsafe_recovering";
+    }
+
+    if (static_cast<int>(target) > static_cast<int>(hs.state)) {
+      transition(i, now, target, cause);
+      hs.clean_streak = 0;
+    } else if (target == RigHealth::kHealthy) {
+      // Promotion is hysteretic: only after reintegrate_rebalances
+      // consecutive clean sweeps, and straight back to healthy — a rig
+      // flapping between clean and faulty keeps resetting the streak and
+      // stays quarantined.
+      if (hs.state != RigHealth::kHealthy &&
+          ++hs.clean_streak >= health_config_.reintegrate_rebalances) {
+        transition(i, now, RigHealth::kHealthy, "reintegrated");
+        hs.clean_streak = 0;
+      }
+    } else {
+      // Improved but not clean: hold the current state, restart the count.
+      hs.clean_streak = 0;
+    }
+  }
 }
 
 void RackCoordinator::set_rack_budget(Watts budget) {
@@ -45,8 +178,16 @@ void RackCoordinator::set_rack_budget(Watts budget) {
 }
 
 std::vector<double> RackCoordinator::rebalance() {
+  // No sim clock supplied: count rebalances, so the health watchdogs (if
+  // enabled) read "rebalances since" rather than seconds.
+  auto_clock_ += 1.0;
+  return rebalance(auto_clock_);
+}
+
+std::vector<double> RackCoordinator::rebalance(double now) {
   CAPGPU_REQUIRE(!servers_.empty(), "no servers registered");
   const std::size_t n = servers_.size();
+  if (health_config_.enabled) update_health(now);
 
   std::vector<AllocationBounds> bounds;
   bounds.reserve(n);
@@ -80,7 +221,38 @@ std::vector<double> RackCoordinator::rebalance() {
       break;
   }
 
+  if (health_config_.enabled) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rig_health_[i].state == RigHealth::kFailsafe ||
+          rig_health_[i].state == RigHealth::kDead) {
+        // Quarantine: pin to the guaranteed minimum. A dead or fail-safe
+        // rig is stepping toward minimum clocks anyway — budget above min
+        // would be stranded while healthy rigs throttle.
+        bounds[i] = {servers_[i].bounds.min, servers_[i].bounds.min};
+        weights[i] = 0.0;
+      } else if (servers_[i].slo_burn) {
+        // Freed budget flows preferentially toward rigs whose SLOs are
+        // burning: boost their share of the spare proportionally to the
+        // (clamped) burn signal.
+        const double burn = std::clamp(servers_[i].slo_burn(), 0.0, 10.0);
+        weights[i] *= 1.0 + burn;
+      }
+    }
+  }
+
   budgets_ = proportional_allocation(rack_budget_.value, bounds, weights);
+  if (health_config_.enabled) {
+    quarantined_budget_w_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rig_health_[i].state == RigHealth::kFailsafe ||
+          rig_health_[i].state == RigHealth::kDead) {
+        quarantined_budget_w_ += budgets_[i];
+      }
+    }
+    if (quarantined_metric_ != nullptr) {
+      quarantined_metric_->set(quarantined_budget_w_);
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     servers_[i].set_budget(Watts{budgets_[i]});
     budget_metrics_[i]->set(budgets_[i]);

@@ -29,6 +29,51 @@ namespace capgpu::rack {
 /// Allocation policy.
 enum class RackPolicy { kEqual, kDemandProportional, kPriorityAware };
 
+/// Per-rig health as the coordinator sees it. Ordered by severity: the
+/// numeric value is exported on the capgpu_rack_rig_health gauge and a
+/// larger value always means "worse".
+enum class RigHealth : int {
+  kHealthy = 0,   ///< reporting fresh data, tracking its budget
+  kDegraded = 1,  ///< suspicious (stale-ish reports or residual anomaly)
+  kFailsafe = 2,  ///< the rig's own governor reports degradation
+  kDead = 3,      ///< no fresh report past the dead watchdog deadline
+};
+
+/// Lower-case state name ("healthy" / "degraded" / "failsafe" / "dead").
+[[nodiscard]] const char* rig_health_name(RigHealth health);
+
+/// Health-management knobs (see docs/fault_model.md for the state
+/// machine). Disabled by default so an unconfigured coordinator behaves
+/// exactly as before health management existed.
+struct RigHealthConfig {
+  bool enabled{false};
+  /// Demote to degraded once a rig's last fresh report is older than this.
+  double stale_report_s{12.0};
+  /// Demote to dead once the last fresh report is older than this.
+  double dead_after_s{40.0};
+  /// Demote to degraded when the rig's |measured - budget| tracking
+  /// residual exceeds this (flight-recorder-style anomaly at rack scope).
+  double residual_anomaly_watts{150.0};
+  /// Consecutive clean rebalances required before a quarantined or
+  /// degraded rig is promoted back to healthy (hysteresis: a flapping rig
+  /// cannot oscillate the allocation).
+  std::size_t reintegrate_rebalances{3};
+};
+
+/// Checks the config's domain; throws InvalidArgument naming the field.
+[[nodiscard]] RigHealthConfig validated(RigHealthConfig config);
+
+/// One health-state change, kept in a public log so chaos campaigns can
+/// score detection latency and quarantine dwell without scraping metrics.
+struct RigHealthTransition {
+  std::string server;
+  double time_s{0.0};
+  RigHealth from{RigHealth::kHealthy};
+  RigHealth to{RigHealth::kHealthy};
+  std::string cause;  ///< stale_report / dead_watchdog / failsafe_reported /
+                      ///< residual_anomaly / reintegrated
+};
+
 /// Registration record of one server.
 struct ServerEndpoint {
   std::string name;
@@ -44,6 +89,22 @@ struct ServerEndpoint {
   /// Per-server budget bounds (min protects against starvation; max is
   /// the server's feasible ceiling).
   AllocationBounds bounds{600.0, 1300.0};
+
+  // --- optional health signals (all may be null; a missing signal simply
+  // --- never votes against the rig) ---
+  /// Seconds since the rig last produced an accepted-fresh power reading
+  /// (core::FailSafeGovernor::seconds_since_fresh). Feeds the stale-report
+  /// and dead watchdogs.
+  std::function<double()> report_age;
+  /// The rig's own FailSafeState as int (0 nominal / 1 degraded /
+  /// 2 recovering); -1 for an unhardened loop.
+  std::function<int()> failsafe_state;
+  /// |measured - budget| tracking residual in watts (anomaly signal).
+  std::function<double()> power_residual;
+  /// SLO error-budget burn signal, >= 0 (e.g. the fast-window burn rate).
+  /// Healthy rigs with burning SLOs attract the budget drained away from
+  /// quarantined rigs.
+  std::function<double()> slo_burn;
 };
 
 /// The rack budget divider.
@@ -65,10 +126,34 @@ class RackCoordinator {
   void set_policy(RackPolicy policy) { policy_ = policy; }
   [[nodiscard]] RackPolicy policy() const { return policy_; }
 
+  /// Enables / reconfigures health management (validates the config).
+  void set_health_config(RigHealthConfig config);
+  [[nodiscard]] const RigHealthConfig& health_config() const {
+    return health_config_;
+  }
+
   /// Recomputes per-server budgets from the current demand signals and
   /// pushes them to every server. Returns the budgets, in registration
-  /// order.
+  /// order. The no-argument overload uses the rebalance count as the
+  /// clock; pass the sim time explicitly when health management's
+  /// second-denominated watchdogs should mean what they say.
   std::vector<double> rebalance();
+  std::vector<double> rebalance(double now);
+
+  /// Health state of server `i` (registration order). kHealthy for every
+  /// rig while health management is disabled.
+  [[nodiscard]] RigHealth health(std::size_t i) const;
+
+  /// Every health-state change so far, in occurrence order.
+  [[nodiscard]] const std::vector<RigHealthTransition>& health_log() const {
+    return health_log_;
+  }
+
+  /// Budget currently pinned to quarantined (failsafe/dead) rigs at their
+  /// guaranteed minimum, as of the latest rebalance.
+  [[nodiscard]] double quarantined_budget() const {
+    return quarantined_budget_w_;
+  }
 
   /// Budgets from the latest rebalance (empty before the first call).
   [[nodiscard]] const std::vector<double>& budgets() const { return budgets_; }
@@ -87,16 +172,34 @@ class RackCoordinator {
   }
 
  private:
+  /// Per-rig health bookkeeping (parallel to servers_).
+  struct RigHealthState {
+    RigHealth state{RigHealth::kHealthy};
+    std::size_t clean_streak{0};
+    telemetry::Gauge* gauge{nullptr};
+  };
+
+  /// One rebalance's health sweep: demote immediately on a bad signal,
+  /// promote back to healthy only after the hysteresis streak.
+  void update_health(double now);
+  void transition(std::size_t i, double now, RigHealth to, const char* cause);
+
   Watts rack_budget_;
   RackPolicy policy_;
   double demand_smoothing_;
+  RigHealthConfig health_config_;
   std::vector<ServerEndpoint> servers_;
   std::vector<double> budgets_;
   std::vector<double> smoothed_demand_;
+  std::vector<RigHealthState> rig_health_;
+  std::vector<RigHealthTransition> health_log_;
+  double quarantined_budget_w_{0.0};
+  double auto_clock_{0.0};  ///< no-arg rebalance() pseudo-time
 
   // Observability: rebalance counter plus per-server budget/demand gauges
   // {server=<name>}; each rebalance is an instant trace event.
   telemetry::Counter* rebalances_metric_{nullptr};
+  telemetry::Gauge* quarantined_metric_{nullptr};
   std::vector<telemetry::Gauge*> budget_metrics_;
   std::vector<telemetry::Gauge*> demand_metrics_;
   int trace_tid_{0};

@@ -23,6 +23,8 @@ void ScenarioRunner::run(std::size_t count,
   telemetry::SloRegistry& parent_slo = telemetry::SloRegistry::current();
   telemetry::FlightRecorder& parent_flight =
       telemetry::FlightRecorder::current();
+  telemetry::ResilienceRegistry& parent_resilience =
+      telemetry::ResilienceRegistry::current();
 
   struct ScenarioState {
     std::unique_ptr<telemetry::ScenarioTelemetry> telemetry;
@@ -66,7 +68,7 @@ void ScenarioRunner::run(std::size_t count,
     if (state.error) std::rethrow_exception(state.error);
     if (state.ran) {
       state.telemetry->merge_into(parent_metrics, parent_tracer, parent_slo,
-                                  parent_flight);
+                                  parent_flight, parent_resilience);
       ++scenarios_merged_;
     }
   }

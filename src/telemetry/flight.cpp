@@ -176,6 +176,7 @@ std::string FlightRecord::to_jsonl() const {
   b.boolean("held", held);
   b.str("hold_reason", hold_reason);
   b.integer("failsafe_state", failsafe_state);
+  b.str("failsafe_cause", failsafe_cause);
   b.nums("freqs_mhz", freqs_mhz);
   b.nums("targets_mhz", targets_mhz);
   b.nums("utilization", utilization);
@@ -237,6 +238,7 @@ FlightRecord FlightRecord::from_json(const json::Value& v) {
   rec.held = bool_at(v, "held");
   rec.hold_reason = v.string_or("hold_reason", "");
   rec.failsafe_state = static_cast<int>(v.number_or("failsafe_state", -1.0));
+  rec.failsafe_cause = v.string_or("failsafe_cause", "");
   rec.freqs_mhz = numbers_at(v, "freqs_mhz");
   rec.targets_mhz = numbers_at(v, "targets_mhz");
   rec.utilization = numbers_at(v, "utilization");
@@ -485,7 +487,10 @@ void FlightRecorder::finalize(FlightRecord& prev, const FlightRecord* next) {
                  "Fail-safe governor state transitions seen by the recorder",
                  {{"policy", prev.policy},
                   {"kind", std::string(failsafe_name(h.prev_failsafe_state)) +
-                               "_to_" + failsafe_name(prev.failsafe_state)}})
+                               "_to_" + failsafe_name(prev.failsafe_state)},
+                  {"cause", prev.failsafe_cause.empty()
+                                ? "none"
+                                : prev.failsafe_cause}})
         .inc();
   }
   h.prev_failsafe_state = prev.failsafe_state;

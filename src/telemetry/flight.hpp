@@ -92,6 +92,8 @@ struct FlightRecord {
   std::string hold_reason;    ///< deadband / sensor_gap / dark / recovering /
                               ///< failsafe_degrade (held=false for the latter)
   int failsafe_state{-1};     ///< FailSafeState as int; -1 = unhardened loop
+  std::string failsafe_cause; ///< why the governor last engaged (meter_dark /
+                              ///< actuation_fail); "" while nominal
   std::vector<double> freqs_mhz;    ///< fractional commands entering the period
   std::vector<double> targets_mhz;  ///< fractional commands after the decision
   std::vector<double> utilization;

@@ -64,6 +64,11 @@ inline constexpr const char* kRackRebalances = "capgpu_rack_rebalances_total";
 inline constexpr const char* kRackServerBudgetWatts =
     "capgpu_rack_server_budget_watts";
 inline constexpr const char* kRackServerDemand = "capgpu_rack_server_demand";
+inline constexpr const char* kRackRigHealth = "capgpu_rack_rig_health";
+inline constexpr const char* kRackHealthTransitions =
+    "capgpu_rack_rig_health_transitions_total";
+inline constexpr const char* kRackQuarantinedBudgetWatts =
+    "capgpu_rack_quarantined_budget_watts";
 
 // --- fail-safe hardening (core::FailSafeGovernor / core::ControlLoop) ---
 inline constexpr const char* kLoopHeldPeriods =

@@ -13,6 +13,7 @@
 
 #include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/resilience.hpp"
 #include "telemetry/slo.hpp"
 #include "telemetry/trace.hpp"
 
@@ -35,19 +36,22 @@ class ScenarioTelemetry {
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] SloRegistry& slo() { return slo_; }
   [[nodiscard]] FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] ResilienceRegistry& resilience() { return resilience_; }
 
   /// Folds this scenario's telemetry into the parent instances. Call from
   /// one thread at a time, in scenario order.
   void merge_into(MetricsRegistry& metrics, Tracer& tracer, SloRegistry& slo,
-                  FlightRecorder& flight) {
+                  FlightRecorder& flight, ResilienceRegistry& resilience) {
     // Capture the parent's pid count before the tracer merge shifts this
-    // scenario's events past it: SLO entries and flight records need the
-    // same offset to keep pointing at their rig's events.
+    // scenario's events past it: SLO entries, flight records and resilience
+    // scorecards need the same offset to keep pointing at their rig's
+    // events.
     const int pid_offset = tracer.pid();
     metrics.merge_from(metrics_);
     tracer.merge_from(std::move(tracer_));
     slo.merge_from(slo_, pid_offset);
     flight.merge_from(std::move(flight_), pid_offset);
+    resilience.merge_from(resilience_, pid_offset);
   }
 
   /// RAII binding making this scenario's instances the thread's current
@@ -58,13 +62,15 @@ class ScenarioTelemetry {
         : metrics_(scope.metrics_),
           tracer_(scope.tracer_),
           slo_(scope.slo_),
-          flight_(scope.flight_) {}
+          flight_(scope.flight_),
+          resilience_(scope.resilience_) {}
 
    private:
     MetricsRegistry::ScopedCurrent metrics_;
     Tracer::ScopedCurrent tracer_;
     SloRegistry::ScopedCurrent slo_;
     FlightRecorder::ScopedCurrent flight_;
+    ResilienceRegistry::ScopedCurrent resilience_;
   };
 
  private:
@@ -72,6 +78,7 @@ class ScenarioTelemetry {
   Tracer tracer_;
   SloRegistry slo_;
   FlightRecorder flight_;
+  ResilienceRegistry resilience_;
 };
 
 }  // namespace capgpu::telemetry

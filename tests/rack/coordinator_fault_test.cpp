@@ -1,0 +1,194 @@
+// Coordinator rig-health management: watchdogs, quarantine, hysteretic
+// reintegration, and burn-weighted budget drain (docs/fault_model.md has
+// the state machine).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rack/coordinator.hpp"
+
+namespace capgpu::rack {
+namespace {
+
+/// A recording fake rig with scriptable health signals.
+struct FakeRig {
+  double budget{0.0};
+  double power{400.0};
+  double demand{0.5};
+  double age{0.0};
+  int fs{0};
+  double residual{0.0};
+  double burn{0.0};
+
+  ServerEndpoint endpoint(const std::string& name) {
+    ServerEndpoint e;
+    e.name = name;
+    e.set_budget = [this](Watts w) { budget = w.value; };
+    e.measured_power = [this] { return power; };
+    e.demand = [this] { return demand; };
+    e.bounds = {250.0, 650.0};
+    e.report_age = [this] { return age; };
+    e.failsafe_state = [this] { return fs; };
+    e.power_residual = [this] { return residual; };
+    e.slo_burn = [this] { return burn; };
+    return e;
+  }
+};
+
+RigHealthConfig test_health() {
+  RigHealthConfig h;
+  h.enabled = true;
+  h.stale_report_s = 12.0;
+  h.dead_after_s = 40.0;
+  h.residual_anomaly_watts = 150.0;
+  h.reintegrate_rebalances = 3;
+  return h;
+}
+
+TEST(CoordinatorHealth, StaleWatchdogDemotesThenDeadWatchdogKills) {
+  RackCoordinator coord(Watts{1200.0}, RackPolicy::kEqual);
+  coord.set_health_config(test_health());
+  FakeRig a, b;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+
+  (void)coord.rebalance(4.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kHealthy);
+
+  a.age = 20.0;  // past stale_report_s, short of dead_after_s
+  (void)coord.rebalance(8.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kDegraded);
+  EXPECT_EQ(coord.health(1), RigHealth::kHealthy);
+
+  a.age = 45.0;  // past dead_after_s
+  (void)coord.rebalance(12.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kDead);
+
+  ASSERT_EQ(coord.health_log().size(), 2u);
+  EXPECT_EQ(coord.health_log()[0].cause, "stale_report");
+  EXPECT_EQ(coord.health_log()[0].server, "a");
+  EXPECT_EQ(coord.health_log()[0].to, RigHealth::kDegraded);
+  EXPECT_EQ(coord.health_log()[1].cause, "dead_watchdog");
+  EXPECT_EQ(coord.health_log()[1].to, RigHealth::kDead);
+  EXPECT_DOUBLE_EQ(coord.health_log()[1].time_s, 12.0);
+}
+
+TEST(CoordinatorHealth, FailsafeReportQuarantinesAtMinimum) {
+  RackCoordinator coord(Watts{1500.0}, RackPolicy::kEqual);
+  coord.set_health_config(test_health());
+  FakeRig a, b, c;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  coord.add_server(c.endpoint("c"));
+
+  (void)coord.rebalance(4.0);
+  EXPECT_NEAR(a.budget, 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(coord.quarantined_budget(), 0.0);
+
+  a.fs = 1;  // the rig's own governor degraded
+  (void)coord.rebalance(8.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kFailsafe);
+  // Quarantine pins the rig at its guaranteed minimum; the freed 250 W
+  // drain to the healthy rigs.
+  EXPECT_NEAR(a.budget, 250.0, 1e-9);
+  EXPECT_NEAR(b.budget, 625.0, 1e-9);
+  EXPECT_NEAR(c.budget, 625.0, 1e-9);
+  EXPECT_NEAR(coord.quarantined_budget(), 250.0, 1e-9);
+  ASSERT_FALSE(coord.health_log().empty());
+  EXPECT_EQ(coord.health_log().back().cause, "failsafe_reported");
+}
+
+TEST(CoordinatorHealth, ReintegrationIsHysteretic) {
+  RackCoordinator coord(Watts{1200.0}, RackPolicy::kEqual);
+  coord.set_health_config(test_health());
+  FakeRig a, b;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+
+  a.fs = 1;
+  (void)coord.rebalance(4.0);
+  ASSERT_EQ(coord.health(0), RigHealth::kFailsafe);
+
+  // A flapping rig keeps resetting the clean streak and stays quarantined.
+  for (int k = 0; k < 4; ++k) {
+    a.fs = (k % 2 == 0) ? 0 : 1;
+    (void)coord.rebalance(8.0 + 4.0 * k);
+    EXPECT_EQ(coord.health(0), RigHealth::kFailsafe) << "sweep " << k;
+  }
+
+  // Three consecutive clean sweeps reintegrate it.
+  a.fs = 0;
+  (void)coord.rebalance(30.0);
+  (void)coord.rebalance(34.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kFailsafe);
+  (void)coord.rebalance(38.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kHealthy);
+  EXPECT_EQ(coord.health_log().back().cause, "reintegrated");
+  EXPECT_NEAR(a.budget, 600.0, 1e-9);  // back to an equal share
+}
+
+TEST(CoordinatorHealth, BurningSloAttractsFreedBudget) {
+  RackCoordinator coord(Watts{1200.0}, RackPolicy::kEqual);
+  coord.set_health_config(test_health());
+  FakeRig dead, burning, idle;
+  coord.add_server(dead.endpoint("dead"));
+  coord.add_server(burning.endpoint("burning"));
+  coord.add_server(idle.endpoint("idle"));
+
+  dead.age = 60.0;   // straight past the dead watchdog
+  burning.burn = 4.0;
+  idle.burn = 0.0;
+  (void)coord.rebalance(4.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kDead);
+  EXPECT_NEAR(dead.budget, 250.0, 1e-9);
+  // The burning rig takes the larger share of the drained watts.
+  EXPECT_GT(burning.budget, idle.budget + 100.0);
+  EXPECT_NEAR(dead.budget + burning.budget + idle.budget, 1200.0, 1e-6);
+}
+
+TEST(CoordinatorHealth, ResidualAnomalyDegradesWithoutQuarantine) {
+  RackCoordinator coord(Watts{1200.0}, RackPolicy::kEqual);
+  coord.set_health_config(test_health());
+  FakeRig a, b;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+
+  a.residual = 200.0;  // over the 150 W anomaly threshold
+  (void)coord.rebalance(4.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kDegraded);
+  EXPECT_EQ(coord.health_log().back().cause, "residual_anomaly");
+  // Degraded is a watch state: the rig keeps its allocation.
+  EXPECT_NEAR(a.budget, 600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(coord.quarantined_budget(), 0.0);
+}
+
+TEST(CoordinatorHealth, DisabledHealthIgnoresEverySignal) {
+  RackCoordinator coord(Watts{1200.0}, RackPolicy::kEqual);
+  FakeRig a, b;
+  a.age = 1e6;
+  a.fs = 1;
+  a.residual = 1e6;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  (void)coord.rebalance(4.0);
+  EXPECT_EQ(coord.health(0), RigHealth::kHealthy);
+  EXPECT_TRUE(coord.health_log().empty());
+  EXPECT_NEAR(a.budget, 600.0, 1e-9);  // untouched equal split
+}
+
+TEST(CoordinatorHealth, ConfigValidationThrows) {
+  RigHealthConfig bad = test_health();
+  bad.stale_report_s = 0.0;
+  EXPECT_THROW((void)validated(bad), capgpu::InvalidArgument);
+  bad = test_health();
+  bad.dead_after_s = bad.stale_report_s - 1.0;
+  EXPECT_THROW((void)validated(bad), capgpu::InvalidArgument);
+  bad = test_health();
+  bad.residual_anomaly_watts = -1.0;
+  EXPECT_THROW((void)validated(bad), capgpu::InvalidArgument);
+  bad = test_health();
+  bad.reintegrate_rebalances = 0;
+  EXPECT_THROW((void)validated(bad), capgpu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::rack

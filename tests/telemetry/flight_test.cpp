@@ -266,21 +266,24 @@ TEST(FlightRecorder, FailsafeTransitionsAreCounted) {
     rec.period = k;
     rec.policy = "capgpu";
     rec.failsafe_state = states[k];
+    if (states[k] != 0) rec.failsafe_cause = "meter_dark";
     recorder.record(std::move(rec));
   }
   recorder.finish();
-  EXPECT_DOUBLE_EQ(
-      registry
-          .counter(metric::kCtlFallbackTransitions, "",
-                   {{"policy", "capgpu"}, {"kind", "nominal_to_degraded"}})
-          .value(),
-      1.0);
-  EXPECT_DOUBLE_EQ(
-      registry
-          .counter(metric::kCtlFallbackTransitions, "",
-                   {{"policy", "capgpu"}, {"kind", "degraded_to_recovering"}})
-          .value(),
-      1.0);
+  EXPECT_DOUBLE_EQ(registry
+                       .counter(metric::kCtlFallbackTransitions, "",
+                                {{"policy", "capgpu"},
+                                 {"kind", "nominal_to_degraded"},
+                                 {"cause", "meter_dark"}})
+                       .value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(registry
+                       .counter(metric::kCtlFallbackTransitions, "",
+                                {{"policy", "capgpu"},
+                                 {"kind", "degraded_to_recovering"},
+                                 {"cause", "meter_dark"}})
+                       .value(),
+                   1.0);
 }
 
 TEST(FlightRecorder, WriteJsonlEmitsOneLinePerRecord) {

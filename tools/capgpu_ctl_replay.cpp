@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -242,6 +243,28 @@ int main(int argc, char** argv) {
           100.0 * static_cast<double>(ceil_bound) /
               static_cast<double>(acted),
           acted);
+    }
+
+    // Fail-safe attribution: count governor engagements (transitions into
+    // state 1) per recorded cause, scanning each pid's records in order.
+    {
+      std::map<int, int> prev_state;
+      std::map<std::string, std::size_t> by_cause;
+      for (const FlightRecord& rec : records) {
+        auto [it, inserted] = prev_state.emplace(rec.pid, 0);
+        if (rec.failsafe_state == 1 && it->second != 1) {
+          by_cause[rec.failsafe_cause.empty() ? "unknown"
+                                              : rec.failsafe_cause]++;
+        }
+        it->second = rec.failsafe_state;
+      }
+      if (!by_cause.empty()) {
+        std::printf("[failsafe] engagements by cause:");
+        for (const auto& [cause, count] : by_cause) {
+          std::printf(" %s=%zu", cause.c_str(), count);
+        }
+        std::printf("\n");
+      }
     }
 
     for (const std::string& spec : counterfactuals) {

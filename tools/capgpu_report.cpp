@@ -14,8 +14,11 @@
 //      controller health recorded in the minute before it — did the
 //      prediction-error residuals spike (model error) or were the MPC's
 //      frequency constraints binding (constraint pressure)?
+//   5. when a --resilience-out JSON is supplied, the chaos-campaign
+//      scorecard (detection latency, MTTR, SLO-burn split per stage).
 //
 // Usage: capgpu_report <events.jsonl> [slo_report.json] [flight.jsonl]
+//                      [resilience.json]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -409,15 +412,47 @@ void print_slo_report(const std::string& path) {
   }
 }
 
+// Renders the chaos-campaign scorecard written by --resilience-out: one
+// row per (campaign, variant, stage) with detection latency, MTTR and the
+// SLO burn split at fault end.
+void print_resilience_report(const std::string& path) {
+  const Value report = capgpu::json::parse(read_file(path));
+  std::printf("\nChaos-campaign resilience scorecard (%s)\n", path.c_str());
+  std::printf("----------------------------------------\n");
+  if (!report.contains("campaigns") ||
+      report.at("campaigns").as_array().empty()) {
+    std::printf("  no campaign stages (run a bench that executes chaos "
+                "campaigns with --resilience-out)\n");
+    return;
+  }
+  std::printf("  %-16s %-9s %-14s %-12s %9s %8s %11s %10s %9s\n", "campaign",
+              "variant", "stage", "domain", "detect s", "MTTR s",
+              "burn during", "burn after", "dwell s");
+  for (const Value& e : report.at("campaigns").as_array()) {
+    std::printf("  %-16s %-9s %-14s %-12s %9.1f %8.1f %11.4f %10.4f %9.1f\n",
+                e.string_or("campaign", "?").c_str(),
+                e.string_or("variant", "?").c_str(),
+                e.string_or("stage", "?").c_str(),
+                e.string_or("domain", "?").c_str(),
+                e.number_or("detected_at_s", -1.0),
+                e.number_or("mttr_s", -1.0),
+                e.number_or("slo_burn_during", 0.0),
+                e.number_or("slo_burn_after", 0.0),
+                e.number_or("failsafe_dwell_s", 0.0));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 4) {
+  if (argc < 2 || argc > 5) {
     std::fprintf(stderr,
-                 "usage: %s <events.jsonl> [slo_report.json] [flight.jsonl]\n"
+                 "usage: %s <events.jsonl> [slo_report.json] [flight.jsonl]"
+                 " [resilience.json]\n"
                  "  events.jsonl     written by a bench with --events-out\n"
                  "  slo_report.json  written by a bench with --slo-report-out\n"
-                 "  flight.jsonl     written by a bench with --flight-out\n",
+                 "  flight.jsonl     written by a bench with --flight-out\n"
+                 "  resilience.json  written by a bench with --resilience-out\n",
                  argv[0]);
     return 2;
   }
@@ -435,6 +470,7 @@ int main(int argc, char** argv) {
     print_alert_correlation(logs);
     if (argc >= 3) print_slo_report(argv[2]);
     if (argc >= 4) print_flight_join(logs, argv[3]);
+    if (argc >= 5) print_resilience_report(argv[4]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "capgpu_report: %s\n", e.what());
     return 1;
