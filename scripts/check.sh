@@ -23,11 +23,12 @@ ctest --test-dir build -L flight --output-on-failure
 # coordinator strictly better than the health-disabled baseline).
 ctest --test-dir build -L chaos --output-on-failure
 
-# Release perf smoke: the allocation-free control-solve tests plus a short
-# pipeline self-perf run. Gates on the report's shape (speedup fields
-# present) and on the pooled hot path not regressing below the legacy
-# pipeline; the full-length numbers live in BENCH_perf.json via
-# scripts/run_perf.sh.
+# Release perf smoke: the allocation-free control-solve tests plus short
+# pipeline and control-solve self-perf runs. Gates on the reports' shape
+# (speedup fields present), on the pooled hot path not regressing below the
+# legacy pipeline, and on the tiered control solve not regressing below the
+# dense active-set path; the full-length numbers live in BENCH_perf.json
+# via scripts/run_perf.sh.
 cmake --preset release >/dev/null
 cmake --build build-release -j"$(nproc)" >/dev/null
 ctest --test-dir build-release -L perf --output-on-failure
@@ -39,6 +40,12 @@ jq -e '.pipeline_selfperf.worst_speedup >= 1.0' /tmp/check_pipeline.json >/dev/n
   || { echo "FAIL: pooled pipeline slower than legacy (worst_speedup < 1.0)" >&2; exit 1; }
 jq -e '.flight_overhead | .overhead_frac <= .budget_frac' /tmp/check_pipeline.json >/dev/null \
   || { echo "FAIL: flight-recorder overhead exceeds the 5% budget" >&2; exit 1; }
+./build-release/bench/bench_control_selfperf --reps 3 --out /tmp/check_control.json
+jq -e '.control_selfperf.configs | length > 0 and all(.fast_speedup != null)' \
+  /tmp/check_control.json >/dev/null \
+  || { echo "FAIL: control_selfperf report missing speedup fields" >&2; exit 1; }
+jq -e '.control_selfperf.worst_speedup >= 1.0' /tmp/check_control.json >/dev/null \
+  || { echo "FAIL: fast-path control solve slower than dense active-set (worst_speedup < 1.0)" >&2; exit 1; }
 
 status=0
 for b in build/bench/*; do

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/banded.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/inplace.hpp"
 
@@ -73,6 +74,9 @@ MpcController::MpcController(MpcConfig config, std::vector<DeviceRange> devices,
   max_override_.resize(devices_.size());
   clear_min_frequency_overrides();
   clear_max_frequency_overrides();
+  QpSolver::Options qp_opts;
+  qp_opts.fast_path = config_.qp_fast_path;
+  solver_ = QpSolver(qp_opts);
   const std::size_t dim = devices_.size() * config_.control_horizon;
   prev_active_.reserve(2 * dim);
   cache_rhs_.resize(3 * dim);  // largest KKT system: dim vars + 2*dim rows
@@ -201,19 +205,30 @@ void MpcController::assemble_into(double error_watts,
   // (faster) violation_decay; climbs toward the cap use reference_decay.
   const double decay =
       error_watts > 0.0 ? config_.violation_decay : config_.reference_decay;
-  for (std::size_t i = 1; i <= p_horizon; ++i) {
-    const std::size_t mi = std::min(i - 1, m_horizon - 1);
-    const double e_i =
-        error_watts * (1.0 - std::pow(decay, static_cast<double>(i)));
+  // Prediction steps i > M all share the saturated pattern mi = M-1 (the
+  // cumulative move stops growing once the control horizon is spent), so
+  // instead of P rank-1 updates the loop folds each distinct mi into one:
+  // count * 2Q t t^T into H and 2Q (sum of e_i) t into g. Equal to the
+  // step-by-step accumulation in exact arithmetic, and it makes assembly
+  // cost ~independent of P — the point of the long-horizon solve tier.
+  for (std::size_t mi = 0; mi < m_horizon; ++mi) {
+    const std::size_t i_lo = mi + 1;
+    const std::size_t i_hi = (mi + 1 == m_horizon) ? p_horizon : mi + 1;
+    double e_sum = 0.0;
+    for (std::size_t i = i_lo; i <= i_hi; ++i) {
+      e_sum += error_watts * (1.0 - std::pow(decay, static_cast<double>(i)));
+    }
+    const double count = static_cast<double>(i_hi - i_lo + 1);
     // Build t implicitly: nonzero entries are (l, j) for l <= mi.
     for (std::size_t la = 0; la <= mi; ++la) {
       for (std::size_t ja = 0; ja < n; ++ja) {
         const std::size_t a = la * n + ja;
         const double ta = model_.gain(ja);
-        ws_qp_.g[a] += 2.0 * q * e_i * ta;
+        ws_qp_.g[a] += 2.0 * q * e_sum * ta;
         for (std::size_t lb = 0; lb <= mi; ++lb) {
           for (std::size_t jb = 0; jb < n; ++jb) {
-            ws_qp_.h(a, lb * n + jb) += 2.0 * q * ta * model_.gain(jb);
+            ws_qp_.h(a, lb * n + jb) +=
+                count * (2.0 * q * ta * model_.gain(jb));
           }
         }
       }
@@ -263,6 +278,164 @@ void MpcController::assemble_into(double error_watts,
       ws_x0_[j] = max_override_[j] - freqs[j];
     }
   }
+}
+
+// Structure the dense assembly hides: permuting to device-major order
+// u'[j*M + l] splits H into D + V C V^T, where
+//   - D (control penalty + regularisation) is block diagonal, one M x M
+//     block per device with B_j(l, l') = 2 R_j (M - max(l, l')) — banded
+//     with bandwidth M-1, factored in O(n M^3) by the banded Cholesky;
+//   - the tracking term is rank M: each distinct saturation level mi
+//     contributes c_mi v v^T with v[(j, l)] = A_j for l <= mi and
+//     c_mi = 2 Q (number of prediction steps at that level).
+// The unconstrained optimum then follows from the Woodbury identity at
+// O(n M^3 + M dim) instead of the dense O(dim^3) factorisation. The
+// candidate is accepted only if it is strictly inside every constraint row
+// (with margin) and satisfies the dense stationarity residual, so a
+// certified structured solve matches the active-set optimum to solver
+// tolerance; anything else falls back to the QP solver.
+bool MpcController::try_structured_solve() {
+  const std::size_t n = devices_.size();
+  const std::size_t mh = config_.control_horizon;
+  const std::size_t ph = config_.prediction_horizon;
+  const std::size_t dim = n * mh;
+  const std::size_t bw = mh - 1;
+  const double q = config_.tracking_weight;
+
+  const std::size_t band = linalg::band_size(dim, bw);
+  if (st_band_.size() < band) {
+    st_band_.resize(band);
+    st_bandl_.resize(band);
+    st_v_.resize(mh * dim);
+    st_w_.resize(mh * dim);
+    st_z_.resize(dim);
+    st_s_.resize(mh * mh);
+    st_piv_.resize(mh);
+    st_y_.resize(2 * mh);  // [rhs t; solution y]
+    st_u_.resize(dim);
+  }
+
+  // D in compact band storage: couplings never cross device blocks, and
+  // within a block the lower-triangle entry at levels (l, l' <= l) is
+  // 2 R_j (M - l), plus the Tikhonov term on the diagonal.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double r2 = 2.0 * weights_[j];
+    for (std::size_t l = 0; l < mh; ++l) {
+      const std::size_t row = j * mh + l;
+      double* slots = st_band_.data() + row * (bw + 1);
+      for (std::size_t k = 0; k <= bw; ++k) {
+        double val = 0.0;
+        if (row + k >= bw) {
+          const std::size_t col = row + k - bw;
+          if (col >= j * mh) {
+            val = r2 * static_cast<double>(mh - l);
+            if (col == row) val += 2.0 * config_.regularization;
+          }
+        }
+        slots[k] = val;
+      }
+    }
+  }
+  if (!linalg::banded_cholesky_factor(st_band_.data(), st_bandl_.data(), dim,
+                                      bw)) {
+    return false;
+  }
+
+  // Scaled low-rank columns Ṽ = v sqrt(c): the capacitance system becomes
+  // I + Ṽ^T D^{-1} Ṽ, symmetric positive definite by construction.
+  for (std::size_t mi = 0; mi < mh; ++mi) {
+    const double count =
+        (mi + 1 == mh) ? static_cast<double>(ph - mh + 1) : 1.0;
+    const double sc = std::sqrt(2.0 * q * count);
+    double* v = st_v_.data() + mi * dim;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a_j = sc * model_.gain(j);
+      for (std::size_t l = 0; l < mh; ++l) {
+        v[j * mh + l] = l <= mi ? a_j : 0.0;
+      }
+    }
+    linalg::banded_cholesky_solve(st_bandl_.data(), dim, bw, v,
+                                  st_w_.data() + mi * dim);
+  }
+
+  // z = D^{-1} (-g), device-major (st_u_ doubles as the permuted rhs).
+  for (std::size_t l = 0; l < mh; ++l) {
+    for (std::size_t j = 0; j < n; ++j) {
+      st_u_[j * mh + l] = -ws_qp_.g[l * n + j];
+    }
+  }
+  linalg::banded_cholesky_solve(st_bandl_.data(), dim, bw, st_u_.data(),
+                                st_z_.data());
+
+  // Capacitance S = I + Ṽ^T W and right-hand side t = Ṽ^T z.
+  for (std::size_t m1 = 0; m1 < mh; ++m1) {
+    const double* v1 = st_v_.data() + m1 * dim;
+    for (std::size_t m2 = 0; m2 < mh; ++m2) {
+      const double* w2 = st_w_.data() + m2 * dim;
+      double acc = m1 == m2 ? 1.0 : 0.0;
+      for (std::size_t a = 0; a < dim; ++a) acc += v1[a] * w2[a];
+      st_s_[m1 * mh + m2] = acc;
+    }
+    double t = 0.0;
+    for (std::size_t a = 0; a < dim; ++a) t += v1[a] * st_z_[a];
+    st_y_[m1] = t;
+  }
+  try {
+    linalg::lu_factor_inplace(st_s_.data(), mh, mh, st_piv_.data());
+  } catch (const NumericalError&) {
+    return false;
+  }
+  linalg::lu_solve_inplace(st_s_.data(), mh, mh, st_piv_.data(), st_y_.data(),
+                           st_y_.data() + mh);
+  const double* y = st_y_.data() + mh;
+
+  // u = z - W y, permuted back to the level-major decision layout.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t l = 0; l < mh; ++l) {
+      const std::size_t a = j * mh + l;
+      double acc = st_z_[a];
+      for (std::size_t mi = 0; mi < mh; ++mi) {
+        acc -= st_w_[mi * dim + a] * y[mi];
+      }
+      st_u_[l * n + j] = acc;
+    }
+  }
+
+  // Certification 1: strictly interior on every constraint row, with a
+  // margin so boundary-grazing candidates go to the active-set solver.
+  double u_inf = 0.0;
+  for (std::size_t a = 0; a < dim; ++a) {
+    u_inf = std::max(u_inf, std::abs(st_u_[a]));
+  }
+  const double margin = 1e-6 * std::max(1.0, u_inf);
+  {
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < mh; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double cum = 0.0;
+        for (std::size_t l = 0; l <= i; ++l) cum += st_u_[l * n + j];
+        if (cum > ws_qp_.b[row] - margin) return false;
+        if (-cum > ws_qp_.b[row + 1] - margin) return false;
+        row += 2;
+      }
+    }
+  }
+
+  // Certification 2: dense stationarity residual H u + g — catches
+  // precision lost in the Woodbury correction (e.g. near-singular D or an
+  // ill-conditioned capacitance) before it can reach an actuator.
+  double g_inf = 0.0;
+  for (std::size_t a = 0; a < dim; ++a) {
+    g_inf = std::max(g_inf, std::abs(ws_qp_.g[a]));
+  }
+  const double residual_tol = 1e-8 * std::max(1.0, g_inf);
+  for (std::size_t r = 0; r < dim; ++r) {
+    const auto hr = ws_qp_.h.row(r);
+    double acc = ws_qp_.g[r];
+    for (std::size_t c = 0; c < dim; ++c) acc += hr[c] * st_u_[c];
+    if (std::abs(acc) > residual_tol) return false;
+  }
+  return true;
 }
 
 void MpcController::enable_solve_cache(bool on) {
@@ -332,6 +505,8 @@ const MpcDecision& MpcController::step(
   out.qp_converged = false;
   out.cache_hit = false;
   out.warm_start_hit = false;
+  out.fast_path_hit = false;
+  out.structured_hit = false;
   out.qp_objective = 0.0;
   out.active_set_size = 0;
   const double* solution = nullptr;
@@ -371,12 +546,36 @@ const MpcDecision& MpcController::step(
     }
   }
 
+  // Structured tier: banded-Cholesky + Woodbury unconstrained solve,
+  // certified interior. Sits between the region cache and the QP solver —
+  // a certified hit costs ~linear work in the horizon.
+  if (solution == nullptr && config_.structured_solve) {
+    if (try_structured_solve()) {
+      solution = st_u_.data();
+      out.structured_hit = true;
+      out.qp_converged = true;
+      out.qp_iterations = 1;
+      double objective = 0.0;
+      for (std::size_t r = 0; r < dim; ++r) {
+        const auto hr = ws_qp_.h.row(r);
+        double hx = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) hx += hr[c] * solution[c];
+        objective += solution[r] * (0.5 * hx + ws_qp_.g[r]);
+      }
+      out.qp_objective = objective;
+      // The optimum is interior: an empty active set is the right warm
+      // seed for whichever period next needs the QP solver.
+      prev_active_.clear();
+    }
+  }
+
   if (solution == nullptr) {
     solver_.solve(ws_qp_, ws_x0_, qp_ws_,
                   prev_active_.empty() ? nullptr : &prev_active_);
     out.qp_iterations = qp_ws_.iterations();
     out.qp_converged = qp_ws_.converged();
     out.warm_start_hit = qp_ws_.warm_start_hit();
+    out.fast_path_hit = qp_ws_.fast_path_hit();
     out.qp_objective = qp_ws_.objective();
     solution = qp_ws_.x().data().data();
     active_set = &qp_ws_.active_set();

@@ -54,6 +54,18 @@ struct MpcConfig {
   /// Tikhonov term added to the Hessian diagonal: keeps H positive definite
   /// when gains are tiny.
   double regularization{1e-9};
+  /// Enables the QP solver's analytic unconstrained fast path (persistent
+  /// Hessian factorisation, certify-or-fallback). Bitwise-neutral: a hit
+  /// returns exactly the active-set solution, so this only changes cost.
+  bool qp_fast_path{true};
+  /// Enables the structure-exploiting unconstrained tier: in device-major
+  /// order the Hessian is a banded block-diagonal plus a rank-M tracking
+  /// term, so the solve runs a banded Cholesky plus a Woodbury correction —
+  /// ~linear instead of cubic in the horizon. Certified against the
+  /// constraints and the full KKT residual; any doubt falls back to the QP
+  /// solver. Off by default: a certified result agrees with the active-set
+  /// optimum to solver tolerance but not bit for bit.
+  bool structured_solve{false};
 };
 
 /// Outcome of one control period. All vectors keep a fixed size per
@@ -76,6 +88,12 @@ struct MpcDecision {
   /// True when the warm-start seed certified (single KKT solve); false on
   /// cold iterations and cache hits.
   bool warm_start_hit{false};
+  /// True when the QP solver's analytic fast path certified (bitwise equal
+  /// to the active-set solve it replaced).
+  bool fast_path_hit{false};
+  /// True when the structured banded/Woodbury tier certified (equal to the
+  /// active-set optimum to solver tolerance, not bit for bit).
+  bool structured_hit{false};
   double qp_objective{0.0};      ///< cost at the optimum
   std::size_t active_set_size{0};  ///< constraint rows active at the optimum
   /// Per device: 1 when the first-move floor / ceiling constraint row is in
@@ -167,10 +185,20 @@ class MpcController {
  private:
   /// Assembles the period's QP into the persistent workspace ws_qp_/ws_x0_.
   /// Structural parts (constraint matrix, buffer shapes) are built once;
-  /// h/g/b/x0 are refilled in place with arithmetic identical to a fresh
-  /// assembly, so steady-state periods allocate nothing.
+  /// h/g/b/x0 are refilled in place, so steady-state periods allocate
+  /// nothing. The tracking term folds the saturated prediction steps
+  /// (i >= M, identical rank-1 pattern) into one scaled update, so the
+  /// assembly cost is ~independent of the prediction horizon.
   void assemble_into(double error_watts,
                      const std::vector<double>& freqs) const;
+
+  /// Structure-exploiting unconstrained solve: permutes to device-major
+  /// order where H = D + V C V^T with D block-diagonal (banded, bandwidth
+  /// M-1) and V of rank M, factors D with the banded Cholesky and applies
+  /// the Woodbury identity. The candidate is certified against all
+  /// constraint rows (with margin) and the full dense KKT residual; on
+  /// success it lands in st_u_ (level-major) and true is returned.
+  [[nodiscard]] bool try_structured_solve();
 
   MpcConfig config_;
   std::vector<DeviceRange> devices_;
@@ -205,6 +233,18 @@ class MpcController {
   linalg::Matrix cached_h_;  // Hessian snapshot the cache was built for
   mutable std::vector<double> cache_rhs_;  // scratch for try_cached_solve
   mutable std::vector<double> cache_sol_;
+
+  // Structured-tier scratch (sized on the first structured solve, then
+  // reused allocation-free). All device-major except st_u_.
+  std::vector<double> st_band_;   // D in compact band storage
+  std::vector<double> st_bandl_;  // banded Cholesky factor of D
+  std::vector<double> st_v_;      // scaled low-rank columns, M x dim
+  std::vector<double> st_w_;      // D^{-1} V, M x dim
+  std::vector<double> st_z_;      // D^{-1} (-g)
+  std::vector<double> st_s_;      // M x M capacitance I + V^T D^{-1} V
+  std::vector<std::size_t> st_piv_;
+  std::vector<double> st_y_;      // capacitance solve result
+  std::vector<double> st_u_;      // certified candidate, level-major
 };
 
 }  // namespace capgpu::control

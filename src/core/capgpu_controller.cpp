@@ -149,6 +149,8 @@ void CapGpuController::describe_flight(
   m.qp_converged = last_.qp_converged;
   m.cache_hit = last_.cache_hit;
   m.warm_start_hit = last_.warm_start_hit;
+  m.fast_path_hit = last_.fast_path_hit;
+  m.structured_hit = last_.structured_hit;
   m.qp_objective = last_.qp_objective;
   m.active_set_size = last_.active_set_size;
   m.floor_binding = last_.floor_binding;

@@ -1,0 +1,87 @@
+#include "linalg/banded.hpp"
+
+#include <cmath>
+
+namespace capgpu::linalg {
+
+namespace {
+
+// Band accessor: entry (i, j) with i - bw <= j <= i.
+inline std::size_t slot(std::size_t i, std::size_t j, std::size_t bw) {
+  return i * (bw + 1) + (j + bw - i);
+}
+
+}  // namespace
+
+std::size_t lower_bandwidth(const double* a, std::size_t n,
+                            std::size_t stride) {
+  std::size_t bw = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j + bw < i; ++j) {  // only below the current band
+      if (a[i * stride + j] != 0.0) bw = i - j;
+    }
+  }
+  return bw;
+}
+
+void pack_lower_band(const double* a, std::size_t n, std::size_t stride,
+                     std::size_t bw, double* ab) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k <= bw; ++k) {
+      // Slot k holds column i - bw + k; slots left of column 0 stay zero.
+      ab[i * (bw + 1) + k] =
+          i + k >= bw ? a[i * stride + (i + k - bw)] : 0.0;
+    }
+  }
+}
+
+// Restriction of the cholesky_factor_inplace recurrence to the band: for
+// in-band (i, j) the dense inner sum over k < j only has nonzero terms for
+// k >= i - bw (L(i, k) is exactly zero further left), so skipping them
+// changes no bits on exactly-banded inputs.
+bool banded_cholesky_factor(const double* ab, double* lb, std::size_t n,
+                            std::size_t bw) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t k0 = j >= bw ? j - bw : 0;
+    double d = ab[slot(j, j, bw)];
+    for (std::size_t k = k0; k < j; ++k) {
+      const double ljk = lb[slot(j, k, bw)];
+      d -= ljk * ljk;
+    }
+    if (d <= 0.0) return false;
+    lb[slot(j, j, bw)] = std::sqrt(d);
+    const std::size_t imax = std::min(j + bw, n - 1);
+    for (std::size_t i = j + 1; i <= imax; ++i) {
+      // Both L(i, k) and L(j, k) must be in band: k >= i - bw dominates.
+      const std::size_t ki = i >= bw ? i - bw : 0;
+      double s = ab[slot(i, j, bw)];
+      for (std::size_t k = ki; k < j; ++k) {
+        s -= lb[slot(i, k, bw)] * lb[slot(j, k, bw)];
+      }
+      lb[slot(i, j, bw)] = s / lb[slot(j, j, bw)];
+    }
+  }
+  return true;
+}
+
+void banded_cholesky_solve(const double* lb, std::size_t n, std::size_t bw,
+                           const double* b, double* x) {
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k0 = i >= bw ? i - bw : 0;
+    double acc = b[i];
+    for (std::size_t k = k0; k < i; ++k) acc -= lb[slot(i, k, bw)] * x[k];
+    x[i] = acc / lb[slot(i, i, bw)];
+  }
+  // Backward: L^T x = y; column i of L^T is row entries L(c, i), c <= i + bw.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const std::size_t cmax = std::min(ii + bw, n - 1);
+    double acc = x[ii];
+    for (std::size_t c = ii + 1; c <= cmax; ++c) {
+      acc -= lb[slot(c, ii, bw)] * x[c];
+    }
+    x[ii] = acc / lb[slot(ii, ii, bw)];
+  }
+}
+
+}  // namespace capgpu::linalg

@@ -1,0 +1,53 @@
+// Banded Cholesky in compact band storage.
+//
+// The MPC control penalty yields, in device-major variable order, a
+// block-diagonal (hence banded) SPD matrix whose bandwidth is set by the
+// control horizon, not the problem dimension. Factoring it in band form
+// costs O(n * bw^2) instead of the dense O(n^3), which is what makes the
+// structured control-solve tier ~linear in horizon length.
+//
+// Storage: a lower band with bandwidth `bw` keeps row i's in-band entries
+// A(i, i-bw..i) at ab[i*(bw+1) + (col - i + bw)]; slots that fall left of
+// column 0 are ignored. The factor uses the same layout.
+//
+// The inner loops run the identical multiply/subtract recurrence as
+// cholesky_factor_inplace restricted to in-band indices. For an input whose
+// out-of-band entries are exactly zero the dense recurrence produces exact
+// zeros there too (every excluded term is a multiply by 0.0), so the banded
+// factor and solve agree bit for bit with the dense path on exactly-banded
+// matrices — the property the structured-tier tests pin.
+#pragma once
+
+#include <cstddef>
+
+namespace capgpu::linalg {
+
+/// Number of doubles a band of bandwidth `bw` over an n x n matrix needs.
+[[nodiscard]] constexpr std::size_t band_size(std::size_t n, std::size_t bw) {
+  return n * (bw + 1);
+}
+
+/// Smallest `bw` such that a(i, j) == 0 whenever |i - j| > bw, scanning the
+/// lower triangle of the leading n x n block (row-major, leading stride
+/// `stride`). A is assumed symmetric.
+[[nodiscard]] std::size_t lower_bandwidth(const double* a, std::size_t n,
+                                          std::size_t stride);
+
+/// Copies the lower band of the dense leading n x n block of `a` into
+/// compact band storage `ab` (band_size(n, bw) doubles).
+void pack_lower_band(const double* a, std::size_t n, std::size_t stride,
+                     std::size_t bw, double* ab);
+
+/// Cholesky A = L L^T of a banded SPD matrix given in compact band storage
+/// `ab`; the factor lands in `lb` (same layout, may alias `ab`). Returns
+/// false when the matrix is not positive definite, mirroring
+/// cholesky_factor_inplace.
+[[nodiscard]] bool banded_cholesky_factor(const double* ab, double* lb,
+                                          std::size_t n, std::size_t bw);
+
+/// Solves A x = b from a factor produced by banded_cholesky_factor
+/// (forward then transposed-back substitution). `b` and `x` must not alias.
+void banded_cholesky_solve(const double* lb, std::size_t n, std::size_t bw,
+                           const double* b, double* x);
+
+}  // namespace capgpu::linalg

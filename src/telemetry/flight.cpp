@@ -34,6 +34,20 @@ const char* failsafe_name(int state) {
   }
 }
 
+// Tier attribution for capgpu_ctl_solver_path_total. The tiers are mutually
+// exclusive in the controller; the most-specific-first ordering keeps
+// attribution deterministic even for hand-edited logs.
+constexpr const char* kSolverPathNames[5] = {"cache", "structured", "warm",
+                                             "fast", "cold"};
+
+std::size_t solver_path_index(const FlightMpcState& m) {
+  if (m.cache_hit) return 0;
+  if (m.structured_hit) return 1;
+  if (m.warm_start_hit) return 2;
+  if (m.fast_path_hit) return 3;
+  return 4;
+}
+
 // --- JSONL rendering -------------------------------------------------------
 // Doubles print at %.17g: every finite double round-trips exactly through
 // strtod, which is what makes replay bit-identical. Bools print as 0/1.
@@ -216,6 +230,8 @@ std::string FlightRecord::to_jsonl() const {
     m.boolean("qp_converged", mpc.qp_converged);
     m.boolean("cache_hit", mpc.cache_hit);
     m.boolean("warm_start_hit", mpc.warm_start_hit);
+    m.boolean("fast_path_hit", mpc.fast_path_hit);
+    m.boolean("structured_hit", mpc.structured_hit);
     m.num("qp_objective", mpc.qp_objective);
     m.integer("active_set_size", static_cast<long long>(mpc.active_set_size));
     m.ints("floor_binding", mpc.floor_binding);
@@ -276,6 +292,10 @@ FlightRecord FlightRecord::from_json(const json::Value& v) {
     mpc.qp_converged = bool_at(m, "qp_converged");
     mpc.cache_hit = bool_at(m, "cache_hit");
     mpc.warm_start_hit = bool_at(m, "warm_start_hit");
+    // Absent in logs recorded before the tiered solve: default false, which
+    // replays as a plain active-set solve (the tiers are bitwise-neutral).
+    mpc.fast_path_hit = bool_at(m, "fast_path_hit");
+    mpc.structured_hit = bool_at(m, "structured_hit");
     mpc.qp_objective = m.number_or("qp_objective", 0.0);
     mpc.active_set_size = size_at(m, "active_set_size");
     mpc.floor_binding = ints_at(m, "floor_binding");
@@ -299,6 +319,7 @@ FlightRecorder::RunHealth& FlightRecorder::health_for(
     h.power_ewma_gauge = nullptr;
     h.power_err_hist = nullptr;
     h.qp_iter_hist = nullptr;
+    for (Counter*& c : h.path_counters) c = nullptr;
     h.floor_periods_counter = nullptr;
     h.ceiling_periods_counter = nullptr;
     h.floor_fraction_gauge = nullptr;
@@ -420,6 +441,14 @@ void FlightRecorder::finalize(FlightRecord& prev, const FlightRecord* next) {
     h.power_ewma_gauge->set(h.power_err_ewma);
     h.power_err_hist->observe(std::abs(residual));
     h.qp_iter_hist->observe(static_cast<double>(prev.mpc.qp_iterations));
+
+    const std::size_t path_idx = solver_path_index(prev.mpc);
+    if (h.path_counters[path_idx] == nullptr) {
+      h.path_counters[path_idx] = &registry.counter(
+          metric::kCtlSolverPath, "Acted periods by control-solve tier",
+          {{"policy", prev.policy}, {"path", kSolverPathNames[path_idx]}});
+    }
+    h.path_counters[path_idx]->inc();
 
     ++h.acted_periods;
     bool floor_any = false;

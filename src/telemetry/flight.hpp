@@ -73,6 +73,12 @@ struct FlightMpcState {
   bool qp_converged{false};
   bool cache_hit{false};
   bool warm_start_hit{false};
+  /// QP solver's analytic fast path certified (bitwise equal to the
+  /// active-set solve it replaced).
+  bool fast_path_hit{false};
+  /// Structured banded/Woodbury tier certified (equal to the active-set
+  /// optimum to solver tolerance; replay re-enables the tier to match).
+  bool structured_hit{false};
   double qp_objective{0.0};
   std::size_t active_set_size{0};
   std::vector<int> floor_binding;    ///< per device, first-move floor active
@@ -203,6 +209,9 @@ class FlightRecorder {
     Gauge* power_ewma_gauge{nullptr};
     LogLinearHistogram* power_err_hist{nullptr};
     LogLinearHistogram* qp_iter_hist{nullptr};
+    /// capgpu_ctl_solver_path_total, one handle per tier in the order
+    /// cache / structured / warm / fast / cold (see solver_path_index).
+    Counter* path_counters[5]{};
     Counter* floor_periods_counter{nullptr};
     Counter* ceiling_periods_counter{nullptr};
     Gauge* floor_fraction_gauge{nullptr};

@@ -105,6 +105,8 @@ inline constexpr const char* kCtlBindingPeriods =
 inline constexpr const char* kCtlBindingFraction =
     "capgpu_ctl_binding_fraction_ratio";
 inline constexpr const char* kCtlQpIterations = "capgpu_ctl_qp_iterations";
+inline constexpr const char* kCtlSolverPath =
+    "capgpu_ctl_solver_path_total";
 inline constexpr const char* kCtlFallbackTransitions =
     "capgpu_ctl_fallback_transitions_total";
 

@@ -1,0 +1,195 @@
+// The structured banded/Woodbury tier is certify-or-fallback against the
+// active-set optimum: a certified period agrees to solver tolerance (the
+// replay tool's cache tolerance, 1e-6 MHz), and any period it cannot
+// certify falls through to the QP solver untouched. These tests run the
+// tier against a plain controller across interior, constrained and
+// ill-conditioned regimes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "control/mpc.hpp"
+#include "control/power_model.hpp"
+
+namespace capgpu::control {
+namespace {
+
+constexpr double kTolMhz = 1e-6;  // replay's structured cross-check bound
+
+std::vector<DeviceRange> gpu_fleet(std::size_t n, double lo, double hi) {
+  std::vector<DeviceRange> devices(n);
+  for (std::size_t j = 0; j < n; ++j) devices[j] = {DeviceKind::kGpu, lo, hi};
+  return devices;
+}
+
+LinearPowerModel fleet_model(std::size_t n, double base_gain) {
+  std::vector<double> gains(n);
+  for (std::size_t j = 0; j < n; ++j)
+    gains[j] = base_gain + 0.01 * static_cast<double>(j % 7);
+  return LinearPowerModel(gains, 300.0);
+}
+
+/// Steps both controllers from the same measured state each period (the
+/// plain controller's trajectory), so per-period disagreement is exactly
+/// the structured tier's certification error, with no closed-loop drift
+/// folded in. Returns the number of structured hits.
+std::size_t lockstep_compare(MpcController& structured, MpcController& plain,
+                             const LinearPowerModel& plant,
+                             std::vector<double> f, int periods,
+                             double tol_mhz) {
+  std::size_t hits = 0;
+  for (int k = 0; k < periods; ++k) {
+    const Watts p = plant.predict(f);
+    const MpcDecision& s = structured.step(p, f);
+    if (s.structured_hit) {
+      ++hits;
+      EXPECT_EQ(s.qp_iterations, 1u);
+      EXPECT_FALSE(s.cache_hit);
+      EXPECT_EQ(s.active_set_size, 0u);  // certified == strictly interior
+    }
+    std::vector<double> s_targets = s.target_freqs_mhz;
+    const bool s_hit = s.structured_hit;
+    const MpcDecision& d = plain.step(p, f);
+    EXPECT_FALSE(d.structured_hit);
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      if (s_hit) {
+        EXPECT_NEAR(s_targets[j], d.target_freqs_mhz[j], tol_mhz)
+            << "period " << k << " device " << j;
+      } else {
+        // A miss runs the very same QP solver path — identical bits.
+        EXPECT_EQ(s_targets[j], d.target_freqs_mhz[j])
+            << "period " << k << " device " << j;
+      }
+    }
+    f = d.target_freqs_mhz;
+  }
+  return hits;
+}
+
+TEST(MpcStructured, PaperSizedInteriorRegimeCertifies) {
+  // Paper-sized problem (N=4, M=2, P=8) with the cap reachable mid-range:
+  // the steady state is interior and the structured tier should carry it.
+  const auto devices = gpu_fleet(4, 435.0, 1350.0);
+  const LinearPowerModel plant = fleet_model(4, 0.20);
+  const Watts cap{1100.0};
+  MpcConfig cfg;
+  cfg.structured_solve = true;
+  MpcController structured(cfg, devices, plant, cap);
+  MpcController plain(MpcConfig{}, devices, plant, cap);
+
+  const std::size_t hits = lockstep_compare(
+      structured, plain, plant, {900.0, 900.0, 900.0, 900.0}, 80, kTolMhz);
+  EXPECT_GT(hits, 40u);
+}
+
+TEST(MpcStructured, FleetSizedHorizonsCertify) {
+  // Fleet-representative shape (N=8, M=4, P=32): the regime the banded +
+  // Woodbury factorisation exists for. dim = 32 decision variables.
+  const auto devices = gpu_fleet(8, 800.0, 1900.0);
+  const LinearPowerModel plant = fleet_model(8, 0.10);
+  const Watts cap{1400.0};
+  MpcConfig cfg;
+  cfg.prediction_horizon = 32;
+  cfg.control_horizon = 4;
+  MpcConfig cfg_s = cfg;
+  cfg_s.structured_solve = true;
+  MpcController structured(cfg_s, devices, plant, cap);
+  MpcController plain(cfg, devices, plant, cap);
+
+  std::vector<double> f(8, 1000.0);
+  const std::size_t hits =
+      lockstep_compare(structured, plain, plant, f, 80, kTolMhz);
+  EXPECT_GT(hits, 40u);
+}
+
+TEST(MpcStructured, ConstrainedRegimeFallsBackBitwise) {
+  // Cap below what the frequency floors can deliver: every period rails at
+  // the floor, the interior certification can never pass, and the tier
+  // must stay bitwise-invisible.
+  const auto devices = gpu_fleet(4, 435.0, 1350.0);
+  const LinearPowerModel plant = fleet_model(4, 0.20);
+  const Watts cap{500.0};  // floor power is ~300 + 0.8*435 > 500
+  MpcConfig cfg;
+  cfg.structured_solve = true;
+  MpcController structured(cfg, devices, plant, cap);
+  MpcController plain(MpcConfig{}, devices, plant, cap);
+
+  const std::size_t hits = lockstep_compare(
+      structured, plain, plant, {1200.0, 1200.0, 1200.0, 1200.0}, 40, kTolMhz);
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(MpcStructured, SloFloorsForceFallback) {
+  // Frequency floors pushed up to the operating point: the optimum pins
+  // against constraint rows, so certified periods disappear mid-run and
+  // the tier must hand over cleanly.
+  const auto devices = gpu_fleet(4, 435.0, 1350.0);
+  const LinearPowerModel plant = fleet_model(4, 0.20);
+  const Watts cap{1000.0};
+  MpcConfig cfg;
+  cfg.structured_solve = true;
+  MpcController structured(cfg, devices, plant, cap);
+  MpcController plain(MpcConfig{}, devices, plant, cap);
+  for (std::size_t j = 0; j < 4; ++j) {
+    ASSERT_TRUE(structured.set_min_frequency_override(j, 1300.0));
+    ASSERT_TRUE(plain.set_min_frequency_override(j, 1300.0));
+  }
+  // At f_min = 1300 the power floor exceeds the cap: floors bind every
+  // period and the structured tier cannot certify.
+  const std::size_t hits = lockstep_compare(
+      structured, plain, plant, {1300.0, 1300.0, 1300.0, 1300.0}, 30, kTolMhz);
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(MpcStructured, IllConditionedWeightsCertifyOrFallBack) {
+  // Near-vanishing control penalties leave the Hessian's banded block at
+  // the Tikhonov floor — the conditioning worst case the regularization
+  // exists for. The tier may certify or fall back period by period, but
+  // the command must stay within a loose tolerance of the plain solve and
+  // never diverge or throw.
+  const auto devices = gpu_fleet(4, 435.0, 1350.0);
+  const LinearPowerModel plant = fleet_model(4, 0.20);
+  const Watts cap{1100.0};
+  MpcConfig cfg;
+  cfg.structured_solve = true;
+  MpcController structured(cfg, devices, plant, cap);
+  MpcController plain(MpcConfig{}, devices, plant, cap);
+  const std::vector<double> tiny(4, 1e-4);
+  structured.set_control_weights(tiny);
+  plain.set_control_weights(tiny);
+
+  std::vector<double> f(4, 900.0);
+  for (int k = 0; k < 40; ++k) {
+    const Watts p = plant.predict(f);
+    const MpcDecision& s = structured.step(p, f);
+    std::vector<double> s_targets = s.target_freqs_mhz;
+    const bool s_hit = s.structured_hit;
+    const MpcDecision& d = plain.step(p, f);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_TRUE(std::isfinite(s_targets[j]));
+      if (s_hit) {
+        EXPECT_NEAR(s_targets[j], d.target_freqs_mhz[j], 1e-3);
+      } else {
+        EXPECT_EQ(s_targets[j], d.target_freqs_mhz[j]);
+      }
+    }
+    f = d.target_freqs_mhz;
+  }
+}
+
+TEST(MpcStructured, DisabledByDefault) {
+  const auto devices = gpu_fleet(2, 435.0, 1350.0);
+  const LinearPowerModel plant = fleet_model(2, 0.20);
+  MpcController ctl(MpcConfig{}, devices, plant, Watts{700.0});
+  std::vector<double> f = {900.0, 900.0};
+  for (int k = 0; k < 10; ++k) {
+    const MpcDecision& d = ctl.step(plant.predict(f), f);
+    EXPECT_FALSE(d.structured_hit);
+    f = d.target_freqs_mhz;
+  }
+}
+
+}  // namespace
+}  // namespace capgpu::control

@@ -1,0 +1,232 @@
+// The analytic fast path is certify-or-fallback like warm starting: it may
+// skip the active-set iteration but must never change the answer. These
+// tests pin fast-path solves to the plain solver bit for bit on randomized
+// constrained and unconstrained QPs, and check the tier reporting the
+// flight recorder and replay tool rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/mpc.hpp"
+#include "control/qp.hpp"
+
+namespace capgpu::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Random SPD QP with box constraints |x_i| <= box. A wide box leaves the
+/// unconstrained optimum interior (fast-path territory); box = 1 with
+/// g ~ U(-5, 5) makes rows bind on most trials.
+QpProblem random_box_qp(std::size_t n, double box, capgpu::Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  QpProblem p;
+  p.h = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) p.h(i, i) += 1.0;
+  p.g = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) p.g[i] = rng.uniform(-5.0, 5.0);
+  p.c = Matrix(2 * n, n);
+  p.b = Vector(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.c(2 * i, i) = 1.0;
+    p.b[2 * i] = box;
+    p.c(2 * i + 1, i) = -1.0;
+    p.b[2 * i + 1] = box;
+  }
+  return p;
+}
+
+QpSolver plain_solver() {
+  QpSolver::Options opts;
+  opts.fast_path = false;
+  return QpSolver(opts);
+}
+
+void expect_bitwise_equal(const QpWorkspace& got, const QpWorkspace& want,
+                          std::size_t n) {
+  ASSERT_EQ(got.converged(), want.converged());
+  EXPECT_EQ(got.iterations(), want.iterations());
+  EXPECT_EQ(got.objective(), want.objective());
+  EXPECT_EQ(got.active_set(), want.active_set());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got.x()[i], want.x()[i]);
+}
+
+TEST(QpFastPath, InteriorOptimumCertifiesBitwise) {
+  capgpu::Rng rng(61);
+  QpSolver fast;          // fast path on by default
+  QpSolver plain = plain_solver();
+  QpWorkspace fast_ws;    // deliberately reused across sizes and trials
+  QpWorkspace plain_ws;
+  for (const std::size_t n : {1u, 2u, 4u, 6u, 9u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const QpProblem p = random_box_qp(n, 100.0, rng);
+      plain.solve(p, Vector(n), plain_ws);
+      fast.solve(p, Vector(n), fast_ws);
+      EXPECT_TRUE(fast_ws.fast_path_hit()) << "n=" << n << " trial=" << trial;
+      EXPECT_EQ(fast_ws.path(), QpSolvePath::kFastPath);
+      EXPECT_FALSE(plain_ws.fast_path_hit());
+      expect_bitwise_equal(fast_ws, plain_ws, n);
+      EXPECT_TRUE(fast_ws.active_set().empty());  // certified == interior
+    }
+  }
+}
+
+TEST(QpFastPath, ConstrainedProblemsFallBackBitwise) {
+  // Tight boxes: most trials bind at least one row, so the fast path's
+  // full step hits the wall and must fall through to the cold iteration
+  // without disturbing it.
+  capgpu::Rng rng(67);
+  QpSolver fast;
+  QpSolver plain = plain_solver();
+  QpWorkspace fast_ws;
+  QpWorkspace plain_ws;
+  std::size_t bound_trials = 0;
+  for (const std::size_t n : {1u, 2u, 4u, 6u}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const QpProblem p = random_box_qp(n, 1.0, rng);
+      plain.solve(p, Vector(n), plain_ws);
+      fast.solve(p, Vector(n), fast_ws);
+      expect_bitwise_equal(fast_ws, plain_ws, n);
+      if (!plain_ws.active_set().empty()) {
+        ++bound_trials;
+        EXPECT_FALSE(fast_ws.fast_path_hit());
+        EXPECT_EQ(fast_ws.path(), QpSolvePath::kColdActiveSet);
+      } else {
+        EXPECT_TRUE(fast_ws.fast_path_hit());
+      }
+    }
+  }
+  // The sweep must actually exercise the fallback, not just interior hits.
+  EXPECT_GT(bound_trials, 20u);
+}
+
+TEST(QpFastPath, DriftingGradientReusesSnapshotBitwise) {
+  // Fixed Hessian, drifting gradient — the controller's steady state. The
+  // persistent factorisation is built once and every subsequent interior
+  // solve certifies from it; bits must match a fast-path-free solver the
+  // whole way, including the constrained excursions in between.
+  capgpu::Rng rng(71);
+  const std::size_t n = 5;
+  QpProblem p = random_box_qp(n, 2.0, rng);
+  QpSolver fast;
+  QpSolver plain = plain_solver();
+  QpWorkspace fast_ws;
+  QpWorkspace plain_ws;
+  std::size_t hits = 0;
+  for (int period = 0; period < 60; ++period) {
+    // Mean-reverting drift keeps the optimum hovering around the box edge,
+    // mixing interior periods with binding ones.
+    for (std::size_t i = 0; i < n; ++i)
+      p.g[i] = 0.7 * p.g[i] + rng.uniform(-2.0, 2.0);
+    plain.solve(p, Vector(n), plain_ws);
+    fast.solve(p, Vector(n), fast_ws);
+    expect_bitwise_equal(fast_ws, plain_ws, n);
+    if (fast_ws.fast_path_hit()) ++hits;
+  }
+  EXPECT_GT(hits, 10u);  // the drift keeps returning to the interior
+}
+
+TEST(QpFastPath, HessianChangeInvalidatesSnapshot) {
+  // Changing H's bits must refactor, not certify from the stale snapshot.
+  capgpu::Rng rng(73);
+  const std::size_t n = 4;
+  QpProblem p = random_box_qp(n, 100.0, rng);
+  QpSolver fast;
+  QpSolver plain = plain_solver();
+  QpWorkspace fast_ws;
+  QpWorkspace plain_ws;
+  for (int change = 0; change < 5; ++change) {
+    plain.solve(p, Vector(n), plain_ws);
+    fast.solve(p, Vector(n), fast_ws);
+    EXPECT_TRUE(fast_ws.fast_path_hit());
+    expect_bitwise_equal(fast_ws, plain_ws, n);
+    // Scale the Hessian: a stale factor would now solve the wrong system.
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) p.h(r, c) *= 1.25;
+  }
+}
+
+TEST(QpFastPath, RespectsIterationBudget) {
+  // A cold solve with max_iterations = 1 takes the Newton step but runs out
+  // of budget before confirming stationarity (converged = false). The fast
+  // path would certify the same point as converged in "2 iterations" —
+  // which is why it is gated off when the budget cannot cover the cold
+  // equivalent. Both solvers must agree bit for bit, non-convergence
+  // included.
+  capgpu::Rng rng(79);
+  const std::size_t n = 3;
+  const QpProblem p = random_box_qp(n, 100.0, rng);
+  QpSolver::Options tight;
+  tight.max_iterations = 1;
+  QpSolver::Options tight_plain = tight;
+  tight_plain.fast_path = false;
+  QpWorkspace fast_ws;
+  QpWorkspace plain_ws;
+  QpSolver(tight).solve(p, Vector(n), fast_ws);
+  QpSolver(tight_plain).solve(p, Vector(n), plain_ws);
+  EXPECT_FALSE(fast_ws.fast_path_hit());
+  expect_bitwise_equal(fast_ws, plain_ws, n);
+}
+
+TEST(QpFastPath, WarmCertifyTakesPrecedence) {
+  // Railed steady state: the warm-start seed certifies first and the fast
+  // path is never consulted (its full step would leave the box anyway).
+  QpProblem p;
+  p.h = Matrix{{2.0}};
+  p.g = Vector{4.0};
+  p.c = Matrix(1, 1);
+  p.c(0, 0) = -1.0;
+  p.b = Vector{0.0};
+  QpSolver solver;
+  const std::vector<std::size_t> seed = {0};
+  QpWorkspace ws;
+  solver.solve(p, Vector{0.0}, ws, &seed);
+  EXPECT_TRUE(ws.converged());
+  EXPECT_EQ(ws.path(), QpSolvePath::kWarmCertified);
+  EXPECT_TRUE(ws.warm_start_hit());
+  EXPECT_FALSE(ws.fast_path_hit());
+  EXPECT_EQ(ws.x()[0], 0.0);
+}
+
+TEST(QpFastPath, MpcFastPathMatchesDisabledControllerBitwise) {
+  // Closed loop in an interior regime (cap reachable mid-range): the
+  // fast-path controller must command the exact bits of one with the tier
+  // disabled, while actually taking the shortcut most periods.
+  const std::vector<DeviceRange> devices = {
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+      {DeviceKind::kGpu, 435.0, 1350.0},
+  };
+  const LinearPowerModel plant({0.21, 0.21, 0.21}, 300.0);
+  const Watts cap{900.0};
+  MpcConfig cfg;  // qp_fast_path on by default
+  MpcConfig cfg_plain = cfg;
+  cfg_plain.qp_fast_path = false;
+
+  MpcController fast(cfg, devices, plant, cap);
+  MpcController plain(cfg_plain, devices, plant, cap);
+  std::vector<double> f = {900.0, 900.0, 900.0};
+  std::vector<double> f_plain = f;
+  std::size_t hits = 0;
+  for (int k = 0; k < 60; ++k) {
+    const MpcDecision& a = fast.step(plant.predict(f), f);
+    if (a.fast_path_hit) ++hits;
+    std::vector<double> targets = a.target_freqs_mhz;
+    const MpcDecision& b = plain.step(plant.predict(f_plain), f_plain);
+    EXPECT_FALSE(b.fast_path_hit);
+    for (std::size_t j = 0; j < devices.size(); ++j) {
+      ASSERT_EQ(targets[j], b.target_freqs_mhz[j])
+          << "period " << k << " device " << j;
+    }
+    f = targets;
+    f_plain = b.target_freqs_mhz;
+  }
+  EXPECT_GT(hits, 30u);
+}
+
+}  // namespace
+}  // namespace capgpu::control

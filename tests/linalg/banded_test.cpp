@@ -1,0 +1,177 @@
+// The structured control-solve tier rests on one numerical property: for an
+// exactly-banded SPD matrix, the banded Cholesky runs the dense recurrence
+// with only the terms that are exact zeros removed, so factor and solve
+// agree with the dense path bit for bit. These tests pin that, plus the
+// conditioning edge the MPC regularization leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/banded.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/inplace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace capgpu::linalg {
+namespace {
+
+/// Random SPD matrix with exact lower bandwidth <= bw: A = B B^T + d I with
+/// B lower-banded. Out-of-band entries are exact 0.0 by construction.
+Matrix random_banded_spd(std::size_t n, std::size_t bw, double diag,
+                         capgpu::Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j0 = i >= bw ? i - bw : 0;
+    for (std::size_t j = j0; j <= i; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += diag;
+  return a;
+}
+
+TEST(Banded, LowerBandwidthDetectsStructure) {
+  capgpu::Rng rng(5);
+  const Matrix a = random_banded_spd(8, 2, 1.0, rng);
+  EXPECT_LE(lower_bandwidth(a.row(0).data(), 8, 8), 2u);
+  Matrix dense = a;
+  dense(7, 0) = 0.5;
+  EXPECT_EQ(lower_bandwidth(dense.row(0).data(), 8, 8), 7u);
+  Matrix diag(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) diag(i, i) = 1.0 + double(i);
+  EXPECT_EQ(lower_bandwidth(diag.row(0).data(), 4, 4), 0u);
+}
+
+TEST(Banded, FactorMatchesDenseCholeskyBitwise) {
+  capgpu::Rng rng(17);
+  for (const std::size_t n : {1u, 3u, 6u, 12u, 24u}) {
+    for (std::size_t bw = 0; bw < std::min<std::size_t>(n, 5); ++bw) {
+      const Matrix a = random_banded_spd(n, bw, 0.5, rng);
+      std::vector<double> dense_l(n * n, 0.0);
+      ASSERT_TRUE(cholesky_factor_inplace(a.row(0).data(), dense_l.data(), n, n));
+
+      std::vector<double> ab(band_size(n, bw));
+      std::vector<double> lb(band_size(n, bw), 0.0);
+      pack_lower_band(a.row(0).data(), n, n, bw, ab.data());
+      ASSERT_TRUE(banded_cholesky_factor(ab.data(), lb.data(), n, bw));
+
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j0 = i >= bw ? i - bw : 0;
+        for (std::size_t j = j0; j <= i; ++j) {
+          EXPECT_EQ(lb[i * (bw + 1) + (j + bw - i)], dense_l[i * n + j])
+              << "n=" << n << " bw=" << bw << " (" << i << "," << j << ")";
+        }
+        // The dense factor must be exactly zero outside the band, or the
+        // bitwise argument (skipped terms are exact no-ops) would not hold.
+        for (std::size_t j = 0; j < j0; ++j) {
+          EXPECT_EQ(dense_l[i * n + j], 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Banded, SolveMatchesDenseCholeskyBitwise) {
+  capgpu::Rng rng(29);
+  for (const std::size_t n : {1u, 4u, 9u, 16u}) {
+    const std::size_t bw = std::min<std::size_t>(n - 1, 3);
+    const Matrix a = random_banded_spd(n, bw, 0.5, rng);
+    Vector rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = rng.uniform(-5.0, 5.0);
+
+    const Cholesky dense(a);
+    const Vector x_dense = dense.solve(rhs);
+
+    std::vector<double> ab(band_size(n, bw));
+    std::vector<double> lb(band_size(n, bw), 0.0);
+    pack_lower_band(a.row(0).data(), n, n, bw, ab.data());
+    ASSERT_TRUE(banded_cholesky_factor(ab.data(), lb.data(), n, bw));
+    std::vector<double> x(n);
+    banded_cholesky_solve(lb.data(), n, bw, rhs.data().data(), x.data());
+
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x_dense[i]);
+  }
+}
+
+TEST(Banded, IllConditionedRegularizedCaseStaysAccurate) {
+  // Near-singular banded matrix rescued by a small Tikhonov term — the
+  // exact shape of the MPC Hessian's control-penalty block when weights
+  // collapse. The factor must succeed and the solve must satisfy the
+  // system to a residual far below the solver's certification threshold.
+  capgpu::Rng rng(41);
+  const std::size_t n = 12;
+  const std::size_t bw = 3;
+  // B with two identical banded rows -> B B^T is exactly singular (rank
+  // n-1) and stays within bandwidth bw; the Tikhonov term rescues it.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j0 = i >= bw ? i - bw : 0;
+    for (std::size_t j = j0; j <= i; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  b(4, 1) = 0.0;
+  b(5, 5) = 0.0;
+  for (std::size_t j = 2; j <= 4; ++j) b(5, j) = b(4, j);
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1e-9;
+
+  std::vector<double> ab(band_size(n, bw));
+  std::vector<double> lb(band_size(n, bw), 0.0);
+  pack_lower_band(a.row(0).data(), n, n, bw, ab.data());
+  ASSERT_TRUE(banded_cholesky_factor(ab.data(), lb.data(), n, bw));
+
+  Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = rng.uniform(-1.0, 1.0);
+  std::vector<double> x(n);
+  banded_cholesky_solve(lb.data(), n, bw, rhs.data().data(), x.data());
+
+  // The solution blows up along the regularized null direction (|x| ~ 1e9),
+  // so judge the residual relative to the solution scale — backward
+  // stability promises ~n * eps * |A| * |x|, orders below this bound.
+  double worst = 0.0;
+  double x_inf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -rhs[i];
+    for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * x[j];
+    worst = std::max(worst, std::abs(acc));
+    x_inf = std::max(x_inf, std::abs(x[i]));
+  }
+  EXPECT_GT(x_inf, 1e3);  // the case really is ill-conditioned
+  EXPECT_LT(worst, 1e-10 * std::max(1.0, x_inf));
+}
+
+TEST(Banded, IndefiniteMatrixReturnsFalse) {
+  const std::size_t n = 4;
+  const std::size_t bw = 1;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  a(2, 2) = -1.0;  // not positive definite
+  std::vector<double> ab(band_size(n, bw));
+  std::vector<double> lb(band_size(n, bw), 0.0);
+  pack_lower_band(a.row(0).data(), n, n, bw, ab.data());
+  EXPECT_FALSE(banded_cholesky_factor(ab.data(), lb.data(), n, bw));
+}
+
+TEST(Banded, FullBandwidthEqualsDense) {
+  // bw = n-1 degenerates to the dense factorisation — same bits on a
+  // matrix with no zero structure at all.
+  capgpu::Rng rng(53);
+  const std::size_t n = 7;
+  const std::size_t bw = n - 1;
+  const Matrix a = random_banded_spd(n, bw, 0.5, rng);
+  std::vector<double> dense_l(n * n, 0.0);
+  ASSERT_TRUE(cholesky_factor_inplace(a.row(0).data(), dense_l.data(), n, n));
+  std::vector<double> ab(band_size(n, bw));
+  std::vector<double> lb(band_size(n, bw), 0.0);
+  pack_lower_band(a.row(0).data(), n, n, bw, ab.data());
+  ASSERT_TRUE(banded_cholesky_factor(ab.data(), lb.data(), n, bw));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(lb[i * (bw + 1) + (j + bw - i)], dense_l[i * n + j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capgpu::linalg
