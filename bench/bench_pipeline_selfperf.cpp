@@ -35,6 +35,7 @@
 #include "core/rig.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/energy.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
@@ -557,17 +558,21 @@ struct Row {
   }
 };
 
-// Flight-recorder overhead: one closed-loop CapGPU run (the analytic power
-// model skips the sysid sweep) with the recorder off vs on, under private
-// telemetry instances so reps don't accumulate state. The recorder adds a
-// struct copy plus health bookkeeping per control period; the guard keeps
-// that within the repo's 5% observability budget on a full run.
-double run_control_loop_seconds(bool flight_on) {
+// Flight-recorder / energy-ledger overhead: one closed-loop CapGPU run
+// (the analytic power model skips the sysid sweep) with the feature off vs
+// on, under private telemetry instances so reps don't accumulate state.
+// The recorder adds a struct copy plus health bookkeeping per control
+// period; the energy ledger adds one meter average plus batch-drain
+// accounting per period and one struct append per completed batch. The
+// guards keep each within the repo's 5% observability budget on a full run.
+double run_control_loop_seconds(bool flight_on, bool energy_on = false) {
   telemetry::MetricsRegistry registry;
   telemetry::MetricsRegistry::ScopedCurrent metrics_guard(registry);
   telemetry::FlightRecorder recorder;
   recorder.set_enabled(flight_on);
   telemetry::FlightRecorder::ScopedCurrent flight_guard(recorder);
+  telemetry::EnergyRegistry energy;
+  telemetry::EnergyRegistry::ScopedCurrent energy_guard(energy);
   core::ServerRig rig;
   core::CapGpuController ctl(core::CapGpuConfig{}, rig.device_ranges(),
                              rig.analytic_power_model(), 900_W,
@@ -576,6 +581,7 @@ double run_control_loop_seconds(bool flight_on) {
   opt.periods = 1200;  // long enough (~75 ms) that scheduler jitter stays
                        // well under the 5% overhead budget being measured
   opt.set_point = 900_W;
+  opt.energy_attribution = energy_on;
   const auto t0 = std::chrono::steady_clock::now();
   (void)rig.run(ctl, opt);
   const auto t1 = std::chrono::steady_clock::now();
@@ -583,24 +589,26 @@ double run_control_loop_seconds(bool flight_on) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-struct FlightOverhead {
+struct FeatureOverhead {
   double baseline_s{0.0};
-  double flight_s{0.0};
+  double feature_s{0.0};
   [[nodiscard]] double overhead_frac() const {
-    return baseline_s > 0.0 ? flight_s / baseline_s - 1.0 : 0.0;
+    return baseline_s > 0.0 ? feature_s / baseline_s - 1.0 : 0.0;
   }
 };
 
-FlightOverhead measure_flight_overhead(int reps) {
+template <typename BaselineRun, typename FeatureRun>
+FeatureOverhead measure_overhead(int reps, BaselineRun&& baseline_run,
+                                 FeatureRun&& feature_run) {
   // A single control-loop run is ~25 ms, so extra reps are cheap; triple
   // the request to keep the min-of-reps estimate stable against transient
   // machine noise (the gate compares against a 5% budget, and a single
-  // slow flight rep in a min-of-3 can fake a budget overrun).
+  // slow feature rep in a min-of-3 can fake a budget overrun).
   const int overhead_reps = 3 * reps;
-  FlightOverhead m{1e300, 1e300};
+  FeatureOverhead m{1e300, 1e300};
   for (int r = 0; r < overhead_reps; ++r) {
-    m.baseline_s = std::min(m.baseline_s, run_control_loop_seconds(false));
-    m.flight_s = std::min(m.flight_s, run_control_loop_seconds(true));
+    m.baseline_s = std::min(m.baseline_s, baseline_run());
+    m.feature_s = std::min(m.feature_s, feature_run());
   }
   return m;
 }
@@ -676,11 +684,21 @@ int main(int argc, char** argv) {
   std::printf("\n  worst-case speedup: %.2fx (target >= 2.0x on open-loop)\n",
               worst_speedup);
 
-  const FlightOverhead flight = measure_flight_overhead(reps);
+  const FeatureOverhead flight = measure_overhead(
+      reps, [] { return run_control_loop_seconds(false); },
+      [] { return run_control_loop_seconds(true); });
   std::printf(
       "  flight recorder: baseline %.3f s, recording %.3f s -> %+.1f%% "
       "(budget 5%%)\n",
-      flight.baseline_s, flight.flight_s, flight.overhead_frac() * 100.0);
+      flight.baseline_s, flight.feature_s, flight.overhead_frac() * 100.0);
+
+  const FeatureOverhead energy = measure_overhead(
+      reps, [] { return run_control_loop_seconds(false, false); },
+      [] { return run_control_loop_seconds(false, true); });
+  std::printf(
+      "  energy ledger:   baseline %.3f s, attributing %.3f s -> %+.1f%% "
+      "(budget 5%%)\n",
+      energy.baseline_s, energy.feature_s, energy.overhead_frac() * 100.0);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -702,16 +720,22 @@ int main(int argc, char** argv) {
                   r.speedup(), i + 1 < rows.size() ? "," : "");
     out << buf;
   }
-  char tail[384];
+  char tail[640];
   std::snprintf(tail, sizeof(tail),
                 "    ],\n    \"worst_speedup\": %.3f\n  },\n"
                 "  \"flight_overhead\": {\n"
                 "    \"baseline_s\": %.6f,\n"
                 "    \"flight_s\": %.6f,\n"
                 "    \"overhead_frac\": %.4f,\n"
+                "    \"budget_frac\": 0.05\n  },\n"
+                "  \"energy_overhead\": {\n"
+                "    \"baseline_s\": %.6f,\n"
+                "    \"energy_s\": %.6f,\n"
+                "    \"overhead_frac\": %.4f,\n"
                 "    \"budget_frac\": 0.05\n  }\n}\n",
-                worst_speedup, flight.baseline_s, flight.flight_s,
-                flight.overhead_frac());
+                worst_speedup, flight.baseline_s, flight.feature_s,
+                flight.overhead_frac(), energy.baseline_s, energy.feature_s,
+                energy.overhead_frac());
   out << tail;
   std::printf("  [perf] %s\n", out_path.c_str());
   return 0;

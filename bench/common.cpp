@@ -6,6 +6,7 @@
 #include "runner/scenario_runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "telemetry/csv.hpp"
+#include "telemetry/energy.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
@@ -37,6 +38,7 @@ struct ObservabilityOutputs {
   std::optional<std::string> slo_report_path;
   std::optional<std::string> flight_path;
   std::optional<std::string> resilience_path;
+  std::optional<std::string> energy_path;
   std::chrono::steady_clock::time_point started;
 };
 
@@ -81,6 +83,26 @@ void write_summary(const std::string& path) {
       first_entry = false;
     }
     file << "\n  ]";
+  }
+  const auto& energy = telemetry::EnergyRegistry::global();
+  if (!energy.caps().empty()) {
+    double total_j = 0.0;
+    double idle_j = 0.0;
+    std::uint64_t requests = 0;
+    for (const auto& c : energy.caps()) {
+      total_j += c.total_joules;
+      idle_j += c.idle_joules;
+      requests += c.requests;
+    }
+    const double jpr =
+        requests ? total_j / static_cast<double>(requests) : 0.0;
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "{\"total_joules\":%.10g,\"idle_joules\":%.10g,"
+                  "\"requests\":%llu,\"joules_per_request\":%.10g}",
+                  total_j, idle_j, static_cast<unsigned long long>(requests),
+                  jpr);
+    file << ",\n  \"energy\": " << buf;
   }
   file << ",\n  \"stage_p99_s\": [";
   bool first = true;
@@ -141,6 +163,13 @@ void flush_outputs() {
                   out.resilience_path->c_str(),
                   telemetry::ResilienceRegistry::global().entries().size());
     }
+    if (out.energy_path) {
+      telemetry::save_energy_report(telemetry::EnergyRegistry::global(),
+                                    *out.energy_path);
+      std::printf("[telemetry] energy report: %s (%zu caps)\n",
+                  out.energy_path->c_str(),
+                  telemetry::EnergyRegistry::global().caps().size());
+    }
     if (out.summary_path) {
       write_summary(*out.summary_path);
       std::printf("[telemetry] summary: %s\n", out.summary_path->c_str());
@@ -174,7 +203,8 @@ void init(int& argc, char** argv) {
     flags = extract_flags(argc, argv,
                           {"metrics-out", "trace-out", "events-out",
                            "summary-out", "slo-report-out", "flight-out",
-                           "resilience-out", "log-level", "jobs"});
+                           "resilience-out", "energy-out", "log-level",
+                           "jobs"});
   } catch (const InvalidArgument& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     std::exit(2);
@@ -201,6 +231,9 @@ void init(int& argc, char** argv) {
   if (auto it = flags.find("resilience-out"); it != flags.end()) {
     out.resilience_path = it->second;
   }
+  if (auto it = flags.find("energy-out"); it != flags.end()) {
+    out.energy_path = it->second;
+  }
   if (auto it = flags.find("log-level"); it != flags.end()) {
     if (auto level = parse_log_level(it->second)) {
       Log::set_level(*level);
@@ -225,7 +258,7 @@ void init(int& argc, char** argv) {
   }
   if (out.metrics_path || out.trace_path || out.events_path ||
       out.summary_path || out.slo_report_path || out.flight_path ||
-      out.resilience_path) {
+      out.resilience_path || out.energy_path) {
     static bool registered = false;
     if (!registered) {
       registered = true;
@@ -237,6 +270,7 @@ void init(int& argc, char** argv) {
       (void)telemetry::SloRegistry::global();
       (void)telemetry::FlightRecorder::global();
       (void)telemetry::ResilienceRegistry::global();
+      (void)telemetry::EnergyRegistry::global();
       std::atexit(flush_outputs);
     }
   }

@@ -45,6 +45,10 @@ namespace capgpu::bench {
 ///   --resilience-out <path> chaos-campaign resilience scorecard JSON
 ///                          (per-stage MTTR, SLO burn, fail-safe dwell);
 ///                          written by benches that run campaigns.
+///   --energy-out <path>    per-request energy attribution JSON: per-{cap,
+///                          model} stage joules plus the per-cap efficiency
+///                          summary (joules/request, requests/kJ, idle
+///                          fraction). Input to tools/capgpu_report.
 ///
 /// Both `--flag value` and `--flag=value` forms work. Consumed flags are
 /// removed from argv; unknown flags are left alone (google-benchmark

@@ -40,6 +40,8 @@ jq -e '.pipeline_selfperf.worst_speedup >= 1.0' /tmp/check_pipeline.json >/dev/n
   || { echo "FAIL: pooled pipeline slower than legacy (worst_speedup < 1.0)" >&2; exit 1; }
 jq -e '.flight_overhead | .overhead_frac <= .budget_frac' /tmp/check_pipeline.json >/dev/null \
   || { echo "FAIL: flight-recorder overhead exceeds the 5% budget" >&2; exit 1; }
+jq -e '.energy_overhead | .overhead_frac <= .budget_frac' /tmp/check_pipeline.json >/dev/null \
+  || { echo "FAIL: energy-ledger overhead exceeds the 5% budget" >&2; exit 1; }
 ./build-release/bench/bench_control_selfperf --reps 3 --out /tmp/check_control.json
 jq -e '.control_selfperf.configs | length > 0 and all(.fast_speedup != null)' \
   /tmp/check_control.json >/dev/null \

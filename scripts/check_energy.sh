@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Energy-ledger smoke: run a fig6-style set-point sweep with --energy-out,
+# check the report is byte-identical across reruns and --jobs values (the
+# ordered parallel merge must not leak scheduling), then feed it to
+# capgpu_report, which must print the joules-per-inference efficiency
+# frontier with a dominant energy stage per cap. Registered as the `report`
+# CTest label; scripts/check.sh runs it via ctest.
+#
+# Usage: check_energy.sh <bench_binary> <capgpu_report_binary>
+set -euo pipefail
+
+BENCH="${1:?usage: check_energy.sh <bench> <capgpu_report>}"
+REPORT="${2:?usage: check_energy.sh <bench> <capgpu_report>}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BENCH" --energy-out "$tmp/energy.json" --events-out "$tmp/events.jsonl" \
+         --jobs 1 > /dev/null
+[ -s "$tmp/energy.json" ] || { echo "FAIL: energy.json empty"; exit 1; }
+
+# Determinism: a rerun and a parallel run must produce the same bytes.
+"$BENCH" --energy-out "$tmp/rerun.json" --jobs 1 > /dev/null
+cmp "$tmp/energy.json" "$tmp/rerun.json" \
+  || { echo "FAIL: two identical runs wrote different energy reports"; exit 1; }
+"$BENCH" --energy-out "$tmp/jobs4.json" --jobs 4 > /dev/null
+cmp "$tmp/energy.json" "$tmp/jobs4.json" \
+  || { echo "FAIL: --jobs 4 energy report differs from --jobs 1"; exit 1; }
+
+# The report must carry the per-cap efficiency summary and per-model
+# stage attribution.
+grep -q '"caps"' "$tmp/energy.json" \
+  || { echo "FAIL: energy report missing caps summary"; exit 1; }
+grep -q '"joules_per_request"' "$tmp/energy.json" \
+  || { echo "FAIL: energy report missing joules_per_request"; exit 1; }
+grep -q '"dominant_stage"' "$tmp/energy.json" \
+  || { echo "FAIL: energy report missing dominant_stage"; exit 1; }
+
+# capgpu_report must render the efficiency frontier from it (energy.json is
+# the 5th positional; '-' skips the optional slots in between).
+"$REPORT" "$tmp/events.jsonl" - - - "$tmp/energy.json" > "$tmp/report.txt" \
+  || { echo "FAIL: capgpu_report rejected the energy report"; exit 1; }
+grep -q "Energy efficiency frontier" "$tmp/report.txt" \
+  || { echo "FAIL: efficiency frontier table missing from report"; exit 1; }
+grep -q "J/inference" "$tmp/report.txt" \
+  || { echo "FAIL: joules-per-inference column missing from report"; exit 1; }
+
+echo "energy smoke: PASS"

@@ -48,4 +48,33 @@ if [[ $missing -ne 0 || $stale -ne 0 ]]; then
   exit 1
 fi
 
-echo "all ${#names[@]} metric names documented in $docs_file (and none stale)"
+# Trace vocabulary: every literal instant-event name and named track
+# registered in src/ must be documented (backticked) in the docs, so the
+# Perfetto/JSONL reference stays complete. Calls are flattened to one
+# line first because instant() arguments often wrap; only string-literal
+# names are checked (dynamic per-stream tracks like "gpu0:resnet50" are
+# built at runtime and documented as patterns).
+mapfile -t trace_names < <(
+  find src -name '*.cpp' -o -name '*.hpp' | sort | xargs cat | tr '\n' ' ' |
+    grep -oE '\.instant\([^"]*"[a-z0-9_]+"|register_track\("[a-z0-9_]+"' |
+    grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u
+)
+
+if [[ ${#trace_names[@]} -eq 0 ]]; then
+  echo "no trace event/track names found under src/" >&2
+  exit 1
+fi
+
+trace_missing=0
+for name in "${trace_names[@]}"; do
+  if ! grep -qF "\`$name\`" "$docs_file"; then
+    echo "undocumented trace event/track: $name (add it to $docs_file)" >&2
+    trace_missing=1
+  fi
+done
+
+if [[ $trace_missing -ne 0 ]]; then
+  exit 1
+fi
+
+echo "all ${#names[@]} metric names and ${#trace_names[@]} trace names documented in $docs_file"

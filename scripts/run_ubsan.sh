@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# UndefinedBehaviorSanitizer verification: configures the `ubsan` preset
+# (CAPGPU_SANITIZER=undefined into build-ubsan/), builds everything, and
+# runs the full test suite under UBSan. Any undefined-behavior report
+# aborts the run. Complements scripts/run_tsan.sh (data races).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset ubsan >/dev/null
+cmake --build build-ubsan -j"$(nproc)"
+
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-ubsan -j"$(nproc)" --output-on-failure

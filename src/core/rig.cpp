@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include <algorithm>
+#include <optional>
+#include "telemetry/energy.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/metric_names.hpp"
 #include "telemetry/metrics.hpp"
@@ -283,6 +285,21 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
   }
 
   const double period_s = options.loop.period.value;
+
+  // Energy attribution: one ledger per run, fed from the *pristine* meter
+  // (chaos runs integrate the true plant, not the faulted readings) and the
+  // streams' per-batch energy captures.
+  std::optional<telemetry::EnergyLedger> ledger;
+  double last_meter_w = 0.0;
+  if (options.energy_attribution) {
+    std::vector<std::string> names;
+    names.reserve(streams_.size());
+    for (const auto& s : streams_) names.push_back(s->model().name);
+    ledger.emplace(policy.name(), trace_pid_, streams_.size(),
+                   std::move(names));
+    for (auto& s : streams_) s->set_energy_recording(true);
+  }
+
   auto& tracer = telemetry::Tracer::current();
   loop.on_period = [&](std::size_t index) {
     const double now = engine_.now();
@@ -366,6 +383,26 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
     result.cpu_latency.add(now, cpu_task_->subset_latency().mean(now, period_s));
     cpu_task_->throughput().trim(now);
     cpu_task_->subset_latency().trim(now);
+
+    if (ledger) {
+      // Integrate the pristine meter over the period. A sensor gap (only
+      // possible on exotic meter configs — fault plans wrap, not replace,
+      // this meter) holds the previous reading so the integral stays
+      // continuous.
+      double avg_w = last_meter_w;
+      try {
+        avg_w = hal_->power_meter().average(Seconds{period_s}).value;
+      } catch (const HalError&) {
+      }
+      last_meter_w = avg_w;
+      ledger->begin_period(policy.set_point().value, avg_w, period_s);
+      for (std::size_t i = 0; i < streams_.size(); ++i) {
+        auto& batches = streams_[i]->energy_batches();
+        ledger->add_batches(i, batches.data(), batches.size());
+        batches.clear();
+      }
+      ledger->end_period();
+    }
   };
 
   loop.start();
@@ -413,6 +450,18 @@ RunResult ServerRig::run(baselines::IServerPowerController& policy,
     entry.alerts = monitor.alerts_fired();
     entry.episodes = std::move(burn_episodes[i]);
     telemetry::SloRegistry::current().add(std::move(entry));
+  }
+
+  // Energy accounting: per-{cap,model} attribution entries + per-cap
+  // efficiency summaries (--energy-out renders these). Batches completing
+  // in the 1 ms run-out after the final control tick fall outside the
+  // integrated meter window and are dropped with it.
+  if (ledger) {
+    for (auto& s : streams_) {
+      s->set_energy_recording(false);
+      s->energy_batches().clear();
+    }
+    ledger->finalize(telemetry::EnergyRegistry::current());
   }
   return result;
 }

@@ -83,6 +83,12 @@ struct RunOptions {
   /// trace instants and telemetry::SloRegistry entries (--slo-report-out).
   /// Streams without an active SLO never record and never alert.
   telemetry::SloBurnConfig slo_burn{};
+  /// Per-request energy attribution (telemetry::EnergyLedger): integrate
+  /// the pristine meter each control period and apportion the joules to
+  /// the period's completed batches, finalized into
+  /// telemetry::EnergyRegistry entries (--energy-out). Off = the baseline
+  /// of the selfperf energy-overhead guard.
+  bool energy_attribution{true};
 };
 
 /// Per-period traces of one run.

@@ -25,6 +25,8 @@ void ScenarioRunner::run(std::size_t count,
       telemetry::FlightRecorder::current();
   telemetry::ResilienceRegistry& parent_resilience =
       telemetry::ResilienceRegistry::current();
+  telemetry::EnergyRegistry& parent_energy =
+      telemetry::EnergyRegistry::current();
 
   struct ScenarioState {
     std::unique_ptr<telemetry::ScenarioTelemetry> telemetry;
@@ -68,7 +70,8 @@ void ScenarioRunner::run(std::size_t count,
     if (state.error) std::rethrow_exception(state.error);
     if (state.ran) {
       state.telemetry->merge_into(parent_metrics, parent_tracer, parent_slo,
-                                  parent_flight, parent_resilience);
+                                  parent_flight, parent_resilience,
+                                  parent_energy);
       ++scenarios_merged_;
     }
   }

@@ -110,6 +110,13 @@ inline constexpr const char* kCtlSolverPath =
 inline constexpr const char* kCtlFallbackTransitions =
     "capgpu_ctl_fallback_transitions_total";
 
+// --- energy attribution (telemetry::EnergyLedger) ---
+inline constexpr const char* kEnergyJoules = "capgpu_energy_joules_total";
+inline constexpr const char* kEnergyIdleJoules =
+    "capgpu_energy_idle_joules_total";
+inline constexpr const char* kRequestEnergyJoules =
+    "capgpu_request_energy_joules";
+
 // --- fault injection (hal::FaultyServerHal) ---
 inline constexpr const char* kFaultInjections =
     "capgpu_fault_injections_total";

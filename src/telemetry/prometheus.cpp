@@ -14,9 +14,14 @@ namespace capgpu::telemetry {
 namespace {
 
 // Shortest stable rendering: integral values print as integers (counter
-// and bucket counts read naturally), everything else as %.10g.
+// and bucket counts read naturally), everything else as %.10g. Non-finite
+// values must use the exposition-format spellings "NaN" / "+Inf" / "-Inf"
+// — %g would print lowercase "nan"/"inf", which Prometheus rejects (gauges
+// can legitimately hold NaN, e.g. a meter dark fault).
 std::string format_value(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
     return buf;

@@ -11,6 +11,7 @@
 // for any worker count.
 #pragma once
 
+#include "telemetry/energy.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/resilience.hpp"
@@ -37,11 +38,13 @@ class ScenarioTelemetry {
   [[nodiscard]] SloRegistry& slo() { return slo_; }
   [[nodiscard]] FlightRecorder& flight() { return flight_; }
   [[nodiscard]] ResilienceRegistry& resilience() { return resilience_; }
+  [[nodiscard]] EnergyRegistry& energy() { return energy_; }
 
   /// Folds this scenario's telemetry into the parent instances. Call from
   /// one thread at a time, in scenario order.
   void merge_into(MetricsRegistry& metrics, Tracer& tracer, SloRegistry& slo,
-                  FlightRecorder& flight, ResilienceRegistry& resilience) {
+                  FlightRecorder& flight, ResilienceRegistry& resilience,
+                  EnergyRegistry& energy) {
     // Capture the parent's pid count before the tracer merge shifts this
     // scenario's events past it: SLO entries, flight records and resilience
     // scorecards need the same offset to keep pointing at their rig's
@@ -52,6 +55,7 @@ class ScenarioTelemetry {
     slo.merge_from(slo_, pid_offset);
     flight.merge_from(std::move(flight_), pid_offset);
     resilience.merge_from(resilience_, pid_offset);
+    energy.merge_from(energy_, pid_offset);
   }
 
   /// RAII binding making this scenario's instances the thread's current
@@ -63,7 +67,8 @@ class ScenarioTelemetry {
           tracer_(scope.tracer_),
           slo_(scope.slo_),
           flight_(scope.flight_),
-          resilience_(scope.resilience_) {}
+          resilience_(scope.resilience_),
+          energy_(scope.energy_) {}
 
    private:
     MetricsRegistry::ScopedCurrent metrics_;
@@ -71,6 +76,7 @@ class ScenarioTelemetry {
     SloRegistry::ScopedCurrent slo_;
     FlightRecorder::ScopedCurrent flight_;
     ResilienceRegistry::ScopedCurrent resilience_;
+    EnergyRegistry::ScopedCurrent energy_;
   };
 
  private:
@@ -79,6 +85,7 @@ class ScenarioTelemetry {
   SloRegistry slo_;
   FlightRecorder flight_;
   ResilienceRegistry resilience_;
+  EnergyRegistry energy_;
 };
 
 }  // namespace capgpu::telemetry

@@ -392,6 +392,23 @@ void InferenceStream::record_stage_stats(double exec_latency,
   }
   for (std::size_t s = 0; s < kStageCount; ++s) stage_count_[s] += n;
 
+  static_assert(telemetry::kEnergyStageCount == kStageCount,
+                "energy ledger stage layout must mirror the pipeline's");
+  if (energy_recording_) {
+    // Both branches above leave rec_* describing this batch (the hit path
+    // matched them, the miss path rebuilt them), so the quantized stage
+    // sums come for free.
+    telemetry::EnergyBatch b;
+    b.start_s = completed - exec_latency;
+    b.end_s = completed;
+    b.images = static_cast<std::uint32_t>(n);
+    b.stage_s[kPq] = open ? rec_pq_.quant_sum : 0.0;
+    b.stage_s[kCpu] = rec_cpu_.quant_sum;
+    b.stage_s[kBq] = rec_bq_.quant_sum;
+    b.stage_s[kExec] = rec_exec_.quant_sum * static_cast<double>(n);
+    energy_batches_.push_back(b);
+  }
+
   auto& tracer = telemetry::Tracer::current();
   if (!tracer.enabled()) return;
   // One aggregated span per stage per batch (min start to max end across

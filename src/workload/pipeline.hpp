@@ -26,6 +26,7 @@
 #include "common/rng.hpp"
 #include "hw/server_model.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/energy.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sketch.hpp"
 #include "workload/model_zoo.hpp"
@@ -162,6 +163,21 @@ class InferenceStream {
   /// Track id of this stream on the trace timeline (counter emission).
   [[nodiscard]] int trace_tid() const { return trace_tid_; }
 
+  // --- Energy attribution (telemetry::EnergyLedger) ---
+  /// Enables per-batch energy capture: each completed batch appends one
+  /// telemetry::EnergyBatch (exec interval + summed quantized stage
+  /// residencies, reusing the fingerprint records — no extra per-request
+  /// work). Requires stage_stats; the ledger owner must drain
+  /// energy_batches() every control period or the buffer grows unbounded.
+  void set_energy_recording(bool on) {
+    energy_recording_ = on && params_.stage_stats;
+  }
+  /// Batches captured since the last drain. The consumer (core::ServerRig's
+  /// ledger loop) reads and clear()s this each period.
+  [[nodiscard]] std::vector<telemetry::EnergyBatch>& energy_batches() {
+    return energy_batches_;
+  }
+
  private:
   struct Worker {
     bool computing{false};
@@ -254,6 +270,10 @@ class InferenceStream {
   telemetry::SpanRecord rec_exec_;
   std::uint64_t pending_batches_{0};
   bool rec_valid_{false};
+
+  // Energy capture (off unless a ledger is attached).
+  bool energy_recording_{false};
+  std::vector<telemetry::EnergyBatch> energy_batches_;
 };
 
 }  // namespace capgpu::workload

@@ -87,6 +87,43 @@ TEST(CappingAudit, MovingCapStepBreaksStreakMidRun) {
   EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 50.0);
 }
 
+TEST(CappingAudit, EmptyTraceYieldsZeroedAudit) {
+  const TimeSeries ts("p", "W");
+  const CappingAudit a = audit_capping(ts, 900_W, 4.0);
+  EXPECT_EQ(a.samples, 0u);
+  EXPECT_EQ(a.violation_samples, 0u);
+  EXPECT_DOUBLE_EQ(a.violation_fraction, 0.0);  // no divide-by-zero NaN
+  EXPECT_DOUBLE_EQ(a.mean_headroom_watts, 0.0);
+  EXPECT_EQ(a.longest_streak, 0u);
+}
+
+TEST(CappingAudit, SkipAtOrBeyondLengthAuditsNothing) {
+  const auto ts = series({1100, 1050, 990});
+  for (const std::size_t skip : {std::size_t{3}, std::size_t{100}}) {
+    const CappingAudit a = audit_capping(ts, 900_W, 4.0, 5.0, skip);
+    EXPECT_EQ(a.samples, 0u) << skip;
+    EXPECT_EQ(a.violation_samples, 0u) << skip;
+    EXPECT_DOUBLE_EQ(a.violation_fraction, 0.0) << skip;
+    EXPECT_DOUBLE_EQ(a.excess_joules, 0.0) << skip;
+  }
+}
+
+TEST(CappingAudit, SingleSampleStreakAccounting) {
+  // One violating sample is a streak of one...
+  const auto hot = series({950});
+  const CappingAudit a = audit_capping(hot, 900_W, 4.0);
+  EXPECT_EQ(a.samples, 1u);
+  EXPECT_EQ(a.violation_samples, 1u);
+  EXPECT_EQ(a.longest_streak, 1u);
+  EXPECT_DOUBLE_EQ(a.violation_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(a.excess_joules, 200.0);  // 50 W * 4 s
+  // ...and one clean sample is a streak of zero, with its own headroom.
+  const auto cool = series({880});
+  const CappingAudit b = audit_capping(cool, 900_W, 4.0);
+  EXPECT_EQ(b.longest_streak, 0u);
+  EXPECT_DOUBLE_EQ(b.mean_headroom_watts, 20.0);
+}
+
 TEST(CappingAudit, MismatchedCapTraceThrows) {
   const auto power = series({850, 950});
   const auto cap = series({900});

@@ -4,6 +4,8 @@
 // when the numbers are right.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "telemetry/metrics.hpp"
@@ -70,6 +72,54 @@ TEST(PrometheusGolden, LabelValuesAreEscaped) {
       "# TYPE capgpu_events_total counter\n"
       "capgpu_events_total{note=\"a\\\"b\\\\c\\nd\"} 1\n";
   EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(PrometheusGolden, NonFiniteValuesUseExpositionSpellings) {
+  // Gauges can legitimately hold non-finite values (a meter dark fault
+  // propagates NaN). The exposition format requires "NaN"/"+Inf"/"-Inf" —
+  // %g's lowercase "nan"/"inf" is rejected by Prometheus parsers.
+  MetricsRegistry reg;
+  reg.gauge("capgpu_meter_watts", "meter", {{"state", "dark"}})
+      .set(std::nan(""));
+  reg.gauge("capgpu_meter_watts", "meter", {{"state", "railed_hi"}})
+      .set(std::numeric_limits<double>::infinity());
+  reg.gauge("capgpu_meter_watts", "meter", {{"state", "railed_lo"}})
+      .set(-std::numeric_limits<double>::infinity());
+  const std::string expected =
+      "# HELP capgpu_meter_watts meter\n"
+      "# TYPE capgpu_meter_watts gauge\n"
+      "capgpu_meter_watts{state=\"dark\"} NaN\n"
+      "capgpu_meter_watts{state=\"railed_hi\"} +Inf\n"
+      "capgpu_meter_watts{state=\"railed_lo\"} -Inf\n";
+  EXPECT_EQ(to_prometheus(reg), expected);
+}
+
+TEST(PrometheusGolden, EmptySketchAndHistogramEmitNoNaN) {
+  // A registered-but-never-observed summary/histogram must still render a
+  // parseable family: zero quantiles, zero sum/count — never NaN.
+  MetricsRegistry reg;
+  (void)reg.sketch("capgpu_request_energy_joules", "per-request energy",
+                   {{"model", "resnet50"}});
+  const std::string summary = to_prometheus(reg);
+  EXPECT_EQ(summary.find("NaN"), std::string::npos);
+  EXPECT_EQ(summary.find("nan"), std::string::npos);
+  EXPECT_NE(
+      summary.find(
+          "capgpu_request_energy_joules{model=\"resnet50\",quantile=\"0.5\"} "
+          "0\n"),
+      std::string::npos);
+  EXPECT_NE(summary.find("capgpu_request_energy_joules_count{model="
+                         "\"resnet50\"} 0\n"),
+            std::string::npos);
+
+  MetricsRegistry reg2;
+  (void)reg2.histogram("capgpu_latency_seconds", "latency",
+                       HistogramSpec{0.1, 1, 3});
+  const std::string hist = to_prometheus(reg2);
+  EXPECT_EQ(hist.find("NaN"), std::string::npos);
+  EXPECT_EQ(hist.find("nan"), std::string::npos);
+  EXPECT_NE(hist.find("capgpu_latency_seconds_sum 0\n"), std::string::npos);
+  EXPECT_NE(hist.find("capgpu_latency_seconds_count 0\n"), std::string::npos);
 }
 
 TEST(ChromeTraceGolden, FullDocument) {

@@ -61,6 +61,39 @@ TEST(TimeSeries, SettlingIgnoresTransientReturn) {
   EXPECT_EQ(ts.settling_index(900.0, 10.0), 2u);
 }
 
+TEST(TimeSeries, EmptySeriesEdgeCases) {
+  const TimeSeries ts("empty", "W");
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.stats().count(), 0u);
+  EXPECT_DOUBLE_EQ(ts.stats().mean(), 0.0);  // defined-zero, not NaN
+  EXPECT_DOUBLE_EQ(ts.stats().variance(), 0.0);
+  EXPECT_EQ(ts.count_above(0.0), 0u);
+  // Vacuously settled: index 0 == size().
+  EXPECT_EQ(ts.settling_index(900.0, 10.0), 0u);
+}
+
+TEST(TimeSeries, StatsFromAtOrBeyondLengthIsEmpty) {
+  const TimeSeries ts = make_series({100, 200, 300});
+  for (const std::size_t first : {std::size_t{3}, std::size_t{50}}) {
+    const RunningStats s = ts.stats_from(first);
+    EXPECT_EQ(s.count(), 0u) << first;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0) << first;
+  }
+  EXPECT_EQ(ts.count_above(0.0, 3), 0u);
+  EXPECT_EQ(ts.count_above(0.0, 50), 0u);
+}
+
+TEST(TimeSeries, SingleSampleStatsAndSettling) {
+  const TimeSeries ts = make_series({905.0});
+  EXPECT_EQ(ts.stats().count(), 1u);
+  EXPECT_DOUBLE_EQ(ts.stats().mean(), 905.0);
+  EXPECT_DOUBLE_EQ(ts.stats().stddev(), 0.0);
+  EXPECT_EQ(ts.settling_index(900.0, 10.0), 0u);  // in band from the start
+  EXPECT_EQ(ts.settling_index(900.0, 1.0), 1u);   // never settles
+  EXPECT_EQ(ts.count_above(900.0), 1u);
+}
+
 TEST(TimeSeries, OutOfRangeAccessThrows) {
   const TimeSeries ts = make_series({1.0});
   EXPECT_THROW((void)ts.value_at(5), capgpu::Error);

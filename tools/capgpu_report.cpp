@@ -15,10 +15,16 @@
 //      prediction-error residuals spike (model error) or were the MPC's
 //      frequency constraints binding (constraint pressure)?
 //   5. when a --resilience-out JSON is supplied, the chaos-campaign
-//      scorecard (detection latency, MTTR, SLO-burn split per stage).
+//      scorecard (detection latency, MTTR, SLO-burn split per stage);
+//   6. when an --energy-out JSON is supplied, the efficiency frontier —
+//      joules per inference vs. power cap, with requests/kJ, idle fraction
+//      and the dominant energy stage at each cap (the paper's energy-
+//      optimal cap reading).
 //
 // Usage: capgpu_report <events.jsonl> [slo_report.json] [flight.jsonl]
-//                      [resilience.json]
+//                      [resilience.json] [energy.json]
+// Pass "-" to skip an optional position (e.g. feed an energy report
+// without a flight log).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -442,20 +449,76 @@ void print_resilience_report(const std::string& path) {
   }
 }
 
+// Renders the energy attribution written by --energy-out: the efficiency
+// frontier table (joules per inference vs. power cap) plus the per-model
+// attribution split.
+void print_energy_frontier(const std::string& path) {
+  const Value report = capgpu::json::parse(read_file(path));
+  std::printf("\nEnergy efficiency frontier by power cap (%s)\n", path.c_str());
+  std::printf("----------------------------------------\n");
+  if (!report.contains("caps") || report.at("caps").as_array().empty()) {
+    std::printf("  no energy accounting (run a closed-loop bench with "
+                "--energy-out)\n");
+    return;
+  }
+  std::printf("  %-9s %-18s %8s %9s %10s %12s %9s %7s  %s\n", "cap W",
+              "policy", "periods", "requests", "total kJ", "J/inference",
+              "req/kJ", "idle %", "dominant energy stage");
+  for (const Value& c : report.at("caps").as_array()) {
+    const std::string dominant = c.string_or("dominant_stage", "");
+    std::printf("  %-9.1f %-18s %8.0f %9.0f %10.2f %12.4f %9.1f %6.1f%%  %s\n",
+                c.number_or("cap_watts", 0.0),
+                c.string_or("policy", "?").c_str(),
+                c.number_or("periods", 0.0), c.number_or("requests", 0.0),
+                c.number_or("total_joules", 0.0) / 1e3,
+                c.number_or("joules_per_request", 0.0),
+                c.number_or("requests_per_kilojoule", 0.0),
+                c.number_or("idle_fraction", 0.0) * 100.0,
+                dominant.empty() ? "(none)" : dominant.c_str());
+  }
+  if (!report.contains("entries") || report.at("entries").as_array().empty()) {
+    return;
+  }
+  std::printf("\n  per-model attribution:\n");
+  std::printf("  %-9s %-10s %9s %12s", "cap W", "model", "requests",
+              "J/inference");
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    std::printf(" %16s", kStageNames[i]);
+  }
+  std::printf("\n");
+  for (const Value& e : report.at("entries").as_array()) {
+    std::printf("  %-9.1f %-10s %9.0f %12.4f", e.number_or("cap_watts", 0.0),
+                e.string_or("model", "?").c_str(),
+                e.number_or("requests", 0.0),
+                e.number_or("joules_per_request", 0.0));
+    const Value& stages = e.at("stage_joules");
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      std::printf(" %14.1f J", stages.number_or(kStageNames[i], 0.0));
+    }
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 5) {
+  if (argc < 2 || argc > 6) {
     std::fprintf(stderr,
                  "usage: %s <events.jsonl> [slo_report.json] [flight.jsonl]"
-                 " [resilience.json]\n"
+                 " [resilience.json] [energy.json]\n"
                  "  events.jsonl     written by a bench with --events-out\n"
                  "  slo_report.json  written by a bench with --slo-report-out\n"
                  "  flight.jsonl     written by a bench with --flight-out\n"
-                 "  resilience.json  written by a bench with --resilience-out\n",
+                 "  resilience.json  written by a bench with --resilience-out\n"
+                 "  energy.json      written by a bench with --energy-out\n"
+                 "pass \"-\" to skip an optional position\n",
                  argv[0]);
     return 2;
   }
+  const auto arg_or_skip = [&](int index) -> const char* {
+    if (argc <= index) return nullptr;
+    return std::string_view(argv[index]) == "-" ? nullptr : argv[index];
+  };
   try {
     const std::map<int, PidLog> logs = load_events(argv[1]);
     std::size_t events = 0;
@@ -468,9 +531,10 @@ int main(int argc, char** argv) {
                 argv[1], events, logs.size());
     print_attribution(logs);
     print_alert_correlation(logs);
-    if (argc >= 3) print_slo_report(argv[2]);
-    if (argc >= 4) print_flight_join(logs, argv[3]);
-    if (argc >= 5) print_resilience_report(argv[4]);
+    if (const char* path = arg_or_skip(2)) print_slo_report(path);
+    if (const char* path = arg_or_skip(3)) print_flight_join(logs, path);
+    if (const char* path = arg_or_skip(4)) print_resilience_report(path);
+    if (const char* path = arg_or_skip(5)) print_energy_frontier(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "capgpu_report: %s\n", e.what());
     return 1;
