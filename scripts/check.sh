@@ -23,6 +23,11 @@ ctest --test-dir build -L flight --output-on-failure
 # coordinator strictly better than the health-disabled baseline).
 ctest --test-dir build -L chaos --output-on-failure
 
+# Fleet suite: cascade and fleet-sim unit tests plus the fleet_gate
+# determinism check (telemetry artifacts byte-identical across shard
+# layouts, scorecard stable across --shards).
+ctest --test-dir build -L fleet --output-on-failure
+
 # Release perf smoke: the allocation-free control-solve tests plus short
 # pipeline and control-solve self-perf runs. Gates on the reports' shape
 # (speedup fields present), on the pooled hot path not regressing below the
@@ -48,6 +53,18 @@ jq -e '.control_selfperf.configs | length > 0 and all(.fast_speedup != null)' \
   || { echo "FAIL: control_selfperf report missing speedup fields" >&2; exit 1; }
 jq -e '.control_selfperf.worst_speedup >= 1.0' /tmp/check_control.json >/dev/null \
   || { echo "FAIL: fast-path control solve slower than dense active-set (worst_speedup < 1.0)" >&2; exit 1; }
+./build-release/bench/bench_fleet_selfperf --reps 2 --out /tmp/check_fleet.json
+jq -e '.fleet_selfperf.topologies | length > 0 and all(.deterministic)' \
+  /tmp/check_fleet.json >/dev/null \
+  || { echo "FAIL: fleet_selfperf sharded run diverged from the serial reference" >&2; exit 1; }
+# Speedup gates need real cores; the bench records `workers` so a 1-core
+# builder skips them instead of flaking.
+jq -e '.fleet_selfperf | (.workers < 2) or (.worst_speedup >= 1.0)' \
+  /tmp/check_fleet.json >/dev/null \
+  || { echo "FAIL: sharded fleet stepping slower than serial (worst_speedup < 1.0)" >&2; exit 1; }
+jq -e '.fleet_selfperf | (.workers < 4) or (.speedup_256 >= 3.0)' \
+  /tmp/check_fleet.json >/dev/null \
+  || { echo "FAIL: fleet256 sharded speedup below 3x on >= 4 workers" >&2; exit 1; }
 
 status=0
 for b in build/bench/*; do

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Fleet determinism gate: the sharded fleet scenario must be bit-equal to
+# the serial reference no matter how it is scheduled. Runs the 16-rig gate
+# topology of bench_fleet_selfperf (which itself compares the cascade
+# decision trail against run_serial_reference) across a sweep of shard
+# layouts and byte-compares every telemetry artifact — Prometheus metrics,
+# per-request energy report, flight-recorder JSONL — between the serial
+# (--shards 1 --workers 1) and parallel (--shards 8 --workers 4) layouts.
+# Then the fleet chaos campaign's --resilience-out scorecard is compared
+# across --shards 1 vs --shards 8. Registered as the `fleet_gate` CTest
+# test (label `fleet`); scripts/check.sh runs it via ctest.
+#
+# Usage: check_fleet.sh <bench_fleet_selfperf> <bench_chaos_campaigns>
+set -euo pipefail
+
+FLEET="${1:?usage: check_fleet.sh <bench_fleet_selfperf> <bench_chaos_campaigns>}"
+CHAOS="${2:?usage: check_fleet.sh <bench_fleet_selfperf> <bench_chaos_campaigns>}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_gate() { # $1 = shards, $2 = workers, $3 = artifact prefix
+  "$FLEET" --gate 1 --shards "$1" --workers "$2" \
+    --metrics-out "$tmp/$3.metrics" \
+    --energy-out "$tmp/$3.energy" \
+    --flight-out "$tmp/$3.flight" > "$tmp/$3.out"
+  if grep -q FAIL "$tmp/$3.out"; then
+    echo "FAIL: gate run ($1 shards, $2 workers) diverged from serial"
+    sed 's/^/  | /' "$tmp/$3.out"
+    exit 1
+  fi
+}
+
+run_gate 1 1 serial
+run_gate 8 4 sharded
+for f in metrics energy flight; do
+  [ -s "$tmp/serial.$f" ] || { echo "FAIL: $f artifact empty"; exit 1; }
+  cmp "$tmp/serial.$f" "$tmp/sharded.$f" \
+    || { echo "FAIL: $f artifact differs between shard layouts"; exit 1; }
+done
+
+# Shard-count sweep: ragged chunking (3), one rig per shard (16), and more
+# shards than rigs (32, clamped) must all pass the bench's internal
+# decision compare against the serial reference.
+for s in 3 16 32; do
+  run_gate "$s" 2 "sweep$s"
+done
+
+# Fleet chaos campaign: the resilience scorecard must not move a byte when
+# the fleet is resharded.
+"$CHAOS" --shards 1 --jobs 1 --resilience-out "$tmp/res_s1.json" > /dev/null
+"$CHAOS" --shards 8 --jobs 2 --resilience-out "$tmp/res_s8.json" > /dev/null
+[ -s "$tmp/res_s1.json" ] || { echo "FAIL: resilience scorecard empty"; exit 1; }
+cmp "$tmp/res_s1.json" "$tmp/res_s8.json" \
+  || { echo "FAIL: campaign scorecard differs between --shards 1 and 8"; exit 1; }
+jq -e '.campaigns | map(select(.variant == "fleet")) | length >= 1' \
+  "$tmp/res_s1.json" > /dev/null \
+  || { echo "FAIL: no fleet-variant entry in the campaign scorecard"; exit 1; }
+
+echo "fleet gate: PASS (serial/sharded artifacts byte-identical, shard sweep clean)"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Performance report: builds Release, runs the engine, pipeline and
-# control-solve self-perf microbenchmarks, then times one parallel sweep
+# Performance report: builds Release, runs the engine, pipeline,
+# control-solve and fleet self-perf microbenchmarks, then times one parallel sweep
 # (bench_fig6_setpoint_sweep) at --jobs 1 vs --jobs $(nproc) and verifies
 # the outputs are byte-identical. Everything lands in BENCH_perf.json; the
 # format is documented in docs/performance.md.
@@ -13,7 +13,8 @@ JOBS="$(nproc)"
 cmake --preset release >/dev/null
 cmake --build build-release -j"$JOBS" \
   --target bench_engine_selfperf bench_pipeline_selfperf \
-  bench_control_selfperf bench_fig6_setpoint_sweep >/dev/null
+  bench_control_selfperf bench_fleet_selfperf \
+  bench_fig6_setpoint_sweep >/dev/null
 
 echo "==== engine self-perf (Release)"
 ./build-release/bench/bench_engine_selfperf --out "$OUT.selfperf"
@@ -23,6 +24,9 @@ echo "==== pipeline self-perf (Release)"
 
 echo "==== control self-perf (Release)"
 ./build-release/bench/bench_control_selfperf --reps 15 --out "$OUT.control"
+
+echo "==== fleet self-perf (Release)"
+./build-release/bench/bench_fleet_selfperf --reps 3 --out "$OUT.fleet"
 
 echo "==== fig6 sweep: --jobs 1 vs --jobs $JOBS"
 run_sweep() { # $1 = jobs, $2 = output file; prints elapsed seconds
@@ -46,7 +50,8 @@ echo "  sequential ${seq_s}s, parallel (${JOBS} jobs) ${par_s}s"
 jq --argjson seq "$seq_s" --argjson par "$par_s" --argjson jobs "$JOBS" \
   --slurpfile pipeline "$OUT.pipeline" \
   --slurpfile control "$OUT.control" \
-  '. + $pipeline[0] + $control[0]
+  --slurpfile fleet "$OUT.fleet" \
+  '. + $pipeline[0] + $control[0] + $fleet[0]
      + {parallel_sweep: {bench: "bench_fig6_setpoint_sweep",
                          scenarios: 35,
                          jobs: $jobs,
@@ -55,5 +60,5 @@ jq --argjson seq "$seq_s" --argjson par "$par_s" --argjson jobs "$JOBS" \
                          speedup: (if $par > 0 then $seq / $par else 0 end),
                          byte_identical: true}}' \
   "$OUT.selfperf" > "$OUT"
-rm -f "$OUT.selfperf" "$OUT.pipeline" "$OUT.control"
+rm -f "$OUT.selfperf" "$OUT.pipeline" "$OUT.control" "$OUT.fleet"
 echo "  [perf] $OUT"

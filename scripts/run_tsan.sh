@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # ThreadSanitizer verification of the parallel runner: configures the
 # `tsan` preset (CAPGPU_SANITIZER=thread into build-tsan/), builds the
-# runner test suite, and runs the `runner`-labeled tests under TSan. Any
-# data race aborts the run. See docs/performance.md.
+# runner test suite, and runs the `runner`-labeled tests under TSan, then
+# the sharded fleet gate (rigs stepped on the pool, telemetry scopes
+# merged at the barrier) with more shards than workers so hand-offs are
+# exercised. Any data race aborts the run. See docs/performance.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target capgpu_runner_tests
+cmake --build build-tsan -j"$(nproc)" --target capgpu_runner_tests \
+  bench_fleet_selfperf
 
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan -L runner -j"$(nproc)" --output-on-failure
+
+echo "==== sharded fleet gate under TSan"
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/bench/bench_fleet_selfperf --gate 1 --shards 8 --workers 4

@@ -36,6 +36,7 @@ CampaignConfig parse_campaign(const std::string& json_text) {
       doc.number_or("seed", static_cast<double>(cfg.seed)));
   if (doc.contains("topology")) {
     const json::Value& t = doc.at("topology");
+    cfg.topology.rows = static_cast<std::size_t>(t.number_or("rows", 1.0));
     cfg.topology.racks = static_cast<std::size_t>(t.number_or("racks", 1.0));
     cfg.topology.pdus_per_rack =
         static_cast<std::size_t>(t.number_or("pdus_per_rack", 2.0));

@@ -38,6 +38,7 @@ std::vector<std::string> split_path(const std::string& node) {
 }  // namespace
 
 DomainTopology validated(DomainTopology topology) {
+  CAPGPU_REQUIRE(topology.rows >= 1, "topology needs at least one row");
   CAPGPU_REQUIRE(topology.racks >= 1, "topology needs at least one rack");
   CAPGPU_REQUIRE(topology.pdus_per_rack >= 1,
                  "topology needs at least one PDU per rack");
@@ -69,11 +70,17 @@ DomainFaultKind fault_kind_from(const std::string& name) {
 DomainTree::DomainTree(DomainTopology topology, std::uint64_t seed)
     : topology_(validated(topology)), seed_(seed) {
   paths_.reserve(topology_.total_rigs());
-  for (std::size_t r = 0; r < topology_.racks; ++r) {
-    for (std::size_t p = 0; p < topology_.pdus_per_rack; ++p) {
-      for (std::size_t g = 0; g < topology_.rigs_per_pdu; ++g) {
-        paths_.push_back("rack" + std::to_string(r) + "/pdu" +
-                         std::to_string(p) + "/rig" + std::to_string(g));
+  for (std::size_t w = 0; w < topology_.rows; ++w) {
+    // The single-row facility keeps the legacy three-component paths so
+    // pre-fleet campaign JSON and scorecards replay byte-for-byte.
+    const std::string row_prefix =
+        topology_.rows > 1 ? "row" + std::to_string(w) + "/" : "";
+    for (std::size_t r = 0; r < topology_.racks; ++r) {
+      for (std::size_t p = 0; p < topology_.pdus_per_rack; ++p) {
+        for (std::size_t g = 0; g < topology_.rigs_per_pdu; ++g) {
+          paths_.push_back(row_prefix + "rack" + std::to_string(r) + "/pdu" +
+                           std::to_string(p) + "/rig" + std::to_string(g));
+        }
       }
     }
   }
@@ -87,42 +94,62 @@ const std::string& DomainTree::rig_path(std::size_t rig) const {
 std::vector<std::size_t> DomainTree::rigs_under(
     const std::string& node) const {
   const std::vector<std::string> parts = split_path(node);
-  CAPGPU_REQUIRE(parts.size() <= 3,
+  // With the implicit single row the first component is "rackR" (legacy
+  // paths); with rows > 1 every non-root path starts with "rowW".
+  const std::size_t tiers = topology_.rows > 1 ? 4 : 3;
+  CAPGPU_REQUIRE(parts.size() <= tiers,
                  "node path has too many components: \"" + node + "\"");
+  std::size_t row = 0;
   std::size_t rack = 0;
   std::size_t pdu = 0;
   std::size_t rig = 0;
-  if (parts.size() >= 1) {
-    CAPGPU_REQUIRE(parse_component(parts[0], "rack", rack) &&
+  std::size_t depth = 0;  // deepest tier the path names (0 = facility)
+  if (topology_.rows > 1 && !parts.empty()) {
+    CAPGPU_REQUIRE(parse_component(parts[0], "row", row) &&
+                       row < topology_.rows,
+                   "bad row component in node path: \"" + node + "\"");
+    depth = 1;
+  }
+  const std::size_t shift = topology_.rows > 1 ? 1 : 0;
+  if (parts.size() >= shift + 1) {
+    CAPGPU_REQUIRE(parse_component(parts[shift], "rack", rack) &&
                        rack < topology_.racks,
                    "bad rack component in node path: \"" + node + "\"");
+    depth = 2;
   }
-  if (parts.size() >= 2) {
-    CAPGPU_REQUIRE(parse_component(parts[1], "pdu", pdu) &&
+  if (parts.size() >= shift + 2) {
+    CAPGPU_REQUIRE(parse_component(parts[shift + 1], "pdu", pdu) &&
                        pdu < topology_.pdus_per_rack,
                    "bad pdu component in node path: \"" + node + "\"");
+    depth = 3;
   }
-  if (parts.size() >= 3) {
-    CAPGPU_REQUIRE(parse_component(parts[2], "rig", rig) &&
+  if (parts.size() >= shift + 3) {
+    CAPGPU_REQUIRE(parse_component(parts[shift + 2], "rig", rig) &&
                        rig < topology_.rigs_per_pdu,
                    "bad rig component in node path: \"" + node + "\"");
+    depth = 4;
   }
 
   std::vector<std::size_t> out;
-  const std::size_t racks_lo = parts.size() >= 1 ? rack : 0;
-  const std::size_t racks_hi = parts.size() >= 1 ? rack + 1 : topology_.racks;
-  const std::size_t pdus_lo = parts.size() >= 2 ? pdu : 0;
+  const std::size_t rows_lo = depth >= 1 ? row : 0;
+  const std::size_t rows_hi = depth >= 1 ? row + 1 : topology_.rows;
+  const std::size_t racks_lo = depth >= 2 ? rack : 0;
+  const std::size_t racks_hi = depth >= 2 ? rack + 1 : topology_.racks;
+  const std::size_t pdus_lo = depth >= 3 ? pdu : 0;
   const std::size_t pdus_hi =
-      parts.size() >= 2 ? pdu + 1 : topology_.pdus_per_rack;
-  const std::size_t rigs_lo = parts.size() >= 3 ? rig : 0;
+      depth >= 3 ? pdu + 1 : topology_.pdus_per_rack;
+  const std::size_t rigs_lo = depth >= 4 ? rig : 0;
   const std::size_t rigs_hi =
-      parts.size() >= 3 ? rig + 1 : topology_.rigs_per_pdu;
-  for (std::size_t r = racks_lo; r < racks_hi; ++r) {
-    for (std::size_t p = pdus_lo; p < pdus_hi; ++p) {
-      for (std::size_t g = rigs_lo; g < rigs_hi; ++g) {
-        out.push_back((r * topology_.pdus_per_rack + p) *
-                          topology_.rigs_per_pdu +
-                      g);
+      depth >= 4 ? rig + 1 : topology_.rigs_per_pdu;
+  for (std::size_t w = rows_lo; w < rows_hi; ++w) {
+    for (std::size_t r = racks_lo; r < racks_hi; ++r) {
+      for (std::size_t p = pdus_lo; p < pdus_hi; ++p) {
+        for (std::size_t g = rigs_lo; g < rigs_hi; ++g) {
+          out.push_back(((w * topology_.racks + r) * topology_.pdus_per_rack +
+                         p) *
+                            topology_.rigs_per_pdu +
+                        g);
+        }
       }
     }
   }
@@ -183,6 +210,17 @@ double DomainTree::budget_scale(double now) const {
   double scale = 1.0;
   for (const auto& event : budget_events_) {
     if (now >= event.start_s && now < event.end_s) scale *= event.scale;
+  }
+  return scale;
+}
+
+double DomainTree::node_scale(const std::string& node, double now) const {
+  (void)rigs_under(node);  // validates the path
+  double scale = 1.0;
+  for (const auto& event : budget_events_) {
+    if (event.node == node && now >= event.start_s && now < event.end_s) {
+      scale *= event.scale;
+    }
   }
   return scale;
 }

@@ -34,16 +34,26 @@
 namespace capgpu::faults {
 
 /// Shape of the domain hierarchy. Rigs are numbered globally in
-/// depth-first order: rig index = (rack * pdus_per_rack + pdu) *
-/// rigs_per_pdu + slot.
+/// depth-first order: rig index = ((row * racks + rack) * pdus_per_rack
+/// + pdu) * rigs_per_pdu + slot. `rows` defaults to 1 — the single
+/// implicit row every pre-fleet campaign assumed — and with rows == 1 the
+/// node paths stay the legacy three-component form ("rackR/pduP/rigI"),
+/// so existing campaign JSON replays bit-for-bit. With rows > 1 every
+/// path gains a leading "rowW/" component and `racks` means racks per
+/// row.
 struct DomainTopology {
   std::size_t racks{1};
   std::size_t pdus_per_rack{2};
   std::size_t rigs_per_pdu{2};
+  /// Rows of `racks` racks each. Declared last so the long-standing
+  /// three-field aggregate init `{racks, pdus, rigs}` keeps meaning a
+  /// single implicit row.
+  std::size_t rows{1};
 
   [[nodiscard]] std::size_t total_rigs() const {
-    return racks * pdus_per_rack * rigs_per_pdu;
+    return rows * racks * pdus_per_rack * rigs_per_pdu;
   }
+  [[nodiscard]] std::size_t total_racks() const { return rows * racks; }
 };
 
 /// Checks the topology's domain (every dimension >= 1); throws
@@ -92,14 +102,16 @@ class DomainTree {
   [[nodiscard]] const DomainTopology& topology() const { return topology_; }
   [[nodiscard]] std::size_t rig_count() const { return paths_.size(); }
 
-  /// The rig's node path, e.g. "rack0/pdu1/rig0".
+  /// The rig's node path, e.g. "rack0/pdu1/rig0" (rows == 1) or
+  /// "row1/rack0/pdu1/rig0" (rows > 1).
   [[nodiscard]] const std::string& rig_path(std::size_t rig) const;
 
-  /// Attaches a scripted fault to a node. `node` is "" for the whole row,
-  /// "rackR" for a rack, "rackR/pduP" for a PDU, or "rackR/pduP/rigI" for
-  /// a single rig. Throws InvalidArgument for a malformed path, an index
-  /// outside the topology, or a fault with a non-positive duration /
-  /// out-of-range magnitude.
+  /// Attaches a scripted fault to a node. `node` is "" for the whole
+  /// facility, then one path component per tier: with the implicit single
+  /// row, "rackR", "rackR/pduP", or "rackR/pduP/rigI"; with rows > 1 every
+  /// path starts with "rowW" ("row1", "row1/rack0", ...). Throws
+  /// InvalidArgument for a malformed path, an index outside the topology,
+  /// or a fault with a non-positive duration / out-of-range magnitude.
   void add_fault(const std::string& node, DomainFault fault);
 
   /// Global indices of every rig at or below `node` (validates the path).
@@ -121,6 +133,14 @@ class DomainTree {
   /// Product of every budget event's scale active at `now` (1.0 when the
   /// feed is clean).
   [[nodiscard]] double budget_scale(double now) const;
+
+  /// Product of the scales of budget events attached to exactly `node`
+  /// (not its descendants) active at `now`. The fleet cascade applies each
+  /// feed degradation at its own tier — a row brownout shrinks the row's
+  /// deliverable watts, a PDU brownout shrinks only its rigs' ceilings —
+  /// instead of folding every event into one rack-level scale the way
+  /// budget_scale() does. Validates the path.
+  [[nodiscard]] double node_scale(const std::string& node, double now) const;
 
   /// The attached faults, in insertion order (node path, fault).
   [[nodiscard]] const std::vector<std::pair<std::string, DomainFault>>&

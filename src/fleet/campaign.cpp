@@ -1,0 +1,183 @@
+#include "fleet/campaign.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace capgpu::fleet {
+
+namespace {
+
+/// Index of the last snap with t <= `time` (-1 when none).
+int snap_at(const std::vector<FleetPeriodSnap>& snaps, double time) {
+  int idx = -1;
+  for (std::size_t k = 0; k < snaps.size(); ++k) {
+    if (snaps[k].t <= time) idx = static_cast<int>(k);
+  }
+  return idx;
+}
+
+/// Error-budget fraction burned between two snaps (exclusive, inclusive]
+/// summed over `rigs`.
+double burn_between(const std::vector<FleetPeriodSnap>& snaps, int from,
+                    int to, const std::vector<std::size_t>& rigs,
+                    double objective) {
+  if (to < 0) return 0.0;
+  std::uint64_t checked = 0;
+  std::uint64_t missed = 0;
+  for (std::size_t i : rigs) {
+    const std::uint64_t c0 = from >= 0 ? snaps[from].checked[i] : 0;
+    const std::uint64_t m0 = from >= 0 ? snaps[from].missed[i] : 0;
+    checked += snaps[to].checked[i] - c0;
+    missed += snaps[to].missed[i] - m0;
+  }
+  if (checked == 0) return 0.0;
+  const double miss_rate =
+      static_cast<double>(missed) / static_cast<double>(checked);
+  return miss_rate / (1.0 - objective);
+}
+
+}  // namespace
+
+FleetCampaignResult run_fleet_campaign(const faults::CampaignConfig& config,
+                                       FleetOptions options) {
+  const faults::CampaignConfig cc = faults::validated(config);
+
+  FleetConfig fc;
+  fc.name = cc.name;
+  fc.topology = cc.topology;
+  fc.seed = cc.seed;
+  fc.facility_budget_w =
+      cc.rack_budget_w * static_cast<double>(cc.topology.total_racks());
+  fc.periods = cc.periods;
+  fc.period_s = cc.period_s;
+  fc.rebalance_every = cc.rebalance_every;
+  fc.offered_load = cc.offered_load;
+  fc.slo_s = cc.slo_s;
+  fc.rig_bounds = cc.bounds;
+  fc.health = cc.health;
+  fc.health.enabled = true;
+
+  FleetSim sim(std::move(fc), options);
+  for (const auto& stage : cc.stages) {
+    sim.add_fault(stage.node, stage.fault);
+  }
+  const faults::DomainTree& tree = sim.tree();
+
+  FleetCampaignResult out;
+  out.fleet = sim.run();
+  const FleetResult& fleet = out.fleet;
+  const double period_s = cc.period_s;
+
+  std::vector<std::size_t> all_rigs(fleet.rigs);
+  for (std::size_t i = 0; i < fleet.rigs; ++i) all_rigs[i] = i;
+
+  auto& registry = telemetry::ResilienceRegistry::current();
+  for (const auto& stage : cc.stages) {
+    const std::vector<std::size_t> affected = tree.rigs_under(stage.node);
+    const double fault_start = stage.fault.start_s;
+    const double fault_end = stage.fault.end_s();
+
+    telemetry::ResilienceEntry entry;
+    entry.pid = fleet.base_pid;
+    entry.campaign = cc.name;
+    entry.variant = "fleet";
+    entry.stage = stage.name;
+    entry.fault_kind = faults::fault_kind_name(stage.fault.kind);
+    entry.domain = stage.node.empty() ? "facility" : stage.node;
+    entry.fault_start_s = fault_start;
+    entry.fault_end_s = fault_end;
+
+    // Detection: the earliest coordinator demotion of an affected rig at
+    // or after fault onset. The fleet health log concatenates the racks'
+    // logs, so it is not globally time-sorted — take the minimum.
+    for (const auto& tr : fleet.health_log) {
+      if (tr.time_s < fault_start || tr.to == rack::RigHealth::kHealthy) {
+        continue;
+      }
+      bool ours = false;
+      for (std::size_t i : affected) ours |= tr.server == tree.rig_path(i);
+      if (ours && (entry.detected_at_s < 0.0 ||
+                   tr.time_s < entry.detected_at_s)) {
+        entry.detected_at_s = tr.time_s;
+      }
+    }
+
+    // Recovery: the first of 3 consecutive post-fault snaps in which every
+    // affected rig's governor is nominal and its coordinator holds it
+    // healthy (fleet campaigns always run health-managed).
+    const auto snap_good = [&](const FleetPeriodSnap& s) {
+      for (std::size_t i : affected) {
+        if (s.failsafe[i] != 0) return false;
+        if (s.health[i] != 0) return false;
+      }
+      return true;
+    };
+    constexpr std::size_t kSustain = 3;
+    for (std::size_t k = 0; k + kSustain <= fleet.snaps.size(); ++k) {
+      if (fleet.snaps[k].t < fault_end) continue;
+      bool good = true;
+      for (std::size_t j = 0; j < kSustain; ++j) {
+        good &= snap_good(fleet.snaps[k + j]);
+      }
+      if (good) {
+        entry.recovered_at_s = fleet.snaps[k].t;
+        entry.mttr_s = entry.recovered_at_s - fault_end;
+        break;
+      }
+    }
+
+    const int idx_start = snap_at(fleet.snaps, fault_start);
+    const int idx_end = snap_at(fleet.snaps, fault_end);
+    const int idx_last = static_cast<int>(fleet.snaps.size()) - 1;
+    // Burn over the whole fleet: the cascade's job is that every other
+    // rack absorbs the faulted domain's slack.
+    entry.slo_burn_during =
+        burn_between(fleet.snaps, idx_start, idx_end, all_rigs,
+                     fleet.objective);
+    entry.slo_burn_after = burn_between(fleet.snaps, idx_end, idx_last,
+                                        all_rigs, fleet.objective);
+
+    const double recovery_horizon = entry.recovered_at_s >= 0.0
+                                        ? entry.recovered_at_s
+                                        : fleet.snaps.back().t;
+    for (const FleetPeriodSnap& s : fleet.snaps) {
+      if (s.t <= fault_end || s.t > recovery_horizon) continue;
+      const double over = s.fleet_power_w - s.budget_w;
+      if (over > entry.recovery_overshoot_w) entry.recovery_overshoot_w = over;
+    }
+    for (const FleetPeriodSnap& s : fleet.snaps) {
+      if (s.t < fault_start) continue;
+      for (std::size_t i : affected) {
+        if (s.failsafe[i] != 0) entry.failsafe_dwell_s += period_s;
+      }
+    }
+    for (std::size_t i : affected) {
+      const std::uint64_t e0 =
+          idx_start >= 0 ? fleet.snaps[idx_start].engagements[i] : 0;
+      entry.failsafe_entries += fleet.snaps.back().engagements[i] - e0;
+    }
+    for (const auto& tr : fleet.health_log) {
+      if (tr.time_s < fault_start) continue;
+      for (std::size_t i : affected) {
+        if (tr.server == tree.rig_path(i)) {
+          ++entry.health_transitions;
+          break;
+        }
+      }
+    }
+
+    out.stages.push_back(entry);
+    registry.add(std::move(entry));
+  }
+
+  if (fleet.checked > 0) {
+    const double miss_rate = static_cast<double>(fleet.missed) /
+                             static_cast<double>(fleet.checked);
+    out.total_burn = miss_rate / (1.0 - fleet.objective);
+  }
+  return out;
+}
+
+}  // namespace capgpu::fleet

@@ -1,0 +1,35 @@
+// Chaos campaigns at fleet scope.
+//
+// Reuses the faults::CampaignConfig document — same JSON schema, same
+// DomainTree path grammar — but runs the staged fault timeline against a
+// whole FleetSim instead of a single rack: `rack_budget_w` becomes the
+// per-rack share of the facility budget, the stages' nodes may name rows
+// ("row1/rack2/pdu0"), and the scorecards land in
+// telemetry::ResilienceRegistry::current() under variant "fleet" (distinct
+// from run_campaign's "baseline"/"hardened" so A/B extraction scripts keep
+// seeing exactly one entry per variant). Scoring runs on the caller's
+// thread after the sharded run has merged, from the deterministic
+// FleetResult — so the scorecard bytes are identical for any
+// --shards/--jobs combination.
+#pragma once
+
+#include "faults/campaign.hpp"
+#include "fleet/fleet_sim.hpp"
+
+namespace capgpu::fleet {
+
+/// Aggregate outcome of one fleet campaign.
+struct FleetCampaignResult {
+  FleetResult fleet;
+  /// Lifetime error-budget fraction consumed across the whole fleet.
+  double total_burn{0.0};
+  std::vector<telemetry::ResilienceEntry> stages;  ///< copy of the entries
+};
+
+/// Runs the campaign against the fleet, health management always on (the
+/// fleet campaign scores the hierarchy, not the health A/B). Facility
+/// budget = config.rack_budget_w * racks.
+[[nodiscard]] FleetCampaignResult run_fleet_campaign(
+    const faults::CampaignConfig& config, FleetOptions options = {});
+
+}  // namespace capgpu::fleet

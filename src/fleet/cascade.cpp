@@ -1,0 +1,157 @@
+#include "fleet/cascade.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "rack/allocation.hpp"
+
+namespace capgpu::fleet {
+
+std::string row_node(const faults::DomainTopology& topology, std::size_t w) {
+  CAPGPU_REQUIRE(w < topology.rows, "row index out of range");
+  return topology.rows > 1 ? "row" + std::to_string(w) : std::string{};
+}
+
+std::string rack_node(const faults::DomainTopology& topology, std::size_t w,
+                      std::size_t r) {
+  CAPGPU_REQUIRE(r < topology.racks, "rack index out of range");
+  const std::string row = row_node(topology, w);
+  const std::string rack = "rack" + std::to_string(r);
+  return row.empty() ? rack : row + "/" + rack;
+}
+
+std::string pdu_node(const faults::DomainTopology& topology, std::size_t w,
+                     std::size_t r, std::size_t p) {
+  CAPGPU_REQUIRE(p < topology.pdus_per_rack, "pdu index out of range");
+  return rack_node(topology, w, r) + "/pdu" + std::to_string(p);
+}
+
+std::vector<rack::AllocationBounds> rig_feed_bounds(
+    const faults::DomainTree& tree, const CascadeConfig& config, double now) {
+  const faults::DomainTopology& topo = tree.topology();
+  std::vector<rack::AllocationBounds> out;
+  out.reserve(tree.rig_count());
+  std::size_t rig = 0;
+  for (std::size_t w = 0; w < topo.rows; ++w) {
+    for (std::size_t r = 0; r < topo.racks; ++r) {
+      for (std::size_t p = 0; p < topo.pdus_per_rack; ++p) {
+        const double pdu_scale = tree.node_scale(pdu_node(topo, w, r, p), now);
+        for (std::size_t g = 0; g < topo.rigs_per_pdu; ++g, ++rig) {
+          const double scale =
+              pdu_scale * tree.node_scale(tree.rig_path(rig), now);
+          const double max_w = config.rig_bounds.max * scale;
+          out.push_back({std::min(config.rig_bounds.min, max_w), max_w});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CascadeDecision cascade_tiers(const faults::DomainTree& tree,
+                              const CascadeConfig& config,
+                              const std::vector<RigSignals>& signals,
+                              double now) {
+  const faults::DomainTopology& topo = tree.topology();
+  const std::size_t n = tree.rig_count();
+  CAPGPU_REQUIRE(signals.size() == n, "one RigSignals entry per rig");
+  CAPGPU_REQUIRE(config.facility_budget_w > 0.0,
+                 "facility budget must be positive");
+  CAPGPU_REQUIRE(config.burn_weight_clamp >= 0.0,
+                 "burn_weight_clamp must be >= 0");
+
+  const std::vector<rack::AllocationBounds> rig_bounds =
+      rig_feed_bounds(tree, config, now);
+  const std::size_t rigs_per_rack = topo.pdus_per_rack * topo.rigs_per_pdu;
+
+  // Bottom-up aggregation: each rack's floor is the sum of its rigs'
+  // guaranteed minima, its ceiling the sum of their deliverable maxima
+  // scaled by the rack node's own degradation (floors clamp to stay
+  // feasible — a browned-out feed cannot deliver even the minima). A
+  // rack's steering weight sums its healthy rigs' demand * (1 + burn).
+  std::vector<rack::AllocationBounds> rack_bounds;
+  std::vector<double> rack_weights;
+  rack_bounds.reserve(topo.total_racks());
+  rack_weights.reserve(topo.total_racks());
+  std::size_t rig = 0;
+  for (std::size_t w = 0; w < topo.rows; ++w) {
+    for (std::size_t r = 0; r < topo.racks; ++r) {
+      double floor_w = 0.0;
+      double cap_w = 0.0;
+      double weight = 0.0;
+      for (std::size_t j = 0; j < rigs_per_rack; ++j, ++rig) {
+        floor_w += rig_bounds[rig].min;
+        cap_w += rig_bounds[rig].max;
+        if (signals[rig].healthy) {
+          const double burn = std::clamp(signals[rig].slo_burn, 0.0,
+                                         config.burn_weight_clamp);
+          weight +=
+              std::clamp(signals[rig].demand, 0.0, 1.0) * (1.0 + burn);
+        }
+      }
+      const double scale = tree.node_scale(rack_node(topo, w, r), now);
+      cap_w *= scale;
+      rack_bounds.push_back({std::min(floor_w, cap_w), cap_w});
+      rack_weights.push_back(weight);
+    }
+  }
+
+  // Row tier aggregates its racks the same way.
+  std::vector<rack::AllocationBounds> row_bounds;
+  std::vector<double> row_weights;
+  row_bounds.reserve(topo.rows);
+  row_weights.reserve(topo.rows);
+  for (std::size_t w = 0; w < topo.rows; ++w) {
+    double floor_w = 0.0;
+    double cap_w = 0.0;
+    double weight = 0.0;
+    for (std::size_t r = 0; r < topo.racks; ++r) {
+      floor_w += rack_bounds[w * topo.racks + r].min;
+      cap_w += rack_bounds[w * topo.racks + r].max;
+      weight += rack_weights[w * topo.racks + r];
+    }
+    // With the implicit single row the root node "" doubles as the row
+    // node; its scale is applied once, at the facility tier below.
+    const double scale =
+        topo.rows > 1 ? tree.node_scale(row_node(topo, w), now) : 1.0;
+    cap_w *= scale;
+    row_bounds.push_back({std::min(floor_w, cap_w), cap_w});
+    row_weights.push_back(weight);
+  }
+
+  CascadeDecision decision;
+  decision.time_s = now;
+  decision.facility_budget_w = config.facility_budget_w;
+  decision.deliverable_w =
+      config.facility_budget_w * tree.node_scale("", now);
+
+  double floors_w = 0.0;
+  for (const auto& b : rack_bounds) floors_w += b.min;
+  decision.oversubscribed_w =
+      std::max(0.0, floors_w - decision.deliverable_w);
+
+  // Top-down: facility → rows, then each row → its racks. When every
+  // weight in a pass is zero (idle fleet, or every rig quarantined) the
+  // allocation falls back to an equal split of the spare — see
+  // rack::proportional_allocation.
+  decision.row_w = rack::proportional_allocation(decision.deliverable_w,
+                                                 row_bounds, row_weights);
+  decision.rack_w.reserve(topo.total_racks());
+  for (std::size_t w = 0; w < topo.rows; ++w) {
+    const std::vector<rack::AllocationBounds> bounds(
+        rack_bounds.begin() + static_cast<std::ptrdiff_t>(w * topo.racks),
+        rack_bounds.begin() +
+            static_cast<std::ptrdiff_t>((w + 1) * topo.racks));
+    const std::vector<double> weights(
+        rack_weights.begin() + static_cast<std::ptrdiff_t>(w * topo.racks),
+        rack_weights.begin() +
+            static_cast<std::ptrdiff_t>((w + 1) * topo.racks));
+    const std::vector<double> grants =
+        rack::proportional_allocation(decision.row_w[w], bounds, weights);
+    decision.rack_w.insert(decision.rack_w.end(), grants.begin(),
+                           grants.end());
+  }
+  return decision;
+}
+
+}  // namespace capgpu::fleet

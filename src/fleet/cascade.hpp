@@ -1,0 +1,95 @@
+// Deterministic hierarchical budget cascade: facility → row → rack.
+//
+// The fleet layer divides one facility budget down the fault-domain
+// hierarchy every control epoch. Each tier is one water-filling pass
+// (rack::proportional_allocation) over the child nodes' aggregated
+// bounds, weighted by demand times (1 + clamped SLO burn) summed over the
+// node's healthy rigs — so oversubscribed watts drain toward the racks
+// whose SLOs are burning, the same steering rule the rack tier applies to
+// individual rigs. Feed degradations from the DomainTree apply at their
+// own node: a root budget_slash shrinks the facility's deliverable watts,
+// a row brownout caps that row, a PDU brownout lowers only its rigs'
+// ceilings (rig_feed_bounds). The rack → rig tier is not solved here —
+// each rack's RackCoordinator owns it, with its health management and
+// quarantine logic intact.
+//
+// Everything in this header is a pure function of (tree, config, signals,
+// now): no RNG, no clock, no iteration-order dependence — the cascade
+// decision is bit-identical for any shard/worker layout by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "faults/domain_tree.hpp"
+#include "rack/allocation.hpp"
+
+namespace capgpu::fleet {
+
+/// Per-rig signals sampled at an epoch barrier, in topology (global rig
+/// index) order.
+struct RigSignals {
+  double demand{0.0};    ///< [0, 1], e.g. core::ServerRig::gpu_demand()
+  double slo_burn{0.0};  ///< >= 0, e.g. SloBurnMonitor::fast_burn()
+  /// False when the rig's rack coordinator holds it quarantined
+  /// (failsafe/dead): it contributes its floor but no steering weight.
+  bool healthy{true};
+};
+
+/// Cascade knobs.
+struct CascadeConfig {
+  double facility_budget_w{0.0};
+  /// Undegraded per-rig budget bounds (the rack tier's registration
+  /// bounds).
+  rack::AllocationBounds rig_bounds{500.0, 650.0};
+  /// Burn clamp mirrored from the rack tier: weight *= 1 + min(burn,
+  /// clamp).
+  double burn_weight_clamp{10.0};
+};
+
+/// One cascade solve: the watts granted at each tier, topology order.
+struct CascadeDecision {
+  double time_s{0.0};
+  double facility_budget_w{0.0};  ///< requested facility budget
+  double deliverable_w{0.0};      ///< after root-node feed degradation
+  /// max(0, sum of rack floors - deliverable): watts of guaranteed minima
+  /// the feed cannot cover. Positive means load must be shed (the paper's
+  /// Sec 4.4 infeasibility caveat at facility scope).
+  double oversubscribed_w{0.0};
+  std::vector<double> row_w;   ///< per row
+  std::vector<double> rack_w;  ///< per rack, row-major
+
+  [[nodiscard]] bool operator==(const CascadeDecision& other) const {
+    return time_s == other.time_s &&
+           facility_budget_w == other.facility_budget_w &&
+           deliverable_w == other.deliverable_w &&
+           oversubscribed_w == other.oversubscribed_w &&
+           row_w == other.row_w && rack_w == other.rack_w;
+  }
+};
+
+/// Per-rig deliverable budget bounds under the feed degradations active at
+/// `now`: bounds.max scaled by the product of the scales attached to the
+/// rig's PDU and to the rig itself (row/rack/root scales apply at their
+/// own tier inside cascade_tiers); bounds.min clamped to stay <= max.
+/// Topology order.
+[[nodiscard]] std::vector<rack::AllocationBounds> rig_feed_bounds(
+    const faults::DomainTree& tree, const CascadeConfig& config, double now);
+
+/// Solves the facility → row → rack cascade. `signals` must have one entry
+/// per rig in topology order.
+[[nodiscard]] CascadeDecision cascade_tiers(
+    const faults::DomainTree& tree, const CascadeConfig& config,
+    const std::vector<RigSignals>& signals, double now);
+
+/// The row node path for row `w` ("" with the implicit single row) and the
+/// rack node path for (row `w`, rack `r`) — the DomainTree path grammar.
+[[nodiscard]] std::string row_node(const faults::DomainTopology& topology,
+                                   std::size_t w);
+[[nodiscard]] std::string rack_node(const faults::DomainTopology& topology,
+                                    std::size_t w, std::size_t r);
+[[nodiscard]] std::string pdu_node(const faults::DomainTopology& topology,
+                                   std::size_t w, std::size_t r,
+                                   std::size_t p);
+
+}  // namespace capgpu::fleet

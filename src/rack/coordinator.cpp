@@ -51,6 +51,18 @@ void RackCoordinator::add_server(ServerEndpoint endpoint) {
   CAPGPU_REQUIRE(static_cast<bool>(endpoint.measured_power),
                  "server needs a measured_power endpoint");
   CAPGPU_REQUIRE(endpoint.priority > 0.0, "priority must be positive");
+  CAPGPU_REQUIRE(!endpoint.name.empty(), "server needs a non-empty name");
+  for (const auto& s : servers_) {
+    CAPGPU_REQUIRE(s.name != endpoint.name,
+                   "duplicate server name: \"" + endpoint.name + "\"");
+  }
+  // Validate the budget bounds here rather than letting the first
+  // rebalance's proportional_allocation reject them: a misconfigured rig
+  // should fail at registration, not minutes into a campaign.
+  CAPGPU_REQUIRE(
+      endpoint.bounds.min > 0.0 && endpoint.bounds.max >= endpoint.bounds.min,
+      "server budget bounds must satisfy 0 < min <= max (server \"" +
+          endpoint.name + "\")");
   auto& registry = telemetry::MetricsRegistry::current();
   const telemetry::Labels by_server{{"server", endpoint.name}};
   budget_metrics_.push_back(
@@ -69,6 +81,20 @@ void RackCoordinator::add_server(ServerEndpoint endpoint) {
   }
   rig_health_.push_back(hs);
   servers_.push_back(std::move(endpoint));
+}
+
+void RackCoordinator::set_server_bounds(std::size_t i,
+                                        AllocationBounds bounds) {
+  CAPGPU_REQUIRE(i < servers_.size(), "server index out of range");
+  CAPGPU_REQUIRE(bounds.min > 0.0 && bounds.max >= bounds.min,
+                 "server budget bounds must satisfy 0 < min <= max (server \"" +
+                     servers_[i].name + "\")");
+  servers_[i].bounds = bounds;
+}
+
+const AllocationBounds& RackCoordinator::server_bounds(std::size_t i) const {
+  CAPGPU_REQUIRE(i < servers_.size(), "server index out of range");
+  return servers_[i].bounds;
 }
 
 void RackCoordinator::set_health_config(RigHealthConfig config) {

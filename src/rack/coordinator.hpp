@@ -118,8 +118,20 @@ class RackCoordinator {
   RackCoordinator(Watts rack_budget, RackPolicy policy,
                   double demand_smoothing = 0.3);
 
+  /// Registers a server. Throws InvalidArgument at registration time — not
+  /// on the first rebalance — for a missing set_budget / measured_power
+  /// endpoint, an empty or duplicate name, a non-positive priority, or
+  /// budget bounds outside 0 < min <= max.
   void add_server(ServerEndpoint endpoint);
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+
+  /// Replaces server `i`'s budget bounds (registration order). The fleet
+  /// cascade uses this to push feed-degradation ceilings — a browned-out
+  /// PDU lowers its rigs' deliverable max — before each rebalance. Throws
+  /// InvalidArgument for an out-of-range index or bounds outside
+  /// 0 < min <= max.
+  void set_server_bounds(std::size_t i, AllocationBounds bounds);
+  [[nodiscard]] const AllocationBounds& server_bounds(std::size_t i) const;
 
   void set_rack_budget(Watts budget);
   [[nodiscard]] Watts rack_budget() const { return rack_budget_; }

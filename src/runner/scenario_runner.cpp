@@ -56,10 +56,7 @@ void ScenarioRunner::run(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) run_one(i);
   } else {
     ThreadPool pool(jobs_ < count ? jobs_ : count);
-    for (std::size_t i = 0; i < count; ++i) {
-      pool.submit([&, i] { run_one(i); });
-    }
-    pool.wait_idle();
+    pool.parallel_for(count, run_one);
   }
 
   // Ordered merge-on-join: scenario order, stopping at the lowest failed

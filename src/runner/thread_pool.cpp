@@ -124,6 +124,15 @@ void ThreadPool::wait_idle() {
   if (leaked) std::rethrow_exception(leaked);
 }
 
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  CAPGPU_REQUIRE(static_cast<bool>(fn), "parallel_for needs a function");
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
 std::size_t ThreadPool::hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;

@@ -46,6 +46,16 @@ class ThreadPool {
   /// first exception a task leaked (if any).
   void wait_idle();
 
+  /// Runs `fn(0) .. fn(count - 1)` across the workers and blocks until all
+  /// have finished — one parallel phase plus its barrier, the shape both
+  /// the scenario runner and the fleet layer's lockstep epochs need. `fn`
+  /// is shared by every worker and must be safe to invoke concurrently
+  /// with distinct indices. Exceptions leaked by `fn` surface from the
+  /// barrier exactly as from wait_idle(); callers that need deterministic
+  /// error attribution should catch inside `fn` and stash per index.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Concurrency to use for `--jobs 0`: the hardware thread count, or 1

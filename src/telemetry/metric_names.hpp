@@ -70,6 +70,20 @@ inline constexpr const char* kRackHealthTransitions =
 inline constexpr const char* kRackQuarantinedBudgetWatts =
     "capgpu_rack_quarantined_budget_watts";
 
+// --- fleet simulation (fleet::FleetSim hierarchical budget cascade) ---
+inline constexpr const char* kFleetEpochs = "capgpu_fleet_epochs_total";
+inline constexpr const char* kFleetRigPeriods =
+    "capgpu_fleet_rig_periods_total";
+inline constexpr const char* kFleetCascades = "capgpu_fleet_cascades_total";
+inline constexpr const char* kFleetRowBudgetWatts =
+    "capgpu_fleet_row_budget_watts";
+inline constexpr const char* kFleetRackBudgetWatts =
+    "capgpu_fleet_rack_budget_watts";
+inline constexpr const char* kFleetDeliverableWatts =
+    "capgpu_fleet_deliverable_watts";
+inline constexpr const char* kFleetOversubscribedWatts =
+    "capgpu_fleet_oversubscribed_watts";
+
 // --- fail-safe hardening (core::FailSafeGovernor / core::ControlLoop) ---
 inline constexpr const char* kLoopHeldPeriods =
     "capgpu_loop_held_periods_total";

@@ -119,6 +119,85 @@ TEST(DomainTree, PathValidationThrows) {
   EXPECT_THROW((DomainTree{{0, 2, 2}, 1}), InvalidArgument);
 }
 
+TEST(DomainTree, RowTopologyPrefixesPathsAndIndexesRowMajor) {
+  DomainTree tree({2, 2, 2, 2}, 1);  // 2 rows of 2 racks
+  ASSERT_EQ(tree.rig_count(), 16u);
+  EXPECT_EQ(tree.rig_path(0), "row0/rack0/pdu0/rig0");
+  EXPECT_EQ(tree.rig_path(7), "row0/rack1/pdu1/rig1");
+  EXPECT_EQ(tree.rig_path(8), "row1/rack0/pdu0/rig0");
+  EXPECT_EQ(tree.rig_path(15), "row1/rack1/pdu1/rig1");
+}
+
+TEST(DomainTree, RigsUnderRowNodes) {
+  DomainTree tree({2, 2, 2, 2}, 1);
+  EXPECT_EQ(tree.rigs_under("").size(), 16u);
+  EXPECT_EQ(tree.rigs_under("row1"),
+            (std::vector<std::size_t>{8, 9, 10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(tree.rigs_under("row0/rack1"),
+            (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(tree.rigs_under("row1/rack0/pdu1"),
+            (std::vector<std::size_t>{10, 11}));
+  // With rows > 1 every non-root path must start at the row tier.
+  EXPECT_THROW((void)tree.rigs_under("rack0"), InvalidArgument);
+  EXPECT_THROW((void)tree.rigs_under("row2"), InvalidArgument);
+}
+
+TEST(DomainTree, RowFaultFansOutToThatRowOnly) {
+  DomainTree tree({2, 2, 2, 2}, 1);
+  tree.add_fault("row1", fault_of(DomainFaultKind::kBrownout, 50.0, 25.0));
+  for (std::size_t rig = 0; rig < 8; ++rig) {
+    EXPECT_TRUE(tree.rig_plan(rig).meter_dark.empty()) << "rig " << rig;
+  }
+  for (std::size_t rig = 8; rig < 16; ++rig) {
+    const hal::FaultPlan plan = tree.rig_plan(rig);
+    ASSERT_EQ(plan.meter_dark.size(), 1u) << "rig " << rig;
+    EXPECT_DOUBLE_EQ(plan.meter_dark[0].start.value, 50.0);
+  }
+}
+
+TEST(DomainTree, NodeScaleCountsOnlyEventsAtThatExactNode) {
+  DomainTree tree({2, 2, 2, 2}, 1);
+  tree.add_fault("row0",
+                 fault_of(DomainFaultKind::kBrownout, 100.0, 50.0, 0.3));
+  tree.add_fault("row0/rack1",
+                 fault_of(DomainFaultKind::kBudgetSlash, 100.0, 50.0, 0.5));
+  EXPECT_DOUBLE_EQ(tree.node_scale("row0", 120.0), 0.7);
+  EXPECT_DOUBLE_EQ(tree.node_scale("row0/rack1", 120.0), 0.5);
+  EXPECT_DOUBLE_EQ(tree.node_scale("row0/rack0", 120.0), 1.0);
+  EXPECT_DOUBLE_EQ(tree.node_scale("", 120.0), 1.0);
+  EXPECT_DOUBLE_EQ(tree.node_scale("row0", 200.0), 1.0);  // cleared
+  EXPECT_THROW((void)tree.node_scale("rack0", 0.0), InvalidArgument);
+}
+
+TEST(DomainTree, SingleRowNodeScaleUsesLegacyPaths) {
+  DomainTree tree({2, 2, 2}, 1);
+  tree.add_fault("rack1",
+                 fault_of(DomainFaultKind::kBrownout, 10.0, 10.0, 0.2));
+  tree.add_fault("", fault_of(DomainFaultKind::kBudgetSlash, 10.0, 10.0, 0.4));
+  EXPECT_DOUBLE_EQ(tree.node_scale("rack1", 15.0), 0.8);
+  EXPECT_DOUBLE_EQ(tree.node_scale("", 15.0), 0.6);
+  EXPECT_DOUBLE_EQ(tree.node_scale("rack0", 15.0), 1.0);
+}
+
+TEST(DomainTree, RowSplitPreservesPerRigFaultRealizations) {
+  // Reshaping 4 racks into 2 rows x 2 racks relabels the domain paths but
+  // must not move any rig's seed or fault windows: the plan depends only
+  // on (tree seed, global rig index, fault timeline).
+  DomainTree flat({4, 2, 2}, 99);
+  DomainTree rows({2, 2, 2, 2}, 99);
+  flat.add_fault("", fault_of(DomainFaultKind::kBlackout, 30.0, 20.0));
+  rows.add_fault("", fault_of(DomainFaultKind::kBlackout, 30.0, 20.0));
+  ASSERT_EQ(flat.rig_count(), rows.rig_count());
+  for (std::size_t rig = 0; rig < flat.rig_count(); ++rig) {
+    const hal::FaultPlan a = flat.rig_plan(rig);
+    const hal::FaultPlan b = rows.rig_plan(rig);
+    EXPECT_EQ(a.seed, b.seed) << "rig " << rig;
+    ASSERT_EQ(a.actuation_blackout.size(), b.actuation_blackout.size());
+    EXPECT_DOUBLE_EQ(a.actuation_blackout[0].end.value,
+                     b.actuation_blackout[0].end.value);
+  }
+}
+
 TEST(DomainTree, FaultKindNamesRoundTrip) {
   for (const auto kind :
        {DomainFaultKind::kBrownout, DomainFaultKind::kBudgetSlash,

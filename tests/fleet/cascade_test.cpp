@@ -1,0 +1,196 @@
+#include "fleet/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace capgpu::fleet {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+faults::DomainFault fault_of(faults::DomainFaultKind kind, double start,
+                             double duration, double magnitude) {
+  faults::DomainFault f;
+  f.kind = kind;
+  f.start_s = start;
+  f.duration_s = duration;
+  f.magnitude = magnitude;
+  return f;
+}
+
+CascadeConfig config_of(double budget) {
+  CascadeConfig cc;
+  cc.facility_budget_w = budget;
+  cc.rig_bounds = {500.0, 650.0};
+  return cc;
+}
+
+std::vector<RigSignals> uniform_signals(std::size_t n, double demand = 0.8,
+                                        double burn = 0.0) {
+  std::vector<RigSignals> s(n);
+  for (auto& e : s) {
+    e.demand = demand;
+    e.slo_burn = burn;
+  }
+  return s;
+}
+
+TEST(Cascade, NodePathBuilders) {
+  faults::DomainTopology single{2, 2, 2};
+  EXPECT_EQ(row_node(single, 0), "");
+  EXPECT_EQ(rack_node(single, 0, 1), "rack1");
+  EXPECT_EQ(pdu_node(single, 0, 1, 0), "rack1/pdu0");
+
+  faults::DomainTopology rows{2, 2, 2, 3};
+  EXPECT_EQ(row_node(rows, 2), "row2");
+  EXPECT_EQ(rack_node(rows, 1, 0), "row1/rack0");
+  EXPECT_EQ(pdu_node(rows, 1, 0, 1), "row1/rack0/pdu1");
+}
+
+TEST(Cascade, ConservesDeliverableAcrossTiers) {
+  faults::DomainTree tree({2, 2, 2, 2}, 1);  // 2 rows x 2 racks x 4 rigs
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+  const CascadeDecision d =
+      cascade_tiers(tree, cc, uniform_signals(n), 10.0);
+
+  EXPECT_DOUBLE_EQ(d.deliverable_w, cc.facility_budget_w);
+  EXPECT_DOUBLE_EQ(d.oversubscribed_w, 0.0);
+  ASSERT_EQ(d.row_w.size(), 2u);
+  ASSERT_EQ(d.rack_w.size(), 4u);
+  EXPECT_NEAR(sum(d.row_w), d.deliverable_w, 1e-9);
+  EXPECT_NEAR(d.rack_w[0] + d.rack_w[1], d.row_w[0], 1e-9);
+  EXPECT_NEAR(d.rack_w[2] + d.rack_w[3], d.row_w[1], 1e-9);
+}
+
+TEST(Cascade, OversubscribedBudgetFallsBackToFloors) {
+  faults::DomainTree tree({2, 2, 2}, 1);  // 8 rigs, floors sum to 4000
+  const CascadeConfig cc = config_of(3000.0);
+  const CascadeDecision d = cascade_tiers(tree, cc, uniform_signals(8), 0.0);
+
+  EXPECT_DOUBLE_EQ(d.oversubscribed_w, 8 * 500.0 - 3000.0);
+  // proportional_allocation hands every entry its floor when the minima
+  // alone exceed the budget.
+  for (const double w : d.rack_w) EXPECT_DOUBLE_EQ(w, 4 * 500.0);
+}
+
+TEST(Cascade, SloBurnSteersSpareTowardBurningRack) {
+  faults::DomainTree tree({2, 2, 2}, 1);
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+  auto signals = uniform_signals(n);
+  for (std::size_t i = 4; i < 8; ++i) signals[i].slo_burn = 4.0;  // rack1
+
+  const CascadeDecision d = cascade_tiers(tree, cc, signals, 0.0);
+  EXPECT_GT(d.rack_w[1], d.rack_w[0]);
+  EXPECT_NEAR(sum(d.rack_w), d.deliverable_w, 1e-9);
+}
+
+TEST(Cascade, BurnWeightIsClamped) {
+  faults::DomainTree tree({2, 2, 2}, 1);
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+  auto extreme = uniform_signals(n);
+  auto clamped = uniform_signals(n);
+  for (std::size_t i = 4; i < 8; ++i) {
+    extreme[i].slo_burn = 1e9;
+    clamped[i].slo_burn = cc.burn_weight_clamp;
+  }
+  const CascadeDecision a = cascade_tiers(tree, cc, extreme, 0.0);
+  const CascadeDecision b = cascade_tiers(tree, cc, clamped, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Cascade, QuarantinedRigsKeepFloorsButLoseWeight) {
+  faults::DomainTree tree({2, 1, 2}, 1);  // 2 racks x 2 rigs
+  const CascadeConfig cc = config_of(4 * 560.0);
+  auto signals = uniform_signals(4);
+  signals[0].healthy = false;
+  signals[1].healthy = false;  // all of rack0 quarantined
+
+  const CascadeDecision d = cascade_tiers(tree, cc, signals, 0.0);
+  // rack0 contributes zero steering weight: it gets its floor, all of the
+  // spare (4*560 - 4*500 = 240 W) drains to rack1.
+  EXPECT_DOUBLE_EQ(d.rack_w[0], 2 * 500.0);
+  EXPECT_DOUBLE_EQ(d.rack_w[1], 2 * 500.0 + 240.0);
+}
+
+TEST(Cascade, RootBudgetSlashShrinksDeliverable) {
+  faults::DomainTree tree({2, 2, 2}, 1);
+  tree.add_fault("", fault_of(faults::DomainFaultKind::kBudgetSlash, 0.0,
+                              100.0, 0.25));
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+
+  const CascadeDecision active = cascade_tiers(tree, cc, uniform_signals(n), 50.0);
+  EXPECT_DOUBLE_EQ(active.deliverable_w, cc.facility_budget_w * 0.75);
+
+  const CascadeDecision cleared = cascade_tiers(tree, cc, uniform_signals(n), 200.0);
+  EXPECT_DOUBLE_EQ(cleared.deliverable_w, cc.facility_budget_w);
+}
+
+TEST(Cascade, RackBrownoutCapsOnlyThatRack) {
+  faults::DomainTree tree({2, 2, 2}, 1);
+  tree.add_fault("rack0", fault_of(faults::DomainFaultKind::kBrownout, 0.0,
+                                   100.0, 0.5));
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+
+  const CascadeDecision d = cascade_tiers(tree, cc, uniform_signals(n), 50.0);
+  // rack0's ceiling halves: 4 * 650 * 0.5 = 1300; its floor clamps down to
+  // the ceiling too (the feed cannot deliver the nominal minima).
+  EXPECT_DOUBLE_EQ(d.rack_w[0], 1300.0);
+  EXPECT_GT(d.rack_w[1], d.rack_w[0]);
+}
+
+TEST(Cascade, PduBrownoutLowersOnlyItsRigsFeedBounds) {
+  faults::DomainTree tree({1, 2, 2}, 1);
+  tree.add_fault("rack0/pdu1", fault_of(faults::DomainFaultKind::kBrownout,
+                                        0.0, 100.0, 0.4));
+  const CascadeConfig cc = config_of(4 * 560.0);
+
+  const auto bounds = rig_feed_bounds(tree, cc, 50.0);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0].max, 650.0);
+  EXPECT_DOUBLE_EQ(bounds[1].max, 650.0);
+  EXPECT_DOUBLE_EQ(bounds[2].max, 650.0 * 0.6);
+  EXPECT_DOUBLE_EQ(bounds[3].max, 650.0 * 0.6);
+  // Floors clamp to stay feasible under the degraded ceiling.
+  EXPECT_DOUBLE_EQ(bounds[2].min, std::min(500.0, 650.0 * 0.6));
+
+  const auto cleared = rig_feed_bounds(tree, cc, 200.0);
+  EXPECT_DOUBLE_EQ(cleared[2].max, 650.0);
+}
+
+TEST(Cascade, SingleRowTopologyGetsOneRowEqualToDeliverable) {
+  faults::DomainTree tree({3, 2, 2}, 1);
+  const std::size_t n = tree.rig_count();
+  const CascadeConfig cc = config_of(560.0 * static_cast<double>(n));
+  const CascadeDecision d = cascade_tiers(tree, cc, uniform_signals(n), 0.0);
+  ASSERT_EQ(d.row_w.size(), 1u);
+  EXPECT_NEAR(d.row_w[0], d.deliverable_w, 1e-9);
+  ASSERT_EQ(d.rack_w.size(), 3u);
+  EXPECT_NEAR(sum(d.rack_w), d.deliverable_w, 1e-9);
+}
+
+TEST(Cascade, ValidationThrows) {
+  faults::DomainTree tree({1, 2, 2}, 1);
+  EXPECT_THROW(
+      (void)cascade_tiers(tree, config_of(1000.0), uniform_signals(3), 0.0),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)cascade_tiers(tree, config_of(0.0), uniform_signals(4), 0.0),
+      InvalidArgument);
+  CascadeConfig bad = config_of(1000.0);
+  bad.burn_weight_clamp = -1.0;
+  EXPECT_THROW((void)cascade_tiers(tree, bad, uniform_signals(4), 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace capgpu::fleet

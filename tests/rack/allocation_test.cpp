@@ -87,6 +87,36 @@ TEST(Allocation, ValidationThrows) {
       capgpu::InvalidArgument);
 }
 
+// --- rack-shaped edge cases the fleet cascade leans on ---
+
+TEST(Allocation, ZeroHealthyRigsQuarantinePinsEveryEntry) {
+  // Every rig quarantined: bounds pinned to {min, min}, zero weights. The
+  // whole budget collapses onto the pinned minima regardless of total.
+  const auto out = proportional_allocation(
+      2400.0, {{500.0, 500.0}, {500.0, 500.0}, {500.0, 500.0}},
+      {0.0, 0.0, 0.0});
+  for (const double b : out) EXPECT_DOUBLE_EQ(b, 500.0);
+}
+
+TEST(Allocation, BudgetBelowSumOfFloorsHandsOutFloors) {
+  // Oversubscribed past the guarantees: grants ignore weights entirely and
+  // the caller must shed load (sum(out) exceeds the budget by design).
+  const auto out = proportional_allocation(
+      900.0, {{400.0, 1000.0}, {400.0, 1000.0}, {400.0, 1000.0}},
+      {5.0, 1.0, 0.0});
+  for (const double b : out) EXPECT_DOUBLE_EQ(b, 400.0);
+  EXPECT_GT(sum(out), 900.0);
+}
+
+TEST(Allocation, SingleRigRackClampsToItsBounds) {
+  EXPECT_DOUBLE_EQ(
+      proportional_allocation(900.0, {{500.0, 650.0}}, {1.0})[0], 650.0);
+  EXPECT_DOUBLE_EQ(
+      proportional_allocation(300.0, {{500.0, 650.0}}, {1.0})[0], 500.0);
+  EXPECT_DOUBLE_EQ(
+      proportional_allocation(600.0, {{500.0, 650.0}}, {0.0})[0], 600.0);
+}
+
 class AllocationPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AllocationPropertySweep, InvariantsHoldOnRandomInstances) {

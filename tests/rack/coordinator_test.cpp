@@ -173,5 +173,53 @@ TEST(RackCoordinator, ValidationThrows) {
   EXPECT_THROW(coord.add_server(incomplete), capgpu::InvalidArgument);
 }
 
+TEST(RackCoordinator, DuplicateServerNameRejectedAtRegistration) {
+  RackCoordinator coord(Watts{2000.0}, RackPolicy::kEqual);
+  FakeServer a;
+  FakeServer b;
+  coord.add_server(a.endpoint("rig0"));
+  EXPECT_THROW(coord.add_server(b.endpoint("rig0")),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(coord.add_server(b.endpoint("")), capgpu::InvalidArgument);
+  coord.add_server(b.endpoint("rig1"));  // distinct name still fine
+  EXPECT_EQ(coord.server_count(), 2u);
+}
+
+TEST(RackCoordinator, NonPositiveBudgetBoundsRejectedAtRegistration) {
+  RackCoordinator coord(Watts{2000.0}, RackPolicy::kEqual);
+  FakeServer a;
+  ServerEndpoint zero_min = a.endpoint("zero_min");
+  zero_min.bounds = {0.0, 1000.0};
+  EXPECT_THROW(coord.add_server(zero_min), capgpu::InvalidArgument);
+  ServerEndpoint negative = a.endpoint("negative");
+  negative.bounds = {-5.0, 1000.0};
+  EXPECT_THROW(coord.add_server(negative), capgpu::InvalidArgument);
+  ServerEndpoint inverted = a.endpoint("inverted");
+  inverted.bounds = {800.0, 700.0};
+  EXPECT_THROW(coord.add_server(inverted), capgpu::InvalidArgument);
+  EXPECT_EQ(coord.server_count(), 0u);
+}
+
+TEST(RackCoordinator, SetServerBoundsValidatesAndTakesEffect) {
+  RackCoordinator coord(Watts{2000.0}, RackPolicy::kEqual);
+  FakeServer a;
+  FakeServer b;
+  coord.add_server(a.endpoint("a"));
+  coord.add_server(b.endpoint("b"));
+  EXPECT_THROW(coord.set_server_bounds(2, {500.0, 650.0}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(coord.set_server_bounds(0, {0.0, 650.0}),
+               capgpu::InvalidArgument);
+  EXPECT_THROW(coord.set_server_bounds(0, {700.0, 650.0}),
+               capgpu::InvalidArgument);
+
+  // A lowered ceiling (a browned-out feed) binds on the next rebalance.
+  coord.set_server_bounds(0, {600.0, 800.0});
+  EXPECT_DOUBLE_EQ(coord.server_bounds(0).max, 800.0);
+  const auto grants = coord.rebalance();
+  EXPECT_DOUBLE_EQ(grants[0], 800.0);
+  EXPECT_DOUBLE_EQ(grants[1], 1200.0);
+}
+
 }  // namespace
 }  // namespace capgpu::rack
